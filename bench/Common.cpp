@@ -1,0 +1,82 @@
+//===- bench/Common.cpp - Shared experiment harness helpers --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+
+#include "support/Statistics.h"
+
+using namespace rap;
+using namespace rap::bench;
+
+RapConfig rap::bench::codeConfig(double Epsilon) {
+  RapConfig Config;
+  Config.RangeBits = ProgramModel::PcRangeBits;
+  Config.Epsilon = Epsilon;
+  return Config;
+}
+
+RapConfig rap::bench::valueConfig(double Epsilon) {
+  RapConfig Config;
+  Config.RangeBits = ProgramModel::ValueRangeBits;
+  Config.Epsilon = Epsilon;
+  return Config;
+}
+
+RapConfig rap::bench::addressConfig(double Epsilon) {
+  RapConfig Config;
+  Config.RangeBits = ProgramModel::AddressRangeBits;
+  Config.Epsilon = Epsilon;
+  return Config;
+}
+
+uint64_t rap::bench::feedCode(ProgramModel &Model, RapProfiler &Code,
+                              ExactProfiler *CodeExact,
+                              uint64_t NumBlocks) {
+  uint64_t Instructions = 0;
+  for (uint64_t I = 0; I != NumBlocks; ++I) {
+    TraceRecord Record = Model.next();
+    Code.addPoint(Record.BlockPc, Record.BlockLength);
+    if (CodeExact)
+      CodeExact->addPoint(Record.BlockPc, Record.BlockLength);
+    Instructions += Record.BlockLength;
+  }
+  return Instructions;
+}
+
+uint64_t rap::bench::feedValues(ProgramModel &Model, RapProfiler &Values,
+                                ExactProfiler *ValuesExact,
+                                uint64_t NumBlocks) {
+  uint64_t Loads = 0;
+  for (uint64_t I = 0; I != NumBlocks; ++I) {
+    TraceRecord Record = Model.next();
+    if (!Record.HasLoad)
+      continue;
+    Values.addPoint(Record.LoadValue);
+    if (ValuesExact)
+      ValuesExact->addPoint(Record.LoadValue);
+    ++Loads;
+  }
+  return Loads;
+}
+
+ErrorStats rap::bench::evaluateHotRangeError(const RapTree &Tree,
+                                             const ExactProfiler &Exact,
+                                             double Phi) {
+  RunningStat Stat;
+  for (const HotRange &H : Tree.extractHotRanges(Phi)) {
+    uint64_t Actual = Exact.countInRange(H.Lo, H.Hi);
+    if (Actual == 0)
+      continue;
+    Stat.add(percentError(static_cast<double>(H.SubtreeWeight),
+                          static_cast<double>(Actual)));
+  }
+  ErrorStats Result;
+  Result.NumHotRanges = static_cast<unsigned>(Stat.count());
+  Result.MaximumPercent = Stat.empty() ? 0.0 : Stat.max();
+  Result.AveragePercent = Stat.mean();
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===- bench/Common.h - Shared experiment harness helpers ------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure bench binaries: standard profile
+/// configurations, stream-feeding loops, and hot-range error
+/// evaluation against the exact offline profiler (the Sec 4.3
+/// methodology).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_BENCH_COMMON_H
+#define RAP_BENCH_COMMON_H
+
+#include "baselines/ExactProfiler.h"
+#include "core/RapProfiler.h"
+#include "trace/ProgramModel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rap {
+namespace bench {
+
+/// Standard code-profile configuration (PCs, 32-bit universe).
+RapConfig codeConfig(double Epsilon);
+
+/// Standard value-profile configuration (64-bit universe).
+RapConfig valueConfig(double Epsilon);
+
+/// Standard address-profile configuration (44-bit universe).
+RapConfig addressConfig(double Epsilon);
+
+/// Feeds \p NumBlocks dynamic blocks of \p Model into \p Code (PCs
+/// weighted by instruction count) and, when non-null, mirrors the
+/// stream into \p CodeExact. Returns instructions executed.
+uint64_t feedCode(ProgramModel &Model, RapProfiler &Code,
+                  ExactProfiler *CodeExact, uint64_t NumBlocks);
+
+/// Feeds load values of \p NumBlocks dynamic blocks into \p Values
+/// and optionally \p ValuesExact. Returns loads executed.
+uint64_t feedValues(ProgramModel &Model, RapProfiler &Values,
+                    ExactProfiler *ValuesExact, uint64_t NumBlocks);
+
+/// Per-benchmark hot-range error statistics in the style of Fig 8.
+struct ErrorStats {
+  double MaximumPercent = 0.0; ///< Max percent error over hot ranges.
+  double AveragePercent = 0.0; ///< Average percent error.
+  unsigned NumHotRanges = 0;
+};
+
+/// Compares the RAP estimate of every hot range (its subtree weight, a
+/// lower bound) against the exact count of events in that range — the
+/// paper's "perfect offline profiler" comparison of Sec 4.3.
+ErrorStats evaluateHotRangeError(const RapTree &Tree,
+                                 const ExactProfiler &Exact, double Phi);
+
+} // namespace bench
+} // namespace rap
+
+#endif // RAP_BENCH_COMMON_H

@@ -1,0 +1,86 @@
+//===- bench/ablation_threshold_policy.cpp - Why eps*n/log(R) ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the paper's central design decision, the proportional
+/// split threshold SplitThreshold = eps * n / log(R) (Sec 2.2). The
+/// alternatives are fixed absolute thresholds:
+///
+///  - a small fixed threshold refines everything early and keeps
+///    refining: node counts grow with the stream (memory unbounded);
+///  - a large fixed threshold never refines ranges whose share is
+///    modest but persistent: hot-range error stays high;
+///  - the proportional threshold tracks the stream so precision per
+///    range follows its *share*, with bounded memory and bounded
+///    error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+#include "support/ArgParse.h"
+#include "support/Statistics.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace rap;
+using namespace rap::bench;
+
+int main(int Argc, char **Argv) {
+  ArgParse Args("ablation_threshold_policy",
+                "fixed vs proportional split thresholds");
+  Args.addString("benchmark", "gcc", "benchmark model");
+  Args.addUint("events", 2000000, "basic blocks per run");
+  Args.addUint("seed", 1, "run seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+  const uint64_t NumBlocks = Args.getUint("events");
+
+  std::printf("Split-threshold policy ablation on %s code profile\n\n",
+              Args.getString("benchmark").c_str());
+
+  TableWriter Table;
+  Table.setHeader({"policy", "max nodes", "nodes @25%", "nodes @100%",
+                   "avg err%", "max err%"});
+
+  auto Run = [&](const std::string &Label, double Epsilon,
+                 double FixedThreshold) {
+    RapConfig Config = codeConfig(Epsilon);
+    Config.FixedSplitThreshold = FixedThreshold;
+    ProgramModel Model(getBenchmarkSpec(Args.getString("benchmark")),
+                       Args.getUint("seed"));
+    RapProfiler Profiler(Config);
+    ExactProfiler Exact;
+    uint64_t NodesAtQuarter = 0;
+    for (uint64_t I = 0; I != NumBlocks; ++I) {
+      TraceRecord Record = Model.next();
+      Profiler.addPoint(Record.BlockPc, Record.BlockLength);
+      Exact.addPoint(Record.BlockPc, Record.BlockLength);
+      if (I == NumBlocks / 4)
+        NodesAtQuarter = Profiler.tree().numNodes();
+    }
+    ErrorStats Stats = evaluateHotRangeError(Profiler.tree(), Exact, 0.10);
+    Table.addRow({Label, TableWriter::fmt(Profiler.maxNodes()),
+                  TableWriter::fmt(NodesAtQuarter),
+                  TableWriter::fmt(Profiler.tree().numNodes()),
+                  TableWriter::fmt(Stats.AveragePercent, 2),
+                  TableWriter::fmt(Stats.MaximumPercent, 2)});
+  };
+
+  Run("proportional eps=1%", 0.01, 0.0);
+  Run("fixed 100 counts", 0.01, 100.0);
+  Run("fixed 1000 counts", 0.01, 1000.0);
+  Run("fixed 100000 counts", 0.01, 100000.0);
+  Table.print(std::cout);
+
+  std::printf("\nsmall fixed thresholds keep splitting as the stream "
+              "grows (nodes @100%% >> nodes @25%%);\n"
+              "large fixed thresholds stay coarse (higher error); the "
+              "proportional policy is stable on both axes\n");
+  return 0;
+}

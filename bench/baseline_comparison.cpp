@@ -1,0 +1,144 @@
+//===- bench/baseline_comparison.cpp - RAP vs other profilers ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares RAP against the baseline family the paper positions itself
+/// over (Secs 2 and 6), at roughly equal memory budgets on the same
+/// value stream:
+///
+///   - flat fixed ranges (the Sec 2 strawman): exact per bucket but
+///     granularity never adapts, so narrow hot ranges are invisible;
+///   - 1-in-K sampling: cheap but misses rare ranges and gives no
+///     guarantees;
+///   - SpaceSaving / LossyCounting (item heavy hitters, Sec 6's "top
+///     50 individual loaded values"): find hot *items* only — a hot
+///     range made of many cool values is invisible to them.
+///
+/// The score is range-query accuracy over the hot ranges found by an
+/// exact profiler, plus hot-item recall for the item sketches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/FlatRangeProfiler.h"
+#include "baselines/LossyCounting.h"
+#include "baselines/SamplingProfiler.h"
+#include "baselines/SpaceSaving.h"
+#include "bench/Common.h"
+#include "support/ArgParse.h"
+#include "support/Statistics.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace rap;
+using namespace rap::bench;
+
+int main(int Argc, char **Argv) {
+  ArgParse Args("baseline_comparison",
+                "RAP vs flat ranges / sampling / item heavy hitters");
+  Args.addUint("events", 2000000, "basic blocks");
+  Args.addString("benchmark", "gzip", "benchmark model");
+  Args.addUint("seed", 1, "run seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+  const uint64_t NumBlocks = Args.getUint("events");
+
+  // One pass of the value stream into every profiler.
+  ProgramModel Model(getBenchmarkSpec(Args.getString("benchmark")),
+                     Args.getUint("seed"));
+  RapConfig Config = valueConfig(0.01);
+  RapTree Rap(Config);
+  ExactProfiler Exact;
+  FlatRangeProfiler Flat(ProgramModel::ValueRangeBits, 4096); // 32 KB
+  SamplingProfiler Sampled(64);
+  SpaceSaving TopK(2048);      // ~48 KB
+  LossyCounting Lossy(0.0005); // ~2k entries typical
+
+  for (uint64_t I = 0; I != NumBlocks; ++I) {
+    TraceRecord Record = Model.next();
+    if (!Record.HasLoad)
+      continue;
+    Rap.addPoint(Record.LoadValue);
+    Exact.addPoint(Record.LoadValue);
+    Flat.addPoint(Record.LoadValue);
+    Sampled.addPoint(Record.LoadValue);
+    TopK.addPoint(Record.LoadValue);
+    Lossy.addPoint(Record.LoadValue);
+  }
+  uint64_t N = Rap.numEvents();
+  std::printf("%s value stream, %llu loads\n\n",
+              Args.getString("benchmark").c_str(),
+              static_cast<unsigned long long>(N));
+
+  // Score every profiler on the truly hot ranges (found by RAP, then
+  // verified hot against the exact counts — guaranteed-hot property).
+  std::vector<HotRange> HotRanges = Rap.extractHotRanges(0.10);
+  TableWriter Table;
+  Table.setHeader({"profiler", "memory", "avg range err%", "max range err%",
+                   "ranges missed"});
+
+  auto Score = [&](const std::string &Name, uint64_t Bytes,
+                   auto EstimateFn) {
+    RunningStat Err;
+    unsigned Missed = 0;
+    for (const HotRange &H : HotRanges) {
+      uint64_t Actual = Exact.countInRange(H.Lo, H.Hi);
+      if (Actual == 0)
+        continue;
+      uint64_t Estimate = EstimateFn(H.Lo, H.Hi);
+      if (Estimate == 0) {
+        ++Missed;
+        continue;
+      }
+      Err.add(percentError(static_cast<double>(Estimate),
+                           static_cast<double>(Actual)));
+    }
+    char Memory[32];
+    std::snprintf(Memory, sizeof(Memory), "%.0f KB",
+                  static_cast<double>(Bytes) / 1024.0);
+    Table.addRow({Name, Memory,
+                  Err.empty() ? "-" : TableWriter::fmt(Err.mean(), 2),
+                  Err.empty() ? "-" : TableWriter::fmt(Err.max(), 2),
+                  TableWriter::fmt(static_cast<uint64_t>(Missed))});
+  };
+
+  Score("RAP (eps=1%)", Rap.maxNumNodes() * RapTree::BytesPerNode,
+        [&](uint64_t Lo, uint64_t Hi) { return Rap.estimateRange(Lo, Hi); });
+  Score("flat 4096 ranges", Flat.memoryBytes(),
+        [&](uint64_t Lo, uint64_t Hi) { return Flat.estimateRange(Lo, Hi); });
+  Score("sampling 1/64", Sampled.memoryBytes(),
+        [&](uint64_t Lo, uint64_t Hi) {
+          return Sampled.estimateRange(Lo, Hi);
+        });
+  Table.print(std::cout);
+
+  // Item sketches cannot answer range queries; report what they can
+  // do — hot items — and what they miss: hot ranges without hot items.
+  std::printf("\nitem-granularity sketches on the same stream:\n");
+  std::vector<SpaceSaving::Entry> HotItems = TopK.heavyHitters(0.05);
+  std::printf("  SpaceSaving (2048 counters): %zu items >= 5%% of the "
+              "stream\n",
+              HotItems.size());
+  std::printf("  LossyCounting (eps=0.05%%): %llu entries, %zu items >= "
+              "5%%\n",
+              static_cast<unsigned long long>(Lossy.numCounters()),
+              Lossy.heavyHitters(0.05).size());
+  unsigned RangesWithoutHotItem = 0;
+  for (const HotRange &H : HotRanges) {
+    bool HasHotItem = false;
+    for (const SpaceSaving::Entry &E : HotItems)
+      HasHotItem |= E.Item >= H.Lo && E.Item <= H.Hi;
+    RangesWithoutHotItem += !HasHotItem;
+  }
+  std::printf("  hot ranges containing NO hot item (invisible to item "
+              "sketches): %u of %zu\n",
+              RangesWithoutHotItem, HotRanges.size());
+  std::printf("\npaper's positioning: item heavy-hitters cover hot values; "
+              "only RAP summarizes hot *ranges* with bounded memory\n");
+  return 0;
+}

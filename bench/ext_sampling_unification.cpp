@@ -1,0 +1,78 @@
+//===- bench/ext_sampling_unification.cpp - Sec 6 extension --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the paper's second proposed extension (Sec 6):
+/// unifying RAP with sampling-based schemes. Every K-th event enters
+/// the RAP tree with weight K; the table sweeps K and reports the hot
+/// range error against ground truth plus the work reduction —
+/// quantifying the accuracy/overhead knob a unified system would
+/// expose.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+#include "core/SampledRap.h"
+#include "support/ArgParse.h"
+#include "support/Statistics.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace rap;
+using namespace rap::bench;
+
+int main(int Argc, char **Argv) {
+  ArgParse Args("ext_sampling_unification",
+                "Sec 6 extension: RAP unified with 1-in-K sampling");
+  Args.addString("benchmark", "gcc", "benchmark model");
+  Args.addUint("events", 2000000, "basic blocks to execute");
+  Args.addDouble("epsilon", 0.01, "RAP error bound");
+  Args.addUint("seed", 1, "run seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+  const uint64_t NumBlocks = Args.getUint("events");
+
+  std::printf("RAP + sampling on the %s code profile (eps = %g)\n\n",
+              Args.getString("benchmark").c_str(),
+              Args.getDouble("epsilon"));
+
+  TableWriter Table;
+  Table.setHeader({"sample period K", "tree updates", "max nodes",
+                   "avg err% (hot ranges)", "max err%"});
+  for (uint64_t Period : {1ull, 4ull, 16ull, 64ull, 256ull}) {
+    ProgramModel Model(getBenchmarkSpec(Args.getString("benchmark")),
+                       Args.getUint("seed"));
+    SampledRapTree Sampled(codeConfig(Args.getDouble("epsilon")), Period);
+    ExactProfiler Exact;
+    for (uint64_t I = 0; I != NumBlocks; ++I) {
+      TraceRecord Record = Model.next();
+      Sampled.addPoint(Record.BlockPc);
+      Exact.addPoint(Record.BlockPc);
+    }
+    RunningStat Error;
+    for (const HotRange &H : Sampled.extractHotRanges(0.10)) {
+      uint64_t Actual = Exact.countInRange(H.Lo, H.Hi);
+      if (Actual != 0)
+        Error.add(percentError(static_cast<double>(H.SubtreeWeight),
+                               static_cast<double>(Actual)));
+    }
+    Table.addRow({TableWriter::fmt(Period),
+                  TableWriter::fmt(Sampled.numSampled()),
+                  TableWriter::fmt(Sampled.tree().maxNumNodes()),
+                  Error.empty() ? "-" : TableWriter::fmt(Error.mean(), 2),
+                  Error.empty() ? "-" : TableWriter::fmt(Error.max(), 2)});
+  }
+  Table.print(std::cout);
+
+  std::printf("\nK = 1 is plain RAP; growing K trades bounded-error "
+              "guarantees for a K-fold work cut,\n"
+              "with hot ranges still found and error growing only with "
+              "sampling noise\n");
+  return 0;
+}

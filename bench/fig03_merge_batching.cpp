@@ -1,0 +1,59 @@
+//===- bench/fig03_merge_batching.cpp - Figure 3 --------------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 3: the worst-case bound on tree nodes as the
+/// stream grows, under (a) continuous merging — flat at the post-merge
+/// bound — and (b) exponentially batched merging (interval ratio
+/// q = 2) — a sawtooth whose teeth double in length but stay bounded,
+/// because an un-merged tree can only grow logarithmically with the
+/// events processed (Sec 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/WorstCaseBounds.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace rap;
+
+int main() {
+  const unsigned RangeBits = 64;
+  const unsigned BranchFactor = 4;
+  const double Epsilon = 0.01;
+  WorstCaseBounds Bounds(RangeBits, BranchFactor, Epsilon);
+
+  std::printf("Figure 3: worst-case node bound over the stream "
+              "(eps = 1%%, b = 4, q = 2)\n\n");
+
+  TableWriter Table;
+  Table.setHeader({"events (millions)", "continuous merge",
+                   "batched merge (q=2)", "last batched merge at"});
+
+  // Merges at 1M, 2M, 4M, ... the exponential schedule of Sec 3.1.
+  uint64_t LastMerge = 1000000;
+  const uint64_t Million = 1000000;
+  for (uint64_t Events = Million; Events <= 512 * Million;
+       Events += Events >= 32 * Million ? 16 * Million : Million) {
+    while (LastMerge * 2 <= Events)
+      LastMerge *= 2;
+    Table.addRow({TableWriter::fmt(Events / Million),
+                  TableWriter::fmt(Bounds.postMergeBound(), 0),
+                  TableWriter::fmt(Bounds.boundAt(Events, LastMerge), 0),
+                  TableWriter::fmt(LastMerge / Million)});
+  }
+  Table.print(std::cout);
+
+  std::printf("\npeak of each sawtooth (just before a merge): %.0f nodes; "
+              "floor after every merge: %.0f nodes\n",
+              Bounds.preMergeBound(2.0), Bounds.postMergeBound());
+  std::printf("if it took e events to force a split in one period, the "
+              "next period needs 2e (Sec 3.1)\n");
+  return 0;
+}

@@ -1,0 +1,176 @@
+//===- examples/bus_encoding.cpp - Value-range-guided encoding -----------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A complete downstream optimization driven by a RAP profile — the
+/// "bus encoding" use the paper motivates (Secs 1, 4.4, 6): hot load-
+/// value *ranges* get short codes. A value inside a hot range is sent
+/// as (code, offset-within-range) instead of 64 raw bits, so the
+/// narrower the hot ranges RAP isolates, the fewer bits cross the bus.
+///
+/// The example profiles a benchmark's loads with RAP, builds the
+/// dictionary from the hot ranges, replays the stream through the
+/// encoder, and reports the achieved compression — then does the same
+/// with an item-granularity dictionary (the "top 50 hot values" of
+/// Sec 6) to show why ranges beat items on range-structured streams.
+///
+/// Usage:
+///   ./build/examples/bus_encoding --benchmark=gzip
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/RapTree.h"
+#include "baselines/SpaceSaving.h"
+#include "support/ArgParse.h"
+#include "support/BitUtils.h"
+#include "support/TableWriter.h"
+#include "trace/ProgramModel.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+/// A range-dictionary encoder: values inside a dictionary range cost
+/// log2(#ranges) tag bits + the range's offset bits + 1 flag bit;
+/// everything else costs 1 flag bit + 64 raw bits.
+struct RangeEncoder {
+  struct Entry {
+    uint64_t Lo;
+    unsigned OffsetBits;
+  };
+  std::vector<Entry> Ranges;
+
+  unsigned tagBits() const {
+    return Ranges.empty() ? 0 : log2Ceil(Ranges.size() + 1);
+  }
+
+  /// Bits to transmit \p Value.
+  unsigned encodeBits(uint64_t Value) const {
+    for (const Entry &E : Ranges) {
+      uint64_t Width = E.OffsetBits >= 64
+                           ? ~uint64_t(0)
+                           : (uint64_t(1) << E.OffsetBits) - 1;
+      if (Value >= E.Lo && Value - E.Lo <= Width)
+        return 1 + tagBits() + E.OffsetBits;
+    }
+    return 1 + 64;
+  }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args("bus_encoding",
+                "value-range-guided bus encoding from a RAP profile");
+  Args.addString("benchmark", "gzip", "benchmark model");
+  Args.addUint("events", 2000000, "basic blocks to execute");
+  Args.addDouble("epsilon", 0.01, "RAP error bound");
+  Args.addDouble("phi", 0.05, "hotness threshold for dictionary ranges");
+  Args.addUint("seed", 1, "run seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+
+  BenchmarkSpec Spec = getBenchmarkSpec(Args.getString("benchmark"));
+
+  // Pass 1: profile load values with RAP and an item sketch.
+  RapConfig Config;
+  Config.RangeBits = ProgramModel::ValueRangeBits;
+  Config.Epsilon = Args.getDouble("epsilon");
+  RapTree Tree(Config);
+  SpaceSaving TopValues(64);
+  {
+    ProgramModel Model(Spec, Args.getUint("seed"));
+    const uint64_t NumBlocks = Args.getUint("events");
+    for (uint64_t I = 0; I != NumBlocks; ++I) {
+      TraceRecord Record = Model.next();
+      if (!Record.HasLoad)
+        continue;
+      Tree.addPoint(Record.LoadValue);
+      TopValues.addPoint(Record.LoadValue);
+    }
+  }
+
+  // Build the two dictionaries. Only narrow ranges are profitable as
+  // dictionary entries (an entry of width 2^W costs W offset bits), so
+  // keep hot ranges below 32 bits wide and match narrowest-first.
+  RangeEncoder RangeDict;
+  for (const HotRange &H : Tree.extractHotRanges(Args.getDouble("phi")))
+    if (H.WidthBits < 32)
+      RangeDict.Ranges.push_back({H.Lo, H.WidthBits});
+  std::sort(RangeDict.Ranges.begin(), RangeDict.Ranges.end(),
+            [](const RangeEncoder::Entry &A, const RangeEncoder::Entry &B) {
+              return A.OffsetBits < B.OffsetBits;
+            });
+
+  RangeEncoder ItemDict; // "top 50 individual loaded values" (Sec 6)
+  for (const SpaceSaving::Entry &E : TopValues.entries()) {
+    ItemDict.Ranges.push_back({E.Item, 0});
+    if (ItemDict.Ranges.size() == 50)
+      break;
+  }
+
+  // Pass 2 (identical stream): replay through both encoders.
+  uint64_t Loads = 0;
+  uint64_t RawBits = 0;
+  uint64_t RangeBits = 0;
+  uint64_t ItemBits = 0;
+  uint64_t RangeHits = 0;
+  uint64_t ItemHits = 0;
+  {
+    ProgramModel Model(Spec, Args.getUint("seed"));
+    const uint64_t NumBlocks = Args.getUint("events");
+    for (uint64_t I = 0; I != NumBlocks; ++I) {
+      TraceRecord Record = Model.next();
+      if (!Record.HasLoad)
+        continue;
+      ++Loads;
+      RawBits += 64;
+      unsigned FromRanges = RangeDict.encodeBits(Record.LoadValue);
+      unsigned FromItems = ItemDict.encodeBits(Record.LoadValue);
+      RangeBits += FromRanges;
+      ItemBits += FromItems;
+      RangeHits += FromRanges < 65;
+      ItemHits += FromItems < 65;
+    }
+  }
+
+  std::printf("Bus encoding on %s load values (%" PRIu64 " loads)\n\n",
+              Spec.Name.c_str(), Loads);
+  TableWriter Table;
+  Table.setHeader({"dictionary", "entries", "hit rate", "bits/value",
+                   "compression"});
+  auto Row = [&](const char *Name, size_t Entries, uint64_t Hits,
+                 uint64_t Bits) {
+    Table.addRow({Name, TableWriter::fmt(static_cast<uint64_t>(Entries)),
+                  TableWriter::fmt(100.0 * static_cast<double>(Hits) /
+                                       static_cast<double>(Loads),
+                                   1) +
+                      "%",
+                  TableWriter::fmt(static_cast<double>(Bits) /
+                                       static_cast<double>(Loads),
+                                   1),
+                  TableWriter::fmt(static_cast<double>(RawBits) /
+                                       static_cast<double>(Bits),
+                                   2) +
+                      "x"});
+  };
+  Row("none (raw 64-bit)", 0, 0, RawBits);
+  Row("RAP hot ranges", RangeDict.Ranges.size(), RangeHits, RangeBits);
+  Row("top-50 hot values", ItemDict.Ranges.size(), ItemHits, ItemBits);
+  Table.print(std::cout);
+
+  std::printf("\nrange entries cover whole hot intervals (offset bits "
+              "pay for precision);\nitem entries cover single values "
+              "and miss the rest of each hot range\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- examples/network_ranges.cpp - RAP on network traffic --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's networking claim (Sec 5) made concrete: RAP over the
+/// destination addresses of a packet stream identifies hot subnets at
+/// every prefix length simultaneously — the hierarchical heavy-hitter
+/// problem of network monitoring [15] — weighting by bytes so the
+/// profile reads in traffic volume. A second 2-D profile over
+/// (source /16, destination /16) tuples exposes hot traffic matrices.
+///
+/// Usage:
+///   ./build/examples/network_ranges --packets=2000000
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/MultiDimRap.h"
+#include "core/RapTree.h"
+#include "support/ArgParse.h"
+#include "support/TableWriter.h"
+#include "trace/NetworkModel.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+
+using namespace rap;
+
+namespace {
+
+/// Renders an IPv4 address.
+std::string ip(uint32_t Addr) {
+  char Buffer[20];
+  std::snprintf(Buffer, sizeof(Buffer), "%u.%u.%u.%u", Addr >> 24,
+                (Addr >> 16) & 0xff, (Addr >> 8) & 0xff, Addr & 0xff);
+  return Buffer;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args("network_ranges",
+                "hot subnets from a packet stream via RAP");
+  Args.addUint("packets", 2000000, "packets to process");
+  Args.addDouble("epsilon", 0.005, "RAP error bound");
+  Args.addDouble("phi", 0.05, "hotness threshold (fraction of bytes)");
+  Args.addUint("seed", 1, "run seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+
+  NetworkModel Model(NetworkSpec::makeDefault(), Args.getUint("seed"));
+
+  RapConfig Config;
+  Config.RangeBits = 32; // IPv4 space
+  Config.Epsilon = Args.getDouble("epsilon");
+  RapTree DstBytes(Config);
+
+  MdRapConfig MatrixConfig;
+  MatrixConfig.RangeBits = 16; // /16 x /16 traffic matrix
+  MatrixConfig.Epsilon = 0.01;
+  MdRapTree Matrix(MatrixConfig);
+
+  uint64_t TotalBytes = 0;
+  const uint64_t NumPackets = Args.getUint("packets");
+  for (uint64_t I = 0; I != NumPackets; ++I) {
+    PacketRecord Packet = Model.next();
+    DstBytes.addPoint(Packet.DstAddr, Packet.Bytes);
+    Matrix.addPoint(Packet.SrcAddr >> 16, Packet.DstAddr >> 16);
+    TotalBytes += Packet.Bytes;
+  }
+
+  std::printf("%" PRIu64 " packets, %.1f MB profiled into %" PRIu64
+              " counters\n\n",
+              NumPackets, static_cast<double>(TotalBytes) / 1e6,
+              DstBytes.numNodes());
+
+  std::printf("hot destination aggregates (>= %.0f%% of bytes):\n\n",
+              Args.getDouble("phi") * 100);
+  TableWriter Table;
+  Table.setHeader({"subnet", "prefix", "share of bytes"});
+  for (const HotRange &H : DstBytes.extractHotRanges(Args.getDouble("phi"))) {
+    double Share = 100.0 * static_cast<double>(H.ExclusiveWeight) /
+                   static_cast<double>(DstBytes.numEvents());
+    Table.addRow({ip(static_cast<uint32_t>(H.Lo)),
+                  "/" + std::to_string(32 - H.WidthBits),
+                  TableWriter::fmt(Share, 1) + "%"});
+  }
+  Table.print(std::cout);
+
+  std::printf("\nhot traffic matrix cells (src /16 x dst /16, >= 5%% of "
+              "packets):\n\n");
+  TableWriter MatrixTable;
+  MatrixTable.setHeader({"src block", "dst block", "share"});
+  for (const HotBox &H : Matrix.extractHotBoxes(0.05)) {
+    double Share = 100.0 * static_cast<double>(H.ExclusiveWeight) /
+                   static_cast<double>(Matrix.numEvents());
+    MatrixTable.addRow(
+        {ip(static_cast<uint32_t>(H.XLo << 16)) + "/" +
+             std::to_string(16 - H.WidthBits),
+         ip(static_cast<uint32_t>(H.YLo << 16)) + "/" +
+             std::to_string(16 - H.WidthBits),
+         TableWriter::fmt(Share, 1) + "%"});
+  }
+  MatrixTable.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+//===- baselines/ExactProfiler.cpp - Offline perfect profiler ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ExactProfiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rap;
+
+void ExactProfiler::rebuildIndex() const {
+  SortedValues.clear();
+  SortedValues.reserve(Counts.size());
+  for (const auto &[Value, Count] : Counts)
+    SortedValues.push_back(Value);
+  std::sort(SortedValues.begin(), SortedValues.end());
+
+  PrefixSums.assign(SortedValues.size() + 1, 0);
+  for (size_t I = 0; I != SortedValues.size(); ++I)
+    PrefixSums[I + 1] = PrefixSums[I] + Counts.at(SortedValues[I]);
+  IndexDirty = false;
+}
+
+uint64_t ExactProfiler::countInRange(uint64_t Lo, uint64_t Hi) const {
+  assert(Lo <= Hi && "empty query range");
+  if (IndexDirty || PrefixSums.size() != Counts.size() + 1)
+    rebuildIndex();
+  auto First =
+      std::lower_bound(SortedValues.begin(), SortedValues.end(), Lo);
+  auto Last = std::upper_bound(SortedValues.begin(), SortedValues.end(), Hi);
+  size_t FirstIdx = static_cast<size_t>(First - SortedValues.begin());
+  size_t LastIdx = static_cast<size_t>(Last - SortedValues.begin());
+  return PrefixSums[LastIdx] - PrefixSums[FirstIdx];
+}

@@ -1,0 +1,66 @@
+//===- baselines/ExactProfiler.h - Offline perfect profiler ----*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's ground truth: "the actual count that was gathered by
+/// making multiple passes through the program's execution, tracking one
+/// hot range at a time (as a perfect offline profiler would)" (Sec 4.3).
+/// Our streams are deterministic, so a single pass into an exact
+/// histogram plus sorted prefix sums answers every range query exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_BASELINES_EXACTPROFILER_H
+#define RAP_BASELINES_EXACTPROFILER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace rap {
+
+/// Exact event histogram with exact range-count queries.
+class ExactProfiler {
+public:
+  /// Records \p Weight occurrences of \p X.
+  void addPoint(uint64_t X, uint64_t Weight = 1) {
+    Counts[X] += Weight;
+    NumEvents += Weight;
+    IndexDirty = true;
+  }
+
+  /// Total stream weight.
+  uint64_t numEvents() const { return NumEvents; }
+
+  /// Number of distinct values seen.
+  uint64_t numDistinct() const { return Counts.size(); }
+
+  /// Exact number of events with value exactly \p X.
+  uint64_t countOf(uint64_t X) const {
+    auto It = Counts.find(X);
+    return It == Counts.end() ? 0 : It->second;
+  }
+
+  /// Exact number of events in [Lo, Hi] inclusive. Builds the sorted
+  /// index on first use after a mutation (amortized).
+  uint64_t countInRange(uint64_t Lo, uint64_t Hi) const;
+
+private:
+  void rebuildIndex() const;
+
+  std::unordered_map<uint64_t, uint64_t> Counts;
+  uint64_t NumEvents = 0;
+
+  // Sorted values plus prefix sums, rebuilt lazily for range queries.
+  mutable bool IndexDirty = false;
+  mutable std::vector<uint64_t> SortedValues;
+  mutable std::vector<uint64_t> PrefixSums; // PrefixSums[i] = sum of first i
+};
+
+} // namespace rap
+
+#endif // RAP_BASELINES_EXACTPROFILER_H

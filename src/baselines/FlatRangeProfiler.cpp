@@ -1,0 +1,28 @@
+//===- baselines/FlatRangeProfiler.cpp - Fixed-range counters ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/FlatRangeProfiler.h"
+
+using namespace rap;
+
+uint64_t FlatRangeProfiler::estimateRange(uint64_t Lo, uint64_t Hi) const {
+  assert(Lo <= Hi && "empty query range");
+  uint64_t BucketWidth = Shift >= 64 ? 0 : (uint64_t(1) << Shift);
+  uint64_t Total = 0;
+  uint64_t FirstBucket = bucketOf(Lo);
+  uint64_t LastBucket = bucketOf(Hi);
+  for (uint64_t B = FirstBucket; B <= LastBucket; ++B) {
+    uint64_t BucketLo = Shift >= 64 ? 0 : B << Shift;
+    uint64_t BucketHi =
+        BucketWidth == 0 ? ~uint64_t(0) : BucketLo + BucketWidth - 1;
+    if (BucketLo >= Lo && BucketHi <= Hi)
+      Total += Counters[B];
+    if (B == LastBucket)
+      break; // avoid overflow when LastBucket is the max index
+  }
+  return Total;
+}

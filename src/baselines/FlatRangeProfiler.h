@@ -1,0 +1,75 @@
+//===- baselines/FlatRangeProfiler.h - Fixed-range counters ----*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's strawman (Sec 2): divide the universe into N equal
+/// ranges and keep one counter per range. Counting is exact at range
+/// granularity but the granularity never adapts — the comparison
+/// baseline that motivates RAP.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_BASELINES_FLATRANGEPROFILER_H
+#define RAP_BASELINES_FLATRANGEPROFILER_H
+
+#include "support/BitUtils.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace rap {
+
+/// N equal fixed ranges over [0, 2^RangeBits), N a power of two.
+class FlatRangeProfiler {
+public:
+  FlatRangeProfiler(unsigned RangeBits, uint64_t NumRanges)
+      : RangeBits(RangeBits), Counters(NumRanges, 0) {
+    assert(RangeBits >= 1 && RangeBits <= 64 && "bad universe");
+    assert(isPowerOfTwo(NumRanges) && "NumRanges must be a power of two");
+    assert(log2Exact(NumRanges) <= RangeBits && "more ranges than values");
+    Shift = RangeBits - log2Exact(NumRanges);
+  }
+
+  /// Records \p Weight occurrences of \p X.
+  void addPoint(uint64_t X, uint64_t Weight = 1) {
+    assert((RangeBits == 64 || X < (uint64_t(1) << RangeBits)) &&
+           "event outside the universe");
+    Counters[bucketOf(X)] += Weight;
+    NumEvents += Weight;
+  }
+
+  /// Bucket index covering \p X.
+  uint64_t bucketOf(uint64_t X) const { return Shift >= 64 ? 0 : X >> Shift; }
+
+  /// Counter of bucket \p Bucket.
+  uint64_t bucketCount(uint64_t Bucket) const { return Counters[Bucket]; }
+
+  /// Number of buckets.
+  uint64_t numBuckets() const { return Counters.size(); }
+
+  /// Total stream weight.
+  uint64_t numEvents() const { return NumEvents; }
+
+  /// Memory footprint at 8 bytes per counter.
+  uint64_t memoryBytes() const { return Counters.size() * 8; }
+
+  /// Lower-bound estimate of the events in [Lo, Hi]: the sum of
+  /// counters of buckets fully contained in the query (the same
+  /// semantics as RapTree::estimateRange, for a fair comparison).
+  uint64_t estimateRange(uint64_t Lo, uint64_t Hi) const;
+
+private:
+  unsigned RangeBits;
+  unsigned Shift;
+  uint64_t NumEvents = 0;
+  std::vector<uint64_t> Counters;
+};
+
+} // namespace rap
+
+#endif // RAP_BASELINES_FLATRANGEPROFILER_H

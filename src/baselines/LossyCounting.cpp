@@ -1,0 +1,69 @@
+//===- baselines/LossyCounting.cpp - Lossy counting sketch ---------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/LossyCounting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rap;
+
+LossyCounting::LossyCounting(double Epsilon) : Epsilon(Epsilon) {
+  assert(Epsilon > 0.0 && Epsilon < 1.0 && "epsilon out of range");
+  BucketWidth = static_cast<uint64_t>(std::ceil(1.0 / Epsilon));
+}
+
+void LossyCounting::addPoint(uint64_t X) {
+  ++NumEvents;
+  auto It = Table.find(X);
+  if (It != Table.end()) {
+    ++It->second.Count;
+  } else {
+    Entry E;
+    E.Item = X;
+    E.Count = 1;
+    E.Delta = CurrentBucket - 1;
+    Table[X] = E;
+  }
+  if (NumEvents % BucketWidth == 0) {
+    pruneBucket();
+    ++CurrentBucket;
+  }
+}
+
+void LossyCounting::pruneBucket() {
+  for (auto It = Table.begin(); It != Table.end();) {
+    if (It->second.Count + It->second.Delta <= CurrentBucket)
+      It = Table.erase(It);
+    else
+      ++It;
+  }
+}
+
+uint64_t LossyCounting::estimateOf(uint64_t X) const {
+  auto It = Table.find(X);
+  return It == Table.end() ? 0 : It->second.Count;
+}
+
+std::vector<LossyCounting::Entry>
+LossyCounting::heavyHitters(double Phi) const {
+  assert(Phi > Epsilon && "phi must exceed the error bound");
+  double Threshold =
+      (Phi - Epsilon) * static_cast<double>(NumEvents);
+  std::vector<Entry> Result;
+  for (const auto &[Item, E] : Table)
+    if (static_cast<double>(E.Count) >= Threshold)
+      Result.push_back(E);
+  std::sort(Result.begin(), Result.end(),
+            [](const Entry &A, const Entry &B) {
+              if (A.Count != B.Count)
+                return A.Count > B.Count;
+              return A.Item < B.Item;
+            });
+  return Result;
+}

@@ -1,0 +1,71 @@
+//===- baselines/LossyCounting.h - Lossy counting sketch -------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lossy Counting (Manku & Motwani 2002): the other classic epsilon-
+/// deficient item counter, included as a second point in the
+/// item-granularity baseline family. With parameter epsilon it uses
+/// O(1/eps * log(eps*n)) entries and undercounts each item by at most
+/// eps*n — the same style of guarantee RAP gives, but per item instead
+/// of per range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_BASELINES_LOSSYCOUNTING_H
+#define RAP_BASELINES_LOSSYCOUNTING_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace rap {
+
+/// Epsilon-deficient item counting with periodic bucket pruning.
+class LossyCounting {
+public:
+  /// One tracked item.
+  struct Entry {
+    uint64_t Item = 0;
+    uint64_t Count = 0; ///< Count since the item (re)entered the table.
+    uint64_t Delta = 0; ///< Maximum undercount for this item.
+  };
+
+  /// Creates a counter with error bound \p Epsilon in (0, 1).
+  explicit LossyCounting(double Epsilon);
+
+  /// Processes one occurrence of \p X.
+  void addPoint(uint64_t X);
+
+  /// Total events processed.
+  uint64_t numEvents() const { return NumEvents; }
+
+  /// Entries currently tracked.
+  uint64_t numCounters() const { return Table.size(); }
+
+  /// Items whose guaranteed frequency is at least \p Phi
+  /// (Count >= (Phi - Epsilon) * n), sorted by count descending.
+  std::vector<Entry> heavyHitters(double Phi) const;
+
+  /// Lower-bound estimate of the count of \p X.
+  uint64_t estimateOf(uint64_t X) const;
+
+  /// Memory footprint at 24 bytes per entry.
+  uint64_t memoryBytes() const { return Table.size() * 24; }
+
+private:
+  void pruneBucket();
+
+  double Epsilon;
+  uint64_t BucketWidth;
+  uint64_t NumEvents = 0;
+  uint64_t CurrentBucket = 1;
+  std::unordered_map<uint64_t, Entry> Table;
+};
+
+} // namespace rap
+
+#endif // RAP_BASELINES_LOSSYCOUNTING_H

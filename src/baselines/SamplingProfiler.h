@@ -1,0 +1,69 @@
+//===- baselines/SamplingProfiler.h - Sampled exact profiling --*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic software alternative the paper contrasts with (Sec 2,
+/// [2, 21]): record every K-th event into an exact histogram and scale
+/// estimates by K. Unlike RAP, sampled counts are not lower bounds and
+/// rare ranges may be missed entirely; unlike RAP, memory is unbounded
+/// in the number of distinct sampled values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_BASELINES_SAMPLINGPROFILER_H
+#define RAP_BASELINES_SAMPLINGPROFILER_H
+
+#include "baselines/ExactProfiler.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace rap {
+
+/// Systematic 1-in-K sampling into an exact histogram.
+class SamplingProfiler {
+public:
+  explicit SamplingProfiler(uint64_t SamplePeriod)
+      : SamplePeriod(SamplePeriod) {
+    assert(SamplePeriod >= 1 && "sample period must be positive");
+  }
+
+  /// Processes one event; every SamplePeriod-th is recorded.
+  void addPoint(uint64_t X) {
+    ++NumEvents;
+    if (NumEvents % SamplePeriod == 0)
+      Sampled.addPoint(X);
+  }
+
+  /// Total events offered (sampled or not).
+  uint64_t numEvents() const { return NumEvents; }
+
+  /// Number of events actually recorded.
+  uint64_t numSampled() const { return Sampled.numEvents(); }
+
+  /// Scaled estimate of the events in [Lo, Hi].
+  uint64_t estimateRange(uint64_t Lo, uint64_t Hi) const {
+    return Sampled.countInRange(Lo, Hi) * SamplePeriod;
+  }
+
+  /// Scaled estimate for a single value.
+  uint64_t estimateOf(uint64_t X) const {
+    return Sampled.countOf(X) * SamplePeriod;
+  }
+
+  /// Memory footprint at 16 bytes per distinct sampled value.
+  uint64_t memoryBytes() const { return Sampled.numDistinct() * 16; }
+
+private:
+  uint64_t SamplePeriod;
+  uint64_t NumEvents = 0;
+  ExactProfiler Sampled;
+};
+
+} // namespace rap
+
+#endif // RAP_BASELINES_SAMPLINGPROFILER_H

@@ -1,0 +1,80 @@
+//===- baselines/SpaceSaving.cpp - Item-granularity heavy hitters --------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SpaceSaving.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rap;
+
+SpaceSaving::SpaceSaving(uint64_t NumCounters) : Capacity(NumCounters) {
+  assert(NumCounters >= 1 && "need at least one counter");
+}
+
+void SpaceSaving::addPoint(uint64_t X) {
+  ++NumEvents;
+  auto It = ByItem.find(X);
+  if (It != ByItem.end()) {
+    Entry &E = It->second;
+    ByCount.erase(CountIters[X]);
+    ++E.Count;
+    CountIters[X] = ByCount.emplace(E.Count, X);
+    return;
+  }
+  if (ByItem.size() < Capacity) {
+    Entry E;
+    E.Item = X;
+    E.Count = 1;
+    E.Error = 0;
+    ByItem[X] = E;
+    CountIters[X] = ByCount.emplace(uint64_t(1), X);
+    return;
+  }
+  // Evict the minimum-count item and inherit its count as error.
+  auto MinIt = ByCount.begin();
+  uint64_t Victim = MinIt->second;
+  uint64_t MinCount = MinIt->first;
+  ByCount.erase(MinIt);
+  CountIters.erase(Victim);
+  ByItem.erase(Victim);
+
+  Entry E;
+  E.Item = X;
+  E.Count = MinCount + 1;
+  E.Error = MinCount;
+  ByItem[X] = E;
+  CountIters[X] = ByCount.emplace(E.Count, X);
+}
+
+uint64_t SpaceSaving::estimateOf(uint64_t X) const {
+  auto It = ByItem.find(X);
+  return It == ByItem.end() ? 0 : It->second.Count;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::entries() const {
+  std::vector<Entry> Result;
+  Result.reserve(ByItem.size());
+  for (const auto &[Item, E] : ByItem)
+    Result.push_back(E);
+  std::sort(Result.begin(), Result.end(),
+            [](const Entry &A, const Entry &B) {
+              if (A.Count != B.Count)
+                return A.Count > B.Count;
+              return A.Item < B.Item;
+            });
+  return Result;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::heavyHitters(double Phi) const {
+  double Threshold = Phi * static_cast<double>(NumEvents);
+  std::vector<Entry> Result;
+  for (const Entry &E : entries())
+    if (static_cast<double>(E.Count - E.Error) >= Threshold)
+      Result.push_back(E);
+  return Result;
+}

@@ -1,0 +1,94 @@
+//===- core/Analysis.h - Offline profile analysis --------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The post-processing toolkit the paper's rap_finalize hands its ASCII
+/// dump to (Sec 3.2): "identifying hot-spots, range coverage, phase
+/// identification, and so on". Operates on live trees and on captured
+/// ProfileSnapshots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CORE_ANALYSIS_H
+#define RAP_CORE_ANALYSIS_H
+
+#include "core/RapTree.h"
+#include "core/Serialization.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rap {
+
+/// One point of a Fig 9 style coverage curve.
+struct CoveragePoint {
+  unsigned WidthBits = 0; ///< log2 of the maximum hot-range width
+  double CoveragePercent = 0.0; ///< % of the stream in such hot ranges
+};
+
+/// Computes the cumulative coverage of the stream by hot ranges of at
+/// most each width in \p WidthGrid (ascending), at hotness fraction
+/// \p Phi. This is the Fig 9 y-axis.
+std::vector<CoveragePoint>
+coverageByWidth(const RapTree &Tree, double Phi,
+                const std::vector<unsigned> &WidthGrid);
+
+/// The \p K ranges with the largest exclusive weight among hot ranges
+/// at fraction \p MinPhi, ordered by weight descending — the
+/// "hot-spot" report.
+std::vector<HotRange> topRanges(const RapTree &Tree, unsigned K,
+                                double MinPhi = 0.01);
+
+/// Interval (delta) profiling: because RAP counters are monotone
+/// (never decremented, Sec 2.2 fn 1), subtracting two snapshots of the
+/// same profile bounds the events that arrived in between. This is how
+/// a run is segmented into phases without restarting the profiler.
+class IntervalProfile {
+public:
+  /// Builds the interval between \p Before and \p After (captured from
+  /// the same profile, Before earlier). Both snapshots are retained by
+  /// value.
+  IntervalProfile(ProfileSnapshot Before, ProfileSnapshot After);
+
+  /// Events that arrived during the interval.
+  uint64_t numEvents() const {
+    return After.numEvents() - Before.numEvents();
+  }
+
+  /// Estimate of interval events in [Lo, Hi]. Each endpoint estimate
+  /// is a lower bound off by at most eps*n, so the difference is
+  /// within 2*eps*n_after of the true interval count (and is clamped
+  /// at zero).
+  uint64_t estimateRange(uint64_t Lo, uint64_t Hi) const;
+
+  /// Ranges hot *within the interval*: node-aligned ranges of the
+  /// after-tree whose interval estimate is at least Phi * interval
+  /// events. Ancestors containing a reported range are not repeated.
+  std::vector<HotRange> hotRanges(double Phi) const;
+
+  const ProfileSnapshot &before() const { return Before; }
+  const ProfileSnapshot &after() const { return After; }
+
+private:
+  ProfileSnapshot Before;
+  ProfileSnapshot After;
+  std::unique_ptr<RapTree> BeforeTree;
+  std::unique_ptr<RapTree> AfterTree;
+};
+
+/// Divergence score between two profiles in [0, 1]: half the L1
+/// distance between their stream-fraction vectors over the union of
+/// both hot-range sets at fraction \p Phi. 0 for identical profiles;
+/// approaches 1 when the hot sets are disjoint. The paper's "phase
+/// identification" primitive: successive interval profiles with a high
+/// mutual divergence mark a phase change.
+double profileDivergence(const ProfileSnapshot &A, const ProfileSnapshot &B,
+                         double Phi = 0.05);
+
+} // namespace rap
+
+#endif // RAP_CORE_ANALYSIS_H

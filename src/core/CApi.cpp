@@ -1,0 +1,69 @@
+//===- core/CApi.cpp - The paper's software API (Sec 3.2) ----------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CApi.h"
+
+#include "core/RapTree.h"
+
+#include <cstring>
+#include <sstream>
+
+using namespace rap;
+
+struct rap_handle {
+  explicit rap_handle(const RapConfig &Config) : Tree(Config) {}
+  RapTree Tree;
+};
+
+extern "C" rap_handle *rap_init(unsigned range_bits, double epsilon,
+                                unsigned branch_factor) {
+  RapConfig Config;
+  Config.RangeBits = range_bits;
+  Config.Epsilon = epsilon;
+  if (branch_factor != 0)
+    Config.BranchFactor = branch_factor;
+  if (!Config.validate())
+    return nullptr;
+  return new rap_handle(Config);
+}
+
+extern "C" void rap_add_points(rap_handle *handle, const uint64_t *points,
+                               uint64_t num_points) {
+  for (uint64_t I = 0; I != num_points; ++I)
+    handle->Tree.addPoint(points[I]);
+}
+
+extern "C" uint64_t rap_num_events(const rap_handle *handle) {
+  return handle->Tree.numEvents();
+}
+
+extern "C" uint64_t rap_num_nodes(const rap_handle *handle) {
+  return handle->Tree.numNodes();
+}
+
+extern "C" uint64_t rap_estimate_range(const rap_handle *handle, uint64_t lo,
+                                       uint64_t hi) {
+  return handle->Tree.estimateRange(lo, hi);
+}
+
+extern "C" uint64_t rap_finalize(rap_handle *handle, char *buffer,
+                                 uint64_t size) {
+  uint64_t Required = 0;
+  if (buffer || size) {
+    std::ostringstream Stream;
+    handle->Tree.dump(Stream);
+    std::string Text = Stream.str();
+    Required = Text.size();
+    if (buffer && size > 0) {
+      uint64_t Copy = Required < size - 1 ? Required : size - 1;
+      std::memcpy(buffer, Text.data(), Copy);
+      buffer[Copy] = '\0';
+    }
+  }
+  delete handle;
+  return Required;
+}

@@ -1,0 +1,60 @@
+//===- core/CApi.h - The paper's software API (Sec 3.2) --------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three-call software interface described in Section 3.2 of the
+/// paper: rap_init(), rap_add_points(), rap_finalize(). These are thin
+/// C-linkage wrappers over RapTree so the profiler "can either be
+/// called from online analysis or to post process trace files". The
+/// finalize call dumps the resulting RAP tree in ASCII for further
+/// processing (hot-spot identification, range coverage, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CORE_CAPI_H
+#define RAP_CORE_CAPI_H
+
+#include <cstdint>
+
+extern "C" {
+
+/// Opaque handle to a RAP profile.
+typedef struct rap_handle rap_handle;
+
+/// Creates a RAP profile over the universe [0, 2^range_bits) with
+/// error bound \p epsilon and branching factor \p branch_factor
+/// (pass 0 for the paper defaults: b = 4, q = 2). Returns null if the
+/// parameters do not validate.
+rap_handle *rap_init(unsigned range_bits, double epsilon,
+                     unsigned branch_factor);
+
+/// Feeds \p num_points events into the profile. Looks up the
+/// appropriate counter, updates it, and internally performs the split
+/// and batched-merge operations when needed.
+void rap_add_points(rap_handle *handle, const uint64_t *points,
+                    uint64_t num_points);
+
+/// Number of events processed so far.
+uint64_t rap_num_events(const rap_handle *handle);
+
+/// Current number of range counters (nodes) in the tree.
+uint64_t rap_num_nodes(const rap_handle *handle);
+
+/// Lower-bound estimate of the number of events in [lo, hi].
+uint64_t rap_estimate_range(const rap_handle *handle, uint64_t lo,
+                            uint64_t hi);
+
+/// Writes an ASCII dump of the profile tree into \p buffer (at most
+/// \p size bytes including the terminator) and destroys the handle.
+/// Pass a null \p buffer to just destroy the handle. Returns the
+/// number of bytes that the full dump requires (excluding the
+/// terminator), like snprintf.
+uint64_t rap_finalize(rap_handle *handle, char *buffer, uint64_t size);
+
+} // extern "C"
+
+#endif // RAP_CORE_CAPI_H

@@ -1,0 +1,216 @@
+//===- core/MultiDimRap.cpp - Two-dimensional adaptive ranges ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MultiDimRap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+using namespace rap;
+
+bool MdRapConfig::validate(std::string *Error) const {
+  auto Fail = [Error](const char *Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  if (RangeBits == 0 || RangeBits > 32)
+    return Fail("RangeBits must be in [1, 32] per dimension");
+  if (!(Epsilon > 0.0) || Epsilon > 1.0)
+    return Fail("Epsilon must be in (0, 1]");
+  if (MergeRatio < 1.0)
+    return Fail("MergeRatio must be >= 1");
+  if (InitialMergeInterval == 0)
+    return Fail("InitialMergeInterval must be positive");
+  return true;
+}
+
+MdRapTree::MdRapTree(const MdRapConfig &Config) : Config(Config) {
+  [[maybe_unused]] std::string Error;
+  assert(Config.validate(&Error) && "invalid MdRapConfig");
+  Root = std::make_unique<MdRapNode>(0, 0, Config.RangeBits);
+  NextMergeAt = Config.InitialMergeInterval;
+}
+
+/// Quadrant of (X, Y) within \p Node: bit 0 from X, bit 1 from Y.
+static unsigned quadrantFor(const MdRapNode &Node, uint64_t X, uint64_t Y) {
+  unsigned ChildBits = Node.widthBits() - 1;
+  unsigned XBit =
+      static_cast<unsigned>(((X - Node.xLo()) >> ChildBits) & 1);
+  unsigned YBit =
+      static_cast<unsigned>(((Y - Node.yLo()) >> ChildBits) & 1);
+  return (YBit << 1) | XBit;
+}
+
+MdRapNode *MdRapTree::descend(uint64_t X, uint64_t Y) {
+  MdRapNode *Node = Root.get();
+  while (Node->hasChildren()) {
+    unsigned Quadrant = quadrantFor(*Node, X, Y);
+    MdRapNode *Child = Node->Children[Quadrant].get();
+    if (!Child)
+      break; // Quadrant was merged back into this square.
+    Node = Child;
+  }
+  return Node;
+}
+
+const MdRapNode &MdRapTree::findSmallestCover(uint64_t X, uint64_t Y) const {
+  return *const_cast<MdRapTree *>(this)->descend(X, Y);
+}
+
+void MdRapTree::addPoint(uint64_t X, uint64_t Y, uint64_t Weight) {
+  assert(Weight != 0 && "zero-weight update");
+  assert((Config.RangeBits == 64 ||
+          (X < (uint64_t(1) << Config.RangeBits) &&
+           Y < (uint64_t(1) << Config.RangeBits))) &&
+         "tuple outside the configured domain");
+  NumEvents += Weight;
+
+  MdRapNode *Node = descend(X, Y);
+  Node->Count += Weight;
+  if (!Node->isUnitCell() &&
+      static_cast<double>(Node->Count) >
+          Config.splitThreshold(NumEvents))
+    splitNode(*Node);
+
+  if (Config.EnableMerges && NumEvents >= NextMergeAt) {
+    mergeNow();
+    scheduleAfterMerge();
+  }
+}
+
+void MdRapTree::splitNode(MdRapNode &Node) {
+  assert(!Node.isUnitCell() && "cannot split a unit cell");
+  unsigned ChildBits = Node.widthBits() - 1;
+  uint64_t Side = uint64_t(1) << ChildBits;
+  if (Node.Children.empty())
+    Node.Children.resize(4);
+  for (unsigned Quadrant = 0; Quadrant != 4; ++Quadrant) {
+    if (Node.Children[Quadrant])
+      continue;
+    uint64_t ChildX = Node.xLo() + (Quadrant & 1 ? Side : 0);
+    uint64_t ChildY = Node.yLo() + (Quadrant & 2 ? Side : 0);
+    Node.Children[Quadrant] =
+        std::make_unique<MdRapNode>(ChildX, ChildY, ChildBits);
+    ++NumNodes;
+  }
+  ++NumSplits;
+  MaxNumNodes = std::max(MaxNumNodes, NumNodes);
+}
+
+uint64_t MdRapTree::mergeWalk(MdRapNode &Node, double Threshold,
+                              uint64_t &Removed) {
+  uint64_t Total = Node.Count;
+  if (!Node.hasChildren())
+    return Total;
+  bool AnyChildLeft = false;
+  for (auto &ChildSlot : Node.Children) {
+    if (!ChildSlot)
+      continue;
+    uint64_t ChildWeight = mergeWalk(*ChildSlot, Threshold, Removed);
+    Total += ChildWeight;
+    if (static_cast<double>(ChildWeight) < Threshold) {
+      Node.Count += ChildWeight;
+      uint64_t Dropped = ChildSlot->subtreeNodeCount();
+      Removed += Dropped;
+      NumNodes -= Dropped;
+      ChildSlot.reset();
+    } else {
+      AnyChildLeft = true;
+    }
+  }
+  if (!AnyChildLeft)
+    Node.Children.clear();
+  return Total;
+}
+
+uint64_t MdRapTree::mergeNow() {
+  double Threshold = Config.splitThreshold(NumEvents);
+  uint64_t Removed = 0;
+  mergeWalk(*Root, Threshold, Removed);
+  ++NumMergePasses;
+  return Removed;
+}
+
+void MdRapTree::scheduleAfterMerge() {
+  double Next = static_cast<double>(NextMergeAt) * Config.MergeRatio;
+  NextMergeAt = std::max<uint64_t>(
+      NumEvents + 1, static_cast<uint64_t>(std::llround(Next)));
+}
+
+uint64_t MdRapTree::estimateWalk(const MdRapNode &Node, uint64_t XLo,
+                                 uint64_t XHi, uint64_t YLo,
+                                 uint64_t YHi) const {
+  if (Node.xLo() > XHi || Node.xHi() < XLo || Node.yLo() > YHi ||
+      Node.yHi() < YLo)
+    return 0;
+  if (XLo <= Node.xLo() && Node.xHi() <= XHi && YLo <= Node.yLo() &&
+      Node.yHi() <= YHi)
+    return Node.subtreeWeight();
+  uint64_t Total = 0;
+  for (unsigned Quadrant = 0; Quadrant != Node.numChildSlots(); ++Quadrant)
+    if (const MdRapNode *Child = Node.child(Quadrant))
+      Total += estimateWalk(*Child, XLo, XHi, YLo, YHi);
+  return Total;
+}
+
+uint64_t MdRapTree::estimateBox(uint64_t XLo, uint64_t XHi, uint64_t YLo,
+                                uint64_t YHi) const {
+  assert(XLo <= XHi && YLo <= YHi && "empty query box");
+  return estimateWalk(*Root, XLo, XHi, YLo, YHi);
+}
+
+uint64_t MdRapTree::hotWalk(const MdRapNode &Node, double Threshold,
+                            unsigned Depth, std::vector<HotBox> &Out) const {
+  size_t MyIndex = Out.size();
+  Out.emplace_back();
+  uint64_t Exclusive = Node.count();
+  for (unsigned Quadrant = 0; Quadrant != Node.numChildSlots(); ++Quadrant)
+    if (const MdRapNode *Child = Node.child(Quadrant))
+      Exclusive += hotWalk(*Child, Threshold, Depth + 1, Out);
+
+  if (static_cast<double>(Exclusive) < Threshold) {
+    Out.erase(Out.begin() + MyIndex);
+    return Exclusive;
+  }
+  HotBox &H = Out[MyIndex];
+  H.XLo = Node.xLo();
+  H.XHi = Node.xHi();
+  H.YLo = Node.yLo();
+  H.YHi = Node.yHi();
+  H.WidthBits = Node.widthBits();
+  H.Depth = Depth;
+  H.ExclusiveWeight = Exclusive;
+  H.SubtreeWeight = Node.subtreeWeight();
+  return 0;
+}
+
+std::vector<HotBox> MdRapTree::extractHotBoxes(double Phi) const {
+  assert(Phi > 0.0 && Phi <= 1.0 && "hotness fraction out of range");
+  std::vector<HotBox> Out;
+  hotWalk(*Root, Phi * static_cast<double>(NumEvents), 0, Out);
+  return Out;
+}
+
+void MdRapTree::dumpHot(std::ostream &OS, double Phi) const {
+  for (const HotBox &H : extractHotBoxes(Phi)) {
+    char Buffer[160];
+    double Percent =
+        NumEvents == 0 ? 0.0
+                       : 100.0 * static_cast<double>(H.ExclusiveWeight) /
+                             static_cast<double>(NumEvents);
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "x:[%llx, %llx] y:[%llx, %llx] %.1f%%\n",
+                  static_cast<unsigned long long>(H.XLo),
+                  static_cast<unsigned long long>(H.XHi),
+                  static_cast<unsigned long long>(H.YLo),
+                  static_cast<unsigned long long>(H.YHi), Percent);
+    OS << Buffer;
+  }
+}

@@ -1,0 +1,35 @@
+//===- core/RapConfig.cpp - RAP tree configuration ------------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RapConfig.h"
+
+using namespace rap;
+
+bool RapConfig::validate(std::string *Error) const {
+  auto Fail = [Error](const char *Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  if (RangeBits == 0 || RangeBits > 64)
+    return Fail("RangeBits must be in [1, 64]");
+  if (BranchFactor < 2 || !isPowerOfTwo(BranchFactor))
+    return Fail("BranchFactor must be a power of two >= 2");
+  if (bitsPerLevel() > RangeBits)
+    return Fail("BranchFactor wider than the whole universe");
+  if (!(Epsilon > 0.0) || Epsilon > 1.0)
+    return Fail("Epsilon must be in (0, 1]");
+  if (MergeRatio < 1.0)
+    return Fail("MergeRatio must be >= 1");
+  if (InitialMergeInterval == 0)
+    return Fail("InitialMergeInterval must be positive");
+  if (MergeThresholdScale <= 0.0)
+    return Fail("MergeThresholdScale must be positive");
+  if (FixedSplitThreshold < 0.0)
+    return Fail("FixedSplitThreshold must be nonnegative");
+  return true;
+}

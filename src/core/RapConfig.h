@@ -1,0 +1,105 @@
+//===- core/RapConfig.h - RAP tree configuration ---------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration for Range Adaptive Profiling. The knobs correspond
+/// directly to the parameters discussed in Sections 2.2 and 3.1 of the
+/// paper: the error bound epsilon, the universe size R, the branching
+/// factor b, and the merge-interval ratio q.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CORE_RAPCONFIG_H
+#define RAP_CORE_RAPCONFIG_H
+
+#include "support/BitUtils.h"
+
+#include <cstdint>
+#include <string>
+
+namespace rap {
+
+/// Parameters of a RAP tree.
+///
+/// The profiled universe is [0, 2^RangeBits). Splitting a node of range
+/// width 2^W produces children of width 2^(W - log2(BranchFactor)),
+/// i.e. the tree is the multibit trie of Section 3.2. The split
+/// threshold after n events is
+///
+///   SplitThreshold(n) = Epsilon * n / maxDepth()
+///
+/// which yields the paper's epsilon guarantee: a range estimate can
+/// miss at most one threshold's worth of counts at each of the
+/// maxDepth() ancestors along a root path.
+struct RapConfig {
+  /// log2 of the universe size R. Events outside [0, 2^RangeBits) are
+  /// rejected by assertion.
+  unsigned RangeBits = 32;
+
+  /// Branching factor b; must be a power of two >= 2. The paper picks
+  /// b = 4 (Fig 2).
+  unsigned BranchFactor = 4;
+
+  /// The user error constant epsilon in (0, 1]: estimates are within
+  /// Epsilon * n of the true count (Sec 2.2).
+  double Epsilon = 0.01;
+
+  /// Merge-interval growth ratio q >= 1: the k-th batched merge happens
+  /// a factor q later than the (k-1)-th (Sec 3.1, Fig 3). The paper
+  /// picks q = 2.
+  double MergeRatio = 2.0;
+
+  /// Events processed before the first batched merge. The paper's
+  /// hardware discussion assumes ~2^10 events before the first merge
+  /// (Sec 3.3).
+  uint64_t InitialMergeInterval = 1024;
+
+  /// MergeThreshold = MergeThresholdScale * SplitThreshold. The paper
+  /// uses the same register for both (Sec 3.3 stage 4), i.e. scale 1.
+  double MergeThresholdScale = 1.0;
+
+  /// Disable batched merging entirely (used to demonstrate the
+  /// unbounded-growth failure mode of a split-only tree).
+  bool EnableMerges = true;
+
+  /// When positive, overrides the paper's proportional split threshold
+  /// with a fixed absolute count. This exists for the ablation of the
+  /// paper's central design decision: a fixed threshold either lets
+  /// the node count grow with the stream (too small) or never refines
+  /// rare-but-growing ranges (too large); eps*n/log(R) does neither.
+  double FixedSplitThreshold = 0.0;
+
+  /// Bits of the key consumed per tree level.
+  unsigned bitsPerLevel() const { return log2Exact(BranchFactor); }
+
+  /// Maximum tree depth: ceil(RangeBits / bitsPerLevel()). The root is
+  /// depth 0; single-value leaves are at this depth.
+  unsigned maxDepth() const {
+    return (RangeBits + bitsPerLevel() - 1) / bitsPerLevel();
+  }
+
+  /// The split threshold after \p NumEvents events (Sec 2.2), or the
+  /// fixed override when configured.
+  double splitThreshold(uint64_t NumEvents) const {
+    if (FixedSplitThreshold > 0.0)
+      return FixedSplitThreshold;
+    return Epsilon * static_cast<double>(NumEvents) / maxDepth();
+  }
+
+  /// The merge threshold after \p NumEvents events.
+  double mergeThreshold(uint64_t NumEvents) const {
+    return MergeThresholdScale * splitThreshold(NumEvents);
+  }
+
+  /// Validates all parameters. Returns true if usable; otherwise
+  /// returns false and, if \p Error is non-null, stores a diagnostic.
+  bool validate(std::string *Error = nullptr) const;
+};
+
+} // namespace rap
+
+#endif // RAP_CORE_RAPCONFIG_H

@@ -1,0 +1,111 @@
+//===- core/RapNode.h - Node of a range adaptive profile tree -*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A node of the RAP tree. Each node tracks a power-of-two aligned
+/// range [lo(), hi()] of the event universe and a counter of the events
+/// that matched this node as their smallest covering range (Sec 2.1 of
+/// the paper). Children subdivide the parent range; after internal
+/// merges the children may cover only part of the parent (Sec 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CORE_RAPNODE_H
+#define RAP_CORE_RAPNODE_H
+
+#include "support/BitUtils.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rap {
+
+class RapTree;
+
+/// One range-counter of the profile tree.
+class RapNode {
+  friend class RapTree;
+
+public:
+  RapNode(uint64_t Lo, unsigned WidthBits)
+      : Lo(Lo), WidthBits(static_cast<uint8_t>(WidthBits)) {
+    assert(WidthBits <= 64 && "range wider than the key type");
+    assert(Lo == (WidthBits == 64 ? 0 : alignDown(Lo, uint64_t(1) << WidthBits)) &&
+           "node range must be aligned to its width");
+  }
+
+  /// Lowest value covered by this node.
+  uint64_t lo() const { return Lo; }
+
+  /// Highest value covered by this node (inclusive).
+  uint64_t hi() const {
+    if (WidthBits == 64)
+      return ~uint64_t(0);
+    return Lo + ((uint64_t(1) << WidthBits) - 1);
+  }
+
+  /// log2 of the number of values this node covers.
+  unsigned widthBits() const { return WidthBits; }
+
+  /// Events recorded on this node's own counter (excludes descendants).
+  uint64_t count() const { return Count; }
+
+  /// True if this node covers a single value and can never split.
+  bool isUnitRange() const { return WidthBits == 0; }
+
+  /// True if \p X lies within this node's range.
+  bool contains(uint64_t X) const { return X >= Lo && X <= hi(); }
+
+  /// True if the node currently has a child array (it may still have
+  /// empty slots after internal merges).
+  bool hasChildren() const { return !Children.empty(); }
+
+  /// Number of child slots (0 if the node has never split or has been
+  /// fully merged back into a leaf).
+  unsigned numChildSlots() const {
+    return static_cast<unsigned>(Children.size());
+  }
+
+  /// Child at \p Slot, or null if that sub-range is currently merged
+  /// into this node.
+  const RapNode *child(unsigned Slot) const {
+    assert(Slot < Children.size() && "child slot out of range");
+    return Children[Slot].get();
+  }
+
+  /// Total weight of this node plus all descendants. This is the RAP
+  /// estimate for the number of stream events in [lo(), hi()]; it is
+  /// always a lower bound on the true count (Sec 4.3).
+  uint64_t subtreeWeight() const {
+    uint64_t Total = Count;
+    for (const auto &Child : Children)
+      if (Child)
+        Total += Child->subtreeWeight();
+    return Total;
+  }
+
+  /// Number of nodes in this subtree including this node.
+  uint64_t subtreeNodeCount() const {
+    uint64_t Total = 1;
+    for (const auto &Child : Children)
+      if (Child)
+        Total += Child->subtreeNodeCount();
+    return Total;
+  }
+
+private:
+  uint64_t Lo;
+  uint64_t Count = 0;
+  uint8_t WidthBits;
+  std::vector<std::unique_ptr<RapNode>> Children;
+};
+
+} // namespace rap
+
+#endif // RAP_CORE_RAPNODE_H

@@ -1,0 +1,59 @@
+//===- core/RapProfiler.cpp - Profiler wrapper with run statistics -------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RapProfiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rap;
+
+RapProfiler::RapProfiler(const RapConfig &Config, uint64_t TimelineStride)
+    : Tree(Config), TimelineStride(TimelineStride),
+      NextTimelineAt(TimelineStride) {}
+
+void RapProfiler::addPoint(uint64_t X, uint64_t Weight) {
+  Tree.addPoint(X, Weight);
+  NodeCountIntegral += Tree.numNodes() * Weight;
+  if (TimelineStride != 0 && Tree.numEvents() >= NextTimelineAt) {
+    Timeline.emplace_back(Tree.numEvents(), Tree.numNodes());
+    NextTimelineAt += TimelineStride;
+  }
+}
+
+void RapProfiler::addPoints(const std::vector<uint64_t> &Xs) {
+  for (uint64_t X : Xs)
+    addPoint(X);
+}
+
+RapProfiler &RapSession::addProfile(const std::string &Name,
+                                    const RapConfig &Config,
+                                    uint64_t TimelineStride) {
+  auto It = Profiles.find(Name);
+  if (It == Profiles.end())
+    Names.push_back(Name);
+  auto Profiler = std::make_unique<RapProfiler>(Config, TimelineStride);
+  RapProfiler &Ref = *Profiler;
+  Profiles[Name] = std::move(Profiler);
+  return Ref;
+}
+
+RapProfiler &RapSession::getProfile(const std::string &Name) {
+  auto It = Profiles.find(Name);
+  assert(It != Profiles.end() && "unknown profile name");
+  return *It->second;
+}
+
+const RapProfiler &RapSession::getProfile(const std::string &Name) const {
+  auto It = Profiles.find(Name);
+  assert(It != Profiles.end() && "unknown profile name");
+  return *It->second;
+}
+
+bool RapSession::hasProfile(const std::string &Name) const {
+  return Profiles.count(Name) != 0;
+}

@@ -1,0 +1,406 @@
+//===- core/RapTree.cpp - Range adaptive profiling tree ------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RapTree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <ostream>
+
+using namespace rap;
+
+RapTree::RapTree(const RapConfig &Config) : Config(Config) {
+  [[maybe_unused]] std::string Error;
+  assert(Config.validate(&Error) && "invalid RapConfig");
+  Root = std::make_unique<RapNode>(0, Config.RangeBits);
+  NextMergeAt = Config.InitialMergeInterval;
+}
+
+std::unique_ptr<RapTree> RapTree::fromNodeSet(
+    const RapConfig &Config,
+    const std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> &Nodes,
+    uint64_t NumEvents, std::string *Error) {
+  auto Fail = [Error](const char *Message) -> std::unique_ptr<RapTree> {
+    if (Error)
+      *Error = Message;
+    return nullptr;
+  };
+  if (!Config.validate(Error))
+    return nullptr;
+  if (Nodes.empty())
+    return Fail("node set is empty (the root is mandatory)");
+  if (std::get<0>(Nodes[0]) != 0 ||
+      std::get<1>(Nodes[0]) != Config.RangeBits)
+    return Fail("first node is not the root of the configured universe");
+
+  auto Tree = std::make_unique<RapTree>(Config);
+  Tree->Root->Count = std::get<2>(Nodes[0]);
+  unsigned BitsPerLevel = Config.bitsPerLevel();
+  uint64_t TotalCount = std::get<2>(Nodes[0]);
+
+  // Preorder insertion: a maintained stack of the current ancestor
+  // path places each node under its deepest enclosing predecessor.
+  std::vector<RapNode *> Path = {Tree->Root.get()};
+  for (size_t I = 1; I < Nodes.size(); ++I) {
+    auto [Lo, WidthBits, Count] = Nodes[I];
+    if (WidthBits >= Config.RangeBits)
+      return Fail("non-root node as wide as the universe");
+    uint64_t Width = uint64_t(1) << WidthBits;
+    if (Lo != alignDown(Lo, Width))
+      return Fail("node range not aligned to its width");
+    uint64_t Hi = Lo + Width - 1;
+    while (!Path.empty() &&
+           !(Path.back()->lo() <= Lo && Hi <= Path.back()->hi()))
+      Path.pop_back();
+    if (Path.empty())
+      return Fail("node not contained in any predecessor (not preorder)");
+    RapNode *Parent = Path.back();
+    unsigned ExpectedChildBits = Parent->widthBits() > BitsPerLevel
+                                     ? Parent->widthBits() - BitsPerLevel
+                                     : 0;
+    if (WidthBits != ExpectedChildBits)
+      return Fail("node width inconsistent with the branching factor");
+    unsigned NumSlots = 1u
+                        << (Parent->widthBits() - ExpectedChildBits);
+    if (Parent->Children.empty())
+      Parent->Children.resize(NumSlots);
+    unsigned Slot = static_cast<unsigned>((Lo - Parent->lo()) >>
+                                          ExpectedChildBits);
+    if (Parent->Children[Slot])
+      return Fail("duplicate node range");
+    auto Child = std::make_unique<RapNode>(Lo, WidthBits);
+    Child->Count = Count;
+    TotalCount += Count;
+    Path.push_back(Child.get());
+    Parent->Children[Slot] = std::move(Child);
+    ++Tree->NumNodes;
+  }
+  if (TotalCount != NumEvents)
+    return Fail("node counts do not sum to the recorded event total");
+  Tree->NumEvents = NumEvents;
+  Tree->MaxNumNodes = Tree->NumNodes;
+  // Resume the merge schedule past the recorded stream position.
+  while (Tree->NextMergeAt <= NumEvents)
+    Tree->scheduleAfterMerge();
+  return Tree;
+}
+
+/// Returns the slot index of the child of \p Node that would cover
+/// \p X, along with the width of that child level.
+static unsigned childSlotFor(const RapNode &Node, uint64_t X,
+                             unsigned BitsPerLevel) {
+  unsigned ChildBits =
+      Node.widthBits() > BitsPerLevel ? Node.widthBits() - BitsPerLevel : 0;
+  uint64_t Offset = X - Node.lo();
+  return static_cast<unsigned>(Offset >> ChildBits);
+}
+
+RapNode *RapTree::descend(uint64_t X) {
+  RapNode *Node = Root.get();
+  unsigned BitsPerLevel = Config.bitsPerLevel();
+  while (Node->hasChildren()) {
+    unsigned Slot = childSlotFor(*Node, X, BitsPerLevel);
+    assert(Slot < Node->Children.size() && "child slot out of range");
+    RapNode *Child = Node->Children[Slot].get();
+    if (!Child)
+      break; // Sub-range was merged back into this node (Sec 3.3).
+    Node = Child;
+  }
+  return Node;
+}
+
+const RapNode &RapTree::findSmallestCover(uint64_t X) const {
+  return *const_cast<RapTree *>(this)->descend(X);
+}
+
+void RapTree::addPoint(uint64_t X, uint64_t Weight) {
+  assert(Weight != 0 && "zero-weight update");
+  assert((Config.RangeBits == 64 || X < (uint64_t(1) << Config.RangeBits)) &&
+         "event outside the configured universe");
+  NumEvents += Weight;
+
+  RapNode *Node = descend(X);
+  Node->Count += Weight;
+
+  // Split check (Sec 2.2): a counter that outgrew the threshold sprouts
+  // children so subsequent events in this range profile more precisely.
+  if (!Node->isUnitRange() &&
+      static_cast<double>(Node->Count) > Config.splitThreshold(NumEvents))
+    splitNode(*Node);
+
+  // Batched merges at exponentially growing intervals (Sec 3.1, Fig 3).
+  if (Config.EnableMerges && NumEvents >= NextMergeAt) {
+    mergeNow();
+    scheduleAfterMerge();
+  }
+}
+
+void RapTree::splitNode(RapNode &Node) {
+  assert(!Node.isUnitRange() && "cannot split a unit range");
+  unsigned BitsPerLevel = Config.bitsPerLevel();
+  unsigned ChildBits =
+      Node.widthBits() > BitsPerLevel ? Node.widthBits() - BitsPerLevel : 0;
+  unsigned NumSlots = 1u << (Node.widthBits() - ChildBits);
+  if (Node.Children.empty())
+    Node.Children.resize(NumSlots);
+  assert(Node.Children.size() == NumSlots && "child slot count changed");
+
+  // Create every missing child with a zero counter. The parent keeps
+  // its own counter (counters are never decremented, Sec 2.2 fn 1).
+  for (unsigned Slot = 0; Slot != NumSlots; ++Slot) {
+    if (Node.Children[Slot])
+      continue;
+    uint64_t ChildLo = Node.lo() + (static_cast<uint64_t>(Slot) << ChildBits);
+    Node.Children[Slot] = std::make_unique<RapNode>(ChildLo, ChildBits);
+    ++NumNodes;
+  }
+  ++NumSplits;
+  MaxNumNodes = std::max(MaxNumNodes, NumNodes);
+}
+
+uint64_t RapTree::mergeWalk(RapNode &Node, double Threshold,
+                            uint64_t &Removed) {
+  uint64_t Total = Node.Count;
+  if (!Node.hasChildren())
+    return Total;
+
+  bool AnyChildLeft = false;
+  for (auto &ChildSlot : Node.Children) {
+    if (!ChildSlot)
+      continue;
+    uint64_t ChildWeight = mergeWalk(*ChildSlot, Threshold, Removed);
+    Total += ChildWeight;
+    if (static_cast<double>(ChildWeight) < Threshold) {
+      // Fold the entire (already internally merged) child subtree into
+      // this node: child counts are equally valid on the super-range
+      // (Sec 2.2 "Merge").
+      Node.Count += ChildWeight;
+      uint64_t Dropped = ChildSlot->subtreeNodeCount();
+      Removed += Dropped;
+      NumNodes -= Dropped;
+      ChildSlot.reset();
+    } else {
+      AnyChildLeft = true;
+    }
+  }
+  if (!AnyChildLeft)
+    Node.Children.clear();
+  return Total;
+}
+
+void RapTree::absorb(const RapTree &Other) {
+  assert(Config.RangeBits == Other.Config.RangeBits &&
+         Config.BranchFactor == Other.Config.BranchFactor &&
+         "absorb requires identical tree geometry");
+
+  // Recursive structural union: Other's node counts land on the
+  // equally-ranged node here, materializing missing children so no
+  // precision recorded by the shard is lost at union time (the merge
+  // pass below re-compacts whatever is no longer warranted).
+  unsigned BitsPerLevel = Config.bitsPerLevel();
+  std::function<void(RapNode &, const RapNode &)> Union =
+      [&](RapNode &Mine, const RapNode &Theirs) {
+        Mine.Count += Theirs.Count;
+        if (!Theirs.hasChildren())
+          return;
+        unsigned ChildBits = Mine.widthBits() > BitsPerLevel
+                                 ? Mine.widthBits() - BitsPerLevel
+                                 : 0;
+        unsigned NumSlots = 1u << (Mine.widthBits() - ChildBits);
+        if (Mine.Children.empty())
+          Mine.Children.resize(NumSlots);
+        for (unsigned Slot = 0; Slot != NumSlots; ++Slot) {
+          const RapNode *TheirChild = Theirs.child(Slot);
+          if (!TheirChild)
+            continue;
+          if (!Mine.Children[Slot]) {
+            Mine.Children[Slot] = std::make_unique<RapNode>(
+                TheirChild->lo(), TheirChild->widthBits());
+            ++NumNodes;
+          }
+          Union(*Mine.Children[Slot], *TheirChild);
+        }
+      };
+  Union(*Root, Other.root());
+  NumEvents += Other.NumEvents;
+  MaxNumNodes = std::max(MaxNumNodes, NumNodes);
+  // Re-compact at the combined stream position and realign the merge
+  // schedule with it.
+  if (Config.EnableMerges) {
+    mergeNow();
+    while (NextMergeAt <= NumEvents)
+      scheduleAfterMerge();
+  }
+}
+
+uint64_t RapTree::mergeNow() {
+  double Threshold = Config.mergeThreshold(NumEvents);
+  uint64_t Removed = 0;
+  mergeWalk(*Root, Threshold, Removed);
+  ++NumMergePasses;
+  NumMergedNodes += Removed;
+  MergeEventCounts.push_back(NumEvents);
+  return Removed;
+}
+
+void RapTree::scheduleAfterMerge() {
+  double Next = static_cast<double>(NextMergeAt) * Config.MergeRatio;
+  uint64_t NextInt = static_cast<uint64_t>(std::llround(Next));
+  NextMergeAt = std::max<uint64_t>(NumEvents + 1, NextInt);
+}
+
+uint64_t RapTree::estimateWalk(const RapNode &Node, uint64_t Lo,
+                               uint64_t Hi) const {
+  if (Node.lo() > Hi || Node.hi() < Lo)
+    return 0;
+  if (Lo <= Node.lo() && Node.hi() <= Hi)
+    return Node.subtreeWeight();
+  // Partial overlap: the node's own counter may account for events
+  // outside [Lo, Hi], so only descendants fully inside contribute.
+  // This keeps the estimate a guaranteed lower bound.
+  uint64_t Total = 0;
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
+    if (const RapNode *Child = Node.child(Slot))
+      Total += estimateWalk(*Child, Lo, Hi);
+  return Total;
+}
+
+uint64_t RapTree::estimateRange(uint64_t Lo, uint64_t Hi) const {
+  assert(Lo <= Hi && "empty query range");
+  return estimateWalk(*Root, Lo, Hi);
+}
+
+/// Upper-bound companion of estimateWalk: every counter on a node
+/// intersecting the query may hold in-range events.
+static uint64_t upperWalk(const RapNode &Node, uint64_t Lo, uint64_t Hi) {
+  if (Node.lo() > Hi || Node.hi() < Lo)
+    return 0;
+  if (Lo <= Node.lo() && Node.hi() <= Hi)
+    return Node.subtreeWeight();
+  uint64_t Total = Node.count(); // straddling: possibly in range
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
+    if (const RapNode *Child = Node.child(Slot))
+      Total += upperWalk(*Child, Lo, Hi);
+  return Total;
+}
+
+RapTree::RangeBounds RapTree::estimateRangeBounds(uint64_t Lo,
+                                                  uint64_t Hi) const {
+  assert(Lo <= Hi && "empty query range");
+  RangeBounds Bounds;
+  Bounds.Lower = estimateWalk(*Root, Lo, Hi);
+  Bounds.Upper = upperWalk(*Root, Lo, Hi);
+  return Bounds;
+}
+
+uint64_t RapTree::hotWalk(const RapNode &Node, double Threshold,
+                          unsigned Depth, std::vector<HotRange> &Out) const {
+  // Preorder output position is reserved before visiting children so
+  // ancestors precede descendants; we patch the entry afterwards.
+  size_t MyIndex = Out.size();
+  Out.emplace_back();
+
+  uint64_t Exclusive = Node.count();
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
+    if (const RapNode *Child = Node.child(Slot))
+      Exclusive += hotWalk(*Child, Threshold, Depth + 1, Out);
+
+  bool IsHot = static_cast<double>(Exclusive) >= Threshold;
+  if (!IsHot) {
+    // Not hot: drop the reserved placeholder. Hot descendants appended
+    // after it keep their relative (preorder) order.
+    Out.erase(Out.begin() + MyIndex);
+    return Exclusive;
+  }
+
+  HotRange &H = Out[MyIndex];
+  H.Lo = Node.lo();
+  H.Hi = Node.hi();
+  H.WidthBits = Node.widthBits();
+  H.Depth = Depth;
+  H.ExclusiveWeight = Exclusive;
+  H.SubtreeWeight = Node.subtreeWeight();
+  return 0; // Hot weight is not propagated to the parent (Sec 4.1).
+}
+
+std::vector<HotRange> RapTree::extractHotRanges(double Phi) const {
+  assert(Phi > 0.0 && Phi <= 1.0 && "hotness fraction out of range");
+  std::vector<HotRange> Out;
+  double Threshold = Phi * static_cast<double>(NumEvents);
+  hotWalk(*Root, Threshold, 0, Out);
+  return Out;
+}
+
+/// Prints one node line: hex range, own count, subtree weight, percent.
+static void dumpNode(std::ostream &OS, const RapNode &Node, unsigned Depth,
+                     uint64_t NumEvents) {
+  for (unsigned I = 0; I != Depth; ++I)
+    OS << "  ";
+  char Buffer[128];
+  double Percent =
+      NumEvents == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(Node.subtreeWeight()) / NumEvents;
+  std::snprintf(Buffer, sizeof(Buffer),
+                "[%llx, %llx] count=%llu subtree=%llu (%.1f%%)",
+                static_cast<unsigned long long>(Node.lo()),
+                static_cast<unsigned long long>(Node.hi()),
+                static_cast<unsigned long long>(Node.count()),
+                static_cast<unsigned long long>(Node.subtreeWeight()),
+                Percent);
+  OS << Buffer << '\n';
+}
+
+static void dumpWalk(std::ostream &OS, const RapNode &Node, unsigned Depth,
+                     uint64_t NumEvents) {
+  dumpNode(OS, Node, Depth, NumEvents);
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
+    if (const RapNode *Child = Node.child(Slot))
+      dumpWalk(OS, *Child, Depth + 1, NumEvents);
+}
+
+void RapTree::dump(std::ostream &OS) const {
+  dumpWalk(OS, *Root, 0, NumEvents);
+}
+
+void RapTree::dumpHot(std::ostream &OS, double Phi) const {
+  std::vector<HotRange> Hot = extractHotRanges(Phi);
+
+  auto PrintLine = [&](uint64_t Lo, uint64_t Hi, unsigned Indent,
+                       uint64_t Weight) {
+    for (unsigned I = 0; I != Indent; ++I)
+      OS << "  ";
+    char Buffer[128];
+    double Percent =
+        NumEvents == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(Weight) / NumEvents;
+    std::snprintf(Buffer, sizeof(Buffer), "[%llx, %llx] %.1f%%",
+                  static_cast<unsigned long long>(Lo),
+                  static_cast<unsigned long long>(Hi), Percent);
+    OS << Buffer << '\n';
+  };
+
+  // Always lead with the root line for context, as the paper's Fig 5
+  // does; hot ranges are then indented by their nesting depth among
+  // hot ranges only (not their raw tree depth).
+  bool RootHot = !Hot.empty() && Hot.front().Depth == 0;
+  if (!RootHot)
+    PrintLine(Root->lo(), Root->hi(), 0, Root->count());
+
+  std::vector<std::pair<uint64_t, uint64_t>> Enclosing;
+  for (const HotRange &H : Hot) {
+    while (!Enclosing.empty() && !(Enclosing.back().first <= H.Lo &&
+                                   H.Hi <= Enclosing.back().second))
+      Enclosing.pop_back();
+    unsigned Indent =
+        static_cast<unsigned>(Enclosing.size()) + (RootHot ? 0 : 1);
+    PrintLine(H.Lo, H.Hi, Indent, H.ExclusiveWeight);
+    Enclosing.emplace_back(H.Lo, H.Hi);
+  }
+}

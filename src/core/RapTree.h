@@ -1,0 +1,215 @@
+//===- core/RapTree.h - Range adaptive profiling tree ----------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Range Adaptive Profiling tree: the paper's primary contribution
+/// (Sections 2 and 3). The tree supports the three operations of
+/// Sec 2.1:
+///
+///  - update: the incoming event is routed to the smallest existing
+///    range covering it and that node's counter is incremented;
+///  - split:  a node whose own counter exceeds
+///            SplitThreshold = eps * n / log(R) sprouts children that
+///            subdivide its range (the node keeps its counter);
+///  - merge:  batched with exponentially growing intervals (ratio q),
+///    a post-order walk folds any child subtree whose total weight is
+///    below the merge threshold back into its parent.
+///
+/// Estimates read off the tree are always lower bounds on true counts,
+/// off by at most eps * n (one threshold per ancestor level).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CORE_RAPTREE_H
+#define RAP_CORE_RAPTREE_H
+
+#include "core/RapConfig.h"
+#include "core/RapNode.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace rap {
+
+/// A range identified as hot by extractHotRanges (Sec 4.1): the range's
+/// exclusive weight (its count plus all *non-hot* descendant weight)
+/// meets the hotness fraction phi of the stream.
+struct HotRange {
+  uint64_t Lo = 0;          ///< Lowest value of the range.
+  uint64_t Hi = 0;          ///< Highest value (inclusive).
+  unsigned WidthBits = 0;   ///< log2 of the range width.
+  unsigned Depth = 0;       ///< Tree depth (root = 0).
+  uint64_t ExclusiveWeight = 0; ///< count + non-hot descendant weight.
+  uint64_t SubtreeWeight = 0;   ///< count + all descendant weight.
+};
+
+/// The RAP profile tree.
+///
+/// Typical use:
+/// \code
+///   RapConfig Config;
+///   Config.RangeBits = 32;
+///   Config.Epsilon = 0.01;
+///   RapTree Tree(Config);
+///   for (uint64_t Event : Stream)
+///     Tree.addPoint(Event);
+///   for (const HotRange &H : Tree.extractHotRanges(0.10))
+///     ...;
+/// \endcode
+class RapTree {
+public:
+  /// Constructs an empty tree (a single root counter covering the whole
+  /// universe). \p Config must validate.
+  explicit RapTree(const RapConfig &Config);
+
+  /// Reconstructs a tree from a serialized node set (deserialization
+  /// hook for ProfileSnapshot). \p Nodes are (lo, widthBits, count)
+  /// triples in preorder: the root first, every other node preceded by
+  /// its ancestors. Returns nullptr (with a diagnostic in \p Error if
+  /// non-null) when the node set is not a well-formed RAP tree for
+  /// \p Config: wrong root, misaligned ranges, widths inconsistent
+  /// with the branching factor, or counts not summing to
+  /// \p NumEvents.
+  static std::unique_ptr<RapTree>
+  fromNodeSet(const RapConfig &Config,
+              const std::vector<std::tuple<uint64_t, uint8_t, uint64_t>>
+                  &Nodes,
+              uint64_t NumEvents, std::string *Error = nullptr);
+
+  RapTree(const RapTree &) = delete;
+  RapTree &operator=(const RapTree &) = delete;
+
+  /// Records \p Weight occurrences of event \p X. This is the paper's
+  /// update operation, plus the split check and the batched-merge
+  /// schedule. \p X must lie inside the configured universe. A weight
+  /// greater than one corresponds to a combined duplicate from the
+  /// hardware event buffer (Sec 3.3 stage 0).
+  void addPoint(uint64_t X, uint64_t Weight = 1);
+
+  /// Runs one batched merge pass immediately with the current merge
+  /// threshold, regardless of the schedule. Returns the number of
+  /// nodes removed.
+  uint64_t mergeNow();
+
+  /// Adds every counter of \p Other into this tree (which must share
+  /// the same RangeBits and BranchFactor): the union of node sets with
+  /// summed counts, followed by one merge pass to re-compact. This is
+  /// how per-thread shard profiles are aggregated into one: each
+  /// shard's eps guarantee is relative to its own stream, so the
+  /// combined under-estimate of any range is at most
+  /// eps * (n_this + n_other).
+  void absorb(const RapTree &Other);
+
+  /// The configuration this tree was built with.
+  const RapConfig &config() const { return Config; }
+
+  /// Total stream weight processed so far (the paper's n).
+  uint64_t numEvents() const { return NumEvents; }
+
+  /// Current number of nodes (counters) in the tree.
+  uint64_t numNodes() const { return NumNodes; }
+
+  /// Largest node count ever reached (Fig 7's "maximum memory").
+  uint64_t maxNumNodes() const { return MaxNumNodes; }
+
+  /// Approximate memory footprint. The paper budgets 128 bits per node
+  /// (Sec 4.2), i.e. bytes = 16 * numNodes().
+  uint64_t memoryBytes() const { return NumNodes * BytesPerNode; }
+
+  /// Number of split operations performed.
+  uint64_t numSplits() const { return NumSplits; }
+
+  /// Number of batched merge passes performed.
+  uint64_t numMergePasses() const { return NumMergePasses; }
+
+  /// Total nodes removed across all merge passes.
+  uint64_t numMergedNodes() const { return NumMergedNodes; }
+
+  /// Event counts at which batched merges ran (for Fig 6 timelines).
+  const std::vector<uint64_t> &mergeEventCounts() const {
+    return MergeEventCounts;
+  }
+
+  /// Event count at which the next scheduled merge will run.
+  uint64_t nextMergeAt() const { return NextMergeAt; }
+
+  /// The current split threshold eps * n / log(R).
+  double currentSplitThreshold() const {
+    return Config.splitThreshold(NumEvents);
+  }
+
+  /// Root node (covers the entire universe).
+  const RapNode &root() const { return *Root; }
+
+  /// The smallest existing node covering \p X (never null).
+  const RapNode &findSmallestCover(uint64_t X) const;
+
+  /// Lower-bound estimate of the number of events in [Lo, Hi]
+  /// (inclusive). Exact node-aligned queries return the subtree
+  /// weight; arbitrary ranges sum the maximal fully-contained nodes.
+  /// The under-estimate is at most eps * n.
+  uint64_t estimateRange(uint64_t Lo, uint64_t Hi) const;
+
+  /// Deterministic bracket on a range count.
+  struct RangeBounds {
+    uint64_t Lower = 0; ///< counts provably inside [Lo, Hi]
+    uint64_t Upper = 0; ///< counts possibly inside [Lo, Hi]
+  };
+
+  /// Returns [Lower, Upper] such that the true number of events in
+  /// [Lo, Hi] is always within the bracket: Lower counts only nodes
+  /// fully inside the query, Upper additionally charges the counters
+  /// of every node straddling it (those events may or may not fall in
+  /// the query). Upper - Lower <= eps * n for node-aligned queries.
+  RangeBounds estimateRangeBounds(uint64_t Lo, uint64_t Hi) const;
+
+  /// Extracts all hot ranges at hotness fraction \p Phi (Sec 4.1): a
+  /// range is hot iff its count plus the weight of its non-hot
+  /// sub-ranges is at least Phi * n. Results are in preorder
+  /// (ancestors before descendants).
+  std::vector<HotRange> extractHotRanges(double Phi) const;
+
+  /// Prints the whole tree, one node per line, indented by depth, with
+  /// hex ranges, counts, subtree weights and stream percentages.
+  void dump(std::ostream &OS) const;
+
+  /// Prints only the hot nodes at fraction \p Phi in the style of the
+  /// paper's Fig 5 (hex range plus exclusive percentage), including the
+  /// root for context.
+  void dumpHot(std::ostream &OS, double Phi) const;
+
+  /// Bytes charged per node, matching the paper's 128-bit node budget.
+  static constexpr uint64_t BytesPerNode = 16;
+
+private:
+  RapNode *descend(uint64_t X);
+  void splitNode(RapNode &Node);
+  uint64_t mergeWalk(RapNode &Node, double Threshold, uint64_t &Removed);
+  uint64_t hotWalk(const RapNode &Node, double Threshold, unsigned Depth,
+                   std::vector<HotRange> &Out) const;
+  uint64_t estimateWalk(const RapNode &Node, uint64_t Lo, uint64_t Hi) const;
+  void scheduleAfterMerge();
+
+  RapConfig Config;
+  std::unique_ptr<RapNode> Root;
+  uint64_t NumEvents = 0;
+  uint64_t NumNodes = 1;
+  uint64_t MaxNumNodes = 1;
+  uint64_t NumSplits = 0;
+  uint64_t NumMergePasses = 0;
+  uint64_t NumMergedNodes = 0;
+  uint64_t NextMergeAt;
+  std::vector<uint64_t> MergeEventCounts;
+};
+
+} // namespace rap
+
+#endif // RAP_CORE_RAPTREE_H

@@ -1,0 +1,76 @@
+//===- core/SampledRap.h - RAP unified with sampling -----------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The other extension proposed in the paper's conclusion (Sec 6):
+/// "It may further be possible to unify our proposed techniques with
+/// existing sampling based schemes to create a single general purpose
+/// profiling system."
+///
+/// SampledRapTree feeds every K-th event into an ordinary RAP tree with
+/// weight K, so downstream consumers see estimates already scaled to
+/// the full stream. This trades the hard eps*n guarantee for a K-fold
+/// reduction in update work: the RAP guarantee still holds relative to
+/// the *sampled* stream (eps * n / K of weighted error) but sampling
+/// noise of order sqrt(K * count) is added on top — quantified
+/// empirically in bench/ext_sampling_unification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CORE_SAMPLEDRAP_H
+#define RAP_CORE_SAMPLEDRAP_H
+
+#include "core/RapTree.h"
+
+#include <cassert>
+
+namespace rap {
+
+/// Systematic 1-in-K sampling front end for a RAP tree.
+class SampledRapTree {
+public:
+  /// Creates the profile; \p SamplePeriod = 1 degenerates to plain RAP.
+  SampledRapTree(const RapConfig &Config, uint64_t SamplePeriod)
+      : Tree(Config), SamplePeriod(SamplePeriod) {
+    assert(SamplePeriod >= 1 && "sample period must be positive");
+  }
+
+  /// Offers one event; every SamplePeriod-th is recorded with weight
+  /// SamplePeriod so tree estimates stay full-stream scaled.
+  void addPoint(uint64_t X) {
+    ++NumOffered;
+    if (NumOffered % SamplePeriod == 0)
+      Tree.addPoint(X, SamplePeriod);
+  }
+
+  /// Events offered (the true stream length).
+  uint64_t numOffered() const { return NumOffered; }
+
+  /// Events actually recorded (weighted count equals tree.numEvents()).
+  uint64_t numSampled() const { return Tree.numEvents() / SamplePeriod; }
+
+  /// The underlying tree; its numEvents() is already scaled to
+  /// approximately numOffered().
+  const RapTree &tree() const { return Tree; }
+
+  /// Forwarders for the common queries.
+  uint64_t estimateRange(uint64_t Lo, uint64_t Hi) const {
+    return Tree.estimateRange(Lo, Hi);
+  }
+  std::vector<HotRange> extractHotRanges(double Phi) const {
+    return Tree.extractHotRanges(Phi);
+  }
+
+private:
+  RapTree Tree;
+  uint64_t SamplePeriod;
+  uint64_t NumOffered = 0;
+};
+
+} // namespace rap
+
+#endif // RAP_CORE_SAMPLEDRAP_H

@@ -1,0 +1,334 @@
+//===- core/Serialization.cpp - RAP profile persistence ------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace rap;
+
+namespace {
+
+constexpr char Magic[4] = {'R', 'A', 'P', 'P'};
+constexpr uint32_t FormatVersion = 1;
+
+void writeU32(std::ostream &OS, uint32_t Value) {
+  unsigned char Bytes[4];
+  for (int I = 0; I != 4; ++I)
+    Bytes[I] = static_cast<unsigned char>(Value >> (8 * I));
+  OS.write(reinterpret_cast<const char *>(Bytes), 4);
+}
+
+void writeU64(std::ostream &OS, uint64_t Value) {
+  unsigned char Bytes[8];
+  for (int I = 0; I != 8; ++I)
+    Bytes[I] = static_cast<unsigned char>(Value >> (8 * I));
+  OS.write(reinterpret_cast<const char *>(Bytes), 8);
+}
+
+void writeF64(std::ostream &OS, double Value) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  writeU64(OS, Bits);
+}
+
+void writeU8(std::ostream &OS, uint8_t Value) {
+  OS.put(static_cast<char>(Value));
+}
+
+bool readU32(std::istream &IS, uint32_t &Value) {
+  unsigned char Bytes[4];
+  if (!IS.read(reinterpret_cast<char *>(Bytes), 4))
+    return false;
+  Value = 0;
+  for (int I = 3; I >= 0; --I)
+    Value = (Value << 8) | Bytes[I];
+  return true;
+}
+
+bool readU64(std::istream &IS, uint64_t &Value) {
+  unsigned char Bytes[8];
+  if (!IS.read(reinterpret_cast<char *>(Bytes), 8))
+    return false;
+  Value = 0;
+  for (int I = 7; I >= 0; --I)
+    Value = (Value << 8) | Bytes[I];
+  return true;
+}
+
+bool readF64(std::istream &IS, double &Value) {
+  uint64_t Bits;
+  if (!readU64(IS, Bits))
+    return false;
+  std::memcpy(&Value, &Bits, sizeof(Value));
+  return true;
+}
+
+bool readU8(std::istream &IS, uint8_t &Value) {
+  int C = IS.get();
+  if (C < 0)
+    return false;
+  Value = static_cast<uint8_t>(C);
+  return true;
+}
+
+void collectPreorder(const RapNode &Node,
+                     std::vector<ProfileSnapshot::Node> &Out) {
+  ProfileSnapshot::Node Entry;
+  Entry.Lo = Node.lo();
+  Entry.WidthBits = static_cast<uint8_t>(Node.widthBits());
+  Entry.Count = Node.count();
+  Out.push_back(Entry);
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
+    if (const RapNode *Child = Node.child(Slot))
+      collectPreorder(*Child, Out);
+}
+
+} // namespace
+
+namespace rap {
+/// Internal builder with access to ProfileSnapshot's private state.
+class SnapshotBuilder {
+public:
+  static ProfileSnapshot make(const RapConfig &Config, uint64_t NumEvents,
+                              std::vector<ProfileSnapshot::Node> Nodes) {
+    ProfileSnapshot Snapshot;
+    Snapshot.Config = Config;
+    Snapshot.NumEvents = NumEvents;
+    Snapshot.Nodes = std::move(Nodes);
+    return Snapshot;
+  }
+};
+} // namespace rap
+
+ProfileSnapshot ProfileSnapshot::capture(const RapTree &Tree) {
+  std::vector<Node> Nodes;
+  Nodes.reserve(Tree.numNodes());
+  collectPreorder(Tree.root(), Nodes);
+  return SnapshotBuilder::make(Tree.config(), Tree.numEvents(),
+                               std::move(Nodes));
+}
+
+std::unique_ptr<RapTree> ProfileSnapshot::restore() const {
+  std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> Triples;
+  Triples.reserve(Nodes.size());
+  for (const Node &N : Nodes)
+    Triples.emplace_back(N.Lo, N.WidthBits, N.Count);
+  std::unique_ptr<RapTree> Tree =
+      RapTree::fromNodeSet(Config, Triples, NumEvents);
+  assert(Tree && "a captured snapshot must always restore");
+  return Tree;
+}
+
+uint64_t ProfileSnapshot::estimateRange(uint64_t Lo, uint64_t Hi) const {
+  return restore()->estimateRange(Lo, Hi);
+}
+
+std::vector<HotRange> ProfileSnapshot::extractHotRanges(double Phi) const {
+  return restore()->extractHotRanges(Phi);
+}
+
+std::vector<int64_t> ProfileSnapshot::buildParents() const {
+  std::vector<int64_t> Parents(Nodes.size(), -1);
+  std::vector<size_t> Stack;
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    uint64_t Width = Nodes[I].WidthBits >= 64
+                         ? ~uint64_t(0)
+                         : (uint64_t(1) << Nodes[I].WidthBits) - 1;
+    uint64_t Hi = Nodes[I].Lo + Width;
+    auto Encloses = [&](size_t J) {
+      uint64_t JWidth = Nodes[J].WidthBits >= 64
+                            ? ~uint64_t(0)
+                            : (uint64_t(1) << Nodes[J].WidthBits) - 1;
+      return Nodes[J].Lo <= Nodes[I].Lo && Hi <= Nodes[J].Lo + JWidth;
+    };
+    while (!Stack.empty() && !Encloses(Stack.back()))
+      Stack.pop_back();
+    if (!Stack.empty())
+      Parents[I] = static_cast<int64_t>(Stack.back());
+    Stack.push_back(I);
+  }
+  return Parents;
+}
+
+void ProfileSnapshot::writeBinary(std::ostream &OS) const {
+  OS.write(Magic, 4);
+  writeU32(OS, FormatVersion);
+  writeU32(OS, Config.RangeBits);
+  writeU32(OS, Config.BranchFactor);
+  writeF64(OS, Config.Epsilon);
+  writeF64(OS, Config.MergeRatio);
+  writeU64(OS, Config.InitialMergeInterval);
+  writeF64(OS, Config.MergeThresholdScale);
+  writeU8(OS, Config.EnableMerges ? 1 : 0);
+  writeU64(OS, NumEvents);
+  writeU64(OS, Nodes.size());
+  for (const Node &N : Nodes) {
+    writeU64(OS, N.Lo);
+    writeU8(OS, N.WidthBits);
+    writeU64(OS, N.Count);
+  }
+}
+
+std::unique_ptr<ProfileSnapshot>
+ProfileSnapshot::readBinary(std::istream &IS, std::string *Error) {
+  auto Fail = [Error](const char *Message) {
+    if (Error)
+      *Error = Message;
+    return std::unique_ptr<ProfileSnapshot>();
+  };
+  char MagicBuffer[4];
+  if (!IS.read(MagicBuffer, 4) ||
+      std::memcmp(MagicBuffer, Magic, 4) != 0)
+    return Fail("not a RAP profile (bad magic)");
+  uint32_t Version;
+  if (!readU32(IS, Version) || Version != FormatVersion)
+    return Fail("unsupported profile format version");
+
+  RapConfig Config;
+  uint32_t RangeBits;
+  uint32_t BranchFactor;
+  uint8_t EnableMerges;
+  if (!readU32(IS, RangeBits) || !readU32(IS, BranchFactor) ||
+      !readF64(IS, Config.Epsilon) || !readF64(IS, Config.MergeRatio) ||
+      !readU64(IS, Config.InitialMergeInterval) ||
+      !readF64(IS, Config.MergeThresholdScale) ||
+      !readU8(IS, EnableMerges))
+    return Fail("truncated profile header");
+  Config.RangeBits = RangeBits;
+  Config.BranchFactor = BranchFactor;
+  Config.EnableMerges = EnableMerges != 0;
+  if (!Config.validate(Error))
+    return nullptr;
+
+  uint64_t NumEvents;
+  uint64_t NumNodes;
+  if (!readU64(IS, NumEvents) || !readU64(IS, NumNodes))
+    return Fail("truncated profile header");
+  // Sanity cap: a node record is 17 bytes; reject sizes that cannot
+  // possibly be backed by the stream (defends against corrupt counts).
+  if (NumNodes == 0 || NumNodes > (uint64_t(1) << 32))
+    return Fail("implausible node count");
+
+  std::vector<Node> Nodes;
+  Nodes.reserve(static_cast<size_t>(NumNodes));
+  for (uint64_t I = 0; I != NumNodes; ++I) {
+    Node N;
+    if (!readU64(IS, N.Lo) || !readU8(IS, N.WidthBits) ||
+        !readU64(IS, N.Count))
+      return Fail("truncated node list");
+    Nodes.push_back(N);
+  }
+
+  // Validate structurally by round-tripping through the tree builder.
+  std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> Triples;
+  Triples.reserve(Nodes.size());
+  for (const Node &N : Nodes)
+    Triples.emplace_back(N.Lo, N.WidthBits, N.Count);
+  if (!RapTree::fromNodeSet(Config, Triples, NumEvents, Error))
+    return nullptr;
+
+  return std::make_unique<ProfileSnapshot>(
+      SnapshotBuilder::make(Config, NumEvents, std::move(Nodes)));
+}
+
+void ProfileSnapshot::writeText(std::ostream &OS) const {
+  char Buffer[160];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "rap-profile v1 bits=%u b=%u eps=%.17g q=%.17g "
+                "interval=%" PRIu64 " scale=%.17g merges=%d\n",
+                Config.RangeBits, Config.BranchFactor, Config.Epsilon,
+                Config.MergeRatio, Config.InitialMergeInterval,
+                Config.MergeThresholdScale, Config.EnableMerges ? 1 : 0);
+  OS << Buffer;
+  std::snprintf(Buffer, sizeof(Buffer), "events=%" PRIu64 " nodes=%zu\n",
+                NumEvents, Nodes.size());
+  OS << Buffer;
+  for (const Node &N : Nodes) {
+    std::snprintf(Buffer, sizeof(Buffer), "%" PRIx64 " %u %" PRIu64 "\n",
+                  N.Lo, static_cast<unsigned>(N.WidthBits), N.Count);
+    OS << Buffer;
+  }
+}
+
+std::unique_ptr<ProfileSnapshot>
+ProfileSnapshot::readText(std::istream &IS, std::string *Error) {
+  auto Fail = [Error](const char *Message) {
+    if (Error)
+      *Error = Message;
+    return std::unique_ptr<ProfileSnapshot>();
+  };
+  std::string Line;
+  if (!std::getline(IS, Line))
+    return Fail("empty profile text");
+  RapConfig Config;
+  unsigned Merges;
+  uint64_t Interval;
+  if (std::sscanf(Line.c_str(),
+                  "rap-profile v1 bits=%u b=%u eps=%lg q=%lg "
+                  "interval=%" SCNu64 " scale=%lg merges=%u",
+                  &Config.RangeBits, &Config.BranchFactor, &Config.Epsilon,
+                  &Config.MergeRatio, &Interval,
+                  &Config.MergeThresholdScale, &Merges) != 7)
+    return Fail("malformed profile text header");
+  Config.InitialMergeInterval = Interval;
+  Config.EnableMerges = Merges != 0;
+  if (!Config.validate(Error))
+    return nullptr;
+
+  if (!std::getline(IS, Line))
+    return Fail("missing events/nodes line");
+  uint64_t NumEvents;
+  size_t NumNodes;
+  if (std::sscanf(Line.c_str(), "events=%" SCNu64 " nodes=%zu", &NumEvents,
+                  &NumNodes) != 2)
+    return Fail("malformed events/nodes line");
+
+  std::vector<Node> Nodes;
+  Nodes.reserve(NumNodes);
+  for (size_t I = 0; I != NumNodes; ++I) {
+    if (!std::getline(IS, Line))
+      return Fail("truncated node list");
+    Node N;
+    unsigned Width;
+    if (std::sscanf(Line.c_str(), "%" SCNx64 " %u %" SCNu64, &N.Lo, &Width,
+                    &N.Count) != 3 ||
+        Width > 64)
+      return Fail("malformed node line");
+    N.WidthBits = static_cast<uint8_t>(Width);
+    Nodes.push_back(N);
+  }
+
+  std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> Triples;
+  for (const Node &N : Nodes)
+    Triples.emplace_back(N.Lo, N.WidthBits, N.Count);
+  if (!RapTree::fromNodeSet(Config, Triples, NumEvents, Error))
+    return nullptr;
+
+  return std::make_unique<ProfileSnapshot>(
+      SnapshotBuilder::make(Config, NumEvents, std::move(Nodes)));
+}
+
+bool ProfileSnapshot::operator==(const ProfileSnapshot &Other) const {
+  if (NumEvents != Other.NumEvents || Nodes.size() != Other.Nodes.size())
+    return false;
+  if (Config.RangeBits != Other.Config.RangeBits ||
+      Config.BranchFactor != Other.Config.BranchFactor ||
+      Config.Epsilon != Other.Config.Epsilon)
+    return false;
+  for (size_t I = 0; I != Nodes.size(); ++I)
+    if (Nodes[I].Lo != Other.Nodes[I].Lo ||
+        Nodes[I].WidthBits != Other.Nodes[I].WidthBits ||
+        Nodes[I].Count != Other.Nodes[I].Count)
+      return false;
+  return true;
+}

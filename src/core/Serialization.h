@@ -1,0 +1,112 @@
+//===- core/Serialization.h - RAP profile persistence ----------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistence for RAP profiles. The paper's rap_finalize "dumps the
+/// resulting RAP tree in ascii format for further processing such as
+/// identifying hot-spots, range coverage, phase identification, and so
+/// on" (Sec 3.2); this module provides the machine-readable version:
+/// a compact little-endian binary format plus text round-tripping, so
+/// profiles can be collected online and analyzed offline.
+///
+/// Binary layout (version 1):
+///   magic "RAPP", u32 version,
+///   config { u32 rangeBits, u32 branchFactor, f64 epsilon,
+///            f64 mergeRatio, u64 initialMergeInterval,
+///            f64 mergeThresholdScale, u8 enableMerges },
+///   u64 numEvents, u64 numNodes,
+///   nodes in preorder: { u64 lo, u8 widthBits, u64 count,
+///                        u8 hasChildSlots } — child presence is
+///   reconstructed structurally from preorder + ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CORE_SERIALIZATION_H
+#define RAP_CORE_SERIALIZATION_H
+
+#include "core/RapTree.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rap {
+
+/// A detached, immutable copy of a profile: configuration, stream
+/// length, and the node set. Snapshots support the offline half of the
+/// paper's workflow — estimates, hot ranges and dumps without the live
+/// tree — and are the unit of (de)serialization.
+class ProfileSnapshot {
+public:
+  /// One node in preorder.
+  struct Node {
+    uint64_t Lo = 0;
+    uint8_t WidthBits = 0;
+    uint64_t Count = 0;
+  };
+
+  /// Captures the current state of \p Tree.
+  static ProfileSnapshot capture(const RapTree &Tree);
+
+  /// The configuration the profile was collected with.
+  const RapConfig &config() const { return Config; }
+
+  /// Stream length at capture time.
+  uint64_t numEvents() const { return NumEvents; }
+
+  /// Number of nodes.
+  uint64_t numNodes() const { return Nodes.size(); }
+
+  /// Preorder node list (parents before children, siblings by range).
+  const std::vector<Node> &nodes() const { return Nodes; }
+
+  /// Lower-bound estimate of the events in [Lo, Hi], identical to
+  /// RapTree::estimateRange on the captured tree.
+  uint64_t estimateRange(uint64_t Lo, uint64_t Hi) const;
+
+  /// Hot ranges at fraction \p Phi, identical to the live tree's.
+  std::vector<HotRange> extractHotRanges(double Phi) const;
+
+  /// Writes the version-1 binary format.
+  void writeBinary(std::ostream &OS) const;
+
+  /// Reads the binary format. Returns nullptr and sets \p Error on a
+  /// malformed stream.
+  static std::unique_ptr<ProfileSnapshot>
+  readBinary(std::istream &IS, std::string *Error = nullptr);
+
+  /// Writes a one-node-per-line text format (`lo width count`, hex lo).
+  void writeText(std::ostream &OS) const;
+
+  /// Reads the text format written by writeText.
+  static std::unique_ptr<ProfileSnapshot>
+  readText(std::istream &IS, std::string *Error = nullptr);
+
+  /// Rebuilds a live RapTree with exactly this snapshot's nodes and
+  /// counts (for resuming profiling or re-querying with tree code).
+  std::unique_ptr<RapTree> restore() const;
+
+  /// Structural + content equality (used by round-trip tests).
+  bool operator==(const ProfileSnapshot &Other) const;
+
+private:
+  friend class SnapshotBuilder;
+  ProfileSnapshot() = default;
+
+  /// Index of the last node whose range encloses Nodes[I], or -1.
+  std::vector<int64_t> buildParents() const;
+
+  RapConfig Config;
+  uint64_t NumEvents = 0;
+  std::vector<Node> Nodes;
+};
+
+} // namespace rap
+
+#endif // RAP_CORE_SERIALIZATION_H

@@ -1,0 +1,66 @@
+//===- core/WorstCaseBounds.cpp - Analytic RAP memory bounds -------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WorstCaseBounds.h"
+
+#include "support/BitUtils.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace rap;
+
+WorstCaseBounds::WorstCaseBounds(unsigned RangeBits, unsigned BranchFactor,
+                                 double Epsilon)
+    : RangeBits(RangeBits), BranchFactor(BranchFactor), Epsilon(Epsilon) {
+  assert(RangeBits >= 1 && RangeBits <= 64 && "bad universe");
+  assert(isPowerOfTwo(BranchFactor) && BranchFactor >= 2 && "bad b");
+  assert(Epsilon > 0.0 && Epsilon <= 1.0 && "bad epsilon");
+  unsigned BitsPerLevel = log2Exact(BranchFactor);
+  Depth = (RangeBits + BitsPerLevel - 1) / BitsPerLevel;
+}
+
+double WorstCaseBounds::postMergeBound() const {
+  double D = Depth;
+  return D * D / Epsilon + BranchFactor * D / Epsilon;
+}
+
+double WorstCaseBounds::splitsBetween(uint64_t FromEvents,
+                                      uint64_t ToEvents) const {
+  assert(FromEvents > 0 && FromEvents <= ToEvents && "bad interval");
+  // integral over [From, To] of dm / (eps*m/D) = (D/eps) * ln(To/From).
+  double D = Depth;
+  return D / Epsilon *
+         std::log(static_cast<double>(ToEvents) /
+                  static_cast<double>(FromEvents));
+}
+
+double WorstCaseBounds::preMergeBound(double MergeRatio) const {
+  assert(MergeRatio >= 1.0 && "merge ratio must be >= 1");
+  double D = Depth;
+  double SplitsPerInterval = D / Epsilon * std::log(MergeRatio);
+  return postMergeBound() + BranchFactor * SplitsPerInterval;
+}
+
+double WorstCaseBounds::boundAt(uint64_t Events,
+                                uint64_t LastMergeEvents) const {
+  if (Events <= LastMergeEvents)
+    return postMergeBound();
+  return postMergeBound() +
+         BranchFactor * splitsBetween(LastMergeEvents, Events);
+}
+
+double WorstCaseBounds::mergeWorkPerEvent(double MergeRatio,
+                                          uint64_t Events) const {
+  assert(MergeRatio > 1.0 && "amortization needs a growing interval");
+  (void)Events;
+  // One merge pass visits at most preMergeBound(q) nodes and is charged
+  // to the (q-1)*e events of the preceding interval; with the geometric
+  // schedule the per-event cost is independent of e.
+  return preMergeBound(MergeRatio) / (MergeRatio - 1.0) /
+         static_cast<double>(Events ? Events : 1);
+}

@@ -1,0 +1,82 @@
+//===- core/WorstCaseBounds.h - Analytic RAP memory bounds ----*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed-form worst-case bounds on RAP tree size, used to regenerate
+/// the paper's Fig 2 (node bound vs branching factor b and vs merge
+/// ratio q) and Fig 3 (node bound over time under continuous vs batched
+/// merging).
+///
+/// Derivation sketch (Sec 2.2, and Hershberger et al. [19]):
+///  - With SplitThreshold T(n) = eps*n/D (D = tree depth), a compacted
+///    (fully merged) tree keeps only nodes whose subtree weight is at
+///    least T(n). At most n/T(n) = D/eps such nodes exist per level,
+///    giving the post-merge bound  D^2/eps  nodes, plus up to b
+///    retained-but-cold children per kept node from the most recent
+///    splits: postMergeBound = D^2/eps + b*D/eps.
+///  - Between merges the tree only grows by splitting. A split at
+///    stream position m needs a single counter to exceed T(m), and
+///    counters partition the stream, so the number of splits possible
+///    while the stream grows from e to n is at most
+///    integral_e^n dm / T(m) = (D/eps) * ln(n/e): the tree grows
+///    logarithmically between merges, which is why exponentially
+///    batched merges (ratio q) preserve a bounded worst case
+///    (Sec 3.1, Fig 3). Each split adds at most b nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CORE_WORSTCASEBOUNDS_H
+#define RAP_CORE_WORSTCASEBOUNDS_H
+
+#include <cstdint>
+
+namespace rap {
+
+/// Analytic worst-case bounds for a RAP tree over a universe of
+/// 2^RangeBits values with branching factor b and error bound eps.
+class WorstCaseBounds {
+public:
+  WorstCaseBounds(unsigned RangeBits, unsigned BranchFactor, double Epsilon);
+
+  /// Tree depth D = ceil(RangeBits / log2(b)). Smaller b means a
+  /// deeper tree: a single 100%-hot value takes D splits to isolate
+  /// (Sec 3.1), so D is also the convergence cost.
+  unsigned depth() const { return Depth; }
+
+  /// Nodes surviving a full merge: D^2/eps heavy nodes plus up to b
+  /// cold children per retained split parent.
+  double postMergeBound() const;
+
+  /// Worst-case number of additional splits while the stream grows
+  /// from \p FromEvents to \p ToEvents with no merge in between.
+  double splitsBetween(uint64_t FromEvents, uint64_t ToEvents) const;
+
+  /// Worst-case node count just before the next merge when merges are
+  /// batched with interval ratio \p MergeRatio q: the post-merge bound
+  /// plus b nodes per split over one interval, b*(D/eps)*ln(q).
+  double preMergeBound(double MergeRatio) const;
+
+  /// Worst-case node count at stream position \p Events given the last
+  /// merge ran at \p LastMergeEvents (Fig 3's sawtooth).
+  double boundAt(uint64_t Events, uint64_t LastMergeEvents) const;
+
+  /// Amortized merge work per event for interval ratio q: one merge
+  /// pass touches every node (<= preMergeBound(q)) and the interval
+  /// [e, q*e] contains (q-1)*e events, so the per-event cost falls as
+  /// q grows. Evaluated at stream position \p Events.
+  double mergeWorkPerEvent(double MergeRatio, uint64_t Events) const;
+
+private:
+  unsigned RangeBits;
+  unsigned BranchFactor;
+  double Epsilon;
+  unsigned Depth;
+};
+
+} // namespace rap
+
+#endif // RAP_CORE_WORSTCASEBOUNDS_H

@@ -1,0 +1,28 @@
+//===- hw/EventBuffer.cpp - Stage-0 combining event buffer ----------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/EventBuffer.h"
+
+#include <algorithm>
+
+using namespace rap;
+
+std::vector<std::pair<uint64_t, uint64_t>> EventBuffer::drain() {
+  std::vector<std::pair<uint64_t, uint64_t>> Result;
+  if (Capacity == 0) {
+    Result.swap(Immediate);
+  } else {
+    Result.reserve(Combined.size());
+    for (const auto &[Event, Count] : Combined)
+      Result.emplace_back(Event, Count);
+    Combined.clear();
+    // Deterministic drain order regardless of hash iteration order.
+    std::sort(Result.begin(), Result.end());
+  }
+  DrainedPairs += Result.size();
+  return Result;
+}

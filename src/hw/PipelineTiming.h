@@ -1,0 +1,85 @@
+//===- hw/PipelineTiming.h - Engine timing and power analysis -*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Joins the functional engine's activity counts with the circuit cost
+/// model into the Section 3.4 performance/power/area summary:
+///
+///   "The clock frequency is determined by the maximum delay in any
+///   pipeline stage ... governed by the TCAM look up stage [7 ns]. We
+///   can aggressively pipeline the TCAM stage by doing byte/nibble
+///   comparison at each pipeline stage [27] and effectively we can
+///   shift the critical path to the SRAM stage, which takes 1.26 ns."
+///
+/// PipelineTiming computes the cycle time for a given TCAM
+/// sub-pipelining depth, and converts a PipelinedRapEngine run into
+/// wall-clock time, sustained event rate, energy and average power.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_HW_PIPELINETIMING_H
+#define RAP_HW_PIPELINETIMING_H
+
+#include "hw/HwCostModel.h"
+#include "hw/PipelinedEngine.h"
+
+#include <cstdint>
+
+namespace rap {
+
+/// Timing of one engine configuration.
+class PipelineTiming {
+public:
+  /// \p TcamSubStages = 1 models the unpipelined TCAM (7 ns cycle at
+  /// the paper config); higher values split the comparison per
+  /// byte/nibble as in [27], down to the SRAM-limited 1.26 ns.
+  PipelineTiming(const HwCostModel &Cost, unsigned TcamSubStages = 1);
+
+  /// Cycle time: the slowest pipeline stage.
+  double cycleTimeNs() const;
+
+  /// Clock frequency in MHz.
+  double clockMhz() const { return 1000.0 / cycleTimeNs(); }
+
+  /// Total pipeline stages: buffer, TCAM sub-stages, arbiter, SRAM,
+  /// comparator (Fig 4 with the TCAM possibly split).
+  unsigned numStages() const { return 4 + TcamSubStages; }
+
+  /// Latency for one event to traverse the empty pipeline.
+  double fillLatencyNs() const { return cycleTimeNs() * numStages(); }
+
+  /// Peak throughput in events/second (one buffered event per cycle at
+  /// full pipelining; CyclesPerUpdate otherwise).
+  double peakEventsPerSecond(unsigned CyclesPerUpdate) const {
+    return clockMhz() * 1e6 / CyclesPerUpdate;
+  }
+
+  /// Wall-clock summary of one engine run.
+  struct RunReport {
+    double RuntimeSeconds = 0.0;     ///< totalCycles * cycleTime
+    double RawEventsPerSecond = 0.0; ///< sustained input rate
+    double EnergyJoules = 0.0;       ///< searches + SRAM ops + logic
+    double AveragePowerWatts = 0.0;  ///< energy / runtime
+  };
+
+  /// Converts \p Engine's activity statistics into time and energy
+  /// using the cost model's per-operation constants. Every TCAM search
+  /// pays the full parallel-search energy; SRAM and logic energy are
+  /// charged per processed cycle.
+  RunReport analyze(const PipelinedRapEngine &Engine) const;
+
+  unsigned tcamSubStages() const { return TcamSubStages; }
+  const HwCostModel &cost() const { return Cost; }
+
+private:
+  HwCostModel Cost;
+  unsigned TcamSubStages;
+};
+
+} // namespace rap
+
+#endif // RAP_HW_PIPELINETIMING_H

@@ -1,0 +1,180 @@
+//===- hw/PipelinedEngine.cpp - The 5-stage RAP engine of Fig 4 ----------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/PipelinedEngine.h"
+
+#include "support/BitUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+using namespace rap;
+
+PipelinedRapEngine::PipelinedRapEngine(const EngineConfig &Config)
+    : Config(Config), Array(Config.TcamCapacity),
+      Buffer(Config.BufferCapacity) {
+  [[maybe_unused]] std::string Error;
+  assert(Config.Profile.validate(&Error) && "invalid profile config");
+  // The root pattern covers the whole universe.
+  [[maybe_unused]] int64_t RootSlot =
+      Array.insert(0, Config.Profile.RangeBits);
+  assert(RootSlot >= 0 && "TCAM too small for the root entry");
+  NextMergeAt = Config.Profile.InitialMergeInterval;
+}
+
+void PipelinedRapEngine::pushEvent(uint64_t X) {
+  if (Buffer.push(X))
+    flush();
+}
+
+void PipelinedRapEngine::flush() {
+  for (const auto &[Event, Count] : Buffer.drain())
+    processPair(Event, Count);
+}
+
+void PipelinedRapEngine::processPair(uint64_t X, uint64_t Weight) {
+  assert((Config.Profile.RangeBits == 64 ||
+          X < (uint64_t(1) << Config.Profile.RangeBits)) &&
+         "event outside the configured universe");
+  NumEvents += Weight;
+  UpdateCycles += Config.CyclesPerUpdate;
+
+  // Stages 1-3: match, arbitrate, update the counter.
+  int64_t Slot = Array.searchSmallestCover(X);
+  assert(Slot >= 0 && "the root pattern always matches");
+  TcamEntry &E = Array.entry(static_cast<uint64_t>(Slot));
+  E.Count += Weight;
+
+  // Stage 4: split-threshold comparison.
+  if (E.WidthBits > 0 && static_cast<double>(E.Count) >
+                             Config.Profile.splitThreshold(NumEvents))
+    splitEntry(static_cast<uint64_t>(Slot));
+
+  // Batched merges, exponentially spaced (Sec 3.1).
+  if (Config.Profile.EnableMerges && NumEvents >= NextMergeAt) {
+    mergePass();
+    scheduleAfterMerge();
+  }
+}
+
+void PipelinedRapEngine::splitEntry(uint64_t Slot) {
+  const TcamEntry E = Array.entry(Slot); // Copy: inserts may reallocate.
+  unsigned BitsPerLevel = Config.Profile.bitsPerLevel();
+  unsigned ChildBits =
+      E.WidthBits > BitsPerLevel ? E.WidthBits - BitsPerLevel : 0;
+  unsigned NumChildren = 1u << (E.WidthBits - ChildBits);
+
+  // A split flushes the pipeline and replays from the buffer (Sec 3.3
+  // stage 0); charge the flush once plus an insert per created child.
+  SplitStallCycles += Config.PipelineDepth;
+  for (unsigned I = 0; I != NumChildren; ++I) {
+    uint64_t ChildLo = E.Lo + (static_cast<uint64_t>(I) << ChildBits);
+    if (Array.find(ChildLo, ChildBits) >= 0)
+      continue; // Survivor of an earlier merge already covers this slot.
+    if (Array.insert(ChildLo, ChildBits) < 0) {
+      ++CapacityOverflows;
+      continue;
+    }
+    SplitStallCycles += Config.CyclesPerSplitChild;
+  }
+  ++NumSplits;
+}
+
+namespace {
+/// Scratch node used to rebuild the containment forest during a merge.
+struct ScanNode {
+  uint64_t Slot;
+  uint64_t Lo;
+  uint64_t Hi;
+  unsigned WidthBits;
+  int Parent = -1;
+  std::vector<int> Children;
+};
+} // namespace
+
+void PipelinedRapEngine::mergePass() {
+  double Threshold = Config.Profile.mergeThreshold(NumEvents);
+  std::vector<uint64_t> Slots = Array.liveSlots();
+  MergeStallCycles += Config.CyclesPerMergeScanEntry * Slots.size();
+
+  // Rebuild the containment forest: sort patterns in preorder (range
+  // start ascending, wider ranges first) and thread a parent stack.
+  std::vector<ScanNode> Nodes;
+  Nodes.reserve(Slots.size());
+  for (uint64_t Slot : Slots) {
+    const TcamEntry &E = Array.entry(Slot);
+    ScanNode N;
+    N.Slot = Slot;
+    N.Lo = E.Lo;
+    N.WidthBits = E.WidthBits;
+    N.Hi = E.WidthBits == 64 ? ~uint64_t(0)
+                             : E.Lo + ((uint64_t(1) << E.WidthBits) - 1);
+    Nodes.push_back(N);
+  }
+  std::sort(Nodes.begin(), Nodes.end(),
+            [](const ScanNode &A, const ScanNode &B) {
+              if (A.Lo != B.Lo)
+                return A.Lo < B.Lo;
+              return A.WidthBits > B.WidthBits;
+            });
+  std::vector<int> Stack;
+  for (int I = 0; I != static_cast<int>(Nodes.size()); ++I) {
+    while (!Stack.empty() &&
+           !(Nodes[Stack.back()].Lo <= Nodes[I].Lo &&
+             Nodes[I].Hi <= Nodes[Stack.back()].Hi))
+      Stack.pop_back();
+    if (!Stack.empty()) {
+      Nodes[I].Parent = Stack.back();
+      Nodes[Stack.back()].Children.push_back(I);
+    }
+    Stack.push_back(I);
+  }
+
+  // Post-order fold, identical in effect to RapTree::mergeWalk: a child
+  // whose subtree weight is below the threshold is folded into its
+  // parent and its TCAM entry freed.
+  std::function<uint64_t(int)> Fold = [&](int Index) -> uint64_t {
+    ScanNode &N = Nodes[Index];
+    uint64_t Total = Array.entry(N.Slot).Count;
+    for (int ChildIndex : N.Children) {
+      uint64_t ChildWeight = Fold(ChildIndex);
+      Total += ChildWeight;
+      if (static_cast<double>(ChildWeight) < Threshold) {
+        // By induction the child is already a leaf here.
+        Array.entry(N.Slot).Count += ChildWeight;
+        Array.remove(Nodes[ChildIndex].Slot);
+        MergeStallCycles += 1;
+      }
+    }
+    return Total;
+  };
+  for (int I = 0; I != static_cast<int>(Nodes.size()); ++I)
+    if (Nodes[I].Parent < 0)
+      Fold(I);
+
+  ++NumMergePasses;
+}
+
+void PipelinedRapEngine::scheduleAfterMerge() {
+  double Next =
+      static_cast<double>(NextMergeAt) * Config.Profile.MergeRatio;
+  uint64_t NextInt = static_cast<uint64_t>(std::llround(Next));
+  NextMergeAt = std::max<uint64_t>(NumEvents + 1, NextInt);
+}
+
+std::vector<std::tuple<uint64_t, unsigned, uint64_t>>
+PipelinedRapEngine::snapshot() const {
+  std::vector<std::tuple<uint64_t, unsigned, uint64_t>> Result;
+  for (uint64_t Slot : Array.liveSlots()) {
+    const TcamEntry &E = Array.entry(Slot);
+    Result.emplace_back(E.Lo, E.WidthBits, E.Count);
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}

@@ -1,0 +1,91 @@
+//===- hw/Tcam.cpp - Ternary CAM range-match model -------------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/Tcam.h"
+
+#include "support/BitUtils.h"
+
+#include <cassert>
+
+using namespace rap;
+
+Tcam::Tcam(uint64_t Capacity) {
+  assert(Capacity >= 1 && "TCAM needs at least one slot");
+  Entries.resize(Capacity);
+  FreeSlots.reserve(Capacity);
+  for (uint64_t Slot = Capacity; Slot != 0; --Slot)
+    FreeSlots.push_back(Slot - 1);
+}
+
+int64_t Tcam::insert(uint64_t Lo, unsigned WidthBits) {
+  assert(find(Lo, WidthBits) < 0 && "pattern already present");
+  if (FreeSlots.empty())
+    return -1;
+  uint64_t Slot = FreeSlots.back();
+  FreeSlots.pop_back();
+  TcamEntry &E = Entries[Slot];
+  E.Lo = Lo;
+  E.WidthBits = static_cast<uint8_t>(WidthBits);
+  E.Valid = true;
+  E.Count = 0;
+  if (WidthBits == 0)
+    UnitDirectory[Lo] = Slot;
+  else
+    Directory[prefixKey(Lo, WidthBits)] = Slot;
+  ++NumLive;
+  return static_cast<int64_t>(Slot);
+}
+
+void Tcam::remove(uint64_t Slot) {
+  TcamEntry &E = Entries[Slot];
+  assert(E.Valid && "removing an empty slot");
+  if (E.WidthBits == 0)
+    UnitDirectory.erase(E.Lo);
+  else
+    Directory.erase(prefixKey(E.Lo, E.WidthBits));
+  E.Valid = false;
+  E.Count = 0;
+  FreeSlots.push_back(Slot);
+  --NumLive;
+}
+
+int64_t Tcam::find(uint64_t Lo, unsigned WidthBits) const {
+  if (WidthBits == 0) {
+    auto It = UnitDirectory.find(Lo);
+    return It == UnitDirectory.end() ? -1 : static_cast<int64_t>(It->second);
+  }
+  auto It = Directory.find(prefixKey(Lo, WidthBits));
+  return It == Directory.end() ? -1 : static_cast<int64_t>(It->second);
+}
+
+int64_t Tcam::searchSmallestCover(uint64_t Key) {
+  ++NumSearches;
+  // Hardware raises one match line per covering prefix in parallel and
+  // the fixed-priority arbiter picks the longest; the model probes
+  // widths from the most specific upward and tallies every hit so the
+  // match-line statistics stay faithful.
+  int64_t Best = -1;
+  for (unsigned Width = 0; Width <= 64; ++Width) {
+    uint64_t Lo = Width == 64 ? 0 : alignDown(Key, uint64_t(1) << Width);
+    int64_t Slot = find(Lo, Width);
+    if (Slot < 0)
+      continue;
+    ++NumMatchLines;
+    if (Best < 0)
+      Best = Slot; // Longest prefix = first (smallest-width) hit.
+  }
+  return Best;
+}
+
+std::vector<uint64_t> Tcam::liveSlots() const {
+  std::vector<uint64_t> Result;
+  Result.reserve(NumLive);
+  for (uint64_t Slot = 0; Slot != Entries.size(); ++Slot)
+    if (Entries[Slot].Valid)
+      Result.push_back(Slot);
+  return Result;
+}

@@ -1,0 +1,105 @@
+//===- hw/Tcam.h - Ternary CAM range-match model ---------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional model of the stage-1/stage-2 TCAM of the pipelined RAP
+/// engine (Fig 4). Every RAP tree node is a prefix pattern
+/// (value bits above widthBits are exact, the rest are don't-care);
+/// a search raises a match line for every covering entry, and the
+/// fixed-priority arbiter picks the longest prefix, i.e. the smallest
+/// covering range. The model also counts searched entries so the
+/// engine can charge realistic cycle/energy costs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_HW_TCAM_H
+#define RAP_HW_TCAM_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace rap {
+
+/// One TCAM entry: the prefix pattern of a RAP node plus its SRAM data
+/// (counter). Index in the backing array is the entry's SRAM address.
+struct TcamEntry {
+  uint64_t Lo = 0;        ///< Range start (aligned to width).
+  uint8_t WidthBits = 0;  ///< Number of don't-care low bits.
+  bool Valid = false;
+  uint64_t Count = 0;     ///< The associated SRAM counter.
+};
+
+/// Flat TCAM + SRAM array storing a RAP tree without pointers.
+class Tcam {
+public:
+  /// Creates an array with \p Capacity entry slots (the paper's
+  /// configurations: 4096 aggressive, 400 modest).
+  explicit Tcam(uint64_t Capacity);
+
+  /// Inserts an entry; returns its slot index, or -1 if the array is
+  /// full. O(1); the (Lo, WidthBits) pair must not already be present.
+  int64_t insert(uint64_t Lo, unsigned WidthBits);
+
+  /// Removes the entry in \p Slot.
+  void remove(uint64_t Slot);
+
+  /// Longest-prefix (smallest-range) match for \p Key: the stage-1
+  /// search plus the stage-2 priority arbitration. Returns the slot
+  /// index, or -1 if nothing matches. Also tallies match-line
+  /// statistics.
+  int64_t searchSmallestCover(uint64_t Key);
+
+  /// Looks up the slot of an exact (Lo, WidthBits) pattern, or -1.
+  int64_t find(uint64_t Lo, unsigned WidthBits) const;
+
+  /// Entry accessors.
+  TcamEntry &entry(uint64_t Slot) { return Entries[Slot]; }
+  const TcamEntry &entry(uint64_t Slot) const { return Entries[Slot]; }
+
+  /// Number of live entries.
+  uint64_t size() const { return NumLive; }
+
+  /// Capacity in slots.
+  uint64_t capacity() const { return Entries.size(); }
+
+  /// All live slot indices, ascending (for scans).
+  std::vector<uint64_t> liveSlots() const;
+
+  /// Total searches issued.
+  uint64_t numSearches() const { return NumSearches; }
+
+  /// Total match lines raised across all searches (every covering
+  /// prefix raises one; the arbiter then picks the longest).
+  uint64_t numMatchLines() const { return NumMatchLines; }
+
+private:
+  /// Bijective 64-bit encoding of a prefix pattern with WidthBits >= 1:
+  /// the prefix value with a marker bit above it. Prefixes of different
+  /// lengths land in disjoint key ranges, so the encoding is unique.
+  /// WidthBits == 0 (unit ranges) would need 65 bits and uses a
+  /// separate directory keyed by the value itself.
+  static uint64_t prefixKey(uint64_t Lo, unsigned WidthBits) {
+    if (WidthBits == 64)
+      return 0; // The all-don't-care pattern; no other key can be 0.
+    return (Lo >> WidthBits) | (uint64_t(1) << (64 - WidthBits));
+  }
+
+  std::vector<TcamEntry> Entries;
+  std::vector<uint64_t> FreeSlots;
+  /// Exact-pattern directories, standing in for the partial sort by
+  /// prefix length that hardware maintains.
+  std::unordered_map<uint64_t, uint64_t> Directory;     ///< WidthBits >= 1
+  std::unordered_map<uint64_t, uint64_t> UnitDirectory; ///< WidthBits == 0
+  uint64_t NumLive = 0;
+  uint64_t NumSearches = 0;
+  uint64_t NumMatchLines = 0;
+};
+
+} // namespace rap
+
+#endif // RAP_HW_TCAM_H

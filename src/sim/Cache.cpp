@@ -1,0 +1,96 @@
+//===- sim/Cache.cpp - Set-associative LRU cache model --------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+#include "support/BitUtils.h"
+
+#include <cassert>
+
+using namespace rap;
+
+bool CacheConfig::validate(std::string *Error) const {
+  auto Fail = [Error](const char *Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  if (LineBytes == 0 || !isPowerOfTwo(LineBytes))
+    return Fail("LineBytes must be a power of two");
+  if (Associativity == 0)
+    return Fail("Associativity must be positive");
+  if (SizeBytes % (static_cast<uint64_t>(Associativity) * LineBytes) != 0)
+    return Fail("SizeBytes must be a multiple of Associativity * LineBytes");
+  if (!isPowerOfTwo(numSets()))
+    return Fail("the number of sets must be a power of two");
+  return true;
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig &Config) : Config(Config) {
+  [[maybe_unused]] std::string Error;
+  assert(Config.validate(&Error) && "invalid cache geometry");
+  LineShift = log2Exact(Config.LineBytes);
+  SetMask = Config.numSets() - 1;
+  Sets.assign(Config.numSets(), {});
+  for (auto &Set : Sets)
+    Set.resize(Config.Associativity);
+}
+
+bool SetAssocCache::access(uint64_t Address) {
+  ++NumAccesses;
+  uint64_t Block = Address >> LineShift;
+  uint64_t SetIndex = Block & SetMask;
+  uint64_t Tag = Block >> log2Exact(SetMask + 1);
+  std::vector<Line> &Set = Sets[SetIndex];
+
+  // MRU-first search; on hit rotate the line to the front.
+  for (unsigned Way = 0; Way != Set.size(); ++Way) {
+    if (!Set[Way].Valid || Set[Way].Tag != Tag)
+      continue;
+    Line Hit = Set[Way];
+    Set.erase(Set.begin() + Way);
+    Set.insert(Set.begin(), Hit);
+    ++NumHits;
+    return true;
+  }
+
+  // Miss: fill at MRU, evicting the LRU way.
+  Line Fill;
+  Fill.Tag = Tag;
+  Fill.Valid = true;
+  Set.pop_back();
+  Set.insert(Set.begin(), Fill);
+  return false;
+}
+
+void SetAssocCache::reset() {
+  for (auto &Set : Sets)
+    for (Line &L : Set)
+      L.Valid = false;
+  NumAccesses = 0;
+  NumHits = 0;
+}
+
+CacheHierarchy::Result CacheHierarchy::access(uint64_t Address) {
+  Result R;
+  R.L1Hit = L1.access(Address);
+  if (!R.L1Hit)
+    R.L2Hit = L2.access(Address);
+  return R;
+}
+
+CacheHierarchy CacheHierarchy::makeDefault() {
+  CacheConfig L1Config;
+  L1Config.SizeBytes = 32 * 1024;
+  L1Config.Associativity = 4;
+  L1Config.LineBytes = 64;
+  CacheConfig L2Config;
+  L2Config.SizeBytes = 512 * 1024;
+  L2Config.Associativity = 8;
+  L2Config.LineBytes = 64;
+  return CacheHierarchy(L1Config, L2Config);
+}

@@ -1,0 +1,184 @@
+//===- support/ArgParse.cpp - Tiny command line parsing ------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rap;
+
+ArgParse::ArgParse(std::string ProgramName, std::string Description)
+    : ProgramName(std::move(ProgramName)),
+      Description(std::move(Description)) {}
+
+void ArgParse::addString(const std::string &Name, const std::string &Default,
+                         const std::string &Help) {
+  Flag F;
+  F.Kind = FlagKind::String;
+  F.Help = Help;
+  F.StringValue = Default;
+  Flags[Name] = std::move(F);
+  Order.push_back(Name);
+}
+
+void ArgParse::addUint(const std::string &Name, uint64_t Default,
+                       const std::string &Help) {
+  Flag F;
+  F.Kind = FlagKind::Uint;
+  F.Help = Help;
+  F.UintValue = Default;
+  Flags[Name] = std::move(F);
+  Order.push_back(Name);
+}
+
+void ArgParse::addDouble(const std::string &Name, double Default,
+                         const std::string &Help) {
+  Flag F;
+  F.Kind = FlagKind::Double;
+  F.Help = Help;
+  F.DoubleValue = Default;
+  Flags[Name] = std::move(F);
+  Order.push_back(Name);
+}
+
+void ArgParse::addBool(const std::string &Name, const std::string &Help) {
+  Flag F;
+  F.Kind = FlagKind::Bool;
+  F.Help = Help;
+  F.BoolValue = false;
+  Flags[Name] = std::move(F);
+  Order.push_back(Name);
+}
+
+bool ArgParse::parse(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return false;
+    }
+    if (Arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected positional argument '%s'\n",
+                   Arg.c_str());
+      printUsage();
+      return false;
+    }
+    std::string Name = Arg.substr(2);
+    std::string Value;
+    bool HasValue = false;
+    size_t Eq = Name.find('=');
+    if (Eq != std::string::npos) {
+      Value = Name.substr(Eq + 1);
+      Name = Name.substr(0, Eq);
+      HasValue = true;
+    }
+    auto It = Flags.find(Name);
+    if (It == Flags.end()) {
+      std::fprintf(stderr, "error: unknown flag '--%s'\n", Name.c_str());
+      printUsage();
+      return false;
+    }
+    Flag &F = It->second;
+    if (F.Kind == FlagKind::Bool) {
+      F.BoolValue = !HasValue || Value == "true" || Value == "1";
+      continue;
+    }
+    if (!HasValue) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: flag '--%s' expects a value\n",
+                     Name.c_str());
+        printUsage();
+        return false;
+      }
+      Value = Argv[++I];
+    }
+    char *End = nullptr;
+    switch (F.Kind) {
+    case FlagKind::String:
+      F.StringValue = Value;
+      break;
+    case FlagKind::Uint:
+      F.UintValue = std::strtoull(Value.c_str(), &End, 0);
+      if (End == Value.c_str() || *End != '\0') {
+        std::fprintf(stderr, "error: flag '--%s' expects an integer, got '%s'\n",
+                     Name.c_str(), Value.c_str());
+        return false;
+      }
+      break;
+    case FlagKind::Double:
+      F.DoubleValue = std::strtod(Value.c_str(), &End);
+      if (End == Value.c_str() || *End != '\0') {
+        std::fprintf(stderr, "error: flag '--%s' expects a number, got '%s'\n",
+                     Name.c_str(), Value.c_str());
+        return false;
+      }
+      break;
+    case FlagKind::Bool:
+      break; // handled above
+    }
+  }
+  return true;
+}
+
+void ArgParse::printUsage() const {
+  std::fprintf(stderr, "%s: %s\n\nflags:\n", ProgramName.c_str(),
+               Description.c_str());
+  for (const std::string &Name : Order) {
+    const Flag &F = Flags.at(Name);
+    std::string Default;
+    switch (F.Kind) {
+    case FlagKind::String:
+      Default = "\"" + F.StringValue + "\"";
+      break;
+    case FlagKind::Uint: {
+      char Buffer[32];
+      std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                    static_cast<unsigned long long>(F.UintValue));
+      Default = Buffer;
+      break;
+    }
+    case FlagKind::Double: {
+      char Buffer[32];
+      std::snprintf(Buffer, sizeof(Buffer), "%g", F.DoubleValue);
+      Default = Buffer;
+      break;
+    }
+    case FlagKind::Bool:
+      Default = F.BoolValue ? "true" : "false";
+      break;
+    }
+    std::fprintf(stderr, "  --%-24s %s (default %s)\n", Name.c_str(),
+                 F.Help.c_str(), Default.c_str());
+  }
+}
+
+const ArgParse::Flag &ArgParse::getFlag(const std::string &Name,
+                                        FlagKind Kind) const {
+  auto It = Flags.find(Name);
+  assert(It != Flags.end() && "flag was never registered");
+  assert(It->second.Kind == Kind && "flag accessed with wrong type");
+  (void)Kind;
+  return It->second;
+}
+
+const std::string &ArgParse::getString(const std::string &Name) const {
+  return getFlag(Name, FlagKind::String).StringValue;
+}
+
+uint64_t ArgParse::getUint(const std::string &Name) const {
+  return getFlag(Name, FlagKind::Uint).UintValue;
+}
+
+double ArgParse::getDouble(const std::string &Name) const {
+  return getFlag(Name, FlagKind::Double).DoubleValue;
+}
+
+bool ArgParse::getBool(const std::string &Name) const {
+  return getFlag(Name, FlagKind::Bool).BoolValue;
+}

@@ -1,0 +1,92 @@
+//===- support/Distributions.cpp - Samplers for workload models ---------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace rap;
+
+ZipfDistribution::ZipfDistribution(uint64_t NumItems, double Exponent) {
+  assert(NumItems >= 1 && "Zipf needs at least one item");
+  assert(Exponent > 0.0 && "Zipf exponent must be positive");
+  Cdf.resize(NumItems);
+  double Total = 0.0;
+  for (uint64_t K = 0; K != NumItems; ++K) {
+    Total += 1.0 / std::pow(static_cast<double>(K + 1), Exponent);
+    Cdf[K] = Total;
+  }
+  for (double &Value : Cdf)
+    Value /= Total;
+  Cdf.back() = 1.0; // Guard against accumulated rounding.
+}
+
+uint64_t ZipfDistribution::sample(Rng &R) const {
+  double U = R.nextDouble();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    return Cdf.size() - 1;
+  return static_cast<uint64_t>(It - Cdf.begin());
+}
+
+double ZipfDistribution::probabilityOf(uint64_t K) const {
+  assert(K < Cdf.size() && "rank out of range");
+  return K == 0 ? Cdf[0] : Cdf[K] - Cdf[K - 1];
+}
+
+DiscreteDistribution::DiscreteDistribution(
+    const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "discrete distribution needs outcomes");
+  Cdf.resize(Weights.size());
+  double Total = 0.0;
+  for (size_t K = 0; K != Weights.size(); ++K) {
+    assert(Weights[K] >= 0.0 && "negative weight");
+    Total += Weights[K];
+    Cdf[K] = Total;
+  }
+  assert(Total > 0.0 && "total weight must be positive");
+  for (double &Value : Cdf)
+    Value /= Total;
+  Cdf.back() = 1.0;
+}
+
+uint64_t DiscreteDistribution::sample(Rng &R) const {
+  double U = R.nextDouble();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    return Cdf.size() - 1;
+  return static_cast<uint64_t>(It - Cdf.begin());
+}
+
+double DiscreteDistribution::probabilityOf(uint64_t K) const {
+  assert(K < Cdf.size() && "outcome out of range");
+  return K == 0 ? Cdf[0] : Cdf[K] - Cdf[K - 1];
+}
+
+GeometricLength::GeometricLength(double MeanLength) : Mean(MeanLength) {
+  assert(MeanLength >= 1.0 && "mean run length must be >= 1");
+  // A run of mean M consists of 1 guaranteed step plus a geometric
+  // number of continuations with success probability p, mean p/(1-p);
+  // solve 1 + p/(1-p) = M.
+  ContinueProb = (Mean - 1.0) / Mean;
+}
+
+uint64_t GeometricLength::sample(Rng &R) const {
+  uint64_t Length = 1;
+  // Direct inversion: number of continuations = floor(ln U / ln p).
+  if (ContinueProb <= 0.0)
+    return Length;
+  double U = R.nextDouble();
+  if (U <= 0.0)
+    return Length;
+  double Extra = std::floor(std::log(U) / std::log(ContinueProb));
+  if (Extra > 0)
+    Length += static_cast<uint64_t>(Extra);
+  return Length;
+}

@@ -1,0 +1,93 @@
+//===- support/Distributions.h - Samplers for workload models -*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Samplers used by the synthetic program models in src/trace. The
+/// paper's evaluation hinges on two stream shapes: code profiles with
+/// strong locality (a few very hot regions) and value profiles with a
+/// heavy tail (Sec 4.1). ZipfDistribution provides the heavy tails;
+/// DiscreteDistribution provides explicit mixtures such as "value 0 is
+/// hot with probability 0.2".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_DISTRIBUTIONS_H
+#define RAP_SUPPORT_DISTRIBUTIONS_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rap {
+
+/// Zipf(N, s) sampler over ranks {0, ..., N-1}: rank k is drawn with
+/// probability proportional to 1 / (k+1)^s.
+///
+/// Sampling is by binary search over the precomputed CDF, which keeps
+/// draws exactly reproducible (no floating point rejection loops whose
+/// iteration counts could differ across platforms).
+class ZipfDistribution {
+public:
+  /// Builds a sampler over \p NumItems ranks with exponent \p Exponent.
+  /// \p NumItems must be at least 1; \p Exponent must be positive.
+  ZipfDistribution(uint64_t NumItems, double Exponent);
+
+  /// Draws a rank in [0, size()).
+  uint64_t sample(Rng &R) const;
+
+  /// Number of ranks.
+  uint64_t size() const { return Cdf.size(); }
+
+  /// Probability mass of rank \p K.
+  double probabilityOf(uint64_t K) const;
+
+private:
+  std::vector<double> Cdf; // Cdf[k] = P(rank <= k), Cdf.back() == 1.
+};
+
+/// Samples an index from an explicitly weighted set of outcomes.
+/// Used for mixture components ("20% hot value, 50% small ints, ...").
+class DiscreteDistribution {
+public:
+  /// Builds a sampler over \p Weights (must be nonempty; each weight
+  /// nonnegative; total positive). Weights are normalized internally.
+  explicit DiscreteDistribution(const std::vector<double> &Weights);
+
+  /// Draws an outcome index in [0, size()).
+  uint64_t sample(Rng &R) const;
+
+  /// Number of outcomes.
+  uint64_t size() const { return Cdf.size(); }
+
+  /// Normalized probability of outcome \p K.
+  double probabilityOf(uint64_t K) const;
+
+private:
+  std::vector<double> Cdf;
+};
+
+/// Samples geometrically distributed run lengths with mean
+/// approximately \p MeanLength (>= 1). Used for loop trip counts in the
+/// code models: a basic block executes in bursts, not i.i.d. draws.
+class GeometricLength {
+public:
+  explicit GeometricLength(double MeanLength);
+
+  /// Draws a length >= 1.
+  uint64_t sample(Rng &R) const;
+
+  double mean() const { return Mean; }
+
+private:
+  double Mean;
+  double ContinueProb; // probability the run continues after each step
+};
+
+} // namespace rap
+
+#endif // RAP_SUPPORT_DISTRIBUTIONS_H

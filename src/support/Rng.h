@@ -1,0 +1,120 @@
+//===- support/Rng.h - Deterministic pseudo random numbers ----*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generation. Every workload in
+/// this repository is generated from an explicit 64-bit seed so that an
+/// "offline perfect profiler" pass (the paper's ground truth) can replay
+/// exactly the stream the online RAP tree consumed. We deliberately do
+/// not use std::mt19937 because its streams differ across standard
+/// library implementations when combined with std distributions; all
+/// sampling here is implemented on top of raw 64-bit draws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_RNG_H
+#define RAP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rap {
+
+/// SplitMix64 generator. Used to expand a single user seed into the
+/// larger state of Xoshiro256StarStar, and as a cheap standalone
+/// generator for tests.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit draw.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256** generator (Blackman & Vigna). High quality, tiny state,
+/// identical output on every platform. This is the workhorse generator
+/// behind all synthetic program models.
+class Rng {
+public:
+  /// Seeds the four state words by expanding \p Seed with SplitMix64.
+  explicit Rng(uint64_t Seed) {
+    SplitMix64 Mixer(Seed);
+    for (uint64_t &Word : State)
+      Word = Mixer.next();
+  }
+
+  /// Returns the next raw 64-bit draw.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform draw in [0, Bound). \p Bound must be nonzero.
+  /// Uses Lemire's multiply-shift rejection method for unbiased results.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Multiply-high rejection sampling. For the bound sizes used in the
+    // workload models the rejection probability is negligible.
+    uint64_t X = next();
+    __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+    uint64_t Low = static_cast<uint64_t>(M);
+    if (Low < Bound) {
+      uint64_t Threshold = -Bound % Bound;
+      while (Low < Threshold) {
+        X = next();
+        M = static_cast<__uint128_t>(X) * Bound;
+        Low = static_cast<uint64_t>(M);
+      }
+    }
+    return static_cast<uint64_t>(M >> 64);
+  }
+
+  /// Returns a uniform draw in the closed interval [Lo, Hi].
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = Hi - Lo;
+    if (Span == ~uint64_t(0))
+      return next();
+    return Lo + nextBelow(Span + 1);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    // 53 top bits scaled into the unit interval.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBernoulli(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace rap
+
+#endif // RAP_SUPPORT_RNG_H

@@ -1,0 +1,11 @@
+//===- support/Statistics.cpp - Running statistics helpers --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+// RunningStat is header-only; this file anchors the translation unit so
+// the support library always has at least one object for this header's
+// future out-of-line additions.
+
+#include "support/Statistics.h"

@@ -1,0 +1,75 @@
+//===- support/Statistics.h - Running statistics helpers ------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming statistics used by the experiment harnesses: the paper
+/// reports maximum and average node counts over a run (Fig 7) and
+/// maximum/average percent errors over the set of hot ranges (Fig 8),
+/// so we need exact single-pass max/mean tracking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_STATISTICS_H
+#define RAP_SUPPORT_STATISTICS_H
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace rap {
+
+/// Tracks min/max/mean of a stream of doubles in one pass.
+class RunningStat {
+public:
+  /// Adds \p Value to the stream.
+  void add(double Value) {
+    ++Count;
+    Sum += Value;
+    if (Value < Minimum)
+      Minimum = Value;
+    if (Value > Maximum)
+      Maximum = Value;
+  }
+
+  /// Number of samples seen so far.
+  uint64_t count() const { return Count; }
+
+  /// Sum of all samples.
+  double sum() const { return Sum; }
+
+  /// Mean of the stream; zero if empty.
+  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+
+  /// Smallest sample; +inf if empty.
+  double min() const { return Minimum; }
+
+  /// Largest sample; -inf if empty.
+  double max() const { return Maximum; }
+
+  /// Returns true if no samples were added.
+  bool empty() const { return Count == 0; }
+
+private:
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Minimum = std::numeric_limits<double>::infinity();
+  double Maximum = -std::numeric_limits<double>::infinity();
+};
+
+/// Computes the percent error of an estimate against a nonzero actual
+/// value: |Estimate - Actual| / Actual * 100. This is the paper's
+/// "percent error" (Sec 4.3 footnote 3), as opposed to epsilon-error
+/// which is relative to the whole stream length.
+inline double percentError(double Estimate, double Actual) {
+  assert(Actual != 0.0 && "percent error undefined for zero actual");
+  double Diff = Estimate > Actual ? Estimate - Actual : Actual - Estimate;
+  return Diff / Actual * 100.0;
+}
+
+} // namespace rap
+
+#endif // RAP_SUPPORT_STATISTICS_H

@@ -1,0 +1,76 @@
+//===- support/TableWriter.cpp - ASCII table output ----------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace rap;
+
+void TableWriter::setHeader(std::vector<std::string> Names) {
+  Header = std::move(Names);
+}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TableWriter::fmt(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+std::string TableWriter::fmt(uint64_t Value) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                static_cast<unsigned long long>(Value));
+  return Buffer;
+}
+
+std::string TableWriter::hex(uint64_t Value) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%llx",
+                static_cast<unsigned long long>(Value));
+  return Buffer;
+}
+
+void TableWriter::print(std::ostream &OS) const {
+  // Compute per-column widths over the header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I != Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      if (I != 0)
+        OS << "  ";
+      OS << Cells[I];
+      if (I + 1 != Cells.size())
+        OS << std::string(Widths[I] - Cells[I].size(), ' ');
+    }
+    OS << '\n';
+  };
+
+  if (!Header.empty()) {
+    PrintRow(Header);
+    size_t Total = 0;
+    for (size_t I = 0; I != Widths.size(); ++I)
+      Total += Widths[I] + (I == 0 ? 0 : 2);
+    OS << std::string(Total, '-') << '\n';
+  }
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

@@ -1,0 +1,55 @@
+//===- support/TableWriter.h - ASCII table output --------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal aligned ASCII table writer. Every bench binary regenerates a
+/// paper table or figure as rows of text; this class keeps the output
+/// readable and diffable without pulling in a formatting library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_TABLEWRITER_H
+#define RAP_SUPPORT_TABLEWRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rap {
+
+/// Collects rows of cells and prints them with aligned columns.
+class TableWriter {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Names);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: formats a double with \p Precision decimals.
+  static std::string fmt(double Value, int Precision = 2);
+
+  /// Convenience: formats an unsigned integer.
+  static std::string fmt(uint64_t Value);
+
+  /// Convenience: formats a value as lowercase hex (no 0x prefix),
+  /// matching the paper's figures (e.g. "[0, 3ffffffffffffffe]").
+  static std::string hex(uint64_t Value);
+
+  /// Prints the table to \p OS with two-space column gaps and a rule
+  /// under the header.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace rap
+
+#endif // RAP_SUPPORT_TABLEWRITER_H

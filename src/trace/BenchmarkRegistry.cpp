@@ -1,0 +1,412 @@
+//===- trace/BenchmarkRegistry.cpp - The seven SPEC stand-ins -------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameter sets for the synthetic stand-ins of the SPEC benchmarks in
+/// the paper's evaluation. Each spec encodes the shape facts the paper
+/// states (see DESIGN.md "Substitutions"):
+///
+///  - gcc:    the most distinct basic blocks; seven distinct >10% code
+///            regions (Sec 4.1); zero loads concentrated in a few heap
+///            ranges, one with a ~38% zero chance (Fig 10); narrow
+///            operands concentrated in one file-sized region at ~38.7%
+///            of all narrow ops (Sec 4.4).
+///  - gzip:   load values in a nested small-integer hierarchy plus two
+///            pointer clusters near 0x120000000 (Fig 5).
+///  - mcf:    tiny hot loop nest, memory bound, heavy streaming.
+///  - parser: the largest number of distinct load values (Sec 4.2).
+///  - vortex: hottest single value is 0 (Sec 4.3's 20% error case).
+///  - vpr:    floating-point bit-pattern clusters.
+///  - bzip2:  byte-granularity data, values mostly in [0, 255].
+///
+//===----------------------------------------------------------------------===//
+
+#include "trace/BenchmarkSpec.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rap;
+
+using VK = ValueComponentSpec::Kind;
+using SK = MemorySegmentSpec::Kind;
+
+static ValueComponentSpec point(uint64_t Value, double W, double SW) {
+  ValueComponentSpec C;
+  C.ComponentKind = VK::Point;
+  C.Lo = C.Hi = Value;
+  C.Weight = W;
+  C.StreamingWeight = SW;
+  return C;
+}
+
+static ValueComponentSpec uniform(uint64_t Lo, uint64_t Hi, double W,
+                                  double SW) {
+  ValueComponentSpec C;
+  C.ComponentKind = VK::Uniform;
+  C.Lo = Lo;
+  C.Hi = Hi;
+  C.Weight = W;
+  C.StreamingWeight = SW;
+  return C;
+}
+
+static ValueComponentSpec zipf(uint64_t Lo, uint64_t Hi, uint64_t Distinct,
+                               double Exponent, double W, double SW) {
+  ValueComponentSpec C;
+  C.ComponentKind = VK::ZipfHashed;
+  C.Lo = Lo;
+  C.Hi = Hi;
+  C.NumDistinct = Distinct;
+  C.ZipfExponent = Exponent;
+  C.Weight = W;
+  C.StreamingWeight = SW;
+  return C;
+}
+
+static MemorySegmentSpec reuse(uint64_t Base, uint64_t Slots, double ZipfExp,
+                               double W, double SW, double ZeroProb = 0.0) {
+  MemorySegmentSpec S;
+  S.SegmentKind = SK::Reuse;
+  S.Base = Base;
+  S.NumSlots = Slots;
+  S.Size = Slots * 8;
+  S.ZipfExponent = ZipfExp;
+  S.Weight = W;
+  S.StreamingWeight = SW;
+  S.ZeroValueProb = ZeroProb;
+  return S;
+}
+
+static MemorySegmentSpec streaming(uint64_t Base, uint64_t Size, double W,
+                                   double SW, double ZeroProb = 0.0) {
+  MemorySegmentSpec S;
+  S.SegmentKind = SK::Streaming;
+  S.Base = Base;
+  S.Size = Size;
+  S.Weight = W;
+  S.StreamingWeight = SW;
+  S.ZeroValueProb = ZeroProb;
+  return S;
+}
+
+static CodeRegionSpec region(double SizeFraction, double Weight,
+                             double StreamingProb, double NarrowProb) {
+  CodeRegionSpec R;
+  R.SizeFraction = SizeFraction;
+  R.Weight = Weight;
+  R.StreamingLoadProb = StreamingProb;
+  R.NarrowOperandProb = NarrowProb;
+  return R;
+}
+
+/// Marks a value component or code region as starting at \p Phase.
+template <typename SpecType>
+static SpecType onset(SpecType Spec, unsigned Phase) {
+  Spec.OnsetPhase = Phase;
+  return Spec;
+}
+
+/// Common memory layout: a small stack and hot heap that stay DL1
+/// resident, a mid-size heap that misses DL1 but fits DL2 (diverse
+/// values), and a large scanned array that misses both levels and —
+/// like real streamed data — carries mostly zeros and small values.
+/// This is what gives cache misses *higher* value locality than the
+/// load stream at large (the paper's Fig 9 conclusion). All addresses
+/// stay below 2^44.
+static void addDefaultSegments(BenchmarkSpec &Spec) {
+  Spec.Segments.push_back(
+      reuse(/*Base=*/0x7ff00000000ULL, /*Slots=*/1024, 1.1, 0.40, 0.04));
+  Spec.Segments.push_back(
+      reuse(/*Base=*/0x120000000ULL, /*Slots=*/2048, 1.0, 0.30, 0.06));
+  Spec.Segments.push_back(
+      reuse(/*Base=*/0x140000000ULL, /*Slots=*/256 * 1024, 0.8, 0.10, 0.10));
+  Spec.Segments.push_back(streaming(/*Base=*/0x200000000ULL,
+                                    /*Size=*/48ULL << 20, 0.20, 0.80,
+                                    /*ZeroProb=*/0.30));
+}
+
+static BenchmarkSpec makeGcc() {
+  BenchmarkSpec Spec;
+  Spec.Name = "gcc";
+  Spec.Seed = 0x67636300; // "gcc"
+  Spec.NumBlocks = 45000;
+  Spec.NumPhases = 6;
+  Spec.PhaseLength = 400000;
+  Spec.PhaseModulation = 0.85;
+  Spec.MeanLoopIterations = 10.0;
+  Spec.LoadProb = 0.36;
+  Spec.BackgroundZipfExponent = 1.02;
+  // Seven >10% regions (Sec 4.1). Region 2 is the flow.c stand-in.
+  Spec.Regions.push_back(region(0.010, 0.13, 0.15, 0.11));
+  Spec.Regions.push_back(region(0.012, 0.12, 0.20, 0.11));
+  Spec.Regions.push_back(region(0.008, 0.12, 0.10, 0.50));
+  Spec.Regions.push_back(region(0.015, 0.11, 0.55, 0.11));
+  Spec.Regions.push_back(region(0.010, 0.11, 0.25, 0.11));
+  Spec.Regions.push_back(onset(region(0.006, 0.10, 0.15, 0.11), 2));
+  Spec.Regions.push_back(onset(region(0.009, 0.10, 0.35, 0.11), 3));
+  Spec.NarrowRegion = 2;
+
+  Spec.ValueComponents.push_back(point(0, 0.10, 0.30));
+  Spec.ValueComponents.push_back(uniform(0x1, 0xff, 0.12, 0.25));
+  Spec.ValueComponents.push_back(uniform(0x100, 0xffff, 0.10, 0.15));
+  Spec.ValueComponents.push_back(
+      uniform(0x11f000000ULL, 0x12fffffffULL, 0.12, 0.10));
+  Spec.ValueComponents.push_back(
+      zipf(0, (uint64_t(1) << 44) - 1, 400000, 0.85, 0.09, 0.10));
+  // A narrow value cluster that only appears in gcc's late passes and
+  // lives in otherwise untouched space: its whole RAP path must be
+  // split at large n, the deep-and-narrow error case of Sec 4.3.
+  Spec.ValueComponents.push_back(
+      onset(uniform(0x7f0000000000ULL, 0x7f0000ffffffULL, 0.42, 0.10), 3));
+  Spec.ValueComponents.push_back(
+      uniform(0, (uint64_t(1) << 62) - 1, 0.05, 0.02));
+
+  // Fig 10 zero-load geography: most zeros come from three heap
+  // ranges; loads from [11fd00000, 11ff7ffff] are ~38% zeros.
+  Spec.Segments.push_back(
+      reuse(0x7ff00000000ULL, 1024, 1.1, 0.29, 0.04));
+  Spec.Segments.push_back(reuse(0x120000000ULL, 2048, 1.0, 0.18, 0.06,
+                                /*ZeroProb=*/0.12));
+  Spec.Segments.push_back(reuse(0x11f000000ULL, /*Slots=*/0xD00000 / 8, 0.9,
+                                0.07, 0.10, /*ZeroProb=*/0.22));
+  Spec.Segments.push_back(reuse(0x11fd00000ULL, /*Slots=*/0x280000 / 8, 0.9,
+                                0.30, 0.38, /*ZeroProb=*/0.38));
+  Spec.Segments.push_back(reuse(0x11fec0000ULL, /*Slots=*/0x40000 / 8, 1.0,
+                                0.06, 0.08, /*ZeroProb=*/0.45));
+  Spec.Segments.push_back(streaming(0x200000000ULL, 48ULL << 20, 0.10, 0.36,
+                                    /*ZeroProb=*/0.10));
+  return Spec;
+}
+
+static BenchmarkSpec makeGzip() {
+  BenchmarkSpec Spec;
+  Spec.Name = "gzip";
+  Spec.Seed = 0x677a6970; // "gzip"
+  Spec.NumBlocks = 4000;
+  Spec.NumPhases = 3;
+  Spec.PhaseLength = 700000;
+  Spec.PhaseModulation = 0.75;
+  Spec.MeanLoopIterations = 24.0;
+  Spec.LoadProb = 0.33;
+  Spec.Regions.push_back(region(0.040, 0.32, 0.45, 0.20));
+  Spec.Regions.push_back(region(0.030, 0.22, 0.30, 0.10));
+  Spec.Regions.push_back(region(0.020, 0.16, 0.20, 0.06));
+
+  // The nested small-integer hierarchy plus pointer clusters of Fig 5.
+  Spec.ValueComponents.push_back(point(0, 0.03, 0.06));
+  Spec.ValueComponents.push_back(uniform(0x0, 0xe, 0.13, 0.35));
+  Spec.ValueComponents.push_back(uniform(0xf, 0xfe, 0.16, 0.28));
+  Spec.ValueComponents.push_back(uniform(0xff, 0x3ffe, 0.11, 0.08));
+  Spec.ValueComponents.push_back(uniform(0x3fff, 0x3fffe, 0.21, 0.07));
+  Spec.ValueComponents.push_back(
+      uniform(0x11ffffffdULL, 0x12000fffbULL, 0.10, 0.05));
+  Spec.ValueComponents.push_back(
+      uniform(0x12000fffcULL, 0x12001fffaULL, 0.12, 0.05));
+  Spec.ValueComponents.push_back(
+      zipf(0, (uint64_t(1) << 62) - 2, 100000, 0.9, 0.13, 0.05));
+  Spec.ValueComponents.push_back(uniform(0, ~uint64_t(0) >> 1, 0.01, 0.00));
+
+  // Like the default layout but with a mild zero override on the
+  // streamed array: gzip's window data is bytes, not zero-filled
+  // structs, so Fig 5's nested small-integer ranges dominate.
+  Spec.Segments.push_back(reuse(0x7ff00000000ULL, 1024, 1.1, 0.40, 0.04));
+  Spec.Segments.push_back(reuse(0x120000000ULL, 2048, 1.0, 0.30, 0.06));
+  Spec.Segments.push_back(
+      reuse(0x140000000ULL, 256 * 1024, 0.8, 0.10, 0.10));
+  Spec.Segments.push_back(streaming(0x200000000ULL, 48ULL << 20, 0.20, 0.80,
+                                    /*ZeroProb=*/0.08));
+  return Spec;
+}
+
+static BenchmarkSpec makeMcf() {
+  BenchmarkSpec Spec;
+  Spec.Name = "mcf";
+  Spec.Seed = 0x6d6366; // "mcf"
+  Spec.NumBlocks = 1200;
+  Spec.NumPhases = 2;
+  Spec.PhaseLength = 900000;
+  Spec.PhaseModulation = 0.60;
+  Spec.MeanLoopIterations = 12.0;
+  Spec.LoadProb = 0.55; // memory bound
+  Spec.Regions.push_back(region(0.080, 0.48, 0.75, 0.08));
+  Spec.Regions.push_back(region(0.050, 0.28, 0.60, 0.05));
+
+  Spec.ValueComponents.push_back(onset(point(0, 0.14, 0.35), 1));
+  Spec.ValueComponents.push_back(uniform(0x1, 0xffff, 0.20, 0.25));
+  Spec.ValueComponents.push_back(
+      uniform(0x120000000ULL, 0x123ffffffULL, 0.40, 0.25));
+  Spec.ValueComponents.push_back(
+      zipf(0, (uint64_t(1) << 40) - 1, 60000, 1.0, 0.18, 0.15));
+  Spec.ValueComponents.push_back(
+      uniform(0, (uint64_t(1) << 62) - 1, 0.10, 0.05));
+
+  // mcf's network simplex chases pointers across a huge arena.
+  Spec.Segments.push_back(reuse(0x7ff00000000ULL, 4096, 1.1, 0.20, 0.03));
+  Spec.Segments.push_back(
+      reuse(0x120000000ULL, 2 * 1024 * 1024, 0.55, 0.45, 0.37));
+  Spec.Segments.push_back(
+      streaming(0x200000000ULL, 96ULL << 20, 0.35, 0.60, /*ZeroProb=*/0.20));
+  return Spec;
+}
+
+static BenchmarkSpec makeParser() {
+  BenchmarkSpec Spec;
+  Spec.Name = "parser";
+  Spec.Seed = 0x706172; // "par"
+  Spec.NumBlocks = 16000;
+  Spec.NumPhases = 5;
+  Spec.PhaseLength = 450000;
+  Spec.PhaseModulation = 0.90;
+  Spec.MeanLoopIterations = 8.0;
+  Spec.LoadProb = 0.40;
+  Spec.Regions.push_back(region(0.010, 0.14, 0.20, 0.10));
+  Spec.Regions.push_back(region(0.012, 0.12, 0.25, 0.08));
+  Spec.Regions.push_back(region(0.010, 0.11, 0.15, 0.06));
+  Spec.Regions.push_back(region(0.008, 0.10, 0.30, 0.05));
+  Spec.Regions.push_back(region(0.010, 0.09, 0.20, 0.05));
+
+  // The widest value universe of the suite (Sec 4.2: parser needs the
+  // most value-profile nodes): a weakly skewed tail over ~1.2M
+  // distinct values.
+  Spec.ValueComponents.push_back(point(0, 0.08, 0.25));
+  Spec.ValueComponents.push_back(uniform(0x1, 0xffff, 0.15, 0.20));
+  Spec.ValueComponents.push_back(
+      onset(uniform(0x110000000ULL, 0x11fffffffULL, 0.16, 0.10), 1));
+  Spec.ValueComponents.push_back(
+      zipf(0, (uint64_t(1) << 52) - 1, 1500000, 0.62, 0.51, 0.40));
+  Spec.ValueComponents.push_back(
+      uniform(0, (uint64_t(1) << 62) - 1, 0.10, 0.05));
+
+  addDefaultSegments(Spec);
+  return Spec;
+}
+
+static BenchmarkSpec makeVortex() {
+  BenchmarkSpec Spec;
+  Spec.Name = "vortex";
+  Spec.Seed = 0x766f7274; // "vort"
+  Spec.NumBlocks = 24000;
+  Spec.NumPhases = 4;
+  Spec.PhaseLength = 500000;
+  Spec.PhaseModulation = 0.80;
+  Spec.MeanLoopIterations = 6.0;
+  Spec.LoadProb = 0.38;
+  Spec.Regions.push_back(region(0.012, 0.16, 0.20, 0.10));
+  Spec.Regions.push_back(region(0.010, 0.14, 0.15, 0.08));
+  Spec.Regions.push_back(region(0.008, 0.12, 0.25, 0.06));
+  Spec.Regions.push_back(region(0.012, 0.11, 0.20, 0.06));
+  Spec.Regions.push_back(region(0.008, 0.10, 0.30, 0.05));
+
+  // Hottest value is 0, and it only becomes hot once the database
+  // lookup phase starts mid-run — that late onset makes RAP drill the
+  // path to [0, 0] when thresholds are already large, reproducing the
+  // ~20% max error case of Sec 4.3.
+  Spec.ValueComponents.push_back(onset(point(0, 0.42, 0.75), 2));
+  Spec.ValueComponents.push_back(uniform(0x1, 0xffff, 0.18, 0.15));
+  Spec.ValueComponents.push_back(
+      uniform(0x130000000ULL, 0x133ffffffULL, 0.15, 0.08));
+  Spec.ValueComponents.push_back(
+      zipf(0, (uint64_t(1) << 40) - 1, 30000, 1.3, 0.35, 0.25));
+  Spec.ValueComponents.push_back(
+      uniform(0, (uint64_t(1) << 62) - 1, 0.10, 0.07));
+
+  // Custom segments: no segment-forced zeros, so value 0 is genuinely
+  // absent until the mixture's onset phase — the precondition for the
+  // paper's 20% error anecdote (a late hot value pays one threshold of
+  // parked counts per level of its freshly split path).
+  Spec.Segments.push_back(reuse(0x7ff00000000ULL, 1024, 1.1, 0.40, 0.04));
+  Spec.Segments.push_back(reuse(0x120000000ULL, 2048, 1.0, 0.30, 0.06));
+  Spec.Segments.push_back(
+      reuse(0x140000000ULL, 256 * 1024, 0.8, 0.10, 0.10));
+  Spec.Segments.push_back(
+      streaming(0x200000000ULL, 48ULL << 20, 0.20, 0.80));
+  return Spec;
+}
+
+static BenchmarkSpec makeVpr() {
+  BenchmarkSpec Spec;
+  Spec.Name = "vpr";
+  Spec.Seed = 0x767072; // "vpr"
+  Spec.NumBlocks = 7000;
+  Spec.NumPhases = 4;
+  Spec.PhaseLength = 550000;
+  Spec.PhaseModulation = 0.80;
+  Spec.MeanLoopIterations = 16.0;
+  Spec.LoadProb = 0.34;
+  Spec.Regions.push_back(region(0.030, 0.35, 0.25, 0.12));
+  Spec.Regions.push_back(region(0.025, 0.25, 0.20, 0.08));
+  Spec.Regions.push_back(region(0.015, 0.12, 0.35, 0.06));
+
+  // Placement/routing works on doubles: bit patterns cluster around
+  // the IEEE-754 exponents for [0.5, 1) and [2, 4), with the mantissa
+  // high bits dominating (coarse-grained cost values).
+  Spec.ValueComponents.push_back(point(0, 0.10, 0.30));
+  Spec.ValueComponents.push_back(
+      uniform(0x3fe0000000000000ULL, 0x3fe00fffffffffffULL, 0.27, 0.15));
+  Spec.ValueComponents.push_back(
+      onset(uniform(0x4000000000000000ULL, 0x4000ffffffffffffULL, 0.31, 0.15),
+            2));
+  Spec.ValueComponents.push_back(uniform(0x1, 0xffff, 0.20, 0.25));
+  Spec.ValueComponents.push_back(
+      zipf(0, (uint64_t(1) << 62) - 1, 150000, 0.9, 0.12, 0.15));
+
+  addDefaultSegments(Spec);
+  return Spec;
+}
+
+static BenchmarkSpec makeBzip2() {
+  BenchmarkSpec Spec;
+  Spec.Name = "bzip2";
+  Spec.Seed = 0x627a6970; // "bzip"
+  Spec.NumBlocks = 2600;
+  Spec.NumPhases = 3;
+  Spec.PhaseLength = 650000;
+  Spec.PhaseModulation = 0.70;
+  Spec.MeanLoopIterations = 32.0;
+  Spec.LoadProb = 0.37;
+  Spec.Regions.push_back(region(0.060, 0.45, 0.40, 0.30));
+  Spec.Regions.push_back(region(0.040, 0.30, 0.30, 0.15));
+
+  // Byte-oriented compressor: values are overwhelmingly small.
+  Spec.ValueComponents.push_back(point(0, 0.10, 0.25));
+  Spec.ValueComponents.push_back(uniform(0x1, 0xff, 0.45, 0.40));
+  Spec.ValueComponents.push_back(onset(uniform(0x100, 0xffff, 0.20, 0.15), 1));
+  Spec.ValueComponents.push_back(
+      zipf(0, (uint64_t(1) << 32) - 1, 80000, 1.0, 0.20, 0.15));
+  Spec.ValueComponents.push_back(
+      uniform(0, (uint64_t(1) << 62) - 1, 0.05, 0.05));
+
+  addDefaultSegments(Spec);
+  return Spec;
+}
+
+const std::vector<std::string> &rap::benchmarkNames() {
+  static const std::vector<std::string> Names = {
+      "gcc", "gzip", "mcf", "parser", "vortex", "vpr", "bzip2"};
+  return Names;
+}
+
+BenchmarkSpec rap::getBenchmarkSpec(const std::string &Name) {
+  if (Name == "gcc")
+    return makeGcc();
+  if (Name == "gzip")
+    return makeGzip();
+  if (Name == "mcf")
+    return makeMcf();
+  if (Name == "parser")
+    return makeParser();
+  if (Name == "vortex")
+    return makeVortex();
+  if (Name == "vpr")
+    return makeVpr();
+  if (Name == "bzip2")
+    return makeBzip2();
+  std::fprintf(stderr, "error: unknown benchmark '%s'\n", Name.c_str());
+  std::abort();
+}

@@ -1,0 +1,151 @@
+//===- trace/BenchmarkSpec.h - Synthetic benchmark parameters --*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameter sets describing the synthetic stand-ins for the SPEC
+/// benchmarks of the paper's evaluation (gcc, gzip, mcf, parser,
+/// vortex, vpr, bzip2). Each spec fixes the *shape* facts the paper
+/// states about a benchmark: how many distinct basic blocks it has,
+/// how many >10% hot code regions, how its load values are distributed
+/// (hot value 0, small-integer hierarchy, pointer clusters, tail
+/// width), and where its zero-loads live in memory. See DESIGN.md for
+/// the substitution argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_TRACE_BENCHMARKSPEC_H
+#define RAP_TRACE_BENCHMARKSPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rap {
+
+/// A contiguous group of basic blocks with a hotness weight.
+struct CodeRegionSpec {
+  /// Fraction of all blocks belonging to this region.
+  double SizeFraction = 0.0;
+  /// Fraction of dynamic block executions drawn from this region.
+  double Weight = 0.0;
+  /// Probability that a load issued from this region is a streaming
+  /// (low temporal locality) access.
+  double StreamingLoadProb = 0.1;
+  /// Probability that a block in this region has a narrow operand.
+  double NarrowOperandProb = 0.05;
+  /// First phase in which this region executes at all (0 = from the
+  /// start). Late-onset regions model code like gcc's backend passes:
+  /// they force RAP to split deep paths late in the run, which is the
+  /// paper's main source of hot-range percent error (Sec 4.3).
+  unsigned OnsetPhase = 0;
+};
+
+/// One component of a load-value mixture.
+struct ValueComponentSpec {
+  enum class Kind {
+    Point,      ///< A single hot value (Lo).
+    Uniform,    ///< Uniform over [Lo, Hi].
+    ZipfHashed, ///< Zipf over NumDistinct hashed values in [Lo, Hi].
+  };
+  Kind ComponentKind = Kind::Uniform;
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  /// Weight for loads from normal (non-streaming) accesses.
+  double Weight = 0.0;
+  /// Weight for loads from streaming accesses. Streaming data (large
+  /// scanned arrays) tends to carry zeros/small values, which is what
+  /// makes cache-miss value locality exceed all-load locality (Fig 9).
+  double StreamingWeight = 0.0;
+  /// For ZipfHashed: number of distinct values and skew.
+  uint64_t NumDistinct = 1;
+  double ZipfExponent = 1.0;
+  /// First phase in which this component produces values (0 = from
+  /// the start). A hot value that only appears mid-run (e.g. vortex's
+  /// zero-heavy database phase) drills its RAP path when thresholds
+  /// are already large — the ~20% max error case of Sec 4.3.
+  unsigned OnsetPhase = 0;
+};
+
+/// A memory segment of the synthetic address space.
+struct MemorySegmentSpec {
+  enum class Kind {
+    Reuse,     ///< Zipf-distributed slots: high cache hit rate.
+    Streaming, ///< Sequential strided scan: low hit rate.
+  };
+  Kind SegmentKind = Kind::Reuse;
+  uint64_t Base = 0;
+  uint64_t Size = 0;
+  /// Weight among normal loads.
+  double Weight = 0.0;
+  /// Weight among streaming loads.
+  double StreamingWeight = 0.0;
+  /// For Reuse segments: skew of slot popularity.
+  double ZipfExponent = 1.2;
+  /// Number of addressable slots (Reuse) — each slot is 8 bytes.
+  uint64_t NumSlots = 1;
+  /// Streaming scan stride in bytes (power of two). The default of one
+  /// cache line models strided record walks: every streamed load is a
+  /// fresh line, i.e. a miss, which is what couples streamed (zero- and
+  /// small-value-heavy) data to the cache-miss stream (Fig 9).
+  uint64_t StrideBytes = 64;
+  /// Probability that a load from this segment returns value zero,
+  /// overriding the value mixture (models the paper's Fig 10 region
+  /// where "any load ... has about 38% chance of being a zero").
+  double ZeroValueProb = 0.0;
+};
+
+/// Complete description of one synthetic benchmark.
+struct BenchmarkSpec {
+  std::string Name;
+  /// Base seed; callers may xor in their own run seed.
+  uint64_t Seed = 1;
+
+  // --- code side -------------------------------------------------------
+  uint64_t NumBlocks = 10000;
+  uint64_t CodeBase = 0x400000;
+  /// Bytes between consecutive block start PCs.
+  uint64_t BlockStride = 16;
+  std::vector<CodeRegionSpec> Regions; ///< Hot regions; remainder is tail.
+  /// Zipf skew of the background (non-region) block popularity.
+  double BackgroundZipfExponent = 1.1;
+  /// Mean length of a sequential intra-region block run (a loop body).
+  double MeanRunLength = 8.0;
+  /// Mean number of times a run repeats before control moves on (loop
+  /// trip count). Tight loops re-execute the same blocks many times in
+  /// a row, which is what the paper's stage-0 combining buffer exploits
+  /// (Sec 3.3: a 1k buffer cuts code-profile throughput ~10x).
+  double MeanLoopIterations = 8.0;
+  /// Number of program phases; region weights are modulated per phase.
+  unsigned NumPhases = 4;
+  /// Events per phase (0 = single phase).
+  uint64_t PhaseLength = 500000;
+  /// Strength of phase modulation in [0, 1]: 0 = static weights.
+  double PhaseModulation = 0.35;
+  /// Probability a block execution issues a load.
+  double LoadProb = 0.35;
+  /// Index of the region that concentrates narrow operands (Sec 4.4's
+  /// flow.c stand-in), or -1 for none.
+  int NarrowRegion = -1;
+
+  // --- value side ------------------------------------------------------
+  std::vector<ValueComponentSpec> ValueComponents;
+
+  // --- memory side -----------------------------------------------------
+  std::vector<MemorySegmentSpec> Segments;
+};
+
+/// Returns the spec for benchmark \p Name (gcc, gzip, mcf, parser,
+/// vortex, vpr, bzip2). Aborts on an unknown name; use
+/// benchmarkNames() to enumerate.
+BenchmarkSpec getBenchmarkSpec(const std::string &Name);
+
+/// All registered benchmark names, in the paper's figure order.
+const std::vector<std::string> &benchmarkNames();
+
+} // namespace rap
+
+#endif // RAP_TRACE_BENCHMARKSPEC_H

@@ -1,0 +1,179 @@
+//===- trace/CodeModel.cpp - Synthetic basic-block walk ------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/CodeModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rap;
+
+/// Cheap per-block attribute hash (stable across runs for a fixed
+/// seed): SplitMix64 finalizer over index ^ salt.
+static uint64_t attributeHash(uint64_t Index, uint64_t Salt) {
+  uint64_t Z = Index ^ Salt;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+CodeModel::CodeModel(const BenchmarkSpec &Spec, uint64_t Seed)
+    : NumBlocks(Spec.NumBlocks), CodeBase(Spec.CodeBase),
+      BlockStride(Spec.BlockStride), AttributeSalt(Seed * 0x9e3779b9u + 1),
+      Regions(Spec.Regions), RunLength(Spec.MeanRunLength),
+      LoopIterations(Spec.MeanLoopIterations) {
+  assert(NumBlocks >= 1 && "need at least one block");
+
+  // Lay out hot regions across the block index space with background
+  // gaps between them: [gap0][region0][gap1][region1]...[gapR].
+  double TotalHotFraction = 0.0;
+  for (const CodeRegionSpec &Region : Regions)
+    TotalHotFraction += Region.SizeFraction;
+  assert(TotalHotFraction < 1.0 && "hot regions must leave a background");
+
+  unsigned NumRegions = static_cast<unsigned>(Regions.size());
+  double GapFraction =
+      (1.0 - TotalHotFraction) / static_cast<double>(NumRegions + 1);
+  uint64_t Cursor = 0;
+  for (unsigned R = 0; R != NumRegions; ++R) {
+    Cursor += static_cast<uint64_t>(GapFraction * NumBlocks);
+    uint64_t Size = std::max<uint64_t>(
+        1, static_cast<uint64_t>(Regions[R].SizeFraction * NumBlocks));
+    RegionStart.push_back(Cursor);
+    RegionEnd.push_back(std::min(Cursor + Size, NumBlocks));
+    Cursor = RegionEnd.back();
+  }
+
+  // Background blocks = everything not inside a region.
+  for (uint64_t I = 0; I != NumBlocks; ++I)
+    if (regionOf(I) == NumRegions)
+      BackgroundBlocks.push_back(static_cast<uint32_t>(I));
+  if (BackgroundBlocks.empty())
+    BackgroundBlocks.push_back(0); // Degenerate specs still need a fallback.
+
+  NumPhases = std::max(1u, Spec.NumPhases);
+  PhaseModulation = Spec.PhaseModulation;
+  BackgroundWeight = 1.0;
+  for (const CodeRegionSpec &Region : Regions)
+    BackgroundWeight -= Region.Weight;
+  assert(BackgroundWeight > 0.0 && "region weights exceed 1");
+
+  // Popularity of run start offsets: early blocks of a region are the
+  // hottest (the loop headers), giving intra-region locality.
+  for (unsigned R = 0; R != NumRegions; ++R) {
+    uint64_t Size = RegionEnd[R] - RegionStart[R];
+    RegionOffsetDist.push_back(std::make_unique<ZipfDistribution>(Size, 0.8));
+  }
+  BackgroundDist = std::make_unique<ZipfDistribution>(
+      BackgroundBlocks.size(), Spec.BackgroundZipfExponent);
+}
+
+unsigned CodeModel::regionOf(uint64_t Index) const {
+  for (unsigned R = 0; R != RegionStart.size(); ++R)
+    if (Index >= RegionStart[R] && Index < RegionEnd[R])
+      return R;
+  return static_cast<unsigned>(RegionStart.size());
+}
+
+uint32_t CodeModel::lengthOf(uint64_t Index) const {
+  return 3 + static_cast<uint32_t>(attributeHash(Index, AttributeSalt) % 14);
+}
+
+bool CodeModel::isNarrowOperandBlock(uint64_t Index) const {
+  unsigned Region = regionOf(Index);
+  double Prob = Region < Regions.size() ? Regions[Region].NarrowOperandProb
+                                        : 0.05;
+  // Static per-block decision from the attribute hash.
+  uint64_t H = attributeHash(Index, AttributeSalt ^ 0x5bd1e995u);
+  return static_cast<double>(H >> 11) * 0x1.0p-53 < Prob;
+}
+
+double CodeModel::streamingLoadProb(unsigned RegionOrBackground) const {
+  if (RegionOrBackground < Regions.size())
+    return Regions[RegionOrBackground].StreamingLoadProb;
+  return 0.1;
+}
+
+uint64_t CodeModel::sampleBackgroundBlock(Rng &R) {
+  uint64_t Rank = BackgroundDist->sample(R);
+  // Scatter ranks over the background so hot tail blocks are not all
+  // adjacent: hash the rank into a position.
+  uint64_t Pos = attributeHash(Rank, AttributeSalt ^ 0xabcdefULL) %
+                 BackgroundBlocks.size();
+  return BackgroundBlocks[Pos];
+}
+
+const DiscreteDistribution &CodeModel::phaseDistribution(unsigned Phase) {
+  // Phase-modulated region weights, built lazily per *raw* phase
+  // index: in each phase roughly half the regions are "active"
+  // (boosted by 1 + modulation) and the rest are "dormant" (scaled by
+  // 1 - modulation), with the active set rotating cyclically; regions
+  // with a later OnsetPhase contribute nothing before it. Real
+  // programs behave this way — gcc's later passes execute code that
+  // was stone cold during parsing — and it is what exercises RAP's
+  // merges (cold subtrees fold) and late deep splits (one threshold of
+  // parked counts per level, the Sec 4.3 error source). Weights are
+  // renormalized so hot regions keep their whole-run shares.
+  while (PhaseRegionDist.size() <= Phase) {
+    unsigned P = static_cast<unsigned>(PhaseRegionDist.size());
+    unsigned NumRegions = static_cast<unsigned>(Regions.size());
+    unsigned ActiveCount = (NumRegions + 1) / 2;
+    double TotalBase = 1.0 - BackgroundWeight;
+    std::vector<double> Weights;
+    double Sum = 0.0;
+    for (unsigned R = 0; R != NumRegions; ++R) {
+      bool Started = P >= Regions[R].OnsetPhase;
+      bool Active = ((R + P) % std::max(1u, NumRegions)) < ActiveCount;
+      double Factor = !Started ? 0.0
+                      : Active ? 1.0 + PhaseModulation
+                               : 1.0 - PhaseModulation;
+      Weights.push_back(Regions[R].Weight * Factor);
+      Sum += Weights.back();
+    }
+    if (Sum > 0.0)
+      for (double &W : Weights)
+        W *= TotalBase / Sum;
+    Weights.push_back(BackgroundWeight);
+    PhaseRegionDist.emplace_back(std::make_unique<DiscreteDistribution>(
+        Weights));
+    (void)P;
+  }
+  return *PhaseRegionDist[Phase];
+}
+
+uint64_t CodeModel::nextBlockIndex(Rng &R, unsigned Phase) {
+  // Continue the current loop body...
+  if (CurBlock + 1 < RunEnd) {
+    ++CurBlock;
+    return CurBlock;
+  }
+  // ...or take the back edge for the next trip...
+  if (TripsRemaining > 0) {
+    --TripsRemaining;
+    CurBlock = LoopStart;
+    return CurBlock;
+  }
+
+  // ...or start a new loop nest elsewhere.
+  const DiscreteDistribution &RegionDist = phaseDistribution(Phase);
+  unsigned Choice = static_cast<unsigned>(RegionDist.sample(R));
+  uint64_t BodyLimit;
+  if (Choice < RegionStart.size()) {
+    uint64_t Offset = RegionOffsetDist[Choice]->sample(R);
+    LoopStart = RegionStart[Choice] + Offset;
+    BodyLimit = RegionEnd[Choice];
+  } else {
+    LoopStart = sampleBackgroundBlock(R);
+    // Background code runs are short and must not walk off the end of
+    // the block array.
+    BodyLimit = std::min(LoopStart + 4, NumBlocks);
+  }
+  RunEnd = std::min(LoopStart + RunLength.sample(R), BodyLimit);
+  TripsRemaining = LoopIterations.sample(R) - 1;
+  CurBlock = LoopStart;
+  return CurBlock;
+}

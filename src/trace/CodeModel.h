@@ -1,0 +1,110 @@
+//===- trace/CodeModel.h - Synthetic basic-block walk ----------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates a dynamic basic-block stream with the structure code
+/// profiles exhibit (Sec 4.1–4.2 of the paper): a handful of hot
+/// contiguous code regions holding most of the execution, a Zipf
+/// background tail over the remaining blocks, bursty sequential runs
+/// inside regions (loops), and slow phase changes that shift weight
+/// between regions over time (which is what makes the batched merges
+/// of Fig 6 do real work).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_TRACE_CODEMODEL_H
+#define RAP_TRACE_CODEMODEL_H
+
+#include "support/Distributions.h"
+#include "support/Rng.h"
+#include "trace/BenchmarkSpec.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rap {
+
+/// Stateful generator of basic-block indices.
+class CodeModel {
+public:
+  /// Builds the static code layout from \p Spec. \p Seed controls the
+  /// per-block attribute hashes (lengths, narrow-operand flags).
+  CodeModel(const BenchmarkSpec &Spec, uint64_t Seed);
+
+  /// Emits the next executed block index, advancing the walk state.
+  /// \p Phase is the *raw* (non-wrapping) phase index: the rotation of
+  /// active regions is cyclic in it, but region onsets are not.
+  uint64_t nextBlockIndex(Rng &R, unsigned Phase);
+
+  /// PC of block \p Index.
+  uint64_t pcOf(uint64_t Index) const {
+    return CodeBase + Index * BlockStride;
+  }
+
+  /// Static instruction count of block \p Index (3..16).
+  uint32_t lengthOf(uint64_t Index) const;
+
+  /// True if block \p Index statically has a narrow (<16 bit) operand.
+  bool isNarrowOperandBlock(uint64_t Index) const;
+
+  /// Region index of block \p Index, or regionCount() for background.
+  unsigned regionOf(uint64_t Index) const;
+
+  /// Number of hot regions.
+  unsigned regionCount() const {
+    return static_cast<unsigned>(RegionStart.size());
+  }
+
+  /// Block index range [first, last] of hot region \p Region.
+  std::pair<uint64_t, uint64_t> regionBlocks(unsigned Region) const {
+    return {RegionStart[Region], RegionEnd[Region] - 1};
+  }
+
+  /// Probability that a load from region \p RegionOrBackground (use
+  /// regionCount() for background) is a streaming access.
+  double streamingLoadProb(unsigned RegionOrBackground) const;
+
+  /// Total number of blocks.
+  uint64_t numBlocks() const { return NumBlocks; }
+
+private:
+  uint64_t sampleRegionStart(Rng &R, unsigned Region);
+  uint64_t sampleBackgroundBlock(Rng &R);
+  const DiscreteDistribution &phaseDistribution(unsigned Phase);
+
+  uint64_t NumBlocks;
+  uint64_t CodeBase;
+  uint64_t BlockStride;
+  uint64_t AttributeSalt;
+  std::vector<CodeRegionSpec> Regions;
+  std::vector<uint64_t> RegionStart; ///< first block index per region
+  std::vector<uint64_t> RegionEnd;   ///< one-past-last block index
+  std::vector<uint32_t> BackgroundBlocks; ///< indices outside all regions
+
+  unsigned NumPhases = 1;
+  double PhaseModulation = 0.0;
+  double BackgroundWeight = 1.0;
+  /// Sampler over regionCount()+1 choices (last = background), built
+  /// lazily per raw phase index.
+  std::vector<std::unique_ptr<DiscreteDistribution>> PhaseRegionDist;
+  /// Popularity of start offsets within each region.
+  std::vector<std::unique_ptr<ZipfDistribution>> RegionOffsetDist;
+  std::unique_ptr<ZipfDistribution> BackgroundDist;
+  GeometricLength RunLength;
+  GeometricLength LoopIterations;
+
+  // Walk state: the current loop (a block run repeated some trips).
+  uint64_t CurBlock = 0;
+  uint64_t LoopStart = 0;
+  uint64_t RunEnd = 0; ///< one-past-last block index of the loop body
+  uint64_t TripsRemaining = 0;
+};
+
+} // namespace rap
+
+#endif // RAP_TRACE_CODEMODEL_H

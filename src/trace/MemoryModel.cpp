@@ -1,0 +1,62 @@
+//===- trace/MemoryModel.cpp - Synthetic data address streams ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/MemoryModel.h"
+
+#include <cassert>
+
+using namespace rap;
+
+MemoryModel::MemoryModel(const BenchmarkSpec &Spec, uint64_t Seed)
+    : Segments(Spec.Segments) {
+  assert(!Segments.empty() && "memory model needs segments");
+  std::vector<double> NormalWeights;
+  std::vector<double> StreamingWeights;
+  for (const MemorySegmentSpec &Segment : Segments) {
+    NormalWeights.push_back(Segment.Weight);
+    StreamingWeights.push_back(Segment.StreamingWeight);
+    if (Segment.SegmentKind == MemorySegmentSpec::Kind::Reuse)
+      SlotDist.push_back(std::make_unique<ZipfDistribution>(
+          Segment.NumSlots, Segment.ZipfExponent));
+    else
+      SlotDist.push_back(nullptr);
+    // Start streaming scans at a segment-specific stride-aligned offset
+    // so separate segments do not move in lockstep.
+    StreamCursor.push_back(((Seed * 0x2545f4914f6cdd1dULL) % Segment.Size) &
+                           ~(Segment.StrideBytes - 1));
+  }
+  NormalDist = std::make_unique<DiscreteDistribution>(NormalWeights);
+  StreamingDist = std::make_unique<DiscreteDistribution>(StreamingWeights);
+}
+
+MemoryModel::Access MemoryModel::sample(Rng &R, bool StreamingHint) {
+  const DiscreteDistribution &Dist =
+      StreamingHint ? *StreamingDist : *NormalDist;
+  unsigned Index = static_cast<unsigned>(Dist.sample(R));
+  const MemorySegmentSpec &Segment = Segments[Index];
+
+  Access Result;
+  Result.ZeroValueProb = Segment.ZeroValueProb;
+  switch (Segment.SegmentKind) {
+  case MemorySegmentSpec::Kind::Reuse: {
+    uint64_t Slot = SlotDist[Index]->sample(R);
+    Result.Address = Segment.Base + Slot * 8;
+    Result.Streaming = false;
+    break;
+  }
+  case MemorySegmentSpec::Kind::Streaming: {
+    uint64_t &Cursor = StreamCursor[Index];
+    Result.Address = Segment.Base + Cursor;
+    Cursor += Segment.StrideBytes;
+    if (Cursor >= Segment.Size)
+      Cursor = 0;
+    Result.Streaming = true;
+    break;
+  }
+  }
+  return Result;
+}

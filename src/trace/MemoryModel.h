@@ -1,0 +1,70 @@
+//===- trace/MemoryModel.h - Synthetic data address streams ----*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates load effective addresses from a segmented address space:
+/// Reuse segments (stack / hot heap) draw Zipf-popular slots and hit in
+/// cache; Streaming segments scan large arrays sequentially and miss.
+/// Segments can force a zero load value with a configured probability,
+/// reproducing the zero-load memory regions of the paper's Fig 10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_TRACE_MEMORYMODEL_H
+#define RAP_TRACE_MEMORYMODEL_H
+
+#include "support/Distributions.h"
+#include "support/Rng.h"
+#include "trace/BenchmarkSpec.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rap {
+
+/// Stateful generator of load addresses.
+class MemoryModel {
+public:
+  /// One generated load address with its segment attributes.
+  struct Access {
+    uint64_t Address = 0;
+    /// Probability the value loaded from here is zero (0 to defer to
+    /// the value mixture).
+    double ZeroValueProb = 0.0;
+    /// True if the address came from a streaming segment.
+    bool Streaming = false;
+  };
+
+  MemoryModel(const BenchmarkSpec &Spec, uint64_t Seed);
+
+  /// Draws the next load address. \p StreamingHint biases the segment
+  /// choice toward streaming segments (set from the code region's
+  /// streaming-load probability).
+  Access sample(Rng &R, bool StreamingHint);
+
+  /// Number of segments.
+  unsigned numSegments() const {
+    return static_cast<unsigned>(Segments.size());
+  }
+
+  /// Segment descriptor \p Index (for tests and table printing).
+  const MemorySegmentSpec &segment(unsigned Index) const {
+    return Segments[Index];
+  }
+
+private:
+  std::vector<MemorySegmentSpec> Segments;
+  std::vector<std::unique_ptr<ZipfDistribution>> SlotDist;
+  std::vector<uint64_t> StreamCursor; ///< per-segment scan position
+  std::unique_ptr<DiscreteDistribution> NormalDist;
+  std::unique_ptr<DiscreteDistribution> StreamingDist;
+};
+
+} // namespace rap
+
+#endif // RAP_TRACE_MEMORYMODEL_H

@@ -1,0 +1,125 @@
+//===- trace/NetworkModel.cpp - Synthetic packet streams ------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/NetworkModel.h"
+
+#include <cassert>
+
+using namespace rap;
+
+static uint64_t mixHash(uint64_t X, uint64_t Salt) {
+  uint64_t Z = X ^ Salt;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+NetworkSpec NetworkSpec::makeDefault() {
+  NetworkSpec Spec;
+  Spec.Seed = 0x6e6574; // "net"
+
+  auto Subnet = [](uint32_t Base, unsigned PrefixLen, double Weight,
+                   uint64_t Hosts, double Zipf) {
+    NetworkSpec::Subnet S;
+    S.Base = Base;
+    S.PrefixLen = PrefixLen;
+    S.Weight = Weight;
+    S.NumHosts = Hosts;
+    S.ZipfExponent = Zipf;
+    return S;
+  };
+
+  // Destinations: a dominant server /24 (the paper's "hot region"),
+  // a campus client /16, a CDN /20 and a DNS /28.
+  Spec.DstSubnets.push_back(
+      Subnet(0xC0A80100 /*192.168.1.0/24*/, 24, 0.35, 32, 1.2));
+  Spec.DstSubnets.push_back(
+      Subnet(0x0A000000 /*10.0.0.0/16*/, 16, 0.30, 20000, 0.8));
+  Spec.DstSubnets.push_back(
+      Subnet(0x17600000 /*23.96.0.0/20*/, 20, 0.20, 1024, 1.0));
+  Spec.DstSubnets.push_back(
+      Subnet(0x08080800 /*8.8.8.0/28*/, 28, 0.10, 4, 1.0));
+
+  // Sources: the campus /16 plus a remote mix.
+  Spec.SrcSubnets.push_back(Subnet(0x0A000000, 16, 0.55, 20000, 0.8));
+  Spec.SrcSubnets.push_back(Subnet(0x62000000, 8, 0.45, 500000, 0.7));
+
+  Spec.ScanWeight = 0.05;
+  return Spec;
+}
+
+NetworkModel::NetworkModel(const NetworkSpec &Spec, uint64_t RunSeed)
+    : Spec(Spec), Generator(Spec.Seed ^ (RunSeed * 0x9e3779b97f4a7c15ULL)),
+      DstDist([&Spec] {
+        std::vector<double> Weights;
+        for (const NetworkSpec::Subnet &S : Spec.DstSubnets)
+          Weights.push_back(S.Weight);
+        Weights.push_back(Spec.ScanWeight);
+        return Weights;
+      }()),
+      SrcDist([&Spec] {
+        std::vector<double> Weights;
+        for (const NetworkSpec::Subnet &S : Spec.SrcSubnets)
+          Weights.push_back(S.Weight);
+        Weights.push_back(Spec.ScanWeight * 0.5);
+        return Weights;
+      }()) {
+  assert(!Spec.DstSubnets.empty() && !Spec.SrcSubnets.empty() &&
+         "traffic needs subnets");
+  for (const NetworkSpec::Subnet &S : Spec.DstSubnets)
+    DstHosts.push_back(
+        std::make_unique<ZipfDistribution>(S.NumHosts, S.ZipfExponent));
+  for (const NetworkSpec::Subnet &S : Spec.SrcSubnets)
+    SrcHosts.push_back(
+        std::make_unique<ZipfDistribution>(S.NumHosts, S.ZipfExponent));
+}
+
+uint32_t NetworkModel::sampleAddr(
+    const std::vector<NetworkSpec::Subnet> &Subnets,
+    const DiscreteDistribution &Dist,
+    const std::vector<std::unique_ptr<ZipfDistribution>> &HostDists,
+    bool AllowScan) {
+  unsigned Index = static_cast<unsigned>(Dist.sample(Generator));
+  if (Index >= Subnets.size()) {
+    // Scan traffic: uniform over the whole space (or retry when the
+    // caller disallows it; the retry is deterministic).
+    if (AllowScan)
+      return static_cast<uint32_t>(Generator.next());
+    Index = 0;
+  }
+  const NetworkSpec::Subnet &S = Subnets[Index];
+  uint64_t Rank = HostDists[Index]->sample(Generator);
+  // Scatter host ranks through the subnet's host space.
+  uint32_t Host = static_cast<uint32_t>(
+      mixHash(Rank, Spec.Seed ^ S.Base) & S.hostMask());
+  return S.Base | Host;
+}
+
+PacketRecord NetworkModel::next() {
+  PacketRecord Packet;
+  Packet.DstAddr = sampleAddr(Spec.DstSubnets, DstDist, DstHosts,
+                              /*AllowScan=*/true);
+  Packet.SrcAddr = sampleAddr(Spec.SrcSubnets, SrcDist, SrcHosts,
+                              /*AllowScan=*/true);
+  // A handful of well-known destination ports plus ephemeral noise.
+  double U = Generator.nextDouble();
+  if (U < 0.45)
+    Packet.DstPort = 443;
+  else if (U < 0.65)
+    Packet.DstPort = 80;
+  else if (U < 0.75)
+    Packet.DstPort = 53;
+  else
+    Packet.DstPort = static_cast<uint16_t>(
+        1024 + Generator.nextBelow(64512));
+  // Bimodal sizes: ACK-sized vs MTU-sized.
+  Packet.Bytes = Generator.nextBernoulli(Spec.SmallPacketProb)
+                     ? 40 + static_cast<uint32_t>(Generator.nextBelow(80))
+                     : 1000 + static_cast<uint32_t>(Generator.nextBelow(500));
+  ++Emitted;
+  return Packet;
+}

@@ -1,0 +1,100 @@
+//===- trace/NetworkModel.h - Synthetic packet streams ---------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic network traffic for the paper's networking claim (Sec 5):
+/// "RAP has been designed to be adaptable to a variety of different
+/// data streams that need to be processed at very high speed, and may
+/// even be applied in analyzing network traffic" — the hierarchical
+/// heavy-hitter use case of Estan/Varghese [15].
+///
+/// The model emits packets whose source/destination IPv4 addresses are
+/// drawn from weighted subnets (Zipf-popular hosts inside each), plus
+/// a configurable fraction of uniform scan traffic. Hot subnets of any
+/// prefix length then fall out of a RAP tree over the address space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_TRACE_NETWORKMODEL_H
+#define RAP_TRACE_NETWORKMODEL_H
+
+#include "support/Distributions.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rap {
+
+/// One packet.
+struct PacketRecord {
+  uint32_t SrcAddr = 0;
+  uint32_t DstAddr = 0;
+  uint16_t DstPort = 0;
+  uint32_t Bytes = 0;
+};
+
+/// Traffic description.
+struct NetworkSpec {
+  /// One address aggregate (a /PrefixLen subnet).
+  struct Subnet {
+    uint32_t Base = 0;       ///< network address (low bits zero)
+    unsigned PrefixLen = 24; ///< bits of network prefix
+    double Weight = 0.0;     ///< share of destination traffic
+    uint64_t NumHosts = 256; ///< active hosts inside
+    double ZipfExponent = 1.0;
+    uint32_t hostMask() const { return ~uint32_t(0) >> PrefixLen; }
+  };
+
+  uint64_t Seed = 1;
+  std::vector<Subnet> DstSubnets;
+  std::vector<Subnet> SrcSubnets;
+  /// Fraction of destination traffic that is uniform scans over the
+  /// whole address space (worms/scanners: the stress tail).
+  double ScanWeight = 0.05;
+  /// Mean packet size in bytes; sizes are bimodal (ACKs vs full MTU).
+  double SmallPacketProb = 0.6;
+
+  /// A campus-gateway-like default: one dominant server /24, a busy
+  /// client /16, CDN and DNS aggregates, plus scan noise.
+  static NetworkSpec makeDefault();
+};
+
+/// Deterministic packet generator.
+class NetworkModel {
+public:
+  explicit NetworkModel(const NetworkSpec &Spec, uint64_t RunSeed = 0);
+
+  /// Emits the next packet.
+  PacketRecord next();
+
+  /// Packets emitted so far.
+  uint64_t packetsEmitted() const { return Emitted; }
+
+  const NetworkSpec &spec() const { return Spec; }
+
+private:
+  uint32_t sampleAddr(const std::vector<NetworkSpec::Subnet> &Subnets,
+                      const DiscreteDistribution &Dist,
+                      const std::vector<std::unique_ptr<ZipfDistribution>>
+                          &HostDists,
+                      bool AllowScan);
+
+  NetworkSpec Spec;
+  Rng Generator;
+  DiscreteDistribution DstDist;
+  DiscreteDistribution SrcDist;
+  std::vector<std::unique_ptr<ZipfDistribution>> DstHosts;
+  std::vector<std::unique_ptr<ZipfDistribution>> SrcHosts;
+  uint64_t Emitted = 0;
+};
+
+} // namespace rap
+
+#endif // RAP_TRACE_NETWORKMODEL_H

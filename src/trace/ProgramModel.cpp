@@ -1,0 +1,45 @@
+//===- trace/ProgramModel.cpp - Whole synthetic benchmark ----------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/ProgramModel.h"
+
+using namespace rap;
+
+ProgramModel::ProgramModel(const BenchmarkSpec &Spec, uint64_t RunSeed)
+    : Spec(Spec), Generator(Spec.Seed ^ (RunSeed * 0x9e3779b97f4a7c15ULL)),
+      Code(Spec, Spec.Seed ^ RunSeed), Values(Spec, Spec.Seed ^ RunSeed),
+      Memory(Spec, Spec.Seed ^ RunSeed) {}
+
+TraceRecord ProgramModel::next() {
+  // Raw (non-wrapping) phase index: region rotation is cyclic in it,
+  // onset gating is not.
+  unsigned Phase =
+      Spec.PhaseLength == 0
+          ? 0
+          : static_cast<unsigned>(Emitted / Spec.PhaseLength);
+  uint64_t BlockIndex = Code.nextBlockIndex(Generator, Phase);
+
+  TraceRecord Record;
+  Record.BlockPc = Code.pcOf(BlockIndex);
+  Record.BlockLength = Code.lengthOf(BlockIndex);
+  Record.NarrowOperand = Code.isNarrowOperandBlock(BlockIndex);
+  Record.HasLoad = Generator.nextBernoulli(Spec.LoadProb);
+  if (Record.HasLoad) {
+    unsigned Region = Code.regionOf(BlockIndex);
+    bool StreamingHint =
+        Generator.nextBernoulli(Code.streamingLoadProb(Region));
+    MemoryModel::Access Access = Memory.sample(Generator, StreamingHint);
+    Record.LoadAddress = Access.Address;
+    if (Access.ZeroValueProb > 0.0 &&
+        Generator.nextBernoulli(Access.ZeroValueProb))
+      Record.LoadValue = 0;
+    else
+      Record.LoadValue = Values.sample(Generator, Access.Streaming, Phase);
+  }
+  ++Emitted;
+  return Record;
+}

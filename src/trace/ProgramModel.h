@@ -1,0 +1,67 @@
+//===- trace/ProgramModel.h - Whole synthetic benchmark --------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramModel ties the code, value and memory models together into a
+/// single deterministic trace source: the stand-in for a SPEC
+/// benchmark run under binary instrumentation. Two ProgramModels built
+/// from the same spec and run seed emit identical streams, which is how
+/// the evaluation harnesses obtain the paper's "perfect offline
+/// profiler" ground truth (Sec 4.3): one pass feeds RAP online, a
+/// replayed pass feeds the ExactProfiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_TRACE_PROGRAMMODEL_H
+#define RAP_TRACE_PROGRAMMODEL_H
+
+#include "trace/BenchmarkSpec.h"
+#include "trace/CodeModel.h"
+#include "trace/MemoryModel.h"
+#include "trace/TraceRecord.h"
+#include "trace/ValueModel.h"
+
+#include <cstdint>
+
+namespace rap {
+
+/// Deterministic generator of TraceRecords for one benchmark.
+class ProgramModel {
+public:
+  /// log2 universe sizes for the three profile types fed from records.
+  static constexpr unsigned PcRangeBits = 32;
+  static constexpr unsigned ValueRangeBits = 64;
+  static constexpr unsigned AddressRangeBits = 44;
+
+  /// Builds the model. The stream is a pure function of
+  /// (Spec, RunSeed).
+  explicit ProgramModel(const BenchmarkSpec &Spec, uint64_t RunSeed = 0);
+
+  /// Emits the next dynamic basic-block record.
+  TraceRecord next();
+
+  /// Records emitted so far.
+  uint64_t eventsEmitted() const { return Emitted; }
+
+  /// The spec this model was built from.
+  const BenchmarkSpec &spec() const { return Spec; }
+
+  /// The static code layout (for tests and region tables).
+  const CodeModel &code() const { return Code; }
+
+private:
+  BenchmarkSpec Spec;
+  Rng Generator;
+  CodeModel Code;
+  ValueModel Values;
+  MemoryModel Memory;
+  uint64_t Emitted = 0;
+};
+
+} // namespace rap
+
+#endif // RAP_TRACE_PROGRAMMODEL_H

@@ -1,0 +1,52 @@
+//===- trace/TraceRecord.h - One dynamic basic-block record ----*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of synthetic execution: one dynamic basic-block instance,
+/// carrying everything the paper's profile types consume. The paper
+/// assumes a ProfileMe-style event source delivering retired
+/// instruction attributes (Sec 3); a TraceRecord is our equivalent of
+/// one such delivery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_TRACE_TRACERECORD_H
+#define RAP_TRACE_TRACERECORD_H
+
+#include <cstdint>
+
+namespace rap {
+
+/// One executed basic block with its (optional) load.
+struct TraceRecord {
+  /// PC of the basic block: the event for code profiles.
+  uint64_t BlockPc = 0;
+
+  /// Static instruction count of the block; code profiles weight the
+  /// block PC by this, matching the paper's "instructions executed per
+  /// region" metric (Sec 4.1).
+  uint32_t BlockLength = 0;
+
+  /// True if this block instance performed a load.
+  bool HasLoad = false;
+
+  /// Load effective address (valid when HasLoad).
+  uint64_t LoadAddress = 0;
+
+  /// Value returned by the load (valid when HasLoad): the event for
+  /// value profiles and, filtered to zero, for zero-load profiles.
+  uint64_t LoadValue = 0;
+
+  /// True if the block's dominant operation has a narrow (< 16 bit)
+  /// operand — the Sec 4.4 narrow-operand profile feeds BlockPc when
+  /// this is set.
+  bool NarrowOperand = false;
+};
+
+} // namespace rap
+
+#endif // RAP_TRACE_TRACERECORD_H

@@ -1,0 +1,90 @@
+//===- trace/ValueModel.cpp - Synthetic load-value mixtures --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/ValueModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rap;
+
+static uint64_t mixHash(uint64_t X, uint64_t Salt) {
+  uint64_t Z = X ^ Salt;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+ValueModel::ValueModel(const BenchmarkSpec &Spec, uint64_t Seed)
+    : Components(Spec.ValueComponents), HashSalt(Seed ^ 0x76616c7565ULL) {
+  assert(!Components.empty() && "value mixture needs components");
+  for (const ValueComponentSpec &Component : Components) {
+    if (Component.ComponentKind == ValueComponentSpec::Kind::ZipfHashed)
+      ComponentZipf.push_back(std::make_unique<ZipfDistribution>(
+          Component.NumDistinct, Component.ZipfExponent));
+    else
+      ComponentZipf.push_back(nullptr);
+  }
+
+  // Distinct onset phases define the steps at which the mixture
+  // changes; build one (normal, streaming) distribution pair per step.
+  OnsetSteps.push_back(0);
+  for (const ValueComponentSpec &Component : Components)
+    OnsetSteps.push_back(Component.OnsetPhase);
+  std::sort(OnsetSteps.begin(), OnsetSteps.end());
+  OnsetSteps.erase(std::unique(OnsetSteps.begin(), OnsetSteps.end()),
+                   OnsetSteps.end());
+  for (unsigned Step : OnsetSteps) {
+    std::vector<double> Normal;
+    std::vector<double> Streaming;
+    double Any = 0.0;
+    for (const ValueComponentSpec &Component : Components) {
+      bool Started = Step >= Component.OnsetPhase;
+      Normal.push_back(Started ? Component.Weight : 0.0);
+      Streaming.push_back(Started ? Component.StreamingWeight : 0.0);
+      Any += Normal.back() + Streaming.back();
+    }
+    assert(Any > 0.0 && "no component active in some phase");
+    (void)Any;
+    NormalDist.push_back(std::make_unique<DiscreteDistribution>(Normal));
+    StreamingDist.push_back(
+        std::make_unique<DiscreteDistribution>(Streaming));
+  }
+}
+
+uint64_t ValueModel::sampleComponent(Rng &R,
+                                     const ValueComponentSpec &Component,
+                                     const ZipfDistribution *Zipf) const {
+  switch (Component.ComponentKind) {
+  case ValueComponentSpec::Kind::Point:
+    return Component.Lo;
+  case ValueComponentSpec::Kind::Uniform:
+    return R.nextInRange(Component.Lo, Component.Hi);
+  case ValueComponentSpec::Kind::ZipfHashed: {
+    assert(Zipf && "Zipf component without sampler");
+    uint64_t Rank = Zipf->sample(R);
+    // Scatter ranks pseudo-randomly over [Lo, Hi] so the component's
+    // distinct values are spread through its range.
+    uint64_t Span = Component.Hi - Component.Lo;
+    uint64_t H = mixHash(Rank, HashSalt);
+    return Component.Lo + (Span == ~uint64_t(0) ? H : H % (Span + 1));
+  }
+  }
+  assert(false && "unknown component kind");
+  return 0;
+}
+
+uint64_t ValueModel::sample(Rng &R, bool Streaming, unsigned Phase) const {
+  // Find the last onset step not beyond Phase.
+  size_t Step = 0;
+  while (Step + 1 < OnsetSteps.size() && OnsetSteps[Step + 1] <= Phase)
+    ++Step;
+  const DiscreteDistribution &Dist =
+      Streaming ? *StreamingDist[Step] : *NormalDist[Step];
+  uint64_t Index = Dist.sample(R);
+  return sampleComponent(R, Components[Index], ComponentZipf[Index].get());
+}

@@ -1,0 +1,91 @@
+//===- tests/baselines/ExactProfilerTest.cpp - Ground truth tests --------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ExactProfiler.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace rap;
+
+TEST(ExactProfiler, EmptyProfile) {
+  ExactProfiler P;
+  EXPECT_EQ(P.numEvents(), 0u);
+  EXPECT_EQ(P.numDistinct(), 0u);
+  EXPECT_EQ(P.countOf(5), 0u);
+  EXPECT_EQ(P.countInRange(0, ~uint64_t(0)), 0u);
+}
+
+TEST(ExactProfiler, CountsSingleValues) {
+  ExactProfiler P;
+  P.addPoint(10);
+  P.addPoint(10);
+  P.addPoint(20, 5);
+  EXPECT_EQ(P.numEvents(), 7u);
+  EXPECT_EQ(P.numDistinct(), 2u);
+  EXPECT_EQ(P.countOf(10), 2u);
+  EXPECT_EQ(P.countOf(20), 5u);
+  EXPECT_EQ(P.countOf(30), 0u);
+}
+
+TEST(ExactProfiler, RangeQueryBoundariesInclusive) {
+  ExactProfiler P;
+  P.addPoint(10);
+  P.addPoint(20);
+  P.addPoint(30);
+  EXPECT_EQ(P.countInRange(10, 30), 3u);
+  EXPECT_EQ(P.countInRange(11, 29), 1u);
+  EXPECT_EQ(P.countInRange(10, 10), 1u);
+  EXPECT_EQ(P.countInRange(31, 100), 0u);
+  EXPECT_EQ(P.countInRange(0, 9), 0u);
+}
+
+TEST(ExactProfiler, RangeQueryAfterInterleavedMutations) {
+  ExactProfiler P;
+  P.addPoint(5);
+  EXPECT_EQ(P.countInRange(0, 10), 1u);
+  P.addPoint(6); // Index invalidated and rebuilt lazily.
+  EXPECT_EQ(P.countInRange(0, 10), 2u);
+  P.addPoint(5);
+  EXPECT_EQ(P.countInRange(5, 5), 2u);
+}
+
+TEST(ExactProfiler, ExtremeValues) {
+  ExactProfiler P;
+  P.addPoint(0);
+  P.addPoint(~uint64_t(0));
+  EXPECT_EQ(P.countInRange(0, ~uint64_t(0)), 2u);
+  EXPECT_EQ(P.countInRange(0, 0), 1u);
+  EXPECT_EQ(P.countInRange(~uint64_t(0), ~uint64_t(0)), 1u);
+}
+
+TEST(ExactProfiler, MatchesNaiveReferenceOnRandomStream) {
+  ExactProfiler P;
+  std::map<uint64_t, uint64_t> Reference;
+  Rng R(99);
+  for (int I = 0; I != 5000; ++I) {
+    uint64_t X = R.nextBelow(512);
+    P.addPoint(X);
+    ++Reference[X];
+  }
+  // Check a sample of ranges against a naive sum.
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    uint64_t A = R.nextBelow(512);
+    uint64_t B = R.nextBelow(512);
+    if (A > B)
+      std::swap(A, B);
+    uint64_t Naive = 0;
+    for (auto It = Reference.lower_bound(A);
+         It != Reference.end() && It->first <= B; ++It)
+      Naive += It->second;
+    ASSERT_EQ(P.countInRange(A, B), Naive)
+        << "range [" << A << ", " << B << "]";
+  }
+}

@@ -1,0 +1,80 @@
+//===- tests/baselines/LossyCountingTest.cpp - Lossy counting tests ------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/LossyCounting.h"
+
+#include "support/Distributions.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+using namespace rap;
+
+TEST(LossyCounting, TracksHeavyItem) {
+  LossyCounting L(0.01);
+  for (int I = 0; I != 1000; ++I)
+    L.addPoint(7);
+  EXPECT_GE(L.estimateOf(7), 990u);
+}
+
+TEST(LossyCounting, EstimateIsLowerBoundWithinEpsilonN) {
+  Rng R(3);
+  ZipfDistribution Z(2000, 1.0);
+  const double Epsilon = 0.005;
+  LossyCounting L(Epsilon);
+  std::unordered_map<uint64_t, uint64_t> Truth;
+  const uint64_t N = 40000;
+  for (uint64_t I = 0; I != N; ++I) {
+    uint64_t X = Z.sample(R);
+    L.addPoint(X);
+    ++Truth[X];
+  }
+  for (const auto &[Item, Count] : Truth) {
+    uint64_t Estimate = L.estimateOf(Item);
+    EXPECT_LE(Estimate, Count) << "item " << Item;
+    EXPECT_LE(static_cast<double>(Count - Estimate), Epsilon * N + 1)
+        << "item " << Item;
+  }
+}
+
+TEST(LossyCounting, PrunesRareItems) {
+  LossyCounting L(0.01);
+  // One hot item, many one-off items: the table stays small.
+  Rng R(5);
+  for (uint64_t I = 0; I != 100000; ++I) {
+    if (I % 2 == 0)
+      L.addPoint(42);
+    else
+      L.addPoint(1000 + I); // unique cold items
+  }
+  // Cold uniques get pruned at bucket boundaries; far fewer than the
+  // 50k inserted.
+  EXPECT_LT(L.numCounters(), 1000u);
+  EXPECT_GE(L.estimateOf(42), 49000u);
+}
+
+TEST(LossyCounting, HeavyHittersFindHotItems) {
+  LossyCounting L(0.01);
+  for (int I = 0; I != 600; ++I)
+    L.addPoint(1);
+  for (int I = 0; I != 400; ++I)
+    L.addPoint(static_cast<uint64_t>(100 + I % 100));
+  std::vector<LossyCounting::Entry> Hot = L.heavyHitters(0.5);
+  ASSERT_EQ(Hot.size(), 1u);
+  EXPECT_EQ(Hot[0].Item, 1u);
+}
+
+TEST(LossyCounting, MemoryStaysBounded) {
+  LossyCounting L(0.01);
+  Rng R(9);
+  for (uint64_t I = 0; I != 200000; ++I)
+    L.addPoint(R.next() % 100000);
+  // O(1/eps * log(eps n)) entries; generous cap of 40/eps.
+  EXPECT_LT(L.numCounters(), 4000u);
+}

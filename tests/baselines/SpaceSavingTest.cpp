@@ -1,0 +1,107 @@
+//===- tests/baselines/SpaceSavingTest.cpp - SpaceSaving tests -----------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SpaceSaving.h"
+
+#include "support/Distributions.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+using namespace rap;
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving S(10);
+  for (int I = 0; I != 5; ++I)
+    S.addPoint(1);
+  for (int I = 0; I != 3; ++I)
+    S.addPoint(2);
+  EXPECT_EQ(S.estimateOf(1), 5u);
+  EXPECT_EQ(S.estimateOf(2), 3u);
+  EXPECT_EQ(S.estimateOf(99), 0u);
+  EXPECT_EQ(S.numCounters(), 2u);
+}
+
+TEST(SpaceSaving, EvictsMinimumAndInheritsCount) {
+  SpaceSaving S(2);
+  S.addPoint(1);
+  S.addPoint(1);
+  S.addPoint(2);
+  // Table full {1:2, 2:1}; new item 3 evicts 2 (min count 1).
+  S.addPoint(3);
+  EXPECT_EQ(S.estimateOf(2), 0u);
+  EXPECT_EQ(S.estimateOf(3), 2u); // 1 (real) + 1 (inherited error)
+  std::vector<SpaceSaving::Entry> Entries = S.entries();
+  ASSERT_EQ(Entries.size(), 2u);
+}
+
+TEST(SpaceSaving, CountIsUpperBound) {
+  Rng R(7);
+  ZipfDistribution Z(500, 1.1);
+  SpaceSaving S(64);
+  std::unordered_map<uint64_t, uint64_t> Truth;
+  for (int I = 0; I != 20000; ++I) {
+    uint64_t X = Z.sample(R);
+    S.addPoint(X);
+    ++Truth[X];
+  }
+  for (const SpaceSaving::Entry &E : S.entries()) {
+    EXPECT_GE(E.Count, Truth[E.Item]) << "item " << E.Item;
+    EXPECT_LE(E.Count - E.Error, Truth[E.Item]) << "item " << E.Item;
+  }
+}
+
+TEST(SpaceSaving, RetainsAllFrequentItems) {
+  // Guarantee: any item with count > n/K is retained.
+  Rng R(11);
+  ZipfDistribution Z(1000, 1.2);
+  const uint64_t K = 100;
+  SpaceSaving S(K);
+  std::unordered_map<uint64_t, uint64_t> Truth;
+  const uint64_t N = 50000;
+  for (uint64_t I = 0; I != N; ++I) {
+    uint64_t X = Z.sample(R);
+    S.addPoint(X);
+    ++Truth[X];
+  }
+  for (const auto &[Item, Count] : Truth)
+    if (Count > N / K) {
+      EXPECT_GT(S.estimateOf(Item), 0u) << "frequent item " << Item
+                                        << " lost";
+    }
+}
+
+TEST(SpaceSaving, HeavyHittersAreGuaranteed) {
+  SpaceSaving S(8);
+  for (int I = 0; I != 700; ++I)
+    S.addPoint(1);
+  for (int I = 0; I != 300; ++I)
+    S.addPoint(static_cast<uint64_t>(2 + (I % 50)));
+  std::vector<SpaceSaving::Entry> Hot = S.heavyHitters(0.5);
+  ASSERT_EQ(Hot.size(), 1u);
+  EXPECT_EQ(Hot[0].Item, 1u);
+}
+
+TEST(SpaceSaving, EntriesSortedByCountDescending) {
+  SpaceSaving S(10);
+  for (int I = 0; I != 9; ++I)
+    S.addPoint(1);
+  for (int I = 0; I != 5; ++I)
+    S.addPoint(2);
+  S.addPoint(3);
+  std::vector<SpaceSaving::Entry> Entries = S.entries();
+  for (size_t I = 1; I < Entries.size(); ++I)
+    EXPECT_GE(Entries[I - 1].Count, Entries[I].Count);
+}
+
+TEST(SpaceSaving, MemoryIsCapacityBound) {
+  SpaceSaving S(1000);
+  S.addPoint(1);
+  EXPECT_EQ(S.memoryBytes(), 1000u * 24);
+}

@@ -1,0 +1,72 @@
+//===- tests/core/CApiTest.cpp - Sec 3.2 software API tests --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CApi.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+TEST(CApi, InitAddFinalizeRoundTrip) {
+  rap_handle *Handle = rap_init(16, 0.05, 0);
+  ASSERT_NE(Handle, nullptr);
+  std::vector<uint64_t> Points = {1, 2, 3, 1, 1, 1, 1};
+  rap_add_points(Handle, Points.data(), Points.size());
+  EXPECT_EQ(rap_num_events(Handle), 7u);
+  EXPECT_GE(rap_num_nodes(Handle), 1u);
+  char Buffer[4096];
+  uint64_t Required = rap_finalize(Handle, Buffer, sizeof(Buffer));
+  EXPECT_GT(Required, 0u);
+  EXPECT_NE(std::string(Buffer).find("count"), std::string::npos);
+}
+
+TEST(CApi, InitRejectsBadParameters) {
+  EXPECT_EQ(rap_init(0, 0.05, 0), nullptr);
+  EXPECT_EQ(rap_init(65, 0.05, 0), nullptr);
+  EXPECT_EQ(rap_init(16, 0.0, 0), nullptr);
+  EXPECT_EQ(rap_init(16, 2.0, 0), nullptr);
+  EXPECT_EQ(rap_init(16, 0.05, 3), nullptr);
+}
+
+TEST(CApi, CustomBranchFactor) {
+  rap_handle *Handle = rap_init(16, 0.05, 2);
+  ASSERT_NE(Handle, nullptr);
+  uint64_t Point = 5;
+  for (int I = 0; I != 100; ++I)
+    rap_add_points(Handle, &Point, 1);
+  EXPECT_EQ(rap_num_events(Handle), 100u);
+  rap_finalize(Handle, nullptr, 0);
+}
+
+TEST(CApi, EstimateRange) {
+  rap_handle *Handle = rap_init(16, 0.05, 0);
+  ASSERT_NE(Handle, nullptr);
+  std::vector<uint64_t> Points(1000, 42);
+  rap_add_points(Handle, Points.data(), Points.size());
+  EXPECT_EQ(rap_estimate_range(Handle, 0, 0xffff), 1000u);
+  EXPECT_LE(rap_estimate_range(Handle, 42, 42), 1000u);
+  EXPECT_GT(rap_estimate_range(Handle, 0, 255), 900u);
+  rap_finalize(Handle, nullptr, 0);
+}
+
+TEST(CApi, FinalizeTruncatesToBufferSize) {
+  rap_handle *Handle = rap_init(16, 0.05, 0);
+  ASSERT_NE(Handle, nullptr);
+  std::vector<uint64_t> Points = {9, 9, 9};
+  rap_add_points(Handle, Points.data(), Points.size());
+  char Tiny[8];
+  uint64_t Required = rap_finalize(Handle, Tiny, sizeof(Tiny));
+  EXPECT_GT(Required, sizeof(Tiny)); // Full dump is bigger than 8 bytes.
+  EXPECT_EQ(Tiny[7], '\0');          // Still terminated.
+}
+
+TEST(CApi, FinalizeWithNullBufferJustDestroys) {
+  rap_handle *Handle = rap_init(16, 0.05, 0);
+  ASSERT_NE(Handle, nullptr);
+  EXPECT_EQ(rap_finalize(Handle, nullptr, 0), 0u);
+}

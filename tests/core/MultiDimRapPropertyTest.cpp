@@ -1,0 +1,199 @@
+//===- tests/core/MultiDimRapPropertyTest.cpp - 2-D invariant sweeps -----===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property sweeps for the multi-dimensional extension: the 1-D
+/// guarantees must carry over to the quadtree — conservation, lower
+/// bounds, the eps*n error bound on node-aligned boxes, and
+/// guaranteed-hot boxes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/MultiDimRap.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+enum class TupleKind { Uniform, Diagonal, Clustered, RowBanded };
+
+struct MdSweepParam {
+  double Epsilon;
+  unsigned RangeBits;
+  TupleKind Kind;
+};
+
+std::string kindName(TupleKind Kind) {
+  switch (Kind) {
+  case TupleKind::Uniform:
+    return "Uniform";
+  case TupleKind::Diagonal:
+    return "Diagonal";
+  case TupleKind::Clustered:
+    return "Clustered";
+  case TupleKind::RowBanded:
+    return "RowBanded";
+  }
+  return "?";
+}
+
+std::string paramName(const testing::TestParamInfo<MdSweepParam> &Info) {
+  char Buffer[96];
+  std::snprintf(Buffer, sizeof(Buffer), "eps%d_bits%u_%s",
+                static_cast<int>(Info.param.Epsilon * 1000),
+                Info.param.RangeBits, kindName(Info.param.Kind).c_str());
+  return Buffer;
+}
+
+class MdStreamGen {
+public:
+  MdStreamGen(TupleKind Kind, unsigned RangeBits, uint64_t Seed)
+      : Kind(Kind), Mask((uint64_t(1) << RangeBits) - 1), Generator(Seed) {}
+
+  std::pair<uint64_t, uint64_t> next() {
+    switch (Kind) {
+    case TupleKind::Uniform:
+      return {Generator.next() & Mask, Generator.next() & Mask};
+    case TupleKind::Diagonal: {
+      uint64_t X = Generator.next() & Mask;
+      return {X, (X + Generator.nextBelow(4)) & Mask};
+    }
+    case TupleKind::Clustered:
+      if (Generator.nextBernoulli(0.5))
+        return {(Mask / 3) + Generator.nextBelow(8),
+                (Mask / 5) + Generator.nextBelow(8)};
+      return {Generator.next() & Mask, Generator.next() & Mask};
+    case TupleKind::RowBanded:
+      // One hot row (fixed Y), X spread out.
+      if (Generator.nextBernoulli(0.6))
+        return {Generator.next() & Mask, Mask / 2};
+      return {Generator.next() & Mask, Generator.next() & Mask};
+    }
+    return {0, 0};
+  }
+
+private:
+  TupleKind Kind;
+  uint64_t Mask;
+  Rng Generator;
+};
+
+/// Collects every node's box and subtree weight.
+void collectBoxes(
+    const MdRapNode &Node,
+    std::vector<std::tuple<uint64_t, uint64_t, uint64_t, uint64_t, uint64_t>>
+        &Out) {
+  Out.emplace_back(Node.xLo(), Node.xHi(), Node.yLo(), Node.yHi(),
+                   Node.subtreeWeight());
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
+    if (const MdRapNode *Child = Node.child(Slot))
+      collectBoxes(*Child, Out);
+}
+
+class MdRapProperty : public testing::TestWithParam<MdSweepParam> {
+protected:
+  static constexpr uint64_t NumEvents = 40000;
+
+  MdRapConfig makeConfig() const {
+    MdRapConfig Config;
+    Config.RangeBits = GetParam().RangeBits;
+    Config.Epsilon = GetParam().Epsilon;
+    Config.InitialMergeInterval = 512;
+    return Config;
+  }
+
+  void runStream(MdRapTree &Tree,
+                 std::map<std::pair<uint64_t, uint64_t>, uint64_t> &Exact) {
+    MdStreamGen Gen(GetParam().Kind, GetParam().RangeBits, 0xD1CE);
+    for (uint64_t I = 0; I != NumEvents; ++I) {
+      auto [X, Y] = Gen.next();
+      Tree.addPoint(X, Y);
+      ++Exact[{X, Y}];
+    }
+  }
+
+  static uint64_t
+  exactBox(const std::map<std::pair<uint64_t, uint64_t>, uint64_t> &Exact,
+           uint64_t XLo, uint64_t XHi, uint64_t YLo, uint64_t YHi) {
+    uint64_t Total = 0;
+    for (const auto &[Key, Count] : Exact)
+      if (Key.first >= XLo && Key.first <= XHi && Key.second >= YLo &&
+          Key.second <= YHi)
+        Total += Count;
+    return Total;
+  }
+};
+
+} // namespace
+
+TEST_P(MdRapProperty, Conservation) {
+  MdRapTree Tree(makeConfig());
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> Exact;
+  runStream(Tree, Exact);
+  EXPECT_EQ(Tree.root().subtreeWeight(), NumEvents);
+  Tree.mergeNow();
+  EXPECT_EQ(Tree.root().subtreeWeight(), NumEvents);
+}
+
+TEST_P(MdRapProperty, NodeAlignedBoxesWithinEpsilon) {
+  MdRapTree Tree(makeConfig());
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> Exact;
+  runStream(Tree, Exact);
+  const double Bound = GetParam().Epsilon * NumEvents + 1e-9;
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t, uint64_t, uint64_t>>
+      Boxes;
+  collectBoxes(Tree.root(), Boxes);
+  for (const auto &[XLo, XHi, YLo, YHi, Estimate] : Boxes) {
+    uint64_t Actual = exactBox(Exact, XLo, XHi, YLo, YHi);
+    ASSERT_LE(Estimate, Actual);
+    ASSERT_LE(static_cast<double>(Actual - Estimate), Bound);
+  }
+}
+
+TEST_P(MdRapProperty, HotBoxesAreTrulyHot) {
+  MdRapTree Tree(makeConfig());
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> Exact;
+  runStream(Tree, Exact);
+  const double Phi = 0.10;
+  for (const HotBox &H : Tree.extractHotBoxes(Phi)) {
+    uint64_t Actual = exactBox(Exact, H.XLo, H.XHi, H.YLo, H.YHi);
+    EXPECT_GE(static_cast<double>(Actual), Phi * NumEvents);
+  }
+}
+
+TEST_P(MdRapProperty, MemoryBoundedByMerges) {
+  MdRapConfig Config = makeConfig();
+  MdRapTree Tree(Config);
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> Exact;
+  runStream(Tree, Exact);
+  Tree.mergeNow();
+  // 2-D analog of the 1-D heavy-node bound: D^2/eps + 4D/eps with
+  // D = RangeBits levels.
+  double D = Config.maxDepth();
+  EXPECT_LE(static_cast<double>(Tree.numNodes()),
+            D * D / Config.Epsilon + 4 * D / Config.Epsilon);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MdRapProperty,
+    testing::ValuesIn([] {
+      std::vector<MdSweepParam> Params;
+      for (double Epsilon : {0.02, 0.1})
+        for (unsigned RangeBits : {8u, 12u})
+          for (TupleKind Kind :
+               {TupleKind::Uniform, TupleKind::Diagonal,
+                TupleKind::Clustered, TupleKind::RowBanded})
+            Params.push_back({Epsilon, RangeBits, Kind});
+      return Params;
+    }()),
+    paramName);

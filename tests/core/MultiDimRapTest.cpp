@@ -1,0 +1,230 @@
+//===- tests/core/MultiDimRapTest.cpp - 2-D RAP tests --------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MultiDimRap.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+using namespace rap;
+
+namespace {
+MdRapConfig smallConfig(double Epsilon = 0.5, bool Merges = false) {
+  MdRapConfig Config;
+  Config.RangeBits = 8; // 256 x 256 domain
+  Config.Epsilon = Epsilon;
+  Config.EnableMerges = Merges;
+  Config.InitialMergeInterval = 128;
+  return Config;
+}
+} // namespace
+
+TEST(MdRapConfig, Validation) {
+  MdRapConfig Config;
+  EXPECT_TRUE(Config.validate());
+  Config.RangeBits = 0;
+  EXPECT_FALSE(Config.validate());
+  Config.RangeBits = 33;
+  EXPECT_FALSE(Config.validate());
+  Config = MdRapConfig();
+  Config.Epsilon = 0.0;
+  EXPECT_FALSE(Config.validate());
+  Config = MdRapConfig();
+  Config.MergeRatio = 0.9;
+  EXPECT_FALSE(Config.validate());
+}
+
+TEST(MdRapTree, FreshTreeCoversDomain) {
+  MdRapTree Tree(smallConfig());
+  EXPECT_EQ(Tree.numNodes(), 1u);
+  EXPECT_EQ(Tree.root().xLo(), 0u);
+  EXPECT_EQ(Tree.root().xHi(), 255u);
+  EXPECT_EQ(Tree.root().yHi(), 255u);
+  EXPECT_TRUE(Tree.root().contains(0, 0));
+  EXPECT_TRUE(Tree.root().contains(255, 255));
+}
+
+TEST(MdRapTree, HotTupleDrillsToUnitCell) {
+  MdRapTree Tree(smallConfig());
+  for (int I = 0; I != 64; ++I)
+    Tree.addPoint(12, 200);
+  const MdRapNode &Cell = Tree.findSmallestCover(12, 200);
+  EXPECT_EQ(Cell.xLo(), 12u);
+  EXPECT_EQ(Cell.yLo(), 200u);
+  EXPECT_TRUE(Cell.isUnitCell());
+}
+
+TEST(MdRapTree, QuadrantGeometry) {
+  MdRapTree Tree(smallConfig(1.0));
+  Tree.addPoint(0, 0); // root splits immediately
+  ASSERT_TRUE(Tree.root().hasChildren());
+  ASSERT_EQ(Tree.root().numChildSlots(), 4u);
+  const MdRapNode *Q0 = Tree.root().child(0);
+  const MdRapNode *Q1 = Tree.root().child(1);
+  const MdRapNode *Q2 = Tree.root().child(2);
+  const MdRapNode *Q3 = Tree.root().child(3);
+  ASSERT_TRUE(Q0 && Q1 && Q2 && Q3);
+  EXPECT_EQ(Q0->xLo(), 0u);   // low-x, low-y
+  EXPECT_EQ(Q0->yLo(), 0u);
+  EXPECT_EQ(Q1->xLo(), 128u); // high-x, low-y
+  EXPECT_EQ(Q1->yLo(), 0u);
+  EXPECT_EQ(Q2->xLo(), 0u);   // low-x, high-y
+  EXPECT_EQ(Q2->yLo(), 128u);
+  EXPECT_EQ(Q3->xLo(), 128u);
+  EXPECT_EQ(Q3->yLo(), 128u);
+}
+
+TEST(MdRapTree, Conservation) {
+  MdRapTree Tree(smallConfig(0.2, /*Merges=*/true));
+  Rng R(3);
+  for (int I = 0; I != 20000; ++I)
+    Tree.addPoint(R.nextBelow(256), R.nextBelow(256));
+  EXPECT_EQ(Tree.root().subtreeWeight(), Tree.numEvents());
+  Tree.mergeNow();
+  EXPECT_EQ(Tree.root().subtreeWeight(), Tree.numEvents());
+}
+
+TEST(MdRapTree, EstimateWholeDomainExact) {
+  MdRapTree Tree(smallConfig());
+  Rng R(5);
+  for (int I = 0; I != 5000; ++I)
+    Tree.addPoint(R.nextBelow(256), R.nextBelow(256));
+  EXPECT_EQ(Tree.estimateBox(0, 255, 0, 255), Tree.numEvents());
+}
+
+TEST(MdRapTree, EstimateBoxIsLowerBoundWithinEpsilon) {
+  MdRapConfig Config = smallConfig(0.1, /*Merges=*/true);
+  MdRapTree Tree(Config);
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> Exact;
+  Rng R(7);
+  const uint64_t N = 50000;
+  for (uint64_t I = 0; I != N; ++I) {
+    // Clustered tuples plus background.
+    uint64_t X;
+    uint64_t Y;
+    if (R.nextBernoulli(0.5)) {
+      X = 40 + R.nextBelow(8);
+      Y = 200 + R.nextBelow(8);
+    } else {
+      X = R.nextBelow(256);
+      Y = R.nextBelow(256);
+    }
+    Tree.addPoint(X, Y);
+    ++Exact[{X, Y}];
+  }
+  // Query several aligned boxes.
+  auto ExactBox = [&](uint64_t XLo, uint64_t XHi, uint64_t YLo,
+                      uint64_t YHi) {
+    uint64_t Total = 0;
+    for (const auto &[Key, Count] : Exact)
+      if (Key.first >= XLo && Key.first <= XHi && Key.second >= YLo &&
+          Key.second <= YHi)
+        Total += Count;
+    return Total;
+  };
+  for (auto [XLo, XHi, YLo, YHi] :
+       {std::tuple<uint64_t, uint64_t, uint64_t, uint64_t>{32, 63, 192, 223},
+        {0, 127, 128, 255},
+        {0, 255, 0, 255},
+        {40, 47, 200, 207}}) {
+    uint64_t Estimate = Tree.estimateBox(XLo, XHi, YLo, YHi);
+    uint64_t Actual = ExactBox(XLo, XHi, YLo, YHi);
+    EXPECT_LE(Estimate, Actual);
+    EXPECT_LE(static_cast<double>(Actual - Estimate),
+              Config.Epsilon * N + 1e-9);
+  }
+}
+
+TEST(MdRapTree, HotBoxFindsCluster) {
+  MdRapTree Tree(smallConfig(0.2, /*Merges=*/true));
+  Rng R(9);
+  for (int I = 0; I != 30000; ++I) {
+    if (R.nextBernoulli(0.6))
+      Tree.addPoint(100 + R.nextBelow(4), 50 + R.nextBelow(4));
+    else
+      Tree.addPoint(R.nextBelow(256), R.nextBelow(256));
+  }
+  std::vector<HotBox> Hot = Tree.extractHotBoxes(0.25);
+  bool Found = false;
+  for (const HotBox &H : Hot)
+    Found |= H.XLo >= 96 && H.XHi <= 111 && H.YLo >= 48 && H.YHi <= 63;
+  EXPECT_TRUE(Found) << "cluster box not identified";
+}
+
+TEST(MdRapTree, MergeBoundsMemory) {
+  MdRapConfig WithMerges = smallConfig(0.2, true);
+  MdRapConfig NoMerges = smallConfig(0.2, false);
+  MdRapTree A(WithMerges);
+  MdRapTree B(NoMerges);
+  Rng RA(11);
+  Rng RB(11);
+  for (int I = 0; I != 60000; ++I) {
+    A.addPoint(RA.nextBelow(256), RA.nextBelow(256));
+    B.addPoint(RB.nextBelow(256), RB.nextBelow(256));
+  }
+  EXPECT_LT(A.numNodes(), B.numNodes());
+  EXPECT_GT(A.numMergePasses(), 0u);
+}
+
+TEST(MdRapTree, WeightedUpdates) {
+  MdRapTree Tree(smallConfig());
+  Tree.addPoint(1, 2, 100);
+  Tree.addPoint(3, 4, 23);
+  EXPECT_EQ(Tree.numEvents(), 123u);
+  EXPECT_EQ(Tree.root().subtreeWeight(), 123u);
+}
+
+TEST(MdRapTree, EdgeProfileUseCase) {
+  // Sec 6's edge profiles: X = branch PC, Y = target PC. A hot loop
+  // back edge dominates; RAP isolates it as a unit-cell hot box.
+  MdRapConfig Config;
+  Config.RangeBits = 24;
+  Config.Epsilon = 0.05;
+  MdRapTree Tree(Config);
+  Rng R(13);
+  const uint64_t LoopBranch = 0x401234;
+  const uint64_t LoopTarget = 0x401200;
+  for (int I = 0; I != 40000; ++I) {
+    if (R.nextBernoulli(0.4))
+      Tree.addPoint(LoopBranch, LoopTarget);
+    else
+      Tree.addPoint(0x400000 + R.nextBelow(1 << 16),
+                    0x400000 + R.nextBelow(1 << 16));
+  }
+  std::vector<HotBox> Hot = Tree.extractHotBoxes(0.3);
+  bool FoundEdge = false;
+  for (const HotBox &H : Hot)
+    FoundEdge |= H.XLo == LoopBranch && H.XHi == LoopBranch &&
+                 H.YLo == LoopTarget && H.YHi == LoopTarget;
+  EXPECT_TRUE(FoundEdge) << "hot back edge not isolated";
+}
+
+TEST(MdRapTree, DumpHotPrintsBoxes) {
+  MdRapTree Tree(smallConfig());
+  for (int I = 0; I != 500; ++I)
+    Tree.addPoint(7, 9);
+  std::ostringstream OS;
+  Tree.dumpHot(OS, 0.5);
+  EXPECT_NE(OS.str().find("x:[7, 7] y:[9, 9]"), std::string::npos);
+}
+
+TEST(MdRapTree, DeterministicAcrossRuns) {
+  auto Run = [] {
+    MdRapTree Tree(smallConfig(0.2, true));
+    Rng R(17);
+    for (int I = 0; I != 30000; ++I)
+      Tree.addPoint(R.nextBelow(256), R.nextBelow(256));
+    std::ostringstream OS;
+    Tree.dumpHot(OS, 0.01);
+    return OS.str() + std::to_string(Tree.numNodes());
+  };
+  EXPECT_EQ(Run(), Run());
+}

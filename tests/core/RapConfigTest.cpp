@@ -1,0 +1,122 @@
+//===- tests/core/RapConfigTest.cpp - Configuration validation -----------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RapConfig.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+TEST(RapConfig, DefaultsValidate) {
+  RapConfig Config;
+  std::string Error;
+  EXPECT_TRUE(Config.validate(&Error)) << Error;
+}
+
+TEST(RapConfig, BitsPerLevel) {
+  RapConfig Config;
+  Config.BranchFactor = 2;
+  EXPECT_EQ(Config.bitsPerLevel(), 1u);
+  Config.BranchFactor = 4;
+  EXPECT_EQ(Config.bitsPerLevel(), 2u);
+  Config.BranchFactor = 16;
+  EXPECT_EQ(Config.bitsPerLevel(), 4u);
+}
+
+TEST(RapConfig, MaxDepthExactDivision) {
+  RapConfig Config;
+  Config.RangeBits = 32;
+  Config.BranchFactor = 4;
+  EXPECT_EQ(Config.maxDepth(), 16u);
+  Config.BranchFactor = 2;
+  EXPECT_EQ(Config.maxDepth(), 32u);
+}
+
+TEST(RapConfig, MaxDepthRoundsUp) {
+  RapConfig Config;
+  Config.RangeBits = 32;
+  Config.BranchFactor = 8; // 3 bits/level; ceil(32/3) = 11
+  EXPECT_EQ(Config.maxDepth(), 11u);
+}
+
+TEST(RapConfig, SplitThresholdFormula) {
+  RapConfig Config;
+  Config.RangeBits = 32;
+  Config.BranchFactor = 4; // depth 16
+  Config.Epsilon = 0.01;
+  // eps * n / log(R) from Sec 2.2.
+  EXPECT_DOUBLE_EQ(Config.splitThreshold(1600000), 0.01 * 1600000 / 16);
+  EXPECT_DOUBLE_EQ(Config.splitThreshold(0), 0.0);
+}
+
+TEST(RapConfig, MergeThresholdScales) {
+  RapConfig Config;
+  Config.MergeThresholdScale = 0.5;
+  EXPECT_DOUBLE_EQ(Config.mergeThreshold(1000),
+                   0.5 * Config.splitThreshold(1000));
+}
+
+TEST(RapConfig, RejectsBadRangeBits) {
+  RapConfig Config;
+  Config.RangeBits = 0;
+  EXPECT_FALSE(Config.validate());
+  Config.RangeBits = 65;
+  EXPECT_FALSE(Config.validate());
+  Config.RangeBits = 64;
+  EXPECT_TRUE(Config.validate());
+}
+
+TEST(RapConfig, RejectsBadBranchFactor) {
+  RapConfig Config;
+  Config.BranchFactor = 1;
+  EXPECT_FALSE(Config.validate());
+  Config.BranchFactor = 3;
+  EXPECT_FALSE(Config.validate());
+  Config.BranchFactor = 0;
+  EXPECT_FALSE(Config.validate());
+  Config.BranchFactor = 8;
+  EXPECT_TRUE(Config.validate());
+}
+
+TEST(RapConfig, RejectsBranchWiderThanUniverse) {
+  RapConfig Config;
+  Config.RangeBits = 2;
+  Config.BranchFactor = 16; // 4 bits per level > 2 bits total
+  EXPECT_FALSE(Config.validate());
+}
+
+TEST(RapConfig, RejectsBadEpsilon) {
+  RapConfig Config;
+  Config.Epsilon = 0.0;
+  EXPECT_FALSE(Config.validate());
+  Config.Epsilon = -0.1;
+  EXPECT_FALSE(Config.validate());
+  Config.Epsilon = 1.5;
+  EXPECT_FALSE(Config.validate());
+  Config.Epsilon = 1.0;
+  EXPECT_TRUE(Config.validate());
+}
+
+TEST(RapConfig, RejectsBadMergeParams) {
+  RapConfig Config;
+  Config.MergeRatio = 0.5;
+  EXPECT_FALSE(Config.validate());
+  Config.MergeRatio = 2.0;
+  Config.InitialMergeInterval = 0;
+  EXPECT_FALSE(Config.validate());
+  Config.InitialMergeInterval = 1;
+  Config.MergeThresholdScale = 0.0;
+  EXPECT_FALSE(Config.validate());
+}
+
+TEST(RapConfig, ErrorMessageProvided) {
+  RapConfig Config;
+  Config.Epsilon = 2.0;
+  std::string Error;
+  EXPECT_FALSE(Config.validate(&Error));
+  EXPECT_FALSE(Error.empty());
+}

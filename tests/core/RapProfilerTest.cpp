@@ -1,0 +1,112 @@
+//===- tests/core/RapProfilerTest.cpp - Profiler wrapper tests -----------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RapProfiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+namespace {
+RapConfig profilerConfig() {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.05;
+  return Config;
+}
+} // namespace
+
+TEST(RapProfiler, ForwardsEventsToTree) {
+  RapProfiler Profiler(profilerConfig());
+  Profiler.addPoint(100);
+  Profiler.addPoint(100);
+  Profiler.addPoint(200, 3);
+  EXPECT_EQ(Profiler.tree().numEvents(), 5u);
+}
+
+TEST(RapProfiler, AddPointsBatch) {
+  RapProfiler Profiler(profilerConfig());
+  Profiler.addPoints({1, 2, 3, 4, 5});
+  EXPECT_EQ(Profiler.tree().numEvents(), 5u);
+}
+
+TEST(RapProfiler, AverageNodesBetweenOneAndMax) {
+  RapProfiler Profiler(profilerConfig());
+  for (uint64_t I = 0; I != 50000; ++I)
+    Profiler.addPoint((I * 17) % 65536);
+  double Average = Profiler.averageNodes();
+  EXPECT_GE(Average, 1.0);
+  EXPECT_LE(Average, static_cast<double>(Profiler.maxNodes()));
+}
+
+TEST(RapProfiler, AverageNodesOnEmptyProfiler) {
+  RapProfiler Profiler(profilerConfig());
+  EXPECT_EQ(Profiler.averageNodes(), 1.0); // just the root
+}
+
+TEST(RapProfiler, TimelineSamplesAtStride) {
+  RapProfiler Profiler(profilerConfig(), /*TimelineStride=*/1000);
+  for (uint64_t I = 0; I != 10000; ++I)
+    Profiler.addPoint(I % 65536);
+  const auto &Timeline = Profiler.timeline();
+  ASSERT_EQ(Timeline.size(), 10u);
+  for (size_t I = 0; I != Timeline.size(); ++I) {
+    EXPECT_GE(Timeline[I].first, (I + 1) * 1000);
+    EXPECT_GE(Timeline[I].second, 1u);
+  }
+}
+
+TEST(RapProfiler, TimelineDisabledByDefault) {
+  RapProfiler Profiler(profilerConfig());
+  for (uint64_t I = 0; I != 5000; ++I)
+    Profiler.addPoint(I % 65536);
+  EXPECT_TRUE(Profiler.timeline().empty());
+}
+
+TEST(RapProfiler, HotRangesForwarded) {
+  RapProfiler Profiler(profilerConfig());
+  for (int I = 0; I != 1000; ++I)
+    Profiler.addPoint(77);
+  std::vector<HotRange> Hot = Profiler.hotRanges(0.5);
+  bool Found = false;
+  for (const HotRange &H : Hot)
+    Found |= H.Lo == 77 && H.Hi == 77;
+  EXPECT_TRUE(Found);
+}
+
+TEST(RapSession, AddAndGetProfiles) {
+  RapSession Session;
+  RapConfig Config = profilerConfig();
+  Session.addProfile("code", Config);
+  Session.addProfile("values", Config);
+  EXPECT_TRUE(Session.hasProfile("code"));
+  EXPECT_TRUE(Session.hasProfile("values"));
+  EXPECT_FALSE(Session.hasProfile("addresses"));
+  ASSERT_EQ(Session.profileNames().size(), 2u);
+  EXPECT_EQ(Session.profileNames()[0], "code");
+  EXPECT_EQ(Session.profileNames()[1], "values");
+}
+
+TEST(RapSession, ProfilesAreIndependent) {
+  RapSession Session;
+  Session.addProfile("a", profilerConfig());
+  Session.addProfile("b", profilerConfig());
+  Session.getProfile("a").addPoint(1);
+  Session.getProfile("a").addPoint(2);
+  Session.getProfile("b").addPoint(3);
+  EXPECT_EQ(Session.getProfile("a").tree().numEvents(), 2u);
+  EXPECT_EQ(Session.getProfile("b").tree().numEvents(), 1u);
+}
+
+TEST(RapSession, ReplaceKeepsSingleName) {
+  RapSession Session;
+  Session.addProfile("p", profilerConfig());
+  Session.getProfile("p").addPoint(1);
+  Session.addProfile("p", profilerConfig()); // replace resets
+  EXPECT_EQ(Session.getProfile("p").tree().numEvents(), 0u);
+  EXPECT_EQ(Session.profileNames().size(), 1u);
+}

@@ -1,0 +1,175 @@
+//===- tests/core/RapTreeEdgeCasesTest.cpp - Boundary behaviour ----------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RapTree.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+TEST(RapTreeEdgeCases, OneBitUniverse) {
+  RapConfig Config;
+  Config.RangeBits = 1;
+  Config.BranchFactor = 2;
+  Config.Epsilon = 0.5;
+  RapTree Tree(Config);
+  for (int I = 0; I != 100; ++I)
+    Tree.addPoint(I % 2);
+  EXPECT_EQ(Tree.numEvents(), 100u);
+  EXPECT_EQ(Tree.root().subtreeWeight(), 100u);
+  // Both unit values become their own counters immediately.
+  EXPECT_EQ(Tree.findSmallestCover(0).hi(), 0u);
+  EXPECT_EQ(Tree.findSmallestCover(1).lo(), 1u);
+  EXPECT_LE(Tree.numNodes(), 3u);
+}
+
+TEST(RapTreeEdgeCases, UniverseBoundaryValues) {
+  RapConfig Config;
+  Config.RangeBits = 64;
+  Config.Epsilon = 0.1;
+  RapTree Tree(Config);
+  for (int I = 0; I != 1000; ++I) {
+    Tree.addPoint(0);
+    Tree.addPoint(~uint64_t(0));
+  }
+  EXPECT_EQ(Tree.estimateRange(0, ~uint64_t(0)), 2000u);
+  // Both extremes get isolated.
+  EXPECT_EQ(Tree.findSmallestCover(0).hi(), 0u);
+  EXPECT_EQ(Tree.findSmallestCover(~uint64_t(0)).lo(), ~uint64_t(0));
+}
+
+TEST(RapTreeEdgeCases, SingleMassiveWeight) {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.01;
+  RapTree Tree(Config);
+  Tree.addPoint(5, uint64_t(1) << 40);
+  EXPECT_EQ(Tree.numEvents(), uint64_t(1) << 40);
+  EXPECT_EQ(Tree.root().subtreeWeight(), uint64_t(1) << 40);
+  // One weighted update only splits once (the check runs per update),
+  // but subsequent updates drill further.
+  Tree.addPoint(5);
+  Tree.addPoint(5);
+  EXPECT_EQ(Tree.root().subtreeWeight(), (uint64_t(1) << 40) + 2);
+}
+
+TEST(RapTreeEdgeCases, EpsilonOneIsCoarsest) {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 1.0; // the loosest permitted bound
+  RapTree Tree(Config);
+  Rng R(1);
+  for (int I = 0; I != 50000; ++I)
+    Tree.addPoint(R.nextBelow(1 << 16));
+  // With eps = 1 the threshold is n/16: only ranges with >6% of the
+  // stream split; a uniform stream keeps the tree tiny.
+  EXPECT_LT(Tree.numNodes(), 64u);
+  EXPECT_EQ(Tree.root().subtreeWeight(), 50000u);
+}
+
+TEST(RapTreeEdgeCases, MergeThresholdScaleAboveOnePrunesHarder) {
+  auto Run = [](double Scale) {
+    RapConfig Config;
+    Config.RangeBits = 16;
+    Config.Epsilon = 0.02;
+    Config.MergeThresholdScale = Scale;
+    RapTree Tree(Config);
+    Rng R(3);
+    for (int I = 0; I != 60000; ++I)
+      Tree.addPoint(R.nextBelow(1 << 16));
+    Tree.mergeNow();
+    return Tree.numNodes();
+  };
+  // A more aggressive merge threshold leaves fewer nodes.
+  EXPECT_LE(Run(4.0), Run(1.0));
+  EXPECT_LE(Run(1.0), Run(0.25));
+}
+
+TEST(RapTreeEdgeCases, NextMergeAtAdvancesPastStream) {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.InitialMergeInterval = 100;
+  Config.MergeRatio = 2.0;
+  RapTree Tree(Config);
+  for (int I = 0; I != 5000; ++I)
+    Tree.addPoint(static_cast<uint64_t>(I) % 7);
+  EXPECT_GT(Tree.nextMergeAt(), Tree.numEvents());
+}
+
+TEST(RapTreeEdgeCases, MergeOnEmptyTreeIsSafe) {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  RapTree Tree(Config);
+  EXPECT_EQ(Tree.mergeNow(), 0u);
+  EXPECT_EQ(Tree.numNodes(), 1u);
+}
+
+TEST(RapTreeEdgeCases, EstimateOnEmptyTreeIsZero) {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  RapTree Tree(Config);
+  EXPECT_EQ(Tree.estimateRange(0, 0xffff), 0u);
+  RapTree::RangeBounds Bounds = Tree.estimateRangeBounds(5, 10);
+  EXPECT_EQ(Bounds.Lower, 0u);
+  EXPECT_EQ(Bounds.Upper, 0u);
+}
+
+TEST(RapTreeEdgeCases, HotRangesOnEmptyTree) {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  RapTree Tree(Config);
+  // threshold = phi * 0 = 0: the root's zero weight satisfies >= 0,
+  // so the root itself is reported; nothing crashes.
+  std::vector<HotRange> Hot = Tree.extractHotRanges(0.5);
+  EXPECT_LE(Hot.size(), 1u);
+}
+
+TEST(RapTreeEdgeCases, BranchFactorEqualsUniverse) {
+  // b = 16 on a 4-bit universe: the root splits directly into units.
+  // (With depth 1 the threshold is eps * n, so eps must be < 1 for the
+  // root's counter to ever exceed it.)
+  RapConfig Config;
+  Config.RangeBits = 4;
+  Config.BranchFactor = 16;
+  Config.Epsilon = 0.5;
+  RapTree Tree(Config);
+  for (int I = 0; I != 64; ++I)
+    Tree.addPoint(static_cast<uint64_t>(I) % 16);
+  EXPECT_EQ(Config.maxDepth(), 1u);
+  EXPECT_EQ(Tree.findSmallestCover(9).lo(), 9u);
+  EXPECT_EQ(Tree.findSmallestCover(9).hi(), 9u);
+}
+
+TEST(RapTreeEdgeCases, AllMassOnOneValueMemoryMinimal) {
+  RapConfig Config;
+  Config.RangeBits = 32;
+  Config.Epsilon = 0.01;
+  RapTree Tree(Config);
+  for (int I = 0; I != 200000; ++I)
+    Tree.addPoint(0xDEADBEEF);
+  // One drilled path plus its sibling fan-out, pruned by merges.
+  EXPECT_LT(Tree.numNodes(), 80u);
+  EXPECT_GT(Tree.estimateRange(0xDEADBEEF, 0xDEADBEEF), 190000u);
+}
+
+TEST(RapTreeEdgeCases, InterleavedMergeNowAndUpdatesStayConsistent) {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.05;
+  RapTree Tree(Config);
+  Rng R(9);
+  for (int Round = 0; Round != 50; ++Round) {
+    for (int I = 0; I != 500; ++I)
+      Tree.addPoint(R.nextBelow(1 << 16));
+    Tree.mergeNow(); // far more often than the schedule would
+    ASSERT_EQ(Tree.root().subtreeWeight(), Tree.numEvents());
+  }
+  // Aggressive merging keeps the tree near its compacted floor.
+  EXPECT_LT(Tree.numNodes(), 2000u);
+}

@@ -1,0 +1,262 @@
+//===- tests/core/RapTreePropertyTest.cpp - Invariant sweeps -------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style sweeps over (epsilon, branching factor, universe,
+/// stream shape): the paper's guarantees must hold on every
+/// combination —
+///
+///   1. conservation: the tree accounts for every event exactly once;
+///   2. estimates are lower bounds on true range counts (Sec 4.3);
+///   3. the epsilon guarantee: a range's under-estimate is at most
+///      eps * n (Sec 2.2);
+///   4. reported hot ranges are guaranteed hot (Sec 4.3);
+///   5. memory right after a merge respects the analytic bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ExactProfiler.h"
+#include "core/RapTree.h"
+#include "core/WorstCaseBounds.h"
+#include "support/Distributions.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+enum class StreamKind { Uniform, Zipf, PointPlusNoise, Clustered };
+
+struct SweepParam {
+  double Epsilon;
+  unsigned BranchFactor;
+  unsigned RangeBits;
+  StreamKind Kind;
+};
+
+std::string kindName(StreamKind Kind) {
+  switch (Kind) {
+  case StreamKind::Uniform:
+    return "Uniform";
+  case StreamKind::Zipf:
+    return "Zipf";
+  case StreamKind::PointPlusNoise:
+    return "PointPlusNoise";
+  case StreamKind::Clustered:
+    return "Clustered";
+  }
+  return "?";
+}
+
+std::string paramName(const testing::TestParamInfo<SweepParam> &Info) {
+  const SweepParam &P = Info.param;
+  char Buffer[128];
+  std::snprintf(Buffer, sizeof(Buffer), "eps%d_b%u_bits%u_%s",
+                static_cast<int>(P.Epsilon * 1000), P.BranchFactor,
+                P.RangeBits, kindName(P.Kind).c_str());
+  return Buffer;
+}
+
+/// Generates one event of the requested stream shape.
+class StreamGen {
+public:
+  StreamGen(StreamKind Kind, unsigned RangeBits, uint64_t Seed)
+      : Kind(Kind), Mask(lowBitMask(RangeBits)), Generator(Seed),
+        Tail(4096, 1.1) {}
+
+  uint64_t next() {
+    switch (Kind) {
+    case StreamKind::Uniform:
+      return Generator.next() & Mask;
+    case StreamKind::Zipf: {
+      uint64_t Rank = Tail.sample(Generator);
+      // Spread ranks over the universe deterministically.
+      return (Rank * 0x9e3779b97f4a7c15ULL) & Mask;
+    }
+    case StreamKind::PointPlusNoise:
+      if (Generator.nextBernoulli(0.4))
+        return 42 & Mask;
+      return Generator.next() & Mask;
+    case StreamKind::Clustered: {
+      // Three narrow clusters plus background.
+      double U = Generator.nextDouble();
+      if (U < 0.3)
+        return (Mask / 4) + Generator.nextBelow(64);
+      if (U < 0.55)
+        return (Mask / 2) + Generator.nextBelow(1024);
+      if (U < 0.7)
+        return Generator.nextBelow(16);
+      return Generator.next() & Mask;
+    }
+    }
+    return 0;
+  }
+
+private:
+  StreamKind Kind;
+  uint64_t Mask;
+  Rng Generator;
+  ZipfDistribution Tail;
+};
+
+/// Collects (lo, hi, subtreeWeight) for every node.
+void collectNodes(const RapNode &Node,
+                  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> &Out) {
+  Out.emplace_back(Node.lo(), Node.hi(), Node.subtreeWeight());
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
+    if (const RapNode *Child = Node.child(Slot))
+      collectNodes(*Child, Out);
+}
+
+class RapTreeProperty : public testing::TestWithParam<SweepParam> {
+protected:
+  static constexpr uint64_t NumEvents = 60000;
+
+  void runStream(RapTree &Tree, ExactProfiler &Exact) {
+    const SweepParam &P = GetParam();
+    StreamGen Gen(P.Kind, P.RangeBits, /*Seed=*/0xC0FFEE);
+    for (uint64_t I = 0; I != NumEvents; ++I) {
+      uint64_t X = Gen.next();
+      Tree.addPoint(X);
+      Exact.addPoint(X);
+    }
+  }
+
+  RapConfig makeConfig() const {
+    const SweepParam &P = GetParam();
+    RapConfig Config;
+    Config.Epsilon = P.Epsilon;
+    Config.BranchFactor = P.BranchFactor;
+    Config.RangeBits = P.RangeBits;
+    Config.InitialMergeInterval = 1024;
+    return Config;
+  }
+};
+
+} // namespace
+
+TEST_P(RapTreeProperty, ConservationHoldsThroughout) {
+  RapTree Tree(makeConfig());
+  ExactProfiler Exact;
+  runStream(Tree, Exact);
+  EXPECT_EQ(Tree.root().subtreeWeight(), NumEvents);
+  EXPECT_EQ(Tree.numEvents(), NumEvents);
+  Tree.mergeNow();
+  EXPECT_EQ(Tree.root().subtreeWeight(), NumEvents);
+}
+
+TEST_P(RapTreeProperty, EstimatesAreLowerBounds) {
+  RapTree Tree(makeConfig());
+  ExactProfiler Exact;
+  runStream(Tree, Exact);
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> Nodes;
+  collectNodes(Tree.root(), Nodes);
+  for (const auto &[Lo, Hi, Estimate] : Nodes) {
+    uint64_t Actual = Exact.countInRange(Lo, Hi);
+    ASSERT_LE(Estimate, Actual)
+        << "range [" << Lo << ", " << Hi << "] over-estimated";
+  }
+}
+
+TEST_P(RapTreeProperty, EpsilonErrorBoundHolds) {
+  RapTree Tree(makeConfig());
+  ExactProfiler Exact;
+  runStream(Tree, Exact);
+  const double Bound =
+      GetParam().Epsilon * static_cast<double>(NumEvents) + 1e-9;
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> Nodes;
+  collectNodes(Tree.root(), Nodes);
+  for (const auto &[Lo, Hi, Estimate] : Nodes) {
+    uint64_t Actual = Exact.countInRange(Lo, Hi);
+    double UnderEstimate = static_cast<double>(Actual - Estimate);
+    ASSERT_LE(UnderEstimate, Bound)
+        << "range [" << Lo << ", " << Hi << "] misses more than eps*n";
+  }
+}
+
+TEST_P(RapTreeProperty, RangeBoundsBracketTruth) {
+  RapTree Tree(makeConfig());
+  ExactProfiler Exact;
+  runStream(Tree, Exact);
+  // Node-aligned and arbitrary (unaligned) queries: the exact count
+  // must always lie inside [Lower, Upper].
+  Rng QueryGen(0xFACE);
+  uint64_t Mask = lowBitMask(GetParam().RangeBits);
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    uint64_t A = QueryGen.next() & Mask;
+    uint64_t B = QueryGen.next() & Mask;
+    if (A > B)
+      std::swap(A, B);
+    RapTree::RangeBounds Bounds = Tree.estimateRangeBounds(A, B);
+    uint64_t Actual = Exact.countInRange(A, B);
+    ASSERT_LE(Bounds.Lower, Actual) << "[" << A << ", " << B << "]";
+    ASSERT_GE(Bounds.Upper, Actual) << "[" << A << ", " << B << "]";
+    ASSERT_LE(Bounds.Lower, Bounds.Upper);
+  }
+  // Whole-universe query is exact on both ends.
+  RapTree::RangeBounds All = Tree.estimateRangeBounds(0, Mask);
+  EXPECT_EQ(All.Lower, NumEvents);
+  EXPECT_EQ(All.Upper, NumEvents);
+}
+
+TEST_P(RapTreeProperty, ReportedHotRangesAreGuaranteedHot) {
+  RapTree Tree(makeConfig());
+  ExactProfiler Exact;
+  runStream(Tree, Exact);
+  const double Phi = 0.10;
+  for (const HotRange &H : Tree.extractHotRanges(Phi)) {
+    // The exclusive weight is a subset of the subtree weight, which is
+    // a lower bound on the true range count: hot implies truly hot.
+    uint64_t Actual = Exact.countInRange(H.Lo, H.Hi);
+    EXPECT_GE(static_cast<double>(Actual), Phi * NumEvents)
+        << "hot range [" << H.Lo << ", " << H.Hi << "] is not truly hot";
+  }
+}
+
+TEST_P(RapTreeProperty, PostMergeMemoryWithinAnalyticBound) {
+  RapTree Tree(makeConfig());
+  ExactProfiler Exact;
+  runStream(Tree, Exact);
+  Tree.mergeNow();
+  WorstCaseBounds Bounds(GetParam().RangeBits, GetParam().BranchFactor,
+                         GetParam().Epsilon);
+  EXPECT_LE(static_cast<double>(Tree.numNodes()), Bounds.postMergeBound());
+}
+
+TEST_P(RapTreeProperty, WeightedFeedEquivalentTotal) {
+  // Feeding (x, w) pairs must count exactly like w unit feeds.
+  RapTree Tree(makeConfig());
+  StreamGen Gen(GetParam().Kind, GetParam().RangeBits, 0xBEEF);
+  uint64_t Total = 0;
+  for (uint64_t I = 0; I != 5000; ++I) {
+    uint64_t W = 1 + (I % 7);
+    Tree.addPoint(Gen.next(), W);
+    Total += W;
+  }
+  EXPECT_EQ(Tree.numEvents(), Total);
+  EXPECT_EQ(Tree.root().subtreeWeight(), Total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RapTreeProperty,
+    testing::ValuesIn([] {
+      std::vector<SweepParam> Params;
+      for (double Epsilon : {0.01, 0.1})
+        for (unsigned BranchFactor : {2u, 4u, 16u})
+          for (unsigned RangeBits : {16u, 32u})
+            for (StreamKind Kind :
+                 {StreamKind::Uniform, StreamKind::Zipf,
+                  StreamKind::PointPlusNoise, StreamKind::Clustered})
+              Params.push_back({Epsilon, BranchFactor, RangeBits, Kind});
+      return Params;
+    }()),
+    paramName);

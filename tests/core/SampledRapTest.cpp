@@ -1,0 +1,94 @@
+//===- tests/core/SampledRapTest.cpp - Sampling unification tests --------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SampledRap.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace rap;
+
+namespace {
+RapConfig smallConfig() {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.05;
+  return Config;
+}
+} // namespace
+
+TEST(SampledRapTree, PeriodOneIsPlainRap) {
+  SampledRapTree Sampled(smallConfig(), 1);
+  RapTree Plain(smallConfig());
+  Rng RA(1);
+  Rng RB(1);
+  for (int I = 0; I != 20000; ++I) {
+    Sampled.addPoint(RA.nextBelow(1 << 16));
+    Plain.addPoint(RB.nextBelow(1 << 16));
+  }
+  EXPECT_EQ(Sampled.tree().numEvents(), Plain.numEvents());
+  EXPECT_EQ(Sampled.estimateRange(0, 0xffff), Plain.estimateRange(0, 0xffff));
+}
+
+TEST(SampledRapTree, WeightScalingKeepsFullStreamUnits) {
+  SampledRapTree Sampled(smallConfig(), 16);
+  for (int I = 0; I != 16000; ++I)
+    Sampled.addPoint(42);
+  EXPECT_EQ(Sampled.numOffered(), 16000u);
+  EXPECT_EQ(Sampled.numSampled(), 1000u);
+  // Tree sees weight-16 updates: total weighted events = offered.
+  EXPECT_EQ(Sampled.tree().numEvents(), 16000u);
+  EXPECT_EQ(Sampled.estimateRange(0, 0xffff), 16000u);
+}
+
+TEST(SampledRapTree, HotRangesStillFound) {
+  SampledRapTree Sampled(smallConfig(), 32);
+  Rng R(3);
+  for (int I = 0; I != 100000; ++I) {
+    if (R.nextBernoulli(0.4))
+      Sampled.addPoint(1234);
+    else
+      Sampled.addPoint(R.nextBelow(1 << 16));
+  }
+  bool Found = false;
+  for (const HotRange &H : Sampled.extractHotRanges(0.2))
+    Found |= H.Lo == 1234 && H.Hi == 1234;
+  EXPECT_TRUE(Found);
+}
+
+TEST(SampledRapTree, EstimatesApproximateTruthWithinSamplingNoise) {
+  const uint64_t Period = 64;
+  SampledRapTree Sampled(smallConfig(), Period);
+  Rng R(5);
+  uint64_t TrueHot = 0;
+  const uint64_t N = 500000;
+  for (uint64_t I = 0; I != N; ++I) {
+    if (R.nextBernoulli(0.3)) {
+      Sampled.addPoint(777);
+      ++TrueHot;
+    } else {
+      Sampled.addPoint(R.nextBelow(1 << 16));
+    }
+  }
+  double Estimate =
+      static_cast<double>(Sampled.estimateRange(777, 777));
+  // Sampling noise ~ sqrt(K * count); allow 6 sigma.
+  double Sigma = std::sqrt(static_cast<double>(Period) * TrueHot);
+  EXPECT_NEAR(Estimate, static_cast<double>(TrueHot), 6 * Sigma);
+}
+
+TEST(SampledRapTree, MemoryFarBelowDistinctValues) {
+  SampledRapTree Sampled(smallConfig(), 8);
+  Rng R(7);
+  for (int I = 0; I != 200000; ++I)
+    Sampled.addPoint(R.nextBelow(1 << 16));
+  EXPECT_LT(Sampled.tree().numNodes(), 20000u);
+  EXPECT_GT(Sampled.tree().numNodes(), 1u);
+}

@@ -1,0 +1,196 @@
+//===- tests/core/SerializationTest.cpp - Persistence tests --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Serialization.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace rap;
+
+namespace {
+
+RapConfig testConfig() {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.05;
+  return Config;
+}
+
+std::unique_ptr<RapTree> makePopulatedTree(uint64_t Seed = 1,
+                                           int Events = 30000) {
+  auto Tree = std::make_unique<RapTree>(testConfig());
+  Rng R(Seed);
+  for (int I = 0; I != Events; ++I) {
+    if (R.nextBernoulli(0.3))
+      Tree->addPoint(0x1234);
+    else
+      Tree->addPoint(R.nextBelow(1 << 16));
+  }
+  return Tree;
+}
+
+} // namespace
+
+TEST(ProfileSnapshot, CaptureMatchesTree) {
+  std::unique_ptr<RapTree> TreePtr = makePopulatedTree();
+  RapTree &Tree = *TreePtr;
+  ProfileSnapshot Snapshot = ProfileSnapshot::capture(Tree);
+  EXPECT_EQ(Snapshot.numEvents(), Tree.numEvents());
+  EXPECT_EQ(Snapshot.numNodes(), Tree.numNodes());
+  EXPECT_EQ(Snapshot.nodes()[0].Lo, 0u);
+  EXPECT_EQ(Snapshot.nodes()[0].WidthBits, 16u);
+}
+
+TEST(ProfileSnapshot, RestoreReproducesQueries) {
+  std::unique_ptr<RapTree> TreePtr = makePopulatedTree();
+  RapTree &Tree = *TreePtr;
+  ProfileSnapshot Snapshot = ProfileSnapshot::capture(Tree);
+  std::unique_ptr<RapTree> Restored = Snapshot.restore();
+  ASSERT_TRUE(Restored);
+  EXPECT_EQ(Restored->numEvents(), Tree.numEvents());
+  EXPECT_EQ(Restored->numNodes(), Tree.numNodes());
+  for (auto [Lo, Hi] : {std::pair<uint64_t, uint64_t>{0, 0xffff},
+                        {0x1234, 0x1234},
+                        {0x1000, 0x1fff},
+                        {0x8000, 0xffff}})
+    EXPECT_EQ(Restored->estimateRange(Lo, Hi), Tree.estimateRange(Lo, Hi));
+  // Hot ranges coincide too.
+  auto HotA = Tree.extractHotRanges(0.1);
+  auto HotB = Restored->extractHotRanges(0.1);
+  ASSERT_EQ(HotA.size(), HotB.size());
+  for (size_t I = 0; I != HotA.size(); ++I) {
+    EXPECT_EQ(HotA[I].Lo, HotB[I].Lo);
+    EXPECT_EQ(HotA[I].ExclusiveWeight, HotB[I].ExclusiveWeight);
+  }
+}
+
+TEST(ProfileSnapshot, RestoredTreeCanContinueProfiling) {
+  std::unique_ptr<RapTree> TreePtr = makePopulatedTree();
+  RapTree &Tree = *TreePtr;
+  ProfileSnapshot Snapshot = ProfileSnapshot::capture(Tree);
+  std::unique_ptr<RapTree> Restored = Snapshot.restore();
+  uint64_t EventsBefore = Restored->numEvents();
+  for (int I = 0; I != 1000; ++I)
+    Restored->addPoint(7);
+  EXPECT_EQ(Restored->numEvents(), EventsBefore + 1000);
+  EXPECT_EQ(Restored->root().subtreeWeight(), Restored->numEvents());
+}
+
+TEST(ProfileSnapshot, BinaryRoundTrip) {
+  std::unique_ptr<RapTree> TreePtr = makePopulatedTree();
+  RapTree &Tree = *TreePtr;
+  ProfileSnapshot Original = ProfileSnapshot::capture(Tree);
+  std::stringstream Stream;
+  Original.writeBinary(Stream);
+  std::string Error;
+  std::unique_ptr<ProfileSnapshot> Loaded =
+      ProfileSnapshot::readBinary(Stream, &Error);
+  ASSERT_TRUE(Loaded) << Error;
+  EXPECT_TRUE(*Loaded == Original);
+}
+
+TEST(ProfileSnapshot, TextRoundTrip) {
+  std::unique_ptr<RapTree> TreePtr = makePopulatedTree(42);
+  RapTree &Tree = *TreePtr;
+  ProfileSnapshot Original = ProfileSnapshot::capture(Tree);
+  std::stringstream Stream;
+  Original.writeText(Stream);
+  std::string Error;
+  std::unique_ptr<ProfileSnapshot> Loaded =
+      ProfileSnapshot::readText(Stream, &Error);
+  ASSERT_TRUE(Loaded) << Error;
+  EXPECT_TRUE(*Loaded == Original);
+}
+
+TEST(ProfileSnapshot, BinaryRejectsBadMagic) {
+  std::stringstream Stream;
+  Stream << "NOPE garbage";
+  std::string Error;
+  EXPECT_EQ(ProfileSnapshot::readBinary(Stream, &Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ProfileSnapshot, BinaryRejectsTruncation) {
+  std::unique_ptr<RapTree> TreePtr = makePopulatedTree();
+  RapTree &Tree = *TreePtr;
+  ProfileSnapshot Original = ProfileSnapshot::capture(Tree);
+  std::stringstream Stream;
+  Original.writeBinary(Stream);
+  std::string Full = Stream.str();
+  // Truncate at several points; every prefix must be rejected cleanly.
+  for (size_t Cut : {size_t(3), size_t(8), size_t(40), Full.size() - 5}) {
+    std::stringstream Truncated(Full.substr(0, Cut));
+    std::string Error;
+    EXPECT_EQ(ProfileSnapshot::readBinary(Truncated, &Error), nullptr)
+        << "cut at " << Cut;
+  }
+}
+
+TEST(ProfileSnapshot, TextRejectsGarbage) {
+  std::string Error;
+  std::stringstream NotAProfile("hello world\n1 2 3\n");
+  EXPECT_EQ(ProfileSnapshot::readText(NotAProfile, &Error), nullptr);
+  std::stringstream Empty;
+  EXPECT_EQ(ProfileSnapshot::readText(Empty, &Error), nullptr);
+}
+
+TEST(RapTreeFromNodeSet, RejectsMalformedNodeSets) {
+  RapConfig Config = testConfig();
+  using Triple = std::tuple<uint64_t, uint8_t, uint64_t>;
+  std::string Error;
+
+  // Empty set.
+  EXPECT_EQ(RapTree::fromNodeSet(Config, {}, 0, &Error), nullptr);
+
+  // Wrong root.
+  EXPECT_EQ(RapTree::fromNodeSet(Config, {Triple{0, 8, 5}}, 5, &Error),
+            nullptr);
+
+  // Misaligned child.
+  EXPECT_EQ(RapTree::fromNodeSet(
+                Config, {Triple{0, 16, 0}, Triple{3, 14, 1}}, 1, &Error),
+            nullptr);
+
+  // Width inconsistent with b = 4 (child of 16-bit root must be 14).
+  EXPECT_EQ(RapTree::fromNodeSet(
+                Config, {Triple{0, 16, 0}, Triple{0, 13, 1}}, 1, &Error),
+            nullptr);
+
+  // Duplicate range.
+  EXPECT_EQ(
+      RapTree::fromNodeSet(
+          Config, {Triple{0, 16, 0}, Triple{0, 14, 1}, Triple{0, 14, 1}},
+          2, &Error),
+      nullptr);
+
+  // Count mismatch.
+  EXPECT_EQ(RapTree::fromNodeSet(
+                Config, {Triple{0, 16, 3}, Triple{0, 14, 1}}, 99, &Error),
+            nullptr);
+
+  // A well-formed set loads.
+  std::unique_ptr<RapTree> Good = RapTree::fromNodeSet(
+      Config, {Triple{0, 16, 3}, Triple{0, 14, 1}, Triple{0x4000, 14, 2}},
+      6, &Error);
+  ASSERT_TRUE(Good) << Error;
+  EXPECT_EQ(Good->numNodes(), 3u);
+  EXPECT_EQ(Good->numEvents(), 6u);
+  EXPECT_EQ(Good->estimateRange(0, 0x3fff), 1u);
+}
+
+TEST(ProfileSnapshot, SnapshotQueriesMatchTreeQueries) {
+  std::unique_ptr<RapTree> TreePtr = makePopulatedTree(7);
+  RapTree &Tree = *TreePtr;
+  ProfileSnapshot Snapshot = ProfileSnapshot::capture(Tree);
+  EXPECT_EQ(Snapshot.estimateRange(0, 0xffff), Tree.estimateRange(0, 0xffff));
+  EXPECT_EQ(Snapshot.extractHotRanges(0.2).size(),
+            Tree.extractHotRanges(0.2).size());
+}

@@ -1,0 +1,86 @@
+//===- tests/core/WorstCaseBoundsTest.cpp - Analytic bound tests ---------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WorstCaseBounds.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+TEST(WorstCaseBounds, DepthMatchesTreeGeometry) {
+  EXPECT_EQ(WorstCaseBounds(32, 2, 0.01).depth(), 32u);
+  EXPECT_EQ(WorstCaseBounds(32, 4, 0.01).depth(), 16u);
+  EXPECT_EQ(WorstCaseBounds(64, 4, 0.01).depth(), 32u);
+  EXPECT_EQ(WorstCaseBounds(32, 8, 0.01).depth(), 11u); // ceil(32/3)
+}
+
+TEST(WorstCaseBounds, PostMergeBoundScalesInverseEpsilon) {
+  WorstCaseBounds Coarse(32, 4, 0.1);
+  WorstCaseBounds Fine(32, 4, 0.01);
+  EXPECT_NEAR(Fine.postMergeBound() / Coarse.postMergeBound(), 10.0, 1e-6);
+}
+
+TEST(WorstCaseBounds, SmallerBranchingMeansDeeperTree) {
+  // Fig 2's tradeoff: b=2 gives the deepest tree (slowest convergence)
+  // and the largest heavy-node bound.
+  WorstCaseBounds B2(64, 2, 0.01);
+  WorstCaseBounds B4(64, 4, 0.01);
+  WorstCaseBounds B16(64, 16, 0.01);
+  EXPECT_GT(B2.depth(), B4.depth());
+  EXPECT_GT(B4.depth(), B16.depth());
+  EXPECT_GT(B2.postMergeBound(), B4.postMergeBound());
+}
+
+TEST(WorstCaseBounds, SplitsBetweenIsLogarithmic) {
+  WorstCaseBounds Bounds(32, 4, 0.01);
+  // Doubling the stream adds the same number of worst-case splits
+  // every time: the logarithmic growth of Sec 3.1 / Fig 3.
+  double A = Bounds.splitsBetween(1000, 2000);
+  double B = Bounds.splitsBetween(2000, 4000);
+  double C = Bounds.splitsBetween(4000, 8000);
+  EXPECT_NEAR(A, B, 1e-9);
+  EXPECT_NEAR(B, C, 1e-9);
+  EXPECT_GT(A, 0.0);
+}
+
+TEST(WorstCaseBounds, SplitsBetweenZeroForEmptyInterval) {
+  WorstCaseBounds Bounds(32, 4, 0.01);
+  EXPECT_DOUBLE_EQ(Bounds.splitsBetween(5000, 5000), 0.0);
+}
+
+TEST(WorstCaseBounds, PreMergeBoundGrowsWithQ) {
+  // Fig 2 upper curve: a larger merge-interval ratio q lets the tree
+  // grow further between merges.
+  WorstCaseBounds Bounds(64, 4, 0.01);
+  double Q15 = Bounds.preMergeBound(1.5);
+  double Q2 = Bounds.preMergeBound(2.0);
+  double Q8 = Bounds.preMergeBound(8.0);
+  EXPECT_LT(Q15, Q2);
+  EXPECT_LT(Q2, Q8);
+  EXPECT_DOUBLE_EQ(Bounds.preMergeBound(1.0), Bounds.postMergeBound());
+}
+
+TEST(WorstCaseBounds, BoundAtIsSawtooth) {
+  WorstCaseBounds Bounds(32, 4, 0.01);
+  double AtMerge = Bounds.boundAt(1000, 1000);
+  double Later = Bounds.boundAt(1800, 1000);
+  double MuchLater = Bounds.boundAt(2000, 1000);
+  EXPECT_DOUBLE_EQ(AtMerge, Bounds.postMergeBound());
+  EXPECT_GT(Later, AtMerge);
+  EXPECT_GT(MuchLater, Later);
+}
+
+TEST(WorstCaseBounds, MergeWorkPerEventFallsWithQ) {
+  // The amortization argument of Sec 3.3: with exponentially growing
+  // intervals, merge work per event shrinks as q grows.
+  WorstCaseBounds Bounds(64, 4, 0.01);
+  double Q125 = Bounds.mergeWorkPerEvent(1.25, 1 << 20);
+  double Q2 = Bounds.mergeWorkPerEvent(2.0, 1 << 20);
+  double Q8 = Bounds.mergeWorkPerEvent(8.0, 1 << 20);
+  EXPECT_GT(Q125, Q2);
+  EXPECT_GT(Q2, Q8);
+}

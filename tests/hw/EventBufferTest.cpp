@@ -1,0 +1,77 @@
+//===- tests/hw/EventBufferTest.cpp - Combining buffer tests -------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/EventBuffer.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+TEST(EventBuffer, CombinesDuplicates) {
+  EventBuffer Buffer(16);
+  for (int I = 0; I != 10; ++I)
+    Buffer.push(7);
+  auto Pairs = Buffer.drain();
+  ASSERT_EQ(Pairs.size(), 1u);
+  EXPECT_EQ(Pairs[0].first, 7u);
+  EXPECT_EQ(Pairs[0].second, 10u);
+}
+
+TEST(EventBuffer, SignalsFullAtCapacity) {
+  EventBuffer Buffer(3);
+  EXPECT_FALSE(Buffer.push(1));
+  EXPECT_FALSE(Buffer.push(2));
+  EXPECT_FALSE(Buffer.push(1)); // duplicate: still 2 distinct
+  EXPECT_TRUE(Buffer.push(3));  // 3 distinct = capacity
+}
+
+TEST(EventBuffer, DrainEmptiesAndSorts) {
+  EventBuffer Buffer(16);
+  Buffer.push(9);
+  Buffer.push(3);
+  Buffer.push(9);
+  Buffer.push(1);
+  auto Pairs = Buffer.drain();
+  ASSERT_EQ(Pairs.size(), 3u);
+  EXPECT_EQ(Pairs[0].first, 1u);
+  EXPECT_EQ(Pairs[1].first, 3u);
+  EXPECT_EQ(Pairs[2].first, 9u);
+  EXPECT_EQ(Buffer.size(), 0u);
+  EXPECT_TRUE(Buffer.drain().empty());
+}
+
+TEST(EventBuffer, CombiningFactorOnSkewedStream) {
+  EventBuffer Buffer(1024);
+  // 10 distinct events, 10000 raw: combining factor ~1000 per drain.
+  for (int I = 0; I != 10000; ++I)
+    Buffer.push(I % 10);
+  Buffer.drain();
+  EXPECT_NEAR(Buffer.combiningFactor(), 1000.0, 1e-9);
+}
+
+TEST(EventBuffer, ZeroCapacityDisablesCombining) {
+  EventBuffer Buffer(0);
+  EXPECT_TRUE(Buffer.push(5)); // immediately full
+  auto Pairs = Buffer.drain();
+  ASSERT_EQ(Pairs.size(), 1u);
+  EXPECT_EQ(Pairs[0].second, 1u);
+  EXPECT_TRUE(Buffer.push(5));
+  Buffer.drain();
+  EXPECT_DOUBLE_EQ(Buffer.combiningFactor(), 1.0);
+}
+
+TEST(EventBuffer, StatisticsAccumulateAcrossDrains) {
+  EventBuffer Buffer(4);
+  for (int Round = 0; Round != 5; ++Round) {
+    for (int I = 0; I != 8; ++I)
+      Buffer.push(I % 2);
+    Buffer.drain();
+  }
+  EXPECT_EQ(Buffer.rawEvents(), 40u);
+  EXPECT_EQ(Buffer.drainedPairs(), 10u);
+  EXPECT_DOUBLE_EQ(Buffer.combiningFactor(), 4.0);
+}

@@ -1,0 +1,82 @@
+//===- tests/hw/HwCostModelTest.cpp - Sec 3.4 number checks --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/HwCostModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+TEST(HwCostModel, PaperAreaReproduced) {
+  HwCostModel Model = HwCostModel::makePaperConfig();
+  // Sec 3.4: "our Pipelined RAP Engine requires 24.73 mm^2 of area".
+  EXPECT_NEAR(Model.totalAreaMm2(), 24.73, 0.01);
+}
+
+TEST(HwCostModel, PaperDelaysReproduced) {
+  HwCostModel Model = HwCostModel::makePaperConfig();
+  // Sec 3.4: 7 ns TCAM critical path; 1.26 ns SRAM stage when the
+  // TCAM is pipelined.
+  EXPECT_NEAR(Model.tcamSearchDelayNs(), 7.0, 0.01);
+  EXPECT_NEAR(Model.sramAccessDelayNs(), 1.26, 0.01);
+}
+
+TEST(HwCostModel, PaperEnergyReproduced) {
+  HwCostModel Model = HwCostModel::makePaperConfig();
+  // Sec 3.4: "a total of 1.272 nJ energy is consumed".
+  EXPECT_NEAR(Model.totalEnergyPerOpNj(), 1.272, 0.001);
+}
+
+TEST(HwCostModel, SmallConfigMoreThanTenTimesCheaper) {
+  HwCostModel Paper = HwCostModel::makePaperConfig();
+  HwCostModel Small = HwCostModel::makeSmallConfig();
+  // Sec 3.4: "for a 400-node version the area and power would be more
+  // than a factor of 10 times less".
+  EXPECT_GT(Paper.totalAreaMm2() / Small.totalAreaMm2(), 10.0);
+  EXPECT_GT(Paper.totalEnergyPerOpNj() / Small.totalEnergyPerOpNj(), 10.0);
+}
+
+TEST(HwCostModel, AreaMonotoneInEntries) {
+  HwCostModel A(1024, 36, 4096);
+  HwCostModel B(2048, 36, 4096);
+  EXPECT_LT(A.totalAreaMm2(), B.totalAreaMm2());
+}
+
+TEST(HwCostModel, DelayGrowsWithArraySize) {
+  HwCostModel A(256, 36, 4096);
+  HwCostModel B(4096, 36, 4096);
+  EXPECT_LT(A.tcamSearchDelayNs(), B.tcamSearchDelayNs());
+  HwCostModel C(4096, 36, 1024);
+  HwCostModel D(4096, 36, 64 * 1024);
+  EXPECT_LT(C.sramAccessDelayNs(), D.sramAccessDelayNs());
+}
+
+TEST(HwCostModel, TechnologyScaling) {
+  HwCostModel At180(4096, 36, 16 * 1024, 180.0);
+  HwCostModel At90(4096, 36, 16 * 1024, 90.0);
+  // Constant-field scaling: half the feature size -> quarter area,
+  // half delay, eighth energy.
+  EXPECT_NEAR(At90.totalAreaMm2() / At180.totalAreaMm2(), 0.25, 1e-9);
+  EXPECT_NEAR(At90.tcamSearchDelayNs() / At180.tcamSearchDelayNs(), 0.5,
+              1e-9);
+  EXPECT_NEAR(At90.totalEnergyPerOpNj() / At180.totalEnergyPerOpNj(), 0.125,
+              1e-9);
+}
+
+TEST(HwCostModel, PipelinedClockFasterThanUnpipelined) {
+  HwCostModel Model = HwCostModel::makePaperConfig();
+  EXPECT_GT(Model.pipelinedClockMhz(), Model.unpipelinedClockMhz());
+  // ~794 MHz pipelined (1/1.26ns), ~143 MHz unpipelined (1/7ns).
+  EXPECT_NEAR(Model.pipelinedClockMhz(), 793.65, 1.0);
+  EXPECT_NEAR(Model.unpipelinedClockMhz(), 142.86, 1.0);
+}
+
+TEST(HwCostModel, ThroughputAtFourCyclesPerEvent) {
+  HwCostModel Model = HwCostModel::makePaperConfig();
+  // ~198M events/s = 794 MHz / 4.
+  EXPECT_NEAR(Model.eventsPerSecond() / 1e6, 198.4, 1.0);
+}

@@ -1,0 +1,107 @@
+//===- tests/hw/PipelineTimingTest.cpp - Timing model tests --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/PipelineTiming.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+TEST(PipelineTiming, UnpipelinedCycleIsTcamBound) {
+  PipelineTiming Timing(HwCostModel::makePaperConfig(), 1);
+  // Sec 3.4: the TCAM lookup (7 ns) governs the unpipelined clock.
+  EXPECT_NEAR(Timing.cycleTimeNs(), 7.0, 0.01);
+  EXPECT_NEAR(Timing.clockMhz(), 142.86, 0.5);
+}
+
+TEST(PipelineTiming, DeepSubPipeliningIsSramBound) {
+  // Sec 3.4: byte/nibble TCAM pipelining shifts the critical path to
+  // the 1.26 ns SRAM stage.
+  PipelineTiming Timing(HwCostModel::makePaperConfig(), 9);
+  EXPECT_NEAR(Timing.cycleTimeNs(), 1.26, 0.01);
+  EXPECT_NEAR(Timing.clockMhz(), 793.65, 1.0);
+}
+
+TEST(PipelineTiming, IntermediateSubStagesInterpolate) {
+  HwCostModel Cost = HwCostModel::makePaperConfig();
+  double Previous = PipelineTiming(Cost, 1).cycleTimeNs();
+  for (unsigned Stages = 2; Stages <= 8; ++Stages) {
+    double Current = PipelineTiming(Cost, Stages).cycleTimeNs();
+    EXPECT_LE(Current, Previous) << "more stages must not slow down";
+    Previous = Current;
+  }
+  // Beyond the SRAM floor, more stages stop helping.
+  EXPECT_DOUBLE_EQ(PipelineTiming(Cost, 16).cycleTimeNs(),
+                   PipelineTiming(Cost, 32).cycleTimeNs());
+}
+
+TEST(PipelineTiming, FillLatencyGrowsWithStages) {
+  HwCostModel Cost = HwCostModel::makePaperConfig();
+  PipelineTiming Shallow(Cost, 1);
+  PipelineTiming Deep(Cost, 9);
+  EXPECT_EQ(Shallow.numStages(), 5u); // Fig 4's five stages
+  EXPECT_EQ(Deep.numStages(), 13u);
+  // Deeper pipeline: lower cycle time but not lower fill latency.
+  EXPECT_LT(Deep.cycleTimeNs(), Shallow.cycleTimeNs());
+  EXPECT_GT(Deep.fillLatencyNs(), Deep.cycleTimeNs() * 5);
+}
+
+TEST(PipelineTiming, PeakThroughputAtFourCycles) {
+  PipelineTiming Timing(HwCostModel::makePaperConfig(), 9);
+  // ~198M events/s at 4 cycles per event (Sec 3.4).
+  EXPECT_NEAR(Timing.peakEventsPerSecond(4) / 1e6, 198.4, 1.0);
+}
+
+namespace {
+PipelinedRapEngine runSmallEngine(uint64_t BufferCapacity) {
+  EngineConfig Config;
+  Config.Profile.RangeBits = 16;
+  Config.Profile.Epsilon = 0.05;
+  Config.TcamCapacity = 4096;
+  Config.BufferCapacity = BufferCapacity;
+  PipelinedRapEngine Engine(Config);
+  Rng R(3);
+  for (int I = 0; I != 100000; ++I)
+    Engine.pushEvent(R.nextBelow(256)); // skewed: combines well
+  Engine.flush();
+  return Engine;
+}
+} // namespace
+
+TEST(PipelineTiming, RunReportConsistency) {
+  PipelinedRapEngine Engine = runSmallEngine(0);
+  PipelineTiming Timing(HwCostModel::makePaperConfig(), 9);
+  PipelineTiming::RunReport Report = Timing.analyze(Engine);
+  EXPECT_GT(Report.RuntimeSeconds, 0.0);
+  EXPECT_GT(Report.EnergyJoules, 0.0);
+  EXPECT_GT(Report.AveragePowerWatts, 0.0);
+  EXPECT_NEAR(Report.EnergyJoules,
+              Report.AveragePowerWatts * Report.RuntimeSeconds, 1e-12);
+  // Sustained rate can't beat one event per cycle.
+  EXPECT_LE(Report.RawEventsPerSecond, Timing.clockMhz() * 1e6 * 1.001);
+}
+
+TEST(PipelineTiming, CombiningRaisesSustainedRate) {
+  PipelinedRapEngine NoBuffer = runSmallEngine(0);
+  PipelinedRapEngine Buffered = runSmallEngine(1024);
+  PipelineTiming Timing(HwCostModel::makePaperConfig(), 9);
+  double RateA = Timing.analyze(NoBuffer).RawEventsPerSecond;
+  double RateB = Timing.analyze(Buffered).RawEventsPerSecond;
+  // Combining lets the same engine absorb a much faster raw stream.
+  EXPECT_GT(RateB, RateA * 5);
+}
+
+TEST(PipelineTiming, SmallerEngineUsesLessPower) {
+  PipelinedRapEngine Engine = runSmallEngine(0);
+  PipelineTiming Big(HwCostModel::makePaperConfig(), 9);
+  PipelineTiming Small(HwCostModel::makeSmallConfig(), 9);
+  double PowerBig = Big.analyze(Engine).AveragePowerWatts;
+  double PowerSmall = Small.analyze(Engine).AveragePowerWatts;
+  EXPECT_GT(PowerBig, PowerSmall * 5);
+}

@@ -1,0 +1,149 @@
+//===- tests/hw/PipelinedEngineTest.cpp - Engine tests -------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/PipelinedEngine.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+namespace {
+EngineConfig smallEngine(uint64_t BufferCapacity = 0) {
+  EngineConfig Config;
+  Config.Profile.RangeBits = 16;
+  Config.Profile.BranchFactor = 4;
+  Config.Profile.Epsilon = 0.05;
+  Config.Profile.InitialMergeInterval = 256;
+  Config.TcamCapacity = 4096;
+  Config.BufferCapacity = BufferCapacity;
+  return Config;
+}
+} // namespace
+
+TEST(PipelinedEngine, StartsWithRootEntry) {
+  PipelinedRapEngine Engine(smallEngine());
+  EXPECT_EQ(Engine.tcam().size(), 1u);
+  auto Snapshot = Engine.snapshot();
+  ASSERT_EQ(Snapshot.size(), 1u);
+  EXPECT_EQ(std::get<0>(Snapshot[0]), 0u);
+  EXPECT_EQ(std::get<1>(Snapshot[0]), 16u);
+}
+
+TEST(PipelinedEngine, CountsEvents) {
+  PipelinedRapEngine Engine(smallEngine());
+  for (int I = 0; I != 100; ++I)
+    Engine.pushEvent(42);
+  Engine.flush();
+  EXPECT_EQ(Engine.numEvents(), 100u);
+}
+
+TEST(PipelinedEngine, HotEventSplitsDownToUnit) {
+  PipelinedRapEngine Engine(smallEngine());
+  for (int I = 0; I != 2000; ++I)
+    Engine.pushEvent(0x1234);
+  Engine.flush();
+  bool FoundUnit = false;
+  for (const auto &[Lo, Width, Count] : Engine.snapshot())
+    FoundUnit |= Lo == 0x1234 && Width == 0 && Count > 0;
+  EXPECT_TRUE(FoundUnit);
+  EXPECT_GT(Engine.numSplits(), 0u);
+}
+
+TEST(PipelinedEngine, ConservationOfWeight) {
+  PipelinedRapEngine Engine(smallEngine());
+  Rng R(5);
+  for (int I = 0; I != 50000; ++I)
+    Engine.pushEvent(R.nextBelow(1 << 16));
+  Engine.flush();
+  uint64_t Total = 0;
+  for (const auto &[Lo, Width, Count] : Engine.snapshot())
+    Total += Count;
+  EXPECT_EQ(Total, Engine.numEvents());
+}
+
+TEST(PipelinedEngine, MergesRunOnSchedule) {
+  PipelinedRapEngine Engine(smallEngine());
+  Rng R(7);
+  for (int I = 0; I != 10000; ++I)
+    Engine.pushEvent(R.nextBelow(1 << 16));
+  Engine.flush();
+  EXPECT_GT(Engine.numMergePasses(), 2u);
+  EXPECT_GT(Engine.mergeStallCycles(), 0u);
+}
+
+TEST(PipelinedEngine, UpdateCyclesMatchPairCount) {
+  EngineConfig Config = smallEngine(/*BufferCapacity=*/0);
+  Config.Profile.EnableMerges = false;
+  PipelinedRapEngine Engine(Config);
+  for (int I = 0; I != 100; ++I)
+    Engine.pushEvent(5);
+  Engine.flush();
+  // No combining: 100 pairs x 4 cycles.
+  EXPECT_EQ(Engine.updateCycles(), 400u);
+}
+
+TEST(PipelinedEngine, CombiningReducesCyclesPerRawEvent) {
+  // The Sec 3.3 claim: a 1k combining buffer cuts the engine work per
+  // raw event by a large factor on skewed streams.
+  EngineConfig NoBuffer = smallEngine(0);
+  EngineConfig WithBuffer = smallEngine(1024);
+  PipelinedRapEngine A(NoBuffer);
+  PipelinedRapEngine B(WithBuffer);
+  Rng RA(9);
+  Rng RB(9);
+  for (int I = 0; I != 50000; ++I) {
+    uint64_t X = RA.nextBelow(64); // highly skewed: 64 distinct events
+    A.pushEvent(X);
+    B.pushEvent(RB.nextBelow(64));
+  }
+  A.flush();
+  B.flush();
+  EXPECT_LT(B.cyclesPerRawEvent(), A.cyclesPerRawEvent() / 5.0);
+}
+
+TEST(PipelinedEngine, SplitStallsAccounted) {
+  EngineConfig Config = smallEngine(0);
+  PipelinedRapEngine Engine(Config);
+  for (int I = 0; I != 2000; ++I)
+    Engine.pushEvent(0x4242);
+  Engine.flush();
+  EXPECT_GT(Engine.splitStallCycles(), 0u);
+  // Splits are rare relative to updates (Sec 3.3): stall cycles are a
+  // small fraction of update cycles.
+  EXPECT_LT(Engine.splitStallCycles(), Engine.updateCycles() / 4);
+}
+
+TEST(PipelinedEngine, TinyTcamOverflowsGracefully) {
+  EngineConfig Config = smallEngine(0);
+  Config.TcamCapacity = 8;
+  PipelinedRapEngine Engine(Config);
+  Rng R(11);
+  for (int I = 0; I != 20000; ++I)
+    Engine.pushEvent(R.nextBelow(1 << 16));
+  Engine.flush();
+  EXPECT_LE(Engine.tcam().size(), 8u);
+  EXPECT_GT(Engine.numCapacityOverflows(), 0u);
+  // Weight is still conserved: events land on coarser ranges.
+  uint64_t Total = 0;
+  for (const auto &[Lo, Width, Count] : Engine.snapshot())
+    Total += Count;
+  EXPECT_EQ(Total, Engine.numEvents());
+}
+
+TEST(PipelinedEngine, DeterministicSnapshots) {
+  auto Run = [] {
+    PipelinedRapEngine Engine(smallEngine(64));
+    Rng R(13);
+    for (int I = 0; I != 30000; ++I)
+      Engine.pushEvent(R.nextBelow(1 << 16));
+    Engine.flush();
+    return Engine.snapshot();
+  };
+  EXPECT_EQ(Run(), Run());
+}

@@ -1,0 +1,104 @@
+//===- tests/hw/TcamTest.cpp - TCAM model tests --------------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/Tcam.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+TEST(Tcam, InsertFindRemove) {
+  Tcam Array(16);
+  int64_t Slot = Array.insert(0x100, 8);
+  ASSERT_GE(Slot, 0);
+  EXPECT_EQ(Array.find(0x100, 8), Slot);
+  EXPECT_EQ(Array.size(), 1u);
+  Array.remove(static_cast<uint64_t>(Slot));
+  EXPECT_EQ(Array.find(0x100, 8), -1);
+  EXPECT_EQ(Array.size(), 0u);
+}
+
+TEST(Tcam, CapacityExhaustion) {
+  Tcam Array(2);
+  EXPECT_GE(Array.insert(0, 4), 0);
+  EXPECT_GE(Array.insert(16, 4), 0);
+  EXPECT_EQ(Array.insert(32, 4), -1); // full
+  // Freeing a slot makes room again.
+  Array.remove(static_cast<uint64_t>(Array.find(0, 4)));
+  EXPECT_GE(Array.insert(32, 4), 0);
+}
+
+TEST(Tcam, LongestPrefixWins) {
+  Tcam Array(16);
+  int64_t Root = Array.insert(0, 16);   // [0, 65535]
+  int64_t Mid = Array.insert(0x1000, 12); // [0x1000, 0x1fff]
+  int64_t Leaf = Array.insert(0x1230, 4); // [0x1230, 0x123f]
+  ASSERT_GE(Root, 0);
+  ASSERT_GE(Mid, 0);
+  ASSERT_GE(Leaf, 0);
+  EXPECT_EQ(Array.searchSmallestCover(0x1234), Leaf);
+  EXPECT_EQ(Array.searchSmallestCover(0x1fff), Mid);
+  EXPECT_EQ(Array.searchSmallestCover(0x9999), Root);
+}
+
+TEST(Tcam, UnitPatternsAreDistinct) {
+  Tcam Array(16);
+  int64_t A = Array.insert(10, 0);
+  int64_t B = Array.insert(11, 0);
+  ASSERT_GE(A, 0);
+  ASSERT_GE(B, 0);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Array.searchSmallestCover(10), A);
+  EXPECT_EQ(Array.searchSmallestCover(11), B);
+}
+
+TEST(Tcam, FullWidthPattern) {
+  Tcam Array(4);
+  int64_t Root = Array.insert(0, 64);
+  ASSERT_GE(Root, 0);
+  EXPECT_EQ(Array.searchSmallestCover(~uint64_t(0)), Root);
+  EXPECT_EQ(Array.searchSmallestCover(0), Root);
+  EXPECT_EQ(Array.find(0, 64), Root);
+}
+
+TEST(Tcam, NoMatchReturnsMinusOne) {
+  Tcam Array(4);
+  Array.insert(0x100, 8); // [0x100, 0x1ff]
+  EXPECT_EQ(Array.searchSmallestCover(0x200), -1);
+}
+
+TEST(Tcam, MatchLineStatistics) {
+  Tcam Array(8);
+  Array.insert(0, 16);
+  Array.insert(0, 8);
+  Array.insert(0, 0);
+  Array.searchSmallestCover(0); // matches all 3 patterns
+  EXPECT_EQ(Array.numSearches(), 1u);
+  EXPECT_EQ(Array.numMatchLines(), 3u);
+  Array.searchSmallestCover(0xFFFF); // matches only the root
+  EXPECT_EQ(Array.numMatchLines(), 4u);
+}
+
+TEST(Tcam, LiveSlotsEnumerates) {
+  Tcam Array(8);
+  Array.insert(0, 8);
+  Array.insert(0x100, 8);
+  Array.insert(0x200, 8);
+  std::vector<uint64_t> Slots = Array.liveSlots();
+  EXPECT_EQ(Slots.size(), 3u);
+}
+
+TEST(Tcam, CountsStoredPerEntry) {
+  Tcam Array(4);
+  int64_t Slot = Array.insert(0x40, 4);
+  ASSERT_GE(Slot, 0);
+  Array.entry(static_cast<uint64_t>(Slot)).Count = 99;
+  EXPECT_EQ(Array.entry(static_cast<uint64_t>(Slot)).Count, 99u);
+  Array.remove(static_cast<uint64_t>(Slot));
+  int64_t Reused = Array.insert(0x40, 4);
+  EXPECT_EQ(Array.entry(static_cast<uint64_t>(Reused)).Count, 0u);
+}

@@ -1,0 +1,146 @@
+//===- tests/integration/RobustnessTest.cpp - Failure injection ----------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Failure-injection tests for the untrusted-input surfaces: mutated
+/// and random byte streams fed to the profile and trace readers must
+/// be either parsed into a *valid* object or rejected with an error —
+/// never crash, hang, or produce a structurally broken tree.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Serialization.h"
+#include "support/Rng.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace rap;
+
+namespace {
+
+std::string makeValidProfileBytes() {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.05;
+  RapTree Tree(Config);
+  Rng R(1);
+  for (int I = 0; I != 20000; ++I)
+    Tree.addPoint(R.nextBelow(1 << 16));
+  std::ostringstream OS;
+  ProfileSnapshot::capture(Tree).writeBinary(OS);
+  return OS.str();
+}
+
+std::string makeValidTraceBytes() {
+  std::ostringstream OS;
+  TraceWriter Writer(OS);
+  Rng R(2);
+  for (int I = 0; I != 500; ++I) {
+    TraceRecord Record;
+    Record.BlockPc = R.nextBelow(1 << 24);
+    Record.BlockLength = 3 + static_cast<uint32_t>(R.nextBelow(10));
+    Record.HasLoad = R.nextBernoulli(0.4);
+    Record.LoadAddress = R.next();
+    Record.LoadValue = R.next();
+    Writer.append(Record);
+  }
+  Writer.finish();
+  return OS.str();
+}
+
+} // namespace
+
+TEST(Robustness, MutatedProfilesNeverBreakInvariants) {
+  std::string Valid = makeValidProfileBytes();
+  Rng R(0xF0F0);
+  for (int Trial = 0; Trial != 300; ++Trial) {
+    std::string Mutated = Valid;
+    unsigned Flips = 1 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned F = 0; F != Flips; ++F) {
+      size_t Offset = static_cast<size_t>(R.nextBelow(Mutated.size()));
+      Mutated[Offset] = static_cast<char>(R.nextBelow(256));
+    }
+    std::istringstream IS(Mutated);
+    std::string Error;
+    std::unique_ptr<ProfileSnapshot> Snapshot =
+        ProfileSnapshot::readBinary(IS, &Error);
+    if (!Snapshot) {
+      EXPECT_FALSE(Error.empty());
+      continue;
+    }
+    // Accepted mutants must still be fully valid: restore and check
+    // the core invariant (conservation).
+    std::unique_ptr<RapTree> Tree = Snapshot->restore();
+    ASSERT_TRUE(Tree);
+    EXPECT_EQ(Tree->root().subtreeWeight(), Tree->numEvents());
+  }
+}
+
+TEST(Robustness, RandomGarbageProfilesRejected) {
+  Rng R(0xABCD);
+  for (int Trial = 0; Trial != 100; ++Trial) {
+    std::string Garbage(1 + R.nextBelow(500), '\0');
+    for (char &C : Garbage)
+      C = static_cast<char>(R.nextBelow(256));
+    std::istringstream IS(Garbage);
+    std::string Error;
+    // Random bytes essentially never start with the magic; regardless,
+    // the reader must return cleanly.
+    (void)ProfileSnapshot::readBinary(IS, &Error);
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, MutatedTracesNeverCrashTheReader) {
+  std::string Valid = makeValidTraceBytes();
+  Rng R(0x1CE);
+  for (int Trial = 0; Trial != 300; ++Trial) {
+    std::string Mutated = Valid;
+    size_t Offset = static_cast<size_t>(R.nextBelow(Mutated.size()));
+    Mutated[Offset] = static_cast<char>(R.nextBelow(256));
+    // Also randomly truncate half the time.
+    if (R.nextBernoulli(0.5))
+      Mutated.resize(1 + R.nextBelow(Mutated.size()));
+    std::istringstream IS(Mutated);
+    TraceReader Reader(IS);
+    TraceRecord Record;
+    uint64_t Consumed = 0;
+    while (Reader.valid() && Reader.next(Record)) {
+      // Records that do parse must be self-consistent.
+      ++Consumed;
+      if (Consumed > 1000000)
+        break; // would indicate a hang; the count is bounded anyway
+    }
+    EXPECT_LE(Consumed, 1000000u);
+  }
+}
+
+TEST(Robustness, TextProfileWhitespaceAndJunkLines) {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  RapTree Tree(Config);
+  Tree.addPoint(1);
+  std::ostringstream OS;
+  ProfileSnapshot::capture(Tree).writeText(OS);
+  std::string Text = OS.str();
+
+  // Appending junk after a complete profile is tolerated (ignored).
+  {
+    std::istringstream IS(Text + "trailing junk\n");
+    EXPECT_NE(ProfileSnapshot::readText(IS), nullptr);
+  }
+  // Corrupting the node count line is rejected.
+  {
+    std::string Broken = Text;
+    Broken.replace(Broken.find("nodes="), 6, "nodes=x");
+    std::istringstream IS(Broken);
+    EXPECT_EQ(ProfileSnapshot::readText(IS), nullptr);
+  }
+}

@@ -1,0 +1,149 @@
+//===- tests/sim/CacheTest.cpp - Cache model tests -----------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+#include "trace/ProgramModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+namespace {
+CacheConfig tinyCache() {
+  CacheConfig Config;
+  Config.SizeBytes = 1024; // 4 sets x 4 ways x 64B
+  Config.Associativity = 4;
+  Config.LineBytes = 64;
+  return Config;
+}
+} // namespace
+
+TEST(CacheConfig, ValidGeometries) {
+  EXPECT_TRUE(tinyCache().validate());
+  CacheConfig Big;
+  Big.SizeBytes = 512 * 1024;
+  Big.Associativity = 8;
+  Big.LineBytes = 64;
+  EXPECT_TRUE(Big.validate());
+}
+
+TEST(CacheConfig, InvalidGeometriesRejected) {
+  CacheConfig Config = tinyCache();
+  Config.LineBytes = 48; // not a power of two
+  EXPECT_FALSE(Config.validate());
+  Config = tinyCache();
+  Config.Associativity = 0;
+  EXPECT_FALSE(Config.validate());
+  Config = tinyCache();
+  Config.SizeBytes = 1000; // not a multiple
+  EXPECT_FALSE(Config.validate());
+  Config = tinyCache();
+  Config.SizeBytes = 768; // 3 sets: not a power of two
+  EXPECT_FALSE(Config.validate());
+}
+
+TEST(SetAssocCache, ColdMissThenHit) {
+  SetAssocCache Cache(tinyCache());
+  EXPECT_FALSE(Cache.access(0x1000));
+  EXPECT_TRUE(Cache.access(0x1000));
+  EXPECT_TRUE(Cache.access(0x1004)); // same 64B line
+  EXPECT_EQ(Cache.numAccesses(), 3u);
+  EXPECT_EQ(Cache.numHits(), 2u);
+}
+
+TEST(SetAssocCache, DistinctLinesMissSeparately) {
+  SetAssocCache Cache(tinyCache());
+  EXPECT_FALSE(Cache.access(0x0));
+  EXPECT_FALSE(Cache.access(0x40));
+  EXPECT_FALSE(Cache.access(0x80));
+  EXPECT_TRUE(Cache.access(0x0));
+}
+
+TEST(SetAssocCache, LruEvictionOrder) {
+  // 4 ways per set; fill one set with 4 lines, touch the first again,
+  // then insert a 5th line: the least recently used (second) line is
+  // the victim.
+  SetAssocCache Cache(tinyCache());
+  // Set index = (addr >> 6) & 3; keep set 0: addresses multiple of
+  // 4*64 = 256.
+  uint64_t L0 = 0 * 256;
+  uint64_t L1 = 1 * 256 + 0; // 0x100: set index (0x100>>6)&3 = 0
+  uint64_t L2 = 2 * 256;
+  uint64_t L3 = 3 * 256;
+  uint64_t L4 = 4 * 256;
+  Cache.access(L0);
+  Cache.access(L1);
+  Cache.access(L2);
+  Cache.access(L3);
+  EXPECT_TRUE(Cache.access(L0)); // refresh L0 to MRU
+  EXPECT_FALSE(Cache.access(L4)); // evicts L1 (LRU)
+  EXPECT_TRUE(Cache.access(L0));  // L0 still resident
+  EXPECT_FALSE(Cache.access(L1)); // L1 was evicted
+}
+
+TEST(SetAssocCache, WorkingSetLargerThanCacheThrashes) {
+  SetAssocCache Cache(tinyCache()); // 1KB
+  // Scan 64KB repeatedly: every access a miss after the cold pass.
+  uint64_t Misses = 0;
+  for (int Pass = 0; Pass != 4; ++Pass)
+    for (uint64_t Address = 0; Address != 0x10000; Address += 64)
+      Misses += !Cache.access(Address);
+  EXPECT_EQ(Misses, Cache.numAccesses()); // everything misses
+}
+
+TEST(SetAssocCache, SmallWorkingSetAllHitsAfterWarmup) {
+  SetAssocCache Cache(tinyCache());
+  // 8 lines fit easily in 16 lines of capacity.
+  for (int Pass = 0; Pass != 10; ++Pass)
+    for (uint64_t Address = 0; Address != 512; Address += 64)
+      Cache.access(Address);
+  // Only the 8 cold misses.
+  EXPECT_EQ(Cache.numMisses(), 8u);
+}
+
+TEST(SetAssocCache, ResetClearsEverything) {
+  SetAssocCache Cache(tinyCache());
+  Cache.access(0x40);
+  Cache.reset();
+  EXPECT_EQ(Cache.numAccesses(), 0u);
+  EXPECT_FALSE(Cache.access(0x40)); // cold again
+}
+
+TEST(CacheHierarchy, L2SeesOnlyL1Misses) {
+  CacheHierarchy Hierarchy = CacheHierarchy::makeDefault();
+  for (uint64_t Address = 0; Address != 0x10000; Address += 64)
+    Hierarchy.access(Address);
+  EXPECT_EQ(Hierarchy.l2().numAccesses(), Hierarchy.l1().numMisses());
+}
+
+TEST(CacheHierarchy, MediumWorkingSetHitsInL2) {
+  CacheHierarchy Hierarchy = CacheHierarchy::makeDefault();
+  // 128KB working set: misses 32KB DL1, fits 512KB DL2.
+  for (int Pass = 0; Pass != 3; ++Pass)
+    for (uint64_t Address = 0; Address != 0x20000; Address += 64)
+      Hierarchy.access(Address);
+  EXPECT_GT(Hierarchy.l1().missRatio(), 0.9);
+  // After the cold pass, DL2 hits everything.
+  EXPECT_LT(Hierarchy.l2().missRatio(), 0.4);
+}
+
+TEST(CacheHierarchy, StreamingBenchmarkLoadsMissMoreThanReuseLoads) {
+  // Integration with the trace substrate: mcf (streaming heavy) has a
+  // higher DL1 miss ratio than bzip2 (small working set).
+  auto MissRatio = [](const std::string &Name) {
+    CacheHierarchy Hierarchy = CacheHierarchy::makeDefault();
+    ProgramModel Model(getBenchmarkSpec(Name), 13);
+    for (int I = 0; I != 300000; ++I) {
+      TraceRecord R = Model.next();
+      if (R.HasLoad)
+        Hierarchy.access(R.LoadAddress);
+    }
+    return Hierarchy.l1().missRatio();
+  };
+  EXPECT_GT(MissRatio("mcf"), MissRatio("bzip2"));
+}

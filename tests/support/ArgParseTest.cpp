@@ -1,0 +1,94 @@
+//===- tests/support/ArgParseTest.cpp - Flag parser tests ----------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+namespace {
+ArgParse makeParser() {
+  ArgParse P("prog", "test program");
+  P.addString("name", "default", "a string");
+  P.addUint("count", 10, "a count");
+  P.addDouble("eps", 0.01, "an epsilon");
+  P.addBool("verbose", "a flag");
+  return P;
+}
+} // namespace
+
+TEST(ArgParse, DefaultsWhenNoArgs) {
+  ArgParse P = makeParser();
+  const char *Argv[] = {"prog"};
+  ASSERT_TRUE(P.parse(1, Argv));
+  EXPECT_EQ(P.getString("name"), "default");
+  EXPECT_EQ(P.getUint("count"), 10u);
+  EXPECT_DOUBLE_EQ(P.getDouble("eps"), 0.01);
+  EXPECT_FALSE(P.getBool("verbose"));
+}
+
+TEST(ArgParse, EqualsSyntax) {
+  ArgParse P = makeParser();
+  const char *Argv[] = {"prog", "--name=hello", "--count=42", "--eps=0.5"};
+  ASSERT_TRUE(P.parse(4, Argv));
+  EXPECT_EQ(P.getString("name"), "hello");
+  EXPECT_EQ(P.getUint("count"), 42u);
+  EXPECT_DOUBLE_EQ(P.getDouble("eps"), 0.5);
+}
+
+TEST(ArgParse, SpaceSyntax) {
+  ArgParse P = makeParser();
+  const char *Argv[] = {"prog", "--count", "7", "--name", "x"};
+  ASSERT_TRUE(P.parse(5, Argv));
+  EXPECT_EQ(P.getUint("count"), 7u);
+  EXPECT_EQ(P.getString("name"), "x");
+}
+
+TEST(ArgParse, BareBooleanSetsTrue) {
+  ArgParse P = makeParser();
+  const char *Argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(P.parse(2, Argv));
+  EXPECT_TRUE(P.getBool("verbose"));
+}
+
+TEST(ArgParse, HexIntegerAccepted) {
+  ArgParse P = makeParser();
+  const char *Argv[] = {"prog", "--count=0x10"};
+  ASSERT_TRUE(P.parse(2, Argv));
+  EXPECT_EQ(P.getUint("count"), 16u);
+}
+
+TEST(ArgParse, UnknownFlagFails) {
+  ArgParse P = makeParser();
+  const char *Argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}
+
+TEST(ArgParse, MalformedIntegerFails) {
+  ArgParse P = makeParser();
+  const char *Argv[] = {"prog", "--count=abc"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}
+
+TEST(ArgParse, MissingValueFails) {
+  ArgParse P = makeParser();
+  const char *Argv[] = {"prog", "--count"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}
+
+TEST(ArgParse, HelpReturnsFalse) {
+  ArgParse P = makeParser();
+  const char *Argv[] = {"prog", "--help"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}
+
+TEST(ArgParse, PositionalArgumentRejected) {
+  ArgParse P = makeParser();
+  const char *Argv[] = {"prog", "stray"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}

@@ -1,0 +1,120 @@
+//===- tests/support/DistributionsTest.cpp - Sampler tests ---------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace rap;
+
+TEST(ZipfDistribution, ProbabilitiesSumToOne) {
+  ZipfDistribution Z(100, 1.0);
+  double Total = 0.0;
+  for (uint64_t K = 0; K != Z.size(); ++K)
+    Total += Z.probabilityOf(K);
+  EXPECT_NEAR(Total, 1.0, 1e-9);
+}
+
+TEST(ZipfDistribution, RankZeroIsMostLikely) {
+  ZipfDistribution Z(50, 1.2);
+  for (uint64_t K = 1; K != Z.size(); ++K)
+    EXPECT_GT(Z.probabilityOf(0), Z.probabilityOf(K));
+}
+
+TEST(ZipfDistribution, MonotoneDecreasing) {
+  ZipfDistribution Z(200, 0.8);
+  for (uint64_t K = 1; K != Z.size(); ++K)
+    EXPECT_GE(Z.probabilityOf(K - 1), Z.probabilityOf(K));
+}
+
+TEST(ZipfDistribution, SingleItem) {
+  ZipfDistribution Z(1, 1.0);
+  Rng R(3);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(Z.sample(R), 0u);
+}
+
+TEST(ZipfDistribution, EmpiricalFrequencyMatchesTheory) {
+  ZipfDistribution Z(10, 1.0);
+  Rng R(41);
+  const int N = 200000;
+  std::vector<int> Histogram(10, 0);
+  for (int I = 0; I != N; ++I)
+    ++Histogram[Z.sample(R)];
+  for (uint64_t K = 0; K != 10; ++K)
+    EXPECT_NEAR(static_cast<double>(Histogram[K]) / N, Z.probabilityOf(K),
+                0.01)
+        << "rank " << K;
+}
+
+TEST(ZipfDistribution, SamplesWithinRange) {
+  ZipfDistribution Z(37, 1.5);
+  Rng R(43);
+  for (int I = 0; I != 5000; ++I)
+    ASSERT_LT(Z.sample(R), 37u);
+}
+
+TEST(DiscreteDistribution, ProbabilitiesNormalized) {
+  DiscreteDistribution D({2.0, 6.0, 2.0});
+  EXPECT_NEAR(D.probabilityOf(0), 0.2, 1e-9);
+  EXPECT_NEAR(D.probabilityOf(1), 0.6, 1e-9);
+  EXPECT_NEAR(D.probabilityOf(2), 0.2, 1e-9);
+}
+
+TEST(DiscreteDistribution, ZeroWeightOutcomeNeverSampled) {
+  DiscreteDistribution D({1.0, 0.0, 1.0});
+  Rng R(47);
+  for (int I = 0; I != 5000; ++I)
+    ASSERT_NE(D.sample(R), 1u);
+}
+
+TEST(DiscreteDistribution, EmpiricalFrequencies) {
+  DiscreteDistribution D({0.5, 0.3, 0.2});
+  Rng R(53);
+  const int N = 100000;
+  std::vector<int> Histogram(3, 0);
+  for (int I = 0; I != N; ++I)
+    ++Histogram[D.sample(R)];
+  EXPECT_NEAR(static_cast<double>(Histogram[0]) / N, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(Histogram[1]) / N, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(Histogram[2]) / N, 0.2, 0.01);
+}
+
+TEST(DiscreteDistribution, SingleOutcome) {
+  DiscreteDistribution D({5.0});
+  Rng R(59);
+  for (int I = 0; I != 20; ++I)
+    EXPECT_EQ(D.sample(R), 0u);
+}
+
+TEST(GeometricLength, AlwaysAtLeastOne) {
+  GeometricLength G(1.0);
+  Rng R(61);
+  for (int I = 0; I != 1000; ++I)
+    ASSERT_GE(G.sample(R), 1u);
+}
+
+TEST(GeometricLength, MeanOneIsDegenerate) {
+  GeometricLength G(1.0);
+  Rng R(67);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(G.sample(R), 1u);
+}
+
+TEST(GeometricLength, EmpiricalMean) {
+  for (double Mean : {2.0, 8.0, 32.0}) {
+    GeometricLength G(Mean);
+    Rng R(71);
+    const int N = 200000;
+    double Sum = 0.0;
+    for (int I = 0; I != N; ++I)
+      Sum += static_cast<double>(G.sample(R));
+    EXPECT_NEAR(Sum / N, Mean, Mean * 0.05) << "mean " << Mean;
+  }
+}

@@ -1,0 +1,119 @@
+//===- tests/support/RngTest.cpp - Deterministic RNG tests ---------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace rap;
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 A(42);
+  SplitMix64 B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 A(1);
+  SplitMix64 B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I != 10; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(12345);
+  Rng B(12345);
+  for (int I = 0; I != 1000; ++I)
+    ASSERT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int I = 0; I != 200; ++I)
+      ASSERT_LT(R.nextBelow(Bound), Bound) << "bound " << Bound;
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng R(9);
+  for (int I = 0; I != 50; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(11);
+  bool SawLo = false;
+  bool SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t V = R.nextInRange(5, 8);
+    ASSERT_GE(V, 5u);
+    ASSERT_LE(V, 8u);
+    SawLo |= V == 5;
+    SawHi |= V == 8;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, NextInRangeFullWidth) {
+  Rng R(13);
+  // Must not crash or loop on the full 64-bit range.
+  for (int I = 0; I != 100; ++I)
+    (void)R.nextInRange(0, ~uint64_t(0));
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng R(17);
+  for (int I = 0; I != 2000; ++I) {
+    double D = R.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsCentered) {
+  Rng R(19);
+  double Sum = 0.0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    Sum += R.nextDouble();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng R(23);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    Hits += R.nextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.3, 0.01);
+}
+
+TEST(Rng, UniformityOverSmallBound) {
+  Rng R(29);
+  const uint64_t Bound = 8;
+  uint64_t Histogram[8] = {0};
+  const int N = 80000;
+  for (int I = 0; I != N; ++I)
+    ++Histogram[R.nextBelow(Bound)];
+  for (uint64_t Count : Histogram)
+    EXPECT_NEAR(static_cast<double>(Count) / N, 0.125, 0.01);
+}
+
+TEST(Rng, DistinctStatesProduceDistinctStreams) {
+  std::set<uint64_t> Firsts;
+  for (uint64_t Seed = 0; Seed != 64; ++Seed)
+    Firsts.insert(Rng(Seed).next());
+  // All 64 seeds should give distinct first draws.
+  EXPECT_EQ(Firsts.size(), 64u);
+}

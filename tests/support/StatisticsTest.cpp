@@ -1,0 +1,61 @@
+//===- tests/support/StatisticsTest.cpp - RunningStat tests --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+TEST(RunningStat, EmptyDefaults) {
+  RunningStat S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat S;
+  S.add(7.5);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_EQ(S.mean(), 7.5);
+  EXPECT_EQ(S.min(), 7.5);
+  EXPECT_EQ(S.max(), 7.5);
+}
+
+TEST(RunningStat, MeanMinMax) {
+  RunningStat S;
+  for (double V : {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0})
+    S.add(V);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 31.0 / 8.0);
+  EXPECT_EQ(S.min(), 1.0);
+  EXPECT_EQ(S.max(), 9.0);
+}
+
+TEST(RunningStat, NegativeValues) {
+  RunningStat S;
+  S.add(-5.0);
+  S.add(5.0);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.min(), -5.0);
+  EXPECT_EQ(S.max(), 5.0);
+}
+
+TEST(PercentError, ExactEstimateIsZero) {
+  EXPECT_EQ(percentError(100.0, 100.0), 0.0);
+}
+
+TEST(PercentError, UnderAndOverEstimateSymmetric) {
+  EXPECT_DOUBLE_EQ(percentError(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentError(110.0, 100.0), 10.0);
+}
+
+TEST(PercentError, RelativeToActual) {
+  EXPECT_DOUBLE_EQ(percentError(1.0, 2.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentError(3.0, 2.0), 50.0);
+}

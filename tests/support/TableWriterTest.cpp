@@ -1,0 +1,67 @@
+//===- tests/support/TableWriterTest.cpp - Table output tests ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace rap;
+
+TEST(TableWriter, FormatsDouble) {
+  EXPECT_EQ(TableWriter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(TableWriter::fmt(0.0, 1), "0.0");
+}
+
+TEST(TableWriter, FormatsUint) {
+  EXPECT_EQ(TableWriter::fmt(uint64_t(0)), "0");
+  EXPECT_EQ(TableWriter::fmt(uint64_t(1234567)), "1234567");
+  EXPECT_EQ(TableWriter::fmt(~uint64_t(0)), "18446744073709551615");
+}
+
+TEST(TableWriter, FormatsHex) {
+  EXPECT_EQ(TableWriter::hex(0), "0");
+  EXPECT_EQ(TableWriter::hex(0xdeadbeef), "deadbeef");
+  EXPECT_EQ(TableWriter::hex(~uint64_t(0)), "ffffffffffffffff");
+}
+
+TEST(TableWriter, PrintsAlignedColumns) {
+  TableWriter T;
+  T.setHeader({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "22"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Text = OS.str();
+  // Header present, rule line present, both rows present.
+  EXPECT_NE(Text.find("name"), std::string::npos);
+  EXPECT_NE(Text.find("value"), std::string::npos);
+  EXPECT_NE(Text.find("----"), std::string::npos);
+  EXPECT_NE(Text.find("longer"), std::string::npos);
+  // Columns align: "a" cell padded to the width of "longer".
+  EXPECT_NE(Text.find("a       1"), std::string::npos);
+}
+
+TEST(TableWriter, NoHeaderNoRule) {
+  TableWriter T;
+  T.addRow({"x", "y"});
+  std::ostringstream OS;
+  T.print(OS);
+  EXPECT_EQ(OS.str().find("----"), std::string::npos);
+}
+
+TEST(TableWriter, RaggedRowsAllowed) {
+  TableWriter T;
+  T.setHeader({"a", "b", "c"});
+  T.addRow({"1"});
+  T.addRow({"1", "2", "3"});
+  std::ostringstream OS;
+  T.print(OS);
+  EXPECT_NE(OS.str().find("3"), std::string::npos);
+}

@@ -1,0 +1,160 @@
+//===- tests/trace/CodeModelTest.cpp - Code model tests ------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/CodeModel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+BenchmarkSpec tinySpec() {
+  BenchmarkSpec Spec;
+  Spec.Name = "tiny";
+  Spec.Seed = 17;
+  Spec.NumBlocks = 1000;
+  Spec.NumPhases = 2;
+  Spec.PhaseLength = 10000;
+  Spec.PhaseModulation = 0.2;
+  CodeRegionSpec R0;
+  R0.SizeFraction = 0.05;
+  R0.Weight = 0.5;
+  R0.NarrowOperandProb = 0.9;
+  CodeRegionSpec R1;
+  R1.SizeFraction = 0.05;
+  R1.Weight = 0.3;
+  R1.NarrowOperandProb = 0.05;
+  Spec.Regions = {R0, R1};
+  return Spec;
+}
+
+} // namespace
+
+TEST(CodeModel, BlockIndicesInRange) {
+  BenchmarkSpec Spec = tinySpec();
+  CodeModel Model(Spec, 1);
+  Rng R(1);
+  for (int I = 0; I != 10000; ++I)
+    ASSERT_LT(Model.nextBlockIndex(R, 0), Spec.NumBlocks);
+}
+
+TEST(CodeModel, PcLayoutIsStrided) {
+  BenchmarkSpec Spec = tinySpec();
+  CodeModel Model(Spec, 1);
+  EXPECT_EQ(Model.pcOf(0), Spec.CodeBase);
+  EXPECT_EQ(Model.pcOf(5), Spec.CodeBase + 5 * Spec.BlockStride);
+}
+
+TEST(CodeModel, RegionsAreDisjointContiguous) {
+  BenchmarkSpec Spec = tinySpec();
+  CodeModel Model(Spec, 1);
+  ASSERT_EQ(Model.regionCount(), 2u);
+  auto [A0, A1] = Model.regionBlocks(0);
+  auto [B0, B1] = Model.regionBlocks(1);
+  EXPECT_LE(A0, A1);
+  EXPECT_LE(B0, B1);
+  EXPECT_LT(A1, B0); // laid out in order with a gap
+  // Membership agrees with regionOf.
+  EXPECT_EQ(Model.regionOf(A0), 0u);
+  EXPECT_EQ(Model.regionOf(A1), 0u);
+  EXPECT_EQ(Model.regionOf(B0), 1u);
+  EXPECT_EQ(Model.regionOf(0), 2u); // background before first region
+}
+
+TEST(CodeModel, RegionWeightsApproximatelyHonored) {
+  BenchmarkSpec Spec = tinySpec();
+  Spec.PhaseModulation = 0.0; // static weights for this check
+  CodeModel Model(Spec, 1);
+  Rng R(2);
+  uint64_t InRegion0 = 0;
+  const int N = 200000;
+  for (int I = 0; I != N; ++I) {
+    uint64_t Block = Model.nextBlockIndex(R, 0);
+    InRegion0 += Model.regionOf(Block) == 0;
+  }
+  // Region choice is per *run*, and background runs are truncated to
+  // at most 4 blocks while region runs average MeanRunLength, so the
+  // per-event fraction tracks the configured weight only approximately
+  // (biased upward for hot regions).
+  EXPECT_NEAR(static_cast<double>(InRegion0) / N, 0.5, 0.12);
+  EXPECT_GT(static_cast<double>(InRegion0) / N, 0.4);
+}
+
+TEST(CodeModel, BlockLengthsInDocumentedRange) {
+  BenchmarkSpec Spec = tinySpec();
+  CodeModel Model(Spec, 1);
+  for (uint64_t I = 0; I != Spec.NumBlocks; ++I) {
+    uint32_t Length = Model.lengthOf(I);
+    ASSERT_GE(Length, 3u);
+    ASSERT_LE(Length, 16u);
+  }
+}
+
+TEST(CodeModel, BlockAttributesAreStable) {
+  BenchmarkSpec Spec = tinySpec();
+  CodeModel A(Spec, 7);
+  CodeModel B(Spec, 7);
+  for (uint64_t I = 0; I != 200; ++I) {
+    EXPECT_EQ(A.lengthOf(I), B.lengthOf(I));
+    EXPECT_EQ(A.isNarrowOperandBlock(I), B.isNarrowOperandBlock(I));
+  }
+}
+
+TEST(CodeModel, NarrowOperandsConcentrateInNarrowRegion) {
+  BenchmarkSpec Spec = tinySpec();
+  CodeModel Model(Spec, 3);
+  auto [Start0, End0] = Model.regionBlocks(0);
+  auto [Start1, End1] = Model.regionBlocks(1);
+  unsigned Narrow0 = 0;
+  unsigned Narrow1 = 0;
+  for (uint64_t I = Start0; I <= End0; ++I)
+    Narrow0 += Model.isNarrowOperandBlock(I);
+  for (uint64_t I = Start1; I <= End1; ++I)
+    Narrow1 += Model.isNarrowOperandBlock(I);
+  double Frac0 = static_cast<double>(Narrow0) / (End0 - Start0 + 1);
+  double Frac1 = static_cast<double>(Narrow1) / (End1 - Start1 + 1);
+  EXPECT_GT(Frac0, 0.7);  // configured 0.9
+  EXPECT_LT(Frac1, 0.25); // configured 0.05
+}
+
+TEST(CodeModel, PhaseChangesShiftWeights) {
+  BenchmarkSpec Spec = tinySpec();
+  Spec.PhaseModulation = 1.0; // full rotation for a clear signal
+  CodeModel Model(Spec, 5);
+  Rng R(4);
+  auto FractionInRegion0 = [&](unsigned Phase) {
+    uint64_t Hits = 0;
+    const int N = 50000;
+    for (int I = 0; I != N; ++I)
+      Hits += Model.regionOf(Model.nextBlockIndex(R, Phase)) == 0;
+    return static_cast<double>(Hits) / N;
+  };
+  double Phase0 = FractionInRegion0(0);
+  double Phase1 = FractionInRegion0(1);
+  // Phase 1 rotates region 1's weight (0.3) onto region 0.
+  EXPECT_GT(Phase0, Phase1 + 0.1);
+}
+
+TEST(CodeModel, SequentialRunsStayInRegion) {
+  BenchmarkSpec Spec = tinySpec();
+  Spec.MeanRunLength = 16.0;
+  CodeModel Model(Spec, 6);
+  Rng R(8);
+  uint64_t Prev = Model.nextBlockIndex(R, 0);
+  unsigned SequentialSteps = 0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I) {
+    uint64_t Cur = Model.nextBlockIndex(R, 0);
+    SequentialSteps += Cur == Prev + 1;
+    Prev = Cur;
+  }
+  // With mean run length 16, most steps are sequential.
+  EXPECT_GT(static_cast<double>(SequentialSteps) / N, 0.5);
+}

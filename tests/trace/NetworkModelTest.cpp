@@ -1,0 +1,128 @@
+//===- tests/trace/NetworkModelTest.cpp - Packet stream tests ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/NetworkModel.h"
+
+#include "core/RapTree.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+namespace {
+
+bool inSubnet(uint32_t Addr, const NetworkSpec::Subnet &S) {
+  return (Addr & ~S.hostMask()) == S.Base;
+}
+
+} // namespace
+
+TEST(NetworkModel, Deterministic) {
+  NetworkSpec Spec = NetworkSpec::makeDefault();
+  NetworkModel A(Spec, 5);
+  NetworkModel B(Spec, 5);
+  for (int I = 0; I != 2000; ++I) {
+    PacketRecord PA = A.next();
+    PacketRecord PB = B.next();
+    ASSERT_EQ(PA.SrcAddr, PB.SrcAddr);
+    ASSERT_EQ(PA.DstAddr, PB.DstAddr);
+    ASSERT_EQ(PA.DstPort, PB.DstPort);
+    ASSERT_EQ(PA.Bytes, PB.Bytes);
+  }
+}
+
+TEST(NetworkModel, SubnetWeightsApproximated) {
+  NetworkSpec Spec = NetworkSpec::makeDefault();
+  NetworkModel Model(Spec, 1);
+  const int N = 200000;
+  std::vector<int> Hits(Spec.DstSubnets.size(), 0);
+  int Scans = 0;
+  for (int I = 0; I != N; ++I) {
+    PacketRecord Packet = Model.next();
+    bool Matched = false;
+    for (size_t S = 0; S != Spec.DstSubnets.size(); ++S)
+      if (inSubnet(Packet.DstAddr, Spec.DstSubnets[S])) {
+        ++Hits[S];
+        Matched = true;
+        break;
+      }
+    Scans += !Matched;
+  }
+  double TotalWeight = Spec.ScanWeight;
+  for (const NetworkSpec::Subnet &S : Spec.DstSubnets)
+    TotalWeight += S.Weight;
+  for (size_t S = 0; S != Spec.DstSubnets.size(); ++S)
+    EXPECT_NEAR(static_cast<double>(Hits[S]) / N,
+                Spec.DstSubnets[S].Weight / TotalWeight, 0.02)
+        << "subnet " << S;
+  // Scan fraction approximately honored (scans can land in subnets by
+  // chance, but the space is vast so rarely).
+  EXPECT_NEAR(static_cast<double>(Scans) / N,
+              Spec.ScanWeight / TotalWeight, 0.02);
+}
+
+TEST(NetworkModel, PacketSizesBimodal) {
+  NetworkModel Model(NetworkSpec::makeDefault(), 2);
+  int Small = 0;
+  int Large = 0;
+  for (int I = 0; I != 20000; ++I) {
+    PacketRecord Packet = Model.next();
+    ASSERT_GE(Packet.Bytes, 40u);
+    ASSERT_LE(Packet.Bytes, 1500u);
+    if (Packet.Bytes < 200)
+      ++Small;
+    else
+      ++Large;
+  }
+  EXPECT_GT(Small, 0);
+  EXPECT_GT(Large, 0);
+}
+
+TEST(NetworkModel, WellKnownPortsDominate) {
+  NetworkModel Model(NetworkSpec::makeDefault(), 3);
+  int WellKnown = 0;
+  const int N = 50000;
+  for (int I = 0; I != N; ++I) {
+    uint16_t Port = Model.next().DstPort;
+    WellKnown += Port == 443 || Port == 80 || Port == 53;
+  }
+  EXPECT_NEAR(static_cast<double>(WellKnown) / N, 0.75, 0.02);
+}
+
+TEST(NetworkModel, RapFindsHotSubnets) {
+  // The end-to-end networking use case: RAP over destination addresses
+  // recovers the configured hot subnets as hot ranges at (or below)
+  // their prefix length.
+  NetworkSpec Spec = NetworkSpec::makeDefault();
+  NetworkModel Model(Spec, 4);
+  RapConfig Config;
+  Config.RangeBits = 32;
+  Config.Epsilon = 0.005;
+  RapTree Tree(Config);
+  for (int I = 0; I != 400000; ++I)
+    Tree.addPoint(Model.next().DstAddr);
+
+  // Every configured subnet with weight >= 10% must be covered by a
+  // hot range inside it.
+  std::vector<HotRange> Hot = Tree.extractHotRanges(0.08);
+  for (const NetworkSpec::Subnet &S : Spec.DstSubnets) {
+    if (S.Weight < 0.10)
+      continue;
+    uint64_t SubnetLo = S.Base;
+    uint64_t SubnetHi = S.Base | S.hostMask();
+    bool Covered = false;
+    for (const HotRange &H : Hot)
+      Covered |= H.Lo >= SubnetLo && H.Hi <= SubnetHi;
+    EXPECT_TRUE(Covered) << "no hot range inside subnet base "
+                         << S.Base;
+    // And the subnet's total estimate reflects its weight.
+    double Share =
+        static_cast<double>(Tree.estimateRange(SubnetLo, SubnetHi)) /
+        static_cast<double>(Tree.numEvents());
+    EXPECT_NEAR(Share, S.Weight / 1.05, 0.04);
+  }
+}

@@ -1,0 +1,119 @@
+//===- tests/trace/ValueModelTest.cpp - Value model tests ----------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/ValueModel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace rap;
+
+namespace {
+
+BenchmarkSpec mixtureSpec() {
+  BenchmarkSpec Spec;
+  Spec.Name = "mix";
+  Spec.Seed = 23;
+  ValueComponentSpec Zero;
+  Zero.ComponentKind = ValueComponentSpec::Kind::Point;
+  Zero.Lo = Zero.Hi = 0;
+  Zero.Weight = 0.3;
+  Zero.StreamingWeight = 0.8;
+  ValueComponentSpec Small;
+  Small.ComponentKind = ValueComponentSpec::Kind::Uniform;
+  Small.Lo = 0x10;
+  Small.Hi = 0xff;
+  Small.Weight = 0.5;
+  Small.StreamingWeight = 0.1;
+  ValueComponentSpec Tail;
+  Tail.ComponentKind = ValueComponentSpec::Kind::ZipfHashed;
+  Tail.Lo = 0x1000;
+  Tail.Hi = 0xffffffff;
+  Tail.Weight = 0.2;
+  Tail.StreamingWeight = 0.1;
+  Tail.NumDistinct = 1000;
+  Tail.ZipfExponent = 1.0;
+  Spec.ValueComponents = {Zero, Small, Tail};
+  return Spec;
+}
+
+} // namespace
+
+TEST(ValueModel, ComponentsRespected) {
+  ValueModel Model(mixtureSpec(), 1);
+  EXPECT_EQ(Model.numComponents(), 3u);
+}
+
+TEST(ValueModel, SamplesStayInComponentRanges) {
+  ValueModel Model(mixtureSpec(), 1);
+  Rng R(2);
+  for (int I = 0; I != 20000; ++I) {
+    uint64_t V = Model.sample(R, false);
+    bool InSome = V == 0 || (V >= 0x10 && V <= 0xff) ||
+                  (V >= 0x1000 && V <= 0xffffffff);
+    ASSERT_TRUE(InSome) << "value " << V << " outside every component";
+  }
+}
+
+TEST(ValueModel, NormalWeightsApproximated) {
+  ValueModel Model(mixtureSpec(), 1);
+  Rng R(3);
+  const int N = 100000;
+  int Zeros = 0;
+  int Smalls = 0;
+  for (int I = 0; I != N; ++I) {
+    uint64_t V = Model.sample(R, false);
+    Zeros += V == 0;
+    Smalls += V >= 0x10 && V <= 0xff;
+  }
+  EXPECT_NEAR(static_cast<double>(Zeros) / N, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(Smalls) / N, 0.5, 0.01);
+}
+
+TEST(ValueModel, StreamingWeightsDiffer) {
+  ValueModel Model(mixtureSpec(), 1);
+  Rng R(5);
+  const int N = 100000;
+  int Zeros = 0;
+  for (int I = 0; I != N; ++I)
+    Zeros += Model.sample(R, true) == 0;
+  // Streaming accesses are zero-heavy (0.8 configured).
+  EXPECT_NEAR(static_cast<double>(Zeros) / N, 0.8, 0.01);
+}
+
+TEST(ValueModel, ZipfComponentHasHotRank) {
+  ValueModel Model(mixtureSpec(), 1);
+  Rng R(7);
+  std::unordered_map<uint64_t, int> TailCounts;
+  for (int I = 0; I != 50000; ++I) {
+    uint64_t V = Model.sample(R, false);
+    if (V >= 0x1000)
+      ++TailCounts[V];
+  }
+  // The hottest hashed tail value carries a visible share of the tail
+  // (rank 0 of Zipf(1000, 1.0) is ~13%).
+  int MaxCount = 0;
+  int Total = 0;
+  for (const auto &[V, C] : TailCounts) {
+    MaxCount = std::max(MaxCount, C);
+    Total += C;
+  }
+  EXPECT_GT(static_cast<double>(MaxCount) / Total, 0.08);
+  // And the tail is genuinely diverse.
+  EXPECT_GT(TailCounts.size(), 300u);
+}
+
+TEST(ValueModel, DeterministicForFixedSeed) {
+  ValueModel A(mixtureSpec(), 9);
+  ValueModel B(mixtureSpec(), 9);
+  Rng RA(11);
+  Rng RB(11);
+  for (int I = 0; I != 1000; ++I)
+    ASSERT_EQ(A.sample(RA, I % 2 == 0), B.sample(RB, I % 2 == 0));
+}
