@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_branching_factor"
+  "../bench/ablation_branching_factor.pdb"
+  "CMakeFiles/ablation_branching_factor.dir/ablation_branching_factor.cpp.o"
+  "CMakeFiles/ablation_branching_factor.dir/ablation_branching_factor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_branching_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_merge_ratio"
+  "../bench/ablation_merge_ratio.pdb"
+  "CMakeFiles/ablation_merge_ratio.dir/ablation_merge_ratio.cpp.o"
+  "CMakeFiles/ablation_merge_ratio.dir/ablation_merge_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

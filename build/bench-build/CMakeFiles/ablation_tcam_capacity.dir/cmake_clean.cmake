@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tcam_capacity"
+  "../bench/ablation_tcam_capacity.pdb"
+  "CMakeFiles/ablation_tcam_capacity.dir/ablation_tcam_capacity.cpp.o"
+  "CMakeFiles/ablation_tcam_capacity.dir/ablation_tcam_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcam_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_threshold_policy"
+  "../bench/ablation_threshold_policy.pdb"
+  "CMakeFiles/ablation_threshold_policy.dir/ablation_threshold_policy.cpp.o"
+  "CMakeFiles/ablation_threshold_policy.dir/ablation_threshold_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threshold_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

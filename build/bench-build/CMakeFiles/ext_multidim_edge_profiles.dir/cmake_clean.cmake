@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multidim_edge_profiles"
+  "../bench/ext_multidim_edge_profiles.pdb"
+  "CMakeFiles/ext_multidim_edge_profiles.dir/ext_multidim_edge_profiles.cpp.o"
+  "CMakeFiles/ext_multidim_edge_profiles.dir/ext_multidim_edge_profiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multidim_edge_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

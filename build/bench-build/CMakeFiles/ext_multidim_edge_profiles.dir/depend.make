@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_multidim_edge_profiles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_phase_identification"
+  "../bench/ext_phase_identification.pdb"
+  "CMakeFiles/ext_phase_identification.dir/ext_phase_identification.cpp.o"
+  "CMakeFiles/ext_phase_identification.dir/ext_phase_identification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_phase_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

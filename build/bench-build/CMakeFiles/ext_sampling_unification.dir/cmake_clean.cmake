@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_sampling_unification"
+  "../bench/ext_sampling_unification.pdb"
+  "CMakeFiles/ext_sampling_unification.dir/ext_sampling_unification.cpp.o"
+  "CMakeFiles/ext_sampling_unification.dir/ext_sampling_unification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sampling_unification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

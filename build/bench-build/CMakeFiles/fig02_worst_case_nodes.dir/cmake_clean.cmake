@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_worst_case_nodes"
+  "../bench/fig02_worst_case_nodes.pdb"
+  "CMakeFiles/fig02_worst_case_nodes.dir/fig02_worst_case_nodes.cpp.o"
+  "CMakeFiles/fig02_worst_case_nodes.dir/fig02_worst_case_nodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_worst_case_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_merge_batching"
+  "../bench/fig03_merge_batching.pdb"
+  "CMakeFiles/fig03_merge_batching.dir/fig03_merge_batching.cpp.o"
+  "CMakeFiles/fig03_merge_batching.dir/fig03_merge_batching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_merge_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_merge_batching.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_gzip_value_ranges"
+  "../bench/fig05_gzip_value_ranges.pdb"
+  "CMakeFiles/fig05_gzip_value_ranges.dir/fig05_gzip_value_ranges.cpp.o"
+  "CMakeFiles/fig05_gzip_value_ranges.dir/fig05_gzip_value_ranges.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_gzip_value_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_gcc_tree_timeline"
+  "../bench/fig06_gcc_tree_timeline.pdb"
+  "CMakeFiles/fig06_gcc_tree_timeline.dir/fig06_gcc_tree_timeline.cpp.o"
+  "CMakeFiles/fig06_gcc_tree_timeline.dir/fig06_gcc_tree_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_gcc_tree_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

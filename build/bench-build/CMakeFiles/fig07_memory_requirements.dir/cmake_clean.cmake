@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_memory_requirements"
+  "../bench/fig07_memory_requirements.pdb"
+  "CMakeFiles/fig07_memory_requirements.dir/fig07_memory_requirements.cpp.o"
+  "CMakeFiles/fig07_memory_requirements.dir/fig07_memory_requirements.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_memory_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

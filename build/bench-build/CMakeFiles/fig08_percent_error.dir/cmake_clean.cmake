@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_percent_error"
+  "../bench/fig08_percent_error.pdb"
+  "CMakeFiles/fig08_percent_error.dir/fig08_percent_error.cpp.o"
+  "CMakeFiles/fig08_percent_error.dir/fig08_percent_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_percent_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_cache_miss_value_locality"
+  "../bench/fig09_cache_miss_value_locality.pdb"
+  "CMakeFiles/fig09_cache_miss_value_locality.dir/fig09_cache_miss_value_locality.cpp.o"
+  "CMakeFiles/fig09_cache_miss_value_locality.dir/fig09_cache_miss_value_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cache_miss_value_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_cache_miss_value_locality.
+# This may be replaced when dependencies are built.

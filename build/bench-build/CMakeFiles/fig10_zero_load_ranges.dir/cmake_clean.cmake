@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_zero_load_ranges"
+  "../bench/fig10_zero_load_ranges.pdb"
+  "CMakeFiles/fig10_zero_load_ranges.dir/fig10_zero_load_ranges.cpp.o"
+  "CMakeFiles/fig10_zero_load_ranges.dir/fig10_zero_load_ranges.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_zero_load_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_zero_load_ranges.
+# This may be replaced when dependencies are built.

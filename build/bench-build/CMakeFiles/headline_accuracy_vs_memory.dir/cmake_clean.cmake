@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/headline_accuracy_vs_memory"
+  "../bench/headline_accuracy_vs_memory.pdb"
+  "CMakeFiles/headline_accuracy_vs_memory.dir/headline_accuracy_vs_memory.cpp.o"
+  "CMakeFiles/headline_accuracy_vs_memory.dir/headline_accuracy_vs_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_accuracy_vs_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for headline_accuracy_vs_memory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_bench_common.dir/Common.cpp.o"
+  "CMakeFiles/rap_bench_common.dir/Common.cpp.o.d"
+  "librap_bench_common.a"
+  "librap_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

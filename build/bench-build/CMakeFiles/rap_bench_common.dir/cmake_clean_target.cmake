@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librap_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec44_narrow_operands"
+  "../bench/sec44_narrow_operands.pdb"
+  "CMakeFiles/sec44_narrow_operands.dir/sec44_narrow_operands.cpp.o"
+  "CMakeFiles/sec44_narrow_operands.dir/sec44_narrow_operands.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_narrow_operands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_sec34_hardware_costs"
+  "../bench/tab_sec34_hardware_costs.pdb"
+  "CMakeFiles/tab_sec34_hardware_costs.dir/tab_sec34_hardware_costs.cpp.o"
+  "CMakeFiles/tab_sec34_hardware_costs.dir/tab_sec34_hardware_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sec34_hardware_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

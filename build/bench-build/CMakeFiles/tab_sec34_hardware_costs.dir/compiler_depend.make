@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_sec34_hardware_costs.
+# This may be replaced when dependencies are built.

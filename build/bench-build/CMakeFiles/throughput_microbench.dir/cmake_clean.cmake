@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/throughput_microbench"
+  "../bench/throughput_microbench.pdb"
+  "CMakeFiles/throughput_microbench.dir/throughput_microbench.cpp.o"
+  "CMakeFiles/throughput_microbench.dir/throughput_microbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

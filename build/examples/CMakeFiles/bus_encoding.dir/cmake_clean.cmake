@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_encoding.dir/bus_encoding.cpp.o"
+  "CMakeFiles/bus_encoding.dir/bus_encoding.cpp.o.d"
+  "bus_encoding"
+  "bus_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

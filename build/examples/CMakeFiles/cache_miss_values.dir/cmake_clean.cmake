@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_miss_values.dir/cache_miss_values.cpp.o"
+  "CMakeFiles/cache_miss_values.dir/cache_miss_values.cpp.o.d"
+  "cache_miss_values"
+  "cache_miss_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_miss_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_layout.dir/code_layout.cpp.o"
+  "CMakeFiles/code_layout.dir/code_layout.cpp.o.d"
+  "code_layout"
+  "code_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_profile.dir/edge_profile.cpp.o"
+  "CMakeFiles/edge_profile.dir/edge_profile.cpp.o.d"
+  "edge_profile"
+  "edge_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

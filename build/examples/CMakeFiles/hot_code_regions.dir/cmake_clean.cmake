@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_code_regions.dir/hot_code_regions.cpp.o"
+  "CMakeFiles/hot_code_regions.dir/hot_code_regions.cpp.o.d"
+  "hot_code_regions"
+  "hot_code_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_code_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_ranges.dir/network_ranges.cpp.o"
+  "CMakeFiles/network_ranges.dir/network_ranges.cpp.o.d"
+  "network_ranges"
+  "network_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

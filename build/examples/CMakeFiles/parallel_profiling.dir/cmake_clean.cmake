@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_profiling.dir/parallel_profiling.cpp.o"
+  "CMakeFiles/parallel_profiling.dir/parallel_profiling.cpp.o.d"
+  "parallel_profiling"
+  "parallel_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

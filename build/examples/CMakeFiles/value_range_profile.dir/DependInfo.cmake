@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/value_range_profile.cpp" "examples/CMakeFiles/value_range_profile.dir/value_range_profile.cpp.o" "gcc" "examples/CMakeFiles/value_range_profile.dir/value_range_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_range_profile.dir/value_range_profile.cpp.o"
+  "CMakeFiles/value_range_profile.dir/value_range_profile.cpp.o.d"
+  "value_range_profile"
+  "value_range_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_range_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_load_ranges.dir/zero_load_ranges.cpp.o"
+  "CMakeFiles/zero_load_ranges.dir/zero_load_ranges.cpp.o.d"
+  "zero_load_ranges"
+  "zero_load_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_load_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hot_code_regions "/root/repo/build/examples/hot_code_regions" "--events=50000")
+set_tests_properties(example_hot_code_regions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_value_range_profile "/root/repo/build/examples/value_range_profile" "--events=50000")
+set_tests_properties(example_value_range_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_zero_load_ranges "/root/repo/build/examples/zero_load_ranges" "--events=50000")
+set_tests_properties(example_zero_load_ranges PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cache_miss_values "/root/repo/build/examples/cache_miss_values" "--events=50000")
+set_tests_properties(example_cache_miss_values PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_edge_profile "/root/repo/build/examples/edge_profile" "--events=50000")
+set_tests_properties(example_edge_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_network_ranges "/root/repo/build/examples/network_ranges" "--packets=50000")
+set_tests_properties(example_network_ranges PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bus_encoding "/root/repo/build/examples/bus_encoding" "--events=50000")
+set_tests_properties(example_bus_encoding PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_code_layout "/root/repo/build/examples/code_layout" "--events=50000")
+set_tests_properties(example_code_layout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_parallel_profiling "/root/repo/build/examples/parallel_profiling" "--events=30000" "--threads=2")
+set_tests_properties(example_parallel_profiling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")

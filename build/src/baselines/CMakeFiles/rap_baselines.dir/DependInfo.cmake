@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ExactProfiler.cpp" "src/baselines/CMakeFiles/rap_baselines.dir/ExactProfiler.cpp.o" "gcc" "src/baselines/CMakeFiles/rap_baselines.dir/ExactProfiler.cpp.o.d"
+  "/root/repo/src/baselines/FlatRangeProfiler.cpp" "src/baselines/CMakeFiles/rap_baselines.dir/FlatRangeProfiler.cpp.o" "gcc" "src/baselines/CMakeFiles/rap_baselines.dir/FlatRangeProfiler.cpp.o.d"
+  "/root/repo/src/baselines/LossyCounting.cpp" "src/baselines/CMakeFiles/rap_baselines.dir/LossyCounting.cpp.o" "gcc" "src/baselines/CMakeFiles/rap_baselines.dir/LossyCounting.cpp.o.d"
+  "/root/repo/src/baselines/SpaceSaving.cpp" "src/baselines/CMakeFiles/rap_baselines.dir/SpaceSaving.cpp.o" "gcc" "src/baselines/CMakeFiles/rap_baselines.dir/SpaceSaving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

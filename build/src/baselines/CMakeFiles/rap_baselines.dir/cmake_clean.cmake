@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_baselines.dir/ExactProfiler.cpp.o"
+  "CMakeFiles/rap_baselines.dir/ExactProfiler.cpp.o.d"
+  "CMakeFiles/rap_baselines.dir/FlatRangeProfiler.cpp.o"
+  "CMakeFiles/rap_baselines.dir/FlatRangeProfiler.cpp.o.d"
+  "CMakeFiles/rap_baselines.dir/LossyCounting.cpp.o"
+  "CMakeFiles/rap_baselines.dir/LossyCounting.cpp.o.d"
+  "CMakeFiles/rap_baselines.dir/SpaceSaving.cpp.o"
+  "CMakeFiles/rap_baselines.dir/SpaceSaving.cpp.o.d"
+  "librap_baselines.a"
+  "librap_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

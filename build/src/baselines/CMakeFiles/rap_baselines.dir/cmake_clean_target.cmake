@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librap_baselines.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Analysis.cpp" "src/core/CMakeFiles/rap_core.dir/Analysis.cpp.o" "gcc" "src/core/CMakeFiles/rap_core.dir/Analysis.cpp.o.d"
+  "/root/repo/src/core/CApi.cpp" "src/core/CMakeFiles/rap_core.dir/CApi.cpp.o" "gcc" "src/core/CMakeFiles/rap_core.dir/CApi.cpp.o.d"
+  "/root/repo/src/core/MultiDimRap.cpp" "src/core/CMakeFiles/rap_core.dir/MultiDimRap.cpp.o" "gcc" "src/core/CMakeFiles/rap_core.dir/MultiDimRap.cpp.o.d"
+  "/root/repo/src/core/RapConfig.cpp" "src/core/CMakeFiles/rap_core.dir/RapConfig.cpp.o" "gcc" "src/core/CMakeFiles/rap_core.dir/RapConfig.cpp.o.d"
+  "/root/repo/src/core/RapProfiler.cpp" "src/core/CMakeFiles/rap_core.dir/RapProfiler.cpp.o" "gcc" "src/core/CMakeFiles/rap_core.dir/RapProfiler.cpp.o.d"
+  "/root/repo/src/core/RapTree.cpp" "src/core/CMakeFiles/rap_core.dir/RapTree.cpp.o" "gcc" "src/core/CMakeFiles/rap_core.dir/RapTree.cpp.o.d"
+  "/root/repo/src/core/Serialization.cpp" "src/core/CMakeFiles/rap_core.dir/Serialization.cpp.o" "gcc" "src/core/CMakeFiles/rap_core.dir/Serialization.cpp.o.d"
+  "/root/repo/src/core/WorstCaseBounds.cpp" "src/core/CMakeFiles/rap_core.dir/WorstCaseBounds.cpp.o" "gcc" "src/core/CMakeFiles/rap_core.dir/WorstCaseBounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

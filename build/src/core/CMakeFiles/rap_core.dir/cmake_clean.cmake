@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_core.dir/Analysis.cpp.o"
+  "CMakeFiles/rap_core.dir/Analysis.cpp.o.d"
+  "CMakeFiles/rap_core.dir/CApi.cpp.o"
+  "CMakeFiles/rap_core.dir/CApi.cpp.o.d"
+  "CMakeFiles/rap_core.dir/MultiDimRap.cpp.o"
+  "CMakeFiles/rap_core.dir/MultiDimRap.cpp.o.d"
+  "CMakeFiles/rap_core.dir/RapConfig.cpp.o"
+  "CMakeFiles/rap_core.dir/RapConfig.cpp.o.d"
+  "CMakeFiles/rap_core.dir/RapProfiler.cpp.o"
+  "CMakeFiles/rap_core.dir/RapProfiler.cpp.o.d"
+  "CMakeFiles/rap_core.dir/RapTree.cpp.o"
+  "CMakeFiles/rap_core.dir/RapTree.cpp.o.d"
+  "CMakeFiles/rap_core.dir/Serialization.cpp.o"
+  "CMakeFiles/rap_core.dir/Serialization.cpp.o.d"
+  "CMakeFiles/rap_core.dir/WorstCaseBounds.cpp.o"
+  "CMakeFiles/rap_core.dir/WorstCaseBounds.cpp.o.d"
+  "librap_core.a"
+  "librap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/EventBuffer.cpp" "src/hw/CMakeFiles/rap_hw.dir/EventBuffer.cpp.o" "gcc" "src/hw/CMakeFiles/rap_hw.dir/EventBuffer.cpp.o.d"
+  "/root/repo/src/hw/HwCostModel.cpp" "src/hw/CMakeFiles/rap_hw.dir/HwCostModel.cpp.o" "gcc" "src/hw/CMakeFiles/rap_hw.dir/HwCostModel.cpp.o.d"
+  "/root/repo/src/hw/PipelineTiming.cpp" "src/hw/CMakeFiles/rap_hw.dir/PipelineTiming.cpp.o" "gcc" "src/hw/CMakeFiles/rap_hw.dir/PipelineTiming.cpp.o.d"
+  "/root/repo/src/hw/PipelinedEngine.cpp" "src/hw/CMakeFiles/rap_hw.dir/PipelinedEngine.cpp.o" "gcc" "src/hw/CMakeFiles/rap_hw.dir/PipelinedEngine.cpp.o.d"
+  "/root/repo/src/hw/Tcam.cpp" "src/hw/CMakeFiles/rap_hw.dir/Tcam.cpp.o" "gcc" "src/hw/CMakeFiles/rap_hw.dir/Tcam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_hw.dir/EventBuffer.cpp.o"
+  "CMakeFiles/rap_hw.dir/EventBuffer.cpp.o.d"
+  "CMakeFiles/rap_hw.dir/HwCostModel.cpp.o"
+  "CMakeFiles/rap_hw.dir/HwCostModel.cpp.o.d"
+  "CMakeFiles/rap_hw.dir/PipelineTiming.cpp.o"
+  "CMakeFiles/rap_hw.dir/PipelineTiming.cpp.o.d"
+  "CMakeFiles/rap_hw.dir/PipelinedEngine.cpp.o"
+  "CMakeFiles/rap_hw.dir/PipelinedEngine.cpp.o.d"
+  "CMakeFiles/rap_hw.dir/Tcam.cpp.o"
+  "CMakeFiles/rap_hw.dir/Tcam.cpp.o.d"
+  "librap_hw.a"
+  "librap_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_sim.dir/Cache.cpp.o"
+  "CMakeFiles/rap_sim.dir/Cache.cpp.o.d"
+  "librap_sim.a"
+  "librap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_support.dir/ArgParse.cpp.o"
+  "CMakeFiles/rap_support.dir/ArgParse.cpp.o.d"
+  "CMakeFiles/rap_support.dir/Distributions.cpp.o"
+  "CMakeFiles/rap_support.dir/Distributions.cpp.o.d"
+  "CMakeFiles/rap_support.dir/Statistics.cpp.o"
+  "CMakeFiles/rap_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/rap_support.dir/TableWriter.cpp.o"
+  "CMakeFiles/rap_support.dir/TableWriter.cpp.o.d"
+  "librap_support.a"
+  "librap_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

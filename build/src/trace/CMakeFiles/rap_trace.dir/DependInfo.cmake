@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/BenchmarkRegistry.cpp" "src/trace/CMakeFiles/rap_trace.dir/BenchmarkRegistry.cpp.o" "gcc" "src/trace/CMakeFiles/rap_trace.dir/BenchmarkRegistry.cpp.o.d"
+  "/root/repo/src/trace/CodeModel.cpp" "src/trace/CMakeFiles/rap_trace.dir/CodeModel.cpp.o" "gcc" "src/trace/CMakeFiles/rap_trace.dir/CodeModel.cpp.o.d"
+  "/root/repo/src/trace/MemoryModel.cpp" "src/trace/CMakeFiles/rap_trace.dir/MemoryModel.cpp.o" "gcc" "src/trace/CMakeFiles/rap_trace.dir/MemoryModel.cpp.o.d"
+  "/root/repo/src/trace/NetworkModel.cpp" "src/trace/CMakeFiles/rap_trace.dir/NetworkModel.cpp.o" "gcc" "src/trace/CMakeFiles/rap_trace.dir/NetworkModel.cpp.o.d"
+  "/root/repo/src/trace/ProgramModel.cpp" "src/trace/CMakeFiles/rap_trace.dir/ProgramModel.cpp.o" "gcc" "src/trace/CMakeFiles/rap_trace.dir/ProgramModel.cpp.o.d"
+  "/root/repo/src/trace/TraceIO.cpp" "src/trace/CMakeFiles/rap_trace.dir/TraceIO.cpp.o" "gcc" "src/trace/CMakeFiles/rap_trace.dir/TraceIO.cpp.o.d"
+  "/root/repo/src/trace/ValueModel.cpp" "src/trace/CMakeFiles/rap_trace.dir/ValueModel.cpp.o" "gcc" "src/trace/CMakeFiles/rap_trace.dir/ValueModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_trace.dir/BenchmarkRegistry.cpp.o"
+  "CMakeFiles/rap_trace.dir/BenchmarkRegistry.cpp.o.d"
+  "CMakeFiles/rap_trace.dir/CodeModel.cpp.o"
+  "CMakeFiles/rap_trace.dir/CodeModel.cpp.o.d"
+  "CMakeFiles/rap_trace.dir/MemoryModel.cpp.o"
+  "CMakeFiles/rap_trace.dir/MemoryModel.cpp.o.d"
+  "CMakeFiles/rap_trace.dir/NetworkModel.cpp.o"
+  "CMakeFiles/rap_trace.dir/NetworkModel.cpp.o.d"
+  "CMakeFiles/rap_trace.dir/ProgramModel.cpp.o"
+  "CMakeFiles/rap_trace.dir/ProgramModel.cpp.o.d"
+  "CMakeFiles/rap_trace.dir/TraceIO.cpp.o"
+  "CMakeFiles/rap_trace.dir/TraceIO.cpp.o.d"
+  "CMakeFiles/rap_trace.dir/ValueModel.cpp.o"
+  "CMakeFiles/rap_trace.dir/ValueModel.cpp.o.d"
+  "librap_trace.a"
+  "librap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/ExactProfilerTest.cpp" "tests/CMakeFiles/rap_baselines_tests.dir/baselines/ExactProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/rap_baselines_tests.dir/baselines/ExactProfilerTest.cpp.o.d"
+  "/root/repo/tests/baselines/FlatRangeProfilerTest.cpp" "tests/CMakeFiles/rap_baselines_tests.dir/baselines/FlatRangeProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/rap_baselines_tests.dir/baselines/FlatRangeProfilerTest.cpp.o.d"
+  "/root/repo/tests/baselines/LossyCountingTest.cpp" "tests/CMakeFiles/rap_baselines_tests.dir/baselines/LossyCountingTest.cpp.o" "gcc" "tests/CMakeFiles/rap_baselines_tests.dir/baselines/LossyCountingTest.cpp.o.d"
+  "/root/repo/tests/baselines/SamplingProfilerTest.cpp" "tests/CMakeFiles/rap_baselines_tests.dir/baselines/SamplingProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/rap_baselines_tests.dir/baselines/SamplingProfilerTest.cpp.o.d"
+  "/root/repo/tests/baselines/SpaceSavingTest.cpp" "tests/CMakeFiles/rap_baselines_tests.dir/baselines/SpaceSavingTest.cpp.o" "gcc" "tests/CMakeFiles/rap_baselines_tests.dir/baselines/SpaceSavingTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/rap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_baselines_tests.dir/baselines/ExactProfilerTest.cpp.o"
+  "CMakeFiles/rap_baselines_tests.dir/baselines/ExactProfilerTest.cpp.o.d"
+  "CMakeFiles/rap_baselines_tests.dir/baselines/FlatRangeProfilerTest.cpp.o"
+  "CMakeFiles/rap_baselines_tests.dir/baselines/FlatRangeProfilerTest.cpp.o.d"
+  "CMakeFiles/rap_baselines_tests.dir/baselines/LossyCountingTest.cpp.o"
+  "CMakeFiles/rap_baselines_tests.dir/baselines/LossyCountingTest.cpp.o.d"
+  "CMakeFiles/rap_baselines_tests.dir/baselines/SamplingProfilerTest.cpp.o"
+  "CMakeFiles/rap_baselines_tests.dir/baselines/SamplingProfilerTest.cpp.o.d"
+  "CMakeFiles/rap_baselines_tests.dir/baselines/SpaceSavingTest.cpp.o"
+  "CMakeFiles/rap_baselines_tests.dir/baselines/SpaceSavingTest.cpp.o.d"
+  "rap_baselines_tests"
+  "rap_baselines_tests.pdb"
+  "rap_baselines_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_baselines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

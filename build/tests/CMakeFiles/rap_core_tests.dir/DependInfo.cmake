@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/AnalysisTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/core/CApiTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/CApiTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/CApiTest.cpp.o.d"
+  "/root/repo/tests/core/MultiDimRapPropertyTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/MultiDimRapPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/MultiDimRapPropertyTest.cpp.o.d"
+  "/root/repo/tests/core/MultiDimRapTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/MultiDimRapTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/MultiDimRapTest.cpp.o.d"
+  "/root/repo/tests/core/RapConfigTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/RapConfigTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/RapConfigTest.cpp.o.d"
+  "/root/repo/tests/core/RapProfilerTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/RapProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/RapProfilerTest.cpp.o.d"
+  "/root/repo/tests/core/RapTreeAbsorbTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/RapTreeAbsorbTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/RapTreeAbsorbTest.cpp.o.d"
+  "/root/repo/tests/core/RapTreeEdgeCasesTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/RapTreeEdgeCasesTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/RapTreeEdgeCasesTest.cpp.o.d"
+  "/root/repo/tests/core/RapTreePropertyTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/RapTreePropertyTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/RapTreePropertyTest.cpp.o.d"
+  "/root/repo/tests/core/RapTreeScenarioTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/RapTreeScenarioTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/RapTreeScenarioTest.cpp.o.d"
+  "/root/repo/tests/core/RapTreeTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/RapTreeTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/RapTreeTest.cpp.o.d"
+  "/root/repo/tests/core/SampledRapTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/SampledRapTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/SampledRapTest.cpp.o.d"
+  "/root/repo/tests/core/SerializationTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/SerializationTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/SerializationTest.cpp.o.d"
+  "/root/repo/tests/core/WorstCaseBoundsTest.cpp" "tests/CMakeFiles/rap_core_tests.dir/core/WorstCaseBoundsTest.cpp.o" "gcc" "tests/CMakeFiles/rap_core_tests.dir/core/WorstCaseBoundsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_core_tests.dir/core/AnalysisTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/AnalysisTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/CApiTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/CApiTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/MultiDimRapPropertyTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/MultiDimRapPropertyTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/MultiDimRapTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/MultiDimRapTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/RapConfigTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/RapConfigTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/RapProfilerTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/RapProfilerTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/RapTreeAbsorbTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/RapTreeAbsorbTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/RapTreeEdgeCasesTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/RapTreeEdgeCasesTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/RapTreePropertyTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/RapTreePropertyTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/RapTreeScenarioTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/RapTreeScenarioTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/RapTreeTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/RapTreeTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/SampledRapTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/SampledRapTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/SerializationTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/SerializationTest.cpp.o.d"
+  "CMakeFiles/rap_core_tests.dir/core/WorstCaseBoundsTest.cpp.o"
+  "CMakeFiles/rap_core_tests.dir/core/WorstCaseBoundsTest.cpp.o.d"
+  "rap_core_tests"
+  "rap_core_tests.pdb"
+  "rap_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/EventBufferTest.cpp" "tests/CMakeFiles/rap_hw_tests.dir/hw/EventBufferTest.cpp.o" "gcc" "tests/CMakeFiles/rap_hw_tests.dir/hw/EventBufferTest.cpp.o.d"
+  "/root/repo/tests/hw/HwCostModelTest.cpp" "tests/CMakeFiles/rap_hw_tests.dir/hw/HwCostModelTest.cpp.o" "gcc" "tests/CMakeFiles/rap_hw_tests.dir/hw/HwCostModelTest.cpp.o.d"
+  "/root/repo/tests/hw/PipelineTimingTest.cpp" "tests/CMakeFiles/rap_hw_tests.dir/hw/PipelineTimingTest.cpp.o" "gcc" "tests/CMakeFiles/rap_hw_tests.dir/hw/PipelineTimingTest.cpp.o.d"
+  "/root/repo/tests/hw/PipelinedEngineTest.cpp" "tests/CMakeFiles/rap_hw_tests.dir/hw/PipelinedEngineTest.cpp.o" "gcc" "tests/CMakeFiles/rap_hw_tests.dir/hw/PipelinedEngineTest.cpp.o.d"
+  "/root/repo/tests/hw/TcamTest.cpp" "tests/CMakeFiles/rap_hw_tests.dir/hw/TcamTest.cpp.o" "gcc" "tests/CMakeFiles/rap_hw_tests.dir/hw/TcamTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/rap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_hw_tests.dir/hw/EventBufferTest.cpp.o"
+  "CMakeFiles/rap_hw_tests.dir/hw/EventBufferTest.cpp.o.d"
+  "CMakeFiles/rap_hw_tests.dir/hw/HwCostModelTest.cpp.o"
+  "CMakeFiles/rap_hw_tests.dir/hw/HwCostModelTest.cpp.o.d"
+  "CMakeFiles/rap_hw_tests.dir/hw/PipelineTimingTest.cpp.o"
+  "CMakeFiles/rap_hw_tests.dir/hw/PipelineTimingTest.cpp.o.d"
+  "CMakeFiles/rap_hw_tests.dir/hw/PipelinedEngineTest.cpp.o"
+  "CMakeFiles/rap_hw_tests.dir/hw/PipelinedEngineTest.cpp.o.d"
+  "CMakeFiles/rap_hw_tests.dir/hw/TcamTest.cpp.o"
+  "CMakeFiles/rap_hw_tests.dir/hw/TcamTest.cpp.o.d"
+  "rap_hw_tests"
+  "rap_hw_tests.pdb"
+  "rap_hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_integration_tests.dir/integration/EndToEndTest.cpp.o"
+  "CMakeFiles/rap_integration_tests.dir/integration/EndToEndTest.cpp.o.d"
+  "CMakeFiles/rap_integration_tests.dir/integration/HwSwEquivalenceTest.cpp.o"
+  "CMakeFiles/rap_integration_tests.dir/integration/HwSwEquivalenceTest.cpp.o.d"
+  "CMakeFiles/rap_integration_tests.dir/integration/RobustnessTest.cpp.o"
+  "CMakeFiles/rap_integration_tests.dir/integration/RobustnessTest.cpp.o.d"
+  "CMakeFiles/rap_integration_tests.dir/integration/SessionWorkflowTest.cpp.o"
+  "CMakeFiles/rap_integration_tests.dir/integration/SessionWorkflowTest.cpp.o.d"
+  "rap_integration_tests"
+  "rap_integration_tests.pdb"
+  "rap_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_sim_tests.dir/sim/CacheTest.cpp.o"
+  "CMakeFiles/rap_sim_tests.dir/sim/CacheTest.cpp.o.d"
+  "rap_sim_tests"
+  "rap_sim_tests.pdb"
+  "rap_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/ArgParseTest.cpp" "tests/CMakeFiles/rap_support_tests.dir/support/ArgParseTest.cpp.o" "gcc" "tests/CMakeFiles/rap_support_tests.dir/support/ArgParseTest.cpp.o.d"
+  "/root/repo/tests/support/BitUtilsTest.cpp" "tests/CMakeFiles/rap_support_tests.dir/support/BitUtilsTest.cpp.o" "gcc" "tests/CMakeFiles/rap_support_tests.dir/support/BitUtilsTest.cpp.o.d"
+  "/root/repo/tests/support/DistributionsTest.cpp" "tests/CMakeFiles/rap_support_tests.dir/support/DistributionsTest.cpp.o" "gcc" "tests/CMakeFiles/rap_support_tests.dir/support/DistributionsTest.cpp.o.d"
+  "/root/repo/tests/support/RngTest.cpp" "tests/CMakeFiles/rap_support_tests.dir/support/RngTest.cpp.o" "gcc" "tests/CMakeFiles/rap_support_tests.dir/support/RngTest.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTest.cpp" "tests/CMakeFiles/rap_support_tests.dir/support/StatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/rap_support_tests.dir/support/StatisticsTest.cpp.o.d"
+  "/root/repo/tests/support/TableWriterTest.cpp" "tests/CMakeFiles/rap_support_tests.dir/support/TableWriterTest.cpp.o" "gcc" "tests/CMakeFiles/rap_support_tests.dir/support/TableWriterTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

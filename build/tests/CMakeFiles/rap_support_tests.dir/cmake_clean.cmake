@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_support_tests.dir/support/ArgParseTest.cpp.o"
+  "CMakeFiles/rap_support_tests.dir/support/ArgParseTest.cpp.o.d"
+  "CMakeFiles/rap_support_tests.dir/support/BitUtilsTest.cpp.o"
+  "CMakeFiles/rap_support_tests.dir/support/BitUtilsTest.cpp.o.d"
+  "CMakeFiles/rap_support_tests.dir/support/DistributionsTest.cpp.o"
+  "CMakeFiles/rap_support_tests.dir/support/DistributionsTest.cpp.o.d"
+  "CMakeFiles/rap_support_tests.dir/support/RngTest.cpp.o"
+  "CMakeFiles/rap_support_tests.dir/support/RngTest.cpp.o.d"
+  "CMakeFiles/rap_support_tests.dir/support/StatisticsTest.cpp.o"
+  "CMakeFiles/rap_support_tests.dir/support/StatisticsTest.cpp.o.d"
+  "CMakeFiles/rap_support_tests.dir/support/TableWriterTest.cpp.o"
+  "CMakeFiles/rap_support_tests.dir/support/TableWriterTest.cpp.o.d"
+  "rap_support_tests"
+  "rap_support_tests.pdb"
+  "rap_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

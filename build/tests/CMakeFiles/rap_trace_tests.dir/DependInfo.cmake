@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/CodeModelTest.cpp" "tests/CMakeFiles/rap_trace_tests.dir/trace/CodeModelTest.cpp.o" "gcc" "tests/CMakeFiles/rap_trace_tests.dir/trace/CodeModelTest.cpp.o.d"
+  "/root/repo/tests/trace/MemoryModelTest.cpp" "tests/CMakeFiles/rap_trace_tests.dir/trace/MemoryModelTest.cpp.o" "gcc" "tests/CMakeFiles/rap_trace_tests.dir/trace/MemoryModelTest.cpp.o.d"
+  "/root/repo/tests/trace/NetworkModelTest.cpp" "tests/CMakeFiles/rap_trace_tests.dir/trace/NetworkModelTest.cpp.o" "gcc" "tests/CMakeFiles/rap_trace_tests.dir/trace/NetworkModelTest.cpp.o.d"
+  "/root/repo/tests/trace/ProgramModelTest.cpp" "tests/CMakeFiles/rap_trace_tests.dir/trace/ProgramModelTest.cpp.o" "gcc" "tests/CMakeFiles/rap_trace_tests.dir/trace/ProgramModelTest.cpp.o.d"
+  "/root/repo/tests/trace/TraceIOTest.cpp" "tests/CMakeFiles/rap_trace_tests.dir/trace/TraceIOTest.cpp.o" "gcc" "tests/CMakeFiles/rap_trace_tests.dir/trace/TraceIOTest.cpp.o.d"
+  "/root/repo/tests/trace/ValueModelTest.cpp" "tests/CMakeFiles/rap_trace_tests.dir/trace/ValueModelTest.cpp.o" "gcc" "tests/CMakeFiles/rap_trace_tests.dir/trace/ValueModelTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/rap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

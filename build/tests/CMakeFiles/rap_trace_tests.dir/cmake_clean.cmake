@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_trace_tests.dir/trace/CodeModelTest.cpp.o"
+  "CMakeFiles/rap_trace_tests.dir/trace/CodeModelTest.cpp.o.d"
+  "CMakeFiles/rap_trace_tests.dir/trace/MemoryModelTest.cpp.o"
+  "CMakeFiles/rap_trace_tests.dir/trace/MemoryModelTest.cpp.o.d"
+  "CMakeFiles/rap_trace_tests.dir/trace/NetworkModelTest.cpp.o"
+  "CMakeFiles/rap_trace_tests.dir/trace/NetworkModelTest.cpp.o.d"
+  "CMakeFiles/rap_trace_tests.dir/trace/ProgramModelTest.cpp.o"
+  "CMakeFiles/rap_trace_tests.dir/trace/ProgramModelTest.cpp.o.d"
+  "CMakeFiles/rap_trace_tests.dir/trace/TraceIOTest.cpp.o"
+  "CMakeFiles/rap_trace_tests.dir/trace/TraceIOTest.cpp.o.d"
+  "CMakeFiles/rap_trace_tests.dir/trace/ValueModelTest.cpp.o"
+  "CMakeFiles/rap_trace_tests.dir/trace/ValueModelTest.cpp.o.d"
+  "rap_trace_tests"
+  "rap_trace_tests.pdb"
+  "rap_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

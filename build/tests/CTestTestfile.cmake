@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rap_support_tests[1]_include.cmake")
+include("/root/repo/build/tests/rap_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/rap_baselines_tests[1]_include.cmake")
+include("/root/repo/build/tests/rap_trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/rap_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/rap_hw_tests[1]_include.cmake")
+include("/root/repo/build/tests/rap_integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rap_profile.dir/rap_profile.cpp.o"
+  "CMakeFiles/rap_profile.dir/rap_profile.cpp.o.d"
+  "rap_profile"
+  "rap_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rap_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
