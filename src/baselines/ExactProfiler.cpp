@@ -25,6 +25,16 @@ void ExactProfiler::rebuildIndex() const {
   IndexDirty = false;
 }
 
+std::vector<std::pair<uint64_t, uint64_t>>
+ExactProfiler::heavyValues(uint64_t MinCount) const {
+  std::vector<std::pair<uint64_t, uint64_t>> Heavy;
+  for (const auto &[Value, Count] : Counts)
+    if (Count >= MinCount)
+      Heavy.emplace_back(Value, Count);
+  std::sort(Heavy.begin(), Heavy.end());
+  return Heavy;
+}
+
 uint64_t ExactProfiler::countInRange(uint64_t Lo, uint64_t Hi) const {
   assert(Lo <= Hi && "empty query range");
   if (IndexDirty || PrefixSums.size() != Counts.size() + 1)

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace rap {
@@ -48,6 +49,12 @@ public:
   /// Exact number of events in [Lo, Hi] inclusive. Builds the sorted
   /// index on first use after a mutation (amortized).
   uint64_t countInRange(uint64_t Lo, uint64_t Hi) const;
+
+  /// All (value, count) pairs with count >= \p MinCount, sorted by
+  /// value. Used by verification to enumerate the truly heavy values a
+  /// hot-range report must cover.
+  std::vector<std::pair<uint64_t, uint64_t>>
+  heavyValues(uint64_t MinCount) const;
 
 private:
   void rebuildIndex() const;

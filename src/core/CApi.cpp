@@ -21,6 +21,11 @@ struct rap_handle {
 
 extern "C" rap_handle *rap_init(unsigned range_bits, double epsilon,
                                 unsigned branch_factor) {
+  // RangeBits 0 (the degenerate single-value universe) is legal for
+  // RapConfig but useless through this API; a C caller passing 0 has
+  // made a mistake, so keep rejecting it here.
+  if (range_bits == 0)
+    return nullptr;
   RapConfig Config;
   Config.RangeBits = range_bits;
   Config.Epsilon = epsilon;

@@ -15,11 +15,11 @@ bool RapConfig::validate(std::string *Error) const {
       *Error = Message;
     return false;
   };
-  if (RangeBits == 0 || RangeBits > 64)
-    return Fail("RangeBits must be in [1, 64]");
+  if (RangeBits > 64)
+    return Fail("RangeBits must be in [0, 64]");
   if (BranchFactor < 2 || !isPowerOfTwo(BranchFactor))
     return Fail("BranchFactor must be a power of two >= 2");
-  if (bitsPerLevel() > RangeBits)
+  if (RangeBits != 0 && bitsPerLevel() > RangeBits)
     return Fail("BranchFactor wider than the whole universe");
   if (!(Epsilon > 0.0) || Epsilon > 1.0)
     return Fail("Epsilon must be in (0, 1]");

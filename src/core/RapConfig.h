@@ -37,7 +37,9 @@ namespace rap {
 /// maxDepth() ancestors along a root path.
 struct RapConfig {
   /// log2 of the universe size R. Events outside [0, 2^RangeBits) are
-  /// rejected by assertion.
+  /// rejected by assertion. Zero is the degenerate single-value
+  /// universe R = 1: the root is a unit range, the tree never splits,
+  /// and every event must be 0.
   unsigned RangeBits = 32;
 
   /// Branching factor b; must be a power of two >= 2. The paper picks
@@ -77,17 +79,21 @@ struct RapConfig {
   unsigned bitsPerLevel() const { return log2Exact(BranchFactor); }
 
   /// Maximum tree depth: ceil(RangeBits / bitsPerLevel()). The root is
-  /// depth 0; single-value leaves are at this depth.
+  /// depth 0; single-value leaves are at this depth. Zero for the
+  /// single-value universe (the root is already a unit range).
   unsigned maxDepth() const {
     return (RangeBits + bitsPerLevel() - 1) / bitsPerLevel();
   }
 
   /// The split threshold after \p NumEvents events (Sec 2.2), or the
-  /// fixed override when configured.
+  /// fixed override when configured. For the depth-0 single-value
+  /// universe no split can ever happen; the threshold is reported as
+  /// if the tree were one level deep.
   double splitThreshold(uint64_t NumEvents) const {
     if (FixedSplitThreshold > 0.0)
       return FixedSplitThreshold;
-    return Epsilon * static_cast<double>(NumEvents) / maxDepth();
+    unsigned Depth = maxDepth() == 0 ? 1 : maxDepth();
+    return Epsilon * static_cast<double>(NumEvents) / Depth;
   }
 
   /// The merge threshold after \p NumEvents events.

@@ -81,12 +81,13 @@ public:
 
   /// Total weight of this node plus all descendants. This is the RAP
   /// estimate for the number of stream events in [lo(), hi()]; it is
-  /// always a lower bound on the true count (Sec 4.3).
+  /// always a lower bound on the true count (Sec 4.3). Saturates at
+  /// 2^64-1 like the counters themselves.
   uint64_t subtreeWeight() const {
     uint64_t Total = Count;
     for (const auto &Child : Children)
       if (Child)
-        Total += Child->subtreeWeight();
+        Total = saturatingAdd(Total, Child->subtreeWeight());
     return Total;
   }
 

@@ -33,13 +33,14 @@ void RapProfiler::addPoints(const std::vector<uint64_t> &Xs) {
 RapProfiler &RapSession::addProfile(const std::string &Name,
                                     const RapConfig &Config,
                                     uint64_t TimelineStride) {
-  auto It = Profiles.find(Name);
-  if (It == Profiles.end())
+  // Single lookup: re-adding a name replaces the profile in place and
+  // must not grow Names (each name appears exactly once, at its
+  // original insertion position).
+  auto [It, Inserted] = Profiles.try_emplace(Name);
+  if (Inserted)
     Names.push_back(Name);
-  auto Profiler = std::make_unique<RapProfiler>(Config, TimelineStride);
-  RapProfiler &Ref = *Profiler;
-  Profiles[Name] = std::move(Profiler);
-  return Ref;
+  It->second = std::make_unique<RapProfiler>(Config, TimelineStride);
+  return *It->second;
 }
 
 RapProfiler &RapSession::getProfile(const std::string &Name) {

@@ -81,8 +81,11 @@ private:
 /// profile over the same execution).
 class RapSession {
 public:
-  /// Creates (or replaces) the profile \p Name. Returns a reference
-  /// valid for the session's lifetime.
+  /// Creates (or replaces) the profile \p Name. Replacing destroys the
+  /// old profile's state and invalidates references to it; the name
+  /// keeps its original position in profileNames() and is never
+  /// duplicated. The returned reference is valid until the profile is
+  /// itself replaced or the session dies.
   RapProfiler &addProfile(const std::string &Name, const RapConfig &Config,
                           uint64_t TimelineStride = 0);
 

@@ -24,7 +24,7 @@ RapTree::RapTree(const RapConfig &Config) : Config(Config) {
 std::unique_ptr<RapTree> RapTree::fromNodeSet(
     const RapConfig &Config,
     const std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> &Nodes,
-    uint64_t NumEvents, std::string *Error) {
+    uint64_t NumEvents, std::string *Error, uint64_t NextMergeAt) {
   auto Fail = [Error](const char *Message) -> std::unique_ptr<RapTree> {
     if (Error)
       *Error = Message;
@@ -75,7 +75,7 @@ std::unique_ptr<RapTree> RapTree::fromNodeSet(
       return Fail("duplicate node range");
     auto Child = std::make_unique<RapNode>(Lo, WidthBits);
     Child->Count = Count;
-    TotalCount += Count;
+    TotalCount = saturatingAdd(TotalCount, Count);
     Path.push_back(Child.get());
     Parent->Children[Slot] = std::move(Child);
     ++Tree->NumNodes;
@@ -84,9 +84,14 @@ std::unique_ptr<RapTree> RapTree::fromNodeSet(
     return Fail("node counts do not sum to the recorded event total");
   Tree->NumEvents = NumEvents;
   Tree->MaxNumNodes = Tree->NumNodes;
-  // Resume the merge schedule past the recorded stream position.
-  while (Tree->NextMergeAt <= NumEvents)
-    Tree->scheduleAfterMerge();
+  if (NextMergeAt > NumEvents || (NextMergeAt != 0 && !Config.EnableMerges)) {
+    // Exact schedule position recorded at capture time.
+    Tree->NextMergeAt = NextMergeAt;
+  } else {
+    // Re-derive: resume the merge schedule past the stream position.
+    while (Tree->NextMergeAt <= NumEvents)
+      Tree->scheduleAfterMerge();
+  }
   return Tree;
 }
 
@@ -119,13 +124,18 @@ const RapNode &RapTree::findSmallestCover(uint64_t X) const {
 }
 
 void RapTree::addPoint(uint64_t X, uint64_t Weight) {
-  assert(Weight != 0 && "zero-weight update");
+  // A zero-weight event carries no information; returning early keeps
+  // it from perturbing the structure (the split check below fires on
+  // the *current* counter value, so a zero-weight touch of a node whose
+  // counter was inflated by merge-backs used to split it).
+  if (Weight == 0)
+    return;
   assert((Config.RangeBits == 64 || X < (uint64_t(1) << Config.RangeBits)) &&
          "event outside the configured universe");
-  NumEvents += Weight;
+  NumEvents = saturatingAdd(NumEvents, Weight);
 
   RapNode *Node = descend(X);
-  Node->Count += Weight;
+  Node->Count = saturatingAdd(Node->Count, Weight);
 
   // Split check (Sec 2.2): a counter that outgrew the threshold sprouts
   // children so subsequent events in this range profile more precisely.
@@ -174,12 +184,12 @@ uint64_t RapTree::mergeWalk(RapNode &Node, double Threshold,
     if (!ChildSlot)
       continue;
     uint64_t ChildWeight = mergeWalk(*ChildSlot, Threshold, Removed);
-    Total += ChildWeight;
+    Total = saturatingAdd(Total, ChildWeight);
     if (static_cast<double>(ChildWeight) < Threshold) {
       // Fold the entire (already internally merged) child subtree into
       // this node: child counts are equally valid on the super-range
       // (Sec 2.2 "Merge").
-      Node.Count += ChildWeight;
+      Node.Count = saturatingAdd(Node.Count, ChildWeight);
       uint64_t Dropped = ChildSlot->subtreeNodeCount();
       Removed += Dropped;
       NumNodes -= Dropped;
@@ -205,7 +215,7 @@ void RapTree::absorb(const RapTree &Other) {
   unsigned BitsPerLevel = Config.bitsPerLevel();
   std::function<void(RapNode &, const RapNode &)> Union =
       [&](RapNode &Mine, const RapNode &Theirs) {
-        Mine.Count += Theirs.Count;
+        Mine.Count = saturatingAdd(Mine.Count, Theirs.Count);
         if (!Theirs.hasChildren())
           return;
         unsigned ChildBits = Mine.widthBits() > BitsPerLevel
@@ -227,7 +237,7 @@ void RapTree::absorb(const RapTree &Other) {
         }
       };
   Union(*Root, Other.root());
-  NumEvents += Other.NumEvents;
+  NumEvents = saturatingAdd(NumEvents, Other.NumEvents);
   MaxNumNodes = std::max(MaxNumNodes, NumNodes);
   // Re-compact at the combined stream position and realign the merge
   // schedule with it.
@@ -266,7 +276,7 @@ uint64_t RapTree::estimateWalk(const RapNode &Node, uint64_t Lo,
   uint64_t Total = 0;
   for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
     if (const RapNode *Child = Node.child(Slot))
-      Total += estimateWalk(*Child, Lo, Hi);
+      Total = saturatingAdd(Total, estimateWalk(*Child, Lo, Hi));
   return Total;
 }
 
@@ -285,7 +295,7 @@ static uint64_t upperWalk(const RapNode &Node, uint64_t Lo, uint64_t Hi) {
   uint64_t Total = Node.count(); // straddling: possibly in range
   for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
     if (const RapNode *Child = Node.child(Slot))
-      Total += upperWalk(*Child, Lo, Hi);
+      Total = saturatingAdd(Total, upperWalk(*Child, Lo, Hi));
   return Total;
 }
 

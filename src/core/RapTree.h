@@ -78,11 +78,19 @@ public:
   /// \p Config: wrong root, misaligned ranges, widths inconsistent
   /// with the branching factor, or counts not summing to
   /// \p NumEvents.
+  ///
+  /// \p NextMergeAt restores the batched-merge schedule position
+  /// recorded at capture time so a restored tree behaves bit-for-bit
+  /// like the original under further updates. Zero (or a stale value
+  /// at or below \p NumEvents while merges are enabled) re-derives the
+  /// schedule from the configured initial interval, which matches the
+  /// original only if every merge ran exactly on schedule.
   static std::unique_ptr<RapTree>
   fromNodeSet(const RapConfig &Config,
               const std::vector<std::tuple<uint64_t, uint8_t, uint64_t>>
                   &Nodes,
-              uint64_t NumEvents, std::string *Error = nullptr);
+              uint64_t NumEvents, std::string *Error = nullptr,
+              uint64_t NextMergeAt = 0);
 
   RapTree(const RapTree &) = delete;
   RapTree &operator=(const RapTree &) = delete;

@@ -19,7 +19,7 @@ using namespace rap;
 namespace {
 
 constexpr char Magic[4] = {'R', 'A', 'P', 'P'};
-constexpr uint32_t FormatVersion = 1;
+constexpr uint32_t FormatVersion = 2;
 
 void writeU32(std::ostream &OS, uint32_t Value) {
   unsigned char Bytes[4];
@@ -100,10 +100,12 @@ namespace rap {
 class SnapshotBuilder {
 public:
   static ProfileSnapshot make(const RapConfig &Config, uint64_t NumEvents,
+                              uint64_t NextMergeAt,
                               std::vector<ProfileSnapshot::Node> Nodes) {
     ProfileSnapshot Snapshot;
     Snapshot.Config = Config;
     Snapshot.NumEvents = NumEvents;
+    Snapshot.NextMergeAt = NextMergeAt;
     Snapshot.Nodes = std::move(Nodes);
     return Snapshot;
   }
@@ -115,7 +117,7 @@ ProfileSnapshot ProfileSnapshot::capture(const RapTree &Tree) {
   Nodes.reserve(Tree.numNodes());
   collectPreorder(Tree.root(), Nodes);
   return SnapshotBuilder::make(Tree.config(), Tree.numEvents(),
-                               std::move(Nodes));
+                               Tree.nextMergeAt(), std::move(Nodes));
 }
 
 std::unique_ptr<RapTree> ProfileSnapshot::restore() const {
@@ -123,8 +125,8 @@ std::unique_ptr<RapTree> ProfileSnapshot::restore() const {
   Triples.reserve(Nodes.size());
   for (const Node &N : Nodes)
     Triples.emplace_back(N.Lo, N.WidthBits, N.Count);
-  std::unique_ptr<RapTree> Tree =
-      RapTree::fromNodeSet(Config, Triples, NumEvents);
+  std::unique_ptr<RapTree> Tree = RapTree::fromNodeSet(
+      Config, Triples, NumEvents, /*Error=*/nullptr, NextMergeAt);
   assert(Tree && "a captured snapshot must always restore");
   return Tree;
 }
@@ -171,6 +173,7 @@ void ProfileSnapshot::writeBinary(std::ostream &OS) const {
   writeF64(OS, Config.MergeThresholdScale);
   writeU8(OS, Config.EnableMerges ? 1 : 0);
   writeU64(OS, NumEvents);
+  writeU64(OS, NextMergeAt);
   writeU64(OS, Nodes.size());
   for (const Node &N : Nodes) {
     writeU64(OS, N.Lo);
@@ -191,7 +194,7 @@ ProfileSnapshot::readBinary(std::istream &IS, std::string *Error) {
       std::memcmp(MagicBuffer, Magic, 4) != 0)
     return Fail("not a RAP profile (bad magic)");
   uint32_t Version;
-  if (!readU32(IS, Version) || Version != FormatVersion)
+  if (!readU32(IS, Version) || Version < 1 || Version > FormatVersion)
     return Fail("unsupported profile format version");
 
   RapConfig Config;
@@ -211,8 +214,13 @@ ProfileSnapshot::readBinary(std::istream &IS, std::string *Error) {
     return nullptr;
 
   uint64_t NumEvents;
+  uint64_t NextMergeAt = 0; // v1 profiles: re-derive the schedule
   uint64_t NumNodes;
-  if (!readU64(IS, NumEvents) || !readU64(IS, NumNodes))
+  if (!readU64(IS, NumEvents))
+    return Fail("truncated profile header");
+  if (Version >= 2 && !readU64(IS, NextMergeAt))
+    return Fail("truncated profile header");
+  if (!readU64(IS, NumNodes))
     return Fail("truncated profile header");
   // Sanity cap: a node record is 17 bytes; reject sizes that cannot
   // possibly be backed by the stream (defends against corrupt counts).
@@ -234,21 +242,24 @@ ProfileSnapshot::readBinary(std::istream &IS, std::string *Error) {
   Triples.reserve(Nodes.size());
   for (const Node &N : Nodes)
     Triples.emplace_back(N.Lo, N.WidthBits, N.Count);
-  if (!RapTree::fromNodeSet(Config, Triples, NumEvents, Error))
+  if (!RapTree::fromNodeSet(Config, Triples, NumEvents, Error, NextMergeAt))
     return nullptr;
 
   return std::make_unique<ProfileSnapshot>(
-      SnapshotBuilder::make(Config, NumEvents, std::move(Nodes)));
+      SnapshotBuilder::make(Config, NumEvents, NextMergeAt,
+                            std::move(Nodes)));
 }
 
 void ProfileSnapshot::writeText(std::ostream &OS) const {
-  char Buffer[160];
+  char Buffer[192];
   std::snprintf(Buffer, sizeof(Buffer),
-                "rap-profile v1 bits=%u b=%u eps=%.17g q=%.17g "
-                "interval=%" PRIu64 " scale=%.17g merges=%d\n",
+                "rap-profile v2 bits=%u b=%u eps=%.17g q=%.17g "
+                "interval=%" PRIu64 " scale=%.17g merges=%d "
+                "nextmerge=%" PRIu64 "\n",
                 Config.RangeBits, Config.BranchFactor, Config.Epsilon,
                 Config.MergeRatio, Config.InitialMergeInterval,
-                Config.MergeThresholdScale, Config.EnableMerges ? 1 : 0);
+                Config.MergeThresholdScale, Config.EnableMerges ? 1 : 0,
+                NextMergeAt);
   OS << Buffer;
   std::snprintf(Buffer, sizeof(Buffer), "events=%" PRIu64 " nodes=%zu\n",
                 NumEvents, Nodes.size());
@@ -273,7 +284,16 @@ ProfileSnapshot::readText(std::istream &IS, std::string *Error) {
   RapConfig Config;
   unsigned Merges;
   uint64_t Interval;
+  uint64_t NextMergeAt = 0;
   if (std::sscanf(Line.c_str(),
+                  "rap-profile v2 bits=%u b=%u eps=%lg q=%lg "
+                  "interval=%" SCNu64 " scale=%lg merges=%u "
+                  "nextmerge=%" SCNu64,
+                  &Config.RangeBits, &Config.BranchFactor, &Config.Epsilon,
+                  &Config.MergeRatio, &Interval,
+                  &Config.MergeThresholdScale, &Merges,
+                  &NextMergeAt) != 8 &&
+      std::sscanf(Line.c_str(),
                   "rap-profile v1 bits=%u b=%u eps=%lg q=%lg "
                   "interval=%" SCNu64 " scale=%lg merges=%u",
                   &Config.RangeBits, &Config.BranchFactor, &Config.Epsilon,
@@ -311,15 +331,17 @@ ProfileSnapshot::readText(std::istream &IS, std::string *Error) {
   std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> Triples;
   for (const Node &N : Nodes)
     Triples.emplace_back(N.Lo, N.WidthBits, N.Count);
-  if (!RapTree::fromNodeSet(Config, Triples, NumEvents, Error))
+  if (!RapTree::fromNodeSet(Config, Triples, NumEvents, Error, NextMergeAt))
     return nullptr;
 
   return std::make_unique<ProfileSnapshot>(
-      SnapshotBuilder::make(Config, NumEvents, std::move(Nodes)));
+      SnapshotBuilder::make(Config, NumEvents, NextMergeAt,
+                            std::move(Nodes)));
 }
 
 bool ProfileSnapshot::operator==(const ProfileSnapshot &Other) const {
-  if (NumEvents != Other.NumEvents || Nodes.size() != Other.Nodes.size())
+  if (NumEvents != Other.NumEvents || NextMergeAt != Other.NextMergeAt ||
+      Nodes.size() != Other.Nodes.size())
     return false;
   if (Config.RangeBits != Other.Config.RangeBits ||
       Config.BranchFactor != Other.Config.BranchFactor ||

@@ -13,15 +13,20 @@
 /// a compact little-endian binary format plus text round-tripping, so
 /// profiles can be collected online and analyzed offline.
 ///
-/// Binary layout (version 1):
+/// Binary layout (version 2):
 ///   magic "RAPP", u32 version,
 ///   config { u32 rangeBits, u32 branchFactor, f64 epsilon,
 ///            f64 mergeRatio, u64 initialMergeInterval,
 ///            f64 mergeThresholdScale, u8 enableMerges },
-///   u64 numEvents, u64 numNodes,
+///   u64 numEvents, u64 nextMergeAt, u64 numNodes,
 ///   nodes in preorder: { u64 lo, u8 widthBits, u64 count,
 ///                        u8 hasChildSlots } — child presence is
 ///   reconstructed structurally from preorder + ranges.
+///
+/// Version 1 streams (no nextMergeAt field) are still read; their
+/// merge-schedule position is re-derived from the configured initial
+/// interval, which matches the original tree whenever every batched
+/// merge ran on schedule.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,6 +64,11 @@ public:
 
   /// Stream length at capture time.
   uint64_t numEvents() const { return NumEvents; }
+
+  /// Batched-merge schedule position at capture time (the event count
+  /// at which the next merge will run), or 0 for version-1 profiles
+  /// that did not record it.
+  uint64_t nextMergeAt() const { return NextMergeAt; }
 
   /// Number of nodes.
   uint64_t numNodes() const { return Nodes.size(); }
@@ -104,6 +114,7 @@ private:
 
   RapConfig Config;
   uint64_t NumEvents = 0;
+  uint64_t NextMergeAt = 0;
   std::vector<Node> Nodes;
 };
 

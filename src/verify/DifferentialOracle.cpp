@@ -1,0 +1,238 @@
+//===- verify/DifferentialOracle.cpp - RAP vs exact oracle ---------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/DifferentialOracle.h"
+
+#include "support/BitUtils.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace rap;
+
+namespace {
+
+/// Bucket count for the flat cross-check profiler: 2^FlatBucketBits
+/// clipped to the universe (and at least one bucket).
+uint64_t flatBuckets(const RapConfig &Config, unsigned FlatBucketBits) {
+  unsigned Bits = std::min(FlatBucketBits, std::max(Config.RangeBits, 1u));
+  return uint64_t(1) << Bits;
+}
+
+[[gnu::format(printf, 3, 4)]] void
+fail(std::vector<InvariantViolation> &Out, const char *Invariant,
+     const char *Format, ...) {
+  char Buffer[256];
+  va_list Args;
+  va_start(Args, Format);
+  std::vsnprintf(Buffer, sizeof(Buffer), Format, Args);
+  va_end(Args);
+  Out.push_back({Invariant, Buffer});
+}
+
+} // namespace
+
+DifferentialOracle::DifferentialOracle(const RapConfig &Config,
+                                       OracleOptions Options)
+    : Config(Config), Options(Options), Tree(Config), Auditor(Tree),
+      Flat(std::max(Config.RangeBits, 1u),
+           flatBuckets(Config, Options.FlatBucketBits)) {}
+
+void DifferentialOracle::addPoint(uint64_t X, uint64_t Weight) {
+  Auditor.addPoint(X, Weight);
+  if (Weight != 0) {
+    Exact.addPoint(X, Weight);
+    Flat.addPoint(X, Weight);
+    MaxWeight = std::max(MaxWeight, Weight);
+  }
+}
+
+double DifferentialOracle::errorBudget() const {
+  double N = static_cast<double>(Tree.numEvents());
+  unsigned Depth = std::max(Config.maxDepth(), 1u);
+  // The split-only bound is eps * n for unit-weight streams: one split
+  // threshold per ancestor level. A weighted update overshoots the
+  // threshold by up to its whole weight before the split lands, so
+  // each level may additionally miss (maxWeight - 1) counts.
+  double WeightSlack =
+      static_cast<double>(Depth) * static_cast<double>(MaxWeight - 1);
+  // Each batched merge can additionally fold up to one merge-threshold
+  // of a leaf's counts into its parent before the leaf regrows. With
+  // merge times growing geometrically at ratio q the folds sum to a
+  // q/(q-1) factor on the per-level threshold (docs/VERIFICATION.md).
+  // q == 1 has no geometric decay; cap its slack instead of dividing
+  // by zero.
+  double MergeSlack = 1.0;
+  if (Config.EnableMerges) {
+    double Q = Config.MergeRatio;
+    MergeSlack = Q > 1.0 + 1e-9 ? Q / (Q - 1.0) : 16.0;
+  }
+  return Config.Epsilon * N * MergeSlack * Options.ErrorBoundFactor +
+         WeightSlack + 1e-6;
+}
+
+void DifferentialOracle::checkRange(uint64_t Lo, uint64_t Hi,
+                                    bool GridAligned) {
+  uint64_t Truth = Exact.countInRange(Lo, Hi);
+  uint64_t Estimate = Tree.estimateRange(Lo, Hi);
+  RapTree::RangeBounds Bounds = Tree.estimateRangeBounds(Lo, Hi);
+
+  if (Estimate > Truth)
+    fail(Violations, "lower-bound",
+         "[%" PRIx64 ", %" PRIx64 "] estimated %" PRIu64
+         " above the true %" PRIu64,
+         Lo, Hi, Estimate, Truth);
+  if (Bounds.Lower != Estimate)
+    fail(Violations, "bracket",
+         "[%" PRIx64 ", %" PRIx64 "] bracket lower %" PRIu64
+         " disagrees with estimateRange %" PRIu64,
+         Lo, Hi, Bounds.Lower, Estimate);
+  if (Bounds.Upper < Truth)
+    fail(Violations, "bracket",
+         "[%" PRIx64 ", %" PRIx64 "] bracket upper %" PRIu64
+         " below the true %" PRIu64,
+         Lo, Hi, Bounds.Upper, Truth);
+  if (GridAligned && Estimate <= Truth &&
+      static_cast<double>(Truth - Estimate) > errorBudget())
+    fail(Violations, "eps-bound",
+         "[%" PRIx64 ", %" PRIx64 "] under-estimated by %" PRIu64
+         " with budget %.3f (n=%" PRIu64 ")",
+         Lo, Hi, Truth - Estimate, errorBudget(), Tree.numEvents());
+
+  // Flat cross-oracle: at its own bucket granularity the flat profiler
+  // is exact, so it must agree with the exact profiler bit for bit.
+  uint64_t BucketLo = Flat.bucketOf(Lo);
+  uint64_t BucketHi = Flat.bucketOf(Hi);
+  unsigned Shift =
+      std::max(Config.RangeBits, 1u) - log2Exact(Flat.numBuckets());
+  bool BucketAligned =
+      (Shift >= 64 || (Lo == (BucketLo << Shift) &&
+                       Hi == ((BucketHi + 1) << Shift) - 1));
+  if (BucketAligned) {
+    uint64_t FlatCount = 0;
+    for (uint64_t B = BucketLo; B <= BucketHi; ++B)
+      FlatCount = saturatingAdd(FlatCount, Flat.bucketCount(B));
+    if (FlatCount != Truth)
+      fail(Violations, "oracle-cross",
+           "[%" PRIx64 ", %" PRIx64 "] flat oracle says %" PRIu64
+           ", exact oracle says %" PRIu64,
+           Lo, Hi, FlatCount, Truth);
+  }
+}
+
+void DifferentialOracle::checkHotRanges(double Phi) {
+  uint64_t N = Tree.numEvents();
+  std::vector<HotRange> Hot = Tree.extractHotRanges(Phi);
+  double Threshold = Phi * static_cast<double>(N);
+
+  for (const HotRange &H : Hot) {
+    // Precision: a reported hot range is guaranteed hot (Sec 4.3). Its
+    // exclusive weight is a lower bound on the true range count, so
+    // the truth must reach the extraction's own evidence.
+    uint64_t Truth = Exact.countInRange(H.Lo, H.Hi);
+    if (Truth < H.ExclusiveWeight)
+      fail(Violations, "hot-precision",
+           "hot [%" PRIx64 ", %" PRIx64 "] claims exclusive %" PRIu64
+           " but truly holds %" PRIu64,
+           H.Lo, H.Hi, H.ExclusiveWeight, Truth);
+    if (static_cast<double>(H.ExclusiveWeight) + 1e-6 < Threshold)
+      fail(Violations, "hot-extraction",
+           "hot [%" PRIx64 ", %" PRIx64 "] exclusive %" PRIu64
+           " below phi*n = %.3f",
+           H.Lo, H.Hi, H.ExclusiveWeight, Threshold);
+  }
+
+  // Recall: any value whose true count clears phi*n plus the error
+  // budget must be covered by some reported range — its smallest cover
+  // node retains at least truth - budget on its own counter, which
+  // feeds that node's exclusive weight (Sec 4.1).
+  double MinHeavy = Threshold + errorBudget() + 1.0;
+  uint64_t MinCount = MinHeavy >= 1.8e19
+                          ? ~uint64_t(0)
+                          : static_cast<uint64_t>(std::ceil(MinHeavy));
+  for (const auto &[Value, Count] : Exact.heavyValues(MinCount)) {
+    bool Covered = false;
+    for (const HotRange &H : Hot)
+      if (H.Lo <= Value && Value <= H.Hi) {
+        Covered = true;
+        break;
+      }
+    if (!Covered)
+      fail(Violations, "hot-recall",
+           "value %" PRIx64 " with true count %" PRIu64
+           " (>= %.3f) is in no hot range at phi=%.3f",
+           Value, Count, MinHeavy, Phi);
+  }
+}
+
+void DifferentialOracle::checkNow(Rng &QueryRng) {
+  uint64_t UniverseHi =
+      Config.RangeBits == 0 ? 0 : lowBitMask(Config.RangeBits);
+
+  // Whole-universe conservation across all three profilers.
+  if (Tree.numEvents() != Exact.numEvents() ||
+      Tree.numEvents() != Flat.numEvents())
+    fail(Violations, "event-accounting",
+         "tree fed %" PRIu64 " events, exact %" PRIu64 ", flat %" PRIu64,
+         Tree.numEvents(), Exact.numEvents(), Flat.numEvents());
+  checkRange(0, UniverseHi, /*GridAligned=*/true);
+  if (Tree.estimateRange(0, UniverseHi) != Tree.numEvents())
+    fail(Violations, "conservation",
+         "whole-universe estimate %" PRIu64 " != n = %" PRIu64,
+         Tree.estimateRange(0, UniverseHi), Tree.numEvents());
+
+  // Exhaustive grid-aligned ranges, widest levels first; a level that
+  // exceeds the remaining budget is randomly sampled instead.
+  uint64_t Budget = Options.AlignedQueryBudget;
+  unsigned BitsPerLevel = Config.bitsPerLevel();
+  unsigned Width = Config.RangeBits;
+  while (Width > 0 && Budget > 0) {
+    Width = Width > BitsPerLevel ? Width - BitsPerLevel : 0;
+    unsigned LevelBits = Config.RangeBits - Width;
+    if (LevelBits < 40 && (uint64_t(1) << LevelBits) <= Budget) {
+      uint64_t NumRanges = uint64_t(1) << LevelBits;
+      for (uint64_t I = 0; I != NumRanges; ++I) {
+        uint64_t Lo = I << Width;
+        uint64_t Hi = Lo + lowBitMask(Width);
+        checkRange(Lo, Hi, /*GridAligned=*/true);
+      }
+      Budget -= NumRanges;
+    } else {
+      // Sample this level (and implicitly all finer ones next round).
+      uint64_t Samples = std::min<uint64_t>(Budget, 128);
+      for (uint64_t I = 0; I != Samples; ++I) {
+        uint64_t Lo = (QueryRng.next() & UniverseHi) &
+                      ~lowBitMask(Width);
+        uint64_t Hi = Lo + lowBitMask(Width);
+        checkRange(Lo, Hi, /*GridAligned=*/true);
+      }
+      Budget -= std::min(Budget, Samples);
+    }
+  }
+
+  // Arbitrary (unaligned) ranges: lower-bound + bracket containment.
+  for (unsigned I = 0; I != Options.RandomQueries; ++I) {
+    uint64_t A = QueryRng.next() & UniverseHi;
+    uint64_t B = QueryRng.next() & UniverseHi;
+    if (A > B)
+      std::swap(A, B);
+    checkRange(A, B, /*GridAligned=*/false);
+  }
+
+  for (double Phi : Options.HotPhis)
+    if (Tree.numEvents() > 0)
+      checkHotRanges(Phi);
+}
+
+std::vector<InvariantViolation> DifferentialOracle::violations() const {
+  std::vector<InvariantViolation> All = Auditor.violations();
+  All.insert(All.end(), Violations.begin(), Violations.end());
+  return All;
+}

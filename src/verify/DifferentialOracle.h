@@ -1,0 +1,116 @@
+//===- verify/DifferentialOracle.h - RAP vs exact oracle ------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential checking of the paper's accuracy guarantees: an
+/// identical stream is fed to the RAP tree under test, to the exact
+/// offline profiler (ground truth, Sec 4.3), and to a flat fixed-range
+/// profiler whose bucket-aligned counts are themselves exact — a second
+/// independent oracle that cross-validates the first. checkNow() then
+/// asserts, for exhaustive grid-aligned ranges and for randomly drawn
+/// arbitrary ranges:
+///
+///   - estimates never exceed the truth (lower-bound property),
+///   - grid-aligned under-estimates stay within the provable error
+///     bound — eps * n of Sec 2.2, times the q/(q-1) merge-fold factor
+///     when batched merging is enabled, plus the documented
+///     weighted-event slack (docs/VERIFICATION.md),
+///   - [lower, upper] brackets from estimateRangeBounds contain the
+///     truth,
+///   - every reported hot range is truly hot (precision), and every
+///     value heavier than (phi + eps) * n is covered by some reported
+///     hot range (recall) — Sec 4.1/4.3.
+///
+/// All checks report violations instead of asserting, so they run in
+/// NDEBUG builds and compose with the fuzz driver's seed minimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_VERIFY_DIFFERENTIALORACLE_H
+#define RAP_VERIFY_DIFFERENTIALORACLE_H
+
+#include "baselines/ExactProfiler.h"
+#include "baselines/FlatRangeProfiler.h"
+#include "support/Rng.h"
+#include "verify/TreeInvariants.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rap {
+
+/// Knobs for the oracle's query battery.
+struct OracleOptions {
+  /// Budget of exhaustively enumerated grid-aligned ranges per check
+  /// (widest levels first; a level that no longer fits is sampled).
+  uint64_t AlignedQueryBudget = 2048;
+
+  /// Randomly drawn arbitrary (unaligned) ranges per check.
+  unsigned RandomQueries = 64;
+
+  /// Hotness fractions to cross-check hot-range extraction at.
+  std::vector<double> HotPhis = {0.01, 0.05, 0.20};
+
+  /// log2 of the flat cross-check profiler's bucket count (clipped to
+  /// the universe). Flat bucket counts are exact at this granularity.
+  unsigned FlatBucketBits = 10;
+
+  /// Extra multiplier on the error budget. The budget already includes
+  /// the provable merge-fold slack — eps * n with merges disabled,
+  /// eps * n * q/(q-1) with merges enabled (docs/VERIFICATION.md) —
+  /// so 1.0 enforces the provable bound; tests inject tighter or
+  /// looser budgets through this knob.
+  double ErrorBoundFactor = 1.0;
+};
+
+/// Feeds one stream to all three profilers and checks them against
+/// each other.
+class DifferentialOracle {
+public:
+  explicit DifferentialOracle(const RapConfig &Config,
+                              OracleOptions Options = {});
+
+  /// Feeds \p Weight occurrences of \p X to the tree (through the
+  /// online transition auditor), the exact profiler, and the flat
+  /// profiler.
+  void addPoint(uint64_t X, uint64_t Weight = 1);
+
+  /// Runs the whole query battery now, drawing random queries from
+  /// \p QueryRng. Violations accumulate across calls.
+  void checkNow(Rng &QueryRng);
+
+  /// All violations found so far: differential failures plus anything
+  /// the online transition auditor caught during feeding.
+  std::vector<InvariantViolation> violations() const;
+
+  /// The audited tree.
+  const RapTree &tree() const { return Tree; }
+
+  /// Ground truth profiler (for tests that want to poke at it).
+  const ExactProfiler &exact() const { return Exact; }
+
+  /// The eps * n error budget currently enforced, including the
+  /// weighted-event slack.
+  double errorBudget() const;
+
+private:
+  void checkRange(uint64_t Lo, uint64_t Hi, bool GridAligned);
+  void checkHotRanges(double Phi);
+
+  RapConfig Config;
+  OracleOptions Options;
+  RapTree Tree;
+  OnlineAuditor Auditor;
+  ExactProfiler Exact;
+  FlatRangeProfiler Flat;
+  uint64_t MaxWeight = 1;
+  std::vector<InvariantViolation> Violations;
+};
+
+} // namespace rap
+
+#endif // RAP_VERIFY_DIFFERENTIALORACLE_H

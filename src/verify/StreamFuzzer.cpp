@@ -1,0 +1,259 @@
+//===- verify/StreamFuzzer.cpp - Adversarial stream generator ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/StreamFuzzer.h"
+
+#include "support/BitUtils.h"
+#include "verify/DifferentialOracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace rap;
+
+const char *rap::streamShapeName(StreamShape Shape) {
+  switch (Shape) {
+  case StreamShape::Uniform:
+    return "uniform";
+  case StreamShape::Zipf:
+    return "zipf";
+  case StreamShape::PointMass:
+    return "point-mass";
+  case StreamShape::ShiftingPhase:
+    return "shifting-phase";
+  case StreamShape::Sawtooth:
+    return "sawtooth";
+  case StreamShape::AllDistinct:
+    return "all-distinct";
+  case StreamShape::UniverseEdges:
+    return "universe-edges";
+  case StreamShape::WeightedBursts:
+    return "weighted-bursts";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// SplitMix64 finalizer as a stateless hash: spreads Zipf ranks across
+/// the universe so heavy ranks land in unrelated subtrees.
+uint64_t mix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Maps a raw 64-bit draw into [0, 1), platform-stable.
+double toUnit(uint64_t X) { return static_cast<double>(X >> 11) * 0x1.0p-53; }
+
+} // namespace
+
+StreamFuzzer::StreamFuzzer(uint64_t Seed, StreamShape Shape,
+                           unsigned RangeBits)
+    : R(Seed), Shape(Shape), RangeBits(RangeBits),
+      UniverseHi(RangeBits == 0 ? 0 : lowBitMask(RangeBits)) {
+  switch (Shape) {
+  case StreamShape::PointMass:
+    HotValue = R.next() & UniverseHi;
+    HotProb = 0.5 + 0.45 * R.nextDouble();
+    break;
+  case StreamShape::Zipf: {
+    uint64_t N = RangeBits >= 12 ? 4096 : (uint64_t(1) << RangeBits);
+    double Exponent = 0.8 + 0.8 * R.nextDouble();
+    ZipfCdf.resize(N);
+    double Total = 0.0;
+    for (uint64_t I = 0; I != N; ++I) {
+      Total += std::pow(static_cast<double>(I + 1), -Exponent);
+      ZipfCdf[I] = Total;
+    }
+    for (double &C : ZipfCdf)
+      C /= Total;
+    ZipfCdf.back() = 1.0;
+    ZipfSalt = R.next();
+    break;
+  }
+  case StreamShape::ShiftingPhase: {
+    PhaseLen = 512 + R.nextBelow(4096);
+    unsigned MaxNarrow = RangeBits > 1 ? std::min(RangeBits - 1, 10u) : 0;
+    RegionBits =
+        RangeBits - (MaxNarrow ? 1 + unsigned(R.nextBelow(MaxNarrow)) : 0);
+    break;
+  }
+  case StreamShape::Sawtooth: {
+    if (RangeBits >= 2) {
+      // An aligned boundary a node split will create, plus a small
+      // amplitude so the wave keeps crossing it.
+      unsigned W = 1 + unsigned(R.nextBelow(RangeBits - 1));
+      uint64_t Slots = std::max<uint64_t>(1, UniverseHi >> W);
+      Boundary = (1 + R.nextBelow(Slots)) << W;
+      Amplitude = 1 + R.nextBelow(32);
+      Amplitude = std::min(Amplitude, Boundary);
+      if (Boundary < UniverseHi)
+        Amplitude = std::min(Amplitude, UniverseHi - Boundary);
+    }
+    break;
+  }
+  case StreamShape::AllDistinct:
+    OddStep = R.next() | 1;
+    Counter = R.next();
+    break;
+  default:
+    break;
+  }
+}
+
+uint64_t StreamFuzzer::drawValue() {
+  switch (Shape) {
+  case StreamShape::Uniform:
+  case StreamShape::WeightedBursts:
+    return R.next() & UniverseHi;
+  case StreamShape::Zipf: {
+    double U = R.nextDouble();
+    auto It = std::lower_bound(ZipfCdf.begin(), ZipfCdf.end(), U);
+    uint64_t Rank =
+        static_cast<uint64_t>(std::distance(ZipfCdf.begin(), It));
+    if (Rank >= ZipfCdf.size())
+      Rank = ZipfCdf.size() - 1;
+    return mix64(Rank + ZipfSalt) & UniverseHi;
+  }
+  case StreamShape::PointMass:
+    return R.nextBernoulli(HotProb) ? HotValue : R.next() & UniverseHi;
+  case StreamShape::ShiftingPhase: {
+    if (PhaseLeft == 0) {
+      RegionLo = (R.next() & UniverseHi) & ~lowBitMask(RegionBits);
+      PhaseLeft = PhaseLen;
+    }
+    --PhaseLeft;
+    return RegionLo + (R.next() & lowBitMask(RegionBits));
+  }
+  case StreamShape::Sawtooth: {
+    if (Amplitude == 0)
+      return 0;
+    uint64_t Period = 2 * Amplitude;
+    uint64_t T = SawStep++ % (2 * Period);
+    uint64_t Delta = T < Period ? T : 2 * Period - T;
+    return std::min(Boundary - Amplitude + Delta, UniverseHi);
+  }
+  case StreamShape::AllDistinct:
+    return (Counter++ * OddStep) & UniverseHi;
+  case StreamShape::UniverseEdges: {
+    unsigned K = unsigned(R.nextBelow(RangeBits + 1));
+    uint64_t Power = K >= 64 ? 0 : (uint64_t(1) << K);
+    switch (R.nextBelow(5)) {
+    case 0:
+      return 0;
+    case 1:
+      return UniverseHi;
+    case 2:
+      return (Power - 1) & UniverseHi;
+    case 3:
+      return Power & UniverseHi;
+    default:
+      return (Power + 1) & UniverseHi;
+    }
+  }
+  }
+  return 0;
+}
+
+StreamEvent StreamFuzzer::next() {
+  uint64_t Weight = 1;
+  if (Shape == StreamShape::WeightedBursts) {
+    double U = R.nextDouble();
+    if (U < 0.01)
+      Weight = 1 + R.nextBelow(1000000);
+    else if (U < 0.15)
+      Weight = 1 + R.nextBelow(1000);
+  }
+  uint64_t X = drawValue();
+  if (R.nextBernoulli(1.0 / 128))
+    Weight = 0; // exercise the zero-weight no-op path
+  return {X, Weight};
+}
+
+FuzzEpisode rap::deriveEpisode(uint64_t MasterSeed, uint64_t Index) {
+  SplitMix64 M(MasterSeed ^ (0xa24baed4963ee407ULL * (Index + 1)));
+  FuzzEpisode E;
+  E.MasterSeed = MasterSeed;
+  E.Index = Index;
+  E.StreamSeed = M.next();
+  E.Shape = static_cast<StreamShape>(M.next() % NumStreamShapes);
+
+  RapConfig &C = E.Config;
+  static const unsigned BitsTable[] = {0,  1,  2,  3,  4,  6,  8,  8, 10,
+                                       12, 16, 16, 20, 24, 32, 48, 64};
+  C.RangeBits =
+      BitsTable[M.next() % (sizeof(BitsTable) / sizeof(BitsTable[0]))];
+
+  static const unsigned Branches[] = {2, 4, 8, 16};
+  unsigned Pick = unsigned(M.next() % 4);
+  for (unsigned Tries = 0; Tries != 4; ++Tries) {
+    unsigned B = Branches[(Pick + Tries) % 4];
+    if (C.RangeBits == 0 || log2Exact(B) <= C.RangeBits) {
+      C.BranchFactor = B;
+      break;
+    }
+  }
+
+  double U = toUnit(M.next());
+  C.Epsilon = std::exp(std::log(0.005) + U * (std::log(0.5) - std::log(0.005)));
+  C.MergeRatio = 1.25 + toUnit(M.next()) * 2.75;
+  C.InitialMergeInterval = uint64_t(1) << (6 + M.next() % 6);
+  C.EnableMerges = (M.next() % 8) != 0;
+
+  if (!C.validate())
+    C = RapConfig(); // unreachable by construction; stay usable anyway
+  return E;
+}
+
+FuzzReport rap::runFuzzEpisode(const FuzzEpisode &Episode, uint64_t NumEvents,
+                               uint64_t CheckEvery) {
+  DifferentialOracle Oracle(Episode.Config);
+  StreamFuzzer Stream(Episode.StreamSeed, Episode.Shape,
+                      Episode.Config.RangeBits);
+  Rng QueryRng(Episode.StreamSeed ^ 0x5bf03635aca1fed5ULL);
+
+  FuzzReport Report;
+  auto CheckPoint = [&](uint64_t EventsFed) {
+    Oracle.checkNow(QueryRng);
+    Report.Violations = Oracle.violations();
+    std::vector<InvariantViolation> Structural =
+        TreeInvariants::audit(Oracle.tree());
+    Report.Violations.insert(Report.Violations.end(), Structural.begin(),
+                             Structural.end());
+    Report.EventsFed = EventsFed;
+    return Report.Violations.empty();
+  };
+
+  for (uint64_t I = 0; I != NumEvents; ++I) {
+    StreamEvent Event = Stream.next();
+    Oracle.addPoint(Event.X, Event.Weight);
+    if (CheckEvery != 0 && (I + 1) % CheckEvery == 0 && I + 1 != NumEvents)
+      if (!CheckPoint(I + 1))
+        return Report;
+  }
+  CheckPoint(NumEvents);
+  return Report;
+}
+
+uint64_t rap::minimizeFailure(const FuzzEpisode &Episode,
+                              uint64_t FailingEvents) {
+  auto FailsAt = [&](uint64_t N) {
+    return !runFuzzEpisode(Episode, N, /*CheckEvery=*/0).ok();
+  };
+  if (!FailsAt(FailingEvents))
+    return FailingEvents;
+  uint64_t Lo = 1, Hi = FailingEvents;
+  while (Lo < Hi) {
+    uint64_t Mid = Lo + (Hi - Lo) / 2;
+    if (FailsAt(Mid))
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  return Hi;
+}

@@ -1,0 +1,145 @@
+//===- verify/StreamFuzzer.h - Adversarial stream generator ---*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, fully deterministic generation of adversarial event streams
+/// for the verification subsystem. A StreamFuzzer draws events of one
+/// of several shapes chosen to stress distinct parts of the RAP
+/// algorithm: the split threshold (point masses, Zipf heads), the
+/// batched merge (shifting phases that abandon previously hot
+/// regions), split/merge hysteresis (sawtooth around an aligned
+/// boundary), node-count bounds (all-distinct, uniform), and range
+/// arithmetic (universe-edge values, weighted bursts).
+///
+/// deriveEpisode() expands (master seed, episode index) into a random
+/// RapConfig plus a stream shape and seed, so a failing episode is
+/// fully described by two integers — the replay line the fuzz driver
+/// prints. runFuzzEpisode() feeds the stream through a
+/// DifferentialOracle, running both that oracle's query battery and
+/// the structural TreeInvariants audit every CheckEvery events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_VERIFY_STREAMFUZZER_H
+#define RAP_VERIFY_STREAMFUZZER_H
+
+#include "core/RapConfig.h"
+#include "support/Rng.h"
+#include "verify/TreeInvariants.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rap {
+
+/// Stream shapes the fuzzer can generate. Each stresses a different
+/// mechanism; see the file comment.
+enum class StreamShape : unsigned {
+  Uniform,        ///< i.i.d. uniform over the universe.
+  Zipf,           ///< Heavy-tailed ranks hashed across the universe.
+  PointMass,      ///< One value takes most of the mass.
+  ShiftingPhase,  ///< Hot region relocates every phase (merge stress).
+  Sawtooth,       ///< Triangle wave across an aligned boundary.
+  AllDistinct,    ///< A value never repeats (until universe wrap).
+  UniverseEdges,  ///< 0, 2^k boundaries, and 2^R - 1 extremes.
+  WeightedBursts, ///< Uniform values with occasional huge weights.
+};
+
+/// Number of StreamShape enumerators (for random selection).
+constexpr unsigned NumStreamShapes = 8;
+
+/// Stable name of \p Shape for logs and replay lines.
+const char *streamShapeName(StreamShape Shape);
+
+/// One stream event.
+struct StreamEvent {
+  uint64_t X;
+  uint64_t Weight;
+};
+
+/// Deterministic generator of one stream: same (Seed, Shape,
+/// RangeBits) always yields the same event sequence on every platform.
+class StreamFuzzer {
+public:
+  StreamFuzzer(uint64_t Seed, StreamShape Shape, unsigned RangeBits);
+
+  /// Draws the next event. Values are always inside [0, 2^RangeBits).
+  /// About one event in 128 carries weight zero, to exercise the
+  /// zero-weight no-op path.
+  StreamEvent next();
+
+  StreamShape shape() const { return Shape; }
+
+private:
+  uint64_t drawValue();
+
+  Rng R;
+  StreamShape Shape;
+  unsigned RangeBits;
+  uint64_t UniverseHi;
+
+  // Shape-specific state, initialized in the constructor.
+  uint64_t HotValue = 0;     // PointMass
+  double HotProb = 0.9;      // PointMass
+  uint64_t ZipfSalt = 0;     // Zipf value hashing
+  std::vector<double> ZipfCdf;
+  uint64_t PhaseLen = 4096;  // ShiftingPhase
+  uint64_t PhaseLeft = 0;    // ShiftingPhase
+  unsigned RegionBits = 0;   // ShiftingPhase
+  uint64_t RegionLo = 0;     // ShiftingPhase
+  uint64_t Boundary = 0;     // Sawtooth
+  uint64_t Amplitude = 1;    // Sawtooth
+  uint64_t SawStep = 0;      // Sawtooth
+  uint64_t Counter = 0;      // AllDistinct
+  uint64_t OddStep = 1;      // AllDistinct
+};
+
+/// A fully derived fuzz episode: everything needed to replay it.
+struct FuzzEpisode {
+  uint64_t MasterSeed = 0;
+  uint64_t Index = 0;
+  uint64_t StreamSeed = 0;
+  StreamShape Shape = StreamShape::Uniform;
+  RapConfig Config;
+};
+
+/// Expands (master seed, episode index) into a random valid RapConfig,
+/// stream shape, and stream seed. Deterministic and platform-stable.
+FuzzEpisode deriveEpisode(uint64_t MasterSeed, uint64_t Index);
+
+/// Result of running one episode.
+struct FuzzReport {
+  /// Violations from the differential oracle, the online transition
+  /// auditor, and the structural audit, in detection order.
+  std::vector<InvariantViolation> Violations;
+
+  /// Events fed when the first failing check ran (== NumEvents for a
+  /// clean episode: the run stops at the first failing checkpoint).
+  uint64_t EventsFed = 0;
+
+  bool ok() const { return Violations.empty(); }
+};
+
+/// Feeds \p NumEvents events of the episode's stream into a
+/// DifferentialOracle, running the full query battery plus a
+/// structural TreeInvariants audit every \p CheckEvery events (0 means
+/// check only once, after the last event). Stops at the first failing
+/// checkpoint.
+FuzzReport runFuzzEpisode(const FuzzEpisode &Episode, uint64_t NumEvents,
+                          uint64_t CheckEvery);
+
+/// Shrinks a failing episode to a short failing prefix: binary-searches
+/// the smallest event count whose end-of-stream check still fails.
+/// Violations need not be monotone in the prefix length, so this is a
+/// heuristic — it always returns *some* failing prefix length, at most
+/// \p FailingEvents (which must itself fail with an end-only check;
+/// if it does not, FailingEvents is returned unchanged).
+uint64_t minimizeFailure(const FuzzEpisode &Episode, uint64_t FailingEvents);
+
+} // namespace rap
+
+#endif // RAP_VERIFY_STREAMFUZZER_H

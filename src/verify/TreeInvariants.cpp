@@ -1,0 +1,386 @@
+//===- verify/TreeInvariants.cpp - Structural + online auditors ----------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/TreeInvariants.h"
+
+#include "core/WorstCaseBounds.h"
+#include "support/BitUtils.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace rap;
+
+namespace {
+
+/// Collects a violation with printf-style context.
+class Report {
+public:
+  explicit Report(std::vector<InvariantViolation> &Out) : Out(Out) {}
+
+  [[gnu::format(printf, 3, 4)]] void fail(const char *Invariant,
+                                          const char *Format, ...) {
+    char Buffer[256];
+    va_list Args;
+    va_start(Args, Format);
+    std::vsnprintf(Buffer, sizeof(Buffer), Format, Args);
+    va_end(Args);
+    Out.push_back({Invariant, Buffer});
+  }
+
+private:
+  std::vector<InvariantViolation> &Out;
+};
+
+/// Expected child width under \p ParentWidth (the floor of zero makes
+/// the last level absorb a RangeBits not divisible by log2(b)).
+unsigned childWidthBits(unsigned ParentWidth, unsigned BitsPerLevel) {
+  return ParentWidth > BitsPerLevel ? ParentWidth - BitsPerLevel : 0;
+}
+
+struct WalkStats {
+  uint64_t Nodes = 0;
+  uint64_t Weight = 0;
+};
+
+/// Recursive structural walk of a live tree.
+void walk(const RapNode &Node, const RapConfig &Config, Report &R,
+          WalkStats &Stats) {
+  ++Stats.Nodes;
+  Stats.Weight = saturatingAdd(Stats.Weight, Node.count());
+
+  uint64_t Width = Node.widthBits() >= 64
+                       ? 0
+                       : (uint64_t(1) << Node.widthBits());
+  if (Node.widthBits() > Config.RangeBits)
+    R.fail("range-alignment", "node [%" PRIx64 "] wider (%u bits) than the "
+           "universe (%u bits)",
+           Node.lo(), Node.widthBits(), Config.RangeBits);
+  else if (Width != 0 && Node.lo() != alignDown(Node.lo(), Width))
+    R.fail("range-alignment",
+           "node lo %" PRIx64 " not aligned to its %u-bit width", Node.lo(),
+           Node.widthBits());
+
+  if (!Node.hasChildren())
+    return;
+
+  unsigned BitsPerLevel = Config.bitsPerLevel();
+  unsigned ChildBits = childWidthBits(Node.widthBits(), BitsPerLevel);
+  unsigned ExpectedSlots = 1u << (Node.widthBits() - ChildBits);
+  if (Node.numChildSlots() != ExpectedSlots)
+    R.fail("child-geometry",
+           "node [%" PRIx64 ", width %u] has %u child slots, expected %u",
+           Node.lo(), Node.widthBits(), Node.numChildSlots(), ExpectedSlots);
+
+  bool AnyChild = false;
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot) {
+    const RapNode *Child = Node.child(Slot);
+    if (!Child)
+      continue;
+    AnyChild = true;
+    // Children exactly partition the parent: slot S covers
+    // [parent.lo + S * 2^childBits, ...] at exactly childBits width.
+    uint64_t ExpectedLo =
+        Node.lo() + (static_cast<uint64_t>(Slot) << ChildBits);
+    if (Child->widthBits() != ChildBits)
+      R.fail("child-geometry",
+             "child [%" PRIx64 "] width %u inconsistent with branching "
+             "factor (expected %u)",
+             Child->lo(), Child->widthBits(), ChildBits);
+    else if (Child->lo() != ExpectedLo)
+      R.fail("child-geometry",
+             "child in slot %u has lo %" PRIx64 ", expected %" PRIx64, Slot,
+             Child->lo(), ExpectedLo);
+    walk(*Child, Config, R, Stats);
+  }
+  if (!AnyChild)
+    R.fail("child-geometry",
+           "node [%" PRIx64 "] keeps an empty child array (all slots "
+           "merged away must clear it)",
+           Node.lo());
+}
+
+} // namespace
+
+std::vector<InvariantViolation> TreeInvariants::audit(const RapTree &Tree) {
+  std::vector<InvariantViolation> Violations;
+  Report R(Violations);
+  const RapConfig &Config = Tree.config();
+
+  // Root covers the whole configured universe.
+  if (Tree.root().lo() != 0 || Tree.root().widthBits() != Config.RangeBits)
+    R.fail("root-universe",
+           "root covers [%" PRIx64 ", width %u], expected [0, width %u]",
+           Tree.root().lo(), Tree.root().widthBits(), Config.RangeBits);
+
+  WalkStats Stats;
+  walk(Tree.root(), Config, R, Stats);
+
+  // Conservation: every unit of stream weight is on exactly one
+  // counter (weights saturate at 2^64-1, as does numEvents).
+  uint64_t SubtreeWeight = Tree.root().subtreeWeight();
+  if (SubtreeWeight != Tree.numEvents())
+    R.fail("conservation",
+           "tree holds %" PRIu64 " weight but %" PRIu64 " events were fed",
+           SubtreeWeight, Tree.numEvents());
+  uint64_t WholeUniverse =
+      Tree.estimateRange(0, Config.RangeBits == 0
+                                ? 0
+                                : lowBitMask(Config.RangeBits));
+  if (WholeUniverse != Tree.numEvents())
+    R.fail("conservation",
+           "whole-universe estimate %" PRIu64 " != %" PRIu64 " events",
+           WholeUniverse, Tree.numEvents());
+
+  // Node accounting matches the real structure.
+  if (Stats.Nodes != Tree.numNodes())
+    R.fail("node-accounting", "numNodes() says %" PRIu64 " but tree has "
+           "%" PRIu64 " nodes",
+           Tree.numNodes(), Stats.Nodes);
+  if (Tree.maxNumNodes() < Tree.numNodes())
+    R.fail("node-accounting",
+           "maxNumNodes() %" PRIu64 " below current numNodes() %" PRIu64,
+           Tree.maxNumNodes(), Tree.numNodes());
+
+  // Merge schedule: with batched merging enabled the next merge is
+  // always strictly in the future after an update returns.
+  if (Config.EnableMerges && Tree.numEvents() > 0 &&
+      Tree.nextMergeAt() <= Tree.numEvents())
+    R.fail("merge-schedule",
+           "nextMergeAt %" PRIu64 " not past the stream position %" PRIu64,
+           Tree.nextMergeAt(), Tree.numEvents());
+
+  // Worst-case node bound (Sec 3.1 / Fig 3): post-merge bound plus the
+  // splits possible since the last merge. Only meaningful under the
+  // paper's regime: proportional split threshold and merges at least
+  // as aggressive as the split threshold.
+  if (Config.EnableMerges && Config.FixedSplitThreshold == 0.0 &&
+      Config.MergeThresholdScale >= 1.0 && Config.RangeBits >= 1 &&
+      Tree.numEvents() > 0) {
+    WorstCaseBounds Bounds(Config.RangeBits, Config.BranchFactor,
+                           Config.Epsilon);
+    uint64_t LastMerge = Tree.mergeEventCounts().empty()
+                             ? 1
+                             : std::max<uint64_t>(
+                                   1, Tree.mergeEventCounts().back());
+    double Limit = Bounds.boundAt(Tree.numEvents(), LastMerge) + 1.0;
+    if (static_cast<double>(Tree.numNodes()) > Limit)
+      R.fail("node-bound",
+             "%" PRIu64 " nodes exceed the analytic bound %.1f at "
+             "n=%" PRIu64 " (last merge at %" PRIu64 ")",
+             Tree.numNodes(), Limit, Tree.numEvents(), LastMerge);
+  }
+
+  return Violations;
+}
+
+std::vector<InvariantViolation> TreeInvariants::auditNodeSet(
+    const RapConfig &Config,
+    std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> Nodes,
+    uint64_t NumEvents) {
+  std::vector<InvariantViolation> Violations;
+  Report R(Violations);
+
+  std::string ConfigError;
+  if (!Config.validate(&ConfigError)) {
+    R.fail("config", "invalid configuration: %s", ConfigError.c_str());
+    return Violations;
+  }
+  if (Nodes.empty()) {
+    R.fail("root-universe", "node set is empty (the root is mandatory)");
+    return Violations;
+  }
+
+  // Preorder of a trie == sorted by (lo ascending, width descending),
+  // so arbitrary input order (e.g. the engine's sorted TCAM snapshot)
+  // is normalized first.
+  std::sort(Nodes.begin(), Nodes.end(), [](const auto &A, const auto &B) {
+    if (std::get<0>(A) != std::get<0>(B))
+      return std::get<0>(A) < std::get<0>(B);
+    return std::get<1>(A) > std::get<1>(B);
+  });
+
+  auto HiOf = [](uint64_t Lo, uint8_t WidthBits) {
+    return WidthBits >= 64 ? ~uint64_t(0)
+                           : Lo + ((uint64_t(1) << WidthBits) - 1);
+  };
+
+  if (std::get<0>(Nodes[0]) != 0 ||
+      std::get<1>(Nodes[0]) != Config.RangeBits) {
+    R.fail("root-universe",
+           "first node [%" PRIx64 ", width %u] is not the universe root "
+           "(width %u)",
+           std::get<0>(Nodes[0]),
+           static_cast<unsigned>(std::get<1>(Nodes[0])), Config.RangeBits);
+    return Violations;
+  }
+
+  unsigned BitsPerLevel = Config.bitsPerLevel();
+  uint64_t TotalCount = std::get<2>(Nodes[0]);
+  // Ancestor stack of (lo, widthBits) — the same maintained-path scheme
+  // RapTree::fromNodeSet uses, but collecting every defect.
+  std::vector<std::pair<uint64_t, uint8_t>> Path = {
+      {std::get<0>(Nodes[0]), std::get<1>(Nodes[0])}};
+
+  for (size_t I = 1; I < Nodes.size(); ++I) {
+    auto [Lo, WidthBits, Count] = Nodes[I];
+    TotalCount = saturatingAdd(TotalCount, Count);
+
+    if (WidthBits >= Config.RangeBits) {
+      R.fail("child-geometry",
+             "non-root node [%" PRIx64 "] as wide as the universe", Lo);
+      continue;
+    }
+    uint64_t Width = uint64_t(1) << WidthBits;
+    if (Lo != alignDown(Lo, Width)) {
+      R.fail("range-alignment",
+             "node lo %" PRIx64 " not aligned to its %u-bit width", Lo,
+             static_cast<unsigned>(WidthBits));
+      continue;
+    }
+    uint64_t Hi = HiOf(Lo, WidthBits);
+    while (!Path.empty() && !(Path.back().first <= Lo &&
+                              Hi <= HiOf(Path.back().first,
+                                         Path.back().second)))
+      Path.pop_back();
+    if (Path.empty()) {
+      R.fail("child-geometry",
+             "node [%" PRIx64 ", width %u] not contained in any ancestor",
+             Lo, static_cast<unsigned>(WidthBits));
+      Path.push_back({std::get<0>(Nodes[0]), std::get<1>(Nodes[0])});
+      continue;
+    }
+    auto [ParentLo, ParentWidth] = Path.back();
+    if (ParentLo == Lo && ParentWidth == WidthBits) {
+      R.fail("child-geometry", "duplicate node [%" PRIx64 ", width %u]", Lo,
+             static_cast<unsigned>(WidthBits));
+      continue;
+    }
+    unsigned Expected = childWidthBits(ParentWidth, BitsPerLevel);
+    if (WidthBits != Expected) {
+      R.fail("child-geometry",
+             "node [%" PRIx64 "] width %u under a width-%u parent must be "
+             "%u (branch factor %u)",
+             Lo, static_cast<unsigned>(WidthBits),
+             static_cast<unsigned>(ParentWidth), Expected,
+             Config.BranchFactor);
+      continue;
+    }
+    Path.push_back({Lo, WidthBits});
+  }
+
+  if (TotalCount != NumEvents)
+    R.fail("conservation",
+           "node counts sum to %" PRIu64 " but %" PRIu64 " events were fed",
+           TotalCount, NumEvents);
+
+  return Violations;
+}
+
+std::string
+TreeInvariants::render(const std::vector<InvariantViolation> &Vs) {
+  std::string Out;
+  for (const InvariantViolation &V : Vs) {
+    Out += "[";
+    Out += V.Invariant;
+    Out += "] ";
+    Out += V.Detail;
+    Out += "\n";
+  }
+  return Out;
+}
+
+void OnlineAuditor::addPoint(uint64_t X, uint64_t Weight) {
+  Report R(Violations);
+  const RapConfig &Config = Tree.config();
+
+  const RapNode &Before = Tree.findSmallestCover(X);
+  const uint64_t CountBefore = Before.count();
+  const unsigned WidthBefore = Before.widthBits();
+  const bool Unit = Before.isUnitRange();
+  const uint64_t EventsBefore = Tree.numEvents();
+  const uint64_t SplitsBefore = Tree.numSplits();
+  const uint64_t MergesBefore = Tree.numMergePasses();
+  const uint64_t NextMergeBefore = Tree.nextMergeAt();
+
+  Tree.addPoint(X, Weight);
+
+  if (Weight == 0) {
+    // Zero-weight events are no-ops by contract.
+    if (Tree.numEvents() != EventsBefore ||
+        Tree.numSplits() != SplitsBefore ||
+        Tree.numMergePasses() != MergesBefore)
+      R.fail("zero-weight", "zero-weight event mutated the tree "
+             "(x=%" PRIx64 ")", X);
+    return;
+  }
+
+  // Event accounting (saturating, like the counters).
+  const uint64_t EventsAfter = saturatingAdd(EventsBefore, Weight);
+  if (Tree.numEvents() != EventsAfter)
+    R.fail("event-accounting",
+           "numEvents %" PRIu64 " after add, expected %" PRIu64,
+           Tree.numEvents(), EventsAfter);
+
+  // Split decision (Sec 2.2): the landing counter must split iff it
+  // strictly exceeds eps * n / log(R) — evaluated, exactly as the
+  // update rule does, at the post-update stream position.
+  const uint64_t CountAfter = saturatingAdd(CountBefore, Weight);
+  const bool MustSplit =
+      !Unit &&
+      static_cast<double>(CountAfter) > Config.splitThreshold(EventsAfter);
+  const uint64_t SplitDelta = Tree.numSplits() - SplitsBefore;
+  if (SplitDelta != (MustSplit ? 1u : 0u))
+    R.fail("split-threshold",
+           "counter %" PRIu64 " vs threshold %.6f at n=%" PRIu64
+           " (width %u): expected %s, saw %" PRIu64 " split(s)",
+           CountAfter, Config.splitThreshold(EventsAfter), EventsAfter,
+           WidthBefore, MustSplit ? "a split" : "no split", SplitDelta);
+
+  // Merge schedule (Sec 3.1): one batched merge pass exactly when the
+  // stream crosses the scheduled position, none otherwise, and the
+  // next position moves strictly past the stream.
+  const bool MustMerge =
+      Config.EnableMerges && EventsAfter >= NextMergeBefore;
+  const uint64_t MergeDelta = Tree.numMergePasses() - MergesBefore;
+  if (MergeDelta != (MustMerge ? 1u : 0u))
+    R.fail("merge-schedule",
+           "n=%" PRIu64 " vs scheduled merge at %" PRIu64
+           ": expected %s, saw %" PRIu64 " pass(es)",
+           EventsAfter, NextMergeBefore, MustMerge ? "a merge" : "no merge",
+           MergeDelta);
+  if (Config.EnableMerges && Tree.nextMergeAt() <= Tree.numEvents())
+    R.fail("merge-schedule",
+           "nextMergeAt %" PRIu64 " not past stream position %" PRIu64,
+           Tree.nextMergeAt(), Tree.numEvents());
+  if (MustMerge && MergeDelta == 1 && NextMergeBefore > 1 &&
+      Config.MergeRatio > 1.0) {
+    // The schedule grows by at least the configured ratio (or snaps to
+    // just past the stream, whichever is later).
+    uint64_t Scheduled = static_cast<uint64_t>(
+        std::max(1.0, static_cast<double>(NextMergeBefore) *
+                          Config.MergeRatio * 0.999));
+    if (Tree.nextMergeAt() < std::min(Scheduled, EventsAfter + 1))
+      R.fail("merge-schedule",
+             "next merge %" PRIu64 " grew less than ratio q=%.3f from "
+             "%" PRIu64,
+             Tree.nextMergeAt(), Config.MergeRatio, NextMergeBefore);
+  }
+
+  // A split must refine the landing range when nothing merged it away
+  // in the same update.
+  if (MustSplit && SplitDelta == 1 && MergeDelta == 0) {
+    const RapNode &After = Tree.findSmallestCover(X);
+    if (After.widthBits() >= WidthBefore)
+      R.fail("split-threshold",
+             "split did not refine the landing range (width %u -> %u)",
+             WidthBefore, After.widthBits());
+  }
+}

@@ -62,12 +62,16 @@ TEST(RapConfig, MergeThresholdScales) {
 
 TEST(RapConfig, RejectsBadRangeBits) {
   RapConfig Config;
-  Config.RangeBits = 0;
-  EXPECT_FALSE(Config.validate());
   Config.RangeBits = 65;
   EXPECT_FALSE(Config.validate());
   Config.RangeBits = 64;
   EXPECT_TRUE(Config.validate());
+  // The degenerate single-value universe (R = 1) is permitted: the
+  // root is a unit range and the tree never splits.
+  Config.RangeBits = 0;
+  EXPECT_TRUE(Config.validate());
+  EXPECT_EQ(Config.maxDepth(), 0u);
+  EXPECT_GT(Config.splitThreshold(1000), 0.0);
 }
 
 TEST(RapConfig, RejectsBadBranchFactor) {

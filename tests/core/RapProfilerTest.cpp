@@ -110,3 +110,33 @@ TEST(RapSession, ReplaceKeepsSingleName) {
   EXPECT_EQ(Session.getProfile("p").tree().numEvents(), 0u);
   EXPECT_EQ(Session.profileNames().size(), 1u);
 }
+
+TEST(RapSession, ReplaceKeepsInsertionOrder) {
+  // Re-adding an existing name must neither duplicate it in
+  // profileNames() nor move it to the back.
+  RapSession Session;
+  Session.addProfile("first", profilerConfig());
+  Session.addProfile("second", profilerConfig());
+  Session.addProfile("third", profilerConfig());
+  for (int Round = 0; Round != 3; ++Round)
+    Session.addProfile("second", profilerConfig());
+  ASSERT_EQ(Session.profileNames().size(), 3u);
+  EXPECT_EQ(Session.profileNames()[0], "first");
+  EXPECT_EQ(Session.profileNames()[1], "second");
+  EXPECT_EQ(Session.profileNames()[2], "third");
+}
+
+TEST(RapSession, ReplaceInstallsNewConfig) {
+  RapSession Session;
+  RapConfig Coarse = profilerConfig();
+  Coarse.RangeBits = 8;
+  Session.addProfile("p", Coarse);
+  EXPECT_EQ(Session.getProfile("p").tree().config().RangeBits, 8u);
+
+  RapConfig Fine = profilerConfig();
+  Fine.RangeBits = 24;
+  RapProfiler &Replaced = Session.addProfile("p", Fine);
+  // The reference returned by the replacing call is the live profile.
+  EXPECT_EQ(&Replaced, &Session.getProfile("p"));
+  EXPECT_EQ(Session.getProfile("p").tree().config().RangeBits, 24u);
+}

@@ -8,6 +8,7 @@
 #include "core/RapTree.h"
 
 #include "support/Rng.h"
+#include "verify/TreeInvariants.h"
 
 #include <gtest/gtest.h>
 
@@ -156,6 +157,85 @@ TEST(RapTreeEdgeCases, AllMassOnOneValueMemoryMinimal) {
   // One drilled path plus its sibling fan-out, pruned by merges.
   EXPECT_LT(Tree.numNodes(), 80u);
   EXPECT_GT(Tree.estimateRange(0xDEADBEEF, 0xDEADBEEF), 190000u);
+}
+
+TEST(RapTreeEdgeCases, SingleValueUniverse) {
+  // RangeBits = 0: the universe is {0}, the root is already a unit
+  // range and the tree can never split.
+  RapConfig Config;
+  Config.RangeBits = 0;
+  Config.BranchFactor = 2;
+  ASSERT_TRUE(Config.validate());
+  EXPECT_EQ(Config.maxDepth(), 0u);
+  RapTree Tree(Config);
+  for (int I = 0; I != 10000; ++I)
+    Tree.addPoint(0);
+  EXPECT_EQ(Tree.numEvents(), 10000u);
+  EXPECT_EQ(Tree.numNodes(), 1u);
+  EXPECT_EQ(Tree.estimateRange(0, 0), 10000u);
+  EXPECT_EQ(Tree.findSmallestCover(0).hi(), 0u);
+  std::vector<HotRange> Hot = Tree.extractHotRanges(0.5);
+  ASSERT_EQ(Hot.size(), 1u);
+  EXPECT_EQ(Hot[0].ExclusiveWeight, 10000u);
+  EXPECT_TRUE(TreeInvariants::audit(Tree).empty());
+}
+
+TEST(RapTreeEdgeCases, ZeroWeightAddIsNoOp) {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.5;
+  RapTree Tree(Config);
+  // Push the root counter right up against the split threshold, then
+  // feed weight-zero events: nothing may change — in particular a
+  // zero-weight event must not trigger a split.
+  for (int I = 0; I != 1000; ++I)
+    Tree.addPoint(7);
+  uint64_t NodesBefore = Tree.numNodes();
+  uint64_t SplitsBefore = Tree.numSplits();
+  for (int I = 0; I != 5000; ++I)
+    Tree.addPoint(static_cast<uint64_t>(I) & 0xffff, 0);
+  EXPECT_EQ(Tree.numEvents(), 1000u);
+  EXPECT_EQ(Tree.numNodes(), NodesBefore);
+  EXPECT_EQ(Tree.numSplits(), SplitsBefore);
+  EXPECT_EQ(Tree.root().subtreeWeight(), 1000u);
+  EXPECT_TRUE(TreeInvariants::audit(Tree).empty());
+}
+
+TEST(RapTreeEdgeCases, WeightOverflowSaturates) {
+  RapConfig Config;
+  Config.RangeBits = 8;
+  Config.Epsilon = 0.1;
+  RapTree Tree(Config);
+  Tree.addPoint(1, ~uint64_t(0)); // 2^64 - 1 at once
+  EXPECT_EQ(Tree.numEvents(), ~uint64_t(0));
+  // Any further weight saturates instead of wrapping to small values.
+  Tree.addPoint(1, 1);
+  Tree.addPoint(200, 12345);
+  EXPECT_EQ(Tree.numEvents(), ~uint64_t(0));
+  EXPECT_EQ(Tree.root().subtreeWeight(), ~uint64_t(0));
+  EXPECT_EQ(Tree.estimateRange(0, 0xff), ~uint64_t(0));
+  // Estimates stay monotone (no wrapped counter can shrink a sum).
+  EXPECT_GE(Tree.estimateRange(0, 0xff), Tree.estimateRange(0, 0x7f));
+}
+
+TEST(RapTreeEdgeCases, FullUniverseBracketsAtWordEdges) {
+  // 64-bit universe: width arithmetic must not shift by 64 anywhere.
+  RapConfig Config;
+  Config.RangeBits = 64;
+  Config.Epsilon = 0.1;
+  RapTree Tree(Config);
+  for (int I = 0; I != 2000; ++I) {
+    Tree.addPoint(uint64_t(I));
+    Tree.addPoint(~uint64_t(0) - uint64_t(I));
+  }
+  RapTree::RangeBounds All = Tree.estimateRangeBounds(0, ~uint64_t(0));
+  EXPECT_EQ(All.Lower, 4000u);
+  EXPECT_EQ(All.Upper, 4000u);
+  RapTree::RangeBounds Half =
+      Tree.estimateRangeBounds(0, uint64_t(1) << 63);
+  EXPECT_LE(Half.Lower, 2000u);
+  EXPECT_GE(Half.Upper, 2000u);
+  EXPECT_TRUE(TreeInvariants::audit(Tree).empty());
 }
 
 TEST(RapTreeEdgeCases, InterleavedMergeNowAndUpdatesStayConsistent) {

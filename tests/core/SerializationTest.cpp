@@ -8,9 +8,11 @@
 #include "core/Serialization.h"
 
 #include "support/Rng.h"
+#include "verify/TreeInvariants.h"
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 using namespace rap;
@@ -184,6 +186,139 @@ TEST(RapTreeFromNodeSet, RejectsMalformedNodeSets) {
   EXPECT_EQ(Good->numNodes(), 3u);
   EXPECT_EQ(Good->numEvents(), 6u);
   EXPECT_EQ(Good->estimateRange(0, 0x3fff), 1u);
+}
+
+namespace {
+
+/// Preorder (lo, width, count) triples of a live tree, for bit-exact
+/// structural comparison of two trees.
+std::vector<std::tuple<uint64_t, uint8_t, uint64_t>>
+treeTriples(const RapTree &Tree) {
+  std::vector<ProfileSnapshot::Node> Nodes =
+      ProfileSnapshot::capture(Tree).nodes();
+  std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> Triples;
+  for (const ProfileSnapshot::Node &N : Nodes)
+    Triples.emplace_back(N.Lo, N.WidthBits, N.Count);
+  return Triples;
+}
+
+} // namespace
+
+TEST(ProfileSnapshot, RoundTripMidMergeEpochPreservesSchedule) {
+  // Stop in the middle of a merge epoch: the next merge is scheduled
+  // well past the current event count. A restored twin must not only
+  // answer the same queries, it must keep behaving identically —
+  // which requires restoring the merge schedule position, not
+  // re-deriving it from the initial interval.
+  RapConfig Config = testConfig();
+  Config.InitialMergeInterval = 512;
+  RapTree Tree(Config);
+  Rng R(77);
+  for (int I = 0; I != 20000; ++I)
+    Tree.addPoint(R.nextBelow(1 << 16));
+  ASSERT_GT(Tree.nextMergeAt(), Tree.numEvents());
+  // The follow-on stream below must cross the scheduled merge so the
+  // comparison proves merges fire at the same point in both trees.
+  ASSERT_LT(Tree.nextMergeAt(), Tree.numEvents() + 15000)
+      << "stream too short to stop mid-epoch";
+
+  for (bool Binary : {true, false}) {
+    ProfileSnapshot Original = ProfileSnapshot::capture(Tree);
+    std::stringstream Stream;
+    std::string Error;
+    std::unique_ptr<ProfileSnapshot> Loaded;
+    if (Binary) {
+      Original.writeBinary(Stream);
+      Loaded = ProfileSnapshot::readBinary(Stream, &Error);
+    } else {
+      Original.writeText(Stream);
+      Loaded = ProfileSnapshot::readText(Stream, &Error);
+    }
+    ASSERT_TRUE(Loaded) << Error;
+    EXPECT_EQ(Loaded->nextMergeAt(), Tree.nextMergeAt());
+
+    std::unique_ptr<RapTree> Twin = Loaded->restore();
+    ASSERT_TRUE(Twin);
+    EXPECT_EQ(Twin->nextMergeAt(), Tree.nextMergeAt());
+    std::vector<InvariantViolation> Vs = TreeInvariants::audit(*Twin);
+    EXPECT_TRUE(Vs.empty()) << TreeInvariants::render(Vs);
+
+    // Feed both trees the same 15000 further events — enough to cross
+    // the scheduled merge: it must fire at the same point in both, so
+    // the node sets stay bit-identical.
+    std::unique_ptr<RapTree> Reference =
+        ProfileSnapshot::capture(Tree).restore();
+    Rng Follow(88);
+    for (int I = 0; I != 15000; ++I) {
+      uint64_t X = Follow.nextBelow(1 << 16);
+      Reference->addPoint(X);
+      Twin->addPoint(X);
+    }
+    EXPECT_GE(Reference->numMergePasses(), 1u)
+        << "follow-on stream never crossed the scheduled merge";
+    EXPECT_EQ(Reference->numMergePasses(), Twin->numMergePasses());
+    EXPECT_EQ(Reference->nextMergeAt(), Twin->nextMergeAt());
+    EXPECT_EQ(treeTriples(*Reference), treeTriples(*Twin));
+    Rng QueryRng(99);
+    for (int I = 0; I != 50; ++I) {
+      uint64_t A = QueryRng.nextBelow(1 << 16);
+      uint64_t B = QueryRng.nextBelow(1 << 16);
+      if (A > B)
+        std::swap(A, B);
+      ASSERT_EQ(Reference->estimateRange(A, B), Twin->estimateRange(A, B));
+    }
+  }
+}
+
+TEST(ProfileSnapshot, BinaryV1StillLoads) {
+  // Hand-rolled version-1 header (no nextMergeAt field): old profiles
+  // must keep loading, with the schedule re-derived.
+  std::string Bytes;
+  auto PutU32 = [&Bytes](uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Bytes.push_back(static_cast<char>(V >> (8 * I)));
+  };
+  auto PutU64 = [&Bytes](uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Bytes.push_back(static_cast<char>(V >> (8 * I)));
+  };
+  auto PutF64 = [&PutU64](double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    PutU64(Bits);
+  };
+  Bytes += "RAPP";
+  PutU32(1);         // version 1
+  PutU32(16);        // RangeBits
+  PutU32(4);         // BranchFactor
+  PutF64(0.05);      // Epsilon
+  PutF64(2.0);       // MergeRatio
+  PutU64(1024);      // InitialMergeInterval
+  PutF64(1.0);       // MergeThresholdScale
+  Bytes.push_back(1); // EnableMerges
+  PutU64(6);         // NumEvents (no nextMergeAt in v1)
+  PutU64(3);         // NumNodes
+  auto PutNode = [&](uint64_t Lo, uint8_t Width, uint64_t Count) {
+    PutU64(Lo);
+    Bytes.push_back(static_cast<char>(Width));
+    PutU64(Count);
+  };
+  PutNode(0, 16, 3);
+  PutNode(0, 14, 1);
+  PutNode(0x4000, 14, 2);
+
+  std::stringstream Stream(Bytes);
+  std::string Error;
+  std::unique_ptr<ProfileSnapshot> Loaded =
+      ProfileSnapshot::readBinary(Stream, &Error);
+  ASSERT_TRUE(Loaded) << Error;
+  EXPECT_EQ(Loaded->numEvents(), 6u);
+  EXPECT_EQ(Loaded->numNodes(), 3u);
+  std::unique_ptr<RapTree> Tree = Loaded->restore();
+  ASSERT_TRUE(Tree);
+  // The schedule was re-derived past the current event count.
+  EXPECT_GT(Tree->nextMergeAt(), Tree->numEvents());
+  EXPECT_EQ(Tree->estimateRange(0, 0x3fff), 1u);
 }
 
 TEST(ProfileSnapshot, SnapshotQueriesMatchTreeQueries) {

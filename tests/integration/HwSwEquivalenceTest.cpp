@@ -19,6 +19,7 @@
 #include "hw/PipelinedEngine.h"
 #include "support/Rng.h"
 #include "trace/ProgramModel.h"
+#include "verify/TreeInvariants.h"
 
 #include <gtest/gtest.h>
 
@@ -128,6 +129,45 @@ TEST_P(HwSwEquivalence, IdenticalWithCombiningWhenTreeFedPairs) {
   Engine.flush();
   DrainIntoTree();
   EXPECT_EQ(treeSnapshot(Tree), Engine.snapshot());
+}
+
+TEST_P(HwSwEquivalence, BothSidesPassInvariantAudit) {
+  // Equality of the two snapshots proves HW == SW; the structural
+  // audit additionally proves both are a *well-formed RAP tree* —
+  // equal-but-both-wrong states cannot slip through.
+  const EquivParam &P = GetParam();
+  RapConfig Config;
+  Config.RangeBits = P.RangeBits;
+  Config.BranchFactor = P.BranchFactor;
+  Config.Epsilon = P.Epsilon;
+  Config.InitialMergeInterval = 512;
+
+  EngineConfig HwConfig;
+  HwConfig.Profile = Config;
+  HwConfig.TcamCapacity = 1 << 20;
+  HwConfig.BufferCapacity = 0;
+
+  RapTree Tree(Config);
+  PipelinedRapEngine Engine(HwConfig);
+  Rng R(P.Seed ^ 0xA0D17);
+  for (int I = 0; I != 40000; ++I) {
+    uint64_t X = R.next() & lowBitMask(P.RangeBits);
+    Tree.addPoint(X);
+    Engine.pushEvent(X);
+  }
+  Engine.flush();
+
+  std::vector<InvariantViolation> TreeVs = TreeInvariants::audit(Tree);
+  EXPECT_TRUE(TreeVs.empty()) << TreeInvariants::render(TreeVs);
+
+  // The engine's TCAM snapshot shares no code with RapTree; audit it
+  // through the tree-free node-set entry point.
+  std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> HwNodes;
+  for (const auto &[Lo, WidthBits, Count] : Engine.snapshot())
+    HwNodes.emplace_back(Lo, static_cast<uint8_t>(WidthBits), Count);
+  std::vector<InvariantViolation> HwVs =
+      TreeInvariants::auditNodeSet(Config, HwNodes, Tree.numEvents());
+  EXPECT_TRUE(HwVs.empty()) << TreeInvariants::render(HwVs);
 }
 
 TEST(HwSwEquivalence, IdenticalOnBenchmarkCodeProfile) {

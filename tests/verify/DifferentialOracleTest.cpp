@@ -1,0 +1,129 @@
+//===- tests/verify/DifferentialOracleTest.cpp ---------------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/DifferentialOracle.h"
+
+#include "support/Distributions.h"
+#include "verify/StreamFuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+namespace {
+
+RapConfig baseConfig() {
+  RapConfig Config;
+  Config.RangeBits = 20;
+  Config.BranchFactor = 4;
+  Config.Epsilon = 0.05;
+  return Config;
+}
+
+bool hasViolation(const std::vector<InvariantViolation> &Vs,
+                  const std::string &Invariant) {
+  for (const InvariantViolation &V : Vs)
+    if (V.Invariant == Invariant)
+      return true;
+  return false;
+}
+
+TEST(DifferentialOracle, UniformStreamIsClean) {
+  DifferentialOracle Oracle(baseConfig());
+  Rng R(3);
+  for (int I = 0; I != 40000; ++I)
+    Oracle.addPoint(R.next() & 0xfffff);
+  Rng QueryRng(4);
+  Oracle.checkNow(QueryRng);
+  EXPECT_TRUE(Oracle.violations().empty())
+      << TreeInvariants::render(Oracle.violations());
+}
+
+TEST(DifferentialOracle, ZipfStreamIsClean) {
+  DifferentialOracle Oracle(baseConfig());
+  Rng R(5);
+  ZipfDistribution Zipf(1000, 1.1);
+  for (int I = 0; I != 40000; ++I)
+    Oracle.addPoint((Zipf.sample(R) * 77003) & 0xfffff);
+  Rng QueryRng(6);
+  Oracle.checkNow(QueryRng);
+  EXPECT_TRUE(Oracle.violations().empty())
+      << TreeInvariants::render(Oracle.violations());
+}
+
+TEST(DifferentialOracle, WeightedStreamIsClean) {
+  DifferentialOracle Oracle(baseConfig());
+  Rng R(7);
+  for (int I = 0; I != 20000; ++I)
+    Oracle.addPoint(R.next() & 0xfffff, R.next() % 100);
+  Rng QueryRng(8);
+  Oracle.checkNow(QueryRng);
+  EXPECT_TRUE(Oracle.violations().empty())
+      << TreeInvariants::render(Oracle.violations());
+}
+
+TEST(DifferentialOracle, MidStreamChecksAccumulate) {
+  DifferentialOracle Oracle(baseConfig());
+  Rng R(9);
+  Rng QueryRng(10);
+  for (int Burst = 0; Burst != 5; ++Burst) {
+    for (int I = 0; I != 5000; ++I)
+      Oracle.addPoint(R.next() & 0xfffff);
+    Oracle.checkNow(QueryRng);
+  }
+  EXPECT_TRUE(Oracle.violations().empty())
+      << TreeInvariants::render(Oracle.violations());
+}
+
+// Negative control: a huge fixed split threshold keeps the tree a
+// single root counter, so a hot point's unit-range estimate misses by
+// far more than eps * n — the oracle must notice.
+TEST(DifferentialOracle, HugeFixedThresholdViolatesEpsBound) {
+  RapConfig Config = baseConfig();
+  Config.Epsilon = 0.01;
+  Config.FixedSplitThreshold = 1e18;
+  DifferentialOracle Oracle(Config);
+  Rng R(11);
+  for (int I = 0; I != 20000; ++I)
+    Oracle.addPoint(I % 2 == 0 ? 42u : R.next() & 0xfffff);
+  Rng QueryRng(12);
+  Oracle.checkNow(QueryRng);
+  EXPECT_TRUE(hasViolation(Oracle.violations(), "eps-bound"))
+      << TreeInvariants::render(Oracle.violations());
+}
+
+// Negative control: an impossibly tight budget flags even a healthy
+// tree, proving the eps check is actually exercised on clean streams.
+TEST(DifferentialOracle, ZeroBudgetFlagsHealthyTree) {
+  OracleOptions Options;
+  Options.ErrorBoundFactor = 0.0;
+  RapConfig Config = baseConfig();
+  DifferentialOracle Oracle(Config, Options);
+  Rng R(13);
+  for (int I = 0; I != 40000; ++I)
+    Oracle.addPoint(R.next() & 0x3ff); // concentrated: ancestors hold mass
+  Rng QueryRng(14);
+  Oracle.checkNow(QueryRng);
+  EXPECT_TRUE(hasViolation(Oracle.violations(), "eps-bound"))
+      << TreeInvariants::render(Oracle.violations());
+}
+
+TEST(DifferentialOracle, SingleValueUniverseIsClean) {
+  RapConfig Config;
+  Config.RangeBits = 0;
+  Config.BranchFactor = 2;
+  DifferentialOracle Oracle(Config);
+  for (int I = 0; I != 1000; ++I)
+    Oracle.addPoint(0, 1 + (I % 3));
+  Rng QueryRng(15);
+  Oracle.checkNow(QueryRng);
+  EXPECT_TRUE(Oracle.violations().empty())
+      << TreeInvariants::render(Oracle.violations());
+  EXPECT_EQ(Oracle.tree().estimateRange(0, 0), Oracle.exact().numEvents());
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+//===- tests/verify/StreamFuzzerTest.cpp ---------------------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/StreamFuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace rap;
+
+namespace {
+
+TEST(StreamFuzzer, SameSeedSameStream) {
+  for (unsigned S = 0; S != NumStreamShapes; ++S) {
+    StreamShape Shape = static_cast<StreamShape>(S);
+    StreamFuzzer A(99, Shape, 24);
+    StreamFuzzer B(99, Shape, 24);
+    for (int I = 0; I != 2000; ++I) {
+      StreamEvent EA = A.next();
+      StreamEvent EB = B.next();
+      EXPECT_EQ(EA.X, EB.X) << streamShapeName(Shape) << " event " << I;
+      EXPECT_EQ(EA.Weight, EB.Weight)
+          << streamShapeName(Shape) << " event " << I;
+    }
+  }
+}
+
+TEST(StreamFuzzer, ValuesStayInUniverse) {
+  for (unsigned Bits : {1u, 2u, 8u, 16u, 63u}) {
+    uint64_t Hi = Bits == 64 ? ~uint64_t(0) : (uint64_t(1) << Bits) - 1;
+    for (unsigned S = 0; S != NumStreamShapes; ++S) {
+      StreamFuzzer F(7, static_cast<StreamShape>(S), Bits);
+      for (int I = 0; I != 2000; ++I)
+        ASSERT_LE(F.next().X, Hi)
+            << streamShapeName(static_cast<StreamShape>(S)) << " bits "
+            << Bits;
+    }
+  }
+}
+
+TEST(StreamFuzzer, AllDistinctDoesNotRepeatEarly) {
+  StreamFuzzer F(21, StreamShape::AllDistinct, 32);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 5000; ++I)
+    Seen.insert(F.next().X);
+  EXPECT_EQ(Seen.size(), 5000u);
+}
+
+TEST(StreamFuzzer, DeriveEpisodeIsDeterministicAndValid) {
+  for (uint64_t I = 0; I != 64; ++I) {
+    FuzzEpisode A = deriveEpisode(17, I);
+    FuzzEpisode B = deriveEpisode(17, I);
+    EXPECT_EQ(A.StreamSeed, B.StreamSeed);
+    EXPECT_EQ(A.Shape, B.Shape);
+    EXPECT_EQ(A.Config.RangeBits, B.Config.RangeBits);
+    EXPECT_TRUE(A.Config.validate());
+  }
+}
+
+TEST(StreamFuzzer, DeriveEpisodeCoversShapesAndConfigs) {
+  std::set<unsigned> Shapes;
+  std::set<unsigned> Bits;
+  for (uint64_t I = 0; I != 128; ++I) {
+    FuzzEpisode E = deriveEpisode(1, I);
+    Shapes.insert(static_cast<unsigned>(E.Shape));
+    Bits.insert(E.Config.RangeBits);
+  }
+  EXPECT_EQ(Shapes.size(), NumStreamShapes);
+  EXPECT_GT(Bits.size(), 5u);
+}
+
+TEST(StreamFuzzer, ShortEpisodesRunClean) {
+  for (uint64_t I = 0; I != 6; ++I) {
+    FuzzEpisode E = deriveEpisode(123, I);
+    FuzzReport Report = runFuzzEpisode(E, 3000, 1024);
+    EXPECT_TRUE(Report.ok()) << "episode " << I << " ("
+                             << streamShapeName(E.Shape) << "):\n"
+                             << TreeInvariants::render(Report.Violations);
+    EXPECT_EQ(Report.EventsFed, 3000u);
+  }
+}
+
+TEST(StreamFuzzer, MinimizeFindsShortFailingPrefix) {
+  // Build an episode that fails by construction: check it against an
+  // impossible budget by replaying through a zero-budget oracle is not
+  // expressible here, so instead shrink against a fixed-threshold
+  // config that provably violates the eps bound once one value
+  // dominates.
+  FuzzEpisode E = deriveEpisode(55, 0);
+  E.Shape = StreamShape::PointMass;
+  E.Config = RapConfig();
+  E.Config.RangeBits = 16;
+  E.Config.Epsilon = 0.01;
+  E.Config.FixedSplitThreshold = 1e18; // never split -> estimates stay 0
+  FuzzReport Full = runFuzzEpisode(E, 20000, 0);
+  ASSERT_FALSE(Full.ok());
+  uint64_t Minimal = minimizeFailure(E, 20000);
+  EXPECT_LT(Minimal, 20000u);
+  EXPECT_FALSE(runFuzzEpisode(E, Minimal, 0).ok());
+  if (Minimal > 1) {
+    EXPECT_TRUE(runFuzzEpisode(E, Minimal - 1, 0).ok());
+  }
+}
+
+} // namespace

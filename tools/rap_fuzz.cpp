@@ -1,0 +1,115 @@
+//===- tools/rap_fuzz.cpp - Differential fuzz driver ---------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs seeded episodes of (random RapConfig) x (random adversarial
+// stream shape), feeding every event through the DifferentialOracle
+// (exact + flat cross-oracles, online transition auditing) and the
+// structural TreeInvariants audit. On a failure the stream prefix is
+// binary-search minimized and a one-line replay command is printed:
+//
+//   rap_fuzz --seed=S --replay-episode=I --replay-events=N
+//
+// Exit status: 0 all episodes clean, 1 violations found, 2 bad usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+#include "verify/StreamFuzzer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace rap;
+
+namespace {
+
+void describeEpisode(const FuzzEpisode &E) {
+  const RapConfig &C = E.Config;
+  std::printf("episode %" PRIu64 ": shape=%s bits=%u b=%u eps=%.4f q=%.2f "
+              "m0=%" PRIu64 " merges=%d streamseed=0x%" PRIx64 "\n",
+              E.Index, streamShapeName(E.Shape), C.RangeBits, C.BranchFactor,
+              C.Epsilon, C.MergeRatio, C.InitialMergeInterval,
+              C.EnableMerges ? 1 : 0, E.StreamSeed);
+}
+
+void printViolations(const FuzzReport &Report, uint64_t Limit) {
+  uint64_t Shown = 0;
+  for (const InvariantViolation &V : Report.Violations) {
+    if (Shown++ == Limit) {
+      std::printf("  ... %zu more violations suppressed\n",
+                  Report.Violations.size() - size_t(Limit));
+      break;
+    }
+    std::printf("  [%s] %s\n", V.Invariant.c_str(), V.Detail.c_str());
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args("rap_fuzz",
+                "Differential fuzzer: random configs x adversarial streams, "
+                "checked against exact oracles and structural invariants.");
+  Args.addUint("episodes", 200, "number of seeded episodes to run");
+  Args.addUint("seed", 1, "master seed; episode i derives from (seed, i)");
+  Args.addUint("events", 20000, "events fed per episode");
+  Args.addUint("check-every", 4096, "run the checkers every K events");
+  Args.addUint("replay-episode", 0,
+               "replay exactly one episode index (with --replay-events)");
+  Args.addUint("replay-events", 0,
+               "event count for --replay-episode (0 = use --events)");
+  Args.addBool("replay", "replay mode: run only --replay-episode");
+  Args.addBool("verbose", "describe every episode, not just failures");
+  if (!Args.parse(Argc, Argv))
+    return 2;
+
+  uint64_t Seed = Args.getUint("seed");
+  uint64_t NumEvents = Args.getUint("events");
+  uint64_t CheckEvery = Args.getUint("check-every");
+
+  if (Args.getBool("replay")) {
+    FuzzEpisode E = deriveEpisode(Seed, Args.getUint("replay-episode"));
+    uint64_t ReplayEvents = Args.getUint("replay-events");
+    if (ReplayEvents == 0)
+      ReplayEvents = NumEvents;
+    describeEpisode(E);
+    FuzzReport Report = runFuzzEpisode(E, ReplayEvents, CheckEvery);
+    if (Report.ok()) {
+      std::printf("replay clean after %" PRIu64 " events\n", Report.EventsFed);
+      return 0;
+    }
+    std::printf("replay FAILED after %" PRIu64 " events:\n", Report.EventsFed);
+    printViolations(Report, 20);
+    return 1;
+  }
+
+  uint64_t Episodes = Args.getUint("episodes");
+  uint64_t Failed = 0;
+  for (uint64_t I = 0; I != Episodes; ++I) {
+    FuzzEpisode E = deriveEpisode(Seed, I);
+    if (Args.getBool("verbose"))
+      describeEpisode(E);
+    FuzzReport Report = runFuzzEpisode(E, NumEvents, CheckEvery);
+    if (Report.ok())
+      continue;
+    ++Failed;
+    std::printf("FAIL ");
+    describeEpisode(E);
+    printViolations(Report, 10);
+    uint64_t Minimal = minimizeFailure(E, Report.EventsFed);
+    std::printf("  minimized to %" PRIu64 " events; replay with:\n"
+                "    rap_fuzz --replay --seed=%" PRIu64
+                " --replay-episode=%" PRIu64 " --replay-events=%" PRIu64
+                " --check-every=0\n",
+                Minimal, Seed, I, Minimal);
+  }
+
+  std::printf("%" PRIu64 "/%" PRIu64 " episodes clean (seed %" PRIu64
+              ", %" PRIu64 " events each)\n",
+              Episodes - Failed, Episodes, Seed, NumEvents);
+  return Failed == 0 ? 0 : 1;
+}
