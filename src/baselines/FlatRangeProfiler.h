@@ -27,12 +27,12 @@ namespace rap {
 /// N equal fixed ranges over [0, 2^RangeBits), N a power of two.
 class FlatRangeProfiler {
 public:
-  FlatRangeProfiler(unsigned RangeBits, uint64_t NumRanges)
-      : RangeBits(RangeBits), Counters(NumRanges, 0) {
-    assert(RangeBits >= 1 && RangeBits <= 64 && "bad universe");
+  FlatRangeProfiler(unsigned Bits, uint64_t NumRanges)
+      : RangeBits(Bits), Counters(NumRanges, 0) {
+    assert(Bits >= 1 && Bits <= 64 && "bad universe");
     assert(isPowerOfTwo(NumRanges) && "NumRanges must be a power of two");
-    assert(log2Exact(NumRanges) <= RangeBits && "more ranges than values");
-    Shift = RangeBits - log2Exact(NumRanges);
+    assert(log2Exact(NumRanges) <= Bits && "more ranges than values");
+    Shift = Bits - log2Exact(NumRanges);
   }
 
   /// Records \p Weight occurrences of \p X.

@@ -13,9 +13,9 @@
 
 using namespace rap;
 
-LossyCounting::LossyCounting(double Epsilon) : Epsilon(Epsilon) {
-  assert(Epsilon > 0.0 && Epsilon < 1.0 && "epsilon out of range");
-  BucketWidth = static_cast<uint64_t>(std::ceil(1.0 / Epsilon));
+LossyCounting::LossyCounting(double Eps) : Epsilon(Eps) {
+  assert(Eps > 0.0 && Eps < 1.0 && "epsilon out of range");
+  BucketWidth = static_cast<uint64_t>(std::ceil(1.0 / Eps));
 }
 
 void LossyCounting::addPoint(uint64_t X) {

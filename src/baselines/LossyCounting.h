@@ -35,7 +35,7 @@ public:
   };
 
   /// Creates a counter with error bound \p Epsilon in (0, 1).
-  explicit LossyCounting(double Epsilon);
+  explicit LossyCounting(double Eps);
 
   /// Processes one occurrence of \p X.
   void addPoint(uint64_t X);

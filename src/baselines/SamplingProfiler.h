@@ -27,9 +27,8 @@ namespace rap {
 /// Systematic 1-in-K sampling into an exact histogram.
 class SamplingProfiler {
 public:
-  explicit SamplingProfiler(uint64_t SamplePeriod)
-      : SamplePeriod(SamplePeriod) {
-    assert(SamplePeriod >= 1 && "sample period must be positive");
+  explicit SamplingProfiler(uint64_t Period) : SamplePeriod(Period) {
+    assert(Period >= 1 && "sample period must be positive");
   }
 
   /// Processes one event; every SamplePeriod-th is recorded.

@@ -3,13 +3,20 @@
 // Part of the RAP reproduction of "Profiling over Adaptive Ranges"
 // (Mysore et al., CGO 2006). MIT license.
 //
+// Every function here is noexcept and catches all internal exceptions:
+// a C++ exception unwinding into a C caller is undefined behavior, so
+// failures are reported as null/zero returns plus rap_last_error()
+// (enforced by the capi-exception-tight lint rule).
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/CApi.h"
 
 #include "core/RapTree.h"
 
+#include <cstdio>
 #include <cstring>
+#include <exception>
 #include <sstream>
 
 using namespace rap;
@@ -19,56 +26,99 @@ struct rap_handle {
   RapTree Tree;
 };
 
+namespace {
+
+/// Per-thread diagnostic for rap_last_error(). A fixed buffer keeps
+/// the error path itself allocation-free (reporting a bad_alloc must
+/// not allocate).
+thread_local char LastError[256] = "";
+
+void setLastError(const char *Message) noexcept {
+  std::snprintf(LastError, sizeof(LastError), "%s", Message);
+}
+
+void setLastError(const std::exception &E) noexcept {
+  setLastError(E.what());
+}
+
+} // namespace
+
 extern "C" rap_handle *rap_init(unsigned range_bits, double epsilon,
-                                unsigned branch_factor) {
-  // RangeBits 0 (the degenerate single-value universe) is legal for
-  // RapConfig but useless through this API; a C caller passing 0 has
-  // made a mistake, so keep rejecting it here.
-  if (range_bits == 0)
+                                unsigned branch_factor) noexcept {
+  try {
+    // RangeBits 0 (the degenerate single-value universe) is legal for
+    // RapConfig but useless through this API; a C caller passing 0 has
+    // made a mistake, so keep rejecting it here.
+    if (range_bits == 0) {
+      setLastError("rap_init: range_bits must be positive");
+      return nullptr;
+    }
+    RapConfig Config;
+    Config.RangeBits = range_bits;
+    Config.Epsilon = epsilon;
+    if (branch_factor != 0)
+      Config.BranchFactor = branch_factor;
+    // RapTree's constructor throws std::invalid_argument on a config
+    // that does not validate; it surfaces here as a null handle.
+    return new rap_handle(Config);
+  } catch (const std::exception &E) {
+    setLastError(E);
     return nullptr;
-  RapConfig Config;
-  Config.RangeBits = range_bits;
-  Config.Epsilon = epsilon;
-  if (branch_factor != 0)
-    Config.BranchFactor = branch_factor;
-  if (!Config.validate())
+  } catch (...) {
+    setLastError("rap_init: unknown failure");
     return nullptr;
-  return new rap_handle(Config);
+  }
 }
 
 extern "C" void rap_add_points(rap_handle *handle, const uint64_t *points,
-                               uint64_t num_points) {
-  for (uint64_t I = 0; I != num_points; ++I)
-    handle->Tree.addPoint(points[I]);
+                               uint64_t num_points) noexcept {
+  try {
+    for (uint64_t I = 0; I != num_points; ++I)
+      handle->Tree.addPoint(points[I]);
+  } catch (const std::exception &E) {
+    setLastError(E);
+  } catch (...) {
+    setLastError("rap_add_points: unknown failure");
+  }
 }
 
-extern "C" uint64_t rap_num_events(const rap_handle *handle) {
+extern "C" uint64_t rap_num_events(const rap_handle *handle) noexcept {
   return handle->Tree.numEvents();
 }
 
-extern "C" uint64_t rap_num_nodes(const rap_handle *handle) {
+extern "C" uint64_t rap_num_nodes(const rap_handle *handle) noexcept {
   return handle->Tree.numNodes();
 }
 
 extern "C" uint64_t rap_estimate_range(const rap_handle *handle, uint64_t lo,
-                                       uint64_t hi) {
+                                       uint64_t hi) noexcept {
   return handle->Tree.estimateRange(lo, hi);
 }
 
 extern "C" uint64_t rap_finalize(rap_handle *handle, char *buffer,
-                                 uint64_t size) {
+                                 uint64_t size) noexcept {
   uint64_t Required = 0;
-  if (buffer || size) {
-    std::ostringstream Stream;
-    handle->Tree.dump(Stream);
-    std::string Text = Stream.str();
-    Required = Text.size();
-    if (buffer && size > 0) {
-      uint64_t Copy = Required < size - 1 ? Required : size - 1;
-      std::memcpy(buffer, Text.data(), Copy);
-      buffer[Copy] = '\0';
+  try {
+    if (buffer || size) {
+      std::ostringstream Stream;
+      handle->Tree.dump(Stream);
+      std::string Text = Stream.str();
+      Required = Text.size();
+      if (buffer && size > 0) {
+        uint64_t Copy = Required < size - 1 ? Required : size - 1;
+        std::memcpy(buffer, Text.data(), Copy);
+        buffer[Copy] = '\0';
+      }
     }
+  } catch (const std::exception &E) {
+    setLastError(E);
+    Required = 0;
+  } catch (...) {
+    setLastError("rap_finalize: unknown failure");
+    Required = 0;
   }
   delete handle;
   return Required;
 }
+
+extern "C" const char *rap_last_error(void) noexcept { return LastError; }

@@ -20,6 +20,16 @@
 
 #include <cstdint>
 
+/// Every entry point is exception-tight: no C++ exception can cross
+/// the C boundary (that would be undefined behavior for a C caller).
+/// Failures surface as null handles / zero returns plus a diagnostic
+/// retrievable with rap_last_error().
+#if defined(__cplusplus)
+#define RAP_NOEXCEPT noexcept
+#else
+#define RAP_NOEXCEPT
+#endif
+
 extern "C" {
 
 /// Opaque handle to a RAP profile.
@@ -28,32 +38,42 @@ typedef struct rap_handle rap_handle;
 /// Creates a RAP profile over the universe [0, 2^range_bits) with
 /// error bound \p epsilon and branching factor \p branch_factor
 /// (pass 0 for the paper defaults: b = 4, q = 2). Returns null if the
-/// parameters do not validate.
+/// parameters do not validate or allocation fails; rap_last_error()
+/// then describes the failure.
 rap_handle *rap_init(unsigned range_bits, double epsilon,
-                     unsigned branch_factor);
+                     unsigned branch_factor) RAP_NOEXCEPT;
 
 /// Feeds \p num_points events into the profile. Looks up the
 /// appropriate counter, updates it, and internally performs the split
-/// and batched-merge operations when needed.
+/// and batched-merge operations when needed. On an internal failure
+/// (e.g. allocation during a split) the already-consumed prefix stays
+/// recorded, the rest is dropped, and rap_last_error() is set.
 void rap_add_points(rap_handle *handle, const uint64_t *points,
-                    uint64_t num_points);
+                    uint64_t num_points) RAP_NOEXCEPT;
 
 /// Number of events processed so far.
-uint64_t rap_num_events(const rap_handle *handle);
+uint64_t rap_num_events(const rap_handle *handle) RAP_NOEXCEPT;
 
 /// Current number of range counters (nodes) in the tree.
-uint64_t rap_num_nodes(const rap_handle *handle);
+uint64_t rap_num_nodes(const rap_handle *handle) RAP_NOEXCEPT;
 
 /// Lower-bound estimate of the number of events in [lo, hi].
 uint64_t rap_estimate_range(const rap_handle *handle, uint64_t lo,
-                            uint64_t hi);
+                            uint64_t hi) RAP_NOEXCEPT;
 
 /// Writes an ASCII dump of the profile tree into \p buffer (at most
 /// \p size bytes including the terminator) and destroys the handle.
 /// Pass a null \p buffer to just destroy the handle. Returns the
 /// number of bytes that the full dump requires (excluding the
-/// terminator), like snprintf.
-uint64_t rap_finalize(rap_handle *handle, char *buffer, uint64_t size);
+/// terminator), like snprintf; on an internal failure the handle is
+/// still destroyed and 0 is returned with rap_last_error() set.
+uint64_t rap_finalize(rap_handle *handle, char *buffer,
+                      uint64_t size) RAP_NOEXCEPT;
+
+/// Describes the most recent failure observed by this thread inside
+/// the C API. Never null; the empty string if no call has failed.
+/// Successful calls do not clear it, so check return values first.
+const char *rap_last_error(void) RAP_NOEXCEPT;
 
 } // extern "C"
 

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <stdexcept>
 
 using namespace rap;
 
@@ -31,9 +32,10 @@ bool MdRapConfig::validate(std::string *Error) const {
   return true;
 }
 
-MdRapTree::MdRapTree(const MdRapConfig &Config) : Config(Config) {
-  [[maybe_unused]] std::string Error;
-  assert(Config.validate(&Error) && "invalid MdRapConfig");
+MdRapTree::MdRapTree(const MdRapConfig &TreeConfig) : Config(TreeConfig) {
+  std::string Error;
+  if (!Config.validate(&Error))
+    throw std::invalid_argument("MdRapTree: invalid config: " + Error);
   Root = std::make_unique<MdRapNode>(0, 0, Config.RangeBits);
   NextMergeAt = Config.InitialMergeInterval;
 }
@@ -70,10 +72,10 @@ void MdRapTree::addPoint(uint64_t X, uint64_t Y, uint64_t Weight) {
           (X < (uint64_t(1) << Config.RangeBits) &&
            Y < (uint64_t(1) << Config.RangeBits))) &&
          "tuple outside the configured domain");
-  NumEvents += Weight;
+  NumEvents = saturatingAdd(NumEvents, Weight);
 
   MdRapNode *Node = descend(X, Y);
-  Node->Count += Weight;
+  Node->Count = saturatingAdd(Node->Count, Weight);
   if (!Node->isUnitCell() &&
       static_cast<double>(Node->Count) >
           Config.splitThreshold(NumEvents))
@@ -114,9 +116,9 @@ uint64_t MdRapTree::mergeWalk(MdRapNode &Node, double Threshold,
     if (!ChildSlot)
       continue;
     uint64_t ChildWeight = mergeWalk(*ChildSlot, Threshold, Removed);
-    Total += ChildWeight;
+    Total = saturatingAdd(Total, ChildWeight);
     if (static_cast<double>(ChildWeight) < Threshold) {
-      Node.Count += ChildWeight;
+      Node.Count = saturatingAdd(Node.Count, ChildWeight);
       uint64_t Dropped = ChildSlot->subtreeNodeCount();
       Removed += Dropped;
       NumNodes -= Dropped;

@@ -83,8 +83,8 @@ class MdRapNode {
   friend class MdRapTree;
 
 public:
-  MdRapNode(uint64_t XLo, uint64_t YLo, unsigned WidthBits)
-      : XLo(XLo), YLo(YLo), WidthBits(static_cast<uint8_t>(WidthBits)) {}
+  MdRapNode(uint64_t XLow, uint64_t YLow, unsigned Width)
+      : XLo(XLow), YLo(YLow), WidthBits(static_cast<uint8_t>(Width)) {}
 
   uint64_t xLo() const { return XLo; }
   uint64_t yLo() const { return YLo; }
@@ -123,7 +123,7 @@ public:
     uint64_t Total = Count;
     for (const auto &Child : Children)
       if (Child)
-        Total += Child->subtreeWeight();
+        Total = saturatingAdd(Total, Child->subtreeWeight());
     return Total;
   }
 

@@ -33,10 +33,10 @@ class RapNode {
   friend class RapTree;
 
 public:
-  RapNode(uint64_t Lo, unsigned WidthBits)
-      : Lo(Lo), WidthBits(static_cast<uint8_t>(WidthBits)) {
-    assert(WidthBits <= 64 && "range wider than the key type");
-    assert(Lo == (WidthBits == 64 ? 0 : alignDown(Lo, uint64_t(1) << WidthBits)) &&
+  RapNode(uint64_t Low, unsigned Width)
+      : Lo(Low), WidthBits(static_cast<uint8_t>(Width)) {
+    assert(Width <= 64 && "range wider than the key type");
+    assert(Low == (Width == 64 ? 0 : alignDown(Low, uint64_t(1) << Width)) &&
            "node range must be aligned to its width");
   }
 

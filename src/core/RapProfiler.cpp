@@ -12,13 +12,13 @@
 
 using namespace rap;
 
-RapProfiler::RapProfiler(const RapConfig &Config, uint64_t TimelineStride)
-    : Tree(Config), TimelineStride(TimelineStride),
-      NextTimelineAt(TimelineStride) {}
+RapProfiler::RapProfiler(const RapConfig &Config, uint64_t Stride)
+    : Tree(Config), TimelineStride(Stride), NextTimelineAt(Stride) {}
 
 void RapProfiler::addPoint(uint64_t X, uint64_t Weight) {
   Tree.addPoint(X, Weight);
-  NodeCountIntegral += Tree.numNodes() * Weight;
+  NodeCountIntegral = saturatingAdd(
+      NodeCountIntegral, saturatingMul(Tree.numNodes(), Weight));
   if (TimelineStride != 0 && Tree.numEvents() >= NextTimelineAt) {
     Timeline.emplace_back(Tree.numEvents(), Tree.numNodes());
     NextTimelineAt += TimelineStride;

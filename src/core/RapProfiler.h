@@ -58,7 +58,8 @@ public:
   double averageNodes() const {
     return Tree.numEvents() == 0
                ? static_cast<double>(Tree.numNodes())
-               : static_cast<double>(NodeCountIntegral) / Tree.numEvents();
+               : static_cast<double>(NodeCountIntegral) /
+                     static_cast<double>(Tree.numEvents());
   }
 
   /// (event count, node count) samples, stride as configured.

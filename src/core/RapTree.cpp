@@ -11,12 +11,17 @@
 #include <cmath>
 #include <functional>
 #include <ostream>
+#include <stdexcept>
 
 using namespace rap;
 
-RapTree::RapTree(const RapConfig &Config) : Config(Config) {
-  [[maybe_unused]] std::string Error;
-  assert(Config.validate(&Error) && "invalid RapConfig");
+RapTree::RapTree(const RapConfig &TreeConfig) : Config(TreeConfig) {
+  // Throwing (rather than asserting) keeps an invalid config from
+  // silently producing a broken tree in release builds; the C API
+  // converts this into a null handle + rap_last_error().
+  std::string Error;
+  if (!Config.validate(&Error))
+    throw std::invalid_argument("RapTree: invalid config: " + Error);
   Root = std::make_unique<RapNode>(0, Config.RangeBits);
   NextMergeAt = Config.InitialMergeInterval;
 }
@@ -355,7 +360,8 @@ static void dumpNode(std::ostream &OS, const RapNode &Node, unsigned Depth,
   double Percent =
       NumEvents == 0
           ? 0.0
-          : 100.0 * static_cast<double>(Node.subtreeWeight()) / NumEvents;
+          : 100.0 * static_cast<double>(Node.subtreeWeight()) /
+                static_cast<double>(NumEvents);
   std::snprintf(Buffer, sizeof(Buffer),
                 "[%llx, %llx] count=%llu subtree=%llu (%.1f%%)",
                 static_cast<unsigned long long>(Node.lo()),
@@ -389,7 +395,8 @@ void RapTree::dumpHot(std::ostream &OS, double Phi) const {
     double Percent =
         NumEvents == 0
             ? 0.0
-            : 100.0 * static_cast<double>(Weight) / NumEvents;
+            : 100.0 * static_cast<double>(Weight) /
+                  static_cast<double>(NumEvents);
     std::snprintf(Buffer, sizeof(Buffer), "[%llx, %llx] %.1f%%",
                   static_cast<unsigned long long>(Lo),
                   static_cast<unsigned long long>(Hi), Percent);

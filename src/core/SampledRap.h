@@ -34,15 +34,15 @@ namespace rap {
 class SampledRapTree {
 public:
   /// Creates the profile; \p SamplePeriod = 1 degenerates to plain RAP.
-  SampledRapTree(const RapConfig &Config, uint64_t SamplePeriod)
-      : Tree(Config), SamplePeriod(SamplePeriod) {
-    assert(SamplePeriod >= 1 && "sample period must be positive");
+  SampledRapTree(const RapConfig &Config, uint64_t Period)
+      : Tree(Config), SamplePeriod(Period) {
+    assert(Period >= 1 && "sample period must be positive");
   }
 
   /// Offers one event; every SamplePeriod-th is recorded with weight
   /// SamplePeriod so tree estimates stay full-stream scaled.
   void addPoint(uint64_t X) {
-    ++NumOffered;
+    NumOffered = saturatingAdd(NumOffered, 1);
     if (NumOffered % SamplePeriod == 0)
       Tree.addPoint(X, SamplePeriod);
   }

@@ -14,14 +14,13 @@
 
 using namespace rap;
 
-WorstCaseBounds::WorstCaseBounds(unsigned RangeBits, unsigned BranchFactor,
-                                 double Epsilon)
-    : RangeBits(RangeBits), BranchFactor(BranchFactor), Epsilon(Epsilon) {
-  assert(RangeBits >= 1 && RangeBits <= 64 && "bad universe");
-  assert(isPowerOfTwo(BranchFactor) && BranchFactor >= 2 && "bad b");
-  assert(Epsilon > 0.0 && Epsilon <= 1.0 && "bad epsilon");
-  unsigned BitsPerLevel = log2Exact(BranchFactor);
-  Depth = (RangeBits + BitsPerLevel - 1) / BitsPerLevel;
+WorstCaseBounds::WorstCaseBounds(unsigned Bits, unsigned Branch, double Eps)
+    : RangeBits(Bits), BranchFactor(Branch), Epsilon(Eps) {
+  assert(Bits >= 1 && Bits <= 64 && "bad universe");
+  assert(isPowerOfTwo(Branch) && Branch >= 2 && "bad b");
+  assert(Eps > 0.0 && Eps <= 1.0 && "bad epsilon");
+  unsigned BitsPerLevel = log2Exact(Branch);
+  Depth = (Bits + BitsPerLevel - 1) / BitsPerLevel;
 }
 
 double WorstCaseBounds::postMergeBound() const {

@@ -40,7 +40,7 @@ namespace rap {
 /// 2^RangeBits values with branching factor b and error bound eps.
 class WorstCaseBounds {
 public:
-  WorstCaseBounds(unsigned RangeBits, unsigned BranchFactor, double Epsilon);
+  WorstCaseBounds(unsigned Bits, unsigned Branch, double Eps);
 
   /// Tree depth D = ceil(RangeBits / log2(b)). Smaller b means a
   /// deeper tree: a single 100%-hot value takes D splits to isolate

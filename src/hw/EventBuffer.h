@@ -30,7 +30,7 @@ class EventBuffer {
 public:
   /// Creates a buffer holding up to \p Capacity distinct events
   /// (capacity 0 disables combining: every push drains immediately).
-  explicit EventBuffer(uint64_t Capacity) : Capacity(Capacity) {}
+  explicit EventBuffer(uint64_t MaxDistinct) : Capacity(MaxDistinct) {}
 
   /// Adds one raw event. Returns true if the buffer is now full and
   /// must be drained before more events arrive.
@@ -61,7 +61,8 @@ public:
   double combiningFactor() const {
     return DrainedPairs == 0
                ? 1.0
-               : static_cast<double>(RawEvents) / DrainedPairs;
+               : static_cast<double>(RawEvents) /
+                     static_cast<double>(DrainedPairs);
   }
 
   /// Distinct events currently buffered.

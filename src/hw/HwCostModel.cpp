@@ -34,13 +34,13 @@ constexpr double SramEnergyPerBitNj = 0.5e-6;   // 0.5 fJ per bit
 constexpr double LogicEnergyPerEntryNj = 6.55e-6;
 } // namespace
 
-HwCostModel::HwCostModel(uint64_t TcamEntries, unsigned TcamWidthBits,
-                         uint64_t SramBytes, double TechnologyNm)
-    : TcamEntries(TcamEntries), TcamWidthBits(TcamWidthBits),
-      SramBytes(SramBytes), TechnologyNm(TechnologyNm) {
-  assert(TcamEntries >= 1 && TcamWidthBits >= 1 && SramBytes >= 1 &&
+HwCostModel::HwCostModel(uint64_t Entries, unsigned WidthBits,
+                         uint64_t Bytes, double FeatureNm)
+    : TcamEntries(Entries), TcamWidthBits(WidthBits), SramBytes(Bytes),
+      TechnologyNm(FeatureNm) {
+  assert(Entries >= 1 && WidthBits >= 1 && Bytes >= 1 &&
          "degenerate configuration");
-  assert(TechnologyNm > 0.0 && "bad feature size");
+  assert(FeatureNm > 0.0 && "bad feature size");
 }
 
 HwCostModel HwCostModel::makePaperConfig() {

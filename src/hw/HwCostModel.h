@@ -38,8 +38,8 @@ class HwCostModel {
 public:
   /// \p TcamEntries x \p TcamWidthBits ternary array backed by
   /// \p SramBytes of counter memory, at \p TechnologyNm feature size.
-  HwCostModel(uint64_t TcamEntries, unsigned TcamWidthBits,
-              uint64_t SramBytes, double TechnologyNm = 180.0);
+  HwCostModel(uint64_t Entries, unsigned WidthBits, uint64_t Bytes,
+              double FeatureNm = 180.0);
 
   /// The paper's flagship configuration: 4096 x 36, 16KB SRAM, 0.18um.
   static HwCostModel makePaperConfig();

@@ -12,10 +12,10 @@
 
 using namespace rap;
 
-PipelineTiming::PipelineTiming(const HwCostModel &Cost,
-                               unsigned TcamSubStages)
-    : Cost(Cost), TcamSubStages(TcamSubStages) {
-  assert(TcamSubStages >= 1 && "at least one TCAM stage");
+PipelineTiming::PipelineTiming(const HwCostModel &CostModel,
+                               unsigned SubStages)
+    : Cost(CostModel), TcamSubStages(SubStages) {
+  assert(SubStages >= 1 && "at least one TCAM stage");
 }
 
 double PipelineTiming::cycleTimeNs() const {

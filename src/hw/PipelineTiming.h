@@ -37,7 +37,7 @@ public:
   /// \p TcamSubStages = 1 models the unpipelined TCAM (7 ns cycle at
   /// the paper config); higher values split the comparison per
   /// byte/nibble as in [27], down to the SRAM-limited 1.26 ns.
-  PipelineTiming(const HwCostModel &Cost, unsigned TcamSubStages = 1);
+  PipelineTiming(const HwCostModel &CostModel, unsigned SubStages = 1);
 
   /// Cycle time: the slowest pipeline stage.
   double cycleTimeNs() const;

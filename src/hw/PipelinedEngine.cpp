@@ -16,16 +16,16 @@
 
 using namespace rap;
 
-PipelinedRapEngine::PipelinedRapEngine(const EngineConfig &Config)
-    : Config(Config), Array(Config.TcamCapacity),
-      Buffer(Config.BufferCapacity) {
+PipelinedRapEngine::PipelinedRapEngine(const EngineConfig &EngineCfg)
+    : Config(EngineCfg), Array(EngineCfg.TcamCapacity),
+      Buffer(EngineCfg.BufferCapacity) {
   [[maybe_unused]] std::string Error;
-  assert(Config.Profile.validate(&Error) && "invalid profile config");
+  assert(EngineCfg.Profile.validate(&Error) && "invalid profile config");
   // The root pattern covers the whole universe.
   [[maybe_unused]] int64_t RootSlot =
-      Array.insert(0, Config.Profile.RangeBits);
+      Array.insert(0, EngineCfg.Profile.RangeBits);
   assert(RootSlot >= 0 && "TCAM too small for the root entry");
-  NextMergeAt = Config.Profile.InitialMergeInterval;
+  NextMergeAt = EngineCfg.Profile.InitialMergeInterval;
 }
 
 void PipelinedRapEngine::pushEvent(uint64_t X) {

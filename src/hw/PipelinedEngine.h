@@ -58,7 +58,7 @@ struct EngineConfig {
 /// The engine proper.
 class PipelinedRapEngine {
 public:
-  explicit PipelinedRapEngine(const EngineConfig &Config);
+  explicit PipelinedRapEngine(const EngineConfig &EngineCfg);
 
   /// Feeds one raw event through stage 0. If the buffer fills, it is
   /// drained through the pipeline automatically.
@@ -90,7 +90,8 @@ public:
   double cyclesPerRawEvent() const {
     return NumEvents == 0
                ? 0.0
-               : static_cast<double>(totalCycles()) / NumEvents;
+               : static_cast<double>(totalCycles()) /
+                     static_cast<double>(NumEvents);
   }
 
   // Structural statistics ---------------------------------------------

@@ -1,0 +1,343 @@
+//===- lint/Lexer.cpp - Token stream for the RAP source linter -----------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lexer.h"
+
+#include <cctype>
+
+using namespace rap;
+using namespace rap::lint;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool isIdentBody(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Cursor over the source text with line tracking.
+class Cursor {
+public:
+  explicit Cursor(const std::string &Source) : Text(Source) {}
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Text[Pos++];
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+  unsigned line() const { return Line; }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+/// The three-character punctuators we care to keep intact, then the
+/// two-character ones. Order within each group is irrelevant because
+/// the groups are tried longest first.
+const char *const ThreeCharPuncts[] = {"<<=", ">>=", "...", "->*"};
+const char *const TwoCharPuncts[] = {
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "::", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "##"};
+
+class LexerImpl {
+public:
+  explicit LexerImpl(const std::string &Content) : C(Content) {}
+
+  LexedSource run() {
+    while (!C.atEnd())
+      lexOne();
+    return std::move(Result);
+  }
+
+private:
+  void emit(Token::Kind Kind, std::string Text, unsigned Line) {
+    Result.Tokens.push_back(Token{Kind, std::move(Text), Line});
+    LastTokenLine = Line;
+  }
+
+  /// Records an `allow` marker found in a comment starting on
+  /// \p CommentLine and ending on \p EndLine.
+  void recordAllows(const std::string &CommentText, unsigned CommentLine,
+                    unsigned EndLine) {
+    size_t MarkerAt = CommentText.find("rap-lint:");
+    if (MarkerAt == std::string::npos)
+      return;
+    size_t AllowAt = CommentText.find("allow", MarkerAt);
+    if (AllowAt == std::string::npos)
+      return;
+    size_t Open = CommentText.find('(', AllowAt);
+    size_t Close = CommentText.find(')', AllowAt);
+    if (Open == std::string::npos || Close == std::string::npos ||
+        Close < Open)
+      return;
+
+    std::set<std::string> Rules;
+    std::string Name;
+    for (size_t I = Open + 1; I <= Close; ++I) {
+      char Ch = CommentText[I];
+      if (I < Close && (isIdentBody(Ch) || Ch == '-')) {
+        Name.push_back(Ch);
+      } else if (I < Close && Ch != ',' && Ch != ' ' && Ch != '\t') {
+        // Not an allow list (e.g. prose like "allow(<rule>)" in docs):
+        // ignore the marker rather than guess at its intent.
+        return;
+      } else if (!Name.empty()) {
+        Rules.insert(Name);
+        Name.clear();
+      }
+    }
+    if (Rules.empty())
+      return;
+
+    // A marker on a line of its own also covers the next line, so long
+    // signatures and expressions can hoist the suppression above them.
+    bool Standalone = LastTokenLine != CommentLine;
+    Result.AllowedRules[CommentLine].insert(Rules.begin(), Rules.end());
+    if (Standalone)
+      Result.AllowedRules[EndLine + 1].insert(Rules.begin(), Rules.end());
+    for (const std::string &Rule : Rules)
+      Result.AllowMarkers.emplace_back(CommentLine, Rule);
+  }
+
+  /// Consumes a // comment (cursor past the slashes).
+  void lexLineComment(unsigned StartLine) {
+    std::string Text;
+    while (!C.atEnd() && C.peek() != '\n')
+      Text.push_back(C.advance());
+    recordAllows(Text, StartLine, StartLine);
+  }
+
+  /// Consumes a block comment (cursor past the opener).
+  void lexBlockComment(unsigned StartLine) {
+    std::string Text;
+    while (!C.atEnd()) {
+      if (C.peek() == '*' && C.peek(1) == '/') {
+        C.advance();
+        C.advance();
+        break;
+      }
+      Text.push_back(C.advance());
+    }
+    recordAllows(Text, StartLine, C.line());
+  }
+
+  /// Consumes a quoted literal with backslash escapes, returning the
+  /// uninterpreted contents (cursor past the opening quote).
+  std::string lexQuoted(char Quote) {
+    std::string Text;
+    while (!C.atEnd()) {
+      char Ch = C.peek();
+      if (Ch == '\\') {
+        Text.push_back(C.advance());
+        if (!C.atEnd())
+          Text.push_back(C.advance());
+        continue;
+      }
+      if (Ch == Quote || Ch == '\n') {
+        C.advance();
+        break;
+      }
+      Text.push_back(C.advance());
+    }
+    return Text;
+  }
+
+  /// Consumes a raw string literal (cursor past R"). The delimiter runs
+  /// to the opening parenthesis; the literal ends at )delim".
+  void lexRawString(unsigned StartLine) {
+    std::string Delim;
+    while (!C.atEnd() && C.peek() != '(')
+      Delim.push_back(C.advance());
+    if (!C.atEnd())
+      C.advance(); // '('
+    std::string Closer = ")" + Delim + "\"";
+    std::string Body;
+    while (!C.atEnd()) {
+      if (C.peek() == ')') {
+        bool Matches = true;
+        for (size_t I = 0; I != Closer.size(); ++I)
+          if (C.peek(I) != Closer[I]) {
+            Matches = false;
+            break;
+          }
+        if (Matches) {
+          for (size_t I = 0; I != Closer.size(); ++I)
+            C.advance();
+          break;
+        }
+      }
+      Body.push_back(C.advance());
+    }
+    emit(Token::Kind::String, Body, StartLine);
+  }
+
+  /// Consumes a preprocessor logical line (cursor past '#'), folding
+  /// continuations and embedded comments, and emits one Directive
+  /// token with whitespace runs collapsed.
+  void lexDirective(unsigned StartLine) {
+    std::string Text = "#";
+    auto AppendSpace = [&Text] {
+      if (!Text.empty() && Text.back() != ' ' && Text.back() != '#')
+        Text.push_back(' ');
+    };
+    while (!C.atEnd()) {
+      char Ch = C.peek();
+      if (Ch == '\n')
+        break;
+      if (Ch == '\\' && C.peek(1) == '\n') {
+        C.advance();
+        C.advance();
+        AppendSpace();
+        continue;
+      }
+      if (Ch == '/' && C.peek(1) == '/') {
+        unsigned Line = C.line();
+        C.advance();
+        C.advance();
+        lexLineComment(Line);
+        break;
+      }
+      if (Ch == '/' && C.peek(1) == '*') {
+        unsigned Line = C.line();
+        C.advance();
+        C.advance();
+        lexBlockComment(Line);
+        AppendSpace();
+        continue;
+      }
+      if (Ch == ' ' || Ch == '\t') {
+        C.advance();
+        AppendSpace();
+        continue;
+      }
+      Text.push_back(C.advance());
+    }
+    while (!Text.empty() && Text.back() == ' ')
+      Text.pop_back();
+    emit(Token::Kind::Directive, Text, StartLine);
+  }
+
+  void lexOne() {
+    unsigned StartLine = C.line();
+    char Ch = C.peek();
+
+    if (Ch == ' ' || Ch == '\t' || Ch == '\r' || Ch == '\n') {
+      C.advance();
+      return;
+    }
+    if (Ch == '/' && C.peek(1) == '/') {
+      C.advance();
+      C.advance();
+      lexLineComment(StartLine);
+      return;
+    }
+    if (Ch == '/' && C.peek(1) == '*') {
+      C.advance();
+      C.advance();
+      lexBlockComment(StartLine);
+      return;
+    }
+    if (Ch == '#') {
+      C.advance();
+      lexDirective(StartLine);
+      return;
+    }
+    if (Ch == '"') {
+      C.advance();
+      emit(Token::Kind::String, lexQuoted('"'), StartLine);
+      return;
+    }
+    if (Ch == '\'') {
+      C.advance();
+      lexQuoted('\'');
+      emit(Token::Kind::CharLit, "", StartLine);
+      return;
+    }
+    if (isIdentStart(Ch)) {
+      std::string Name;
+      while (!C.atEnd() && isIdentBody(C.peek()))
+        Name.push_back(C.advance());
+      // String prefixes: R"..." raw strings and L/u/U/u8 quoted forms.
+      if (C.peek() == '"') {
+        bool Raw = !Name.empty() && Name.back() == 'R';
+        std::string Prefix = Raw ? Name.substr(0, Name.size() - 1) : Name;
+        if (Prefix.empty() || Prefix == "L" || Prefix == "u" ||
+            Prefix == "U" || Prefix == "u8") {
+          C.advance(); // '"'
+          if (Raw)
+            lexRawString(StartLine);
+          else
+            emit(Token::Kind::String, lexQuoted('"'), StartLine);
+          return;
+        }
+      }
+      emit(Token::Kind::Identifier, Name, StartLine);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(Ch)) ||
+        (Ch == '.' && std::isdigit(static_cast<unsigned char>(C.peek(1))))) {
+      // Approximate pp-number: good enough to skip digit separators and
+      // exponents without misreading them as operators.
+      std::string Text;
+      Text.push_back(C.advance());
+      while (!C.atEnd()) {
+        char N = C.peek();
+        if (isIdentBody(N) || N == '.' || N == '\'') {
+          Text.push_back(C.advance());
+          continue;
+        }
+        if ((N == '+' || N == '-') && !Text.empty() &&
+            (Text.back() == 'e' || Text.back() == 'E' ||
+             Text.back() == 'p' || Text.back() == 'P')) {
+          Text.push_back(C.advance());
+          continue;
+        }
+        break;
+      }
+      emit(Token::Kind::Number, Text, StartLine);
+      return;
+    }
+
+    // Punctuators, longest match first.
+    for (const char *P : ThreeCharPuncts)
+      if (Ch == P[0] && C.peek(1) == P[1] && C.peek(2) == P[2]) {
+        C.advance();
+        C.advance();
+        C.advance();
+        emit(Token::Kind::Punct, P, StartLine);
+        return;
+      }
+    for (const char *P : TwoCharPuncts)
+      if (Ch == P[0] && C.peek(1) == P[1]) {
+        C.advance();
+        C.advance();
+        emit(Token::Kind::Punct, P, StartLine);
+        return;
+      }
+    emit(Token::Kind::Punct, std::string(1, C.advance()), StartLine);
+  }
+
+  Cursor C;
+  LexedSource Result;
+  unsigned LastTokenLine = 0;
+};
+
+} // namespace
+
+LexedSource rap::lint::lex(const std::string &Content) {
+  return LexerImpl(Content).run();
+}

@@ -1,0 +1,68 @@
+//===- lint/Lexer.h - Token stream for the RAP source linter --*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight C++ lexer for rap_lint. It is not a compiler front
+/// end: it only needs to be exact about the things source-level rules
+/// trip over — comments, string/char literals (including raw strings),
+/// preprocessor logical lines, and multi-character operators — so that
+/// rule matching runs on real tokens instead of raw text. Comment text
+/// is dropped except for `rap-lint: allow(<rule>, ...)` markers, which
+/// are collected per line for the suppression pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_LINT_LEXER_H
+#define RAP_LINT_LEXER_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rap {
+namespace lint {
+
+/// One lexed token.
+struct Token {
+  enum class Kind {
+    Identifier, ///< Identifiers and keywords, Text is the spelling.
+    Number,     ///< Numeric literal (pp-number, approximately).
+    String,     ///< String literal; Text is the uninterpreted contents.
+    CharLit,    ///< Character literal; contents dropped.
+    Punct,      ///< Operator / punctuator, longest-match spelling.
+    Directive,  ///< Whole preprocessor logical line, e.g. "#include <x>".
+  };
+
+  Kind TokenKind;
+  std::string Text;
+  unsigned Line; ///< 1-based line of the token's first character.
+};
+
+/// The result of lexing one file.
+struct LexedSource {
+  std::vector<Token> Tokens;
+
+  /// Rules suppressed per 1-based line via `rap-lint: allow(...)`
+  /// comments. A marker shares the line it suppresses; a marker on a
+  /// line of its own also suppresses the following line.
+  std::map<unsigned, std::set<std::string>> AllowedRules;
+
+  /// One entry per rule name per marker comment, at the line the
+  /// marker was written. Used to reject unknown rule names exactly
+  /// once however many lines the marker covers.
+  std::vector<std::pair<unsigned, std::string>> AllowMarkers;
+};
+
+/// Lexes \p Content. Never fails: malformed input degrades to
+/// best-effort tokens, which at worst costs a rule a match.
+LexedSource lex(const std::string &Content);
+
+} // namespace lint
+} // namespace rap
+
+#endif // RAP_LINT_LEXER_H

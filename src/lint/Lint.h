@@ -1,0 +1,78 @@
+//===- lint/Lint.h - RAP-specific static-analysis rules --------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rap_lint rule engine. Each rule guards one invariant the paper
+/// or DESIGN.md relies on but the compiler cannot check:
+///
+///   counter-arithmetic    event-weight counters in core/ must use the
+///                         saturating helpers (BitUtils.h), never raw
+///                         += / ++, so counts clamp instead of wrapping
+///   capi-exception-tight  extern "C" functions must be noexcept or
+///                         wrap their whole body in try/catch; a C
+///                         caller cannot unwind a C++ exception
+///   nondeterminism        core/, hw/ and verify/ may draw randomness
+///                         and time only through support/Rng.h so every
+///                         run replays bit-identically from its seed
+///   hot-path-io           the per-event files (RapTree, PipelinedEngine,
+///                         Tcam) must not touch stdio/iostream
+///   include-guard         public headers carry the canonical
+///                         RAP_<DIR>_<STEM>_H guard
+///
+/// Findings are suppressed per line with `// rap-lint: allow(<rule>)`.
+/// See docs/STATIC_ANALYSIS.md for the full catalog and rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_LINT_LINT_H
+#define RAP_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace rap {
+namespace lint {
+
+/// One diagnostic produced by a rule.
+struct Finding {
+  std::string RuleId;
+  std::string Path;  ///< Repo-relative path with forward slashes.
+  unsigned Line = 0; ///< 1-based.
+  std::string Message;
+};
+
+/// Static description of a rule, used for --list-rules, for rejecting
+/// unknown names in allow() markers, and for SARIF rule metadata.
+struct RuleInfo {
+  const char *Id;
+  const char *Summary;
+};
+
+/// All real rules (the reserved `unknown-rule` diagnostic is not
+/// listed; it cannot be suppressed).
+const std::vector<RuleInfo> &allRules();
+
+/// Lints one in-memory source file. \p Path must be repo-relative
+/// (e.g. "src/core/RapTree.cpp"); it selects which rules apply.
+/// Suppressed findings are removed; allow() markers naming a rule that
+/// does not exist surface as `unknown-rule` findings.
+std::vector<Finding> lintSource(const std::string &Path,
+                                const std::string &Content);
+
+/// Renders findings as "path:line: [rule] message" lines.
+std::string renderText(const std::vector<Finding> &Findings);
+
+/// Renders findings as a JSON array.
+std::string renderJson(const std::vector<Finding> &Findings);
+
+/// Renders findings as a SARIF 2.1.0 log.
+std::string renderSarif(const std::vector<Finding> &Findings);
+
+} // namespace lint
+} // namespace rap
+
+#endif // RAP_LINT_LINT_H

@@ -30,14 +30,14 @@ bool CacheConfig::validate(std::string *Error) const {
   return true;
 }
 
-SetAssocCache::SetAssocCache(const CacheConfig &Config) : Config(Config) {
+SetAssocCache::SetAssocCache(const CacheConfig &Geometry) : Config(Geometry) {
   [[maybe_unused]] std::string Error;
-  assert(Config.validate(&Error) && "invalid cache geometry");
-  LineShift = log2Exact(Config.LineBytes);
-  SetMask = Config.numSets() - 1;
-  Sets.assign(Config.numSets(), {});
+  assert(Geometry.validate(&Error) && "invalid cache geometry");
+  LineShift = log2Exact(Geometry.LineBytes);
+  SetMask = Geometry.numSets() - 1;
+  Sets.assign(Geometry.numSets(), {});
   for (auto &Set : Sets)
-    Set.resize(Config.Associativity);
+    Set.resize(Geometry.Associativity);
 }
 
 bool SetAssocCache::access(uint64_t Address) {

@@ -42,7 +42,7 @@ struct CacheConfig {
 /// One set-associative cache level with true-LRU replacement.
 class SetAssocCache {
 public:
-  explicit SetAssocCache(const CacheConfig &Config);
+  explicit SetAssocCache(const CacheConfig &Geometry);
 
   /// Looks up \p Address; on a miss the line is filled (allocating,
   /// write-allocate semantics are irrelevant since we model loads).
@@ -60,7 +60,8 @@ public:
   double missRatio() const {
     return NumAccesses == 0
                ? 0.0
-               : static_cast<double>(numMisses()) / NumAccesses;
+               : static_cast<double>(numMisses()) /
+                     static_cast<double>(NumAccesses);
   }
 
   const CacheConfig &config() const { return Config; }

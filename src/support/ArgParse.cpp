@@ -13,9 +13,8 @@
 
 using namespace rap;
 
-ArgParse::ArgParse(std::string ProgramName, std::string Description)
-    : ProgramName(std::move(ProgramName)),
-      Description(std::move(Description)) {}
+ArgParse::ArgParse(std::string Program, std::string Text)
+    : ProgramName(std::move(Program)), Description(std::move(Text)) {}
 
 void ArgParse::addString(const std::string &Name, const std::string &Default,
                          const std::string &Help) {
@@ -56,6 +55,13 @@ void ArgParse::addBool(const std::string &Name, const std::string &Help) {
   Order.push_back(Name);
 }
 
+void ArgParse::allowPositional(const std::string &Name,
+                               const std::string &Help) {
+  PositionalsAllowed = true;
+  PositionalName = Name;
+  PositionalHelp = Help;
+}
+
 bool ArgParse::parse(int Argc, const char *const *Argv) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -64,6 +70,10 @@ bool ArgParse::parse(int Argc, const char *const *Argv) {
       return false;
     }
     if (Arg.rfind("--", 0) != 0) {
+      if (PositionalsAllowed) {
+        Positionals.push_back(Arg);
+        continue;
+      }
       std::fprintf(stderr, "error: unexpected positional argument '%s'\n",
                    Arg.c_str());
       printUsage();
@@ -127,8 +137,12 @@ bool ArgParse::parse(int Argc, const char *const *Argv) {
 }
 
 void ArgParse::printUsage() const {
-  std::fprintf(stderr, "%s: %s\n\nflags:\n", ProgramName.c_str(),
-               Description.c_str());
+  std::fprintf(stderr, "%s: %s\n", ProgramName.c_str(), Description.c_str());
+  if (PositionalsAllowed)
+    std::fprintf(stderr, "\nusage: %s [flags] <%s...>\n  %s\n",
+                 ProgramName.c_str(), PositionalName.c_str(),
+                 PositionalHelp.c_str());
+  std::fprintf(stderr, "\nflags:\n");
   for (const std::string &Name : Order) {
     const Flag &F = Flags.at(Name);
     std::string Default;

@@ -28,7 +28,7 @@ class ArgParse {
 public:
   /// Creates a parser for a program named \p ProgramName (used in the
   /// usage message) described by \p Description.
-  ArgParse(std::string ProgramName, std::string Description);
+  ArgParse(std::string Program, std::string Text);
 
   /// Registers a string flag with a default value.
   void addString(const std::string &Name, const std::string &Default,
@@ -45,6 +45,11 @@ public:
   /// Registers a boolean flag (defaults to false).
   void addBool(const std::string &Name, const std::string &Help);
 
+  /// Permits bare (non --flag) arguments, collected in order into
+  /// positional(). \p Name and \p Help describe them in the usage
+  /// message, e.g. ("paths", "files or directories to scan").
+  void allowPositional(const std::string &Name, const std::string &Help);
+
   /// Parses \p Argv. On "--help" prints usage and returns false; on a
   /// malformed or unknown flag prints an error plus usage to stderr and
   /// returns false. Returns true when the program should proceed.
@@ -55,6 +60,10 @@ public:
   uint64_t getUint(const std::string &Name) const;
   double getDouble(const std::string &Name) const;
   bool getBool(const std::string &Name) const;
+
+  /// The bare arguments, in command line order. Empty unless
+  /// allowPositional() was called before parse().
+  const std::vector<std::string> &positional() const { return Positionals; }
 
 private:
   enum class FlagKind { String, Uint, Double, Bool };
@@ -75,6 +84,10 @@ private:
   std::string Description;
   std::map<std::string, Flag> Flags;
   std::vector<std::string> Order;
+  bool PositionalsAllowed = false;
+  std::string PositionalName;
+  std::string PositionalHelp;
+  std::vector<std::string> Positionals;
 };
 
 } // namespace rap

@@ -70,6 +70,16 @@ constexpr uint64_t saturatingAdd(uint64_t A, uint64_t B) {
   return Sum < A ? ~uint64_t(0) : Sum;
 }
 
+/// Returns A * B, clamped to 2^64-1 on overflow. Used where a counter
+/// is scaled by a user-supplied weight (e.g. node-count integrals) so
+/// the product degrades to a saturated value instead of wrapping.
+constexpr uint64_t saturatingMul(uint64_t A, uint64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  uint64_t Product = A * B;
+  return Product / A != B ? ~uint64_t(0) : Product;
+}
+
 } // namespace rap
 
 #endif // RAP_SUPPORT_BITUTILS_H

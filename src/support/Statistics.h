@@ -42,7 +42,9 @@ public:
   double sum() const { return Sum; }
 
   /// Mean of the stream; zero if empty.
-  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+  double mean() const {
+    return Count == 0 ? 0.0 : Sum / static_cast<double>(Count);
+  }
 
   /// Smallest sample; +inf if empty.
   double min() const { return Minimum; }

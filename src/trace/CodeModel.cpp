@@ -40,9 +40,10 @@ CodeModel::CodeModel(const BenchmarkSpec &Spec, uint64_t Seed)
       (1.0 - TotalHotFraction) / static_cast<double>(NumRegions + 1);
   uint64_t Cursor = 0;
   for (unsigned R = 0; R != NumRegions; ++R) {
-    Cursor += static_cast<uint64_t>(GapFraction * NumBlocks);
+    double Blocks = static_cast<double>(NumBlocks);
+    Cursor += static_cast<uint64_t>(GapFraction * Blocks);
     uint64_t Size = std::max<uint64_t>(
-        1, static_cast<uint64_t>(Regions[R].SizeFraction * NumBlocks));
+        1, static_cast<uint64_t>(Regions[R].SizeFraction * Blocks));
     RegionStart.push_back(Cursor);
     RegionEnd.push_back(std::min(Cursor + Size, NumBlocks));
     Cursor = RegionEnd.back();

@@ -52,20 +52,21 @@ NetworkSpec NetworkSpec::makeDefault() {
   return Spec;
 }
 
-NetworkModel::NetworkModel(const NetworkSpec &Spec, uint64_t RunSeed)
-    : Spec(Spec), Generator(Spec.Seed ^ (RunSeed * 0x9e3779b97f4a7c15ULL)),
-      DstDist([&Spec] {
+NetworkModel::NetworkModel(const NetworkSpec &ModelSpec, uint64_t RunSeed)
+    : Spec(ModelSpec),
+      Generator(ModelSpec.Seed ^ (RunSeed * 0x9e3779b97f4a7c15ULL)),
+      DstDist([&ModelSpec] {
         std::vector<double> Weights;
-        for (const NetworkSpec::Subnet &S : Spec.DstSubnets)
+        for (const NetworkSpec::Subnet &S : ModelSpec.DstSubnets)
           Weights.push_back(S.Weight);
-        Weights.push_back(Spec.ScanWeight);
+        Weights.push_back(ModelSpec.ScanWeight);
         return Weights;
       }()),
-      SrcDist([&Spec] {
+      SrcDist([&ModelSpec] {
         std::vector<double> Weights;
-        for (const NetworkSpec::Subnet &S : Spec.SrcSubnets)
+        for (const NetworkSpec::Subnet &S : ModelSpec.SrcSubnets)
           Weights.push_back(S.Weight);
-        Weights.push_back(Spec.ScanWeight * 0.5);
+        Weights.push_back(ModelSpec.ScanWeight * 0.5);
         return Weights;
       }()) {
   assert(!Spec.DstSubnets.empty() && !Spec.SrcSubnets.empty() &&

@@ -69,7 +69,7 @@ struct NetworkSpec {
 /// Deterministic packet generator.
 class NetworkModel {
 public:
-  explicit NetworkModel(const NetworkSpec &Spec, uint64_t RunSeed = 0);
+  explicit NetworkModel(const NetworkSpec &ModelSpec, uint64_t RunSeed = 0);
 
   /// Emits the next packet.
   PacketRecord next();

@@ -9,10 +9,12 @@
 
 using namespace rap;
 
-ProgramModel::ProgramModel(const BenchmarkSpec &Spec, uint64_t RunSeed)
-    : Spec(Spec), Generator(Spec.Seed ^ (RunSeed * 0x9e3779b97f4a7c15ULL)),
-      Code(Spec, Spec.Seed ^ RunSeed), Values(Spec, Spec.Seed ^ RunSeed),
-      Memory(Spec, Spec.Seed ^ RunSeed) {}
+ProgramModel::ProgramModel(const BenchmarkSpec &ModelSpec, uint64_t RunSeed)
+    : Spec(ModelSpec),
+      Generator(ModelSpec.Seed ^ (RunSeed * 0x9e3779b97f4a7c15ULL)),
+      Code(ModelSpec, ModelSpec.Seed ^ RunSeed),
+      Values(ModelSpec, ModelSpec.Seed ^ RunSeed),
+      Memory(ModelSpec, ModelSpec.Seed ^ RunSeed) {}
 
 TraceRecord ProgramModel::next() {
   // Raw (non-wrapping) phase index: region rotation is cyclic in it,

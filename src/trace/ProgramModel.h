@@ -39,7 +39,7 @@ public:
 
   /// Builds the model. The stream is a pure function of
   /// (Spec, RunSeed).
-  explicit ProgramModel(const BenchmarkSpec &Spec, uint64_t RunSeed = 0);
+  explicit ProgramModel(const BenchmarkSpec &ModelSpec, uint64_t RunSeed = 0);
 
   /// Emits the next dynamic basic-block record.
   TraceRecord next();

@@ -57,7 +57,7 @@ bool readU64(std::istream &IS, uint64_t &Value) {
 
 } // namespace
 
-TraceWriter::TraceWriter(std::ostream &OS) : OS(OS) {
+TraceWriter::TraceWriter(std::ostream &Out) : OS(Out) {
   OS.write(Magic, 4);
   writeU32(OS, FormatVersion);
   writeU64(OS, 0); // Record count placeholder, patched by finish().
@@ -87,7 +87,7 @@ void TraceWriter::finish() {
   OS.flush();
 }
 
-TraceReader::TraceReader(std::istream &IS) : IS(IS) {
+TraceReader::TraceReader(std::istream &In) : IS(In) {
   char MagicBuffer[4];
   if (!IS.read(MagicBuffer, 4) ||
       std::memcmp(MagicBuffer, Magic, 4) != 0) {

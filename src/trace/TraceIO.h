@@ -36,7 +36,7 @@ class TraceWriter {
 public:
   /// Starts a trace on \p OS (must remain valid for the writer's
   /// lifetime). The header is finalized by finish().
-  explicit TraceWriter(std::ostream &OS);
+  explicit TraceWriter(std::ostream &Out);
 
   /// Appends one record.
   void append(const TraceRecord &Record);
@@ -59,7 +59,7 @@ class TraceReader {
 public:
   /// Opens a trace on \p IS. Check valid() before reading; on failure
   /// error() describes the problem.
-  explicit TraceReader(std::istream &IS);
+  explicit TraceReader(std::istream &In);
 
   /// True if the header parsed and reading can proceed.
   bool valid() const { return Valid; }

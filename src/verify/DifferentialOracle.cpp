@@ -39,11 +39,11 @@ fail(std::vector<InvariantViolation> &Out, const char *Invariant,
 
 } // namespace
 
-DifferentialOracle::DifferentialOracle(const RapConfig &Config,
-                                       OracleOptions Options)
-    : Config(Config), Options(Options), Tree(Config), Auditor(Tree),
-      Flat(std::max(Config.RangeBits, 1u),
-           flatBuckets(Config, Options.FlatBucketBits)) {}
+DifferentialOracle::DifferentialOracle(const RapConfig &TreeConfig,
+                                       OracleOptions Opts)
+    : Config(TreeConfig), Options(Opts), Tree(TreeConfig), Auditor(Tree),
+      Flat(std::max(TreeConfig.RangeBits, 1u),
+           flatBuckets(TreeConfig, Opts.FlatBucketBits)) {}
 
 void DifferentialOracle::addPoint(uint64_t X, uint64_t Weight) {
   Auditor.addPoint(X, Weight);

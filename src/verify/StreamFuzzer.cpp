@@ -52,11 +52,11 @@ double toUnit(uint64_t X) { return static_cast<double>(X >> 11) * 0x1.0p-53; }
 
 } // namespace
 
-StreamFuzzer::StreamFuzzer(uint64_t Seed, StreamShape Shape,
-                           unsigned RangeBits)
-    : R(Seed), Shape(Shape), RangeBits(RangeBits),
-      UniverseHi(RangeBits == 0 ? 0 : lowBitMask(RangeBits)) {
-  switch (Shape) {
+StreamFuzzer::StreamFuzzer(uint64_t Seed, StreamShape StreamKind,
+                           unsigned Bits)
+    : R(Seed), Shape(StreamKind), RangeBits(Bits),
+      UniverseHi(Bits == 0 ? 0 : lowBitMask(Bits)) {
+  switch (StreamKind) {
   case StreamShape::PointMass:
     HotValue = R.next() & UniverseHi;
     HotProb = 0.5 + 0.45 * R.nextDouble();

@@ -65,7 +65,7 @@ struct StreamEvent {
 /// RangeBits) always yields the same event sequence on every platform.
 class StreamFuzzer {
 public:
-  StreamFuzzer(uint64_t Seed, StreamShape Shape, unsigned RangeBits);
+  StreamFuzzer(uint64_t Seed, StreamShape StreamKind, unsigned Bits);
 
   /// Draws the next event. Values are always inside [0, 2^RangeBits).
   /// About one event in 128 carries weight zero, to exercise the

@@ -23,7 +23,7 @@ namespace {
 /// Collects a violation with printf-style context.
 class Report {
 public:
-  explicit Report(std::vector<InvariantViolation> &Out) : Out(Out) {}
+  explicit Report(std::vector<InvariantViolation> &Sink) : Out(Sink) {}
 
   [[gnu::format(printf, 3, 4)]] void fail(const char *Invariant,
                                           const char *Format, ...) {

@@ -69,7 +69,7 @@ public:
 /// through addPoint (never mutate the tree directly while auditing).
 class OnlineAuditor {
 public:
-  explicit OnlineAuditor(RapTree &Tree) : Tree(Tree) {}
+  explicit OnlineAuditor(RapTree &T) : Tree(T) {}
 
   /// Forwards to RapTree::addPoint and checks the transition: event
   /// accounting, the split decision against the current threshold, and

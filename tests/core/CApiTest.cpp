@@ -70,3 +70,29 @@ TEST(CApi, FinalizeWithNullBufferJustDestroys) {
   ASSERT_NE(Handle, nullptr);
   EXPECT_EQ(rap_finalize(Handle, nullptr, 0), 0u);
 }
+
+TEST(CApi, ThrowingConfigIsReportedAsErrorNotCrash) {
+  // An invalid config makes the RapTree constructor throw; the C API
+  // must swallow that into a null handle plus rap_last_error(), never
+  // let it unwind into the C caller.
+  rap_handle *Handle = rap_init(16, -1.0, 0);
+  EXPECT_EQ(Handle, nullptr);
+  std::string Error = rap_last_error();
+  EXPECT_NE(Error.find("invalid config"), std::string::npos) << Error;
+}
+
+TEST(CApi, LastErrorExplainsRejectedRangeBits) {
+  EXPECT_EQ(rap_init(0, 0.05, 0), nullptr);
+  EXPECT_NE(std::string(rap_last_error()).find("range_bits"),
+            std::string::npos);
+}
+
+TEST(CApi, LastErrorIsNeverNull) {
+  ASSERT_NE(rap_last_error(), nullptr);
+  rap_handle *Handle = rap_init(16, 0.05, 0);
+  ASSERT_NE(Handle, nullptr);
+  // A successful call leaves whatever diagnostic was there; it must
+  // still be a valid string.
+  ASSERT_NE(rap_last_error(), nullptr);
+  rap_finalize(Handle, nullptr, 0);
+}

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <stdexcept>
 #include <sstream>
 
 using namespace rap;
@@ -227,4 +228,26 @@ TEST(MdRapTree, DeterministicAcrossRuns) {
     return OS.str() + std::to_string(Tree.numNodes());
   };
   EXPECT_EQ(Run(), Run());
+}
+
+TEST(MdRapTree, InvalidConfigThrows) {
+  MdRapConfig Config;
+  Config.Epsilon = -1.0;
+  EXPECT_THROW(MdRapTree{Config}, std::invalid_argument);
+  Config = MdRapConfig();
+  Config.RangeBits = 0;
+  EXPECT_THROW(MdRapTree{Config}, std::invalid_argument);
+}
+
+TEST(MdRapTree, WeightOverflowSaturates) {
+  MdRapTree Tree(smallConfig());
+  Tree.addPoint(1, 1, ~uint64_t(0));
+  EXPECT_EQ(Tree.numEvents(), ~uint64_t(0));
+  // Further weight saturates instead of wrapping to small values.
+  Tree.addPoint(1, 1, 1);
+  Tree.addPoint(200, 17, 12345);
+  EXPECT_EQ(Tree.numEvents(), ~uint64_t(0));
+  EXPECT_EQ(Tree.root().subtreeWeight(), ~uint64_t(0));
+  EXPECT_GE(Tree.estimateBox(0, 255, 0, 255),
+            Tree.estimateBox(0, 127, 0, 127));
 }

@@ -140,3 +140,15 @@ TEST(RapSession, ReplaceInstallsNewConfig) {
   EXPECT_EQ(&Replaced, &Session.getProfile("p"));
   EXPECT_EQ(Session.getProfile("p").tree().config().RangeBits, 24u);
 }
+
+TEST(RapProfiler, AverageNodesSurvivesWeightOverflow) {
+  // Two 2^63-weight points used to wrap the node-count integral to 0
+  // and report an impossible average below one node; the saturating
+  // arithmetic pins it at >= 1 instead.
+  RapProfiler Profiler(profilerConfig());
+  Profiler.addPoint(100, uint64_t(1) << 63);
+  Profiler.addPoint(200, uint64_t(1) << 63);
+  EXPECT_GE(Profiler.averageNodes(), 1.0);
+  EXPECT_LE(Profiler.averageNodes(),
+            static_cast<double>(Profiler.maxNodes()));
+}

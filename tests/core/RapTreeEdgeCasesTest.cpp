@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 using namespace rap;
 
 TEST(RapTreeEdgeCases, OneBitUniverse) {
@@ -252,4 +254,13 @@ TEST(RapTreeEdgeCases, InterleavedMergeNowAndUpdatesStayConsistent) {
   }
   // Aggressive merging keeps the tree near its compacted floor.
   EXPECT_LT(Tree.numNodes(), 2000u);
+}
+
+TEST(RapTreeEdgeCases, InvalidConfigThrows) {
+  RapConfig Config;
+  Config.Epsilon = -1.0;
+  EXPECT_THROW(RapTree{Config}, std::invalid_argument);
+  Config = RapConfig();
+  Config.RangeBits = 99;
+  EXPECT_THROW(RapTree{Config}, std::invalid_argument);
 }

@@ -1,0 +1,215 @@
+//===- tests/lint/LintTest.cpp - rap_lint rule engine tests --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+// Each rule R1-R5 has one violating and one clean fixture under
+// fixtures/; the violating ones are pinned to expected-findings golden
+// files (fixtures/<name>.expected, renderText format), the clean ones
+// must produce nothing. Fixtures are linted under a *virtual* repo
+// path because rule applicability keys off the path (src/core/,
+// hot-path stems, headers).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lexer.h"
+#include "lint/Lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace rap::lint;
+
+namespace {
+
+std::string fixturePath(const std::string &Name) {
+  return std::string(RAP_LINT_FIXTURE_DIR) + "/" + Name;
+}
+
+std::string readFixture(const std::string &Name) {
+  std::ifstream In(fixturePath(Name), std::ios::binary);
+  EXPECT_TRUE(In.good()) << "missing fixture " << Name;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::vector<Finding> lintFixture(const std::string &Name,
+                                 const std::string &VirtualPath) {
+  return lintSource(VirtualPath, readFixture(Name));
+}
+
+/// The violating fixture for every rule, its virtual path, and the
+/// golden file pinning the exact findings.
+struct GoldenCase {
+  const char *Fixture;
+  const char *VirtualPath;
+  const char *RuleId; ///< Every golden finding must be this rule.
+};
+
+const GoldenCase GoldenCases[] = {
+    {"r1_violate.cpp", "src/core/r1_violate.cpp", "counter-arithmetic"},
+    {"r2_violate.cpp", "tools/r2_violate.cpp", "capi-exception-tight"},
+    {"r3_violate.cpp", "src/hw/r3_violate.cpp", "nondeterminism"},
+    {"r4_violate.cpp", "src/core/RapTree.cpp", "hot-path-io"},
+    {"r5_violate.h", "src/core/R5Violate.h", "include-guard"},
+};
+
+/// The clean twin of every rule's fixture, on the same kind of path.
+struct CleanCase {
+  const char *Fixture;
+  const char *VirtualPath;
+};
+
+const CleanCase CleanCases[] = {
+    {"r1_clean.cpp", "src/core/r1_clean.cpp"},
+    {"r2_clean.cpp", "tools/r2_clean.cpp"},
+    {"r3_clean.cpp", "src/hw/r3_clean.cpp"},
+    {"r4_clean.cpp", "src/hw/Tcam.cpp"},
+    {"r5_clean.h", "src/core/R5Clean.h"},
+};
+
+} // namespace
+
+TEST(LintGolden, ViolatingFixturesMatchGoldenFindings) {
+  for (const GoldenCase &C : GoldenCases) {
+    std::vector<Finding> Findings = lintFixture(C.Fixture, C.VirtualPath);
+    EXPECT_FALSE(Findings.empty())
+        << C.Fixture << ": rule produced no findings";
+    for (const Finding &F : Findings)
+      EXPECT_EQ(F.RuleId, C.RuleId) << C.Fixture;
+    std::string Golden =
+        readFixture(std::string(C.Fixture) + ".expected");
+    EXPECT_EQ(renderText(Findings), Golden)
+        << C.Fixture << ": findings diverge from the golden file; if the "
+        << "change is intended, update fixtures/" << C.Fixture
+        << ".expected to the rendered text above";
+  }
+}
+
+TEST(LintGolden, CleanFixturesProduceNoFindings) {
+  for (const CleanCase &C : CleanCases) {
+    std::vector<Finding> Findings = lintFixture(C.Fixture, C.VirtualPath);
+    EXPECT_TRUE(Findings.empty())
+        << C.Fixture << ":\n" << renderText(Findings);
+  }
+}
+
+TEST(LintSuppression, AllowMarkersSilenceFindings) {
+  std::vector<Finding> Findings =
+      lintFixture("suppressed.cpp", "src/core/suppressed.cpp");
+  EXPECT_TRUE(Findings.empty()) << renderText(Findings);
+}
+
+TEST(LintSuppression, SameLineMarkerOnlyCoversItsLine) {
+  std::string Source = "struct T { unsigned long long NumEvents; };\n"
+                       "void f(T &t) {\n"
+                       "  t.NumEvents += 1; // rap-lint: allow(counter-arithmetic)\n"
+                       "  t.NumEvents += 2;\n"
+                       "}\n";
+  std::vector<Finding> Findings = lintSource("src/core/x.cpp", Source);
+  ASSERT_EQ(Findings.size(), 1u);
+  EXPECT_EQ(Findings[0].Line, 4u);
+}
+
+TEST(LintSuppression, StandaloneMarkerCoversNextLine) {
+  std::string Source = "struct T { unsigned long long NumEvents; };\n"
+                       "void f(T &t) {\n"
+                       "  // rap-lint: allow(counter-arithmetic)\n"
+                       "  t.NumEvents += 1;\n"
+                       "}\n";
+  EXPECT_TRUE(lintSource("src/core/x.cpp", Source).empty());
+}
+
+TEST(LintSuppression, UnknownRuleNameIsRejected) {
+  std::vector<Finding> Findings =
+      lintFixture("unknown_rule.cpp", "src/core/unknown_rule.cpp");
+  ASSERT_EQ(Findings.size(), 1u);
+  EXPECT_EQ(Findings[0].RuleId, "unknown-rule");
+  EXPECT_NE(Findings[0].Message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(LintSuppression, ProseMentionOfAllowIsNotAMarker) {
+  // Documentation writing "allow(<rule>)" must neither suppress nor
+  // trip the unknown-rule check.
+  std::string Source =
+      "// Suppress with rap-lint: allow(<rule>) on the line.\n"
+      "int x;\n";
+  EXPECT_TRUE(lintSource("src/core/x.cpp", Source).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer behavior the rules depend on
+//===----------------------------------------------------------------------===//
+
+TEST(LintLexer, CommentsAndStringsDoNotProduceIdentifiers) {
+  // 'rand' in comments and strings must not trip the nondeterminism
+  // rule; only the real identifier does.
+  std::string Source = "// rand()\n"
+                       "const char *s = \"rand()\"; /* rand */\n"
+                       "int x = rand();\n";
+  std::vector<Finding> Findings = lintSource("src/core/x.cpp", Source);
+  ASSERT_EQ(Findings.size(), 1u);
+  EXPECT_EQ(Findings[0].Line, 3u);
+  EXPECT_EQ(Findings[0].RuleId, "nondeterminism");
+}
+
+TEST(LintLexer, RawStringsAreSkippedWhole) {
+  std::string Source = "const char *s = R\"(rand() time( ++NumEvents)\";\n"
+                       "int y = 0;\n";
+  EXPECT_TRUE(lintSource("src/core/x.cpp", Source).empty());
+}
+
+TEST(LintLexer, DigitSeparatorsAreNotCharLiterals) {
+  // A digit separator must not open a char literal that would swallow
+  // the rest of the line (and the violation after it).
+  std::string Source = "struct T { unsigned long long NumEvents; };\n"
+                       "void f(T &t) { int n = 1'000'000; t.NumEvents += n; }\n";
+  std::vector<Finding> Findings = lintSource("src/core/x.cpp", Source);
+  ASSERT_EQ(Findings.size(), 1u);
+  EXPECT_EQ(Findings[0].RuleId, "counter-arithmetic");
+}
+
+TEST(LintLexer, DirectivesAreCanonicalized) {
+  std::string Source = "#include   <iostream>\n";
+  std::vector<Finding> Findings = lintSource("src/hw/Tcam.cpp", Source);
+  ASSERT_EQ(Findings.size(), 1u);
+  EXPECT_EQ(Findings[0].RuleId, "hot-path-io");
+}
+
+//===----------------------------------------------------------------------===//
+// Report renderers
+//===----------------------------------------------------------------------===//
+
+TEST(LintReport, TextJsonSarifAgreeOnFindings) {
+  std::vector<Finding> Findings =
+      lintFixture("r1_violate.cpp", "src/core/r1_violate.cpp");
+  ASSERT_FALSE(Findings.empty());
+
+  std::string Text = renderText(Findings);
+  EXPECT_NE(Text.find("src/core/r1_violate.cpp:"), std::string::npos);
+
+  std::string Json = renderJson(Findings);
+  EXPECT_NE(Json.find("\"rule\": \"counter-arithmetic\""),
+            std::string::npos);
+
+  std::string Sarif = renderSarif(Findings);
+  EXPECT_NE(Sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(Sarif.find("\"ruleId\": \"counter-arithmetic\""),
+            std::string::npos);
+  // Every registered rule is described in the SARIF driver metadata.
+  for (const RuleInfo &R : allRules())
+    EXPECT_NE(Sarif.find(R.Id), std::string::npos) << R.Id;
+}
+
+TEST(LintReport, EmptyFindingsRenderAsEmptyCollections) {
+  std::vector<Finding> None;
+  EXPECT_EQ(renderText(None), "");
+  EXPECT_EQ(renderJson(None), "[\n]\n");
+  EXPECT_NE(renderSarif(None).find("\"results\": [\n    ]"),
+            std::string::npos);
+}

@@ -1,0 +1,26 @@
+// R1 fixture: counter updates through the saturating helpers, plus
+// arithmetic on exempt names (locals, loop indices, structural stats).
+#include <cstdint>
+
+constexpr uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  uint64_t Sum = A + B;
+  return Sum < A ? ~uint64_t(0) : Sum;
+}
+
+struct Node {
+  uint64_t Count = 0;
+};
+
+struct Tree {
+  uint64_t NumEvents = 0;
+  uint64_t NumNodes = 0;
+};
+
+void update(Tree &T, Node *N, uint64_t Weight) {
+  T.NumEvents = saturatingAdd(T.NumEvents, Weight);
+  N->Count = saturatingAdd(N->Count, Weight);
+  uint64_t Total = 0;
+  for (uint64_t I = 0; I != 4; ++I)
+    Total += Weight; // A local accumulator is not a counter field.
+  ++T.NumNodes;      // Structural stat, bounded by memory: exempt.
+}

@@ -1,0 +1,18 @@
+// R1 fixture: raw arithmetic on counter fields (linted as src/core/).
+#include <cstdint>
+
+struct Node {
+  uint64_t Count = 0;
+};
+
+struct Tree {
+  uint64_t NumEvents = 0;
+  uint64_t NumOffered = 0;
+};
+
+void update(Tree &T, Node *N, uint64_t Weight) {
+  T.NumEvents += Weight;
+  N->Count += Weight;
+  ++T.NumOffered;
+  N->Count++;
+}

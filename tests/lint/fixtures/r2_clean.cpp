@@ -1,0 +1,19 @@
+// R2 fixture: exception-tight extern "C" surface.
+
+extern "C" int noexcept_entry(int X) noexcept { return X + 1; }
+
+extern "C" int tight_entry(int X) {
+  try {
+    return X;
+  } catch (...) {
+    return -1;
+  }
+}
+
+// Declarations cannot leak; only definitions are checked.
+extern "C" int declared_elsewhere(int X);
+
+extern "C" {
+int block_tight(int X) noexcept { return X * 2; }
+int block_declared(int X);
+}

@@ -1,0 +1,21 @@
+// R2 fixture: extern "C" definitions that can leak exceptions.
+#include <stdexcept>
+
+extern "C" int leaky_entry(int X) {
+  if (X < 0)
+    throw std::runtime_error("boom");
+  return X + 1;
+}
+
+// A try that is not catch-all is still leaky.
+extern "C" int half_tight(int X) {
+  try {
+    return X;
+  } catch (const std::runtime_error &) {
+    return -1;
+  }
+}
+
+extern "C" {
+int block_leaky(int X) { return X * 2; }
+}

@@ -1,0 +1,24 @@
+// R3 fixture: deterministic draws through the project Rng, and
+// identifiers that merely resemble banned names.
+#include <cstdint>
+
+namespace rap {
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() { return State += 0x9e3779b97f4a7c15ULL; }
+
+private:
+  uint64_t State;
+};
+} // namespace rap
+
+struct Timing {
+  uint64_t time = 0; // Member access, never called: not flagged.
+};
+
+uint64_t seeded(uint64_t Seed, const Timing &T) {
+  rap::Rng Generator(Seed);
+  uint64_t Timestamp = T.time; // Reads a field named 'time'.
+  return Generator.next() ^ Timestamp;
+}

@@ -1,0 +1,11 @@
+// R3 fixture: nondeterminism sources (linted as src/hw/).
+#include <cstdint>
+#include <ctime>
+#include <random>
+
+uint64_t unseeded() {
+  std::random_device Dev;
+  std::mt19937 Gen(Dev());
+  uint64_t Now = static_cast<uint64_t>(time(nullptr));
+  return Gen() ^ Now ^ static_cast<uint64_t>(rand());
+}

@@ -1,0 +1,8 @@
+// R4 fixture: hot path formatting into caller buffers only (linted as
+// Tcam.cpp). snprintf has no stream state and is exempt.
+#include <cstdint>
+#include <cstdio>
+
+void describe(uint64_t X, char *Buffer, unsigned long Size) {
+  std::snprintf(Buffer, Size, "%llu", static_cast<unsigned long long>(X));
+}

@@ -1,0 +1,8 @@
+// R4 fixture: stdio in a per-event hot path (linted as RapTree.cpp).
+#include <cstdint>
+#include <iostream>
+
+void addPoint(uint64_t X) {
+  std::cout << "adding " << X << "\n";
+  printf("adding %llu\n", static_cast<unsigned long long>(X));
+}

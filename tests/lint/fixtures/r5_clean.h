@@ -1,0 +1,7 @@
+// R5 fixture: canonical include guard (linted as src/core/R5Clean.h).
+#ifndef RAP_CORE_R5CLEAN_H
+#define RAP_CORE_R5CLEAN_H
+
+int answer();
+
+#endif // RAP_CORE_R5CLEAN_H

@@ -1,0 +1,8 @@
+// R5 fixture: header whose guard does not match the canonical
+// RAP_<DIR>_<STEM>_H name (linted as src/core/R5Violate.h).
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+int answer();
+
+#endif // SOME_OTHER_GUARD_H

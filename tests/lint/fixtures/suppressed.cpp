@@ -1,0 +1,17 @@
+// Suppression fixture: every violation below carries an allow()
+// marker, so the lint must come back empty (linted as src/core/).
+#include <cstdint>
+
+struct Tree {
+  uint64_t NumEvents = 0;
+  uint64_t Count = 0;
+};
+
+void update(Tree &T, uint64_t Weight) {
+  T.NumEvents += Weight; // rap-lint: allow(counter-arithmetic)
+  // rap-lint: allow(counter-arithmetic)
+  T.Count += Weight;
+}
+
+/* rap-lint: allow(capi-exception-tight) */
+extern "C" int suppressed_entry(int X) { return X; }

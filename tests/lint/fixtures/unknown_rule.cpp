@@ -1,0 +1,6 @@
+// Unknown-rule fixture: the allow() below names a rule that does not
+// exist and must be rejected (linted as src/core/).
+#include <cstdint>
+
+// rap-lint: allow(no-such-rule)
+uint64_t identity(uint64_t X) { return X; }

@@ -62,3 +62,25 @@ TEST(BitUtils, LowBitMask) {
   EXPECT_EQ(lowBitMask(32), 0xffffffffu);
   EXPECT_EQ(lowBitMask(64), ~uint64_t(0));
 }
+
+TEST(BitUtils, SaturatingAdd) {
+  EXPECT_EQ(saturatingAdd(0, 0), 0u);
+  EXPECT_EQ(saturatingAdd(1, 2), 3u);
+  EXPECT_EQ(saturatingAdd(~uint64_t(0), 0), ~uint64_t(0));
+  EXPECT_EQ(saturatingAdd(~uint64_t(0), 1), ~uint64_t(0));
+  EXPECT_EQ(saturatingAdd(uint64_t(1) << 63, uint64_t(1) << 63),
+            ~uint64_t(0));
+}
+
+TEST(BitUtils, SaturatingMul) {
+  EXPECT_EQ(saturatingMul(0, 0), 0u);
+  EXPECT_EQ(saturatingMul(0, ~uint64_t(0)), 0u);
+  EXPECT_EQ(saturatingMul(~uint64_t(0), 0), 0u);
+  EXPECT_EQ(saturatingMul(3, 7), 21u);
+  EXPECT_EQ(saturatingMul(1, ~uint64_t(0)), ~uint64_t(0));
+  EXPECT_EQ(saturatingMul(uint64_t(1) << 32, uint64_t(1) << 31),
+            uint64_t(1) << 63);
+  EXPECT_EQ(saturatingMul(uint64_t(1) << 32, uint64_t(1) << 32),
+            ~uint64_t(0));
+  EXPECT_EQ(saturatingMul(~uint64_t(0), 2), ~uint64_t(0));
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+#===- tools/ci.sh - the full local CI matrix ------------------------------===#
+#
+# Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+# (Mysore et al., CGO 2006). MIT license.
+#
+# One command, the whole gate:
+#   1. plain build (RAP_WERROR=ON) + full test suite
+#   2. AddressSanitizer build + full test suite
+#   3. UndefinedBehaviorSanitizer build + full test suite
+#   4. 25-episode differential fuzz slice (ASan-instrumented)
+#   5. rap_lint over src/ and tools/, SARIF report to build/lint.sarif
+#
+# Usage: tools/ci.sh [jobs]     (from the repo root; default jobs = nproc)
+#
+#===-----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+configure_and_test() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+step "plain build + tests (warnings are errors)"
+configure_and_test build -DRAP_WERROR=ON
+
+step "AddressSanitizer build + tests"
+configure_and_test build-asan -DRAP_SANITIZE=address
+
+step "UndefinedBehaviorSanitizer build + tests"
+configure_and_test build-ubsan -DRAP_SANITIZE=undefined
+
+step "differential fuzz slice (25 episodes, ASan)"
+./build-asan/tools/rap_fuzz --episodes=25 --seed=1 --events=8000
+
+step "rap_lint (SARIF report: build/lint.sarif)"
+./build/tools/rap_lint --root=. --format=sarif --output=build/lint.sarif \
+    src tools
+./build/tools/rap_lint --root=. src tools
+
+step "CI matrix green"

@@ -1,0 +1,158 @@
+//===- tools/rap_lint.cpp - RAP static-analysis driver -------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the rap_lint rules (src/lint) over files and directory trees:
+//
+//   rap_lint --root=/path/to/repo src tools
+//   rap_lint --format=sarif --output=build/lint.sarif src
+//
+// Positional arguments are repo-relative files or directories;
+// directories are scanned recursively for *.h / *.cpp. Exit status:
+// 0 no findings, 1 unsuppressed findings, 2 bad usage.
+// See docs/STATIC_ANALYSIS.md for the rule catalog and the per-line
+// `// rap-lint: allow(<rule>)` suppression syntax.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+#include "support/ArgParse.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace rap;
+namespace fs = std::filesystem;
+
+namespace {
+
+bool isLintableFile(const fs::path &P) {
+  std::string Ext = P.extension().string();
+  return Ext == ".h" || Ext == ".cpp" || Ext == ".hpp" || Ext == ".cc";
+}
+
+/// Repo-relative path with forward slashes, for classification and
+/// stable report output.
+std::string relativePath(const fs::path &P, const fs::path &Root) {
+  std::error_code EC;
+  fs::path Rel = fs::relative(P, Root, EC);
+  std::string Text = (EC || Rel.empty() ? P : Rel).generic_string();
+  while (Text.rfind("./", 0) == 0)
+    Text = Text.substr(2);
+  return Text;
+}
+
+bool readFile(const fs::path &P, std::string &Out) {
+  std::ifstream In(P, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args("rap_lint",
+                "Project-specific static analysis for the RAP tree: "
+                "saturating-counter discipline, exception-tight C API, "
+                "determinism, hot-path IO and include-guard hygiene.");
+  Args.addString("root", ".",
+                 "repository root; paths are reported relative to it");
+  Args.addString("format", "text", "report format: text, json or sarif");
+  Args.addString("output", "", "write the report here instead of stdout");
+  Args.addBool("list-rules", "print the rule catalog and exit");
+  Args.addBool("quiet", "suppress the summary line on stderr");
+  Args.allowPositional("paths",
+                       "repo-relative files or directories to scan "
+                       "recursively for *.h / *.cpp");
+  if (!Args.parse(Argc, Argv))
+    return 2;
+
+  if (Args.getBool("list-rules")) {
+    for (const lint::RuleInfo &R : lint::allRules())
+      std::printf("%-22s %s\n", R.Id, R.Summary);
+    return 0;
+  }
+
+  const std::string &Format = Args.getString("format");
+  if (Format != "text" && Format != "json" && Format != "sarif") {
+    std::fprintf(stderr, "rap_lint: unknown --format '%s'\n", Format.c_str());
+    return 2;
+  }
+
+  fs::path Root = fs::path(Args.getString("root"));
+  const std::vector<std::string> &Positional = Args.positional();
+  if (Positional.empty()) {
+    std::fprintf(stderr,
+                 "rap_lint: no inputs; pass files or directories "
+                 "(e.g. rap_lint --root=. src tools)\n");
+    return 2;
+  }
+
+  // Collect the file set, sorted for deterministic reports.
+  std::vector<fs::path> Files;
+  for (const std::string &Arg : Positional) {
+    fs::path P = fs::path(Arg).is_absolute() ? fs::path(Arg) : Root / Arg;
+    std::error_code EC;
+    if (fs::is_directory(P, EC)) {
+      for (fs::recursive_directory_iterator It(P, EC), End; It != End;
+           It.increment(EC)) {
+        if (EC)
+          break;
+        if (It->is_regular_file(EC) && isLintableFile(It->path()))
+          Files.push_back(It->path());
+      }
+    } else if (fs::is_regular_file(P, EC)) {
+      Files.push_back(P);
+    } else {
+      std::fprintf(stderr, "rap_lint: no such file or directory: %s\n",
+                   Arg.c_str());
+      return 2;
+    }
+  }
+  std::sort(Files.begin(), Files.end());
+
+  std::vector<lint::Finding> Findings;
+  for (const fs::path &File : Files) {
+    std::string Content;
+    if (!readFile(File, Content)) {
+      std::fprintf(stderr, "rap_lint: cannot read %s\n",
+                   File.string().c_str());
+      return 2;
+    }
+    std::vector<lint::Finding> FileFindings =
+        lint::lintSource(relativePath(File, Root), Content);
+    Findings.insert(Findings.end(), FileFindings.begin(), FileFindings.end());
+  }
+
+  std::string Report = Format == "sarif"  ? lint::renderSarif(Findings)
+                       : Format == "json" ? lint::renderJson(Findings)
+                                          : lint::renderText(Findings);
+  const std::string &OutputPath = Args.getString("output");
+  if (!OutputPath.empty()) {
+    std::ofstream Out(OutputPath, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "rap_lint: cannot write %s\n", OutputPath.c_str());
+      return 2;
+    }
+    Out << Report;
+  } else {
+    std::fputs(Report.c_str(), stdout);
+  }
+
+  if (!Args.getBool("quiet"))
+    std::fprintf(stderr, "rap_lint: %zu file(s), %zu finding(s)\n",
+                 Files.size(), Findings.size());
+  return Findings.empty() ? 0 : 1;
+}
