@@ -7,6 +7,8 @@
 
 #include "core/Analysis.h"
 
+#include "support/BitUtils.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -24,7 +26,7 @@ rap::coverageByWidth(const RapTree &Tree, double Phi,
     uint64_t Covered = 0;
     for (const HotRange &H : Hot)
       if (H.WidthBits <= Width)
-        Covered += H.ExclusiveWeight;
+        Covered = saturatingAdd(Covered, H.ExclusiveWeight);
     CoveragePoint Point;
     Point.WidthBits = Width;
     Point.CoveragePercent =

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -142,8 +143,13 @@ uint64_t MdRapTree::mergeNow() {
 
 void MdRapTree::scheduleAfterMerge() {
   double Next = static_cast<double>(NextMergeAt) * Config.MergeRatio;
-  NextMergeAt = std::max<uint64_t>(
-      NumEvents + 1, static_cast<uint64_t>(std::llround(Next)));
+  // Same saturation discipline as RapTree::scheduleAfterMerge: avoid
+  // llround UB past int64 range and the NumEvents + 1 wrap at 2^64-1.
+  uint64_t NextInt =
+      Next >= static_cast<double>(std::numeric_limits<int64_t>::max())
+          ? ~uint64_t(0)
+          : static_cast<uint64_t>(std::llround(Next));
+  NextMergeAt = std::max<uint64_t>(saturatingAdd(NumEvents, 1), NextInt);
 }
 
 uint64_t MdRapTree::estimateWalk(const MdRapNode &Node, uint64_t XLo,
@@ -175,7 +181,8 @@ uint64_t MdRapTree::hotWalk(const MdRapNode &Node, double Threshold,
   uint64_t Exclusive = Node.count();
   for (unsigned Quadrant = 0; Quadrant != Node.numChildSlots(); ++Quadrant)
     if (const MdRapNode *Child = Node.child(Quadrant))
-      Exclusive += hotWalk(*Child, Threshold, Depth + 1, Out);
+      Exclusive =
+          saturatingAdd(Exclusive, hotWalk(*Child, Threshold, Depth + 1, Out));
 
   if (static_cast<double>(Exclusive) < Threshold) {
     Out.erase(Out.begin() + MyIndex);

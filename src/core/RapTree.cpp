@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -94,7 +95,9 @@ std::unique_ptr<RapTree> RapTree::fromNodeSet(
     Tree->NextMergeAt = NextMergeAt;
   } else {
     // Re-derive: resume the merge schedule past the stream position.
-    while (Tree->NextMergeAt <= NumEvents)
+    // At a saturated stream position the schedule pins to the
+    // sentinel and can never exceed NumEvents; stop there.
+    while (Tree->NextMergeAt <= NumEvents && Tree->NextMergeAt != ~uint64_t(0))
       Tree->scheduleAfterMerge();
   }
   return Tree;
@@ -248,7 +251,7 @@ void RapTree::absorb(const RapTree &Other) {
   // schedule with it.
   if (Config.EnableMerges) {
     mergeNow();
-    while (NextMergeAt <= NumEvents)
+    while (NextMergeAt <= NumEvents && NextMergeAt != ~uint64_t(0))
       scheduleAfterMerge();
   }
 }
@@ -265,8 +268,15 @@ uint64_t RapTree::mergeNow() {
 
 void RapTree::scheduleAfterMerge() {
   double Next = static_cast<double>(NextMergeAt) * Config.MergeRatio;
-  uint64_t NextInt = static_cast<uint64_t>(std::llround(Next));
-  NextMergeAt = std::max<uint64_t>(NumEvents + 1, NextInt);
+  // llround is undefined once Next exceeds int64 range; clamp to the
+  // saturated sentinel so a nearly-full event counter cannot wrap the
+  // schedule back below NumEvents (which would loop forever in the
+  // catch-up loops below).
+  uint64_t NextInt =
+      Next >= static_cast<double>(std::numeric_limits<int64_t>::max())
+          ? ~uint64_t(0)
+          : static_cast<uint64_t>(std::llround(Next));
+  NextMergeAt = std::max<uint64_t>(saturatingAdd(NumEvents, 1), NextInt);
 }
 
 uint64_t RapTree::estimateWalk(const RapNode &Node, uint64_t Lo,
@@ -323,7 +333,8 @@ uint64_t RapTree::hotWalk(const RapNode &Node, double Threshold,
   uint64_t Exclusive = Node.count();
   for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
     if (const RapNode *Child = Node.child(Slot))
-      Exclusive += hotWalk(*Child, Threshold, Depth + 1, Out);
+      Exclusive =
+          saturatingAdd(Exclusive, hotWalk(*Child, Threshold, Depth + 1, Out));
 
   bool IsHot = static_cast<double>(Exclusive) >= Threshold;
   if (!IsHot) {

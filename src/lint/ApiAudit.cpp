@@ -1,0 +1,314 @@
+//===- lint/ApiAudit.cpp - Cross-TU API audit for rap_lint ---------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/ApiAudit.h"
+
+#include "lint/Lexer.h"
+#include "lint/Parser.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace rap;
+using namespace rap::lint;
+
+namespace {
+
+bool hasPrefix(const std::string &S, const char *Prefix) {
+  return S.rfind(Prefix, 0) == 0;
+}
+
+bool hasSuffix(const std::string &S, const char *Suffix) {
+  std::string Suf(Suffix);
+  return S.size() >= Suf.size() &&
+         S.compare(S.size() - Suf.size(), Suf.size(), Suf) == 0;
+}
+
+/// "src/core/RapTree.h" -> "core/RapTree.h", the spelling project
+/// code uses in quoted includes (include dirs point at src/).
+std::string includeKey(const std::string &Path) {
+  if (hasPrefix(Path, "src/"))
+    return Path.substr(4);
+  return Path;
+}
+
+/// Quoted include target from a Directive token's text, or "".
+std::string quotedInclude(const std::string &Directive) {
+  if (!hasPrefix(Directive, "#include"))
+    return std::string();
+  size_t Open = Directive.find('"');
+  if (Open == std::string::npos)
+    return std::string();
+  size_t Close = Directive.find('"', Open + 1);
+  if (Close == std::string::npos)
+    return std::string();
+  return Directive.substr(Open + 1, Close - Open - 1);
+}
+
+struct LexedFile {
+  const AuditFile *File = nullptr;
+  LexedSource Src;
+  /// (line, target) of each quoted include, in order.
+  std::vector<std::pair<unsigned, std::string>> Includes;
+};
+
+bool isPunct(const Token &T, const char *Spelling) {
+  return T.TokenKind == Token::Kind::Punct && T.Text == Spelling;
+}
+
+bool isIdent(const Token &T, const char *Name) {
+  return T.TokenKind == Token::Kind::Identifier && T.Text == Name;
+}
+
+size_t matchDelim(const std::vector<Token> &Toks, size_t Open,
+                  const char *OpenText, const char *CloseText) {
+  unsigned Depth = 0;
+  for (size_t I = Open; I < Toks.size(); ++I) {
+    if (isPunct(Toks[I], OpenText))
+      ++Depth;
+    else if (isPunct(Toks[I], CloseText) && --Depth == 0)
+      return I;
+  }
+  return Toks.size();
+}
+
+//===----------------------------------------------------------------------===//
+// api-odr
+//===----------------------------------------------------------------------===//
+
+void runOdr(const std::vector<LexedFile> &Files, std::vector<Finding> &Out) {
+  // First pass: where is each risky symbol defined, to name the
+  // duplicate in the message when there is one.
+  struct Def {
+    const LexedFile *In;
+    Signature Sig;
+  };
+  std::map<std::string, std::vector<Def>> Defs;
+  std::vector<std::pair<const LexedFile *, ParsedFile>> Parses;
+  for (const LexedFile &F : Files) {
+    if (!hasSuffix(F.File->Path, ".h"))
+      continue;
+    ParsedFile P = parseFile(F.Src);
+    for (const Signature &Sig : P.Signatures) {
+      if (!Sig.IsDefinition || Sig.MarkedInline || Sig.AtClassScope)
+        continue;
+      Defs[Sig.Name].push_back({&F, Sig});
+    }
+  }
+  for (const auto &[Name, List] : Defs) {
+    for (const Def &D : List) {
+      std::string Also;
+      for (const Def &Other : List)
+        if (Other.In != D.In) {
+          Also = "; also defined in " + Other.In->File->Path;
+          break;
+        }
+      Out.push_back(
+          {"api-odr", D.In->File->Path, D.Sig.Line,
+           "non-inline function '" + Name +
+               "' is defined at namespace scope in a header" + Also +
+               "; two TUs including it break the one-definition rule — "
+               "mark it inline or move the body to a .cpp"});
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// api-capi-coverage
+//===----------------------------------------------------------------------===//
+
+/// Collects names of extern "C" function definitions in \p F.
+std::vector<std::pair<std::string, unsigned>>
+externCDefinitions(const LexedFile &F) {
+  std::vector<std::pair<std::string, unsigned>> Names;
+  const std::vector<Token> &Toks = F.Src.Tokens;
+  auto ScanOne = [&](size_t Begin, size_t End) {
+    // One declaration starting at Begin; returns the index past it.
+    size_t Paren = Begin;
+    while (Paren < End && !isPunct(Toks[Paren], "(") &&
+           !isPunct(Toks[Paren], ";") && !isPunct(Toks[Paren], "{"))
+      ++Paren;
+    if (Paren >= End || !isPunct(Toks[Paren], "("))
+      return Paren + 1;
+    std::string Name;
+    unsigned Line = Toks[Paren].Line;
+    if (Paren > Begin &&
+        Toks[Paren - 1].TokenKind == Token::Kind::Identifier) {
+      Name = Toks[Paren - 1].Text;
+      Line = Toks[Paren - 1].Line;
+    }
+    size_t I = matchDelim(Toks, Paren, "(", ")") + 1;
+    while (I < End && !isPunct(Toks[I], "{") && !isPunct(Toks[I], ";"))
+      ++I;
+    if (I < End && isPunct(Toks[I], "{")) {
+      if (!Name.empty())
+        Names.emplace_back(Name, Line);
+      return matchDelim(Toks, I, "{", "}") + 1;
+    }
+    return I + 1;
+  };
+  for (size_t I = 0; I + 1 < Toks.size(); ++I) {
+    if (!isIdent(Toks[I], "extern") ||
+        Toks[I + 1].TokenKind != Token::Kind::String ||
+        Toks[I + 1].Text != "C")
+      continue;
+    if (I + 2 < Toks.size() && isPunct(Toks[I + 2], "{")) {
+      size_t End = matchDelim(Toks, I + 2, "{", "}");
+      size_t J = I + 3;
+      while (J < End)
+        J = ScanOne(J, End);
+      I = End;
+    } else {
+      ScanOne(I + 2, Toks.size());
+    }
+  }
+  return Names;
+}
+
+void runCApiCoverage(const std::vector<LexedFile> &Files,
+                     std::vector<Finding> &Out) {
+  const LexedFile *CApi = nullptr;
+  for (const LexedFile &F : Files)
+    if (hasSuffix(F.File->Path, "core/CApi.h"))
+      CApi = &F;
+  if (!CApi)
+    return; // Nothing to audit against (partial scan).
+  std::set<std::string> Exported;
+  for (const Token &T : CApi->Src.Tokens)
+    if (T.TokenKind == Token::Kind::Identifier)
+      Exported.insert(T.Text);
+  for (const LexedFile &F : Files) {
+    if (&F == CApi)
+      continue;
+    for (const auto &[Name, Line] : externCDefinitions(F))
+      if (!Exported.count(Name))
+        Out.push_back(
+            {"api-capi-coverage", F.File->Path, Line,
+             "extern \"C\" definition '" + Name +
+                 "' is not declared in src/core/CApi.h; every public C "
+                 "symbol must appear on the single audited surface the "
+                 "ABI tests pin"});
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// api-include-drift
+//===----------------------------------------------------------------------===//
+
+void runIncludeDrift(const std::vector<LexedFile> &Files,
+                     std::vector<Finding> &Out) {
+  std::set<std::string> Known;
+  for (const LexedFile &F : Files)
+    Known.insert(includeKey(F.File->Path));
+
+  // Per-file: unresolved and duplicate quoted includes.
+  for (const LexedFile &F : Files) {
+    std::set<std::string> SeenHere;
+    for (const auto &[Line, Target] : F.Includes) {
+      if (!SeenHere.insert(Target).second)
+        Out.push_back({"api-include-drift", F.File->Path, Line,
+                       "duplicate include of \"" + Target + "\""});
+      if (!Known.count(Target))
+        Out.push_back(
+            {"api-include-drift", F.File->Path, Line,
+             "include \"" + Target +
+                 "\" does not resolve against the scanned tree; project "
+                 "headers are included as \"<dir>/<file>.h\" relative to "
+                 "src/ — drift here breaks the self-containment TUs"});
+    }
+  }
+
+  // Cycles among src/ headers (quoted edges only).
+  std::map<std::string, const LexedFile *> HeaderOf;
+  for (const LexedFile &F : Files)
+    if (hasSuffix(F.File->Path, ".h") && hasPrefix(F.File->Path, "src/"))
+      HeaderOf[includeKey(F.File->Path)] = &F;
+
+  enum Color { White, Grey, Black };
+  std::map<std::string, Color> Colors;
+  // Recursive coloring via explicit stack; Key under Grey means "on
+  // the current path", so an edge into Grey is a cycle.
+  std::set<std::pair<std::string, std::string>> Reported;
+  std::function<void(const std::string &)> Visit =
+      [&](const std::string &Key) {
+        Colors[Key] = Grey;
+        const LexedFile *F = HeaderOf.at(Key);
+        for (const auto &[Line, Target] : F->Includes) {
+          auto It = HeaderOf.find(Target);
+          if (It == HeaderOf.end())
+            continue;
+          Color C = Colors.count(Target) ? Colors[Target] : White;
+          if (C == Grey) {
+            if (Reported.emplace(Key, Target).second)
+              Out.push_back(
+                  {"api-include-drift", F->File->Path, Line,
+                   "include cycle: \"" + Key + "\" -> \"" + Target +
+                       "\" closes a loop in the src/ header graph"});
+            continue;
+          }
+          if (C == White)
+            Visit(Target);
+        }
+        Colors[Key] = Black;
+      };
+  for (const auto &[Key, F] : HeaderOf)
+    if (!Colors.count(Key) || Colors[Key] == White)
+      Visit(Key);
+}
+
+} // namespace
+
+std::vector<Finding>
+rap::lint::runApiAudit(const std::vector<AuditFile> &Files) {
+  std::vector<LexedFile> Lexed;
+  Lexed.reserve(Files.size());
+  for (const AuditFile &F : Files) {
+    LexedFile L;
+    L.File = &F;
+    L.Src = lex(F.Content);
+    for (const Token &T : L.Src.Tokens) {
+      if (T.TokenKind != Token::Kind::Directive)
+        continue;
+      std::string Target = quotedInclude(T.Text);
+      if (!Target.empty())
+        L.Includes.emplace_back(T.Line, Target);
+    }
+    Lexed.push_back(std::move(L));
+  }
+
+  std::vector<Finding> Raw;
+  runOdr(Lexed, Raw);
+  runCApiCoverage(Lexed, Raw);
+  runIncludeDrift(Lexed, Raw);
+
+  // Apply allow() suppressions per file.
+  std::map<std::string, const LexedFile *> ByPath;
+  for (const LexedFile &L : Lexed)
+    ByPath[L.File->Path] = &L;
+  std::vector<Finding> Output;
+  for (Finding &F : Raw) {
+    auto It = ByPath.find(F.Path);
+    if (It != ByPath.end()) {
+      auto At = It->second->Src.AllowedRules.find(F.Line);
+      if (At != It->second->Src.AllowedRules.end() &&
+          At->second.count(F.RuleId))
+        continue;
+    }
+    Output.push_back(std::move(F));
+  }
+  std::sort(Output.begin(), Output.end(),
+            [](const Finding &A, const Finding &B) {
+              if (A.Path != B.Path)
+                return A.Path < B.Path;
+              if (A.Line != B.Line)
+                return A.Line < B.Line;
+              return A.RuleId < B.RuleId;
+            });
+  return Output;
+}

@@ -1,0 +1,55 @@
+//===- lint/ApiAudit.h - Cross-TU API audit for rap_lint ------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `rap_lint --api-audit` pass. Unlike the per-file rules it sees
+/// every scanned file at once, so it can check properties no single
+/// translation unit exposes:
+///
+///   api-odr            a non-inline, non-template function definition
+///                      at namespace scope in a header — two TUs
+///                      including it violate the one-definition rule
+///   api-capi-coverage  an extern "C" definition whose name is absent
+///                      from src/core/CApi.h, the single public C
+///                      surface (and the ABI the soak tests pin)
+///   api-include-drift  a quoted include that no scanned file
+///                      satisfies, a duplicate include, or an include
+///                      cycle among src/ headers — the static
+///                      complement of the generated self-containment
+///                      TUs, which only prove each header compiles
+///                      alone, not that the include graph is sound
+///
+/// Findings respect the same `rap-lint: allow(...)` markers as the
+/// per-file rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_LINT_APIAUDIT_H
+#define RAP_LINT_APIAUDIT_H
+
+#include "lint/Lint.h"
+
+#include <string>
+#include <vector>
+
+namespace rap {
+namespace lint {
+
+/// One file handed to the audit: repo-relative path plus contents.
+struct AuditFile {
+  std::string Path;
+  std::string Content;
+};
+
+/// Runs the three cross-TU checks over \p Files (already suppressed
+/// per allow() markers; sorted by path, then line).
+std::vector<Finding> runApiAudit(const std::vector<AuditFile> &Files);
+
+} // namespace lint
+} // namespace rap
+
+#endif // RAP_LINT_APIAUDIT_H

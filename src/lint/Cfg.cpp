@@ -1,0 +1,409 @@
+//===- lint/Cfg.cpp - Per-function control-flow graphs -------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Cfg.h"
+
+#include <map>
+#include <sstream>
+
+using namespace rap;
+using namespace rap::lint;
+
+namespace {
+
+class CfgBuilder {
+public:
+  Cfg build(const Function &Fn) {
+    G.FunctionName = Fn.Name;
+    newBlock("entry"); // Block 0.
+    newBlock("exit");  // Block 1.
+    Cur = Cfg::Entry;
+    Terminated = false;
+    if (Fn.Body)
+      emitStmt(*Fn.Body);
+    if (!Terminated)
+      addEdge(Cur, Cfg::Exit);
+    resolveGotos();
+    prune();
+    return std::move(G);
+  }
+
+private:
+  Cfg G;
+  size_t Cur = 0;
+  bool Terminated = false;
+
+  struct LoopCtx {
+    size_t BreakTo;
+    size_t ContinueTo;
+  };
+  struct SwitchCtx {
+    size_t Head;
+    bool SawDefault = false;
+  };
+  std::vector<LoopCtx> Loops;
+  std::vector<SwitchCtx> Switches;
+  std::map<std::string, size_t> Labels;
+  std::vector<std::pair<size_t, std::string>> PendingGotos;
+
+  size_t newBlock(const std::string &Note) {
+    BasicBlock B;
+    B.Id = G.Blocks.size();
+    B.Note = Note;
+    G.Blocks.push_back(std::move(B));
+    return G.Blocks.size() - 1;
+  }
+
+  void addEdge(size_t From, size_t To) {
+    auto &S = G.Blocks[From].Succs;
+    for (size_t Existing : S)
+      if (Existing == To)
+        return;
+    S.push_back(To);
+  }
+
+  /// Makes Cur a live block that can accept actions; after a
+  /// terminator, dead statements land in a fresh predecessor-less
+  /// block so dumps show them honestly.
+  void ensureLive(const char *Note = "dead") {
+    if (!Terminated)
+      return;
+    Cur = newBlock(Note);
+    Terminated = false;
+  }
+
+  /// Starts a new block reached from the current one (when live).
+  size_t startBlock(const std::string &Note) {
+    size_t B = newBlock(Note);
+    if (!Terminated)
+      addEdge(Cur, B);
+    Cur = B;
+    Terminated = false;
+    return B;
+  }
+
+  void emitAction(Action::Kind Kind, const Stmt &S, size_t Begin,
+                  size_t End) {
+    ensureLive();
+    Action A;
+    A.ActionKind = Kind;
+    A.S = &S;
+    A.Begin = Begin;
+    A.End = End;
+    A.Line = S.Line;
+    G.Blocks[Cur].Actions.push_back(A);
+  }
+
+  size_t labelBlock(const std::string &Name) {
+    auto It = Labels.find(Name);
+    if (It != Labels.end())
+      return It->second;
+    size_t B = newBlock(Name + ":");
+    Labels.emplace(Name, B);
+    return B;
+  }
+
+  void resolveGotos() {
+    for (const auto &[From, Name] : PendingGotos) {
+      auto It = Labels.find(Name);
+      // An unresolved target means the label was misparsed; fall back
+      // to the exit so dataflow stays conservative rather than wrong.
+      addEdge(From, It != Labels.end() ? It->second : Cfg::Exit);
+    }
+  }
+
+  /// Drops empty predecessor-less blocks (artifacts of terminators at
+  /// scope ends) and renumbers, keeping golden dumps tidy.
+  void prune() {
+    std::vector<size_t> PredCount(G.Blocks.size(), 0);
+    for (const auto &B : G.Blocks)
+      for (size_t S : B.Succs)
+        ++PredCount[S];
+    std::vector<size_t> Remap(G.Blocks.size(), SIZE_MAX);
+    std::vector<BasicBlock> Kept;
+    for (size_t I = 0; I < G.Blocks.size(); ++I) {
+      bool Keep = I == Cfg::Entry || I == Cfg::Exit || PredCount[I] > 0 ||
+                  !G.Blocks[I].Actions.empty() ||
+                  !G.Blocks[I].Succs.empty();
+      if (!Keep)
+        continue;
+      Remap[I] = Kept.size();
+      Kept.push_back(std::move(G.Blocks[I]));
+    }
+    for (auto &B : Kept) {
+      B.Id = &B - Kept.data();
+      std::vector<size_t> Succs;
+      for (size_t S : B.Succs)
+        if (Remap[S] != SIZE_MAX)
+          Succs.push_back(Remap[S]);
+      B.Succs = std::move(Succs);
+    }
+    G.Blocks = std::move(Kept);
+  }
+
+  void emitStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Compound: {
+      for (const auto &Child : S.Children)
+        emitStmt(*Child);
+      if (!Terminated)
+        emitAction(Action::Kind::ScopeEnd, S, 0, 0);
+      return;
+    }
+    case StmtKind::Expr:
+      if (S.ExprEnd > S.ExprBegin)
+        emitAction(Action::Kind::Expr, S, S.ExprBegin, S.ExprEnd);
+      return;
+    case StmtKind::Decl:
+      emitAction(Action::Kind::Decl, S, S.ExprBegin, S.ExprEnd);
+      return;
+    case StmtKind::Return:
+      emitAction(Action::Kind::Return, S, S.ExprBegin, S.ExprEnd);
+      addEdge(Cur, Cfg::Exit);
+      Terminated = true;
+      return;
+    case StmtKind::Break:
+      ensureLive();
+      if (!Loops.empty())
+        addEdge(Cur, Loops.back().BreakTo);
+      Terminated = true;
+      return;
+    case StmtKind::Continue:
+      ensureLive();
+      if (!Loops.empty())
+        addEdge(Cur, Loops.back().ContinueTo);
+      Terminated = true;
+      return;
+    case StmtKind::Goto:
+      ensureLive();
+      PendingGotos.emplace_back(Cur, S.Name);
+      // Materialize the label block now so backward gotos connect.
+      labelBlock(S.Name);
+      Terminated = true;
+      return;
+    case StmtKind::Label: {
+      size_t B = labelBlock(S.Name);
+      if (!Terminated)
+        addEdge(Cur, B);
+      Cur = B;
+      Terminated = false;
+      return;
+    }
+    case StmtKind::CaseLabel: {
+      size_t B = newBlock(S.Name);
+      if (!Terminated)
+        addEdge(Cur, B); // Fallthrough from the previous case.
+      if (!Switches.empty()) {
+        addEdge(Switches.back().Head, B);
+        if (S.Name == "default")
+          Switches.back().SawDefault = true;
+      }
+      Cur = B;
+      Terminated = false;
+      return;
+    }
+    case StmtKind::If: {
+      emitAction(Action::Kind::Cond, S, S.ExprBegin, S.ExprEnd);
+      size_t Head = Cur;
+      size_t Join = newBlock("join");
+      size_t Then = newBlock("then");
+      addEdge(Head, Then);
+      Cur = Then;
+      Terminated = false;
+      if (!S.Children.empty())
+        emitStmt(*S.Children[0]);
+      if (!Terminated)
+        addEdge(Cur, Join);
+      if (S.Children.size() > 1) {
+        size_t Else = newBlock("else");
+        addEdge(Head, Else);
+        Cur = Else;
+        Terminated = false;
+        emitStmt(*S.Children[1]);
+        if (!Terminated)
+          addEdge(Cur, Join);
+      } else {
+        addEdge(Head, Join);
+      }
+      Cur = Join;
+      Terminated = false;
+      return;
+    }
+    case StmtKind::While: {
+      size_t Head = startBlock("loop");
+      emitAction(Action::Kind::Cond, S, S.ExprBegin, S.ExprEnd);
+      size_t After = newBlock("after");
+      size_t Body = newBlock("body");
+      addEdge(Head, Body);
+      addEdge(Head, After);
+      Loops.push_back({After, Head});
+      Cur = Body;
+      Terminated = false;
+      if (!S.Children.empty())
+        emitStmt(*S.Children[0]);
+      if (!Terminated)
+        addEdge(Cur, Head);
+      Loops.pop_back();
+      Cur = After;
+      Terminated = false;
+      return;
+    }
+    case StmtKind::DoWhile: {
+      size_t Body = startBlock("body");
+      size_t CondB = newBlock("loop");
+      size_t After = newBlock("after");
+      Loops.push_back({After, CondB});
+      if (!S.Children.empty())
+        emitStmt(*S.Children[0]);
+      if (!Terminated)
+        addEdge(Cur, CondB);
+      Loops.pop_back();
+      Cur = CondB;
+      Terminated = false;
+      emitAction(Action::Kind::Cond, S, S.ExprBegin, S.ExprEnd);
+      addEdge(CondB, Body);
+      addEdge(CondB, After);
+      Cur = After;
+      Terminated = false;
+      return;
+    }
+    case StmtKind::For: {
+      // A classic init runs once, before the loop; a range-for's
+      // declaration re-binds per iteration, so it belongs in the body.
+      if (S.InitEnd > S.InitBegin && !S.RangeFor)
+        emitAction(Action::Kind::Decl, S, S.InitBegin, S.InitEnd);
+      size_t Head = startBlock("loop");
+      bool HasCond = S.ExprEnd > S.ExprBegin;
+      if (HasCond)
+        emitAction(Action::Kind::Cond, S, S.ExprBegin, S.ExprEnd);
+      size_t After = newBlock("after");
+      size_t Body = newBlock("body");
+      size_t Inc = newBlock("inc");
+      addEdge(Head, Body);
+      if (HasCond)
+        addEdge(Head, After);
+      Loops.push_back({After, Inc});
+      Cur = Body;
+      Terminated = false;
+      if (S.InitEnd > S.InitBegin && S.RangeFor)
+        emitAction(Action::Kind::Decl, S, S.InitBegin, S.InitEnd);
+      if (!S.Children.empty())
+        emitStmt(*S.Children[0]);
+      if (!Terminated)
+        addEdge(Cur, Inc);
+      Loops.pop_back();
+      Cur = Inc;
+      Terminated = false;
+      if (S.IncEnd > S.IncBegin)
+        emitAction(Action::Kind::Expr, S, S.IncBegin, S.IncEnd);
+      addEdge(Inc, Head);
+      Cur = After;
+      Terminated = false;
+      return;
+    }
+    case StmtKind::Switch: {
+      emitAction(Action::Kind::Cond, S, S.ExprBegin, S.ExprEnd);
+      size_t Head = Cur;
+      size_t After = newBlock("after");
+      Loops.push_back({After, SIZE_MAX}); // break targets the switch.
+      Switches.push_back({Head, false});
+      // Control reaches the body only through case labels.
+      Terminated = true;
+      if (!S.Children.empty())
+        emitStmt(*S.Children[0]);
+      if (!Terminated)
+        addEdge(Cur, After);
+      if (!Switches.back().SawDefault)
+        addEdge(Head, After);
+      Switches.pop_back();
+      Loops.pop_back();
+      Cur = After;
+      Terminated = false;
+      return;
+    }
+    case StmtKind::Try: {
+      size_t TryB = startBlock("try");
+      size_t Join = newBlock("join");
+      std::vector<size_t> Handlers;
+      for (size_t I = 1; I < S.Children.size(); ++I)
+        Handlers.push_back(newBlock("catch"));
+      // Any action in the try body may throw into any handler.
+      for (size_t H : Handlers)
+        addEdge(TryB, H);
+      if (!S.Children.empty())
+        emitStmt(*S.Children[0]);
+      if (!Terminated)
+        addEdge(Cur, Join);
+      for (size_t I = 1; I < S.Children.size(); ++I) {
+        const Stmt &Handler = *S.Children[I];
+        Cur = Handlers[I - 1];
+        Terminated = false;
+        if (Handler.ExprEnd > Handler.ExprBegin)
+          emitAction(Action::Kind::Decl, Handler, Handler.ExprBegin,
+                     Handler.ExprEnd);
+        if (!Handler.Children.empty())
+          emitStmt(*Handler.Children[0]);
+        if (!Terminated)
+          addEdge(Cur, Join);
+      }
+      Cur = Join;
+      Terminated = false;
+      return;
+    }
+    case StmtKind::Catch:
+      return; // Handled by Try.
+    }
+  }
+};
+
+const char *actionName(Action::Kind K) {
+  switch (K) {
+  case Action::Kind::Expr:
+    return "expr";
+  case Action::Kind::Decl:
+    return "decl";
+  case Action::Kind::Cond:
+    return "cond";
+  case Action::Kind::Return:
+    return "return";
+  case Action::Kind::ScopeEnd:
+    return "end";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::vector<std::vector<size_t>> Cfg::predecessors() const {
+  std::vector<std::vector<size_t>> Preds(Blocks.size());
+  for (const auto &B : Blocks)
+    for (size_t S : B.Succs)
+      Preds[S].push_back(B.Id);
+  return Preds;
+}
+
+std::string Cfg::dump() const {
+  std::ostringstream OS;
+  OS << "fn " << FunctionName << "\n";
+  for (const auto &B : Blocks) {
+    OS << "  B" << B.Id;
+    if (!B.Note.empty())
+      OS << " " << B.Note;
+    OS << ":";
+    for (const auto &A : B.Actions)
+      OS << " " << actionName(A.ActionKind) << "@" << A.Line;
+    if (!B.Succs.empty()) {
+      OS << " ->";
+      for (size_t S : B.Succs)
+        OS << " B" << S;
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+Cfg rap::lint::buildCfg(const Function &Fn) { return CfgBuilder().build(Fn); }

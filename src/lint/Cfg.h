@@ -1,0 +1,85 @@
+//===- lint/Cfg.h - Per-function control-flow graphs ----------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graphs over lint::Parser statement trees. Each
+/// Function becomes one Cfg: basic blocks hold a sequence of Actions
+/// (token ranges that execute straight-line) and edges follow the
+/// statement structure — branches, loops, switch fallthrough, goto,
+/// and a conservative try/catch approximation (an edge from the try
+/// entry to every handler, since any action inside may throw).
+///
+/// Compound scope exits surface as ScopeEnd actions so RAII effects
+/// (releasing a lock_guard) are visible to dataflow rules. The dump()
+/// format is stable and terse on purpose: golden files under
+/// tests/lint/fixtures/ diff it directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_LINT_CFG_H
+#define RAP_LINT_CFG_H
+
+#include "lint/Parser.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rap {
+namespace lint {
+
+/// One straight-line step inside a basic block.
+struct Action {
+  enum class Kind {
+    Expr,     ///< Expression statement tokens.
+    Decl,     ///< Declaration statement tokens.
+    Cond,     ///< Branch/loop/switch condition tokens.
+    Return,   ///< `return` expression tokens (possibly empty).
+    ScopeEnd, ///< A compound ended; S is the compound statement.
+  };
+
+  Kind ActionKind;
+  const Stmt *S = nullptr;          ///< Owning statement.
+  size_t Begin = 0, End = 0;        ///< Token index range (half-open).
+  unsigned Line = 0;
+};
+
+/// One basic block.
+struct BasicBlock {
+  size_t Id = 0;
+  std::string Note; ///< "entry", "exit", "then", "loop", "case 3", ...
+  std::vector<Action> Actions;
+  std::vector<size_t> Succs;
+};
+
+/// A per-function CFG. Block 0 is the entry, block 1 the exit; both
+/// are always present. Unreachable statement blocks are kept (they
+/// simply have no predecessors) so dumps show dead code honestly.
+struct Cfg {
+  std::string FunctionName;
+  std::vector<BasicBlock> Blocks;
+  static constexpr size_t Entry = 0;
+  static constexpr size_t Exit = 1;
+
+  /// Predecessor lists, index-aligned with Blocks.
+  std::vector<std::vector<size_t>> predecessors() const;
+
+  /// Stable text rendering for golden tests:
+  ///   fn name
+  ///     B0 entry: -> B2
+  ///     B2 then: expr@4 decl@5 -> B1
+  ///     B1 exit:
+  std::string dump() const;
+};
+
+/// Builds the CFG for one parsed function.
+Cfg buildCfg(const Function &Fn);
+
+} // namespace lint
+} // namespace rap
+
+#endif // RAP_LINT_CFG_H

@@ -22,27 +22,65 @@ bool isIdentBody(char C) {
   return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
 }
 
-/// Cursor over the source text with line tracking.
+/// Cursor over the source text with line tracking. Backslash line
+/// continuations (translation phase 2) are folded out transparently:
+/// peek() and advance() never surface a `\`-newline pair, so splices
+/// work everywhere the standard says they do — mid-identifier,
+/// mid-number, inside // comments — while line() still advances past
+/// the physical newline, keeping finding line numbers exact. Raw
+/// string literals revert splicing (phase 3), so lexRawString()
+/// switches it off via setSplicing().
 class Cursor {
 public:
   explicit Cursor(const std::string &Source) : Text(Source) {}
 
-  bool atEnd() const { return Pos >= Text.size(); }
+  bool atEnd() const { return skipSplices(Pos) >= Text.size(); }
   char peek(size_t Ahead = 0) const {
-    return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+    size_t P = skipSplices(Pos);
+    while (Ahead-- > 0 && P < Text.size())
+      P = skipSplices(P + 1);
+    return P < Text.size() ? Text[P] : '\0';
   }
   char advance() {
-    char C = Text[Pos++];
+    size_t P = skipSplices(Pos);
+    for (size_t I = Pos; I < P && I < Text.size(); ++I)
+      if (Text[I] == '\n')
+        ++Line;
+    if (P >= Text.size()) {
+      Pos = Text.size();
+      return '\0';
+    }
+    char C = Text[P];
     if (C == '\n')
       ++Line;
+    Pos = P + 1;
     return C;
   }
   unsigned line() const { return Line; }
+  void setSplicing(bool On) { Splicing = On; }
 
 private:
+  /// Physical index of the next logical character at or after \p P.
+  size_t skipSplices(size_t P) const {
+    while (Splicing && P < Text.size() && Text[P] == '\\') {
+      if (P + 1 < Text.size() && Text[P + 1] == '\n') {
+        P += 2;
+        continue;
+      }
+      if (P + 2 < Text.size() && Text[P + 1] == '\r' &&
+          Text[P + 2] == '\n') {
+        P += 3;
+        continue;
+      }
+      break;
+    }
+    return P;
+  }
+
   const std::string &Text;
   size_t Pos = 0;
   unsigned Line = 1;
+  bool Splicing = true;
 };
 
 /// The three-character punctuators we care to keep intact, then the
@@ -113,12 +151,14 @@ private:
       Result.AllowMarkers.emplace_back(CommentLine, Rule);
   }
 
-  /// Consumes a // comment (cursor past the slashes).
+  /// Consumes a // comment (cursor past the slashes). A backslash
+  /// continuation extends the comment onto the next physical line, so
+  /// the end line can differ from the start line.
   void lexLineComment(unsigned StartLine) {
     std::string Text;
     while (!C.atEnd() && C.peek() != '\n')
       Text.push_back(C.advance());
-    recordAllows(Text, StartLine, StartLine);
+    recordAllows(Text, StartLine, C.line());
   }
 
   /// Consumes a block comment (cursor past the opener).
@@ -159,6 +199,9 @@ private:
   /// Consumes a raw string literal (cursor past R"). The delimiter runs
   /// to the opening parenthesis; the literal ends at )delim".
   void lexRawString(unsigned StartLine) {
+    // Raw string bodies revert line splicing (phase 3): a backslash
+    // before a newline is literal content, not a continuation.
+    C.setSplicing(false);
     std::string Delim;
     while (!C.atEnd() && C.peek() != '(')
       Delim.push_back(C.advance());
@@ -182,6 +225,7 @@ private:
       }
       Body.push_back(C.advance());
     }
+    C.setSplicing(true);
     emit(Token::Kind::String, Body, StartLine);
   }
 
@@ -194,16 +238,12 @@ private:
       if (!Text.empty() && Text.back() != ' ' && Text.back() != '#')
         Text.push_back(' ');
     };
+    // Backslash continuations are folded out by the Cursor, so the
+    // logical directive line ends at the first unspliced newline.
     while (!C.atEnd()) {
       char Ch = C.peek();
       if (Ch == '\n')
         break;
-      if (Ch == '\\' && C.peek(1) == '\n') {
-        C.advance();
-        C.advance();
-        AppendSpace();
-        continue;
-      }
       if (Ch == '/' && C.peek(1) == '/') {
         unsigned Line = C.line();
         C.advance();
@@ -296,6 +336,12 @@ private:
       Text.push_back(C.advance());
       while (!C.atEnd()) {
         char N = C.peek();
+        // A single quote continues the pp-number only as a digit
+        // separator, i.e. when followed by a digit or nondigit
+        // ([lex.ppnumber]); otherwise it opens a character literal
+        // and must be left for the next token.
+        if (N == '\'' && !isIdentBody(C.peek(1)))
+          break;
         if (isIdentBody(N) || N == '.' || N == '\'') {
           Text.push_back(C.advance());
           continue;

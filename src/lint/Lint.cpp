@@ -7,11 +7,14 @@
 
 #include "lint/Lint.h"
 
+#include "lint/FlowRules.h"
 #include "lint/Lexer.h"
+#include "lint/Parser.h"
 
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -419,25 +422,125 @@ const std::vector<RuleInfo> &rap::lint::allRules() {
   static const std::vector<RuleInfo> Rules = {
       {"counter-arithmetic",
        "core/ event-weight counters must use the saturating helpers in "
-       "support/BitUtils.h, never raw +=/++/--"},
+       "support/BitUtils.h, never raw +=/++/--",
+       "The paper's eps*n accuracy bound is an inequality over exact event "
+       "counts. A uint64_t wrap silently turns a huge count into a small "
+       "one, and every range estimate derived from it goes wrong with no "
+       "error signal. The saturating helpers clamp at 2^64-1, which keeps "
+       "the estimate a valid lower bound. Fix: X = saturatingAdd(X, W). "
+       "Structural statistics bounded by memory (NumNodes, ...) are "
+       "exempt by name; token-level rule, src/core/ only."},
       {"capi-exception-tight",
        "extern \"C\" functions must be noexcept or whole-body "
-       "try/catch(...) returning an error code"},
+       "try/catch(...) returning an error code",
+       "A C++ exception unwinding through a C caller is undefined "
+       "behavior. Every extern \"C\" entry point must either be noexcept "
+       "(terminate is defined behavior) or catch everything and translate "
+       "to an error code. Fix: wrap the whole body in try/catch(...) and "
+       "return RAP_ERR, or add noexcept."},
       {"nondeterminism",
        "core/, hw/ and verify/ must draw randomness and time only from "
-       "support/Rng.h with explicit seeds"},
+       "support/Rng.h with explicit seeds",
+       "The differential oracle replays recorded streams and expects "
+       "bit-identical results. Any rand()/clock()/random_device call "
+       "makes a run irreproducible and a fuzz failure undebuggable. Fix: "
+       "take a rap::Rng (or a seed) as a parameter."},
       {"hot-path-io",
        "per-event hot-path files (RapTree, PipelinedEngine, Tcam) must "
-       "not use stdio/iostream"},
+       "not use stdio/iostream",
+       "The paper's engine sustains one event per cycle; a printf on the "
+       "update path is a 10^4x stall and skews every benchmark in "
+       "baselines/. Fix: format into caller-provided buffers, or move "
+       "the IO to a dump/debug path outside the per-event files."},
       {"include-guard",
        "public headers under src/ carry the canonical RAP_<DIR>_<STEM>_H "
-       "include guard"},
+       "include guard",
+       "Generated self-containment TUs and the api-audit include checks "
+       "key on the canonical guard spelling; #pragma once is not "
+       "portable to all shipped toolchains. Fix: open the header with "
+       "#ifndef RAP_<DIR>_<STEM>_H / #define, close with #endif."},
+      {"unchecked-status",
+       "a call returning rap_status/bool-error must have its result "
+       "checked on some path",
+       "Flow rule (CFG + def-use). Flags a bare call statement to a "
+       "status-returning function, and a status stored in a local that "
+       "no CFG path ever reads before it dies or is overwritten. A "
+       "dropped failure from serialization or trace IO silently voids "
+       "the eps*n contract for every consumer downstream. Status "
+       "functions: anything returning rap_status, plus bool functions "
+       "with fallible names (write*/read*/init*/finish*/try*/...). "
+       "Fix: branch on the result, or document the discard with "
+       "(void)call()."},
+      {"use-after-move",
+       "a moved-from local must not be read before reassignment",
+       "Flow rule (may-analysis over the CFG). After std::move(x) the "
+       "value of x is valid-but-unspecified; a later read on ANY path "
+       "is a logic bug even when it happens to work today. Reassignment "
+       "(x = ...), re-declaration, or x.clear()/reset()/assign() "
+       "re-establish a known state and clear the fact. Fix: reorder the "
+       "uses, or re-initialize before reading."},
+      {"counter-escape",
+       "a value loaded from a saturating counter must not flow into raw "
+       "+ / * arithmetic (core/ only)",
+       "Flow rule (taint analysis over the CFG). counter-arithmetic "
+       "catches direct += on counter fields; this rule tracks counter "
+       "values that escape into locals (W = N.Count) and flags raw "
+       "+ / * / += / *= on them, which reintroduces the wrap the "
+       "saturating helpers exist to prevent. Differences and ratios are "
+       "deliberately exempt (deltas are bounded), as are locals cast "
+       "into double/float. Fix: saturatingAdd/saturatingMul from "
+       "support/BitUtils.h."},
+      {"lock-discipline",
+       "RAP_GUARDED_BY variables are only touched with their mutex held; "
+       "RAP_REQUIRES states a caller-held precondition",
+       "Flow rule (must-analysis over the CFG). Annotate shared state "
+       "with RAP_GUARDED_BY(Mu) (support/Annotations.h); the rule "
+       "verifies every access happens with Mu held on EVERY incoming "
+       "path, where holding is a lock_guard/unique_lock/scoped_lock "
+       "scope, a manual Mu.lock(), or the function being annotated "
+       "RAP_REQUIRES(Mu). This is the gate for the ROADMAP's sharded "
+       "profiler: annotate first, and the linter keeps the discipline "
+       "honest before a data race ever runs. Under Clang the macros "
+       "also enable -Wthread-safety."},
+      {"api-odr",
+       "no non-inline function definitions at namespace scope in "
+       "headers (--api-audit)",
+       "Cross-TU pass. A header-defined function that is not inline/ "
+       "constexpr/template is an ODR violation the moment two TUs "
+       "include it: at best a duplicate-symbol link error, at worst "
+       "silently divergent copies. Fix: mark it inline or move the "
+       "body to a .cpp."},
+      {"api-capi-coverage",
+       "every extern \"C\" definition appears in src/core/CApi.h "
+       "(--api-audit)",
+       "Cross-TU pass. CApi.h is the single audited C surface: the ABI "
+       "lock tests, the capi-exception-tight rule, and external "
+       "bindings all key on it. An extern \"C\" symbol defined "
+       "elsewhere but not declared there is an unreviewed ABI leak. "
+       "Fix: declare it in CApi.h or give it internal linkage."},
+      {"api-include-drift",
+       "quoted includes resolve in-tree, no duplicates, no header "
+       "cycles (--api-audit)",
+       "Cross-TU pass, the static complement of the generated "
+       "self-containment TUs (which prove each header compiles alone "
+       "but not that the include graph is sound). Flags quoted "
+       "includes that no scanned file satisfies (renamed/moved "
+       "headers), duplicate includes in one file, and include cycles "
+       "among src/ headers. Fix: update the include to the real "
+       "src/-relative path, or break the cycle with a forward "
+       "declaration."},
   };
   return Rules;
 }
 
 std::vector<Finding> rap::lint::lintSource(const std::string &Path,
                                            const std::string &Content) {
+  return lintSource(Path, Content, LintContext());
+}
+
+std::vector<Finding> rap::lint::lintSource(const std::string &Path,
+                                           const std::string &Content,
+                                           const LintContext &Ctx) {
   LexedSource Src = lex(Content);
   FileClass FC = classify(Path);
 
@@ -451,6 +554,10 @@ std::vector<Finding> rap::lint::lintSource(const std::string &Path,
     runHotPathIo(Path, Src, Raw);
   if (FC.IsPublicHeader)
     runIncludeGuard(Path, Src, Raw);
+
+  // Flow-aware rules share one parse of the file.
+  ParsedFile Parsed = parseFile(Src);
+  runFlowRules(Path, Src, Parsed, Ctx, FC.InCore, Raw);
 
   std::vector<Finding> Out;
   for (Finding &F : Raw) {
@@ -475,6 +582,45 @@ std::vector<Finding> rap::lint::lintSource(const std::string &Path,
     return A.RuleId < B.RuleId;
   });
   return Out;
+}
+
+BaselineSplit rap::lint::applyBaseline(std::vector<Finding> Findings,
+                                       const std::string &BaselineText) {
+  // The baseline is saved renderText output; the key deliberately
+  // drops the line number so grandfathered findings survive edits
+  // elsewhere in the file. Multiset semantics: N baselined copies
+  // grandfather at most N identical findings.
+  std::map<std::string, unsigned> Budget;
+  std::istringstream IS(BaselineText);
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    // path:line: [rule] message
+    size_t Bracket = Line.find(" [");
+    size_t CloseBracket =
+        Bracket == std::string::npos ? Bracket : Line.find("] ", Bracket);
+    size_t FirstColon = Line.find(':');
+    if (Bracket == std::string::npos || CloseBracket == std::string::npos ||
+        FirstColon == std::string::npos || FirstColon > Bracket)
+      continue; // Malformed line; never grandfather by accident.
+    std::string Path = Line.substr(0, FirstColon);
+    std::string Rule = Line.substr(Bracket + 2, CloseBracket - Bracket - 2);
+    std::string Message = Line.substr(CloseBracket + 2);
+    ++Budget[Path + "\x1f" + Rule + "\x1f" + Message];
+  }
+
+  BaselineSplit Split;
+  for (Finding &F : Findings) {
+    auto It = Budget.find(F.Path + "\x1f" + F.RuleId + "\x1f" + F.Message);
+    if (It != Budget.end() && It->second > 0) {
+      --It->second;
+      Split.Grandfathered.push_back(std::move(F));
+    } else {
+      Split.Fresh.push_back(std::move(F));
+    }
+  }
+  return Split;
 }
 
 std::string rap::lint::renderText(const std::vector<Finding> &Findings) {

@@ -31,6 +31,7 @@
 #ifndef RAP_LINT_LINT_H
 #define RAP_LINT_LINT_H
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,16 +46,29 @@ struct Finding {
   std::string Message;
 };
 
-/// Static description of a rule, used for --list-rules, for rejecting
-/// unknown names in allow() markers, and for SARIF rule metadata.
+/// Static description of a rule, used for --list-rules and --explain,
+/// for rejecting unknown names in allow() markers, and for SARIF rule
+/// metadata.
 struct RuleInfo {
   const char *Id;
   const char *Summary;
+  /// Long-form rationale for `rap_lint --explain=<rule>`: what the
+  /// rule guards, why the invariant matters for the paper's
+  /// guarantees, and how to fix or suppress a finding.
+  const char *Explanation;
 };
 
 /// All real rules (the reserved `unknown-rule` diagnostic is not
 /// listed; it cannot be suppressed).
 const std::vector<RuleInfo> &allRules();
+
+/// Cross-file facts the driver gathers before linting individual
+/// files, so flow rules see more than one translation unit.
+struct LintContext {
+  /// Names of functions declared in src/ headers whose return value
+  /// is a status the caller must check (see isStatusReturn).
+  std::set<std::string> StatusFunctions;
+};
 
 /// Lints one in-memory source file. \p Path must be repo-relative
 /// (e.g. "src/core/RapTree.cpp"); it selects which rules apply.
@@ -62,6 +76,27 @@ const std::vector<RuleInfo> &allRules();
 /// does not exist surface as `unknown-rule` findings.
 std::vector<Finding> lintSource(const std::string &Path,
                                 const std::string &Content);
+
+/// Same, with cross-file context (status-function names collected
+/// from headers by the driver).
+std::vector<Finding> lintSource(const std::string &Path,
+                                const std::string &Content,
+                                const LintContext &Ctx);
+
+/// Findings split against a baseline file (--baseline): Fresh ones
+/// fail the run, Grandfathered ones only warn.
+struct BaselineSplit {
+  std::vector<Finding> Fresh;
+  std::vector<Finding> Grandfathered;
+};
+
+/// Splits \p Findings against \p BaselineText, the saved renderText
+/// output of an earlier run. Matching ignores line numbers — a
+/// grandfathered finding keyed on (path, rule, message) survives
+/// unrelated edits above it — and is multiset-aware, so adding a
+/// second identical violation in the same file still fails.
+BaselineSplit applyBaseline(std::vector<Finding> Findings,
+                            const std::string &BaselineText);
 
 /// Renders findings as "path:line: [rule] message" lines.
 std::string renderText(const std::vector<Finding> &Findings);

@@ -1,0 +1,55 @@
+//===- support/Annotations.h - Lock-discipline annotations ----*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source annotations for the concurrency discipline the upcoming
+/// sharded/async profiler work depends on. They are checked twice:
+///
+///   * statically by rap_lint's `lock-discipline` flow rule, which
+///     verifies every access to a `RAP_GUARDED_BY(m)` variable happens
+///     under a `lock_guard`/`unique_lock`/`scoped_lock` over `m` (or
+///     inside a function annotated `RAP_REQUIRES(m)`), and
+///   * by Clang's -Wthread-safety analysis, since under Clang the
+///     macros expand to the corresponding capability attributes.
+///
+/// On compilers without the attributes the macros expand to nothing,
+/// so annotated code stays portable; rap_lint sees the unexpanded
+/// spelling either way. Usage:
+///
+/// \code
+///   std::mutex ShardMu;
+///   uint64_t PendingEvents RAP_GUARDED_BY(ShardMu);
+///
+///   void drainLocked() RAP_REQUIRES(ShardMu);   // caller holds ShardMu
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_ANNOTATIONS_H
+#define RAP_SUPPORT_ANNOTATIONS_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RAP_GUARDED_BY(mutex) __attribute__((guarded_by(mutex)))
+#endif
+#if __has_attribute(exclusive_locks_required)
+#define RAP_REQUIRES(mutex) __attribute__((exclusive_locks_required(mutex)))
+#endif
+#endif
+
+/// The variable may only be read or written while \p mutex is held.
+#ifndef RAP_GUARDED_BY
+#define RAP_GUARDED_BY(mutex)
+#endif
+
+/// The function may only be called while \p mutex is already held; it
+/// neither acquires nor releases it.
+#ifndef RAP_REQUIRES
+#define RAP_REQUIRES(mutex)
+#endif
+
+#endif // RAP_SUPPORT_ANNOTATIONS_H

@@ -77,7 +77,7 @@ void TraceWriter::append(const TraceRecord &Record) {
   ++NumRecords;
 }
 
-void TraceWriter::finish() {
+bool TraceWriter::finish() {
   assert(!Finished && "finish called twice");
   Finished = true;
   std::ostream::pos_type End = OS.tellp();
@@ -85,6 +85,9 @@ void TraceWriter::finish() {
   writeU64(OS, NumRecords);
   OS.seekp(End);
   OS.flush();
+  // good() covers the whole stream history: a failed append (disk
+  // full) latches failbit/badbit, so one check here is authoritative.
+  return OS.good();
 }
 
 TraceReader::TraceReader(std::istream &In) : IS(In) {

@@ -44,9 +44,12 @@ public:
   /// Records written so far.
   uint64_t numRecords() const { return NumRecords; }
 
-  /// Rewrites the header with the final record count. Must be called
-  /// exactly once, after the last append; requires a seekable stream.
-  void finish();
+  /// Rewrites the header with the final record count and flushes.
+  /// Must be called exactly once, after the last append; requires a
+  /// seekable stream. Returns false if the stream failed at any point
+  /// — the trace on disk is then truncated or has a wrong record
+  /// count, and the caller must not report success.
+  bool finish();
 
 private:
   std::ostream &OS;

@@ -190,3 +190,28 @@ TEST(ProfileDivergence, PhaseChangeDetectionWorkflow) {
   (void)S0;
   EXPECT_GT(CrossPhase, SamePhase + 0.05);
 }
+
+TEST(CoverageByWidth, SaturatesInsteadOfWrappingNearFullCounters) {
+  // Regression: the per-width coverage accumulator summed exclusive
+  // weights with a raw `+=`; hot ranges totalling ~2^64 wrapped it
+  // and a fully covered stream reported ~0% coverage.
+  RapConfig Config;
+  Config.RangeBits = 8;
+  Config.Epsilon = 0.1;
+  Config.EnableMerges = false; // Keep the weight on several nodes.
+  RapTree Tree(Config);
+  Tree.addPoint(1, uint64_t(1) << 63);
+  Tree.addPoint(100, uint64_t(1) << 63);
+  Tree.addPoint(200, uint64_t(1) << 63);
+  ASSERT_EQ(Tree.numEvents(), ~uint64_t(0));
+
+  std::vector<CoveragePoint> Curve =
+      coverageByWidth(Tree, 0.2, {0, 6, 8});
+  ASSERT_EQ(Curve.size(), 3u);
+  // At the full universe width every hot range counts; the saturated
+  // sum must read as (almost) complete coverage, not a wrapped sliver.
+  EXPECT_GE(Curve.back().CoveragePercent, 99.0);
+  // And the curve stays monotone in width.
+  EXPECT_LE(Curve[0].CoveragePercent, Curve[1].CoveragePercent);
+  EXPECT_LE(Curve[1].CoveragePercent, Curve[2].CoveragePercent);
+}

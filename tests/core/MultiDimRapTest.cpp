@@ -251,3 +251,40 @@ TEST(MdRapTree, WeightOverflowSaturates) {
   EXPECT_GE(Tree.estimateBox(0, 255, 0, 255),
             Tree.estimateBox(0, 127, 0, 127));
 }
+
+TEST(MdRapTree, MergeScheduleSaturatesWithoutUndefinedBehavior) {
+  // Regression: the 2-D tree shared RapTree's schedule bug — at huge
+  // stream weights NextMergeAt * q left the int64 range (llround UB)
+  // and NumEvents + 1 wrapped to 0, rescheduling a merge after every
+  // single update.
+  MdRapConfig Config;
+  Config.RangeBits = 8;
+  Config.Epsilon = 0.1;
+  MdRapTree Tree(Config);
+  for (int I = 0; I != 4; ++I)
+    Tree.addPoint(3, 5, uint64_t(1) << 62);
+  Tree.addPoint(200, 100, uint64_t(1) << 63);
+  EXPECT_EQ(Tree.numEvents(), ~uint64_t(0));
+  Tree.addPoint(7, 7, 1); // Still serviceable after saturation.
+  EXPECT_EQ(Tree.numEvents(), ~uint64_t(0));
+}
+
+TEST(MdRapTree, HotBoxesSurviveCounterSaturation) {
+  // Regression: the hot-box walk accumulated exclusive weights with a
+  // raw `+=`, so ~2^64 total weight wrapped the root's sum below the
+  // threshold and extractHotBoxes(1.0) came back empty.
+  MdRapConfig Config;
+  Config.RangeBits = 8;
+  Config.Epsilon = 0.1;
+  Config.EnableMerges = false; // Keep the weight on several nodes.
+  MdRapTree Tree(Config);
+  Tree.addPoint(1, 1, uint64_t(1) << 63);
+  Tree.addPoint(200, 1, uint64_t(1) << 63);
+  Tree.addPoint(200, 200, uint64_t(1) << 63);
+  ASSERT_EQ(Tree.numEvents(), ~uint64_t(0));
+
+  std::vector<HotBox> Hot = Tree.extractHotBoxes(1.0);
+  ASSERT_FALSE(Hot.empty());
+  EXPECT_EQ(Hot.front().WidthBits, 8u);
+  EXPECT_EQ(Hot.front().ExclusiveWeight, ~uint64_t(0));
+}

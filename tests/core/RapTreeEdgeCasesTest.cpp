@@ -264,3 +264,65 @@ TEST(RapTreeEdgeCases, InvalidConfigThrows) {
   Config.RangeBits = 99;
   EXPECT_THROW(RapTree{Config}, std::invalid_argument);
 }
+
+TEST(RapTreeEdgeCases, HotRangesSurviveCounterSaturation) {
+  // Regression: extractHotRanges' exclusive-weight roll-up used a raw
+  // `+=`, so a tree holding ~2^64 total weight wrapped the sum and
+  // reported NO hot range at all — not even the full universe, which
+  // by definition covers 100% of the stream.
+  RapConfig Config;
+  Config.RangeBits = 8;
+  Config.Epsilon = 0.1;
+  // Merges would fold everything back into the root; disable them so
+  // several nodes hold the (individually saturated) counts and the
+  // roll-up actually has to add them.
+  Config.EnableMerges = false;
+  RapTree Tree(Config);
+  // Three nodes of 2^63 each: no single node reaches the Phi = 1
+  // threshold, and the WRAPPED sum (2^63) does not either — only the
+  // saturated sum does.
+  Tree.addPoint(1, uint64_t(1) << 63);
+  Tree.addPoint(100, uint64_t(1) << 63);
+  Tree.addPoint(200, uint64_t(1) << 63);
+  ASSERT_EQ(Tree.numEvents(), ~uint64_t(0));
+
+  std::vector<HotRange> Hot = Tree.extractHotRanges(1.0);
+  ASSERT_FALSE(Hot.empty());
+  // The only range hot at Phi = 1 is the whole universe, and its
+  // exclusive weight is the saturated total, not a wrapped remainder.
+  EXPECT_EQ(Hot.front().WidthBits, 8u);
+  EXPECT_EQ(Hot.front().ExclusiveWeight, ~uint64_t(0));
+}
+
+TEST(RapTreeEdgeCases, RestoredScheduleTerminatesAtSaturatedStream) {
+  // Regression: re-deriving the merge schedule for a stream count
+  // near 2^64 doubled NextMergeAt past the int64 range (llround UB)
+  // and, once saturatingAdd pinned NumEvents at 2^64-1, the catch-up
+  // loop `while (NextMergeAt <= NumEvents)` could never exit.
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.02;
+  std::string Error;
+  std::unique_ptr<RapTree> Tree = RapTree::fromNodeSet(
+      Config, {{0, 16, ~uint64_t(0)}}, ~uint64_t(0), &Error,
+      /*NextMergeAt=*/0);
+  ASSERT_TRUE(Tree) << Error;
+  EXPECT_EQ(Tree->numEvents(), ~uint64_t(0));
+  // Further updates saturate instead of wrapping or hanging.
+  Tree->addPoint(5, 17);
+  EXPECT_EQ(Tree->numEvents(), ~uint64_t(0));
+}
+
+TEST(RapTreeEdgeCases, AbsorbTerminatesWhenCountsSaturate) {
+  RapConfig Config;
+  Config.RangeBits = 8;
+  Config.Epsilon = 0.1;
+  RapTree A(Config);
+  RapTree B(Config);
+  A.addPoint(3, ~uint64_t(0));
+  B.addPoint(250, ~uint64_t(0));
+  A.absorb(B); // Combined weight saturates; the schedule catch-up
+               // loop must still terminate.
+  EXPECT_EQ(A.numEvents(), ~uint64_t(0));
+  EXPECT_EQ(A.estimateRange(0, 0xff), ~uint64_t(0));
+}

@@ -51,7 +51,7 @@ std::string makeValidTraceBytes() {
     Record.LoadValue = R.next();
     Writer.append(Record);
   }
-  Writer.finish();
+  EXPECT_TRUE(Writer.finish());
   return OS.str();
 }
 

@@ -1,0 +1,165 @@
+//===- tests/lint/ApiAuditTest.cpp - Cross-TU API audit tests ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+// The --api-audit pass sees every file at once, so its tests feed
+// small in-memory file sets and assert on the cross-TU findings no
+// per-file rule could produce.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/ApiAudit.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace rap::lint;
+
+namespace {
+
+/// Findings of \p Files filtered to \p RuleId.
+std::vector<Finding> auditRule(const std::vector<AuditFile> &Files,
+                               const std::string &RuleId) {
+  std::vector<Finding> Out;
+  for (const Finding &F : runApiAudit(Files))
+    if (F.RuleId == RuleId)
+      Out.push_back(F);
+  return Out;
+}
+
+/// A minimal CApi.h exporting exactly \p Symbol.
+AuditFile capiHeader(const std::string &Symbol) {
+  return {"src/core/CApi.h",
+          "#ifndef CAPI_H\n#define CAPI_H\n"
+          "extern \"C\" {\nint " + Symbol + "(void *p);\n}\n"
+          "#endif\n"};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// api-odr
+//===----------------------------------------------------------------------===//
+
+TEST(ApiAuditOdr, NonInlineHeaderDefinitionIsFlagged) {
+  std::vector<AuditFile> Files = {
+      {"src/core/Bad.h", "int helper(int x) { return x + 1; }\n"}};
+  std::vector<Finding> F = auditRule(Files, "api-odr");
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].Path, "src/core/Bad.h");
+  EXPECT_NE(F[0].Message.find("helper"), std::string::npos);
+}
+
+TEST(ApiAuditOdr, DuplicateDefinitionNamesTheOtherHeader) {
+  std::vector<AuditFile> Files = {
+      {"src/core/A.h", "int twice() { return 1; }\n"},
+      {"src/core/B.h", "int twice() { return 2; }\n"}};
+  std::vector<Finding> F = auditRule(Files, "api-odr");
+  ASSERT_EQ(F.size(), 2u);
+  EXPECT_NE(F[0].Message.find("also defined in"), std::string::npos);
+}
+
+TEST(ApiAuditOdr, InlineTemplateAndClassScopeAreExempt) {
+  std::vector<AuditFile> Files = {
+      {"src/core/Ok.h",
+       "inline int a() { return 1; }\n"
+       "template <class T> T b(T x) { return x; }\n"
+       "struct S { int c() { return 3; } };\n"
+       "constexpr int d() { return 4; }\n"}};
+  EXPECT_TRUE(auditRule(Files, "api-odr").empty());
+}
+
+TEST(ApiAuditOdr, SourceFileDefinitionsAreExempt) {
+  std::vector<AuditFile> Files = {
+      {"src/core/Impl.cpp", "int helper(int x) { return x + 1; }\n"}};
+  EXPECT_TRUE(auditRule(Files, "api-odr").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// api-capi-coverage
+//===----------------------------------------------------------------------===//
+
+TEST(ApiAuditCApi, UncoveredExternCDefinitionIsFlagged) {
+  std::vector<AuditFile> Files = {
+      capiHeader("rap_known"),
+      {"src/core/CApi.cpp",
+       "extern \"C\" int rap_known(void *p) { return 0; }\n"
+       "extern \"C\" int rap_orphan(void *p) { return 1; }\n"}};
+  std::vector<Finding> F = auditRule(Files, "api-capi-coverage");
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_NE(F[0].Message.find("rap_orphan"), std::string::npos);
+}
+
+TEST(ApiAuditCApi, CoveredSymbolsAreSilent) {
+  std::vector<AuditFile> Files = {
+      capiHeader("rap_known"),
+      {"src/core/CApi.cpp",
+       "extern \"C\" int rap_known(void *p) { return 0; }\n"}};
+  EXPECT_TRUE(auditRule(Files, "api-capi-coverage").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// api-include-drift
+//===----------------------------------------------------------------------===//
+
+TEST(ApiAuditInclude, DuplicateIncludeIsFlagged) {
+  std::vector<AuditFile> Files = {
+      {"src/core/A.h", "#ifndef A_H\n#define A_H\n#endif\n"},
+      {"src/core/Use.cpp",
+       "#include \"core/A.h\"\n#include \"core/A.h\"\n"}};
+  std::vector<Finding> F = auditRule(Files, "api-include-drift");
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].Line, 2u);
+  EXPECT_NE(F[0].Message.find("duplicate"), std::string::npos);
+}
+
+TEST(ApiAuditInclude, UnresolvedQuotedIncludeIsFlagged) {
+  std::vector<AuditFile> Files = {
+      {"src/core/Use.cpp", "#include \"core/Missing.h\"\n"}};
+  std::vector<Finding> F = auditRule(Files, "api-include-drift");
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_NE(F[0].Message.find("Missing.h"), std::string::npos);
+}
+
+TEST(ApiAuditInclude, SystemIncludesAreNotResolved) {
+  std::vector<AuditFile> Files = {
+      {"src/core/Use.cpp", "#include <vector>\n#include <mutex>\n"}};
+  EXPECT_TRUE(auditRule(Files, "api-include-drift").empty());
+}
+
+TEST(ApiAuditInclude, HeaderCycleIsFlagged) {
+  std::vector<AuditFile> Files = {
+      {"src/core/A.h", "#include \"core/B.h\"\n"},
+      {"src/core/B.h", "#include \"core/A.h\"\n"}};
+  std::vector<Finding> F = auditRule(Files, "api-include-drift");
+  ASSERT_EQ(F.size(), 1u); // one finding per cycle, not per member
+  EXPECT_NE(F[0].Message.find("cycle"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Suppression and ordering
+//===----------------------------------------------------------------------===//
+
+TEST(ApiAudit, AllowMarkersSuppressAuditFindings) {
+  std::vector<AuditFile> Files = {
+      {"src/core/Bad.h",
+       "// rap-lint: allow(api-odr)\n"
+       "int helper(int x) { return x + 1; }\n"}};
+  EXPECT_TRUE(auditRule(Files, "api-odr").empty());
+}
+
+TEST(ApiAudit, FindingsAreSortedByPathThenLine) {
+  std::vector<AuditFile> Files = {
+      {"src/core/Z.h", "int zed() { return 1; }\n"},
+      {"src/core/A.h", "int ay() { return 1; }\n\nint bee() { return 2; }\n"}};
+  std::vector<Finding> F = runApiAudit(Files);
+  ASSERT_EQ(F.size(), 3u);
+  EXPECT_EQ(F[0].Path, "src/core/A.h");
+  EXPECT_EQ(F[0].Line, 1u);
+  EXPECT_EQ(F[1].Path, "src/core/A.h");
+  EXPECT_EQ(F[1].Line, 3u);
+  EXPECT_EQ(F[2].Path, "src/core/Z.h");
+}

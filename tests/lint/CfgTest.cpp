@@ -1,0 +1,133 @@
+//===- tests/lint/CfgTest.cpp - CFG builder golden tests -----------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+// The CFG builder is pinned by golden dumps over the statement shapes
+// that are easy to get subtly wrong: switch fallthrough, early return
+// inside loops, goto, lambdas, and try/catch. Each fixture
+// fixtures/cfg_*.cpp has a fixtures/cfg_*.cpp.expected holding the
+// concatenated Cfg::dump() of every function (blank-line separated).
+// To regenerate after an intended builder change, paste the "actual"
+// text from the failure message into the .expected file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Cfg.h"
+#include "lint/Lexer.h"
+#include "lint/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace rap::lint;
+
+namespace {
+
+std::string readFixture(const std::string &Name) {
+  std::ifstream In(std::string(RAP_LINT_FIXTURE_DIR) + "/" + Name,
+                   std::ios::binary);
+  EXPECT_TRUE(In.good()) << "missing fixture " << Name;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Concatenated dump of every function CFG in \p Name, in parse
+/// order, blank-line separated — the golden format.
+std::string dumpFixture(const std::string &Name) {
+  LexedSource Src = lex(readFixture(Name));
+  ParsedFile Parsed = parseFile(Src);
+  std::string Out;
+  for (const auto &Fn : Parsed.Functions) {
+    if (!Out.empty())
+      Out += "\n";
+    Out += buildCfg(*Fn).dump();
+  }
+  return Out;
+}
+
+void expectGolden(const std::string &Fixture) {
+  std::string Actual = dumpFixture(Fixture);
+  std::string Golden = readFixture(Fixture + ".expected");
+  EXPECT_EQ(Actual, Golden)
+      << Fixture << ": CFG diverges from the golden dump; if the "
+      << "change is intended, update fixtures/" << Fixture
+      << ".expected to the actual text above";
+}
+
+} // namespace
+
+TEST(CfgGolden, SwitchFallthrough) { expectGolden("cfg_switch.cpp"); }
+TEST(CfgGolden, LoopsWithEarlyExit) { expectGolden("cfg_loops.cpp"); }
+TEST(CfgGolden, Goto) { expectGolden("cfg_goto.cpp"); }
+TEST(CfgGolden, Lambda) { expectGolden("cfg_lambda.cpp"); }
+TEST(CfgGolden, TryCatch) { expectGolden("cfg_try.cpp"); }
+
+//===----------------------------------------------------------------------===//
+// Structural invariants, independent of the dump format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds the CFG of the first function in \p Source.
+Cfg firstCfg(const std::string &Source, ParsedFile &Keep,
+             LexedSource &Lexed) {
+  Lexed = lex(Source);
+  Keep = parseFile(Lexed);
+  EXPECT_FALSE(Keep.Functions.empty());
+  return buildCfg(*Keep.Functions.front());
+}
+
+} // namespace
+
+TEST(CfgStructure, PredecessorsMirrorSuccessors) {
+  LexedSource Lexed;
+  ParsedFile Parsed;
+  Cfg G = firstCfg("int f(int n) {\n"
+                   "  while (n > 0) { if (n == 7) return 1; --n; }\n"
+                   "  return 0;\n"
+                   "}\n",
+                   Parsed, Lexed);
+  std::vector<std::vector<size_t>> Preds = G.predecessors();
+  ASSERT_EQ(Preds.size(), G.Blocks.size());
+  for (const BasicBlock &B : G.Blocks)
+    for (size_t Succ : B.Succs) {
+      bool Found = false;
+      for (size_t P : Preds[Succ])
+        Found = Found || P == B.Id;
+      EXPECT_TRUE(Found) << "edge B" << B.Id << " -> B" << Succ
+                         << " missing from predecessors()";
+    }
+}
+
+TEST(CfgStructure, EveryReturnReachesExitDirectly) {
+  LexedSource Lexed;
+  ParsedFile Parsed;
+  Cfg G = firstCfg("int f(int n) {\n"
+                   "  if (n) return 1;\n"
+                   "  return 0;\n"
+                   "}\n",
+                   Parsed, Lexed);
+  for (const BasicBlock &B : G.Blocks)
+    for (const Action &A : B.Actions)
+      if (A.ActionKind == Action::Kind::Return) {
+        ASSERT_EQ(B.Succs.size(), 1u);
+        EXPECT_EQ(B.Succs.front(), Cfg::Exit);
+      }
+}
+
+TEST(CfgStructure, UnresolvedGotoFallsBackToExit) {
+  // A goto whose label the parser never sees must not strand the
+  // block with no successors (dataflow would treat it as dead).
+  LexedSource Lexed;
+  ParsedFile Parsed;
+  Cfg G = firstCfg("void f() { goto missing; }\n", Parsed, Lexed);
+  for (const BasicBlock &B : G.Blocks)
+    if (B.Id != Cfg::Exit && !B.Actions.empty()) {
+      EXPECT_FALSE(B.Succs.empty());
+    }
+}

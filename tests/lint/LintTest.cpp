@@ -213,3 +213,85 @@ TEST(LintReport, EmptyFindingsRenderAsEmptyCollections) {
   EXPECT_NE(renderSarif(None).find("\"results\": [\n    ]"),
             std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// Baselines (--baseline): grandfathered findings warn, fresh ones fail
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Finding finding(const char *Rule, const char *Path, unsigned Line,
+                const char *Message) {
+  Finding F;
+  F.RuleId = Rule;
+  F.Path = Path;
+  F.Line = Line;
+  F.Message = Message;
+  return F;
+}
+
+} // namespace
+
+TEST(LintBaseline, ExactMatchIsGrandfathered) {
+  std::vector<Finding> Findings = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add")};
+  BaselineSplit Split =
+      applyBaseline(Findings, renderText(Findings));
+  EXPECT_TRUE(Split.Fresh.empty());
+  ASSERT_EQ(Split.Grandfathered.size(), 1u);
+}
+
+TEST(LintBaseline, MatchingIgnoresLineNumbers) {
+  // Edits above a grandfathered finding shift its line; it must stay
+  // grandfathered on (path, rule, message) alone.
+  std::vector<Finding> Old = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add")};
+  std::vector<Finding> Now = {
+      finding("counter-arithmetic", "src/core/a.cpp", 42, "raw add")};
+  BaselineSplit Split = applyBaseline(Now, renderText(Old));
+  EXPECT_TRUE(Split.Fresh.empty());
+  EXPECT_EQ(Split.Grandfathered.size(), 1u);
+}
+
+TEST(LintBaseline, SecondIdenticalViolationIsFresh) {
+  // The baseline budget is a multiset: one grandfathered slot covers
+  // one finding, not every future copy of it.
+  std::vector<Finding> Old = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add")};
+  std::vector<Finding> Now = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add"),
+      finding("counter-arithmetic", "src/core/a.cpp", 90, "raw add")};
+  BaselineSplit Split = applyBaseline(Now, renderText(Old));
+  EXPECT_EQ(Split.Grandfathered.size(), 1u);
+  ASSERT_EQ(Split.Fresh.size(), 1u);
+}
+
+TEST(LintBaseline, DifferentRuleOrPathIsFresh) {
+  std::vector<Finding> Old = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add")};
+  std::vector<Finding> Now = {
+      finding("hot-path-io", "src/core/a.cpp", 10, "raw add"),
+      finding("counter-arithmetic", "src/core/b.cpp", 10, "raw add")};
+  BaselineSplit Split = applyBaseline(Now, renderText(Old));
+  EXPECT_TRUE(Split.Grandfathered.empty());
+  EXPECT_EQ(Split.Fresh.size(), 2u);
+}
+
+TEST(LintBaseline, CommentsAndMalformedLinesNeverGrandfather) {
+  std::vector<Finding> Now = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add")};
+  std::string Baseline = "# lint baseline, regenerate with ci.sh\n"
+                         "\n"
+                         "not a finding line\n";
+  BaselineSplit Split = applyBaseline(Now, Baseline);
+  EXPECT_TRUE(Split.Grandfathered.empty());
+  EXPECT_EQ(Split.Fresh.size(), 1u);
+}
+
+TEST(LintBaseline, EmptyBaselinePassesEverythingThroughFresh) {
+  std::vector<Finding> Now = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add")};
+  BaselineSplit Split = applyBaseline(Now, "");
+  EXPECT_TRUE(Split.Grandfathered.empty());
+  EXPECT_EQ(Split.Fresh.size(), 1u);
+}

@@ -1,0 +1,13 @@
+// CFG fixture: backward goto forming a loop, forward goto skipping
+// code, and a label only reachable by jumping.
+int drain(int n) {
+  int total = 0;
+retry:
+  if (n <= 0)
+    goto done;
+  total += n;
+  --n;
+  goto retry;
+done:
+  return total;
+}

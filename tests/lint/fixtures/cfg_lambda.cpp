@@ -1,0 +1,13 @@
+// CFG fixture: a lambda body becomes its own function with its own
+// CFG; the enclosing function sees the whole declaration as one
+// straight-line decl action.
+int sum(const int *v, int n) {
+  int total = 0;
+  auto add = [&](int x) {
+    if (x > 0)
+      total += x;
+  };
+  for (int i = 0; i < n; ++i)
+    add(v[i]);
+  return total;
+}

@@ -1,0 +1,30 @@
+// CFG fixture: early return from a for loop, while with break and
+// continue, and a do-while back edge.
+int find(const int *v, int n, int key) {
+  for (int i = 0; i < n; ++i) {
+    if (v[i] == key)
+      return i;
+  }
+  int waited = 0;
+  while (waited < n) {
+    ++waited;
+    if (waited == key)
+      break;
+    if (waited % 2)
+      continue;
+    --n;
+  }
+  do {
+    --n;
+  } while (n > 0);
+  return -1;
+}
+
+// Range-for: the loop declaration re-binds each iteration, so its
+// decl action sits inside the loop body, not before the loop.
+int total(const int (&v)[4]) {
+  int sum = 0;
+  for (int x : v)
+    sum += x;
+  return sum;
+}

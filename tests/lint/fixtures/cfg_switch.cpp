@@ -1,0 +1,26 @@
+// CFG fixture: switch with fallthrough, break, return, and default.
+int classify(int x) {
+  int r = 0;
+  switch (x) {
+  case 0:
+    r = 1;
+    // fall through
+  case 1:
+    r = 2;
+    break;
+  case 2:
+    return 7;
+  default:
+    r = 3;
+  }
+  return r;
+}
+
+// A switch without a default keeps the head -> after edge.
+int sparse(int x) {
+  switch (x) {
+  case 4:
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// CFG fixture: try/catch. Any action in the try body may throw, so
+// the conservative approximation adds an edge from the try entry to
+// every handler.
+int parse(const char *s, int &out) {
+  int value = 0;
+  try {
+    value = convert(s);
+    normalize(value);
+  } catch (const ParseError &e) {
+    value = -1;
+  } catch (...) {
+    return 0;
+  }
+  out = value;
+  return 1;
+}

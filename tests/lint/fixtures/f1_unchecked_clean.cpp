@@ -1,0 +1,36 @@
+// unchecked-status clean twin: every status result is observed (or
+// explicitly discarded) on every path.
+#include "core/RapStatus.h"
+
+bool tryFlushBuffer(int fd);
+rap_status rap_profile_start(void *p);
+
+int checkedDirectly(int fd) {
+  if (!tryFlushBuffer(fd))
+    return 1;
+  return 0;
+}
+
+void explicitlyDiscarded(int fd) {
+  (void)tryFlushBuffer(fd);
+}
+
+int checkedOnEveryPath(void *p, bool retry) {
+  rap_status st = rap_profile_start(p);
+  if (retry && st != RAP_OK)
+    st = rap_profile_start(p);
+  return st == RAP_OK ? 0 : 1;
+}
+
+bool statusForwardedByReturn(int fd) {
+  return tryFlushBuffer(fd);
+}
+
+int readOnOnePathIsEnough(int fd, bool verbose) {
+  // The rule is a may-analysis: one reading path suffices (the
+  // failure mode it targets is a status NO path ever looks at).
+  bool ok = tryFlushBuffer(fd);
+  if (verbose)
+    return ok ? 0 : 1;
+  return 0;
+}

@@ -1,0 +1,20 @@
+// unchecked-status fixture: status results dropped on the floor.
+#include "core/RapStatus.h"
+
+bool tryFlushBuffer(int fd);
+rap_status rap_profile_start(void *p);
+
+void bareCallDropsStatus(int fd) {
+  tryFlushBuffer(fd); // finding: result never observed
+}
+
+void declNeverRead(void *p) {
+  rap_status st = rap_profile_start(p); // finding: st never read
+  (void)p;
+}
+
+int overwrittenBeforeAnyRead(int fd) {
+  bool ok = tryFlushBuffer(fd); // finding: killed before any read
+  ok = true;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+// use-after-move clean twin: every read of a moved-from local is
+// preceded by a reassignment (or the move is the last use).
+#include <string>
+#include <utility>
+#include <vector>
+
+void sink(std::string s);
+
+void moveIsLastUse(std::string name) {
+  sink(std::move(name));
+}
+
+unsigned long reassignedBeforeRead(std::string name) {
+  sink(std::move(name));
+  name = "fresh";
+  return name.size();
+}
+
+void revivedByClear(std::string name) {
+  sink(std::move(name));
+  name.clear();
+  sink(name);
+}
+
+void rangeForRebindsEachIteration(std::vector<std::string> &v,
+                                  std::vector<std::string> &out) {
+  // The loop variable re-binds every iteration, so the move never
+  // flows around the back edge.
+  for (std::string &s : v)
+    out.push_back(std::move(s));
+}
+
+void branchesDoNotMerge(std::string s, bool flag) {
+  if (flag) {
+    sink(std::move(s));
+    return;
+  }
+  sink(s);
+}

@@ -1,0 +1,24 @@
+// use-after-move fixture: moved-from locals read before reassignment.
+#include <string>
+#include <utility>
+#include <vector>
+
+void sink(std::string s);
+
+unsigned long useAfterMove(std::string name) {
+  sink(std::move(name));
+  return name.size(); // finding: name was moved on line 9
+}
+
+void moveInLoopBody(std::vector<std::string> &out, std::string seed,
+                    int n) {
+  for (int i = 0; i < n; ++i) {
+    out.push_back(std::move(seed)); // finding on iteration 2: seed
+  }                                 // was moved by iteration 1
+}
+
+void movedOnOneBranch(std::string s, bool flag) {
+  if (flag)
+    sink(std::move(s));
+  sink(s); // finding: moved on the flag path
+}

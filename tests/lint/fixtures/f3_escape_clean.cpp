@@ -1,0 +1,31 @@
+// counter-escape clean twin: counters combined through the
+// saturating helpers, or used in the exempt forms.
+#include "support/BitUtils.h"
+
+#include <cstdint>
+
+struct Node {
+  uint64_t Count = 0;
+  uint64_t ExclusiveWeight = 0;
+  uint64_t count() const { return Count; }
+};
+
+uint64_t saturatingSum(const Node &a, const Node &b) {
+  return rap::saturatingAdd(a.Count, b.Count);
+}
+
+uint64_t differencesCannotWrapUp(const Node &after, const Node &before) {
+  // Monotone counters: subtraction of an earlier snapshot is the
+  // interval idiom and is allowed.
+  return after.Count - before.Count;
+}
+
+double ratiosGoThroughDouble(const Node &n, uint64_t total) {
+  double frac = static_cast<double>(n.count());
+  return frac / static_cast<double>(total);
+}
+
+uint64_t taintedLocalUsedSafely(const Node &n, uint64_t w) {
+  uint64_t weight = n.ExclusiveWeight;
+  return rap::saturatingAdd(weight, w);
+}

@@ -1,0 +1,27 @@
+// counter-escape fixture (core paths only): saturating counter
+// values flowing into raw wrapping arithmetic.
+#include "support/BitUtils.h"
+
+#include <cstdint>
+
+struct Node {
+  uint64_t Count = 0;
+  uint64_t ExclusiveWeight = 0;
+  uint64_t count() const { return Count; }
+};
+
+uint64_t rawSumOfCounts(const Node &a, const Node &b) {
+  uint64_t total = a.Count + b.Count; // finding: wraps at 2^64
+  return total;
+}
+
+uint64_t getterEscapesIntoMultiply(const Node &n, uint64_t w) {
+  uint64_t scaled = n.count() * w; // finding: wraps
+  return scaled;
+}
+
+uint64_t taintFlowsThroughLocal(const Node &n, uint64_t w) {
+  uint64_t weight = n.ExclusiveWeight;
+  uint64_t padded = weight + w; // finding: weight holds a counter
+  return padded;
+}

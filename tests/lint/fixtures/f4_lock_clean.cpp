@@ -1,0 +1,37 @@
+// lock-discipline clean twin: every guarded access is under its
+// mutex, via a guard scope, manual lock/unlock, or RAP_REQUIRES.
+#include "support/Annotations.h"
+
+#include <mutex>
+
+struct Sampler {
+  std::mutex M;
+  int Pending RAP_GUARDED_BY(M);
+  int Dropped RAP_GUARDED_BY(M);
+
+  void guardedWrite() {
+    std::lock_guard<std::mutex> G(M);
+    Pending = 0;
+  }
+
+  void guardScopeCoversBoth() {
+    std::lock_guard<std::mutex> G(M);
+    Pending += 1;
+    Dropped += 1;
+  }
+
+  void manualLockPair() {
+    M.lock();
+    Pending += 1;
+    M.unlock();
+  }
+
+  void flushLocked() RAP_REQUIRES(M) {
+    // The caller holds M by contract; the annotation seeds the
+    // entry state.
+    Pending = 0;
+    Dropped = 0;
+  }
+
+  int unrelatedStateNeedsNoLock(int x) { return x + 1; }
+};

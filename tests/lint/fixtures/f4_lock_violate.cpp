@@ -1,0 +1,33 @@
+// lock-discipline fixture: RAP_GUARDED_BY fields touched without the
+// named mutex held on every path. This is the injected violation the
+// rule must catch.
+#include "support/Annotations.h"
+
+#include <mutex>
+
+struct Sampler {
+  std::mutex M;
+  int Pending RAP_GUARDED_BY(M);
+  int Dropped RAP_GUARDED_BY(M);
+
+  void unguardedWrite() {
+    Pending = 0; // finding: M not held
+  }
+
+  void lockReleasedTooEarly() {
+    {
+      std::lock_guard<std::mutex> G(M);
+      Pending += 1;
+    }
+    Dropped += 1; // finding: guard scope already ended
+  }
+
+  int heldOnOnePathOnly(bool fast) {
+    if (!fast)
+      M.lock();
+    int snapshot = Pending; // finding: fast path skips the lock
+    if (!fast)
+      M.unlock();
+    return snapshot;
+  }
+};

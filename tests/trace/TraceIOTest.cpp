@@ -44,7 +44,7 @@ TEST(TraceIO, RoundTripMixedRecords) {
   Writer.append(loadRecord(0x400010, 0x1000, 42));
   Writer.append(plainRecord(0x400020, /*Narrow=*/true));
   Writer.append(loadRecord(0x400030, ~uint64_t(0) >> 20, 0));
-  Writer.finish();
+  ASSERT_TRUE(Writer.finish());
   EXPECT_EQ(Writer.numRecords(), 4u);
 
   TraceReader Reader(Stream);
@@ -75,12 +75,34 @@ TEST(TraceIO, RoundTripMixedRecords) {
 TEST(TraceIO, EmptyTrace) {
   std::stringstream Stream;
   TraceWriter Writer(Stream);
-  Writer.finish();
+  ASSERT_TRUE(Writer.finish());
   TraceReader Reader(Stream);
   ASSERT_TRUE(Reader.valid());
   EXPECT_EQ(Reader.numRecords(), 0u);
   TraceRecord Record;
   EXPECT_FALSE(Reader.next(Record));
+}
+
+TEST(TraceIO, FinishReportsStreamFailure) {
+  // Regression: finish() used to return void, so a full disk or a
+  // failed seek produced a truncated trace while the caller printed
+  // "wrote N records" and exited 0. The status must surface.
+  std::stringstream Stream;
+  TraceWriter Writer(Stream);
+  Writer.append(plainRecord(0x1000));
+  Stream.setstate(std::ios::badbit); // Simulate a write error.
+  EXPECT_FALSE(Writer.finish());
+}
+
+TEST(TraceIO, FinishReportsFailureLatchedByAppend) {
+  // A failure during append (not just during finish itself) must
+  // also be reported: stream state latches.
+  std::stringstream Stream;
+  TraceWriter Writer(Stream);
+  Writer.append(plainRecord(0x1000));
+  Stream.setstate(std::ios::failbit);
+  Writer.append(plainRecord(0x2000)); // Lost on the failed stream.
+  EXPECT_FALSE(Writer.finish());
 }
 
 TEST(TraceIO, RejectsBadMagic) {
@@ -95,7 +117,7 @@ TEST(TraceIO, DetectsTruncatedRecords) {
   TraceWriter Writer(Stream);
   Writer.append(loadRecord(1, 2, 3));
   Writer.append(loadRecord(4, 5, 6));
-  Writer.finish();
+  ASSERT_TRUE(Writer.finish());
   std::string Full = Stream.str();
   std::stringstream Truncated(Full.substr(0, Full.size() - 10));
   TraceReader Reader(Truncated);
@@ -120,7 +142,7 @@ TEST(TraceIO, CapturedModelStreamReplaysIdentically) {
     Writer.append(Record);
     Reference.push_back(Record);
   }
-  Writer.finish();
+  ASSERT_TRUE(Writer.finish());
 
   TraceReader Reader(Stream);
   ASSERT_TRUE(Reader.valid());
@@ -143,7 +165,7 @@ TEST(TraceIO, PositionTracksConsumption) {
   TraceWriter Writer(Stream);
   for (int I = 0; I != 5; ++I)
     Writer.append(plainRecord(I));
-  Writer.finish();
+  ASSERT_TRUE(Writer.finish());
   TraceReader Reader(Stream);
   TraceRecord Record;
   EXPECT_EQ(Reader.position(), 0u);

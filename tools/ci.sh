@@ -9,7 +9,9 @@
 #   2. AddressSanitizer build + full test suite
 #   3. UndefinedBehaviorSanitizer build + full test suite
 #   4. 25-episode differential fuzz slice (ASan-instrumented)
-#   5. rap_lint over src/ and tools/, SARIF report to build/lint.sarif
+#   5. rap_lint (flow rules + cross-TU API audit) over src/ and
+#      tools/ against tools/lint_baseline.txt, merged SARIF report to
+#      build/lint.sarif
 #
 # Usage: tools/ci.sh [jobs]     (from the repo root; default jobs = nproc)
 #
@@ -41,9 +43,10 @@ configure_and_test build-ubsan -DRAP_SANITIZE=undefined
 step "differential fuzz slice (25 episodes, ASan)"
 ./build-asan/tools/rap_fuzz --episodes=25 --seed=1 --events=8000
 
-step "rap_lint (SARIF report: build/lint.sarif)"
-./build/tools/rap_lint --root=. --format=sarif --output=build/lint.sarif \
-    src tools
-./build/tools/rap_lint --root=. src tools
+step "rap_lint + api-audit (SARIF report: build/lint.sarif)"
+./build/tools/rap_lint --root=. --api-audit \
+    --format=sarif --output=build/lint.sarif src tools
+./build/tools/rap_lint --root=. --api-audit \
+    --baseline=tools/lint_baseline.txt src tools
 
 step "CI matrix green"

@@ -8,17 +8,27 @@
 // Runs the rap_lint rules (src/lint) over files and directory trees:
 //
 //   rap_lint --root=/path/to/repo src tools
+//   rap_lint --api-audit --baseline=tools/lint_baseline.txt src tools
 //   rap_lint --format=sarif --output=build/lint.sarif src
+//   rap_lint --explain=unchecked-status
 //
 // Positional arguments are repo-relative files or directories;
-// directories are scanned recursively for *.h / *.cpp. Exit status:
-// 0 no findings, 1 unsuppressed findings, 2 bad usage.
+// directories are scanned recursively for *.h / *.cpp. With
+// --api-audit the cross-TU checks run over the same file set and
+// their findings merge into the one report. With --baseline, findings
+// recorded in the given file (saved renderText output) only warn;
+// fresh findings still fail. Exit status: 0 no (fresh) findings,
+// 1 fresh findings, 2 bad usage.
 // See docs/STATIC_ANALYSIS.md for the rule catalog and the per-line
 // `// rap-lint: allow(<rule>)` suppression syntax.
 //
 //===----------------------------------------------------------------------===//
 
+#include "lint/ApiAudit.h"
+#include "lint/FlowRules.h"
+#include "lint/Lexer.h"
 #include "lint/Lint.h"
+#include "lint/Parser.h"
 #include "support/ArgParse.h"
 
 #include <algorithm>
@@ -60,17 +70,53 @@ bool readFile(const fs::path &P, std::string &Out) {
   return true;
 }
 
+/// Prints one rule's long-form rationale, paragraph-wrapped.
+int explainRule(const std::string &Id) {
+  for (const lint::RuleInfo &R : lint::allRules()) {
+    if (Id != R.Id)
+      continue;
+    std::printf("%s\n  %s\n\n", R.Id, R.Summary);
+    // Wrap the explanation at ~76 columns.
+    std::istringstream Words(R.Explanation);
+    std::string Word, Line;
+    while (Words >> Word) {
+      if (!Line.empty() && Line.size() + 1 + Word.size() > 74) {
+        std::printf("  %s\n", Line.c_str());
+        Line.clear();
+      }
+      Line += (Line.empty() ? "" : " ") + Word;
+    }
+    if (!Line.empty())
+      std::printf("  %s\n", Line.c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "rap_lint: unknown rule '%s'; see rap_lint --list-rules\n",
+               Id.c_str());
+  return 2;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   ArgParse Args("rap_lint",
                 "Project-specific static analysis for the RAP tree: "
                 "saturating-counter discipline, exception-tight C API, "
-                "determinism, hot-path IO and include-guard hygiene.");
+                "determinism, hot-path IO, include-guard hygiene, and "
+                "the v2 flow rules (unchecked-status, use-after-move, "
+                "counter-escape, lock-discipline).");
   Args.addString("root", ".",
                  "repository root; paths are reported relative to it");
   Args.addString("format", "text", "report format: text, json or sarif");
   Args.addString("output", "", "write the report here instead of stdout");
+  Args.addString("baseline", "",
+                 "grandfather the findings recorded in this file (saved "
+                 "text-format output); only fresh findings fail the run");
+  Args.addString("explain", "",
+                 "print the long-form rationale for one rule and exit");
+  Args.addBool("api-audit",
+               "also run the cross-TU checks (api-odr, api-capi-coverage, "
+               "api-include-drift) over the scanned set");
   Args.addBool("list-rules", "print the rule catalog and exit");
   Args.addBool("quiet", "suppress the summary line on stderr");
   Args.allowPositional("paths",
@@ -84,6 +130,8 @@ int main(int Argc, char **Argv) {
       std::printf("%-22s %s\n", R.Id, R.Summary);
     return 0;
   }
+  if (!Args.getString("explain").empty())
+    return explainRule(Args.getString("explain"));
 
   const std::string &Format = Args.getString("format");
   if (Format != "text" && Format != "json" && Format != "sarif") {
@@ -123,17 +171,86 @@ int main(int Argc, char **Argv) {
   }
   std::sort(Files.begin(), Files.end());
 
-  std::vector<lint::Finding> Findings;
-  for (const fs::path &File : Files) {
+  struct Input {
+    std::string Rel;
     std::string Content;
-    if (!readFile(File, Content)) {
+  };
+  std::vector<Input> Inputs;
+  Inputs.reserve(Files.size());
+  for (const fs::path &File : Files) {
+    Input In;
+    In.Rel = relativePath(File, Root);
+    if (!readFile(File, In.Content)) {
       std::fprintf(stderr, "rap_lint: cannot read %s\n",
                    File.string().c_str());
       return 2;
     }
+    Inputs.push_back(std::move(In));
+  }
+
+  // Cross-file prescan: status-returning functions declared in src/
+  // headers, so unchecked-status sees callees across TU boundaries.
+  lint::LintContext Ctx;
+  for (const Input &In : Inputs) {
+    if (In.Rel.rfind("src/", 0) != 0 ||
+        In.Rel.size() < 2 ||
+        In.Rel.compare(In.Rel.size() - 2, 2, ".h") != 0)
+      continue;
+    lint::LexedSource Src = lint::lex(In.Content);
+    lint::ParsedFile Parsed = lint::parseFile(Src);
+    for (const lint::Signature &Sig : Parsed.Signatures)
+      if (lint::isStatusReturn(Sig))
+        Ctx.StatusFunctions.insert(Sig.Name);
+  }
+
+  std::vector<lint::Finding> Findings;
+  for (const Input &In : Inputs) {
     std::vector<lint::Finding> FileFindings =
-        lint::lintSource(relativePath(File, Root), Content);
+        lint::lintSource(In.Rel, In.Content, Ctx);
     Findings.insert(Findings.end(), FileFindings.begin(), FileFindings.end());
+  }
+
+  if (Args.getBool("api-audit")) {
+    std::vector<lint::AuditFile> AuditInputs;
+    AuditInputs.reserve(Inputs.size());
+    for (const Input &In : Inputs)
+      AuditInputs.push_back({In.Rel, In.Content});
+    std::vector<lint::Finding> Audit = lint::runApiAudit(AuditInputs);
+    Findings.insert(Findings.end(), Audit.begin(), Audit.end());
+  }
+
+  std::sort(Findings.begin(), Findings.end(),
+            [](const lint::Finding &A, const lint::Finding &B) {
+              if (A.Path != B.Path)
+                return A.Path < B.Path;
+              if (A.Line != B.Line)
+                return A.Line < B.Line;
+              return A.RuleId < B.RuleId;
+            });
+
+  // Baseline: grandfathered findings stay in the report (so SARIF
+  // keeps the full record) but only fresh ones fail the run.
+  size_t FreshCount = Findings.size();
+  size_t GrandfatheredCount = 0;
+  if (!Args.getString("baseline").empty()) {
+    fs::path BaselinePath = fs::path(Args.getString("baseline"));
+    if (BaselinePath.is_relative())
+      BaselinePath = Root / BaselinePath;
+    std::string BaselineText;
+    if (!readFile(BaselinePath, BaselineText)) {
+      std::fprintf(stderr, "rap_lint: cannot read baseline %s\n",
+                   BaselinePath.string().c_str());
+      return 2;
+    }
+    lint::BaselineSplit Split =
+        lint::applyBaseline(Findings, BaselineText);
+    FreshCount = Split.Fresh.size();
+    GrandfatheredCount = Split.Grandfathered.size();
+    for (const lint::Finding &F : Split.Grandfathered)
+      std::fprintf(stderr,
+                   "rap_lint: warning: grandfathered by baseline: "
+                   "%s:%u: [%s]\n",
+                   F.Path.c_str(), F.Line, F.RuleId.c_str());
   }
 
   std::string Report = Format == "sarif"  ? lint::renderSarif(Findings)
@@ -151,8 +268,16 @@ int main(int Argc, char **Argv) {
     std::fputs(Report.c_str(), stdout);
   }
 
-  if (!Args.getBool("quiet"))
-    std::fprintf(stderr, "rap_lint: %zu file(s), %zu finding(s)\n",
-                 Files.size(), Findings.size());
-  return Findings.empty() ? 0 : 1;
+  if (!Args.getBool("quiet")) {
+    if (GrandfatheredCount)
+      std::fprintf(stderr,
+                   "rap_lint: %zu file(s), %zu finding(s) "
+                   "(%zu grandfathered, %zu fresh)\n",
+                   Inputs.size(), Findings.size(), GrandfatheredCount,
+                   FreshCount);
+    else
+      std::fprintf(stderr, "rap_lint: %zu file(s), %zu finding(s)\n",
+                   Inputs.size(), Findings.size());
+  }
+  return FreshCount == 0 ? 0 : 1;
 }

@@ -121,7 +121,11 @@ int runTrace(const ArgParse &Args) {
   uint64_t NumBlocks = Args.getUint("events");
   for (uint64_t I = 0; I != NumBlocks; ++I)
     Writer.append(Model.next());
-  Writer.finish();
+  if (!Writer.finish()) {
+    std::fprintf(stderr, "error: short write to '%s' (disk full?)\n",
+                 Args.getString("out").c_str());
+    return 1;
+  }
   std::printf("wrote %" PRIu64 " records to %s\n", Writer.numRecords(),
               Args.getString("out").c_str());
   return 0;
@@ -297,7 +301,10 @@ int runSelfTest() {
     TraceWriter Writer(TraceStream);
     for (int I = 0; I != 200000; ++I)
       Writer.append(Model.next());
-    Writer.finish();
+    if (!Writer.finish()) {
+      std::fprintf(stderr, "selftest: trace capture failed\n");
+      return 1;
+    }
   }
   // Profile it twice (value profile at two epsilons) via the reader.
   auto Collect = [&](double Epsilon) {
