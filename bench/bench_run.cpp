@@ -1,0 +1,313 @@
+//===- bench/bench_run.cpp - Pinned core-throughput baseline --------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The reproducible baseline runner behind BENCH_core.json: times the
+// tree update path on four synthetic workload shapes (uniform, zipf,
+// phased, narrow-operand) across three implementation variants —
+//
+//   legacy        the original pointer-chasing tree, preserved as
+//                 verify/ReferenceRapTree;
+//   arena         the slab/SoA core/RapTree;
+//   arena_stage0  arena plus the software stage-0 combining buffer
+//                 (core/StageZeroBuffer) in front of it.
+//
+// Every stream is pre-generated from an explicit seed before any clock
+// starts, each variant consumes the identical event array, and each
+// timing is the best of --repeats passes, so the emitted report is a
+// function of (seed, events, machine) only. Schema and gating are
+// described in docs/BENCHMARKS.md; tools/bench_diff checks reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+#include "core/RapTree.h"
+#include "core/StageZeroBuffer.h"
+#include "support/ArgParse.h"
+#include "support/BenchReport.h"
+#include "support/Distributions.h"
+#include "support/Rng.h"
+#include "verify/ReferenceRapTree.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+/// SplitMix64 finalizer: scatters consecutive ranks across the
+/// universe so a Zipf head does not collapse into one subtree.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+struct WorkloadSpec {
+  std::string Name;
+  RapConfig Config;
+  std::vector<uint64_t> Events;
+};
+
+/// The four standard stream shapes. All are derived deterministically
+/// from \p Seed; event generation happens here, outside any timing.
+std::vector<WorkloadSpec> makeWorkloads(uint64_t Seed, uint64_t NumEvents) {
+  std::vector<WorkloadSpec> Out;
+
+  // uniform: full 32-bit universe, no locality. Worst case for the
+  // stage-0 buffer (few duplicates) and a depth stress for descend.
+  {
+    WorkloadSpec W;
+    W.Name = "uniform";
+    W.Config.RangeBits = 32;
+    Rng R(Seed ^ 0x756e6966ULL);
+    W.Events.reserve(NumEvents);
+    for (uint64_t I = 0; I != NumEvents; ++I)
+      W.Events.push_back(R.next() & widthForBits(32));
+    Out.push_back(std::move(W));
+  }
+
+  // zipf: heavy-tailed value profile (the paper's Sec 4 shape). The
+  // hot ranks repeat constantly, which is exactly what stage-0
+  // combining exploits; ranks are scattered by mix64 so the head is
+  // spread over the universe rather than packed into one subtree.
+  {
+    WorkloadSpec W;
+    W.Name = "zipf";
+    W.Config.RangeBits = 32;
+    Rng R(Seed ^ 0x7a697066ULL);
+    ZipfDistribution Zipf(1 << 17, 1.2);
+    W.Events.reserve(NumEvents);
+    for (uint64_t I = 0; I != NumEvents; ++I)
+      W.Events.push_back(mix64(Zipf.sample(R)) & widthForBits(32));
+    Out.push_back(std::move(W));
+  }
+
+  // phased: the stream moves through 8 phases, each uniform over its
+  // own narrow 2^20-wide window — the split-then-merge churn shape
+  // (old phases' subtrees decay below the merge threshold).
+  {
+    WorkloadSpec W;
+    W.Name = "phased";
+    W.Config.RangeBits = 32;
+    Rng R(Seed ^ 0x70687365ULL);
+    constexpr uint64_t NumPhases = 8;
+    W.Events.reserve(NumEvents);
+    for (uint64_t P = 0; P != NumPhases; ++P) {
+      uint64_t Base = R.nextBelow(uint64_t(1) << 12) << 20;
+      uint64_t Quota = NumEvents / NumPhases + (P == 0 ? NumEvents % NumPhases : 0);
+      for (uint64_t I = 0; I != Quota; ++I)
+        W.Events.push_back(Base + R.nextBelow(uint64_t(1) << 20));
+    }
+    Out.push_back(std::move(W));
+  }
+
+  // narrow-operand: 64-bit universe but ~99% of values fit in 8 bits
+  // (Sec 4.4's bitwidth profile); the tree must refine the tiny dense
+  // region at the bottom of a huge universe.
+  {
+    WorkloadSpec W;
+    W.Name = "narrow-operand";
+    W.Config.RangeBits = 64;
+    Rng R(Seed ^ 0x6e61726fULL);
+    W.Events.reserve(NumEvents);
+    for (uint64_t I = 0; I != NumEvents; ++I) {
+      unsigned Bits = R.nextBernoulli(0.01) ? 64 : (R.nextBernoulli(0.5) ? 8 : 16);
+      W.Events.push_back(R.next() & widthForBits(Bits));
+    }
+    Out.push_back(std::move(W));
+  }
+
+  return Out;
+}
+
+struct TimedRun {
+  double Seconds = 0.0;
+  uint64_t Nodes = 0;
+  uint64_t MaxNodes = 0;
+  double BytesPerNode = 0.0;
+  std::vector<uint64_t> MergeEvents;
+};
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+TimedRun runLegacy(const RapConfig &Config,
+                   const std::vector<uint64_t> &Events) {
+  ReferenceRapTree Tree(Config);
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t X : Events)
+    Tree.addPoint(X);
+  TimedRun R;
+  R.Seconds = secondsSince(Start);
+  R.Nodes = Tree.numNodes();
+  R.MaxNodes = Tree.maxNumNodes();
+  // The legacy tree's real footprint is one heap allocation per node;
+  // report the paper's 128-bit node budget as its nominal cost (see
+  // docs/BENCHMARKS.md for why the two columns are not comparable).
+  R.BytesPerNode = double(RapTree::BytesPerNode);
+  R.MergeEvents = Tree.mergeEventCounts();
+  return R;
+}
+
+TimedRun runArena(const RapConfig &Config,
+                  const std::vector<uint64_t> &Events) {
+  RapTree Tree(Config);
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t X : Events)
+    Tree.addPoint(X);
+  TimedRun R;
+  R.Seconds = secondsSince(Start);
+  R.Nodes = Tree.numNodes();
+  R.MaxNodes = Tree.maxNumNodes();
+  R.BytesPerNode = double(Tree.arenaBytes()) / double(Tree.numNodes());
+  R.MergeEvents = Tree.mergeEventCounts();
+  return R;
+}
+
+TimedRun runArenaStage0(const RapConfig &Config,
+                        const std::vector<uint64_t> &Events,
+                        uint64_t Capacity) {
+  RapTree Tree(Config);
+  StageZeroBuffer Buffer(Capacity);
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t X : Events) {
+    if (Buffer.push(X))
+      for (const auto &[Event, Weight] : Buffer.drain())
+        Tree.addPoint(Event, Weight);
+  }
+  for (const auto &[Event, Weight] : Buffer.drain())
+    Tree.addPoint(Event, Weight);
+  TimedRun R;
+  R.Seconds = secondsSince(Start);
+  R.Nodes = Tree.numNodes();
+  R.MaxNodes = Tree.maxNumNodes();
+  R.BytesPerNode = double(Tree.arenaBytes()) / double(Tree.numNodes());
+  R.MergeEvents = Tree.mergeEventCounts();
+  return R;
+}
+
+/// Best-of-N timing; tree statistics are identical across passes
+/// (everything is deterministic), so they come from the first.
+template <typename RunFn>
+BenchVariant timeVariant(const std::string &Name, uint64_t NumEvents,
+                         uint64_t Repeats, RunFn Run) {
+  BenchVariant V;
+  V.Name = Name;
+  V.Events = NumEvents;
+  double Best = 0.0;
+  for (uint64_t I = 0; I != Repeats; ++I) {
+    TimedRun R = Run();
+    if (I == 0) {
+      Best = R.Seconds;
+      V.Nodes = R.Nodes;
+      V.MaxNodes = R.MaxNodes;
+      V.BytesPerNode = R.BytesPerNode;
+      V.MergeEvents = R.MergeEvents;
+    } else if (R.Seconds < Best) {
+      Best = R.Seconds;
+    }
+  }
+  if (Best <= 0.0)
+    Best = 1e-9; // Sub-tick smoke run; avoid dividing by zero.
+  V.EventsPerSec = double(NumEvents) / Best;
+  V.NsPerEvent = 1e9 * Best / double(NumEvents);
+  return V;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args("bench_run",
+                "Times the tree update path (legacy / arena / "
+                "arena_stage0) on the standard workload shapes and "
+                "writes a pinned BENCH_core.json report.");
+  Args.addString("out", "BENCH_core.json", "output report path");
+  Args.addUint("events", 2000000, "raw events per workload");
+  Args.addUint("seed", 42, "master stream seed");
+  Args.addUint("repeats", 3, "timing passes per variant (best kept)");
+  Args.addUint("stage0-capacity", 16384,
+               "combining buffer capacity for the arena_stage0 variant");
+  Args.addDouble("epsilon", 0.01, "error constant for every workload");
+  Args.addBool("smoke", "fast CI shape: 50k events, one pass");
+  if (!Args.parse(Argc, Argv))
+    return 2;
+
+  uint64_t NumEvents = Args.getUint("events");
+  uint64_t Repeats = Args.getUint("repeats");
+  if (Args.getBool("smoke")) {
+    NumEvents = 50000;
+    Repeats = 1;
+  }
+  uint64_t Capacity = Args.getUint("stage0-capacity");
+
+  BenchReport Report;
+  Report.Schema = BenchSchemaName;
+  Report.Generator = "bench_run";
+
+  for (WorkloadSpec &Spec : makeWorkloads(Args.getUint("seed"), NumEvents)) {
+    Spec.Config.Epsilon = Args.getDouble("epsilon");
+    BenchWorkload W;
+    W.Name = Spec.Name;
+    W.RangeBits = Spec.Config.RangeBits;
+    W.BranchFactor = Spec.Config.BranchFactor;
+    W.Epsilon = Spec.Config.Epsilon;
+    W.Events = NumEvents;
+
+    const RapConfig &Config = Spec.Config;
+    const std::vector<uint64_t> &Events = Spec.Events;
+    W.Variants.push_back(timeVariant("legacy", NumEvents, Repeats, [&] {
+      return runLegacy(Config, Events);
+    }));
+    W.Variants.push_back(timeVariant("arena", NumEvents, Repeats, [&] {
+      return runArena(Config, Events);
+    }));
+    W.Variants.push_back(
+        timeVariant("arena_stage0", NumEvents, Repeats, [&] {
+          return runArenaStage0(Config, Events, Capacity);
+        }));
+
+    double Legacy = W.Variants[0].EventsPerSec;
+    double Best = std::max(W.Variants[1].EventsPerSec,
+                           W.Variants[2].EventsPerSec);
+    W.SpeedupVsLegacy = Best / Legacy;
+
+    std::printf("%-15s", W.Name.c_str());
+    for (const BenchVariant &V : W.Variants)
+      std::printf("  %s %8.2f Mev/s (%5.1f ns/ev)", V.Name.c_str(),
+                  V.EventsPerSec / 1e6, V.NsPerEvent);
+    std::printf("  speedup %.2fx\n", W.SpeedupVsLegacy);
+
+    Report.Workloads.push_back(std::move(W));
+  }
+
+  // Self-check before pinning: a report this binary cannot validate
+  // must never be committed as a baseline.
+  std::vector<std::string> Problems;
+  if (!validateBenchReport(Report, Problems)) {
+    for (const std::string &P : Problems)
+      std::fprintf(stderr, "bench_run: generated report invalid: %s\n",
+                   P.c_str());
+    return 1;
+  }
+
+  const std::string &Out = Args.getString("out");
+  std::ofstream OS(Out, std::ios::binary);
+  if (!OS) {
+    std::fprintf(stderr, "bench_run: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+  OS << serializeBenchReport(Report);
+  std::printf("wrote %s\n", Out.c_str());
+  return 0;
+}

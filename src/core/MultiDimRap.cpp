@@ -41,13 +41,15 @@ MdRapTree::MdRapTree(const MdRapConfig &TreeConfig) : Config(TreeConfig) {
   NextMergeAt = Config.InitialMergeInterval;
 }
 
-/// Quadrant of (X, Y) within \p Node: bit 0 from X, bit 1 from Y.
+/// Quadrant of (X, Y) within \p Node: bit 0 from X, bit 1 from Y. The
+/// node's corner is aligned to its width (squares only ever subdivide
+/// on power-of-two boundaries), so the subdividing bit can be read off
+/// the absolute coordinates directly — no corner subtraction, same
+/// branchless shift-and-mask select as the 1-D arena descend.
 static unsigned quadrantFor(const MdRapNode &Node, uint64_t X, uint64_t Y) {
   unsigned ChildBits = Node.widthBits() - 1;
-  unsigned XBit =
-      static_cast<unsigned>(((X - Node.xLo()) >> ChildBits) & 1);
-  unsigned YBit =
-      static_cast<unsigned>(((Y - Node.yLo()) >> ChildBits) & 1);
+  unsigned XBit = static_cast<unsigned>((X >> ChildBits) & 1);
+  unsigned YBit = static_cast<unsigned>((Y >> ChildBits) & 1);
   return (YBit << 1) | XBit;
 }
 

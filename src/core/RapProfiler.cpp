@@ -15,7 +15,7 @@ using namespace rap;
 RapProfiler::RapProfiler(const RapConfig &Config, uint64_t Stride)
     : Tree(Config), TimelineStride(Stride), NextTimelineAt(Stride) {}
 
-void RapProfiler::addPoint(uint64_t X, uint64_t Weight) {
+void RapProfiler::deliverPoint(uint64_t X, uint64_t Weight) {
   Tree.addPoint(X, Weight);
   NodeCountIntegral = saturatingAdd(
       NodeCountIntegral, saturatingMul(Tree.numNodes(), Weight));
@@ -23,6 +23,28 @@ void RapProfiler::addPoint(uint64_t X, uint64_t Weight) {
     Timeline.emplace_back(Tree.numEvents(), Tree.numNodes());
     NextTimelineAt += TimelineStride;
   }
+}
+
+void RapProfiler::addPoint(uint64_t X, uint64_t Weight) {
+  if (!Combiner) {
+    deliverPoint(X, Weight);
+    return;
+  }
+  if (Combiner->push(X, Weight))
+    flush();
+}
+
+void RapProfiler::enableCombining(uint64_t Capacity) {
+  flush();
+  Combiner = Capacity == 0 ? nullptr
+                           : std::make_unique<StageZeroBuffer>(Capacity);
+}
+
+void RapProfiler::flush() {
+  if (!Combiner || Combiner->size() == 0)
+    return;
+  for (const auto &[Event, Weight] : Combiner->drain())
+    deliverPoint(Event, Weight);
 }
 
 void RapProfiler::addPoints(const std::vector<uint64_t> &Xs) {

@@ -19,6 +19,7 @@
 #define RAP_CORE_RAPPROFILER_H
 
 #include "core/RapTree.h"
+#include "core/StageZeroBuffer.h"
 
 #include <map>
 #include <memory>
@@ -41,6 +42,24 @@ public:
 
   /// Adds a batch of unit-weight events.
   void addPoints(const std::vector<uint64_t> &Xs);
+
+  /// Enables stage-0 event combining (Sec 3.3, software port): events
+  /// are coalesced in a StageZeroBuffer of \p Capacity distinct values
+  /// and only enter the tree when a window fills or flush() is called.
+  /// Capacity 0 disables combining. Either way any pending events are
+  /// flushed first. While combining is enabled, readers of tree()
+  /// statistics should flush() first or tolerate up to
+  /// pendingCombined() not-yet-delivered events.
+  void enableCombining(uint64_t Capacity);
+
+  /// Delivers any buffered combined events to the tree now.
+  void flush();
+
+  /// Distinct events currently held back in the combining buffer
+  /// (zero when combining is disabled).
+  uint64_t pendingCombined() const {
+    return Combiner ? Combiner->size() : 0;
+  }
 
   /// The underlying tree (read-only).
   const RapTree &tree() const { return Tree; }
@@ -68,9 +87,15 @@ public:
   }
 
 private:
+  /// Feeds one (possibly combined) event to the tree and updates the
+  /// run statistics; addPoint routes through the combining buffer
+  /// first when one is enabled.
+  void deliverPoint(uint64_t X, uint64_t Weight);
+
   RapTree Tree;
   uint64_t TimelineStride;
   uint64_t NextTimelineAt;
+  std::unique_ptr<StageZeroBuffer> Combiner;
   /// Sum over events of the node count at that event; divided by n this
   /// is the time-averaged memory requirement.
   uint64_t NodeCountIntegral = 0;

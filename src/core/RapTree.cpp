@@ -4,17 +4,138 @@
 // (Mysore et al., CGO 2006). MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Arena implementation notes. Node state lives in the SoA vectors of
+// detail::NodeArena; every routine below works on 32-bit node ids and
+// re-subscripts the vectors after any call that can allocate (vector
+// growth moves the slabs, so references must never be held across an
+// allocChildren). Handles in the deque are address-stable, which is
+// what keeps the const RapNode& API (root, findSmallestCover) valid
+// across growth.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/RapTree.h"
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
 
 using namespace rap;
+using rap::detail::NodeArena;
+
+//===----------------------------------------------------------------------===//
+// NodeArena
+//===----------------------------------------------------------------------===//
+
+void NodeArena::initRoot(unsigned RangeBits) {
+  assert(Los.empty() && "root already created");
+  Los.push_back(0);
+  Counts.push_back(0);
+  Navs.push_back(LeafNav);
+  Widths.push_back(static_cast<uint8_t>(RangeBits));
+  Handles.push_back(RapNode(this, 0));
+}
+
+uint32_t NodeArena::allocBlock(unsigned SlotLog2) {
+  if (SlotLog2 < FreeBlocks.size() && !FreeBlocks[SlotLog2].empty()) {
+    uint32_t First = FreeBlocks[SlotLog2].back();
+    FreeBlocks[SlotLog2].pop_back();
+    return First;
+  }
+  size_t NumSlots = size_t(1) << SlotLog2;
+  size_t Old = Navs.size();
+  assert(Old + NumSlots < InvalidIndex && "arena exceeds 32-bit node ids");
+  Los.resize(Old + NumSlots);
+  Counts.resize(Old + NumSlots);
+  Navs.resize(Old + NumSlots);
+  Widths.resize(Old + NumSlots);
+  for (size_t I = Old; I != Old + NumSlots; ++I)
+    Handles.push_back(RapNode(this, static_cast<uint32_t>(I)));
+  return static_cast<uint32_t>(Old);
+}
+
+uint32_t NodeArena::allocChildren(uint32_t Parent, unsigned ChildBits,
+                                  unsigned SlotLog2, bool Dead) {
+  uint32_t First = allocBlock(SlotLog2);
+  // Subscript only after the allocation above: the slabs may have moved.
+  uint64_t ParentLo = Los[Parent];
+  uint64_t InitNav = Dead ? DeadLeafNav : LeafNav;
+  size_t NumSlots = size_t(1) << SlotLog2;
+  for (size_t Slot = 0; Slot != NumSlots; ++Slot) {
+    size_t Child = First + Slot;
+    Los[Child] = ParentLo + (static_cast<uint64_t>(Slot) << ChildBits);
+    Counts[Child] = 0;
+    Navs[Child] = InitNav;
+    Widths[Child] = static_cast<uint8_t>(ChildBits);
+  }
+  Navs[Parent] = makeNav(First, ChildBits, SlotLog2);
+  return First;
+}
+
+void NodeArena::freeBlock(uint32_t FirstChild, unsigned SlotLog2) {
+  if (FreeBlocks.size() <= SlotLog2)
+    FreeBlocks.resize(SlotLog2 + 1);
+  FreeBlocks[SlotLog2].push_back(FirstChild);
+}
+
+void NodeArena::freeDescendants(uint32_t Node) {
+  uint64_t Nav = Navs[Node];
+  if (navIsLeaf(Nav))
+    return;
+  uint32_t First = navFirstChild(Nav);
+  unsigned SlotLog2 = navSlotLog2(Nav);
+  size_t NumSlots = size_t(1) << SlotLog2;
+  for (size_t Slot = 0; Slot != NumSlots; ++Slot) {
+    uint32_t Child = First + static_cast<uint32_t>(Slot);
+    if (!navIsDead(Navs[Child]))
+      freeDescendants(Child);
+  }
+  freeBlock(First, SlotLog2);
+  Navs[Node] = LeafNav;
+}
+
+void NodeArena::killSubtree(uint32_t Node) {
+  freeDescendants(Node);
+  Navs[Node] = DeadLeafNav;
+  Counts[Node] = 0;
+}
+
+uint64_t NodeArena::subtreeWeight(uint32_t Node) const {
+  uint64_t Total = Counts[Node];
+  uint64_t Nav = Navs[Node];
+  if (navIsLeaf(Nav))
+    return Total;
+  uint32_t First = navFirstChild(Nav);
+  size_t NumSlots = size_t(1) << navSlotLog2(Nav);
+  for (size_t Slot = 0; Slot != NumSlots; ++Slot) {
+    uint32_t Child = First + static_cast<uint32_t>(Slot);
+    if (!navIsDead(Navs[Child]))
+      Total = saturatingAdd(Total, subtreeWeight(Child));
+  }
+  return Total;
+}
+
+uint64_t NodeArena::subtreeNodeCount(uint32_t Node) const {
+  uint64_t Total = 1;
+  uint64_t Nav = Navs[Node];
+  if (navIsLeaf(Nav))
+    return Total;
+  uint32_t First = navFirstChild(Nav);
+  size_t NumSlots = size_t(1) << navSlotLog2(Nav);
+  for (size_t Slot = 0; Slot != NumSlots; ++Slot) {
+    uint32_t Child = First + static_cast<uint32_t>(Slot);
+    if (!navIsDead(Navs[Child]))
+      Total += subtreeNodeCount(Child);
+  }
+  return Total;
+}
+
+//===----------------------------------------------------------------------===//
+// RapTree
+//===----------------------------------------------------------------------===//
 
 RapTree::RapTree(const RapConfig &TreeConfig) : Config(TreeConfig) {
   // Throwing (rather than asserting) keeps an invalid config from
@@ -23,7 +144,7 @@ RapTree::RapTree(const RapConfig &TreeConfig) : Config(TreeConfig) {
   std::string Error;
   if (!Config.validate(&Error))
     throw std::invalid_argument("RapTree: invalid config: " + Error);
-  Root = std::make_unique<RapNode>(0, Config.RangeBits);
+  Arena.initRoot(Config.RangeBits);
   NextMergeAt = Config.InitialMergeInterval;
 }
 
@@ -45,13 +166,21 @@ std::unique_ptr<RapTree> RapTree::fromNodeSet(
     return Fail("first node is not the root of the configured universe");
 
   auto Tree = std::make_unique<RapTree>(Config);
-  Tree->Root->Count = std::get<2>(Nodes[0]);
+  NodeArena &Arena = Tree->Arena;
+  Arena.Counts[0] = std::get<2>(Nodes[0]);
   unsigned BitsPerLevel = Config.bitsPerLevel();
   uint64_t TotalCount = std::get<2>(Nodes[0]);
 
+  auto NodeHi = [&Arena](uint32_t Node) {
+    unsigned Width = Arena.Widths[Node];
+    if (Width == 64)
+      return ~uint64_t(0);
+    return Arena.Los[Node] + ((uint64_t(1) << Width) - 1);
+  };
+
   // Preorder insertion: a maintained stack of the current ancestor
   // path places each node under its deepest enclosing predecessor.
-  std::vector<RapNode *> Path = {Tree->Root.get()};
+  std::vector<uint32_t> Path = {0};
   for (size_t I = 1; I < Nodes.size(); ++I) {
     auto [Lo, WidthBits, Count] = Nodes[I];
     if (WidthBits >= Config.RangeBits)
@@ -61,29 +190,32 @@ std::unique_ptr<RapTree> RapTree::fromNodeSet(
       return Fail("node range not aligned to its width");
     uint64_t Hi = Lo + Width - 1;
     while (!Path.empty() &&
-           !(Path.back()->lo() <= Lo && Hi <= Path.back()->hi()))
+           !(Arena.Los[Path.back()] <= Lo && Hi <= NodeHi(Path.back())))
       Path.pop_back();
     if (Path.empty())
       return Fail("node not contained in any predecessor (not preorder)");
-    RapNode *Parent = Path.back();
-    unsigned ExpectedChildBits = Parent->widthBits() > BitsPerLevel
-                                     ? Parent->widthBits() - BitsPerLevel
-                                     : 0;
+    uint32_t Parent = Path.back();
+    unsigned ParentWidth = Arena.Widths[Parent];
+    unsigned ExpectedChildBits =
+        ParentWidth > BitsPerLevel ? ParentWidth - BitsPerLevel : 0;
     if (WidthBits != ExpectedChildBits)
       return Fail("node width inconsistent with the branching factor");
-    unsigned NumSlots = 1u
-                        << (Parent->widthBits() - ExpectedChildBits);
-    if (Parent->Children.empty())
-      Parent->Children.resize(NumSlots);
-    unsigned Slot = static_cast<unsigned>((Lo - Parent->lo()) >>
+    uint64_t ParentNav = Arena.Navs[Parent];
+    uint32_t First =
+        NodeArena::navIsLeaf(ParentNav)
+            ? Arena.allocChildren(Parent, ExpectedChildBits,
+                                  ParentWidth - ExpectedChildBits,
+                                  /*Dead=*/true)
+            : NodeArena::navFirstChild(ParentNav);
+    unsigned Slot = static_cast<unsigned>((Lo - Arena.Los[Parent]) >>
                                           ExpectedChildBits);
-    if (Parent->Children[Slot])
+    uint32_t Child = First + Slot;
+    if (!NodeArena::navIsDead(Arena.Navs[Child]))
       return Fail("duplicate node range");
-    auto Child = std::make_unique<RapNode>(Lo, WidthBits);
-    Child->Count = Count;
+    Arena.Navs[Child] = NodeArena::LeafNav;
+    Arena.Counts[Child] = Count;
     TotalCount = saturatingAdd(TotalCount, Count);
-    Path.push_back(Child.get());
-    Parent->Children[Slot] = std::move(Child);
+    Path.push_back(Child);
     ++Tree->NumNodes;
   }
   if (TotalCount != NumEvents)
@@ -103,32 +235,29 @@ std::unique_ptr<RapTree> RapTree::fromNodeSet(
   return Tree;
 }
 
-/// Returns the slot index of the child of \p Node that would cover
-/// \p X, along with the width of that child level.
-static unsigned childSlotFor(const RapNode &Node, uint64_t X,
-                             unsigned BitsPerLevel) {
-  unsigned ChildBits =
-      Node.widthBits() > BitsPerLevel ? Node.widthBits() - BitsPerLevel : 0;
-  uint64_t Offset = X - Node.lo();
-  return static_cast<unsigned>(Offset >> ChildBits);
-}
-
-RapNode *RapTree::descend(uint64_t X) {
-  RapNode *Node = Root.get();
-  unsigned BitsPerLevel = Config.bitsPerLevel();
-  while (Node->hasChildren()) {
-    unsigned Slot = childSlotFor(*Node, X, BitsPerLevel);
-    assert(Slot < Node->Children.size() && "child slot out of range");
-    RapNode *Child = Node->Children[Slot].get();
-    if (!Child)
+uint32_t RapTree::descendIndex(uint64_t X) const {
+  // The descend touches only the Navs slab: one 64-bit load per level,
+  // and the child slot falls out of a shift-and-mask on X because every
+  // node's lo() is aligned to its width (no subtraction needed).
+  const uint64_t *NavData = Arena.Navs.data();
+  uint32_t Node = 0;
+  uint64_t Nav = NavData[0];
+  while (!NodeArena::navIsLeaf(Nav)) {
+    uint32_t Child =
+        NodeArena::navFirstChild(Nav) +
+        static_cast<uint32_t>((X >> NodeArena::navChildShift(Nav)) &
+                              lowBitMask(NodeArena::navSlotLog2(Nav)));
+    uint64_t ChildNav = NavData[Child];
+    if (NodeArena::navIsDead(ChildNav))
       break; // Sub-range was merged back into this node (Sec 3.3).
     Node = Child;
+    Nav = ChildNav;
   }
   return Node;
 }
 
 const RapNode &RapTree::findSmallestCover(uint64_t X) const {
-  return *const_cast<RapTree *>(this)->descend(X);
+  return *Arena.handle(descendIndex(X));
 }
 
 void RapTree::addPoint(uint64_t X, uint64_t Weight) {
@@ -142,14 +271,15 @@ void RapTree::addPoint(uint64_t X, uint64_t Weight) {
          "event outside the configured universe");
   NumEvents = saturatingAdd(NumEvents, Weight);
 
-  RapNode *Node = descend(X);
-  Node->Count = saturatingAdd(Node->Count, Weight);
+  uint32_t Node = descendIndex(X);
+  uint64_t NewCount = saturatingAdd(Arena.Counts[Node], Weight);
+  Arena.Counts[Node] = NewCount;
 
   // Split check (Sec 2.2): a counter that outgrew the threshold sprouts
   // children so subsequent events in this range profile more precisely.
-  if (!Node->isUnitRange() &&
-      static_cast<double>(Node->Count) > Config.splitThreshold(NumEvents))
-    splitNode(*Node);
+  if (Arena.Widths[Node] != 0 &&
+      static_cast<double>(NewCount) > Config.splitThreshold(NumEvents))
+    splitNode(Node);
 
   // Batched merges at exponentially growing intervals (Sec 3.1, Fig 3).
   if (Config.EnableMerges && NumEvents >= NextMergeAt) {
@@ -158,93 +288,112 @@ void RapTree::addPoint(uint64_t X, uint64_t Weight) {
   }
 }
 
-void RapTree::splitNode(RapNode &Node) {
-  assert(!Node.isUnitRange() && "cannot split a unit range");
+void RapTree::splitNode(uint32_t Node) {
+  assert(Arena.Widths[Node] != 0 && "cannot split a unit range");
   unsigned BitsPerLevel = Config.bitsPerLevel();
-  unsigned ChildBits =
-      Node.widthBits() > BitsPerLevel ? Node.widthBits() - BitsPerLevel : 0;
-  unsigned NumSlots = 1u << (Node.widthBits() - ChildBits);
-  if (Node.Children.empty())
-    Node.Children.resize(NumSlots);
-  assert(Node.Children.size() == NumSlots && "child slot count changed");
+  unsigned MyWidth = Arena.Widths[Node];
+  unsigned ChildBits = MyWidth > BitsPerLevel ? MyWidth - BitsPerLevel : 0;
+  unsigned SlotLog2 = MyWidth - ChildBits;
+  uint64_t Nav = Arena.Navs[Node];
 
   // Create every missing child with a zero counter. The parent keeps
   // its own counter (counters are never decremented, Sec 2.2 fn 1).
-  for (unsigned Slot = 0; Slot != NumSlots; ++Slot) {
-    if (Node.Children[Slot])
-      continue;
-    uint64_t ChildLo = Node.lo() + (static_cast<uint64_t>(Slot) << ChildBits);
-    Node.Children[Slot] = std::make_unique<RapNode>(ChildLo, ChildBits);
-    ++NumNodes;
+  if (NodeArena::navIsLeaf(Nav)) {
+    Arena.allocChildren(Node, ChildBits, SlotLog2, /*Dead=*/false);
+    NumNodes += uint64_t(1) << SlotLog2;
+  } else {
+    // Revive in place the slots merged back since the last split.
+    uint32_t First = NodeArena::navFirstChild(Nav);
+    unsigned NumSlots = 1u << SlotLog2;
+    for (unsigned Slot = 0; Slot != NumSlots; ++Slot) {
+      uint32_t Child = First + Slot;
+      if (!NodeArena::navIsDead(Arena.Navs[Child]))
+        continue;
+      Arena.Navs[Child] = NodeArena::LeafNav;
+      Arena.Counts[Child] = 0;
+      ++NumNodes;
+    }
   }
   ++NumSplits;
   MaxNumNodes = std::max(MaxNumNodes, NumNodes);
 }
 
-uint64_t RapTree::mergeWalk(RapNode &Node, double Threshold,
+uint64_t RapTree::mergeWalk(uint32_t Node, double Threshold,
                             uint64_t &Removed) {
-  uint64_t Total = Node.Count;
-  if (!Node.hasChildren())
+  uint64_t Total = Arena.Counts[Node];
+  uint64_t Nav = Arena.Navs[Node];
+  if (NodeArena::navIsLeaf(Nav))
     return Total;
 
   bool AnyChildLeft = false;
-  for (auto &ChildSlot : Node.Children) {
-    if (!ChildSlot)
+  uint32_t First = NodeArena::navFirstChild(Nav);
+  unsigned SlotLog2 = NodeArena::navSlotLog2(Nav);
+  unsigned NumSlots = 1u << SlotLog2;
+  for (unsigned Slot = 0; Slot != NumSlots; ++Slot) {
+    uint32_t Child = First + Slot;
+    if (NodeArena::navIsDead(Arena.Navs[Child]))
       continue;
-    uint64_t ChildWeight = mergeWalk(*ChildSlot, Threshold, Removed);
+    uint64_t ChildWeight = mergeWalk(Child, Threshold, Removed);
     Total = saturatingAdd(Total, ChildWeight);
     if (static_cast<double>(ChildWeight) < Threshold) {
       // Fold the entire (already internally merged) child subtree into
       // this node: child counts are equally valid on the super-range
       // (Sec 2.2 "Merge").
-      Node.Count = saturatingAdd(Node.Count, ChildWeight);
-      uint64_t Dropped = ChildSlot->subtreeNodeCount();
+      Arena.Counts[Node] = saturatingAdd(Arena.Counts[Node], ChildWeight);
+      uint64_t Dropped = Arena.subtreeNodeCount(Child);
       Removed += Dropped;
       NumNodes -= Dropped;
-      ChildSlot.reset();
+      Arena.killSubtree(Child);
     } else {
       AnyChildLeft = true;
     }
   }
-  if (!AnyChildLeft)
-    Node.Children.clear();
+  if (!AnyChildLeft) {
+    // Every slot merged back: recycle the whole block; the node is a
+    // leaf again.
+    Arena.freeBlock(First, SlotLog2);
+    Arena.Navs[Node] = NodeArena::LeafNav;
+  }
   return Total;
+}
+
+void RapTree::unionWith(uint32_t Mine, const RapNode &Theirs) {
+  // Recursive structural union: Other's node counts land on the
+  // equally-ranged node here, materializing missing children so no
+  // precision recorded by the shard is lost at union time (the absorb
+  // merge pass re-compacts whatever is no longer warranted).
+  Arena.Counts[Mine] = saturatingAdd(Arena.Counts[Mine], Theirs.count());
+  if (!Theirs.hasChildren())
+    return;
+  unsigned BitsPerLevel = Config.bitsPerLevel();
+  unsigned MyWidth = Arena.Widths[Mine];
+  unsigned ChildBits = MyWidth > BitsPerLevel ? MyWidth - BitsPerLevel : 0;
+  unsigned SlotLog2 = MyWidth - ChildBits;
+  uint64_t Nav = Arena.Navs[Mine];
+  uint32_t First =
+      NodeArena::navIsLeaf(Nav)
+          ? Arena.allocChildren(Mine, ChildBits, SlotLog2, /*Dead=*/true)
+          : NodeArena::navFirstChild(Nav);
+  unsigned NumSlots = 1u << SlotLog2;
+  for (unsigned Slot = 0; Slot != NumSlots; ++Slot) {
+    const RapNode *TheirChild = Theirs.child(Slot);
+    if (!TheirChild)
+      continue;
+    uint32_t Child = First + Slot;
+    if (NodeArena::navIsDead(Arena.Navs[Child])) {
+      Arena.Navs[Child] = NodeArena::LeafNav;
+      Arena.Counts[Child] = 0;
+      ++NumNodes;
+    }
+    unionWith(Child, *TheirChild);
+  }
 }
 
 void RapTree::absorb(const RapTree &Other) {
   assert(Config.RangeBits == Other.Config.RangeBits &&
          Config.BranchFactor == Other.Config.BranchFactor &&
          "absorb requires identical tree geometry");
-
-  // Recursive structural union: Other's node counts land on the
-  // equally-ranged node here, materializing missing children so no
-  // precision recorded by the shard is lost at union time (the merge
-  // pass below re-compacts whatever is no longer warranted).
-  unsigned BitsPerLevel = Config.bitsPerLevel();
-  std::function<void(RapNode &, const RapNode &)> Union =
-      [&](RapNode &Mine, const RapNode &Theirs) {
-        Mine.Count = saturatingAdd(Mine.Count, Theirs.Count);
-        if (!Theirs.hasChildren())
-          return;
-        unsigned ChildBits = Mine.widthBits() > BitsPerLevel
-                                 ? Mine.widthBits() - BitsPerLevel
-                                 : 0;
-        unsigned NumSlots = 1u << (Mine.widthBits() - ChildBits);
-        if (Mine.Children.empty())
-          Mine.Children.resize(NumSlots);
-        for (unsigned Slot = 0; Slot != NumSlots; ++Slot) {
-          const RapNode *TheirChild = Theirs.child(Slot);
-          if (!TheirChild)
-            continue;
-          if (!Mine.Children[Slot]) {
-            Mine.Children[Slot] = std::make_unique<RapNode>(
-                TheirChild->lo(), TheirChild->widthBits());
-            ++NumNodes;
-          }
-          Union(*Mine.Children[Slot], *TheirChild);
-        }
-      };
-  Union(*Root, Other.root());
+  unionWith(0, Other.root());
   NumEvents = saturatingAdd(NumEvents, Other.NumEvents);
   MaxNumNodes = std::max(MaxNumNodes, NumNodes);
   // Re-compact at the combined stream position and realign the merge
@@ -259,7 +408,7 @@ void RapTree::absorb(const RapTree &Other) {
 uint64_t RapTree::mergeNow() {
   double Threshold = Config.mergeThreshold(NumEvents);
   uint64_t Removed = 0;
-  mergeWalk(*Root, Threshold, Removed);
+  mergeWalk(0, Threshold, Removed);
   ++NumMergePasses;
   NumMergedNodes += Removed;
   MergeEventCounts.push_back(NumEvents);
@@ -277,6 +426,15 @@ void RapTree::scheduleAfterMerge() {
           ? ~uint64_t(0)
           : static_cast<uint64_t>(std::llround(Next));
   NextMergeAt = std::max<uint64_t>(saturatingAdd(NumEvents, 1), NextInt);
+}
+
+uint64_t RapTree::arenaBytes() const {
+  uint64_t SlabBytes =
+      static_cast<uint64_t>(Arena.Los.capacity()) *
+      (sizeof(uint64_t) * 3 + sizeof(uint8_t));
+  uint64_t HandleBytes =
+      static_cast<uint64_t>(Arena.Handles.size()) * sizeof(RapNode);
+  return SlabBytes + HandleBytes;
 }
 
 uint64_t RapTree::estimateWalk(const RapNode &Node, uint64_t Lo,
@@ -297,7 +455,7 @@ uint64_t RapTree::estimateWalk(const RapNode &Node, uint64_t Lo,
 
 uint64_t RapTree::estimateRange(uint64_t Lo, uint64_t Hi) const {
   assert(Lo <= Hi && "empty query range");
-  return estimateWalk(*Root, Lo, Hi);
+  return estimateWalk(root(), Lo, Hi);
 }
 
 /// Upper-bound companion of estimateWalk: every counter on a node
@@ -318,8 +476,8 @@ RapTree::RangeBounds RapTree::estimateRangeBounds(uint64_t Lo,
                                                   uint64_t Hi) const {
   assert(Lo <= Hi && "empty query range");
   RangeBounds Bounds;
-  Bounds.Lower = estimateWalk(*Root, Lo, Hi);
-  Bounds.Upper = upperWalk(*Root, Lo, Hi);
+  Bounds.Lower = estimateWalk(root(), Lo, Hi);
+  Bounds.Upper = upperWalk(root(), Lo, Hi);
   return Bounds;
 }
 
@@ -340,7 +498,7 @@ uint64_t RapTree::hotWalk(const RapNode &Node, double Threshold,
   if (!IsHot) {
     // Not hot: drop the reserved placeholder. Hot descendants appended
     // after it keep their relative (preorder) order.
-    Out.erase(Out.begin() + MyIndex);
+    Out.erase(Out.begin() + static_cast<std::ptrdiff_t>(MyIndex));
     return Exclusive;
   }
 
@@ -358,7 +516,7 @@ std::vector<HotRange> RapTree::extractHotRanges(double Phi) const {
   assert(Phi > 0.0 && Phi <= 1.0 && "hotness fraction out of range");
   std::vector<HotRange> Out;
   double Threshold = Phi * static_cast<double>(NumEvents);
-  hotWalk(*Root, Threshold, 0, Out);
+  hotWalk(root(), Threshold, 0, Out);
   return Out;
 }
 
@@ -392,7 +550,7 @@ static void dumpWalk(std::ostream &OS, const RapNode &Node, unsigned Depth,
 }
 
 void RapTree::dump(std::ostream &OS) const {
-  dumpWalk(OS, *Root, 0, NumEvents);
+  dumpWalk(OS, root(), 0, NumEvents);
 }
 
 void RapTree::dumpHot(std::ostream &OS, double Phi) const {
@@ -419,7 +577,7 @@ void RapTree::dumpHot(std::ostream &OS, double Phi) const {
   // hot ranges only (not their raw tree depth).
   bool RootHot = !Hot.empty() && Hot.front().Depth == 0;
   if (!RootHot)
-    PrintLine(Root->lo(), Root->hi(), 0, Root->count());
+    PrintLine(root().lo(), root().hi(), 0, root().count());
 
   std::vector<std::pair<uint64_t, uint64_t>> Enclosing;
   for (const HotRange &H : Hot) {

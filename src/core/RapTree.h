@@ -22,6 +22,14 @@
 /// Estimates read off the tree are always lower bounds on true counts,
 /// off by at most eps * n (one threshold per ancestor level).
 ///
+/// Nodes are stored in a slab arena with 32-bit indices (see
+/// RapNode.h): the update descend is one packed-word load per level
+/// with branchless child selection, and counters live in a
+/// structure-of-arrays layout. The semantics are bit-for-bit those of
+/// the original pointer-based tree, which survives as
+/// verify/ReferenceRapTree and is cross-checked structurally by the
+/// DifferentialOracle.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RAP_CORE_RAPTREE_H
@@ -99,7 +107,7 @@ public:
   /// update operation, plus the split check and the batched-merge
   /// schedule. \p X must lie inside the configured universe. A weight
   /// greater than one corresponds to a combined duplicate from the
-  /// hardware event buffer (Sec 3.3 stage 0).
+  /// stage-0 event buffer (Sec 3.3; software port in StageZeroBuffer).
   void addPoint(uint64_t X, uint64_t Weight = 1);
 
   /// Runs one batched merge pass immediately with the current merge
@@ -132,6 +140,12 @@ public:
   /// (Sec 4.2), i.e. bytes = 16 * numNodes().
   uint64_t memoryBytes() const { return NumNodes * BytesPerNode; }
 
+  /// Actual bytes of arena storage backing the tree (all slab vectors
+  /// plus the handle pool), including slots on free lists. The
+  /// software implementation's real footprint, as opposed to the
+  /// paper's 128-bit hardware budget of memoryBytes().
+  uint64_t arenaBytes() const;
+
   /// Number of split operations performed.
   uint64_t numSplits() const { return NumSplits; }
 
@@ -155,7 +169,7 @@ public:
   }
 
   /// Root node (covers the entire universe).
-  const RapNode &root() const { return *Root; }
+  const RapNode &root() const { return Arena.Handles.front(); }
 
   /// The smallest existing node covering \p X (never null).
   const RapNode &findSmallestCover(uint64_t X) const;
@@ -198,16 +212,17 @@ public:
   static constexpr uint64_t BytesPerNode = 16;
 
 private:
-  RapNode *descend(uint64_t X);
-  void splitNode(RapNode &Node);
-  uint64_t mergeWalk(RapNode &Node, double Threshold, uint64_t &Removed);
+  uint32_t descendIndex(uint64_t X) const;
+  void splitNode(uint32_t Node);
+  uint64_t mergeWalk(uint32_t Node, double Threshold, uint64_t &Removed);
+  void unionWith(uint32_t Mine, const RapNode &Theirs);
   uint64_t hotWalk(const RapNode &Node, double Threshold, unsigned Depth,
                    std::vector<HotRange> &Out) const;
   uint64_t estimateWalk(const RapNode &Node, uint64_t Lo, uint64_t Hi) const;
   void scheduleAfterMerge();
 
   RapConfig Config;
-  std::unique_ptr<RapNode> Root;
+  detail::NodeArena Arena;
   uint64_t NumEvents = 0;
   uint64_t NumNodes = 1;
   uint64_t MaxNumNodes = 1;

@@ -1,0 +1,96 @@
+//===- support/MiniJson.h - Minimal JSON reader/writer ---------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON value model with a strict parser and a
+/// deterministic writer, used for the pinned benchmark reports
+/// (BENCH_core.json) and the bench_diff gate. Only what those need:
+/// the full JSON value grammar, objects that preserve insertion order
+/// (so serialized reports diff cleanly), and integer-exact round-trips
+/// for counts up to 2^53 (counts above that lose precision like any
+/// double-based JSON reader; benchmark counts are far below).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_SUPPORT_MINIJSON_H
+#define RAP_SUPPORT_MINIJSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rap {
+namespace json {
+
+/// One JSON value of any kind. Objects keep fields in insertion order.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() : K(Kind::Null) {}
+  static Value boolean(bool B);
+  static Value number(double N);
+  static Value number(uint64_t N);
+  static Value string(std::string S);
+  static Value array();
+  static Value object();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  /// The number as a uint64, or \p Fallback if it is negative,
+  /// non-integral, or too large to represent exactly.
+  uint64_t asUint(uint64_t Fallback = 0) const;
+  const std::string &asString() const { return Str; }
+
+  /// Array elements (empty unless isArray()).
+  const std::vector<Value> &elements() const { return Arr; }
+  /// Appends \p Element to an array value.
+  Value &push(Value Element);
+
+  /// Object fields in insertion order (empty unless isObject()).
+  const std::vector<std::pair<std::string, Value>> &fields() const {
+    return Obj;
+  }
+  /// Field \p Name, or null when absent (or not an object).
+  const Value *get(const std::string &Name) const;
+  /// Sets (or replaces) field \p Name on an object value; returns the
+  /// stored value.
+  Value &set(const std::string &Name, Value Field);
+
+private:
+  Kind K;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses strict JSON. On failure returns null and, when \p Error is
+/// non-null, stores a message with the byte offset of the problem.
+/// Parsed trees nested deeper than an internal bound (well past any
+/// benchmark report) are rejected rather than risking stack overflow.
+Value parse(const std::string &Text, std::string *Error = nullptr);
+
+/// Serializes \p V deterministically: fields in insertion order,
+/// two-space indentation, integers (|x| < 2^53) without a decimal
+/// point, other numbers with enough digits to round-trip.
+std::string serialize(const Value &V);
+
+} // namespace json
+} // namespace rap
+
+#endif // RAP_SUPPORT_MINIJSON_H

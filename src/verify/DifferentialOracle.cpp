@@ -43,15 +43,41 @@ DifferentialOracle::DifferentialOracle(const RapConfig &TreeConfig,
                                        OracleOptions Opts)
     : Config(TreeConfig), Options(Opts), Tree(TreeConfig), Auditor(Tree),
       Flat(std::max(TreeConfig.RangeBits, 1u),
-           flatBuckets(TreeConfig, Opts.FlatBucketBits)) {}
+           flatBuckets(TreeConfig, Opts.FlatBucketBits)) {
+  if (Options.CrossCheckReference)
+    Reference = std::make_unique<ReferenceRapTree>(TreeConfig);
+  if (Options.CombineCapacity != 0)
+    Combiner = std::make_unique<StageZeroBuffer>(Options.CombineCapacity);
+}
+
+void DifferentialOracle::deliverPoint(uint64_t X, uint64_t Weight) {
+  Auditor.addPoint(X, Weight);
+  if (Reference)
+    Reference->addPoint(X, Weight);
+  if (Weight != 0)
+    MaxWeight = std::max(MaxWeight, Weight);
+}
+
+void DifferentialOracle::flushCombiner() {
+  if (!Combiner || Combiner->size() == 0)
+    return;
+  for (const auto &[Event, Weight] : Combiner->drain())
+    deliverPoint(Event, Weight);
+}
 
 void DifferentialOracle::addPoint(uint64_t X, uint64_t Weight) {
-  Auditor.addPoint(X, Weight);
+  // The exact and flat oracles always see the raw stream: combining
+  // must not change any truth the tree is checked against.
   if (Weight != 0) {
     Exact.addPoint(X, Weight);
     Flat.addPoint(X, Weight);
-    MaxWeight = std::max(MaxWeight, Weight);
   }
+  if (!Combiner) {
+    deliverPoint(X, Weight);
+    return;
+  }
+  if (Combiner->push(X, Weight))
+    flushCombiner();
 }
 
 double DifferentialOracle::errorBudget() const {
@@ -60,9 +86,15 @@ double DifferentialOracle::errorBudget() const {
   // The split-only bound is eps * n for unit-weight streams: one split
   // threshold per ancestor level. A weighted update overshoots the
   // threshold by up to its whole weight before the split lands, so
-  // each level may additionally miss (maxWeight - 1) counts.
-  double WeightSlack =
-      static_cast<double>(Depth) * static_cast<double>(MaxWeight - 1);
+  // each level may miss (maxWeight - 1) counts — and it can do so
+  // again after every batched merge pass, because a merge that folds a
+  // level's children back makes the next (possibly heavy) arrival land
+  // on the parent before the re-split. One weighted arrival per level
+  // per merge epoch is therefore the honest slack; for unit-weight
+  // streams this whole term stays zero and the bound is unchanged.
+  double WeightSlack = static_cast<double>(Depth) *
+                       static_cast<double>(MaxWeight - 1) *
+                       (1.0 + static_cast<double>(Tree.numMergePasses()));
   // Each batched merge can additionally fold up to one merge-threshold
   // of a leaf's counts into its parent before the leaf regrows. With
   // merge times growing geometrically at ratio q the folds sum to a
@@ -172,7 +204,69 @@ void DifferentialOracle::checkHotRanges(double Phi) {
   }
 }
 
+/// Preorder (lo, widthBits, count) triples of the audited arena tree,
+/// in the same child order ReferenceRapTree::collectNodes() uses.
+static void collectArena(const RapNode &Node,
+                         std::vector<ReferenceRapTree::NodeTriple> &Out) {
+  Out.emplace_back(Node.lo(), static_cast<uint8_t>(Node.widthBits()),
+                   Node.count());
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
+    if (const RapNode *Child = Node.child(Slot))
+      collectArena(*Child, Out);
+}
+
+void DifferentialOracle::checkReference() {
+  if (Tree.numEvents() != Reference->numEvents() ||
+      Tree.numNodes() != Reference->numNodes() ||
+      Tree.numSplits() != Reference->numSplits() ||
+      Tree.numMergePasses() != Reference->numMergePasses() ||
+      Tree.nextMergeAt() != Reference->nextMergeAt())
+    fail(Violations, "arena-reference-divergence",
+         "stats diverge: n=%" PRIu64 "/%" PRIu64 " nodes=%" PRIu64
+         "/%" PRIu64 " splits=%" PRIu64 "/%" PRIu64 " merges=%" PRIu64
+         "/%" PRIu64 " next=%" PRIu64 "/%" PRIu64,
+         Tree.numEvents(), Reference->numEvents(), Tree.numNodes(),
+         Reference->numNodes(), Tree.numSplits(), Reference->numSplits(),
+         Tree.numMergePasses(), Reference->numMergePasses(),
+         Tree.nextMergeAt(), Reference->nextMergeAt());
+  if (Tree.mergeEventCounts() != Reference->mergeEventCounts())
+    fail(Violations, "arena-reference-divergence",
+         "merge timelines diverge (%zu vs %zu merge passes recorded)",
+         Tree.mergeEventCounts().size(),
+         Reference->mergeEventCounts().size());
+
+  std::vector<ReferenceRapTree::NodeTriple> Arena;
+  collectArena(Tree.root(), Arena);
+  std::vector<ReferenceRapTree::NodeTriple> Legacy =
+      Reference->collectNodes();
+  if (Arena == Legacy)
+    return;
+  // Report the first diverging position, which is where debugging
+  // starts; full dumps belong to the replaying harness.
+  size_t Limit = std::min(Arena.size(), Legacy.size());
+  size_t I = 0;
+  while (I != Limit && Arena[I] == Legacy[I])
+    ++I;
+  if (I == Limit)
+    fail(Violations, "arena-reference-divergence",
+         "node sets sized %zu (arena) vs %zu (legacy) share a prefix",
+         Arena.size(), Legacy.size());
+  else
+    fail(Violations, "arena-reference-divergence",
+         "preorder position %zu: arena (%" PRIx64 ", %u, %" PRIu64
+         ") vs legacy (%" PRIx64 ", %u, %" PRIu64 ")",
+         I, std::get<0>(Arena[I]), unsigned(std::get<1>(Arena[I])),
+         std::get<2>(Arena[I]), std::get<0>(Legacy[I]),
+         unsigned(std::get<1>(Legacy[I])), std::get<2>(Legacy[I]));
+}
+
 void DifferentialOracle::checkNow(Rng &QueryRng) {
+  // Pending combined events must land before any conservation or
+  // accuracy claim is evaluated.
+  flushCombiner();
+  if (Reference)
+    checkReference();
+
   uint64_t UniverseHi =
       Config.RangeBits == 0 ? 0 : lowBitMask(Config.RangeBits);
 

@@ -35,10 +35,13 @@
 
 #include "baselines/ExactProfiler.h"
 #include "baselines/FlatRangeProfiler.h"
+#include "core/StageZeroBuffer.h"
 #include "support/Rng.h"
+#include "verify/ReferenceRapTree.h"
 #include "verify/TreeInvariants.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace rap {
@@ -65,6 +68,21 @@ struct OracleOptions {
   /// so 1.0 enforces the provable bound; tests inject tighter or
   /// looser budgets through this knob.
   double ErrorBoundFactor = 1.0;
+
+  /// Nonzero routes the tree-side stream through a StageZeroBuffer of
+  /// this capacity (software stage-0 combining, Sec 3.3): the tree and
+  /// the reference tree see coalesced (event, weight) pairs at drain
+  /// points while the exact/flat oracles keep seeing the raw stream —
+  /// so every accuracy check also validates the combining path.
+  /// checkNow() flushes pending events first.
+  uint64_t CombineCapacity = 0;
+
+  /// Cross-check the arena tree structurally against the preserved
+  /// legacy implementation (ReferenceRapTree) fed the identical
+  /// (combined) stream. Preorder (lo, width, count) identity implies
+  /// identical estimates, brackets and hot ranges, which is the
+  /// arena-vs-legacy equivalence guarantee.
+  bool CrossCheckReference = true;
 };
 
 /// Feeds one stream to all three profilers and checks them against
@@ -76,11 +94,13 @@ public:
 
   /// Feeds \p Weight occurrences of \p X to the tree (through the
   /// online transition auditor), the exact profiler, and the flat
-  /// profiler.
+  /// profiler. With CombineCapacity set, the tree side is held back in
+  /// the combining buffer until a window fills or checkNow() runs.
   void addPoint(uint64_t X, uint64_t Weight = 1);
 
-  /// Runs the whole query battery now, drawing random queries from
-  /// \p QueryRng. Violations accumulate across calls.
+  /// Runs the whole query battery now (flushing the combining buffer
+  /// first), drawing random queries from \p QueryRng. Violations
+  /// accumulate across calls.
   void checkNow(Rng &QueryRng);
 
   /// All violations found so far: differential failures plus anything
@@ -97,9 +117,21 @@ public:
   /// weighted-event slack.
   double errorBudget() const;
 
+  /// The legacy cross-check tree, or null when CrossCheckReference is
+  /// off.
+  const ReferenceRapTree *reference() const { return Reference.get(); }
+
 private:
   void checkRange(uint64_t Lo, uint64_t Hi, bool GridAligned);
   void checkHotRanges(double Phi);
+  void checkReference();
+
+  /// Hands one (possibly combined) pair to the audited tree and the
+  /// reference tree.
+  void deliverPoint(uint64_t X, uint64_t Weight);
+
+  /// Drains any pending combined pairs into the trees.
+  void flushCombiner();
 
   RapConfig Config;
   OracleOptions Options;
@@ -107,6 +139,8 @@ private:
   OnlineAuditor Auditor;
   ExactProfiler Exact;
   FlatRangeProfiler Flat;
+  std::unique_ptr<ReferenceRapTree> Reference;
+  std::unique_ptr<StageZeroBuffer> Combiner;
   uint64_t MaxWeight = 1;
   std::vector<InvariantViolation> Violations;
 };

@@ -210,9 +210,21 @@ FuzzEpisode rap::deriveEpisode(uint64_t MasterSeed, uint64_t Index) {
   return E;
 }
 
+FuzzEpisode rap::deriveArenaEpisode(uint64_t MasterSeed, uint64_t Index) {
+  FuzzEpisode E = deriveEpisode(MasterSeed, Index);
+  // A separate draw stream: the base episode stays bit-identical to
+  // deriveEpisode so arena episodes replay against the same configs.
+  SplitMix64 M(MasterSeed ^ (0xd1342543de82ef95ULL * (Index + 1)));
+  static const uint64_t Capacities[] = {16, 64, 256, 1024};
+  E.CombineCapacity = Capacities[M.next() % 4];
+  return E;
+}
+
 FuzzReport rap::runFuzzEpisode(const FuzzEpisode &Episode, uint64_t NumEvents,
                                uint64_t CheckEvery) {
-  DifferentialOracle Oracle(Episode.Config);
+  OracleOptions Options;
+  Options.CombineCapacity = Episode.CombineCapacity;
+  DifferentialOracle Oracle(Episode.Config, Options);
   StreamFuzzer Stream(Episode.StreamSeed, Episode.Shape,
                       Episode.Config.RangeBits);
   Rng QueryRng(Episode.StreamSeed ^ 0x5bf03635aca1fed5ULL);

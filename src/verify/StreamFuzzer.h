@@ -105,11 +105,22 @@ struct FuzzEpisode {
   uint64_t StreamSeed = 0;
   StreamShape Shape = StreamShape::Uniform;
   RapConfig Config;
+
+  /// Stage-0 combining buffer capacity for the tree-side stream
+  /// (0 = feed the tree directly). Nonzero episodes exercise the
+  /// combining buffer + arena descent path end to end.
+  uint64_t CombineCapacity = 0;
 };
 
 /// Expands (master seed, episode index) into a random valid RapConfig,
 /// stream shape, and stream seed. Deterministic and platform-stable.
 FuzzEpisode deriveEpisode(uint64_t MasterSeed, uint64_t Index);
+
+/// Like deriveEpisode (identical config/stream for the same inputs)
+/// but additionally draws a stage-0 combining capacity, so the stream
+/// reaches the tree through StageZeroBuffer windows while the exact
+/// and flat oracles still see the raw stream.
+FuzzEpisode deriveArenaEpisode(uint64_t MasterSeed, uint64_t Index);
 
 /// Result of running one episode.
 struct FuzzReport {

@@ -1,0 +1,294 @@
+//===- tests/support/BenchReportTest.cpp - Report schema and diff ---------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The BENCH_core.json model: parse/validate/serialize round-trips and
+/// the bench_diff gate, driven by golden "before" (pinned baseline)
+/// and "after" (candidate) fixtures — one healthy pair, one with a
+/// regression — so the gate's verdicts are pinned by test, not only by
+/// CI observation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/BenchReport.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+/// Golden "before" fixture: the shape bench_run emits, two workloads,
+/// three variants each.
+const char *BaselineFixture = R"json({
+  "schema": "rap-bench-core/v1",
+  "generator": "bench_run",
+  "workloads": [
+    {
+      "name": "uniform",
+      "range_bits": 32,
+      "branch_factor": 4,
+      "epsilon": 0.01,
+      "events": 1000000,
+      "speedup_vs_legacy": 1.5,
+      "variants": [
+        {
+          "name": "legacy",
+          "events": 1000000,
+          "events_per_sec": 20000000,
+          "ns_per_event": 50,
+          "nodes": 4000,
+          "max_nodes": 4100,
+          "bytes_per_node": 16,
+          "merge_events": [1024, 3072, 7168]
+        },
+        {
+          "name": "arena",
+          "events": 1000000,
+          "events_per_sec": 30000000,
+          "ns_per_event": 33.3,
+          "nodes": 4000,
+          "max_nodes": 4100,
+          "bytes_per_node": 64,
+          "merge_events": [1024, 3072, 7168]
+        },
+        {
+          "name": "arena_stage0",
+          "events": 1000000,
+          "events_per_sec": 25000000,
+          "ns_per_event": 40,
+          "nodes": 4010,
+          "max_nodes": 4110,
+          "bytes_per_node": 64,
+          "merge_events": [1030, 3080, 7170]
+        }
+      ]
+    },
+    {
+      "name": "zipf",
+      "range_bits": 32,
+      "branch_factor": 4,
+      "epsilon": 0.01,
+      "events": 1000000,
+      "speedup_vs_legacy": 5.0,
+      "variants": [
+        {
+          "name": "legacy",
+          "events": 1000000,
+          "events_per_sec": 15000000,
+          "ns_per_event": 66.7,
+          "nodes": 2000,
+          "max_nodes": 2000,
+          "bytes_per_node": 16,
+          "merge_events": [1024, 3072]
+        },
+        {
+          "name": "arena_stage0",
+          "events": 1000000,
+          "events_per_sec": 75000000,
+          "ns_per_event": 13.3,
+          "nodes": 2000,
+          "max_nodes": 2000,
+          "bytes_per_node": 64,
+          "merge_events": [1024, 3072]
+        }
+      ]
+    }
+  ]
+}
+)json";
+
+BenchReport parseOrDie(const std::string &Text) {
+  BenchReport Report;
+  std::string Error;
+  EXPECT_TRUE(parseBenchReport(Text, Report, &Error)) << Error;
+  return Report;
+}
+
+/// The golden "after" fixture is the baseline with adjusted numbers:
+/// \p UniformArenaEps replaces the uniform/arena throughput.
+BenchReport candidateWith(double UniformArenaEps) {
+  BenchReport R = parseOrDie(BaselineFixture);
+  for (BenchWorkload &W : R.Workloads)
+    if (W.Name == "uniform")
+      for (BenchVariant &V : W.Variants)
+        if (V.Name == "arena") {
+          V.EventsPerSec = UniformArenaEps;
+          V.NsPerEvent = 1e9 / UniformArenaEps;
+        }
+  // Keep the recorded headline consistent with the edited data.
+  for (BenchWorkload &W : R.Workloads) {
+    double Legacy = 0.0, Best = 0.0;
+    for (const BenchVariant &V : W.Variants)
+      if (V.Name == "legacy")
+        Legacy = V.EventsPerSec;
+      else
+        Best = std::max(Best, V.EventsPerSec);
+    W.SpeedupVsLegacy = Best / Legacy;
+  }
+  return R;
+}
+
+} // namespace
+
+TEST(BenchReport, GoldenBaselineParsesAndValidates) {
+  BenchReport Report = parseOrDie(BaselineFixture);
+  EXPECT_EQ(Report.Schema, BenchSchemaName);
+  EXPECT_EQ(Report.Generator, "bench_run");
+  ASSERT_EQ(Report.Workloads.size(), 2u);
+  EXPECT_EQ(Report.Workloads[0].Variants.size(), 3u);
+  EXPECT_EQ(Report.Workloads[0].Variants[0].MergeEvents,
+            (std::vector<uint64_t>{1024, 3072, 7168}));
+  std::vector<std::string> Problems;
+  EXPECT_TRUE(validateBenchReport(Report, Problems))
+      << (Problems.empty() ? "" : Problems.front());
+}
+
+TEST(BenchReport, SerializeParseRoundTrip) {
+  BenchReport Report = parseOrDie(BaselineFixture);
+  std::string Text = serializeBenchReport(Report);
+  BenchReport Back = parseOrDie(Text);
+  EXPECT_EQ(serializeBenchReport(Back), Text)
+      << "serialization must be a fixed point";
+  ASSERT_EQ(Back.Workloads.size(), Report.Workloads.size());
+  EXPECT_EQ(Back.Workloads[1].Variants[1].EventsPerSec,
+            Report.Workloads[1].Variants[1].EventsPerSec);
+}
+
+TEST(BenchReport, ParseRejectsMissingFields) {
+  BenchReport Report;
+  std::string Error;
+  EXPECT_FALSE(parseBenchReport("{}", Report, &Error));
+  EXPECT_NE(Error.find("schema"), std::string::npos);
+
+  EXPECT_FALSE(parseBenchReport(
+      R"({"schema": "rap-bench-core/v0", "generator": "x", "workloads": []})",
+      Report = {}, &Error));
+  EXPECT_NE(Error.find("unsupported schema"), std::string::npos);
+
+  EXPECT_FALSE(parseBenchReport("not json at all", Report = {}, &Error));
+}
+
+TEST(BenchReport, ValidateCatchesSchemaViolations) {
+  struct Case {
+    const char *Name;
+    void (*Mutate)(BenchReport &);
+    const char *ExpectIn;
+  };
+  const Case Cases[] = {
+      {"no legacy variant",
+       [](BenchReport &R) { R.Workloads[0].Variants.erase(
+                                R.Workloads[0].Variants.begin()); },
+       "no \"legacy\" variant"},
+      {"non-monotone merges",
+       [](BenchReport &R) {
+         R.Workloads[0].Variants[0].MergeEvents = {3072, 1024};
+       },
+       "not strictly increasing"},
+      {"merge beyond stream",
+       [](BenchReport &R) {
+         R.Workloads[0].Variants[0].MergeEvents = {2000000};
+       },
+       "beyond the event count"},
+      {"event count mismatch",
+       [](BenchReport &R) { R.Workloads[0].Variants[1].Events = 5; },
+       "workload says"},
+      {"zero throughput",
+       [](BenchReport &R) { R.Workloads[0].Variants[1].EventsPerSec = 0; },
+       "not positive"},
+      {"negative ns",
+       [](BenchReport &R) { R.Workloads[0].Variants[1].NsPerEvent = -1; },
+       "negative"},
+      {"max below final",
+       [](BenchReport &R) { R.Workloads[0].Variants[1].MaxNodes = 1; },
+       "max_nodes"},
+      {"bad branch factor",
+       [](BenchReport &R) { R.Workloads[0].BranchFactor = 3; },
+       "power of"},
+      {"bad epsilon",
+       [](BenchReport &R) { R.Workloads[0].Epsilon = 1.5; },
+       "epsilon"},
+      {"duplicate workload",
+       [](BenchReport &R) { R.Workloads[1].Name = "uniform"; },
+       "duplicate workload"},
+      {"stale speedup",
+       [](BenchReport &R) { R.Workloads[0].SpeedupVsLegacy = 9.0; },
+       "does not match"},
+  };
+  for (const Case &C : Cases) {
+    BenchReport Report = parseOrDie(BaselineFixture);
+    C.Mutate(Report);
+    std::vector<std::string> Problems;
+    EXPECT_FALSE(validateBenchReport(Report, Problems)) << C.Name;
+    ASSERT_FALSE(Problems.empty()) << C.Name;
+    bool Found = false;
+    for (const std::string &P : Problems)
+      Found = Found || P.find(C.ExpectIn) != std::string::npos;
+    EXPECT_TRUE(Found) << C.Name << ": wanted \"" << C.ExpectIn
+                       << "\" in: " << Problems.front();
+  }
+}
+
+TEST(BenchReport, DiffAcceptsHealthyCandidate) {
+  // Golden "after": uniform/arena got faster, everything else equal.
+  BenchReport Baseline = parseOrDie(BaselineFixture);
+  BenchReport Candidate = candidateWith(36000000.0);
+  std::vector<std::string> Problems;
+  EXPECT_TRUE(diffBenchReports(Baseline, Candidate, BenchDiffOptions(),
+                               Problems))
+      << Problems.front();
+  EXPECT_TRUE(Problems.empty());
+}
+
+TEST(BenchReport, DiffToleratesNoiseWithinBudget) {
+  // 20% down on a 30% budget: noisy but not a regression.
+  BenchReport Baseline = parseOrDie(BaselineFixture);
+  BenchReport Candidate = candidateWith(24000000.0);
+  std::vector<std::string> Problems;
+  EXPECT_TRUE(diffBenchReports(Baseline, Candidate, BenchDiffOptions(),
+                               Problems))
+      << Problems.front();
+}
+
+TEST(BenchReport, DiffFlagsRegression) {
+  // Golden regressed "after": uniform/arena lost half its throughput.
+  BenchReport Baseline = parseOrDie(BaselineFixture);
+  BenchReport Candidate = candidateWith(15000000.0);
+  std::vector<std::string> Problems;
+  EXPECT_FALSE(diffBenchReports(Baseline, Candidate, BenchDiffOptions(),
+                                Problems));
+  ASSERT_EQ(Problems.size(), 1u);
+  EXPECT_NE(Problems[0].find("uniform"), std::string::npos);
+  EXPECT_NE(Problems[0].find("arena"), std::string::npos);
+  EXPECT_NE(Problems[0].find("regressed"), std::string::npos);
+}
+
+TEST(BenchReport, DiffFlagsMissingEntries) {
+  BenchReport Baseline = parseOrDie(BaselineFixture);
+  BenchReport Candidate = parseOrDie(BaselineFixture);
+  Candidate.Workloads[0].Variants.pop_back(); // drop arena_stage0
+  Candidate.Workloads.pop_back();             // drop zipf entirely
+  std::vector<std::string> Problems;
+  EXPECT_FALSE(diffBenchReports(Baseline, Candidate, BenchDiffOptions(),
+                                Problems));
+  ASSERT_EQ(Problems.size(), 2u);
+  EXPECT_NE(Problems[0].find("arena_stage0"), std::string::npos);
+  EXPECT_NE(Problems[1].find("zipf"), std::string::npos);
+}
+
+TEST(BenchReport, DiffHonorsCustomTolerance) {
+  BenchReport Baseline = parseOrDie(BaselineFixture);
+  BenchReport Candidate = candidateWith(24000000.0); // -20%
+  BenchDiffOptions Strict;
+  Strict.MaxRegress = 0.10;
+  std::vector<std::string> Problems;
+  EXPECT_FALSE(diffBenchReports(Baseline, Candidate, Strict, Problems));
+}

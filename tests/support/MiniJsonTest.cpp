@@ -1,0 +1,116 @@
+//===- tests/support/MiniJsonTest.cpp - JSON reader/writer ----------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MiniJson.h"
+
+#include <gtest/gtest.h>
+
+using namespace rap;
+
+TEST(MiniJson, ParsesScalars) {
+  std::string Error;
+  EXPECT_TRUE(json::parse("true", &Error).asBool());
+  EXPECT_FALSE(json::parse("false").asBool());
+  EXPECT_TRUE(json::parse("null").isNull());
+  EXPECT_DOUBLE_EQ(json::parse("3.5").asNumber(), 3.5);
+  EXPECT_DOUBLE_EQ(json::parse("-2e3").asNumber(), -2000.0);
+  EXPECT_EQ(json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(MiniJson, ParsesNestedStructure) {
+  json::Value V = json::parse(
+      R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}, "e": -7})");
+  ASSERT_TRUE(V.isObject());
+  const json::Value *A = V.get("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->elements().size(), 3u);
+  EXPECT_EQ(A->elements()[0].asUint(), 1u);
+  EXPECT_EQ(A->elements()[2].get("b")->asString(), "x");
+  EXPECT_TRUE(V.get("c")->get("d")->isNull());
+  EXPECT_DOUBLE_EQ(V.get("e")->asNumber(), -7.0);
+  EXPECT_EQ(V.get("missing"), nullptr);
+}
+
+TEST(MiniJson, ObjectsPreserveInsertionOrder) {
+  json::Value V = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(V.fields().size(), 3u);
+  EXPECT_EQ(V.fields()[0].first, "z");
+  EXPECT_EQ(V.fields()[1].first, "a");
+  EXPECT_EQ(V.fields()[2].first, "m");
+}
+
+TEST(MiniJson, StringEscapes) {
+  json::Value V = json::parse(R"("a\"b\\c\n\tAé")");
+  EXPECT_EQ(V.asString(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(MiniJson, RejectsMalformedInput) {
+  for (const char *Bad :
+       {"", "{", "[1,", "tru", "{\"a\" 1}", "{\"a\": 1,}", "[1 2]",
+        "\"unterminated", "01x", "{\"a\": }", "nulll", "1 2"}) {
+    std::string Error;
+    EXPECT_TRUE(json::parse(Bad, &Error).isNull()) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+  }
+}
+
+TEST(MiniJson, RejectsDeeplyNestedInput) {
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  std::string Error;
+  EXPECT_TRUE(json::parse(Deep, &Error).isNull());
+  EXPECT_NE(Error.find("deep"), std::string::npos);
+}
+
+TEST(MiniJson, AsUintGuards) {
+  EXPECT_EQ(json::parse("42").asUint(), 42u);
+  EXPECT_EQ(json::parse("-1").asUint(7), 7u);
+  EXPECT_EQ(json::parse("1.5").asUint(7), 7u);
+  EXPECT_EQ(json::parse("1e300").asUint(7), 7u);
+  // 2^53 is the largest exactly-representable power in the guard.
+  EXPECT_EQ(json::parse("9007199254740992").asUint(7), 9007199254740992u);
+}
+
+TEST(MiniJson, SerializeRoundTripsAndIsDeterministic) {
+  json::Value Root = json::Value::object();
+  Root.set("name", json::Value::string("report"));
+  Root.set("count", json::Value::number(uint64_t(123456789)));
+  Root.set("ratio", json::Value::number(0.25));
+  json::Value &Arr = Root.set("values", json::Value::array());
+  Arr.push(json::Value::number(uint64_t(1)));
+  Arr.push(json::Value::number(uint64_t(2)));
+  Root.set("empty_obj", json::Value::object());
+  Root.set("empty_arr", json::Value::array());
+  Root.set("flag", json::Value::boolean(true));
+
+  std::string Text = json::serialize(Root);
+  EXPECT_EQ(Text, json::serialize(Root)) << "writer must be deterministic";
+
+  std::string Error;
+  json::Value Back = json::parse(Text, &Error);
+  ASSERT_FALSE(Back.isNull()) << Error;
+  EXPECT_EQ(json::serialize(Back), Text) << "parse(serialize(x)) stable";
+  EXPECT_EQ(Back.get("count")->asUint(), 123456789u);
+  EXPECT_DOUBLE_EQ(Back.get("ratio")->asNumber(), 0.25);
+}
+
+TEST(MiniJson, ScalarArraysStayOnOneLine) {
+  json::Value Root = json::Value::object();
+  json::Value &Arr = Root.set("merge_events", json::Value::array());
+  for (uint64_t I = 1; I <= 4; ++I)
+    Arr.push(json::Value::number(I * 1000));
+  std::string Text = json::serialize(Root);
+  EXPECT_NE(Text.find("[1000, 2000, 3000, 4000]"), std::string::npos)
+      << Text;
+}
+
+TEST(MiniJson, DoublesRoundTripExactly) {
+  for (double X : {0.1, 1.0 / 3.0, 1e-300, 123456.789, 2e18}) {
+    std::string Text = json::serialize(json::Value::number(X));
+    EXPECT_DOUBLE_EQ(json::parse(Text).asNumber(), X) << Text;
+  }
+}

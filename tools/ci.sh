@@ -8,10 +8,16 @@
 #   1. plain build (RAP_WERROR=ON) + full test suite
 #   2. AddressSanitizer build + full test suite
 #   3. UndefinedBehaviorSanitizer build + full test suite
-#   4. 25-episode differential fuzz slice (ASan-instrumented)
+#   4. 25-episode differential fuzz slice (ASan-instrumented), plain
+#      and arena/stage-0 combined delivery (every checkpoint also
+#      cross-checks the slab tree against the legacy ReferenceRapTree)
 #   5. rap_lint (flow rules + cross-TU API audit) over src/ and
 #      tools/ against tools/lint_baseline.txt, merged SARIF report to
 #      build/lint.sarif
+#   6. non-gating perf leg: bench_run --smoke through the bench_diff
+#      schema check, plus a timing-tolerant diff of the smoke numbers
+#      against the pinned BENCH_core.json (timings on unpinned CI
+#      machines are advisory; only the schema check can fail the run)
 #
 # Usage: tools/ci.sh [jobs]     (from the repo root; default jobs = nproc)
 #
@@ -43,10 +49,22 @@ configure_and_test build-ubsan -DRAP_SANITIZE=undefined
 step "differential fuzz slice (25 episodes, ASan)"
 ./build-asan/tools/rap_fuzz --episodes=25 --seed=1 --events=8000
 
+step "arena fuzz slice (stage-0 combined delivery, 25 episodes, ASan)"
+./build-asan/tools/rap_fuzz --arena --episodes=25 --seed=1 --events=8000
+
 step "rap_lint + api-audit (SARIF report: build/lint.sarif)"
 ./build/tools/rap_lint --root=. --api-audit \
     --format=sarif --output=build/lint.sarif src tools
 ./build/tools/rap_lint --root=. --api-audit \
     --baseline=tools/lint_baseline.txt src tools
+
+step "bench smoke + schema check (perf numbers non-gating)"
+./build/bench/bench_run --smoke --out=build/BENCH_smoke.json
+./build/tools/bench_diff --check build/BENCH_smoke.json
+# Advisory only: smoke timings on a shared machine are noise, but a
+# catastrophic slowdown is still worth a line in the log.
+./build/tools/bench_diff BENCH_core.json build/BENCH_smoke.json \
+    --max-regress=0.90 ||
+  echo "WARNING: smoke numbers far below the pinned baseline (non-gating)"
 
 step "CI matrix green"

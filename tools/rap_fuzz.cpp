@@ -13,6 +13,11 @@
 //
 //   rap_fuzz --seed=S --replay-episode=I --replay-events=N
 //
+// --arena derives each episode with a stage-0 combining capacity, so
+// the stream reaches the tree through StageZeroBuffer windows and the
+// combining + arena-descent path is what gets fuzzed. Replays of
+// arena episodes need --arena too.
+//
 // Exit status: 0 all episodes clean, 1 violations found, 2 bad usage.
 //
 //===----------------------------------------------------------------------===//
@@ -30,10 +35,11 @@ namespace {
 void describeEpisode(const FuzzEpisode &E) {
   const RapConfig &C = E.Config;
   std::printf("episode %" PRIu64 ": shape=%s bits=%u b=%u eps=%.4f q=%.2f "
-              "m0=%" PRIu64 " merges=%d streamseed=0x%" PRIx64 "\n",
+              "m0=%" PRIu64 " merges=%d combine=%" PRIu64
+              " streamseed=0x%" PRIx64 "\n",
               E.Index, streamShapeName(E.Shape), C.RangeBits, C.BranchFactor,
               C.Epsilon, C.MergeRatio, C.InitialMergeInterval,
-              C.EnableMerges ? 1 : 0, E.StreamSeed);
+              C.EnableMerges ? 1 : 0, E.CombineCapacity, E.StreamSeed);
 }
 
 void printViolations(const FuzzReport &Report, uint64_t Limit) {
@@ -63,6 +69,7 @@ int main(int Argc, char **Argv) {
   Args.addUint("replay-events", 0,
                "event count for --replay-episode (0 = use --events)");
   Args.addBool("replay", "replay mode: run only --replay-episode");
+  Args.addBool("arena", "fuzz the combining-buffer + arena-descent path");
   Args.addBool("verbose", "describe every episode, not just failures");
   if (!Args.parse(Argc, Argv))
     return 2;
@@ -70,9 +77,14 @@ int main(int Argc, char **Argv) {
   uint64_t Seed = Args.getUint("seed");
   uint64_t NumEvents = Args.getUint("events");
   uint64_t CheckEvery = Args.getUint("check-every");
+  bool Arena = Args.getBool("arena");
+  auto Derive = [&](uint64_t Index) {
+    return Arena ? deriveArenaEpisode(Seed, Index)
+                 : deriveEpisode(Seed, Index);
+  };
 
   if (Args.getBool("replay")) {
-    FuzzEpisode E = deriveEpisode(Seed, Args.getUint("replay-episode"));
+    FuzzEpisode E = Derive(Args.getUint("replay-episode"));
     uint64_t ReplayEvents = Args.getUint("replay-events");
     if (ReplayEvents == 0)
       ReplayEvents = NumEvents;
@@ -90,7 +102,7 @@ int main(int Argc, char **Argv) {
   uint64_t Episodes = Args.getUint("episodes");
   uint64_t Failed = 0;
   for (uint64_t I = 0; I != Episodes; ++I) {
-    FuzzEpisode E = deriveEpisode(Seed, I);
+    FuzzEpisode E = Derive(I);
     if (Args.getBool("verbose"))
       describeEpisode(E);
     FuzzReport Report = runFuzzEpisode(E, NumEvents, CheckEvery);
@@ -102,10 +114,10 @@ int main(int Argc, char **Argv) {
     printViolations(Report, 10);
     uint64_t Minimal = minimizeFailure(E, Report.EventsFed);
     std::printf("  minimized to %" PRIu64 " events; replay with:\n"
-                "    rap_fuzz --replay --seed=%" PRIu64
+                "    rap_fuzz --replay%s --seed=%" PRIu64
                 " --replay-episode=%" PRIu64 " --replay-events=%" PRIu64
                 " --check-every=0\n",
-                Minimal, Seed, I, Minimal);
+                Minimal, Arena ? " --arena" : "", Seed, I, Minimal);
   }
 
   std::printf("%" PRIu64 "/%" PRIu64 " episodes clean (seed %" PRIu64
