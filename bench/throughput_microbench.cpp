@@ -198,7 +198,7 @@ void BM_SnapshotBinaryRoundTrip(benchmark::State &State) {
   ProfileSnapshot Snapshot = ProfileSnapshot::capture(Tree);
   for (auto _ : State) {
     std::stringstream Stream2;
-    Snapshot.writeBinary(Stream2);
+    benchmark::DoNotOptimize(Snapshot.writeBinary(Stream2));
     benchmark::DoNotOptimize(ProfileSnapshot::readBinary(Stream2));
   }
   State.SetItemsProcessed(State.iterations());

@@ -35,6 +35,22 @@ extern "C" {
 /// Opaque handle to a RAP profile.
 typedef struct rap_handle rap_handle;
 
+/// Machine-readable classification of the most recent failure, the
+/// companion to rap_last_error()'s human-readable text. Thread-local,
+/// like the text: each thread sees only its own failures.
+typedef enum rap_error_code {
+  RAP_OK = 0,                   ///< No failure recorded.
+  RAP_ERR_INVALID_ARGUMENT = 1, ///< A parameter failed validation.
+  RAP_ERR_ALLOC = 2,            ///< Memory allocation failed.
+  RAP_ERR_BUDGET_EXHAUSTED = 3, ///< Node budget reached; estimates are
+                                ///< degraded (informational: events
+                                ///< were still recorded).
+  RAP_ERR_CORRUPT_PROFILE = 4,  ///< A profile file failed validation
+                                ///< (truncated, bit flips, bad CRC).
+  RAP_ERR_IO_FAILURE = 5,       ///< A file could not be read/written.
+  RAP_ERR_INTERNAL = 6,         ///< Any other internal failure.
+} rap_error_code;
+
 /// Creates a RAP profile over the universe [0, 2^range_bits) with
 /// error bound \p epsilon and branching factor \p branch_factor
 /// (pass 0 for the paper defaults: b = 4, q = 2). Returns null if the
@@ -42,6 +58,16 @@ typedef struct rap_handle rap_handle;
 /// then describes the failure.
 rap_handle *rap_init(unsigned range_bits, double epsilon,
                      unsigned branch_factor) RAP_NOEXCEPT;
+
+/// Like rap_init(), but additionally caps the profile at
+/// \p max_nodes live tree nodes (0 = unbounded, identical to
+/// rap_init). At the cap the profiler degrades gracefully instead of
+/// allocating: splits are refused and cold subtrees are force-merged;
+/// estimates remain lower bounds and rap_pressure_stats() reports how
+/// much accuracy was given up.
+rap_handle *rap_init_budgeted(unsigned range_bits, double epsilon,
+                              unsigned branch_factor,
+                              uint64_t max_nodes) RAP_NOEXCEPT;
 
 /// Feeds \p num_points events into the profile. Looks up the
 /// appropriate counter, updates it, and internally performs the split
@@ -70,10 +96,53 @@ uint64_t rap_estimate_range(const rap_handle *handle, uint64_t lo,
 uint64_t rap_finalize(rap_handle *handle, char *buffer,
                       uint64_t size) RAP_NOEXCEPT;
 
+/// Resource-pressure counters of a budgeted profile (all zero when no
+/// budget is configured and no allocation ever failed). Mirrors the
+/// C++ TreePressure struct field for field.
+typedef struct rap_pressure {
+  uint64_t node_budget;        ///< Effective node cap (0 = unbounded).
+  uint64_t budget_hits;        ///< Updates that ran into the cap.
+  uint64_t refused_splits;     ///< Due splits refused at the cap.
+  uint64_t forced_merge_passes; ///< Emergency coarsening passes.
+  uint64_t reclaimed_nodes;    ///< Nodes freed by forced passes.
+  uint64_t coarsen_level;      ///< Current degradation level.
+  uint64_t degraded_weight;    ///< Event weight outside the eps*n bound.
+  uint64_t alloc_failures;     ///< Splits abandoned on bad_alloc.
+} rap_pressure;
+
+/// Copies the profile's pressure counters into \p out. Returns 0 on
+/// success, -1 (with rap_errno() set) if \p handle or \p out is null.
+int rap_pressure_stats(const rap_handle *handle,
+                       rap_pressure *out) RAP_NOEXCEPT;
+
+/// Saves the profile to \p path in the checksummed binary snapshot
+/// format, atomically (write to a temp file, then rename). Returns 0
+/// on success, -1 with rap_errno() = RAP_ERR_IO_FAILURE (or
+/// RAP_ERR_INVALID_ARGUMENT for a null path) on failure; on failure
+/// an existing file at \p path is left untouched.
+int rap_save_profile(const rap_handle *handle,
+                     const char *path) RAP_NOEXCEPT;
+
+/// Loads a profile saved by rap_save_profile() (or written by the
+/// rap_profile tool) and returns a live handle positioned to continue
+/// profiling. Returns null with rap_errno() = RAP_ERR_CORRUPT_PROFILE
+/// for a file that fails validation (truncation, bit flips, checksum
+/// mismatch) or RAP_ERR_IO_FAILURE when the file cannot be read.
+rap_handle *rap_load_profile(const char *path) RAP_NOEXCEPT;
+
 /// Describes the most recent failure observed by this thread inside
 /// the C API. Never null; the empty string if no call has failed.
 /// Successful calls do not clear it, so check return values first.
 const char *rap_last_error(void) RAP_NOEXCEPT;
+
+/// The code classifying the most recent failure on this thread, or
+/// RAP_OK if none. Successful calls do not clear it; use
+/// rap_clear_error() between calls when polling.
+rap_error_code rap_errno(void) RAP_NOEXCEPT;
+
+/// Resets this thread's rap_errno() to RAP_OK and rap_last_error()
+/// to the empty string.
+void rap_clear_error(void) RAP_NOEXCEPT;
 
 } // extern "C"
 

@@ -7,10 +7,13 @@
 
 #include "core/MultiDimRap.h"
 
+#include "support/FailPoint.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <new>
 #include <ostream>
 #include <stdexcept>
 
@@ -30,8 +33,13 @@ bool MdRapConfig::validate(std::string *Error) const {
     return Fail("MergeRatio must be >= 1");
   if (InitialMergeInterval == 0)
     return Fail("InitialMergeInterval must be positive");
+  if (MaxMemoryBytes != 0 && MaxMemoryBytes < 24)
+    return Fail("MaxMemoryBytes smaller than one 24-byte node");
   return true;
 }
+
+static_assert(MdRapTree::BytesPerNode == 24,
+              "MdRapConfig::effectiveNodeBudget assumes 24-byte nodes");
 
 MdRapTree::MdRapTree(const MdRapConfig &TreeConfig) : Config(TreeConfig) {
   std::string Error;
@@ -39,6 +47,7 @@ MdRapTree::MdRapTree(const MdRapConfig &TreeConfig) : Config(TreeConfig) {
     throw std::invalid_argument("MdRapTree: invalid config: " + Error);
   Root = std::make_unique<MdRapNode>(0, 0, Config.RangeBits);
   NextMergeAt = Config.InitialMergeInterval;
+  Pressure.NodeBudget = Config.effectiveNodeBudget();
 }
 
 /// Quadrant of (X, Y) within \p Node: bit 0 from X, bit 1 from Y. The
@@ -82,11 +91,91 @@ void MdRapTree::addPoint(uint64_t X, uint64_t Y, uint64_t Weight) {
   if (!Node->isUnitCell() &&
       static_cast<double>(Node->Count) >
           Config.splitThreshold(NumEvents))
-    splitNode(*Node);
+    trySplit(Node, X, Y, Weight);
 
   if (Config.EnableMerges && NumEvents >= NextMergeAt) {
     mergeNow();
     scheduleAfterMerge();
+  }
+}
+
+uint64_t MdRapTree::splitAllocCount(const MdRapNode &Node) const {
+  // Quadrants a split would create: all four, or just the slots merged
+  // back since the last split.
+  if (Node.Children.empty())
+    return 4;
+  uint64_t Missing = 0;
+  for (const auto &ChildSlot : Node.Children)
+    if (!ChildSlot)
+      ++Missing;
+  return Missing;
+}
+
+/// Same cap as the 1-D tree's coarsening escalation.
+static constexpr uint64_t MaxCoarsenLevel = 60;
+
+uint64_t MdRapTree::forcedMergePass() {
+  // Off-schedule reclamation pass; same accounting discipline as
+  // RapTree::forcedMergePass (NumMergePasses untouched, folded weight
+  // charged to DegradedWeight).
+  double Scale = std::ldexp(
+      1.0, static_cast<int>(std::min(Pressure.CoarsenLevel, MaxCoarsenLevel)));
+  double Threshold =
+      std::max(1.0, Config.splitThreshold(NumEvents) * Scale);
+  uint64_t Removed = 0;
+  uint64_t Folded = 0;
+  mergeWalk(*Root, Threshold, Removed, &Folded);
+  ++Pressure.ForcedMergePasses;
+  Pressure.ReclaimedNodes += Removed;
+  Pressure.DegradedWeight = saturatingAdd(Pressure.DegradedWeight, Folded);
+  return Removed;
+}
+
+void MdRapTree::trySplit(MdRapNode *Node, uint64_t X, uint64_t Y,
+                         uint64_t Weight) {
+  uint64_t Budget = Pressure.NodeBudget;
+  bool Charged = false;
+  if (Budget != 0) {
+    // Churn charge — see RapTree::trySplit: after a forced pass an
+    // event can re-land on a cell already past the split threshold,
+    // and its weight then stays at that coarse cell even when the
+    // re-split below succeeds.
+    if (Pressure.ForcedMergePasses != 0 && Node->Count > Weight &&
+        static_cast<double>(Node->Count - Weight) >
+            Config.splitThreshold(NumEvents)) {
+      Pressure.DegradedWeight = saturatingAdd(Pressure.DegradedWeight, Weight);
+      Charged = true;
+    }
+    uint64_t Need = splitAllocCount(*Node);
+    if (NumNodes + Need > Budget) {
+      ++Pressure.BudgetHits;
+      forcedMergePass();
+      Node = descend(X, Y);
+      Need = splitAllocCount(*Node);
+      bool StillWants = !Node->isUnitCell() &&
+                        static_cast<double>(Node->Count) >
+                            Config.splitThreshold(NumEvents);
+      if (!StillWants || NumNodes + Need > Budget) {
+        ++Pressure.RefusedSplits;
+        if (!Charged)
+          Pressure.DegradedWeight =
+              saturatingAdd(Pressure.DegradedWeight, Weight);
+        if (Pressure.CoarsenLevel < MaxCoarsenLevel)
+          ++Pressure.CoarsenLevel;
+        return;
+      }
+    }
+  }
+  try {
+    splitNode(*Node);
+  } catch (const std::bad_alloc &) {
+    // A partial split (some quadrants created before the failure) is a
+    // valid merged-back state; the next split attempt fills the rest.
+    ++Pressure.AllocFailures;
+    ++Pressure.RefusedSplits;
+    if (!Charged)
+      Pressure.DegradedWeight = saturatingAdd(Pressure.DegradedWeight, Weight);
+    MaxNumNodes = std::max(MaxNumNodes, NumNodes);
   }
 }
 
@@ -99,6 +188,8 @@ void MdRapTree::splitNode(MdRapNode &Node) {
   for (unsigned Quadrant = 0; Quadrant != 4; ++Quadrant) {
     if (Node.Children[Quadrant])
       continue;
+    if (RAP_FAILPOINT_HIT(failpoints::Fp::MdSplitAlloc))
+      throw std::bad_alloc();
     uint64_t ChildX = Node.xLo() + (Quadrant & 1 ? Side : 0);
     uint64_t ChildY = Node.yLo() + (Quadrant & 2 ? Side : 0);
     Node.Children[Quadrant] =
@@ -110,7 +201,7 @@ void MdRapTree::splitNode(MdRapNode &Node) {
 }
 
 uint64_t MdRapTree::mergeWalk(MdRapNode &Node, double Threshold,
-                              uint64_t &Removed) {
+                              uint64_t &Removed, uint64_t *FoldedWeight) {
   uint64_t Total = Node.Count;
   if (!Node.hasChildren())
     return Total;
@@ -118,10 +209,13 @@ uint64_t MdRapTree::mergeWalk(MdRapNode &Node, double Threshold,
   for (auto &ChildSlot : Node.Children) {
     if (!ChildSlot)
       continue;
-    uint64_t ChildWeight = mergeWalk(*ChildSlot, Threshold, Removed);
+    uint64_t ChildWeight =
+        mergeWalk(*ChildSlot, Threshold, Removed, FoldedWeight);
     Total = saturatingAdd(Total, ChildWeight);
     if (static_cast<double>(ChildWeight) < Threshold) {
       Node.Count = saturatingAdd(Node.Count, ChildWeight);
+      if (FoldedWeight)
+        *FoldedWeight = saturatingAdd(*FoldedWeight, ChildWeight);
       uint64_t Dropped = ChildSlot->subtreeNodeCount();
       Removed += Dropped;
       NumNodes -= Dropped;

@@ -36,6 +36,7 @@
 #ifndef RAP_CORE_MULTIDIMRAP_H
 #define RAP_CORE_MULTIDIMRAP_H
 
+#include "core/Pressure.h"
 #include "support/BitUtils.h"
 
 #include <cassert>
@@ -65,6 +66,25 @@ struct MdRapConfig {
 
   /// Disable batched merging (diagnostics only).
   bool EnableMerges = true;
+
+  /// Hard cap on live quadtree nodes (0 = unbounded). Same degraded
+  /// behavior as RapConfig::MaxNodes: refused splits plus forced
+  /// coarsening, observable through MdRapTree::pressure().
+  uint64_t MaxNodes = 0;
+
+  /// Memory budget in bytes at MdRapTree::BytesPerNode (24); 0 means
+  /// unbounded.
+  uint64_t MaxMemoryBytes = 0;
+
+  /// The node cap implied by MaxNodes and MaxMemoryBytes together.
+  uint64_t effectiveNodeBudget() const {
+    uint64_t FromBytes = MaxMemoryBytes / 24;
+    if (MaxNodes == 0)
+      return FromBytes;
+    if (FromBytes == 0)
+      return MaxNodes;
+    return MaxNodes < FromBytes ? MaxNodes : FromBytes;
+  }
 
   /// Quadtree depth: one level per coordinate bit.
   unsigned maxDepth() const { return RangeBits; }
@@ -182,6 +202,16 @@ public:
   uint64_t numSplits() const { return NumSplits; }
   uint64_t numMergePasses() const { return NumMergePasses; }
 
+  /// Resource-pressure counters (see Pressure.h); all zero unless a
+  /// node budget was configured or an allocation failed.
+  const TreePressure &pressure() const { return Pressure; }
+
+  /// The effective node cap this tree enforces (0 = unbounded).
+  uint64_t nodeBudget() const { return Pressure.NodeBudget; }
+
+  /// Total event weight outside the eps*n guarantee (see Pressure.h).
+  uint64_t degradedWeight() const { return Pressure.DegradedWeight; }
+
   /// Approximate footprint at 24 bytes per node (two coordinates plus
   /// the counter).
   uint64_t memoryBytes() const { return NumNodes * BytesPerNode; }
@@ -207,8 +237,12 @@ public:
 
 private:
   MdRapNode *descend(uint64_t X, uint64_t Y);
+  void trySplit(MdRapNode *Node, uint64_t X, uint64_t Y, uint64_t Weight);
   void splitNode(MdRapNode &Node);
-  uint64_t mergeWalk(MdRapNode &Node, double Threshold, uint64_t &Removed);
+  uint64_t splitAllocCount(const MdRapNode &Node) const;
+  uint64_t forcedMergePass();
+  uint64_t mergeWalk(MdRapNode &Node, double Threshold, uint64_t &Removed,
+                     uint64_t *FoldedWeight = nullptr);
   uint64_t hotWalk(const MdRapNode &Node, double Threshold, unsigned Depth,
                    std::vector<HotBox> &Out) const;
   uint64_t estimateWalk(const MdRapNode &Node, uint64_t XLo, uint64_t XHi,
@@ -223,6 +257,7 @@ private:
   uint64_t NumSplits = 0;
   uint64_t NumMergePasses = 0;
   uint64_t NextMergeAt;
+  TreePressure Pressure;
 };
 
 } // namespace rap

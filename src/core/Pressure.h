@@ -1,0 +1,67 @@
+//===- core/Pressure.h - Resource-pressure counters ------------*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observable degradation state of a budgeted tree. The hardware RAP
+/// table has a fixed capacity and coarsens instead of growing (Sec
+/// 3.3); the software trees mirror that under RapConfig::MaxNodes /
+/// MaxMemoryBytes and expose what happened through these counters so
+/// callers (RapProfiler stats, rap_profile, the C API) can tell a
+/// healthy profile from a degraded one. See docs/ROBUSTNESS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_CORE_PRESSURE_H
+#define RAP_CORE_PRESSURE_H
+
+#include <cstdint>
+
+namespace rap {
+
+/// Pressure counters of one tree. All counters are cumulative over
+/// the tree's lifetime and only ever increase (CoarsenLevel saturates
+/// at its cap).
+struct TreePressure {
+  /// The effective node cap (0 = unbounded); fixed at construction
+  /// from RapConfig::effectiveNodeBudget().
+  uint64_t NodeBudget = 0;
+
+  /// Split attempts that found the budget full (whether or not the
+  /// forced reclamation pass then made room).
+  uint64_t BudgetHits = 0;
+
+  /// Splits abandoned for good: the budget stayed full after a forced
+  /// pass, or the allocation itself failed. Each refusal leaves one
+  /// event's weight above the granularity the guarantee calls for.
+  uint64_t RefusedSplits = 0;
+
+  /// Coarsening passes forced by pressure (these are reclamation, not
+  /// the paper's scheduled batched merges, and are accounted
+  /// separately so the merge-schedule analysis stays intact).
+  uint64_t ForcedMergePasses = 0;
+
+  /// Nodes reclaimed by forced passes.
+  uint64_t ReclaimedNodes = 0;
+
+  /// Escalation level of the forced-pass threshold: each level doubles
+  /// the fold threshold, so a persistently full tree coarsens harder.
+  uint64_t CoarsenLevel = 0;
+
+  /// Total event weight pushed outside the eps*n guarantee: weight of
+  /// refused-split events plus weight folded upward by forced passes.
+  /// Any range estimate's extra error beyond the normal bound is at
+  /// most this (saturating).
+  uint64_t DegradedWeight = 0;
+
+  /// std::bad_alloc absorbed on the split path (real or injected);
+  /// each one also counts as a refused split.
+  uint64_t AllocFailures = 0;
+};
+
+} // namespace rap
+
+#endif // RAP_CORE_PRESSURE_H

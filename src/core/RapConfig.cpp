@@ -31,5 +31,7 @@ bool RapConfig::validate(std::string *Error) const {
     return Fail("MergeThresholdScale must be positive");
   if (FixedSplitThreshold < 0.0)
     return Fail("FixedSplitThreshold must be nonnegative");
+  if (MaxMemoryBytes != 0 && MaxMemoryBytes < 16)
+    return Fail("MaxMemoryBytes smaller than one 16-byte node");
   return true;
 }

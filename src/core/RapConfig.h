@@ -75,6 +75,31 @@ struct RapConfig {
   /// rare-but-growing ranges (too large); eps*n/log(R) does neither.
   double FixedSplitThreshold = 0.0;
 
+  /// Hard cap on live tree nodes, mirroring the hardware's fixed range
+  /// table (Sec 3.3): 0 means unbounded. At the cap the tree degrades
+  /// instead of allocating — leaf splits are refused and forced
+  /// coarsening merges reclaim nodes; see docs/ROBUSTNESS.md for the
+  /// degraded estimate bound.
+  uint64_t MaxNodes = 0;
+
+  /// Memory budget in bytes at the paper's 16-byte node cost
+  /// (RapTree::BytesPerNode); 0 means unbounded. Combined with
+  /// MaxNodes via effectiveNodeBudget().
+  uint64_t MaxMemoryBytes = 0;
+
+  /// The node cap implied by MaxNodes and MaxMemoryBytes together:
+  /// the tighter of the two, or 0 when both are unbounded.
+  uint64_t effectiveNodeBudget() const {
+    // 16 == RapTree::BytesPerNode (static_assert'd in RapTree.cpp);
+    // spelled as a literal to keep the dependency one-directional.
+    uint64_t FromBytes = MaxMemoryBytes / 16;
+    if (MaxNodes == 0)
+      return FromBytes;
+    if (FromBytes == 0)
+      return MaxNodes;
+    return MaxNodes < FromBytes ? MaxNodes : FromBytes;
+  }
+
   /// Bits of the key consumed per tree level.
   unsigned bitsPerLevel() const { return log2Exact(BranchFactor); }
 

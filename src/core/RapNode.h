@@ -166,11 +166,15 @@ struct NodeArena {
   uint32_t allocChildren(uint32_t Parent, unsigned ChildBits,
                          unsigned SlotLog2, bool Dead);
 
-  /// Returns a 2^SlotLog2-slot block to the free list.
-  void freeBlock(uint32_t FirstChild, unsigned SlotLog2);
+  /// Returns a 2^SlotLog2-slot block to the free list. Never throws:
+  /// it runs inside merge folds after counters have already moved, so
+  /// on allocation failure the block record is dropped (the slots
+  /// stay parked in the arena) rather than tearing the fold.
+  void freeBlock(uint32_t FirstChild, unsigned SlotLog2) noexcept;
 
   /// Marks \p Node dead and recycles every child block beneath it.
-  void killSubtree(uint32_t Node);
+  /// Never throws (see freeBlock).
+  void killSubtree(uint32_t Node) noexcept;
 
   uint64_t subtreeWeight(uint32_t Node) const;
   uint64_t subtreeNodeCount(uint32_t Node) const;
@@ -179,7 +183,7 @@ struct NodeArena {
 
 private:
   uint32_t allocBlock(unsigned SlotLog2);
-  void freeDescendants(uint32_t Node);
+  void freeDescendants(uint32_t Node) noexcept;
 };
 
 } // namespace detail

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 
 using namespace rap;
 
@@ -20,7 +21,12 @@ void RapProfiler::deliverPoint(uint64_t X, uint64_t Weight) {
   NodeCountIntegral = saturatingAdd(
       NodeCountIntegral, saturatingMul(Tree.numNodes(), Weight));
   if (TimelineStride != 0 && Tree.numEvents() >= NextTimelineAt) {
-    Timeline.emplace_back(Tree.numEvents(), Tree.numNodes());
+    try {
+      Timeline.emplace_back(Tree.numEvents(), Tree.numNodes());
+    } catch (const std::bad_alloc &) {
+      // The timeline is diagnostics: under memory pressure a sample
+      // may be dropped, but the event itself is already in the tree.
+    }
     NextTimelineAt += TimelineStride;
   }
 }

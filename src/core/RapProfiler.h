@@ -64,6 +64,11 @@ public:
   /// The underlying tree (read-only).
   const RapTree &tree() const { return Tree; }
 
+  /// Resource-pressure counters of the underlying tree (see
+  /// Pressure.h); all zero unless a node budget was configured or an
+  /// allocation failed.
+  const TreePressure &pressure() const { return Tree.pressure(); }
+
   /// Extracts hot ranges; forwards to the tree.
   std::vector<HotRange> hotRanges(double Phi) const {
     return Tree.extractHotRanges(Phi);

@@ -17,14 +17,22 @@
 
 #include "core/RapTree.h"
 
+#include "support/FailPoint.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <new>
 #include <ostream>
 #include <stdexcept>
 
 using namespace rap;
 using rap::detail::NodeArena;
+
+// RapConfig::effectiveNodeBudget() hard-codes the per-node byte cost
+// to avoid a circular header dependency; keep the two in lockstep.
+static_assert(RapTree::BytesPerNode == 16,
+              "RapConfig::effectiveNodeBudget assumes 16-byte nodes");
 
 //===----------------------------------------------------------------------===//
 // NodeArena
@@ -45,15 +53,31 @@ uint32_t NodeArena::allocBlock(unsigned SlotLog2) {
     FreeBlocks[SlotLog2].pop_back();
     return First;
   }
+  if (RAP_FAILPOINT_HIT(failpoints::Fp::ArenaAlloc))
+    throw std::bad_alloc();
   size_t NumSlots = size_t(1) << SlotLog2;
   size_t Old = Navs.size();
   assert(Old + NumSlots < InvalidIndex && "arena exceeds 32-bit node ids");
-  Los.resize(Old + NumSlots);
-  Counts.resize(Old + NumSlots);
-  Navs.resize(Old + NumSlots);
-  Widths.resize(Old + NumSlots);
-  for (size_t I = Old; I != Old + NumSlots; ++I)
-    Handles.push_back(RapNode(this, static_cast<uint32_t>(I)));
+  // Grow all four slabs plus the handle pool under a rollback guard:
+  // if any later growth throws, the earlier ones shrink back so the
+  // arena never exposes a half-grown slot range (shrinking never
+  // throws for these element types).
+  try {
+    Los.resize(Old + NumSlots);
+    Counts.resize(Old + NumSlots);
+    Navs.resize(Old + NumSlots);
+    Widths.resize(Old + NumSlots);
+    for (size_t I = Old; I != Old + NumSlots; ++I)
+      Handles.push_back(RapNode(this, static_cast<uint32_t>(I)));
+  } catch (...) {
+    Los.resize(Old);
+    Counts.resize(Old);
+    Navs.resize(Old);
+    Widths.resize(Old);
+    while (Handles.size() > Old)
+      Handles.pop_back();
+    throw;
+  }
   return static_cast<uint32_t>(Old);
 }
 
@@ -75,13 +99,20 @@ uint32_t NodeArena::allocChildren(uint32_t Parent, unsigned ChildBits,
   return First;
 }
 
-void NodeArena::freeBlock(uint32_t FirstChild, unsigned SlotLog2) {
-  if (FreeBlocks.size() <= SlotLog2)
-    FreeBlocks.resize(SlotLog2 + 1);
-  FreeBlocks[SlotLog2].push_back(FirstChild);
+void NodeArena::freeBlock(uint32_t FirstChild, unsigned SlotLog2) noexcept {
+  // Growing the free list can itself fail under memory pressure, and
+  // this runs inside merge folds after counters have already moved up:
+  // dropping the record (parking the slots forever) is safe, throwing
+  // would double-count the fold.
+  try {
+    if (FreeBlocks.size() <= SlotLog2)
+      FreeBlocks.resize(SlotLog2 + 1);
+    FreeBlocks[SlotLog2].push_back(FirstChild);
+  } catch (const std::bad_alloc &) {
+  }
 }
 
-void NodeArena::freeDescendants(uint32_t Node) {
+void NodeArena::freeDescendants(uint32_t Node) noexcept {
   uint64_t Nav = Navs[Node];
   if (navIsLeaf(Nav))
     return;
@@ -97,7 +128,7 @@ void NodeArena::freeDescendants(uint32_t Node) {
   Navs[Node] = LeafNav;
 }
 
-void NodeArena::killSubtree(uint32_t Node) {
+void NodeArena::killSubtree(uint32_t Node) noexcept {
   freeDescendants(Node);
   Navs[Node] = DeadLeafNav;
   Counts[Node] = 0;
@@ -146,6 +177,7 @@ RapTree::RapTree(const RapConfig &TreeConfig) : Config(TreeConfig) {
     throw std::invalid_argument("RapTree: invalid config: " + Error);
   Arena.initRoot(Config.RangeBits);
   NextMergeAt = Config.InitialMergeInterval;
+  Pressure.NodeBudget = Config.effectiveNodeBudget();
 }
 
 std::unique_ptr<RapTree> RapTree::fromNodeSet(
@@ -232,6 +264,9 @@ std::unique_ptr<RapTree> RapTree::fromNodeSet(
     while (Tree->NextMergeAt <= NumEvents && Tree->NextMergeAt != ~uint64_t(0))
       Tree->scheduleAfterMerge();
   }
+  // A node set captured without a budget (or under a looser one) may
+  // exceed this config's cap; restoring coarsens it under the cap.
+  Tree->enforceNodeBudget();
   return Tree;
 }
 
@@ -276,15 +311,137 @@ void RapTree::addPoint(uint64_t X, uint64_t Weight) {
   Arena.Counts[Node] = NewCount;
 
   // Split check (Sec 2.2): a counter that outgrew the threshold sprouts
-  // children so subsequent events in this range profile more precisely.
+  // children so subsequent events in this range profile more precisely
+  // — unless the node budget is exhausted, in which case the tree
+  // coarsens instead of allocating (the hardware's fixed-capacity
+  // behavior, Sec 3.3).
   if (Arena.Widths[Node] != 0 &&
       static_cast<double>(NewCount) > Config.splitThreshold(NumEvents))
-    splitNode(Node);
+    trySplit(Node, X, Weight);
 
   // Batched merges at exponentially growing intervals (Sec 3.1, Fig 3).
   if (Config.EnableMerges && NumEvents >= NextMergeAt) {
     mergeNow();
     scheduleAfterMerge();
+  }
+}
+
+uint64_t RapTree::splitAllocCount(uint32_t Node) const {
+  // Nodes a split of \p Node would add: a whole fresh child block, or
+  // only the dead slots a revive would resurrect.
+  unsigned BitsPerLevel = Config.bitsPerLevel();
+  unsigned MyWidth = Arena.Widths[Node];
+  unsigned ChildBits = MyWidth > BitsPerLevel ? MyWidth - BitsPerLevel : 0;
+  unsigned SlotLog2 = MyWidth - ChildBits;
+  uint64_t Nav = Arena.Navs[Node];
+  if (NodeArena::navIsLeaf(Nav))
+    return uint64_t(1) << SlotLog2;
+  uint64_t Dead = 0;
+  uint32_t First = NodeArena::navFirstChild(Nav);
+  unsigned NumSlots = 1u << SlotLog2;
+  for (unsigned Slot = 0; Slot != NumSlots; ++Slot)
+    if (NodeArena::navIsDead(Arena.Navs[First + Slot]))
+      ++Dead;
+  return Dead;
+}
+
+/// Cap on TreePressure::CoarsenLevel: 2^60 already exceeds any
+/// saturating threshold the schedule can produce.
+static constexpr uint64_t MaxCoarsenLevel = 60;
+
+uint64_t RapTree::forcedMergePass() {
+  // Pressure threshold: the scheduled merge threshold escalated by the
+  // coarsening level (each level doubles it), and at least 1 so
+  // zero-weight subtrees always fold. Folded weight leaves the eps*n
+  // guarantee — the scheduled q/(q-1) analysis does not cover folds
+  // run off-schedule — so it is charged to DegradedWeight, and the
+  // pass deliberately does NOT touch NumMergePasses/MergeEventCounts:
+  // the paper's merge-schedule invariants stay exact.
+  double Scale = std::ldexp(
+      1.0, static_cast<int>(std::min(Pressure.CoarsenLevel, MaxCoarsenLevel)));
+  double Threshold = std::max(1.0, Config.mergeThreshold(NumEvents) * Scale);
+  uint64_t Removed = 0;
+  uint64_t Folded = 0;
+  mergeWalk(0, Threshold, Removed, &Folded);
+  ++Pressure.ForcedMergePasses;
+  Pressure.ReclaimedNodes += Removed;
+  Pressure.DegradedWeight = saturatingAdd(Pressure.DegradedWeight, Folded);
+  return Removed;
+}
+
+void RapTree::trySplit(uint32_t Node, uint64_t X, uint64_t Weight) {
+  uint64_t Budget = Pressure.NodeBudget;
+  bool Charged = false;
+  if (Budget != 0) {
+    // Churn charge: once a forced pass has reclaimed subtrees, an event
+    // can land on a node whose counter was already past the split
+    // threshold (its precise child was folded away, so the descend
+    // stops early). Even when the re-split below succeeds, this event's
+    // weight stays at the coarse node forever — counters never move
+    // down — so it leaves the eps*n guarantee and must be charged. An
+    // unbudgeted tree only re-lands like this once per scheduled merge
+    // pass, which the oracle's per-epoch slack already covers.
+    if (Pressure.ForcedMergePasses != 0 && Arena.Counts[Node] > Weight &&
+        static_cast<double>(Arena.Counts[Node] - Weight) >
+            Config.splitThreshold(NumEvents)) {
+      Pressure.DegradedWeight = saturatingAdd(Pressure.DegradedWeight, Weight);
+      Charged = true;
+    }
+    uint64_t Need = splitAllocCount(Node);
+    if (NumNodes + Need > Budget) {
+      ++Pressure.BudgetHits;
+      // Reclaim instead of allocating: one forced coarsening pass,
+      // then re-descend (the pass may have folded the landing node
+      // into an ancestor) and re-evaluate there.
+      forcedMergePass();
+      Node = descendIndex(X);
+      Need = splitAllocCount(Node);
+      bool StillWants =
+          Arena.Widths[Node] != 0 &&
+          static_cast<double>(Arena.Counts[Node]) >
+              Config.splitThreshold(NumEvents);
+      if (!StillWants || NumNodes + Need > Budget) {
+        // Degrade: this event stays profiled at the current (coarse)
+        // granularity. Escalate so the next pass folds harder.
+        ++Pressure.RefusedSplits;
+        if (!Charged)
+          Pressure.DegradedWeight =
+              saturatingAdd(Pressure.DegradedWeight, Weight);
+        if (Pressure.CoarsenLevel < MaxCoarsenLevel)
+          ++Pressure.CoarsenLevel;
+        return;
+      }
+    }
+  }
+  try {
+    splitNode(Node);
+  } catch (const std::bad_alloc &) {
+    // allocBlock rolled the arena back, so refusing the split leaves
+    // the tree exactly as consistent as a budget refusal does.
+    ++Pressure.AllocFailures;
+    ++Pressure.RefusedSplits;
+    if (!Charged)
+      Pressure.DegradedWeight = saturatingAdd(Pressure.DegradedWeight, Weight);
+  }
+}
+
+void RapTree::enforceNodeBudget() {
+  // Bulk paths (absorb, snapshot restore) can overshoot the cap in one
+  // step; forced passes with escalating thresholds bring the tree back
+  // under it. Terminates: at the level cap the threshold exceeds any
+  // possible subtree weight, so everything folds into the root.
+  uint64_t Budget = Pressure.NodeBudget;
+  if (Budget == 0)
+    return;
+  while (NumNodes > Budget) {
+    ++Pressure.BudgetHits;
+    uint64_t Removed = forcedMergePass();
+    if (NumNodes <= Budget)
+      break;
+    if (Pressure.CoarsenLevel >= MaxCoarsenLevel && Removed == 0)
+      break;
+    if (Pressure.CoarsenLevel < MaxCoarsenLevel)
+      ++Pressure.CoarsenLevel;
   }
 }
 
@@ -319,7 +476,7 @@ void RapTree::splitNode(uint32_t Node) {
 }
 
 uint64_t RapTree::mergeWalk(uint32_t Node, double Threshold,
-                            uint64_t &Removed) {
+                            uint64_t &Removed, uint64_t *FoldedWeight) {
   uint64_t Total = Arena.Counts[Node];
   uint64_t Nav = Arena.Navs[Node];
   if (NodeArena::navIsLeaf(Nav))
@@ -333,13 +490,15 @@ uint64_t RapTree::mergeWalk(uint32_t Node, double Threshold,
     uint32_t Child = First + Slot;
     if (NodeArena::navIsDead(Arena.Navs[Child]))
       continue;
-    uint64_t ChildWeight = mergeWalk(Child, Threshold, Removed);
+    uint64_t ChildWeight = mergeWalk(Child, Threshold, Removed, FoldedWeight);
     Total = saturatingAdd(Total, ChildWeight);
     if (static_cast<double>(ChildWeight) < Threshold) {
       // Fold the entire (already internally merged) child subtree into
       // this node: child counts are equally valid on the super-range
       // (Sec 2.2 "Merge").
       Arena.Counts[Node] = saturatingAdd(Arena.Counts[Node], ChildWeight);
+      if (FoldedWeight)
+        *FoldedWeight = saturatingAdd(*FoldedWeight, ChildWeight);
       uint64_t Dropped = Arena.subtreeNodeCount(Child);
       Removed += Dropped;
       NumNodes -= Dropped;
@@ -403,6 +562,9 @@ void RapTree::absorb(const RapTree &Other) {
     while (NextMergeAt <= NumEvents && NextMergeAt != ~uint64_t(0))
       scheduleAfterMerge();
   }
+  // The structural union can overshoot a node budget arbitrarily far;
+  // coarsen back under it.
+  enforceNodeBudget();
 }
 
 uint64_t RapTree::mergeNow() {

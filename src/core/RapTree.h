@@ -35,6 +35,7 @@
 #ifndef RAP_CORE_RAPTREE_H
 #define RAP_CORE_RAPTREE_H
 
+#include "core/Pressure.h"
 #include "core/RapConfig.h"
 #include "core/RapNode.h"
 
@@ -163,6 +164,26 @@ public:
   /// Event count at which the next scheduled merge will run.
   uint64_t nextMergeAt() const { return NextMergeAt; }
 
+  /// Resource-pressure counters (see Pressure.h). All zero for an
+  /// unbudgeted tree that never saw an allocation failure.
+  const TreePressure &pressure() const { return Pressure; }
+
+  /// The effective node cap this tree enforces (0 = unbounded).
+  uint64_t nodeBudget() const { return Pressure.NodeBudget; }
+
+  /// Splits abandoned under pressure (budget full or allocation
+  /// failed); each left one event coarser than the guarantee wants.
+  uint64_t numRefusedSplits() const { return Pressure.RefusedSplits; }
+
+  /// Coarsening passes forced by pressure (distinct from the
+  /// scheduled numMergePasses()).
+  uint64_t forcedMergePasses() const { return Pressure.ForcedMergePasses; }
+
+  /// Total event weight outside the eps*n guarantee: any range
+  /// estimate's extra under-count beyond the normal bound is at most
+  /// this. Zero for an unbudgeted, failure-free tree.
+  uint64_t degradedWeight() const { return Pressure.DegradedWeight; }
+
   /// The current split threshold eps * n / log(R).
   double currentSplitThreshold() const {
     return Config.splitThreshold(NumEvents);
@@ -213,8 +234,13 @@ public:
 
 private:
   uint32_t descendIndex(uint64_t X) const;
+  void trySplit(uint32_t Node, uint64_t X, uint64_t Weight);
   void splitNode(uint32_t Node);
-  uint64_t mergeWalk(uint32_t Node, double Threshold, uint64_t &Removed);
+  uint64_t splitAllocCount(uint32_t Node) const;
+  uint64_t forcedMergePass();
+  void enforceNodeBudget();
+  uint64_t mergeWalk(uint32_t Node, double Threshold, uint64_t &Removed,
+                     uint64_t *FoldedWeight = nullptr);
   void unionWith(uint32_t Mine, const RapNode &Theirs);
   uint64_t hotWalk(const RapNode &Node, double Threshold, unsigned Depth,
                    std::vector<HotRange> &Out) const;
@@ -231,6 +257,7 @@ private:
   uint64_t NumMergedNodes = 0;
   uint64_t NextMergeAt;
   std::vector<uint64_t> MergeEventCounts;
+  TreePressure Pressure;
 };
 
 } // namespace rap

@@ -7,9 +7,14 @@
 
 #include "core/Serialization.h"
 
+#include "support/Crc32.h"
+#include "support/FailPoint.h"
+
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -19,7 +24,8 @@ using namespace rap;
 namespace {
 
 constexpr char Magic[4] = {'R', 'A', 'P', 'P'};
-constexpr uint32_t FormatVersion = 2;
+constexpr char TailMagic[4] = {'P', 'R', 'A', 'R'};
+constexpr uint32_t FormatVersion = 3;
 
 void writeU32(std::ostream &OS, uint32_t Value) {
   unsigned char Bytes[4];
@@ -55,9 +61,42 @@ bool readU32(std::istream &IS, uint32_t &Value) {
   return true;
 }
 
-bool readU64(std::istream &IS, uint64_t &Value) {
+/// Wraps an istream and folds every byte read into a running CRC-32,
+/// so readBinary can verify the version-3 footer without buffering
+/// the whole stream.
+class CrcIn {
+public:
+  explicit CrcIn(std::istream &Stream) : IS(Stream) {}
+
+  bool read(void *Buffer, size_t Size) {
+    if (!IS.read(static_cast<char *>(Buffer),
+                 static_cast<std::streamsize>(Size)))
+      return false;
+    Sum.update(Buffer, Size);
+    return true;
+  }
+
+  uint32_t crc() const { return Sum.value(); }
+  std::istream &stream() { return IS; }
+
+private:
+  std::istream &IS;
+  Crc32 Sum;
+};
+
+bool readU32(CrcIn &IS, uint32_t &Value) {
+  unsigned char Bytes[4];
+  if (!IS.read(Bytes, 4))
+    return false;
+  Value = 0;
+  for (int I = 3; I >= 0; --I)
+    Value = (Value << 8) | Bytes[I];
+  return true;
+}
+
+bool readU64(CrcIn &IS, uint64_t &Value) {
   unsigned char Bytes[8];
-  if (!IS.read(reinterpret_cast<char *>(Bytes), 8))
+  if (!IS.read(Bytes, 8))
     return false;
   Value = 0;
   for (int I = 7; I >= 0; --I)
@@ -65,7 +104,7 @@ bool readU64(std::istream &IS, uint64_t &Value) {
   return true;
 }
 
-bool readF64(std::istream &IS, double &Value) {
+bool readF64(CrcIn &IS, double &Value) {
   uint64_t Bits;
   if (!readU64(IS, Bits))
     return false;
@@ -73,12 +112,8 @@ bool readF64(std::istream &IS, double &Value) {
   return true;
 }
 
-bool readU8(std::istream &IS, uint8_t &Value) {
-  int C = IS.get();
-  if (C < 0)
-    return false;
-  Value = static_cast<uint8_t>(C);
-  return true;
+bool readU8(CrcIn &IS, uint8_t &Value) {
+  return IS.read(&Value, 1);
 }
 
 void collectPreorder(const RapNode &Node,
@@ -162,65 +197,95 @@ std::vector<int64_t> ProfileSnapshot::buildParents() const {
   return Parents;
 }
 
-void ProfileSnapshot::writeBinary(std::ostream &OS) const {
-  OS.write(Magic, 4);
-  writeU32(OS, FormatVersion);
-  writeU32(OS, Config.RangeBits);
-  writeU32(OS, Config.BranchFactor);
-  writeF64(OS, Config.Epsilon);
-  writeF64(OS, Config.MergeRatio);
-  writeU64(OS, Config.InitialMergeInterval);
-  writeF64(OS, Config.MergeThresholdScale);
-  writeU8(OS, Config.EnableMerges ? 1 : 0);
-  writeU64(OS, NumEvents);
-  writeU64(OS, NextMergeAt);
-  writeU64(OS, Nodes.size());
+bool ProfileSnapshot::writeBinary(std::ostream &OS) const {
+  // Serialize the body first so the footer checksum covers exactly
+  // the bytes on the wire, magic included.
+  std::ostringstream Body;
+  Body.write(Magic, 4);
+  writeU32(Body, FormatVersion);
+  writeU32(Body, Config.RangeBits);
+  writeU32(Body, Config.BranchFactor);
+  writeF64(Body, Config.Epsilon);
+  writeF64(Body, Config.MergeRatio);
+  writeU64(Body, Config.InitialMergeInterval);
+  writeF64(Body, Config.MergeThresholdScale);
+  writeU8(Body, Config.EnableMerges ? 1 : 0);
+  writeU64(Body, Config.MaxNodes);
+  writeU64(Body, Config.MaxMemoryBytes);
+  writeU64(Body, NumEvents);
+  writeU64(Body, NextMergeAt);
+  writeU64(Body, Nodes.size());
   for (const Node &N : Nodes) {
-    writeU64(OS, N.Lo);
-    writeU8(OS, N.WidthBits);
-    writeU64(OS, N.Count);
+    writeU64(Body, N.Lo);
+    writeU8(Body, N.WidthBits);
+    writeU64(Body, N.Count);
   }
+  const std::string Bytes = Body.str();
+  if (RAP_FAILPOINT_HIT(failpoints::Fp::SnapshotWrite)) {
+    // Simulate a torn write: half the body reaches the stream, then
+    // the device fails. No footer is ever written, so readers reject
+    // the result.
+    OS.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() / 2));
+    OS.setstate(std::ios::failbit);
+    return false;
+  }
+  OS.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  writeU32(OS, crc32(Bytes.data(), Bytes.size()));
+  OS.write(TailMagic, 4);
+  return static_cast<bool>(OS);
 }
 
 std::unique_ptr<ProfileSnapshot>
-ProfileSnapshot::readBinary(std::istream &IS, std::string *Error) {
-  auto Fail = [Error](const char *Message) {
+ProfileSnapshot::readBinary(std::istream &IS, std::string *Error,
+                            ProfileIoError *Kind) {
+  if (RAP_FAILPOINT_HIT(failpoints::Fp::SnapshotRead))
+    IS.setstate(std::ios::badbit);
+  auto Fail = [Error, Kind, &IS](const char *Message) {
     if (Error)
       *Error = Message;
+    if (Kind)
+      *Kind = IS.bad() ? ProfileIoError::Io : ProfileIoError::Corrupt;
     return std::unique_ptr<ProfileSnapshot>();
   };
+  CrcIn In(IS);
   char MagicBuffer[4];
-  if (!IS.read(MagicBuffer, 4) ||
+  if (!In.read(MagicBuffer, 4) ||
       std::memcmp(MagicBuffer, Magic, 4) != 0)
     return Fail("not a RAP profile (bad magic)");
   uint32_t Version;
-  if (!readU32(IS, Version) || Version < 1 || Version > FormatVersion)
+  if (!readU32(In, Version) || Version < 1 || Version > FormatVersion)
     return Fail("unsupported profile format version");
 
   RapConfig Config;
   uint32_t RangeBits;
   uint32_t BranchFactor;
   uint8_t EnableMerges;
-  if (!readU32(IS, RangeBits) || !readU32(IS, BranchFactor) ||
-      !readF64(IS, Config.Epsilon) || !readF64(IS, Config.MergeRatio) ||
-      !readU64(IS, Config.InitialMergeInterval) ||
-      !readF64(IS, Config.MergeThresholdScale) ||
-      !readU8(IS, EnableMerges))
+  if (!readU32(In, RangeBits) || !readU32(In, BranchFactor) ||
+      !readF64(In, Config.Epsilon) || !readF64(In, Config.MergeRatio) ||
+      !readU64(In, Config.InitialMergeInterval) ||
+      !readF64(In, Config.MergeThresholdScale) ||
+      !readU8(In, EnableMerges))
     return Fail("truncated profile header");
   Config.RangeBits = RangeBits;
   Config.BranchFactor = BranchFactor;
   Config.EnableMerges = EnableMerges != 0;
-  if (!Config.validate(Error))
+  if (Version >= 3 &&
+      (!readU64(In, Config.MaxNodes) || !readU64(In, Config.MaxMemoryBytes)))
+    return Fail("truncated profile header");
+  if (!Config.validate(Error)) {
+    if (Kind)
+      *Kind = ProfileIoError::Corrupt;
     return nullptr;
+  }
 
   uint64_t NumEvents;
   uint64_t NextMergeAt = 0; // v1 profiles: re-derive the schedule
   uint64_t NumNodes;
-  if (!readU64(IS, NumEvents))
+  if (!readU64(In, NumEvents))
     return Fail("truncated profile header");
-  if (Version >= 2 && !readU64(IS, NextMergeAt))
+  if (Version >= 2 && !readU64(In, NextMergeAt))
     return Fail("truncated profile header");
-  if (!readU64(IS, NumNodes))
+  if (!readU64(In, NumNodes))
     return Fail("truncated profile header");
   // Sanity cap: a node record is 17 bytes; reject sizes that cannot
   // possibly be backed by the stream (defends against corrupt counts).
@@ -228,13 +293,30 @@ ProfileSnapshot::readBinary(std::istream &IS, std::string *Error) {
     return Fail("implausible node count");
 
   std::vector<Node> Nodes;
-  Nodes.reserve(static_cast<size_t>(NumNodes));
+  // Grow incrementally: NumNodes is untrusted until the records have
+  // actually been read, so never pre-reserve more than a small bound.
+  Nodes.reserve(static_cast<size_t>(
+      std::min<uint64_t>(NumNodes, uint64_t(1) << 16)));
   for (uint64_t I = 0; I != NumNodes; ++I) {
     Node N;
-    if (!readU64(IS, N.Lo) || !readU8(IS, N.WidthBits) ||
-        !readU64(IS, N.Count))
+    if (!readU64(In, N.Lo) || !readU8(In, N.WidthBits) ||
+        !readU64(In, N.Count))
       return Fail("truncated node list");
+    if (N.WidthBits > 64)
+      return Fail("corrupt node record (width out of range)");
     Nodes.push_back(N);
+  }
+
+  if (Version >= 3) {
+    const uint32_t Expected = In.crc();
+    uint32_t Stored;
+    char TailBuffer[4];
+    if (!readU32(IS, Stored) || !IS.read(TailBuffer, 4))
+      return Fail("truncated profile footer");
+    if (std::memcmp(TailBuffer, TailMagic, 4) != 0)
+      return Fail("corrupt profile footer (bad tail magic)");
+    if (Stored != Expected)
+      return Fail("profile checksum mismatch");
   }
 
   // Validate structurally by round-tripping through the tree builder.
@@ -242,24 +324,30 @@ ProfileSnapshot::readBinary(std::istream &IS, std::string *Error) {
   Triples.reserve(Nodes.size());
   for (const Node &N : Nodes)
     Triples.emplace_back(N.Lo, N.WidthBits, N.Count);
-  if (!RapTree::fromNodeSet(Config, Triples, NumEvents, Error, NextMergeAt))
+  if (!RapTree::fromNodeSet(Config, Triples, NumEvents, Error, NextMergeAt)) {
+    if (Kind)
+      *Kind = ProfileIoError::Corrupt;
     return nullptr;
+  }
 
+  if (Kind)
+    *Kind = ProfileIoError::None;
   return std::make_unique<ProfileSnapshot>(
       SnapshotBuilder::make(Config, NumEvents, NextMergeAt,
                             std::move(Nodes)));
 }
 
-void ProfileSnapshot::writeText(std::ostream &OS) const {
-  char Buffer[192];
+bool ProfileSnapshot::writeText(std::ostream &OS) const {
+  char Buffer[256];
   std::snprintf(Buffer, sizeof(Buffer),
-                "rap-profile v2 bits=%u b=%u eps=%.17g q=%.17g "
+                "rap-profile v3 bits=%u b=%u eps=%.17g q=%.17g "
                 "interval=%" PRIu64 " scale=%.17g merges=%d "
-                "nextmerge=%" PRIu64 "\n",
+                "nextmerge=%" PRIu64 " maxnodes=%" PRIu64
+                " maxbytes=%" PRIu64 "\n",
                 Config.RangeBits, Config.BranchFactor, Config.Epsilon,
                 Config.MergeRatio, Config.InitialMergeInterval,
                 Config.MergeThresholdScale, Config.EnableMerges ? 1 : 0,
-                NextMergeAt);
+                NextMergeAt, Config.MaxNodes, Config.MaxMemoryBytes);
   OS << Buffer;
   std::snprintf(Buffer, sizeof(Buffer), "events=%" PRIu64 " nodes=%zu\n",
                 NumEvents, Nodes.size());
@@ -269,13 +357,17 @@ void ProfileSnapshot::writeText(std::ostream &OS) const {
                   N.Lo, static_cast<unsigned>(N.WidthBits), N.Count);
     OS << Buffer;
   }
+  return static_cast<bool>(OS);
 }
 
 std::unique_ptr<ProfileSnapshot>
-ProfileSnapshot::readText(std::istream &IS, std::string *Error) {
-  auto Fail = [Error](const char *Message) {
+ProfileSnapshot::readText(std::istream &IS, std::string *Error,
+                          ProfileIoError *Kind) {
+  auto Fail = [Error, Kind, &IS](const char *Message) {
     if (Error)
       *Error = Message;
+    if (Kind)
+      *Kind = IS.bad() ? ProfileIoError::Io : ProfileIoError::Corrupt;
     return std::unique_ptr<ProfileSnapshot>();
   };
   std::string Line;
@@ -286,6 +378,15 @@ ProfileSnapshot::readText(std::istream &IS, std::string *Error) {
   uint64_t Interval;
   uint64_t NextMergeAt = 0;
   if (std::sscanf(Line.c_str(),
+                  "rap-profile v3 bits=%u b=%u eps=%lg q=%lg "
+                  "interval=%" SCNu64 " scale=%lg merges=%u "
+                  "nextmerge=%" SCNu64 " maxnodes=%" SCNu64
+                  " maxbytes=%" SCNu64,
+                  &Config.RangeBits, &Config.BranchFactor, &Config.Epsilon,
+                  &Config.MergeRatio, &Interval,
+                  &Config.MergeThresholdScale, &Merges, &NextMergeAt,
+                  &Config.MaxNodes, &Config.MaxMemoryBytes) != 10 &&
+      std::sscanf(Line.c_str(),
                   "rap-profile v2 bits=%u b=%u eps=%lg q=%lg "
                   "interval=%" SCNu64 " scale=%lg merges=%u "
                   "nextmerge=%" SCNu64,
@@ -302,8 +403,11 @@ ProfileSnapshot::readText(std::istream &IS, std::string *Error) {
     return Fail("malformed profile text header");
   Config.InitialMergeInterval = Interval;
   Config.EnableMerges = Merges != 0;
-  if (!Config.validate(Error))
+  if (!Config.validate(Error)) {
+    if (Kind)
+      *Kind = ProfileIoError::Corrupt;
     return nullptr;
+  }
 
   if (!std::getline(IS, Line))
     return Fail("missing events/nodes line");
@@ -312,9 +416,11 @@ ProfileSnapshot::readText(std::istream &IS, std::string *Error) {
   if (std::sscanf(Line.c_str(), "events=%" SCNu64 " nodes=%zu", &NumEvents,
                   &NumNodes) != 2)
     return Fail("malformed events/nodes line");
+  if (NumNodes == 0 || NumNodes > (size_t(1) << 32))
+    return Fail("implausible node count");
 
   std::vector<Node> Nodes;
-  Nodes.reserve(NumNodes);
+  Nodes.reserve(std::min<size_t>(NumNodes, size_t(1) << 16));
   for (size_t I = 0; I != NumNodes; ++I) {
     if (!std::getline(IS, Line))
       return Fail("truncated node list");
@@ -331,12 +437,84 @@ ProfileSnapshot::readText(std::istream &IS, std::string *Error) {
   std::vector<std::tuple<uint64_t, uint8_t, uint64_t>> Triples;
   for (const Node &N : Nodes)
     Triples.emplace_back(N.Lo, N.WidthBits, N.Count);
-  if (!RapTree::fromNodeSet(Config, Triples, NumEvents, Error, NextMergeAt))
+  if (!RapTree::fromNodeSet(Config, Triples, NumEvents, Error, NextMergeAt)) {
+    if (Kind)
+      *Kind = ProfileIoError::Corrupt;
     return nullptr;
+  }
 
+  if (Kind)
+    *Kind = ProfileIoError::None;
   return std::make_unique<ProfileSnapshot>(
       SnapshotBuilder::make(Config, NumEvents, NextMergeAt,
                             std::move(Nodes)));
+}
+
+bool ProfileSnapshot::saveFileAtomic(const std::string &Path,
+                                     std::string *Error,
+                                     ProfileIoError *Kind) const {
+  const std::string Temp = Path + ".tmp";
+  auto Fail = [&](const char *Message) {
+    std::remove(Temp.c_str());
+    if (Error)
+      *Error = Message;
+    if (Kind)
+      *Kind = ProfileIoError::Io;
+    return false;
+  };
+  {
+    std::ofstream OS(Temp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return Fail("cannot create temporary profile file");
+    if (!writeBinary(OS))
+      return Fail("failed to write profile");
+    OS.flush();
+    if (!OS)
+      return Fail("failed to flush profile");
+  }
+  if (std::rename(Temp.c_str(), Path.c_str()) != 0)
+    return Fail("failed to rename profile into place");
+  if (Kind)
+    *Kind = ProfileIoError::None;
+  return true;
+}
+
+std::unique_ptr<ProfileSnapshot>
+ProfileSnapshot::loadFile(const std::string &Path, std::string *Error,
+                          ProfileIoError *Kind) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    if (Error)
+      *Error = "cannot open profile file";
+    if (Kind)
+      *Kind = ProfileIoError::Io;
+    return nullptr;
+  }
+  std::unique_ptr<ProfileSnapshot> Snapshot = readBinary(IS, Error, Kind);
+  if (Snapshot) {
+    // Strict framing: nothing may follow a binary profile.
+    IS.peek();
+    if (!IS.eof()) {
+      if (Error)
+        *Error = "trailing bytes after profile";
+      if (Kind)
+        *Kind = ProfileIoError::Corrupt;
+      return nullptr;
+    }
+    return Snapshot;
+  }
+  // A stream that starts with the binary magic is a binary profile:
+  // propagate its error rather than reinterpreting corrupt bytes as
+  // the text format.
+  IS.clear();
+  IS.seekg(0);
+  char MagicBuffer[4];
+  if (IS.read(MagicBuffer, 4) &&
+      std::memcmp(MagicBuffer, Magic, 4) == 0)
+    return nullptr;
+  IS.clear();
+  IS.seekg(0);
+  return readText(IS, Error, Kind);
 }
 
 bool ProfileSnapshot::operator==(const ProfileSnapshot &Other) const {
@@ -345,7 +523,9 @@ bool ProfileSnapshot::operator==(const ProfileSnapshot &Other) const {
     return false;
   if (Config.RangeBits != Other.Config.RangeBits ||
       Config.BranchFactor != Other.Config.BranchFactor ||
-      Config.Epsilon != Other.Config.Epsilon)
+      Config.Epsilon != Other.Config.Epsilon ||
+      Config.MaxNodes != Other.Config.MaxNodes ||
+      Config.MaxMemoryBytes != Other.Config.MaxMemoryBytes)
     return false;
   for (size_t I = 0; I != Nodes.size(); ++I)
     if (Nodes[I].Lo != Other.Nodes[I].Lo ||

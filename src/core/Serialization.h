@@ -13,20 +13,28 @@
 /// a compact little-endian binary format plus text round-tripping, so
 /// profiles can be collected online and analyzed offline.
 ///
-/// Binary layout (version 2):
+/// Binary layout (version 3):
 ///   magic "RAPP", u32 version,
 ///   config { u32 rangeBits, u32 branchFactor, f64 epsilon,
 ///            f64 mergeRatio, u64 initialMergeInterval,
-///            f64 mergeThresholdScale, u8 enableMerges },
+///            f64 mergeThresholdScale, u8 enableMerges,
+///            u64 maxNodes, u64 maxMemoryBytes },
 ///   u64 numEvents, u64 nextMergeAt, u64 numNodes,
-///   nodes in preorder: { u64 lo, u8 widthBits, u64 count,
-///                        u8 hasChildSlots } — child presence is
-///   reconstructed structurally from preorder + ranges.
+///   nodes in preorder: { u64 lo, u8 widthBits, u64 count } — child
+///   presence is reconstructed structurally from preorder + ranges,
+///   footer { u32 crc32 of magic..last node byte, tail magic "PRAR" }.
 ///
-/// Version 1 streams (no nextMergeAt field) are still read; their
-/// merge-schedule position is re-derived from the configured initial
-/// interval, which matches the original tree whenever every batched
-/// merge ran on schedule.
+/// The CRC-32 footer makes torn or bit-flipped snapshots detectable:
+/// readers reject any stream whose checksum or tail magic does not
+/// match, so a crash mid-write can never be mistaken for a profile.
+/// saveFileAtomic() additionally writes through a temp file and
+/// renames, so an existing profile on disk is replaced atomically.
+///
+/// Version 1 streams (no nextMergeAt field) and version 2 streams (no
+/// budget fields, no footer) are still read; v1 merge-schedule
+/// position is re-derived from the configured initial interval, which
+/// matches the original tree whenever every batched merge ran on
+/// schedule.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +50,14 @@
 #include <vector>
 
 namespace rap {
+
+/// Failure class of a profile read or write, for callers that map
+/// errors to exit codes or C API error enums.
+enum class ProfileIoError {
+  None = 0, ///< The operation succeeded.
+  Io,       ///< The underlying stream or file failed (open/read/write).
+  Corrupt,  ///< The bytes were read but are not a valid profile.
+};
 
 /// A detached, immutable copy of a profile: configuration, stream
 /// length, and the node set. Snapshots support the offline half of the
@@ -83,20 +99,42 @@ public:
   /// Hot ranges at fraction \p Phi, identical to the live tree's.
   std::vector<HotRange> extractHotRanges(double Phi) const;
 
-  /// Writes the version-1 binary format.
-  void writeBinary(std::ostream &OS) const;
+  /// Writes the current (version-3) binary format, CRC footer
+  /// included. Returns false if the stream failed; partial output may
+  /// have been written, but its checksum will not verify.
+  bool writeBinary(std::ostream &OS) const;
 
-  /// Reads the binary format. Returns nullptr and sets \p Error on a
-  /// malformed stream.
+  /// Reads any supported binary format version. Returns nullptr and
+  /// sets \p Error (and \p Kind, when non-null) on a malformed stream:
+  /// truncation, corruption, and checksum mismatches are all rejected.
   static std::unique_ptr<ProfileSnapshot>
-  readBinary(std::istream &IS, std::string *Error = nullptr);
+  readBinary(std::istream &IS, std::string *Error = nullptr,
+             ProfileIoError *Kind = nullptr);
 
   /// Writes a one-node-per-line text format (`lo width count`, hex lo).
-  void writeText(std::ostream &OS) const;
+  /// Returns false if the stream failed.
+  bool writeText(std::ostream &OS) const;
 
   /// Reads the text format written by writeText.
   static std::unique_ptr<ProfileSnapshot>
-  readText(std::istream &IS, std::string *Error = nullptr);
+  readText(std::istream &IS, std::string *Error = nullptr,
+           ProfileIoError *Kind = nullptr);
+
+  /// Saves the binary format to \p Path crash-safely: the bytes are
+  /// written to "<Path>.tmp", verified, and renamed over \p Path, so
+  /// a crash or write failure never leaves a half-written profile
+  /// under the final name. Returns false (removing the temp file) on
+  /// any failure.
+  bool saveFileAtomic(const std::string &Path, std::string *Error = nullptr,
+                      ProfileIoError *Kind = nullptr) const;
+
+  /// Loads a profile from \p Path, binary or text. Streams that begin
+  /// with the binary magic are only parsed as binary — a corrupt
+  /// binary profile is rejected, never reinterpreted as text — and
+  /// trailing garbage after a valid binary profile is rejected.
+  static std::unique_ptr<ProfileSnapshot>
+  loadFile(const std::string &Path, std::string *Error = nullptr,
+           ProfileIoError *Kind = nullptr);
 
   /// Rebuilds a live RapTree with exactly this snapshot's nodes and
   /// counts (for resuming profiling or re-querying with tree code).

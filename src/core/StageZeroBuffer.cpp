@@ -7,7 +7,10 @@
 
 #include "core/StageZeroBuffer.h"
 
+#include "support/FailPoint.h"
+
 #include <algorithm>
+#include <new>
 
 using namespace rap;
 
@@ -73,28 +76,37 @@ StageZeroBuffer::StageZeroBuffer(uint64_t MaxDistinct)
 bool StageZeroBuffer::pushSlow(uint64_t Event, uint64_t W) {
   if (W == 0)
     return false;
-  RawEvents = saturatingAdd(RawEvents, W);
   // Capacity 0: immediate mode, every push is its own window.
   if (Size == 0)
     Scratch.clear(); // drop the previously drained pairs
+  // Store before counting: if the emplace throws, nothing has been
+  // recorded and the counters still match the buffered content.
   Scratch.emplace_back(Event, W);
+  RawEvents = saturatingAdd(RawEvents, W);
   ++Size;
   return true;
 }
 
 const std::vector<std::pair<uint64_t, uint64_t>> &StageZeroBuffer::drain() {
+  if (RAP_FAILPOINT_HIT(failpoints::Fp::Stage0Drain))
+    throw std::bad_alloc();
   if (Capacity != 0 || Size == 0) {
+    // Collect before clearing any slot: if an allocation fails here or
+    // in the sort below, the table is untouched and the drain can be
+    // retried — buffered weight is never silently dropped.
     Scratch.clear();
-    for (Slot &S : Table) {
-      if (S.Val == 0)
-        continue;
-      Scratch.emplace_back(S.Key, S.Val);
-      S.Val = 0;
-    }
+    Scratch.reserve(static_cast<size_t>(Size));
+    for (const Slot &S : Table)
+      if (S.Val != 0)
+        Scratch.emplace_back(S.Key, S.Val);
   }
   // Ascending event order: deterministic regardless of arrival order
-  // and hash layout, matching hw/EventBuffer::drain().
+  // and hash layout, matching hw/EventBuffer::drain(). The sort may
+  // allocate, so it too runs before the table is cleared.
   sortPairsByEvent(Scratch, RadixTmp);
+  if (Capacity != 0)
+    for (Slot &S : Table)
+      S.Val = 0;
   DrainedPairs = saturatingAdd(DrainedPairs, Scratch.size());
   Size = 0;
   return Scratch;

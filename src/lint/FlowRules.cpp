@@ -788,10 +788,12 @@ void runLockDiscipline(const std::string &Path, const LexedSource &Src,
 
 bool rap::lint::looksLikeStatusName(const std::string &Name) {
   static const std::vector<std::string> Prefixes = {
-      "try",   "init",  "open",     "close",    "flush",       "finish",
-      "write", "read",  "load",     "save",     "verify",      "check",
-      "parse", "apply", "commit",   "validate", "serialize",   "deserialize",
-      "start", "stop",  "finalize", "run"};
+      "try",      "init",    "open",     "close",    "flush",
+      "finish",   "write",   "read",     "load",     "save",
+      "verify",   "check",   "parse",    "apply",    "commit",
+      "validate", "serialize", "deserialize", "start", "stop",
+      "finalize", "run",     "snapshot", "restore",  "recover",
+      "configure"};
   std::string Lower;
   for (char C : Name)
     Lower += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));

@@ -1,0 +1,38 @@
+//===- support/Crc32.cpp - CRC-32 checksums -------------------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Crc32.h"
+
+#include <array>
+
+namespace rap {
+
+namespace {
+
+std::array<uint32_t, 256> makeTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t Byte = 0; Byte != 256; ++Byte) {
+    uint32_t Value = Byte;
+    for (int Bit = 0; Bit != 8; ++Bit)
+      Value = (Value >> 1) ^ ((Value & 1u) ? 0xEDB88320u : 0u);
+    Table[Byte] = Value;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t crc32(const void *Data, size_t Size, uint32_t Crc) {
+  static const std::array<uint32_t, 256> Table = makeTable();
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  uint32_t State = ~Crc;
+  for (size_t I = 0; I != Size; ++I)
+    State = (State >> 8) ^ Table[(State ^ Bytes[I]) & 0xFFu];
+  return ~State;
+}
+
+} // namespace rap

@@ -7,6 +7,8 @@
 
 #include "trace/TraceIO.h"
 
+#include "support/FailPoint.h"
+
 #include <cassert>
 #include <cstring>
 #include <istream>
@@ -65,6 +67,10 @@ TraceWriter::TraceWriter(std::ostream &Out) : OS(Out) {
 
 void TraceWriter::append(const TraceRecord &Record) {
   assert(!Finished && "append after finish");
+  // Injected write failure (rap_fuzz --faults): latches failbit like a
+  // full disk would, which finish() then reports.
+  if (RAP_FAILPOINT_HIT(failpoints::Fp::TraceWrite))
+    OS.setstate(std::ios::failbit);
   writeU64(OS, Record.BlockPc);
   writeU32(OS, Record.BlockLength);
   uint8_t Flags = (Record.HasLoad ? FlagHasLoad : 0) |

@@ -44,6 +44,11 @@ DifferentialOracle::DifferentialOracle(const RapConfig &TreeConfig,
     : Config(TreeConfig), Options(Opts), Tree(TreeConfig), Auditor(Tree),
       Flat(std::max(TreeConfig.RangeBits, 1u),
            flatBuckets(TreeConfig, Opts.FlatBucketBits)) {
+  // The preserved legacy tree models no resource governance: under a
+  // node budget the arena tree lawfully diverges from it, so the
+  // structural cross-check is meaningless and is forced off.
+  if (Config.effectiveNodeBudget() != 0)
+    Options.CrossCheckReference = false;
   if (Options.CrossCheckReference)
     Reference = std::make_unique<ReferenceRapTree>(TreeConfig);
   if (Options.CombineCapacity != 0)
@@ -83,17 +88,17 @@ void DifferentialOracle::addPoint(uint64_t X, uint64_t Weight) {
 double DifferentialOracle::errorBudget() const {
   double N = static_cast<double>(Tree.numEvents());
   unsigned Depth = std::max(Config.maxDepth(), 1u);
-  // The split-only bound is eps * n for unit-weight streams: one split
-  // threshold per ancestor level. A weighted update overshoots the
-  // threshold by up to its whole weight before the split lands, so
-  // each level may miss (maxWeight - 1) counts — and it can do so
-  // again after every batched merge pass, because a merge that folds a
-  // level's children back makes the next (possibly heavy) arrival land
-  // on the parent before the re-split. One weighted arrival per level
-  // per merge epoch is therefore the honest slack; for unit-weight
-  // streams this whole term stays zero and the bound is unchanged.
+  // The split-only bound is eps * n per ancestor level, plus the
+  // arrival that pushes each level over its threshold: the counter is
+  // incremented before the split lands and counters never move down,
+  // so every level retains one full arrival — up to maxWeight counts —
+  // out of the refined profile. It can do so again after every batched
+  // merge pass, because a merge that folds a level's children back
+  // makes the next (possibly heavy) arrival land on the parent before
+  // the re-split. One arrival per level per merge epoch is therefore
+  // the honest slack; at tiny n this term (not eps * n) dominates.
   double WeightSlack = static_cast<double>(Depth) *
-                       static_cast<double>(MaxWeight - 1) *
+                       static_cast<double>(MaxWeight) *
                        (1.0 + static_cast<double>(Tree.numMergePasses()));
   // Each batched merge can additionally fold up to one merge-threshold
   // of a leaf's counts into its parent before the leaf regrows. With
@@ -106,8 +111,13 @@ double DifferentialOracle::errorBudget() const {
     double Q = Config.MergeRatio;
     MergeSlack = Q > 1.0 + 1e-9 ? Q / (Q - 1.0) : 16.0;
   }
+  // Degraded weight is the documented cost of resource governance:
+  // every unit the budgeted tree refused to refine (or folded in a
+  // forced pass) may sit one level above where the guarantee wants it,
+  // so estimates can additionally miss up to that total. Zero for an
+  // unbudgeted, failure-free tree.
   return Config.Epsilon * N * MergeSlack * Options.ErrorBoundFactor +
-         WeightSlack + 1e-6;
+         WeightSlack + static_cast<double>(Tree.degradedWeight()) + 1e-6;
 }
 
 void DifferentialOracle::checkRange(uint64_t Lo, uint64_t Hi,

@@ -7,11 +7,15 @@
 
 #include "verify/StreamFuzzer.h"
 
+#include "core/Serialization.h"
 #include "support/BitUtils.h"
+#include "support/FailPoint.h"
 #include "verify/DifferentialOracle.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
 
 using namespace rap;
 
@@ -220,10 +224,111 @@ FuzzEpisode rap::deriveArenaEpisode(uint64_t MasterSeed, uint64_t Index) {
   return E;
 }
 
+FuzzEpisode rap::deriveFaultEpisode(uint64_t MasterSeed, uint64_t Index) {
+  FuzzEpisode E = deriveEpisode(MasterSeed, Index);
+  // A separate draw stream (same pattern as deriveArenaEpisode): the
+  // base episode stays bit-identical so fault episodes replay against
+  // the same configs and streams.
+  SplitMix64 M(MasterSeed ^ (0x2545f4914f6cdd1dULL * (Index + 1)));
+  switch (M.next() % 3) {
+  case 0:
+    // The acceptance regime: a 4 KB memory budget (256 nodes at 16
+    // bytes each) on adversarial streams.
+    E.Config.MaxMemoryBytes = 4096;
+    break;
+  case 1:
+    E.Config.MaxNodes = 64;
+    break;
+  default:
+    break; // unbudgeted: faults only
+  }
+  uint64_t Draw = M.next();
+  if (Draw % 3 != 0)
+    E.AllocFailEvery = uint64_t(64) << (Draw % 4);
+  if (E.Config.effectiveNodeBudget() == 0 && E.AllocFailEvery == 0)
+    E.AllocFailEvery = 64; // every fault episode injects something
+  E.SnapshotChecks = true;
+  return E;
+}
+
+namespace {
+
+/// End-of-episode snapshot robustness battery: round-trips the tree
+/// through the binary format, then verifies that every seeded
+/// one-byte corruption and every truncation of the byte stream is
+/// rejected (the CRC-32 footer guarantees single-byte detection, and
+/// any truncation loses the footer).
+void snapshotTorture(const RapTree &Tree, uint64_t Seed,
+                     std::vector<InvariantViolation> &Out) {
+  ProfileSnapshot Original = ProfileSnapshot::capture(Tree);
+  std::ostringstream OS;
+  if (!Original.writeBinary(OS)) {
+    Out.push_back({"snapshot-io", "writeBinary failed on a healthy stream"});
+    return;
+  }
+  const std::string Bytes = OS.str();
+  {
+    std::istringstream IS(Bytes);
+    std::string Error;
+    std::unique_ptr<ProfileSnapshot> Back =
+        ProfileSnapshot::readBinary(IS, &Error);
+    if (!Back) {
+      Out.push_back({"snapshot-io", "round-trip read failed: " + Error});
+      return;
+    }
+    if (!(*Back == Original)) {
+      Out.push_back({"snapshot-io", "round-trip changed the snapshot"});
+      return;
+    }
+  }
+  char Detail[96];
+  SplitMix64 M(Seed ^ 0x94d049bb133111ebULL);
+  for (unsigned Probe = 0; Probe != 16; ++Probe) {
+    std::string Corrupt = Bytes;
+    size_t Offset = static_cast<size_t>(M.next() % Corrupt.size());
+    // Adding 1..255 mod 256 always changes the byte.
+    Corrupt[Offset] = static_cast<char>(
+        static_cast<unsigned char>(Corrupt[Offset]) + 1 + M.next() % 255);
+    std::istringstream IS(Corrupt);
+    if (ProfileSnapshot::readBinary(IS)) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "one-byte corruption at offset %zu was accepted",
+                    Offset);
+      Out.push_back({"snapshot-corruption", Detail});
+    }
+  }
+  const size_t Cuts[] = {0,   1,   4,   Bytes.size() / 2,
+                         Bytes.size() - 8, Bytes.size() - 1};
+  for (size_t Cut : Cuts) {
+    if (Cut >= Bytes.size())
+      continue;
+    std::istringstream IS(Bytes.substr(0, Cut));
+    if (ProfileSnapshot::readBinary(IS)) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "truncation to %zu of %zu bytes was accepted", Cut,
+                    Bytes.size());
+      Out.push_back({"snapshot-corruption", Detail});
+    }
+  }
+}
+
+} // namespace
+
 FuzzReport rap::runFuzzEpisode(const FuzzEpisode &Episode, uint64_t NumEvents,
                                uint64_t CheckEvery) {
+  // Fault hygiene: never inherit an armed failpoint from a previous
+  // episode, and never leak one past this episode's return.
+  failpoints::disarmAll();
+  failpoints::ScopedDisarm Guard;
+
   OracleOptions Options;
   Options.CombineCapacity = Episode.CombineCapacity;
+  // The legacy reference tree models no resource governance and no
+  // allocation faults, so it diverges (correctly) from the governed
+  // tree; the exact and flat oracles plus the degraded error budget
+  // still bound the estimates.
+  if (Episode.Config.effectiveNodeBudget() != 0 || Episode.AllocFailEvery != 0)
+    Options.CrossCheckReference = false;
   DifferentialOracle Oracle(Episode.Config, Options);
   StreamFuzzer Stream(Episode.StreamSeed, Episode.Shape,
                       Episode.Config.RangeBits);
@@ -242,13 +347,23 @@ FuzzReport rap::runFuzzEpisode(const FuzzEpisode &Episode, uint64_t NumEvents,
   };
 
   for (uint64_t I = 0; I != NumEvents; ++I) {
+    if (Episode.AllocFailEvery != 0 &&
+        (I + 1) % Episode.AllocFailEvery == 0)
+      failpoints::arm(failpoints::Fp::ArenaAlloc);
     StreamEvent Event = Stream.next();
     Oracle.addPoint(Event.X, Event.Weight);
     if (CheckEvery != 0 && (I + 1) % CheckEvery == 0 && I + 1 != NumEvents)
       if (!CheckPoint(I + 1))
         return Report;
   }
-  CheckPoint(NumEvents);
+  // The snapshot battery must not see an armed allocation failpoint.
+  failpoints::disarmAll();
+  if (!CheckPoint(NumEvents))
+    return Report;
+  if (Episode.SnapshotChecks) {
+    snapshotTorture(Oracle.tree(), Episode.StreamSeed, Report.Violations);
+    Report.EventsFed = NumEvents;
+  }
   return Report;
 }
 

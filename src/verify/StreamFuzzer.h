@@ -110,6 +110,16 @@ struct FuzzEpisode {
   /// (0 = feed the tree directly). Nonzero episodes exercise the
   /// combining buffer + arena descent path end to end.
   uint64_t CombineCapacity = 0;
+
+  /// When nonzero, the arena-allocation failpoint is armed to throw
+  /// std::bad_alloc on the next slab growth once every this many
+  /// events, exercising the degraded split-refusal path.
+  uint64_t AllocFailEvery = 0;
+
+  /// Run the end-of-episode snapshot robustness battery: binary
+  /// round-trip, then seeded one-byte corruptions and truncations of
+  /// the byte stream, every one of which must be rejected.
+  bool SnapshotChecks = false;
 };
 
 /// Expands (master seed, episode index) into a random valid RapConfig,
@@ -121,6 +131,14 @@ FuzzEpisode deriveEpisode(uint64_t MasterSeed, uint64_t Index);
 /// reaches the tree through StageZeroBuffer windows while the exact
 /// and flat oracles still see the raw stream.
 FuzzEpisode deriveArenaEpisode(uint64_t MasterSeed, uint64_t Index);
+
+/// Like deriveEpisode (identical config/stream for the same inputs)
+/// but additionally draws a resource-governance regime — a node or
+/// byte budget on the tree, a periodic injected allocation failure,
+/// or both — and enables the end-of-episode snapshot robustness
+/// battery. The invariant checks run after every injected fault, so a
+/// clean fault episode certifies graceful degradation end to end.
+FuzzEpisode deriveFaultEpisode(uint64_t MasterSeed, uint64_t Index);
 
 /// Result of running one episode.
 struct FuzzReport {

@@ -149,6 +149,19 @@ std::vector<InvariantViolation> TreeInvariants::audit(const RapTree &Tree) {
            "maxNumNodes() %" PRIu64 " below current numNodes() %" PRIu64,
            Tree.maxNumNodes(), Tree.numNodes());
 
+  // Resource governance: a configured node budget is a hard cap after
+  // every public operation (updates, absorb, restore), and the tree
+  // must report the cap its config implies.
+  uint64_t Budget = Config.effectiveNodeBudget();
+  if (Budget != 0 && Tree.numNodes() > Budget)
+    R.fail("node-budget",
+           "%" PRIu64 " nodes exceed the configured budget %" PRIu64,
+           Tree.numNodes(), Budget);
+  if (Tree.nodeBudget() != Budget)
+    R.fail("node-budget",
+           "tree reports budget %" PRIu64 " but the config implies %" PRIu64,
+           Tree.nodeBudget(), Budget);
+
   // Merge schedule: with batched merging enabled the next merge is
   // always strictly in the future after an update returns.
   if (Config.EnableMerges && Tree.numEvents() > 0 &&
@@ -309,8 +322,16 @@ void OnlineAuditor::addPoint(uint64_t X, uint64_t Weight) {
   const uint64_t SplitsBefore = Tree.numSplits();
   const uint64_t MergesBefore = Tree.numMergePasses();
   const uint64_t NextMergeBefore = Tree.nextMergeAt();
+  const uint64_t RefusedBefore = Tree.numRefusedSplits();
+  const uint64_t ForcedBefore = Tree.forcedMergePasses();
 
   Tree.addPoint(X, Weight);
+
+  // Pressure accounting deltas: under a node budget (or an injected
+  // allocation failure) the tree may lawfully refuse a due split, but
+  // it must then say so through the pressure counters.
+  const uint64_t RefusedDelta = Tree.numRefusedSplits() - RefusedBefore;
+  const uint64_t ForcedDelta = Tree.forcedMergePasses() - ForcedBefore;
 
   if (Weight == 0) {
     // Zero-weight events are no-ops by contract.
@@ -337,12 +358,23 @@ void OnlineAuditor::addPoint(uint64_t X, uint64_t Weight) {
       !Unit &&
       static_cast<double>(CountAfter) > Config.splitThreshold(EventsAfter);
   const uint64_t SplitDelta = Tree.numSplits() - SplitsBefore;
-  if (SplitDelta != (MustSplit ? 1u : 0u))
+  // A due split either happens or is refused-and-accounted; a refusal
+  // with no due split would be pressure bookkeeping gone wrong.
+  const uint64_t ExpectedSplits = (MustSplit && RefusedDelta == 0) ? 1u : 0u;
+  if (SplitDelta != ExpectedSplits)
     R.fail("split-threshold",
            "counter %" PRIu64 " vs threshold %.6f at n=%" PRIu64
            " (width %u): expected %s, saw %" PRIu64 " split(s)",
            CountAfter, Config.splitThreshold(EventsAfter), EventsAfter,
-           WidthBefore, MustSplit ? "a split" : "no split", SplitDelta);
+           WidthBefore, ExpectedSplits ? "a split" : "no split", SplitDelta);
+  if (RefusedDelta != 0 && !MustSplit)
+    R.fail("split-threshold",
+           "split refused (x=%" PRIx64 ") though no split was due", X);
+  if (RefusedDelta == 0 && ForcedDelta != 0 && SplitDelta == 0)
+    R.fail("split-threshold",
+           "forced coarsening ran (x=%" PRIx64 ") but the due split "
+           "neither happened nor was refused",
+           X);
 
   // Merge schedule (Sec 3.1): one batched merge pass exactly when the
   // stream crosses the scheduled position, none otherwise, and the
@@ -375,8 +407,10 @@ void OnlineAuditor::addPoint(uint64_t X, uint64_t Weight) {
   }
 
   // A split must refine the landing range when nothing merged it away
-  // in the same update.
-  if (MustSplit && SplitDelta == 1 && MergeDelta == 0) {
+  // in the same update. A forced coarsening pass can fold the landing
+  // node into an ancestor first, so the post-split cover may land at
+  // the pre-update width; skip the refinement claim in that case.
+  if (MustSplit && SplitDelta == 1 && MergeDelta == 0 && ForcedDelta == 0) {
     const RapNode &After = Tree.findSmallestCover(X);
     if (After.widthBits() >= WidthBefore)
       R.fail("split-threshold",

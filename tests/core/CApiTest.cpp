@@ -9,7 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 TEST(CApi, InitAddFinalizeRoundTrip) {
@@ -95,4 +98,123 @@ TEST(CApi, LastErrorIsNeverNull) {
   // still be a valid string.
   ASSERT_NE(rap_last_error(), nullptr);
   rap_finalize(Handle, nullptr, 0);
+}
+
+TEST(CApi, ErrnoClassifiesFailures) {
+  rap_clear_error();
+  EXPECT_EQ(rap_errno(), RAP_OK);
+  EXPECT_EQ(rap_init(0, 0.05, 0), nullptr);
+  EXPECT_EQ(rap_errno(), RAP_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(rap_init(16, -1.0, 0), nullptr);
+  EXPECT_EQ(rap_errno(), RAP_ERR_INVALID_ARGUMENT);
+  rap_clear_error();
+  EXPECT_EQ(rap_errno(), RAP_OK);
+  EXPECT_STREQ(rap_last_error(), "");
+}
+
+TEST(CApi, BudgetedInitReportsPressure) {
+  rap_handle *Handle = rap_init_budgeted(16, 0.01, 4, 32);
+  ASSERT_NE(Handle, nullptr);
+  rap_clear_error();
+  std::vector<uint64_t> Points;
+  for (uint64_t I = 0; I != 20000; ++I)
+    Points.push_back((I * 2654435761u) & 0xffffu);
+  rap_add_points(Handle, Points.data(), Points.size());
+  EXPECT_EQ(rap_num_events(Handle), Points.size());
+  EXPECT_LE(rap_num_nodes(Handle), 32u);
+  rap_pressure Pressure;
+  ASSERT_EQ(rap_pressure_stats(Handle, &Pressure), 0);
+  EXPECT_EQ(Pressure.node_budget, 32u);
+  EXPECT_GT(Pressure.budget_hits, 0u);
+  EXPECT_GT(Pressure.degraded_weight, 0u);
+  // Degradation is an informational errno, not a failed call.
+  EXPECT_EQ(rap_errno(), RAP_ERR_BUDGET_EXHAUSTED);
+  rap_finalize(Handle, nullptr, 0);
+}
+
+TEST(CApi, PressureStatsRejectsNulls) {
+  rap_pressure Pressure;
+  EXPECT_EQ(rap_pressure_stats(nullptr, &Pressure), -1);
+  EXPECT_EQ(rap_errno(), RAP_ERR_INVALID_ARGUMENT);
+  rap_handle *Handle = rap_init(16, 0.05, 0);
+  ASSERT_NE(Handle, nullptr);
+  EXPECT_EQ(rap_pressure_stats(Handle, nullptr), -1);
+  EXPECT_EQ(rap_errno(), RAP_ERR_INVALID_ARGUMENT);
+  rap_finalize(Handle, nullptr, 0);
+}
+
+TEST(CApi, SaveLoadRoundTrip) {
+  std::string Path = ::testing::TempDir() + "capi_profile.rap";
+  rap_handle *Handle = rap_init(16, 0.05, 0);
+  ASSERT_NE(Handle, nullptr);
+  std::vector<uint64_t> Points = {7, 7, 7, 100, 200, 300, 7};
+  rap_add_points(Handle, Points.data(), Points.size());
+  uint64_t Estimate = rap_estimate_range(Handle, 0, 0xffff);
+  ASSERT_EQ(rap_save_profile(Handle, Path.c_str()), 0);
+  rap_finalize(Handle, nullptr, 0);
+
+  rap_handle *Loaded = rap_load_profile(Path.c_str());
+  ASSERT_NE(Loaded, nullptr) << rap_last_error();
+  EXPECT_EQ(rap_num_events(Loaded), Points.size());
+  EXPECT_EQ(rap_estimate_range(Loaded, 0, 0xffff), Estimate);
+  rap_finalize(Loaded, nullptr, 0);
+}
+
+TEST(CApi, LoadRejectsCorruptProfileWithDistinctCode) {
+  std::string Path = ::testing::TempDir() + "capi_corrupt.rap";
+  rap_handle *Handle = rap_init(16, 0.05, 0);
+  ASSERT_NE(Handle, nullptr);
+  uint64_t Point = 3;
+  rap_add_points(Handle, &Point, 1);
+  ASSERT_EQ(rap_save_profile(Handle, Path.c_str()), 0);
+  rap_finalize(Handle, nullptr, 0);
+  // Flip one body byte: the checksum must catch it and the errno must
+  // say corrupt-profile, not generic I/O failure.
+  FILE *File = std::fopen(Path.c_str(), "r+b");
+  ASSERT_NE(File, nullptr);
+  ASSERT_EQ(std::fseek(File, 6, SEEK_SET), 0);
+  ASSERT_EQ(std::fputc('X', File), 'X');
+  std::fclose(File);
+  EXPECT_EQ(rap_load_profile(Path.c_str()), nullptr);
+  EXPECT_EQ(rap_errno(), RAP_ERR_CORRUPT_PROFILE);
+  // A missing file is an I/O failure, distinct from corruption.
+  EXPECT_EQ(rap_load_profile("/nonexistent/dir/profile.rap"), nullptr);
+  EXPECT_EQ(rap_errno(), RAP_ERR_IO_FAILURE);
+  EXPECT_EQ(rap_save_profile(nullptr, Path.c_str()), -1);
+  EXPECT_EQ(rap_errno(), RAP_ERR_INVALID_ARGUMENT);
+}
+
+TEST(CApi, ErrnoIsThreadLocal) {
+  // Two threads provoking different failures must each observe their
+  // own code: the diagnostics are per-thread state, so one thread's
+  // error can never mask or clobber another's.
+  rap_clear_error();
+  std::atomic<int> Ready{0};
+  std::atomic<int> Release{0};
+  rap_error_code CodeA = RAP_OK, CodeB = RAP_OK;
+  std::thread A([&] {
+    EXPECT_EQ(rap_init(0, 0.05, 0), nullptr); // invalid argument
+    ++Ready;
+    while (Release.load() == 0) {
+    }
+    CodeA = rap_errno();
+  });
+  std::thread B([&] {
+    rap_pressure Pressure;
+    EXPECT_EQ(rap_pressure_stats(nullptr, &Pressure), -1);
+    rap_clear_error(); // B clears ITS error; A's must survive
+    ++Ready;
+    while (Release.load() == 0) {
+    }
+    CodeB = rap_errno();
+  });
+  while (Ready.load() != 2) {
+  }
+  Release.store(1);
+  A.join();
+  B.join();
+  EXPECT_EQ(CodeA, RAP_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(CodeB, RAP_OK);
+  // The main thread never failed anything in this test.
+  EXPECT_EQ(rap_errno(), RAP_OK);
 }

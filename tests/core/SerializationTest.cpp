@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 using namespace rap;
@@ -91,7 +92,7 @@ TEST(ProfileSnapshot, BinaryRoundTrip) {
   RapTree &Tree = *TreePtr;
   ProfileSnapshot Original = ProfileSnapshot::capture(Tree);
   std::stringstream Stream;
-  Original.writeBinary(Stream);
+  ASSERT_TRUE(Original.writeBinary(Stream));
   std::string Error;
   std::unique_ptr<ProfileSnapshot> Loaded =
       ProfileSnapshot::readBinary(Stream, &Error);
@@ -104,7 +105,7 @@ TEST(ProfileSnapshot, TextRoundTrip) {
   RapTree &Tree = *TreePtr;
   ProfileSnapshot Original = ProfileSnapshot::capture(Tree);
   std::stringstream Stream;
-  Original.writeText(Stream);
+  ASSERT_TRUE(Original.writeText(Stream));
   std::string Error;
   std::unique_ptr<ProfileSnapshot> Loaded =
       ProfileSnapshot::readText(Stream, &Error);
@@ -125,7 +126,7 @@ TEST(ProfileSnapshot, BinaryRejectsTruncation) {
   RapTree &Tree = *TreePtr;
   ProfileSnapshot Original = ProfileSnapshot::capture(Tree);
   std::stringstream Stream;
-  Original.writeBinary(Stream);
+  ASSERT_TRUE(Original.writeBinary(Stream));
   std::string Full = Stream.str();
   // Truncate at several points; every prefix must be rejected cleanly.
   for (size_t Cut : {size_t(3), size_t(8), size_t(40), Full.size() - 5}) {
@@ -228,10 +229,10 @@ TEST(ProfileSnapshot, RoundTripMidMergeEpochPreservesSchedule) {
     std::string Error;
     std::unique_ptr<ProfileSnapshot> Loaded;
     if (Binary) {
-      Original.writeBinary(Stream);
+      ASSERT_TRUE(Original.writeBinary(Stream));
       Loaded = ProfileSnapshot::readBinary(Stream, &Error);
     } else {
-      Original.writeText(Stream);
+      ASSERT_TRUE(Original.writeText(Stream));
       Loaded = ProfileSnapshot::readText(Stream, &Error);
     }
     ASSERT_TRUE(Loaded) << Error;
@@ -328,4 +329,197 @@ TEST(ProfileSnapshot, SnapshotQueriesMatchTreeQueries) {
   EXPECT_EQ(Snapshot.estimateRange(0, 0xffff), Tree.estimateRange(0, 0xffff));
   EXPECT_EQ(Snapshot.extractHotRanges(0.2).size(),
             Tree.extractHotRanges(0.2).size());
+}
+
+TEST(ProfileSnapshot, ChecksumCatchesEverySingleByteFlip) {
+  // Exhaustive one-byte corruption sweep: flipping any byte of a v3
+  // profile (body, CRC footer, or tail magic) must make the reader
+  // refuse it — the CRC covers everything up to the footer and the
+  // footer validates itself.
+  std::unique_ptr<RapTree> TreePtr = makePopulatedTree(11, 2000);
+  ProfileSnapshot Original = ProfileSnapshot::capture(*TreePtr);
+  std::stringstream Stream;
+  ASSERT_TRUE(Original.writeBinary(Stream));
+  std::string Full = Stream.str();
+  for (size_t I = 0; I != Full.size(); ++I) {
+    std::string Corrupt = Full;
+    Corrupt[I] = static_cast<char>(Corrupt[I] ^ 0x41);
+    std::stringstream In(Corrupt);
+    std::string Error;
+    ProfileIoError Kind = ProfileIoError::None;
+    ASSERT_EQ(ProfileSnapshot::readBinary(In, &Error, &Kind), nullptr)
+        << "flip at byte " << I << " was accepted";
+    ASSERT_EQ(Kind, ProfileIoError::Corrupt) << "flip at byte " << I;
+    ASSERT_FALSE(Error.empty());
+  }
+}
+
+TEST(ProfileSnapshot, BudgetConfigRoundTrips) {
+  RapConfig Config = testConfig();
+  Config.MaxNodes = 96;
+  Config.MaxMemoryBytes = 1u << 20;
+  RapTree Tree(Config);
+  Rng R(12);
+  for (int I = 0; I != 20000; ++I)
+    Tree.addPoint(R.nextBelow(1 << 16));
+  ProfileSnapshot Original = ProfileSnapshot::capture(Tree);
+  for (bool Binary : {true, false}) {
+    std::stringstream Stream;
+    std::string Error;
+    std::unique_ptr<ProfileSnapshot> Loaded;
+    if (Binary) {
+      ASSERT_TRUE(Original.writeBinary(Stream));
+      Loaded = ProfileSnapshot::readBinary(Stream, &Error);
+    } else {
+      ASSERT_TRUE(Original.writeText(Stream));
+      Loaded = ProfileSnapshot::readText(Stream, &Error);
+    }
+    ASSERT_TRUE(Loaded) << Error;
+    EXPECT_TRUE(*Loaded == Original);
+    EXPECT_EQ(Loaded->config().MaxNodes, 96u);
+    EXPECT_EQ(Loaded->config().MaxMemoryBytes, 1u << 20);
+    std::unique_ptr<RapTree> Restored = Loaded->restore();
+    ASSERT_TRUE(Restored);
+    EXPECT_LE(Restored->numNodes(), Restored->pressure().NodeBudget);
+  }
+}
+
+TEST(ProfileSnapshot, BinaryV2StillLoads) {
+  // Hand-rolled version-2 image (nextMergeAt, but no budget fields and
+  // no CRC footer): pre-v3 profiles must keep loading.
+  std::string Bytes;
+  auto PutU32 = [&Bytes](uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Bytes.push_back(static_cast<char>(V >> (8 * I)));
+  };
+  auto PutU64 = [&Bytes](uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Bytes.push_back(static_cast<char>(V >> (8 * I)));
+  };
+  auto PutF64 = [&PutU64](double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    PutU64(Bits);
+  };
+  Bytes += "RAPP";
+  PutU32(2);          // version 2
+  PutU32(16);         // RangeBits
+  PutU32(4);          // BranchFactor
+  PutF64(0.05);       // Epsilon
+  PutF64(2.0);        // MergeRatio
+  PutU64(1024);       // InitialMergeInterval
+  PutF64(1.0);        // MergeThresholdScale
+  Bytes.push_back(1); // EnableMerges
+  PutU64(6);          // NumEvents
+  PutU64(4096);       // NextMergeAt (v2 addition)
+  PutU64(3);          // NumNodes
+  auto PutNode = [&](uint64_t Lo, uint8_t Width, uint64_t Count) {
+    PutU64(Lo);
+    Bytes.push_back(static_cast<char>(Width));
+    PutU64(Count);
+  };
+  PutNode(0, 16, 3);
+  PutNode(0, 14, 1);
+  PutNode(0x4000, 14, 2);
+
+  std::stringstream Stream(Bytes);
+  std::string Error;
+  std::unique_ptr<ProfileSnapshot> Loaded =
+      ProfileSnapshot::readBinary(Stream, &Error);
+  ASSERT_TRUE(Loaded) << Error;
+  EXPECT_EQ(Loaded->numEvents(), 6u);
+  EXPECT_EQ(Loaded->nextMergeAt(), 4096u);
+  EXPECT_EQ(Loaded->config().MaxNodes, 0u) << "v2 has no budget fields";
+}
+
+TEST(ProfileSnapshot, BinaryRejectsImplausibleNodeCount) {
+  // A corrupted node-count field must not make the reader pre-reserve
+  // gigabytes or spin: the reserve is capped and the per-node reads
+  // hit the stream's end almost immediately. Hand-rolled v2 (no CRC)
+  // so the count lie is what the reader actually sees.
+  std::string Bytes;
+  auto PutU32 = [&Bytes](uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Bytes.push_back(static_cast<char>(V >> (8 * I)));
+  };
+  auto PutU64 = [&Bytes](uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Bytes.push_back(static_cast<char>(V >> (8 * I)));
+  };
+  auto PutF64 = [&PutU64](double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    PutU64(Bits);
+  };
+  Bytes += "RAPP";
+  PutU32(2);
+  PutU32(16);
+  PutU32(4);
+  PutF64(0.05);
+  PutF64(2.0);
+  PutU64(1024);
+  PutF64(1.0);
+  Bytes.push_back(1);
+  PutU64(6);
+  PutU64(4096);
+  PutU64(uint64_t(1) << 60); // absurd node count, then no node data
+  std::stringstream Stream(Bytes);
+  std::string Error;
+  ProfileIoError Kind = ProfileIoError::None;
+  EXPECT_EQ(ProfileSnapshot::readBinary(Stream, &Error, &Kind), nullptr);
+  EXPECT_EQ(Kind, ProfileIoError::Corrupt);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ProfileSnapshot, SaveFileAtomicAndLoadFileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "snapshot_atomic.rap";
+  std::unique_ptr<RapTree> TreePtr = makePopulatedTree(14);
+  ProfileSnapshot Original = ProfileSnapshot::capture(*TreePtr);
+  std::string Error;
+  ProfileIoError Kind = ProfileIoError::None;
+  ASSERT_TRUE(Original.saveFileAtomic(Path, &Error, &Kind)) << Error;
+  // No temp file left behind.
+  std::ifstream Temp(Path + ".tmp");
+  EXPECT_FALSE(Temp.good());
+  std::unique_ptr<ProfileSnapshot> Loaded =
+      ProfileSnapshot::loadFile(Path, &Error, &Kind);
+  ASSERT_TRUE(Loaded) << Error;
+  EXPECT_TRUE(*Loaded == Original);
+}
+
+TEST(ProfileSnapshot, LoadFileClassifiesErrors) {
+  std::string Error;
+  ProfileIoError Kind = ProfileIoError::None;
+  // Missing file: I/O, not corruption.
+  EXPECT_EQ(ProfileSnapshot::loadFile(::testing::TempDir() + "nope.rap",
+                                      &Error, &Kind),
+            nullptr);
+  EXPECT_EQ(Kind, ProfileIoError::Io);
+
+  // Trailing bytes after a valid profile: corruption (strict framing).
+  std::string Path = ::testing::TempDir() + "snapshot_trailing.rap";
+  std::unique_ptr<RapTree> TreePtr = makePopulatedTree(15, 1000);
+  ProfileSnapshot Original = ProfileSnapshot::capture(*TreePtr);
+  {
+    std::stringstream Stream;
+    ASSERT_TRUE(Original.writeBinary(Stream));
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Stream.str() << "extra";
+  }
+  EXPECT_EQ(ProfileSnapshot::loadFile(Path, &Error, &Kind), nullptr);
+  EXPECT_EQ(Kind, ProfileIoError::Corrupt);
+  EXPECT_NE(Error.find("trailing"), std::string::npos) << Error;
+
+  // A corrupt binary profile must NOT be reinterpreted as text.
+  std::string Flipped = Path + ".flip";
+  {
+    std::stringstream Stream;
+    ASSERT_TRUE(Original.writeBinary(Stream));
+    std::string Bytes = Stream.str();
+    Bytes[10] = static_cast<char>(Bytes[10] ^ 0x7f);
+    std::ofstream Out(Flipped, std::ios::binary | std::ios::trunc);
+    Out << Bytes;
+  }
+  EXPECT_EQ(ProfileSnapshot::loadFile(Flipped, &Error, &Kind), nullptr);
+  EXPECT_EQ(Kind, ProfileIoError::Corrupt);
 }

@@ -15,11 +15,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/StageZeroBuffer.h"
+#include "support/FailPoint.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <new>
 #include <vector>
 
 using namespace rap;
@@ -191,4 +193,64 @@ TEST(StageZeroBuffer, DrainOnEmptyIsEmpty) {
   Buffer.push(1);
   ASSERT_EQ(Buffer.drain().size(), 1u);
   EXPECT_TRUE(Buffer.drain().empty()) << "second drain must be empty";
+}
+
+TEST(StageZeroBuffer, FailedDrainLosesNothing) {
+  // An allocation failure inside drain() must leave the window intact:
+  // the caller catches, retries, and the retry delivers every pushed
+  // pair — no silent drops under memory pressure.
+  failpoints::ScopedDisarm Guard;
+  failpoints::disarmAll();
+  StageZeroBuffer Buffer(64);
+  std::map<uint64_t, uint64_t> Window;
+  Rng R(8);
+  for (int I = 0; I != 40; ++I) {
+    uint64_t X = R.nextBelow(1000);
+    Buffer.push(X, 2);
+    Window[X] += 2;
+  }
+  failpoints::arm(failpoints::Fp::Stage0Drain);
+  EXPECT_THROW(Buffer.drain(), std::bad_alloc);
+  // State unchanged by the failed attempt.
+  EXPECT_EQ(Buffer.size(), Window.size());
+  EXPECT_EQ(Buffer.drainedPairs(), 0u);
+  // The retry succeeds and delivers the full window in order.
+  const std::vector<Pair> &Drained = Buffer.drain();
+  std::vector<Pair> Expected(Window.begin(), Window.end());
+  EXPECT_EQ(Drained, Expected);
+  EXPECT_EQ(Buffer.drainedPairs(), Expected.size());
+  EXPECT_EQ(Buffer.size(), 0u);
+}
+
+TEST(StageZeroBuffer, FailedDrainUnderBudgetPressureKeepsAccounting) {
+  // Same failure injected mid-stream with drains forced by capacity:
+  // the total delivered weight must still equal the raw pushed weight
+  // once every failed drain was retried.
+  failpoints::ScopedDisarm Guard;
+  failpoints::disarmAll();
+  StageZeroBuffer Buffer(8);
+  Rng R(9);
+  uint64_t Delivered = 0, Pushed = 0, Failures = 0;
+  for (int I = 0; I != 5000; ++I) {
+    bool Full = Buffer.push(R.nextBelow(64));
+    Pushed += 1;
+    if (!Full)
+      continue;
+    if (I % 3 == 0)
+      failpoints::arm(failpoints::Fp::Stage0Drain);
+    for (;;) {
+      try {
+        for (const Pair &P : Buffer.drain())
+          Delivered += P.second;
+        break;
+      } catch (const std::bad_alloc &) {
+        ++Failures;
+      }
+    }
+  }
+  for (const Pair &P : Buffer.drain())
+    Delivered += P.second;
+  EXPECT_GT(Failures, 0u);
+  EXPECT_EQ(Delivered, Pushed);
+  EXPECT_EQ(Buffer.rawEvents(), Pushed);
 }

@@ -14,11 +14,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Serialization.h"
+#include "support/FailPoint.h"
 #include "support/Rng.h"
 #include "trace/TraceIO.h"
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 using namespace rap;
@@ -34,7 +36,7 @@ std::string makeValidProfileBytes() {
   for (int I = 0; I != 20000; ++I)
     Tree.addPoint(R.nextBelow(1 << 16));
   std::ostringstream OS;
-  ProfileSnapshot::capture(Tree).writeBinary(OS);
+  EXPECT_TRUE(ProfileSnapshot::capture(Tree).writeBinary(OS));
   return OS.str();
 }
 
@@ -122,13 +124,93 @@ TEST(Robustness, MutatedTracesNeverCrashTheReader) {
   }
 }
 
+TEST(Robustness, TornWriteNeverClobbersTheLastGoodProfile) {
+  // Crash-during-save simulation: the snapshot-write failpoint makes
+  // writeBinary emit half the body and fail. saveFileAtomic writes to
+  // a temp file and renames only on success, so the previous profile
+  // must survive the torn write bit-exactly and keep loading.
+  failpoints::ScopedDisarm Guard;
+  failpoints::disarmAll();
+  std::string Path = ::testing::TempDir() + "torn_write.rap";
+
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.05;
+  RapTree Tree(Config);
+  Rng R(3);
+  for (int I = 0; I != 10000; ++I)
+    Tree.addPoint(R.nextBelow(1 << 16));
+  ProfileSnapshot First = ProfileSnapshot::capture(Tree);
+  std::string Error;
+  ASSERT_TRUE(First.saveFileAtomic(Path, &Error)) << Error;
+
+  // Grow the tree, then tear the second save mid-body.
+  for (int I = 0; I != 10000; ++I)
+    Tree.addPoint(R.nextBelow(1 << 16));
+  failpoints::arm(failpoints::Fp::SnapshotWrite);
+  ProfileIoError Kind = ProfileIoError::None;
+  EXPECT_FALSE(
+      ProfileSnapshot::capture(Tree).saveFileAtomic(Path, &Error, &Kind));
+  EXPECT_EQ(Kind, ProfileIoError::Io);
+  failpoints::disarmAll();
+
+  // The file on disk is still the FIRST profile, bit for bit.
+  std::unique_ptr<ProfileSnapshot> Recovered =
+      ProfileSnapshot::loadFile(Path, &Error, &Kind);
+  ASSERT_TRUE(Recovered) << Error;
+  EXPECT_TRUE(*Recovered == First);
+  // And no half-written temp file survived the failed attempt.
+  std::ifstream Temp(Path + ".tmp");
+  EXPECT_FALSE(Temp.good());
+}
+
+TEST(Robustness, TornBytesOnDiskAreRejectedOrRecoverBitExactly) {
+  // Every corruption of a profile file must either be rejected with a
+  // diagnostic or (if the flip landed in dead space) load back the
+  // exact original — never a silently different tree.
+  failpoints::ScopedDisarm Guard;
+  failpoints::disarmAll();
+  std::string Valid = makeValidProfileBytes();
+  std::string Path = ::testing::TempDir() + "torn_bytes.rap";
+  std::string Error;
+  ProfileIoError Kind = ProfileIoError::None;
+  std::istringstream ValidIn(Valid);
+  std::unique_ptr<ProfileSnapshot> Original =
+      ProfileSnapshot::readBinary(ValidIn, &Error);
+  ASSERT_TRUE(Original) << Error;
+  Rng R(0xBEEF);
+  for (int Trial = 0; Trial != 64; ++Trial) {
+    std::string Mutated = Valid;
+    if (R.nextBernoulli(0.5)) {
+      size_t Offset = static_cast<size_t>(R.nextBelow(Mutated.size()));
+      Mutated[Offset] = static_cast<char>(
+          Mutated[Offset] ^ static_cast<char>(1 + R.nextBelow(255)));
+    } else {
+      Mutated.resize(R.nextBelow(Mutated.size()));
+    }
+    {
+      std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+      Out << Mutated;
+    }
+    std::unique_ptr<ProfileSnapshot> Loaded =
+        ProfileSnapshot::loadFile(Path, &Error, &Kind);
+    if (!Loaded) {
+      EXPECT_FALSE(Error.empty());
+      EXPECT_NE(Kind, ProfileIoError::None);
+      continue;
+    }
+    EXPECT_TRUE(*Loaded == *Original)
+        << "trial " << Trial << " loaded a silently different profile";
+  }
+}
+
 TEST(Robustness, TextProfileWhitespaceAndJunkLines) {
   RapConfig Config;
   Config.RangeBits = 16;
   RapTree Tree(Config);
   Tree.addPoint(1);
   std::ostringstream OS;
-  ProfileSnapshot::capture(Tree).writeText(OS);
+  ASSERT_TRUE(ProfileSnapshot::capture(Tree).writeText(OS));
   std::string Text = OS.str();
 
   // Appending junk after a complete profile is tolerated (ignored).

@@ -67,7 +67,7 @@ TEST(SessionWorkflow, MultiProfileCollectionAndOfflineAnalysis) {
     const RapTree &Tree = Session.getProfile(Name).tree();
     ProfileSnapshot Snapshot = ProfileSnapshot::capture(Tree);
     std::stringstream Stream;
-    Snapshot.writeBinary(Stream);
+    ASSERT_TRUE(Snapshot.writeBinary(Stream));
     std::string Error;
     std::unique_ptr<ProfileSnapshot> Loaded =
         ProfileSnapshot::readBinary(Stream, &Error);

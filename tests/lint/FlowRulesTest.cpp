@@ -117,6 +117,26 @@ TEST(FlowRules, SuppressionAppliesToFlowRules) {
   EXPECT_TRUE(lintSource("src/trace/x.cpp", Source).empty());
 }
 
+TEST(FlowRules, SnapshotAndRestoreApisAreStatusNames) {
+  // The crash-safety surface returns bool/status codes whose silent
+  // loss is exactly the torn-write bug class: snapshot, restore,
+  // recover, and configure prefixes must all count as status names.
+  std::string Source = "bool snapshotTree(int);\n"
+                       "bool restoreTree(int);\n"
+                       "bool recoverFromDisk(int);\n"
+                       "bool configureFailpoints(int);\n"
+                       "void f(int x) {\n"
+                       "  snapshotTree(x);\n"
+                       "  restoreTree(x);\n"
+                       "  recoverFromDisk(x);\n"
+                       "  configureFailpoints(x);\n"
+                       "}\n";
+  std::vector<Finding> Findings = lintSource("src/core/x.cpp", Source);
+  ASSERT_EQ(Findings.size(), 4u) << renderText(Findings);
+  for (const Finding &F : Findings)
+    EXPECT_EQ(F.RuleId, "unchecked-status");
+}
+
 TEST(FlowRules, StatusFunctionsFromContextAreHonored) {
   // Cross-file knowledge: the driver prescans headers and passes the
   // status functions in via LintContext; the callee needs no local

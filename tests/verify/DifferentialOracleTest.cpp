@@ -96,12 +96,18 @@ TEST(DifferentialOracle, HugeFixedThresholdViolatesEpsBound) {
       << TreeInvariants::render(Oracle.violations());
 }
 
-// Negative control: an impossibly tight budget flags even a healthy
-// tree, proving the eps check is actually exercised on clean streams.
+// Negative control: an impossibly tight budget flags even a
+// well-formed tree, proving the eps check is actually exercised on
+// clean streams. A fixed split threshold parks ~64 counts on every
+// ancestor of the hot region — far beyond the per-level arrival slack
+// that remains once the eps term is zeroed — and merges stay off so
+// that slack is not widened per merge epoch.
 TEST(DifferentialOracle, ZeroBudgetFlagsHealthyTree) {
   OracleOptions Options;
   Options.ErrorBoundFactor = 0.0;
   RapConfig Config = baseConfig();
+  Config.EnableMerges = false;
+  Config.FixedSplitThreshold = 64;
   DifferentialOracle Oracle(Config, Options);
   Rng R(13);
   for (int I = 0; I != 40000; ++I)

@@ -85,6 +85,40 @@ TEST(StreamFuzzer, ShortEpisodesRunClean) {
   }
 }
 
+TEST(StreamFuzzer, DeriveFaultEpisodeKeepsBaseIdentity) {
+  // The fault regime is drawn from a separate seed stream: the base
+  // config/shape/stream must stay bit-identical to deriveEpisode so a
+  // fault failure replays against the same events.
+  for (uint64_t I = 0; I != 64; ++I) {
+    FuzzEpisode Base = deriveEpisode(17, I);
+    FuzzEpisode Fault = deriveFaultEpisode(17, I);
+    FuzzEpisode Again = deriveFaultEpisode(17, I);
+    EXPECT_EQ(Fault.StreamSeed, Base.StreamSeed);
+    EXPECT_EQ(Fault.Shape, Base.Shape);
+    EXPECT_EQ(Fault.Config.RangeBits, Base.Config.RangeBits);
+    EXPECT_EQ(Fault.Config.Epsilon, Base.Config.Epsilon);
+    EXPECT_EQ(Fault.AllocFailEvery, Again.AllocFailEvery);
+    EXPECT_EQ(Fault.Config.MaxNodes, Again.Config.MaxNodes);
+    EXPECT_EQ(Fault.Config.MaxMemoryBytes, Again.Config.MaxMemoryBytes);
+    EXPECT_TRUE(Fault.SnapshotChecks);
+    // Every fault episode carries at least one fault regime.
+    EXPECT_TRUE(Fault.Config.effectiveNodeBudget() != 0 ||
+                Fault.AllocFailEvery != 0);
+    EXPECT_TRUE(Fault.Config.validate());
+  }
+}
+
+TEST(StreamFuzzer, ShortFaultEpisodesRunClean) {
+  for (uint64_t I = 0; I != 6; ++I) {
+    FuzzEpisode E = deriveFaultEpisode(123, I);
+    FuzzReport Report = runFuzzEpisode(E, 3000, 512);
+    EXPECT_TRUE(Report.ok()) << "fault episode " << I << " ("
+                             << streamShapeName(E.Shape) << "):\n"
+                             << TreeInvariants::render(Report.Violations);
+    EXPECT_EQ(Report.EventsFed, 3000u);
+  }
+}
+
 TEST(StreamFuzzer, MinimizeFindsShortFailingPrefix) {
   // Build an episode that fails by construction: check it against an
   // impossible budget by replaying through a zero-budget oracle is not

@@ -8,9 +8,11 @@
 #   1. plain build (RAP_WERROR=ON) + full test suite
 #   2. AddressSanitizer build + full test suite
 #   3. UndefinedBehaviorSanitizer build + full test suite
-#   4. 25-episode differential fuzz slice (ASan-instrumented), plain
-#      and arena/stage-0 combined delivery (every checkpoint also
-#      cross-checks the slab tree against the legacy ReferenceRapTree)
+#   4. 25-episode differential fuzz slices (ASan-instrumented): plain,
+#      arena/stage-0 combined delivery (every checkpoint also
+#      cross-checks the slab tree against the legacy ReferenceRapTree),
+#      and the fault regime (node/byte budgets, deterministic alloc
+#      failures, snapshot corruption battery)
 #   5. rap_lint (flow rules + cross-TU API audit) over src/ and
 #      tools/ against tools/lint_baseline.txt, merged SARIF report to
 #      build/lint.sarif
@@ -51,6 +53,9 @@ step "differential fuzz slice (25 episodes, ASan)"
 
 step "arena fuzz slice (stage-0 combined delivery, 25 episodes, ASan)"
 ./build-asan/tools/rap_fuzz --arena --episodes=25 --seed=1 --events=8000
+
+step "fault fuzz slice (budgets + alloc failures + snapshot battery, ASan)"
+./build-asan/tools/rap_fuzz --faults --episodes=25 --seed=1 --events=8000
 
 step "rap_lint + api-audit (SARIF report: build/lint.sarif)"
 ./build/tools/rap_lint --root=. --api-audit \

@@ -18,6 +18,12 @@
 // combining + arena-descent path is what gets fuzzed. Replays of
 // arena episodes need --arena too.
 //
+// --faults derives each episode with a resource-governance regime (a
+// node or byte budget, periodic injected allocation failures, or
+// both) and ends every clean episode with the snapshot robustness
+// battery: binary round-trip plus seeded corruption and truncation
+// probes, all of which must be rejected. Replays need --faults too.
+//
 // Exit status: 0 all episodes clean, 1 violations found, 2 bad usage.
 //
 //===----------------------------------------------------------------------===//
@@ -40,6 +46,11 @@ void describeEpisode(const FuzzEpisode &E) {
               E.Index, streamShapeName(E.Shape), C.RangeBits, C.BranchFactor,
               C.Epsilon, C.MergeRatio, C.InitialMergeInterval,
               C.EnableMerges ? 1 : 0, E.CombineCapacity, E.StreamSeed);
+  if (E.Config.effectiveNodeBudget() != 0 || E.AllocFailEvery != 0)
+    std::printf("  faults: budget=%" PRIu64 " nodes (max_nodes=%" PRIu64
+                " max_bytes=%" PRIu64 ") allocfail-every=%" PRIu64 "\n",
+                E.Config.effectiveNodeBudget(), E.Config.MaxNodes,
+                E.Config.MaxMemoryBytes, E.AllocFailEvery);
 }
 
 void printViolations(const FuzzReport &Report, uint64_t Limit) {
@@ -70,6 +81,7 @@ int main(int Argc, char **Argv) {
                "event count for --replay-episode (0 = use --events)");
   Args.addBool("replay", "replay mode: run only --replay-episode");
   Args.addBool("arena", "fuzz the combining-buffer + arena-descent path");
+  Args.addBool("faults", "fuzz under node budgets and injected faults");
   Args.addBool("verbose", "describe every episode, not just failures");
   if (!Args.parse(Argc, Argv))
     return 2;
@@ -78,9 +90,15 @@ int main(int Argc, char **Argv) {
   uint64_t NumEvents = Args.getUint("events");
   uint64_t CheckEvery = Args.getUint("check-every");
   bool Arena = Args.getBool("arena");
+  bool Faults = Args.getBool("faults");
+  if (Arena && Faults) {
+    std::fprintf(stderr, "rap_fuzz: --arena and --faults are exclusive\n");
+    return 2;
+  }
   auto Derive = [&](uint64_t Index) {
-    return Arena ? deriveArenaEpisode(Seed, Index)
-                 : deriveEpisode(Seed, Index);
+    return Faults  ? deriveFaultEpisode(Seed, Index)
+           : Arena ? deriveArenaEpisode(Seed, Index)
+                   : deriveEpisode(Seed, Index);
   };
 
   if (Args.getBool("replay")) {
@@ -117,7 +135,8 @@ int main(int Argc, char **Argv) {
                 "    rap_fuzz --replay%s --seed=%" PRIu64
                 " --replay-episode=%" PRIu64 " --replay-events=%" PRIu64
                 " --check-every=0\n",
-                Minimal, Arena ? " --arena" : "", Seed, I, Minimal);
+                Minimal, Faults ? " --faults" : Arena ? " --arena" : "",
+                Seed, I, Minimal);
   }
 
   std::printf("%" PRIu64 "/%" PRIu64 " episodes clean (seed %" PRIu64

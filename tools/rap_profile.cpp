@@ -141,6 +141,7 @@ int runCollect(const ArgParse &Args) {
   RapConfig Config;
   Config.RangeBits = rangeBitsFor(Kind);
   Config.Epsilon = Args.getDouble("epsilon");
+  Config.MaxNodes = Args.getUint("max-nodes");
   std::string Error;
   if (!Config.validate(&Error)) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
@@ -176,37 +177,47 @@ int runCollect(const ArgParse &Args) {
   }
 
   ProfileSnapshot Snapshot = ProfileSnapshot::capture(Tree);
-  std::ofstream Out(Args.getString("out"), std::ios::binary);
-  if (!Out) {
-    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
-                 Args.getString("out").c_str());
+  if (Args.getBool("text")) {
+    std::ofstream Out(Args.getString("out"), std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   Args.getString("out").c_str());
+      return 1;
+    }
+    if (!Snapshot.writeText(Out)) {
+      std::fprintf(stderr, "error: short write to '%s' (disk full?)\n",
+                   Args.getString("out").c_str());
+      return 1;
+    }
+  } else if (!Snapshot.saveFileAtomic(Args.getString("out"), &Error)) {
+    // Atomic write-then-rename: a failure here never clobbers an
+    // existing profile under the output name.
+    std::fprintf(stderr, "error: %s: %s\n",
+                 Args.getString("out").c_str(), Error.c_str());
     return 1;
   }
-  if (Args.getBool("text"))
-    Snapshot.writeText(Out);
-  else
-    Snapshot.writeBinary(Out);
   std::printf("profiled %" PRIu64 " events into %" PRIu64
               " counters -> %s\n",
               Snapshot.numEvents(), Snapshot.numNodes(),
               Args.getString("out").c_str());
+  const TreePressure &P = Tree.pressure();
+  if (P.NodeBudget != 0 || P.AllocFailures != 0)
+    std::printf("pressure: budget=%" PRIu64 " nodes, hits=%" PRIu64
+                ", refused-splits=%" PRIu64 ", forced-merges=%" PRIu64
+                ", reclaimed=%" PRIu64 ", coarsen-level=%" PRIu64
+                ", degraded-weight=%" PRIu64 "\n",
+                P.NodeBudget, P.BudgetHits, P.RefusedSplits,
+                P.ForcedMergePasses, P.ReclaimedNodes, P.CoarsenLevel,
+                P.DegradedWeight);
   return 0;
 }
 
 std::unique_ptr<ProfileSnapshot> loadProfile(const std::string &Path) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open profile '%s'\n", Path.c_str());
-    return nullptr;
-  }
+  // loadFile handles both formats, verifies the CRC footer, and never
+  // reinterprets a corrupt binary profile as text.
   std::string Error;
   std::unique_ptr<ProfileSnapshot> Snapshot =
-      ProfileSnapshot::readBinary(In, &Error);
-  if (!Snapshot) {
-    // Fall back to the text format.
-    std::ifstream TextIn(Path);
-    Snapshot = ProfileSnapshot::readText(TextIn, &Error);
-  }
+      ProfileSnapshot::loadFile(Path, &Error);
   if (!Snapshot)
     std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Error.c_str());
   return Snapshot;
@@ -221,9 +232,14 @@ int runReport(const ArgParse &Args) {
   std::unique_ptr<RapTree> Tree = Snapshot->restore();
 
   std::printf("profile: %" PRIu64 " events, %" PRIu64 " counters, "
-              "universe 2^%u, eps %.4g\n\n",
+              "universe 2^%u, eps %.4g\n",
               Snapshot->numEvents(), Snapshot->numNodes(),
               Snapshot->config().RangeBits, Snapshot->config().Epsilon);
+  if (Snapshot->config().effectiveNodeBudget() != 0)
+    std::printf("collected under a %" PRIu64 "-node budget; estimates "
+                "may be degraded where it was hit\n",
+                Snapshot->config().effectiveNodeBudget());
+  std::printf("\n");
 
   std::printf("hot ranges (>= %.1f%%):\n", Phi * 100);
   Tree->dumpHot(std::cout, Phi);
@@ -333,7 +349,10 @@ int runSelfTest() {
 
   // Round-trip the fine profile through the binary format.
   std::stringstream ProfileStream;
-  Fine->writeBinary(ProfileStream);
+  if (!Fine->writeBinary(ProfileStream)) {
+    std::fprintf(stderr, "selftest: profile write failed\n");
+    return 1;
+  }
   std::string Error;
   std::unique_ptr<ProfileSnapshot> Reloaded =
       ProfileSnapshot::readBinary(ProfileStream, &Error);
@@ -341,6 +360,20 @@ int runSelfTest() {
     std::fprintf(stderr, "selftest: profile round trip failed: %s\n",
                  Error.c_str());
     return 1;
+  }
+
+  // The CRC footer must reject a bit flip anywhere in the stream.
+  const std::string Bytes = ProfileStream.str();
+  for (size_t Offset : {size_t(6), Bytes.size() / 2, Bytes.size() - 2}) {
+    std::string Corrupt = Bytes;
+    Corrupt[Offset] = static_cast<char>(Corrupt[Offset] ^ 0x20);
+    std::istringstream CorruptStream(Corrupt);
+    if (ProfileSnapshot::readBinary(CorruptStream)) {
+      std::fprintf(stderr,
+                   "selftest: corrupted profile (offset %zu) accepted\n",
+                   Offset);
+      return 1;
+    }
   }
 
   // Both profiles must agree on the whole-universe count and find hot
@@ -381,6 +414,9 @@ int main(int Argc, char **Argv) {
   Args.addDouble("phi", 0.10, "hotness threshold (report/diff)");
   Args.addUint("top", 10, "top ranges to list (report)");
   Args.addUint("events", 2000000, "blocks to generate (trace/collect)");
+  Args.addUint("max-nodes",
+               0, "cap the profile at this many counters; at the cap the "
+                  "profile degrades to coarser ranges (0 = unbounded)");
   Args.addUint("seed", 1, "run seed (trace/collect)");
   Args.addBool("text", "write the text profile format (collect)");
   Args.addBool("interval",
