@@ -13,6 +13,12 @@
 /// are compared against a single-threaded reference on the same total
 /// stream to show the aggregation guarantee in action.
 ///
+/// This is the one-tree-per-thread pattern, right when each thread's
+/// stream is its own and queries can wait for the end. When many
+/// threads feed ONE logical profile and queries run mid-stream, use
+/// core/ShardedRapSession instead: hash-sharded mutex-per-shard
+/// ingest with a watermark combiner, same absorb-based guarantee.
+///
 /// Usage:
 ///   ./build/examples/parallel_profiling --threads=4
 ///

@@ -1,0 +1,129 @@
+//===- core/ShardedRapSession.cpp - Concurrent sharded ingest ------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardedRapSession.h"
+
+#include "support/BitUtils.h"
+
+#include <cassert>
+
+namespace rap {
+
+namespace {
+
+/// splitmix64 finalizer: spreads adjacent event values across shards
+/// so a dense hot range does not serialize on one mutex. Fixed
+/// constants, no state — deterministic across runs and platforms.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+unsigned roundUpPow2(unsigned V, unsigned Cap) {
+  unsigned P = 1;
+  while (P < V && P < Cap)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+ShardedRapSession::ShardedRapSession(const RapConfig &ConfigIn,
+                                     unsigned ShardCountIn,
+                                     uint64_t CombineEveryIn)
+    : Config(ConfigIn), CombineEvery(CombineEveryIn),
+      ShardCount(roundUpPow2(ShardCountIn == 0 ? 1 : ShardCountIn,
+                             MaxShards)),
+      ShardMask(ShardCount - 1) {
+  assert(Config.validate() && "config must validate");
+  Shards.reserve(ShardCount);
+  for (unsigned I = 0; I < ShardCount; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->ShardDelta = std::make_unique<RapTree>(Config);
+    Shards.push_back(std::move(S));
+  }
+  // No other thread can see a half-built session, but guarded state
+  // is written under its lock even here so the discipline has no
+  // exceptions for the checkers to special-case.
+  std::lock_guard<std::mutex> CombineGuard(CombineMu);
+  CombinedTree = std::make_unique<RapTree>(Config);
+}
+
+unsigned ShardedRapSession::shardIndexFor(uint64_t X) const {
+  return static_cast<unsigned>(mix64(X)) & ShardMask;
+}
+
+void ShardedRapSession::ingest(uint64_t X, uint64_t Weight) {
+  Shard &S = *Shards[shardIndexFor(X)];
+  bool WatermarkHit = false;
+  {
+    std::lock_guard<std::mutex> Guard(S.IngestMu);
+    S.ShardDelta->addPoint(X, Weight);
+    S.PendingSinceCombine += Weight;
+    WatermarkHit =
+        CombineEvery != 0 && S.PendingSinceCombine >= CombineEvery;
+  }
+  // Combine outside the shard lock: combineNow re-acquires it in the
+  // declared CombineMu-before-IngestMu order. Another thread may have
+  // combined in the gap — then this pass simply drains less.
+  if (WatermarkHit)
+    combineNow();
+}
+
+void ShardedRapSession::combineNow() {
+  std::lock_guard<std::mutex> CombineGuard(CombineMu);
+  for (std::unique_ptr<Shard> &SP : Shards) {
+    Shard &S = *SP;
+    std::lock_guard<std::mutex> Guard(S.IngestMu);
+    if (S.ShardDelta->numEvents() == 0)
+      continue;
+    CombinedTree->absorb(*S.ShardDelta);
+    S.ShardDelta = std::make_unique<RapTree>(Config);
+    S.PendingSinceCombine = 0;
+  }
+  NumCombines += 1;
+}
+
+uint64_t ShardedRapSession::totalEvents() const {
+  std::lock_guard<std::mutex> CombineGuard(CombineMu);
+  uint64_t Total = CombinedTree->numEvents();
+  for (const std::unique_ptr<Shard> &SP : Shards) {
+    std::lock_guard<std::mutex> Guard(SP->IngestMu);
+    Total = saturatingAdd(Total, SP->ShardDelta->numEvents());
+  }
+  return Total;
+}
+
+uint64_t ShardedRapSession::combinedEstimate(uint64_t Lo, uint64_t Hi) const {
+  std::lock_guard<std::mutex> CombineGuard(CombineMu);
+  return CombinedTree->estimateRange(Lo, Hi);
+}
+
+RapTree::RangeBounds
+ShardedRapSession::combinedEstimateBounds(uint64_t Lo, uint64_t Hi) const {
+  std::lock_guard<std::mutex> CombineGuard(CombineMu);
+  return CombinedTree->estimateRangeBounds(Lo, Hi);
+}
+
+std::vector<HotRange> ShardedRapSession::combinedHotRanges(double Phi) const {
+  std::lock_guard<std::mutex> CombineGuard(CombineMu);
+  return CombinedTree->extractHotRanges(Phi);
+}
+
+uint64_t ShardedRapSession::numCombines() const {
+  std::lock_guard<std::mutex> CombineGuard(CombineMu);
+  return NumCombines;
+}
+
+uint64_t ShardedRapSession::combinedNodes() const {
+  std::lock_guard<std::mutex> CombineGuard(CombineMu);
+  return CombinedTree->numNodes();
+}
+
+} // namespace rap

@@ -1,0 +1,881 @@
+//===- lint/Concurrency.cpp - Interprocedural concurrency audit ----------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pipeline:
+//
+//   1. Lex + parse every file; collect the global RAP_GUARDED_BY map,
+//      the std::atomic<...> field names, and every
+//      RAP_ACQUIRED_BEFORE(a, b) declaration.
+//   2. Per function: run the must-held lock dataflow (the same
+//      transferLocks the local lock-discipline rule uses, entry facts
+//      from RAP_REQUIRES), and record with the held set at each point
+//      the call sites, guarded-field accesses, lock-acquisition edges
+//      (held -> newly acquired), atomic operations, and plain writes.
+//   3. Interprocedural summaries over the call graph (by callee name):
+//      AcquiredTrans — locks a call may take transitively (bottom-up
+//      union fixpoint) — and CallerHeld — locks every observed caller
+//      holds at every call site (top-down intersection fixpoint;
+//      functions with no scanned caller, or reachable only through
+//      call cycles with no scanned entry, are pinned to the empty set).
+//   4. Rules: lock-order over the edge graph (self edges, declared-
+//      order contradictions, observed cycles, declared cycles),
+//      guarded-by (access needs the mutex held locally or in
+//      CallerHeld), atomic-misuse (relaxed orders on handoff atomics,
+//      non-atomic RMW racing a differently-locked write).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Concurrency.h"
+
+#include "lint/Cfg.h"
+#include "lint/Dataflow.h"
+#include "lint/FlowRules.h"
+#include "lint/Lexer.h"
+#include "lint/Parser.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace rap;
+using namespace rap::lint;
+
+namespace {
+
+bool isIdent(const Token &T, const char *Name) {
+  return T.TokenKind == Token::Kind::Identifier && T.Text == Name;
+}
+
+bool isPunct(const Token &T, const char *Spelling) {
+  return T.TokenKind == Token::Kind::Punct && T.Text == Spelling;
+}
+
+size_t matchParen(const std::vector<Token> &T, size_t Open, size_t End) {
+  unsigned Depth = 0;
+  for (size_t I = Open; I < End; ++I) {
+    if (isPunct(T[I], "("))
+      ++Depth;
+    else if (isPunct(T[I], ")") && --Depth == 0)
+      return I;
+  }
+  return End;
+}
+
+/// Mirror of FlowRules' mask: tokens of a nested lambda body belong
+/// to the lambda's own CFG, not the enclosing statement.
+class LambdaMask {
+public:
+  explicit LambdaMask(const ParsedFile &Parsed)
+      : Bodies(Parsed.LambdaBodies) {}
+
+  bool skip(size_t I, size_t ActionBegin) const {
+    for (const auto &[B, E] : Bodies)
+      if (I > B && I < E && !(ActionBegin > B && ActionBegin < E))
+        return true;
+    return false;
+  }
+
+private:
+  const std::vector<std::pair<size_t, size_t>> &Bodies;
+};
+
+/// Fresh name use, not the tail of `o.x` / `o->x` / `N::x`
+/// (`this->x` still counts — same object as the guard).
+bool isDirectUse(const std::vector<Token> &T, size_t I, size_t Begin) {
+  if (I == Begin)
+    return true;
+  const Token &Prev = T[I - 1];
+  if (isPunct(Prev, ".") || isPunct(Prev, "::"))
+    return false;
+  if (isPunct(Prev, "->"))
+    return I >= 2 && isIdent(T[I - 2], "this");
+  return true;
+}
+
+/// `this->x` — an explicit member access; shadowing cannot apply.
+bool isThisMember(const std::vector<Token> &T, size_t I) {
+  return I >= 2 && isPunct(T[I - 1], "->") && isIdent(T[I - 2], "this");
+}
+
+struct ObservedEdge {
+  std::string First, Second; ///< Second acquired while First held.
+  std::string Path;
+  unsigned Line = 0;
+  std::string Via; ///< Callee name when call-induced, else "".
+};
+
+struct DeclaredEdge {
+  std::string First, Second;
+  std::string Path;
+  unsigned Line = 0;
+};
+
+struct GuardedAccess {
+  std::string Var, Mutex;
+  FactSet Held;
+  unsigned Line = 0;
+};
+
+struct Call {
+  std::string Callee;
+  FactSet Held;
+  unsigned Line = 0;
+};
+
+struct AtomicOp {
+  enum Kind { Store, Load, Rmw };
+  std::string Var;
+  Kind OpKind = Store;
+  bool Relaxed = false;
+  std::string Path;
+  unsigned Line = 0;
+};
+
+struct WriteSite {
+  FactSet Held;
+  bool IsRmw = false;
+  std::string Path;
+  unsigned Line = 0;
+};
+
+struct FuncInfo {
+  std::string Path;
+  std::string Name;
+  unsigned Line = 0;
+  FactSet AcquiredLocal;
+  std::vector<Call> Calls;
+  std::vector<GuardedAccess> Accesses;
+  std::vector<ObservedEdge> LocalEdges;
+  // Interprocedural summaries.
+  FactSet AcquiredTrans;
+  /// nullopt is top ("every lock") while the intersection fixpoint
+  /// runs; it cannot survive for any function the rules consult.
+  std::optional<FactSet> CallerHeld;
+  bool HasCallers = false;
+  bool Pinned = false;
+};
+
+struct Unit {
+  std::string Path;
+  LexedSource Src;
+  ParsedFile Parsed;
+};
+
+std::string heldDesc(const FactSet &Held) {
+  if (Held.empty())
+    return "no lock held";
+  std::string S = "holding ";
+  bool First = true;
+  for (const std::string &M : Held) {
+    if (!First)
+      S += ", ";
+    S += "'" + M + "'";
+    First = false;
+  }
+  return S;
+}
+
+std::string viaSuffix(const ObservedEdge &E) {
+  return E.Via.empty() ? std::string() : " via call to '" + E.Via + "'";
+}
+
+std::string joinNames(const std::vector<std::string> &Names) {
+  std::string S;
+  for (const std::string &N : Names)
+    S += (S.empty() ? "" : ", ") + N;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Collection
+//===----------------------------------------------------------------------===//
+
+/// Names declared as std::atomic<...> anywhere in the scanned set.
+std::set<std::string> collectAtomicVars(
+    const std::vector<std::unique_ptr<Unit>> &Units) {
+  std::set<std::string> Vars;
+  for (const auto &U : Units) {
+    const std::vector<Token> &T = U->Src.Tokens;
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (!isIdent(T[I], "atomic") || !isPunct(T[I + 1], "<"))
+        continue;
+      int Depth = 0;
+      size_t J = I + 1;
+      for (; J < T.size(); ++J) {
+        if (isPunct(T[J], "<"))
+          ++Depth;
+        else if (isPunct(T[J], ">")) {
+          if (--Depth == 0)
+            break;
+        } else if (isPunct(T[J], ">>")) {
+          Depth -= 2;
+          if (Depth <= 0)
+            break;
+        }
+      }
+      // The declarator directly after the closing angle; pointers,
+      // references and alias targets are not field declarations.
+      if (J + 1 < T.size() &&
+          T[J + 1].TokenKind == Token::Kind::Identifier)
+        Vars.insert(T[J + 1].Text);
+    }
+  }
+  return Vars;
+}
+
+/// RAP_ACQUIRED_BEFORE(a, b[, c...]): consecutive argument pairs form
+/// declared acquisition-order edges. Qualified arguments (`S.Mu`)
+/// contribute their final identifier, matching lockDeclMutex.
+std::vector<DeclaredEdge> collectDeclaredEdges(
+    const std::vector<std::unique_ptr<Unit>> &Units) {
+  std::vector<DeclaredEdge> Edges;
+  for (const auto &U : Units) {
+    const std::vector<Token> &T = U->Src.Tokens;
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (!isIdent(T[I], "RAP_ACQUIRED_BEFORE") || !isPunct(T[I + 1], "("))
+        continue;
+      size_t Close = matchParen(T, I + 1, T.size());
+      std::vector<std::string> Args;
+      std::string Last;
+      for (size_t J = I + 2; J <= Close && J < T.size(); ++J) {
+        if (J == Close || isPunct(T[J], ",")) {
+          if (!Last.empty())
+            Args.push_back(Last);
+          Last.clear();
+          continue;
+        }
+        if (T[J].TokenKind == Token::Kind::Identifier)
+          Last = T[J].Text;
+      }
+      for (size_t K = 1; K < Args.size(); ++K)
+        Edges.push_back({Args[K - 1], Args[K], U->Path, T[I].Line});
+    }
+  }
+  return Edges;
+}
+
+/// Step 2: one function's local facts, walked with the must-held
+/// lock state threaded through every action.
+void analyzeFunction(const Unit &U, const Function &Fn,
+                     const std::map<std::string, std::string> &GuardOf,
+                     const std::set<std::string> &AtomicVars,
+                     FuncInfo &Info, std::vector<AtomicOp> &AtomicOps,
+                     std::map<std::string, std::vector<WriteSite>> &Writes) {
+  static const std::set<std::string> CallKeywords = {
+      "if",       "while",    "for",          "switch",  "return",
+      "sizeof",   "catch",    "new",          "delete",  "throw",
+      "decltype", "noexcept", "static_assert", "alignof", "assert"};
+  static const std::set<std::string> AtomicStores = {
+      "store", "exchange", "compare_exchange_weak", "compare_exchange_strong"};
+  static const std::set<std::string> AtomicRmws = {
+      "fetch_add", "fetch_sub", "fetch_or", "fetch_and", "fetch_xor"};
+  static const std::set<std::string> CompoundOps = {
+      "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>="};
+
+  const std::vector<Token> &T = U.Src.Tokens;
+  Info.Path = U.Path;
+  Info.Name = Fn.Name;
+  Info.Line = Fn.Line;
+
+  Cfg G = buildCfg(Fn);
+  LambdaMask Mask(U.Parsed);
+  FactSet Shadowed = collectShadowedNames(T, Fn, G);
+  FactSet Entry(Fn.RequiredLocks.begin(), Fn.RequiredLocks.end());
+  auto Transfer = [&](const BasicBlock &B, FactSet State) {
+    for (const Action &A : B.Actions)
+      transferLocks(T, A, State);
+    return State;
+  };
+  DataflowResult R = solveForward(G, JoinKind::Intersection, Entry, Transfer);
+
+  for (const BasicBlock &B : G.Blocks) {
+    if (!R.Reached[B.Id])
+      continue;
+    FactSet Held = R.EntryState[B.Id];
+    for (const Action &A : B.Actions) {
+      // Annotation arguments name mutexes and guarded fields without
+      // touching them; skip those statements entirely.
+      bool AnnotationSite = false;
+      for (size_t I = A.Begin; I < A.End; ++I)
+        if (T[I].TokenKind == Token::Kind::Identifier &&
+            T[I].Text.rfind("RAP_", 0) == 0)
+          AnnotationSite = true;
+      if (!AnnotationSite) {
+        for (size_t I = A.Begin; I < A.End; ++I) {
+          if (Mask.skip(I, A.Begin))
+            continue;
+          const Token &Tok = T[I];
+          if (Tok.TokenKind != Token::Kind::Identifier)
+            continue;
+          bool NextParen = I + 1 < A.End && isPunct(T[I + 1], "(");
+          if (NextParen && !CallKeywords.count(Tok.Text))
+            Info.Calls.push_back({Tok.Text, Held, Tok.Line});
+          bool Direct = isDirectUse(T, I, A.Begin);
+          bool Unshadowed = !Shadowed.count(Tok.Text) || isThisMember(T, I);
+          // Atomic operations: V.op(...) and plain `V = ...` stores.
+          if (AtomicVars.count(Tok.Text) && Direct && Unshadowed) {
+            if (I + 3 < A.End &&
+                (isPunct(T[I + 1], ".") || isPunct(T[I + 1], "->")) &&
+                T[I + 2].TokenKind == Token::Kind::Identifier &&
+                isPunct(T[I + 3], "(")) {
+              const std::string &Op = T[I + 2].Text;
+              AtomicOp::Kind K;
+              bool Known = true;
+              if (AtomicStores.count(Op))
+                K = AtomicOp::Store;
+              else if (Op == "load")
+                K = AtomicOp::Load;
+              else if (AtomicRmws.count(Op))
+                K = AtomicOp::Rmw;
+              else
+                Known = false;
+              if (Known) {
+                size_t Close = matchParen(T, I + 3, A.End);
+                bool Relaxed = false;
+                for (size_t J = I + 4; J < Close; ++J)
+                  if (isIdent(T[J], "memory_order_relaxed"))
+                    Relaxed = true;
+                AtomicOps.push_back(
+                    {Tok.Text, K, Relaxed, U.Path, Tok.Line});
+              }
+            } else if (I + 1 < A.End && isPunct(T[I + 1], "=")) {
+              // operator= on std::atomic is a seq_cst store.
+              AtomicOps.push_back(
+                  {Tok.Text, AtomicOp::Store, false, U.Path, Tok.Line});
+            }
+          }
+          // Guarded-field accesses (reads and writes alike).
+          auto GIt = GuardOf.find(Tok.Text);
+          if (GIt != GuardOf.end() && Direct && Unshadowed && !NextParen)
+            Info.Accesses.push_back(
+                {Tok.Text, GIt->second, Held, Tok.Line});
+          // Plain-variable write sites for the non-atomic-RMW rule.
+          // Declarators are locals; guarded and atomic fields have
+          // their own rules.
+          if (A.ActionKind != Action::Kind::Decl && Direct && Unshadowed &&
+              !AtomicVars.count(Tok.Text) && !GuardOf.count(Tok.Text)) {
+            bool IsWrite = false, IsRmw = false;
+            if (I + 1 < A.End && T[I + 1].TokenKind == Token::Kind::Punct) {
+              const std::string &Op = T[I + 1].Text;
+              if (Op == "=") {
+                IsWrite = true;
+                for (size_t J = I + 2; J < A.End && !IsRmw; ++J)
+                  if (T[J].TokenKind == Token::Kind::Identifier &&
+                      T[J].Text == Tok.Text)
+                    IsRmw = true;
+              } else if (CompoundOps.count(Op) || Op == "++" || Op == "--") {
+                IsWrite = IsRmw = true;
+              }
+            }
+            if (!IsWrite && I > A.Begin &&
+                (isPunct(T[I - 1], "++") || isPunct(T[I - 1], "--")))
+              IsWrite = IsRmw = true;
+            if (IsWrite)
+              Writes[Tok.Text].push_back({Held, IsRmw, U.Path, Tok.Line});
+          }
+        }
+      }
+      FactSet Before = Held;
+      transferLocks(T, A, Held);
+      for (const std::string &M : Held)
+        if (!Before.count(M)) {
+          Info.AcquiredLocal.insert(M);
+          for (const std::string &H : Before)
+            Info.LocalEdges.push_back({H, M, U.Path, A.Line, ""});
+        }
+      // Re-acquiring an already-held mutex never changes the set, so
+      // catch it directly on the RAII declaration.
+      if (A.ActionKind == Action::Kind::Decl) {
+        std::string M = lockDeclMutex(T, A.Begin, A.End);
+        if (!M.empty() && Before.count(M))
+          Info.LocalEdges.push_back({M, M, U.Path, A.Line, ""});
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rules
+//===----------------------------------------------------------------------===//
+
+/// Strongly connected components (Kosaraju) over string-named nodes,
+/// components and members sorted for deterministic reports.
+std::vector<std::vector<std::string>>
+stronglyConnected(const std::set<std::string> &Nodes,
+                  const std::map<std::string, std::set<std::string>> &Adj) {
+  std::vector<std::string> Order;
+  std::set<std::string> Visited;
+  std::function<void(const std::string &)> Dfs1 =
+      [&](const std::string &N) {
+        Visited.insert(N);
+        auto It = Adj.find(N);
+        if (It != Adj.end())
+          for (const std::string &M : It->second)
+            if (!Visited.count(M))
+              Dfs1(M);
+        Order.push_back(N);
+      };
+  for (const std::string &N : Nodes)
+    if (!Visited.count(N))
+      Dfs1(N);
+
+  std::map<std::string, std::set<std::string>> RAdj;
+  for (const auto &[N, Succs] : Adj)
+    for (const std::string &M : Succs)
+      RAdj[M].insert(N);
+
+  std::vector<std::vector<std::string>> Comps;
+  Visited.clear();
+  std::function<void(const std::string &, std::vector<std::string> &)> Dfs2 =
+      [&](const std::string &N, std::vector<std::string> &Comp) {
+        Visited.insert(N);
+        Comp.push_back(N);
+        auto It = RAdj.find(N);
+        if (It != RAdj.end())
+          for (const std::string &M : It->second)
+            if (!Visited.count(M))
+              Dfs2(M, Comp);
+      };
+  for (size_t I = Order.size(); I-- > 0;) {
+    if (Visited.count(Order[I]))
+      continue;
+    std::vector<std::string> Comp;
+    Dfs2(Order[I], Comp);
+    std::sort(Comp.begin(), Comp.end());
+    Comps.push_back(std::move(Comp));
+  }
+  std::sort(Comps.begin(), Comps.end());
+  return Comps;
+}
+
+void emitLockOrder(const std::vector<FuncInfo> &Funcs,
+                   const std::map<std::string, std::vector<size_t>> &ByName,
+                   const std::vector<DeclaredEdge> &Declared,
+                   std::vector<Finding> &Out) {
+  // Observed edges: local ones plus call-induced ones (a lock the
+  // callee may take transitively, acquired under everything held at
+  // the call site). A lock already held at the site is skipped: with
+  // per-object mutexes sharing a field name (one 'Mu' per shard) a
+  // re-entry through a call is indistinguishable from a sibling
+  // object's lock, and flagging it would ban the one-shard-at-a-time
+  // combiner pattern.
+  std::vector<ObservedEdge> Edges;
+  for (const FuncInfo &F : Funcs)
+    Edges.insert(Edges.end(), F.LocalEdges.begin(), F.LocalEdges.end());
+  for (const FuncInfo &F : Funcs)
+    for (const Call &C : F.Calls) {
+      auto It = ByName.find(C.Callee);
+      if (It == ByName.end())
+        continue;
+      FactSet Acquired;
+      for (size_t J : It->second)
+        Acquired.insert(Funcs[J].AcquiredTrans.begin(),
+                        Funcs[J].AcquiredTrans.end());
+      for (const std::string &M : Acquired) {
+        if (C.Held.count(M))
+          continue;
+        for (const std::string &H : C.Held)
+          Edges.push_back({H, M, F.Path, C.Line, C.Callee});
+      }
+    }
+
+  std::set<std::tuple<std::string, unsigned, std::string>> SeenSelf;
+  std::map<std::pair<std::string, std::string>, const ObservedEdge *> First;
+  for (const ObservedEdge &E : Edges) {
+    if (E.First == E.Second) {
+      if (SeenSelf.emplace(E.Path, E.Line, E.First).second)
+        Out.push_back(
+            {"lock-order", E.Path, E.Line,
+             "mutex '" + E.First + "' is acquired while already held" +
+                 viaSuffix(E) +
+                 "; a second lock on a non-recursive mutex deadlocks "
+                 "the thread"});
+      continue;
+    }
+    First.emplace(std::make_pair(E.First, E.Second), &E);
+  }
+
+  std::map<std::pair<std::string, std::string>, const DeclaredEdge *>
+      DeclFirst;
+  for (const DeclaredEdge &D : Declared)
+    if (D.First != D.Second)
+      DeclFirst.emplace(std::make_pair(D.First, D.Second), &D);
+
+  // Observed edge against a declared order.
+  for (const auto &[Key, E] : First) {
+    auto It = DeclFirst.find({Key.second, Key.first});
+    if (It == DeclFirst.end())
+      continue;
+    Out.push_back(
+        {"lock-order", E->Path, E->Line,
+         "'" + Key.second + "' is acquired while '" + Key.first +
+             "' is held" + viaSuffix(*E) +
+             ", contradicting RAP_ACQUIRED_BEFORE(" + Key.second + ", " +
+             Key.first + ") declared at " + It->second->Path + ":" +
+             std::to_string(It->second->Line)});
+  }
+
+  // Observed cycles: two threads can each hold a lock the other wants.
+  {
+    std::set<std::string> Nodes;
+    std::map<std::string, std::set<std::string>> Adj;
+    for (const auto &[Key, E] : First) {
+      (void)E;
+      Nodes.insert(Key.first);
+      Nodes.insert(Key.second);
+      Adj[Key.first].insert(Key.second);
+    }
+    for (const std::vector<std::string> &Comp :
+         stronglyConnected(Nodes, Adj)) {
+      if (Comp.size() < 2)
+        continue;
+      std::set<std::string> In(Comp.begin(), Comp.end());
+      const ObservedEdge *Anchor = nullptr;
+      std::string Witnesses;
+      unsigned Listed = 0;
+      for (const auto &[Key, E] : First) {
+        if (!In.count(Key.first) || !In.count(Key.second))
+          continue;
+        if (!Anchor || E->Path < Anchor->Path ||
+            (E->Path == Anchor->Path && E->Line < Anchor->Line))
+          Anchor = E;
+        if (Listed < 4) {
+          Witnesses += (Witnesses.empty() ? "" : "; ") + ("'" + Key.second +
+                       "' is acquired while '" + Key.first + "' is held (" +
+                       E->Path + ":" + std::to_string(E->Line) +
+                       (E->Via.empty() ? "" : ", via call to '" + E->Via +
+                                                  "'") +
+                       ")");
+          ++Listed;
+        }
+      }
+      Out.push_back(
+          {"lock-order", Anchor->Path, Anchor->Line,
+           "lock-acquisition cycle among {" + joinNames(Comp) + "}: " +
+               Witnesses +
+               "; two threads interleaving these chains can deadlock — "
+               "pick one global order, declare it with "
+               "RAP_ACQUIRED_BEFORE, and follow it"});
+    }
+  }
+
+  // Declared-only cycles: the annotations themselves are inconsistent.
+  {
+    std::set<std::string> Nodes;
+    std::map<std::string, std::set<std::string>> Adj;
+    for (const auto &[Key, D] : DeclFirst) {
+      (void)D;
+      Nodes.insert(Key.first);
+      Nodes.insert(Key.second);
+      Adj[Key.first].insert(Key.second);
+    }
+    for (const std::vector<std::string> &Comp :
+         stronglyConnected(Nodes, Adj)) {
+      if (Comp.size() < 2)
+        continue;
+      std::set<std::string> In(Comp.begin(), Comp.end());
+      const DeclaredEdge *Anchor = nullptr;
+      for (const auto &[Key, D] : DeclFirst) {
+        if (!In.count(Key.first) || !In.count(Key.second))
+          continue;
+        if (!Anchor || D->Path < Anchor->Path ||
+            (D->Path == Anchor->Path && D->Line < Anchor->Line))
+          Anchor = D;
+      }
+      Out.push_back(
+          {"lock-order", Anchor->Path, Anchor->Line,
+           "RAP_ACQUIRED_BEFORE declarations form a cycle among {" +
+               joinNames(Comp) +
+               "}; no acquisition order can satisfy them"});
+    }
+  }
+}
+
+void emitGuardedBy(const std::vector<FuncInfo> &Funcs,
+                   const std::vector<std::vector<
+                       std::tuple<size_t, FactSet, unsigned>>> &CallersOf,
+                   std::vector<Finding> &Out) {
+  std::set<std::tuple<std::string, unsigned, std::string>> Seen;
+  for (size_t I = 0; I < Funcs.size(); ++I) {
+    const FuncInfo &F = Funcs[I];
+    for (const GuardedAccess &A : F.Accesses) {
+      if (A.Held.count(A.Mutex))
+        continue;
+      if (F.CallerHeld && F.CallerHeld->count(A.Mutex))
+        continue;
+      if (!Seen.emplace(F.Path, A.Line, A.Var).second)
+        continue;
+      // Witness: name a concrete unsatisfying entry into F.
+      std::string Witness;
+      if (!F.HasCallers) {
+        Witness = "'" + F.Name + "' is externally callable (no scanned "
+                  "call sites)";
+      } else {
+        for (const auto &[CallerIdx, SiteHeld, SiteLine] : CallersOf[I]) {
+          const FuncInfo &C = Funcs[CallerIdx];
+          FactSet Avail = SiteHeld;
+          if (C.CallerHeld)
+            Avail.insert(C.CallerHeld->begin(), C.CallerHeld->end());
+          if (!Avail.count(A.Mutex)) {
+            Witness = "e.g. the call chain through '" + C.Name + "' (" +
+                      C.Path + ":" + std::to_string(SiteLine) +
+                      ") does not hold " + A.Mutex;
+            break;
+          }
+        }
+        if (Witness.empty())
+          Witness = "'" + F.Name + "' is only reached through call "
+                    "cycles with no scanned entry point";
+      }
+      Out.push_back(
+          {"guarded-by", F.Path, A.Line,
+           "'" + A.Var + "' is RAP_GUARDED_BY(" + A.Mutex + ") but " +
+               A.Mutex + " is not held on every path here nor provably "
+               "held by every observed caller; " +
+               Witness + " — take a lock_guard/unique_lock, or annotate "
+               "'" + F.Name + "' RAP_REQUIRES(" + A.Mutex + ")"});
+    }
+  }
+}
+
+void emitAtomicMisuse(
+    const std::vector<AtomicOp> &Ops,
+    const std::map<std::string, std::vector<WriteSite>> &Writes,
+    std::vector<Finding> &Out) {
+  // A handoff atomic has at least one store/exchange/CAS site; a
+  // pure counter (fetch_add/fetch_sub/load only) may stay relaxed.
+  std::set<std::string> Handoff;
+  for (const AtomicOp &Op : Ops)
+    if (Op.OpKind == AtomicOp::Store)
+      Handoff.insert(Op.Var);
+
+  std::set<std::tuple<std::string, unsigned, std::string>> Seen;
+  for (const AtomicOp &Op : Ops) {
+    if (!Op.Relaxed || !Handoff.count(Op.Var))
+      continue;
+    const char *Word = Op.OpKind == AtomicOp::Store  ? "store"
+                       : Op.OpKind == AtomicOp::Load ? "load"
+                                                     : "read-modify-write";
+    if (Seen.emplace(Op.Path, Op.Line, Op.Var).second)
+      Out.push_back(
+          {"atomic-misuse", Op.Path, Op.Line,
+           "'" + Op.Var + "' is a cross-thread handoff (it is published "
+           "with store/exchange) but this " + Word +
+               " uses memory_order_relaxed, which does not order the "
+               "data it hands off; use release/acquire or the seq_cst "
+               "default"});
+  }
+
+  // Non-atomic RMW racing a write under a different (or no) lock.
+  // Variables only ever touched with no lock held anywhere never
+  // flag: without locks in play this pass has no evidence of sharing.
+  for (const auto &[Var, Sites] : Writes) {
+    if (Sites.size() < 2)
+      continue;
+    bool Reported = false;
+    // Anchor on a lock-free RMW site when one exists — that is the
+    // side a reader expects to be wrong — falling back to any RMW
+    // whose locks are disjoint from another writer's.
+    for (int Pass = 0; Pass < 2 && !Reported; ++Pass)
+    for (const WriteSite &A : Sites) {
+      if (!A.IsRmw || Reported || (Pass == 0 && !A.Held.empty()))
+        continue;
+      for (const WriteSite &B : Sites) {
+        if (&B == &A)
+          continue;
+        bool Disjoint = true;
+        for (const std::string &M : A.Held)
+          if (B.Held.count(M))
+            Disjoint = false;
+        if (!Disjoint || (A.Held.empty() && B.Held.empty()))
+          continue;
+        Out.push_back(
+            {"atomic-misuse", A.Path, A.Line,
+             "non-atomic read-modify-write of '" + Var + "' (" +
+                 heldDesc(A.Held) + "); '" + Var + "' is also written at " +
+                 B.Path + ":" + std::to_string(B.Line) + " (" +
+                 heldDesc(B.Held) +
+                 ") with no lock in common, so concurrent threads can "
+                 "interleave the read and the write — make '" +
+                 Var + "' std::atomic or guard every access with one "
+                 "mutex"});
+        Reported = true;
+        break;
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::vector<Finding>
+rap::lint::runConcurrencyAudit(const std::vector<AuditFile> &Files) {
+  std::vector<std::unique_ptr<Unit>> Units;
+  Units.reserve(Files.size());
+  for (const AuditFile &F : Files) {
+    auto U = std::make_unique<Unit>();
+    U->Path = F.Path;
+    U->Src = lex(F.Content);
+    U->Parsed = parseFile(U->Src);
+    Units.push_back(std::move(U));
+  }
+
+  // Step 1: global annotation maps.
+  std::map<std::string, std::string> GuardOf;
+  for (const auto &U : Units)
+    for (const auto &[Var, Mutex] : U->Parsed.GuardedVars)
+      GuardOf.emplace(Var, Mutex);
+  std::set<std::string> AtomicVars = collectAtomicVars(Units);
+  std::vector<DeclaredEdge> Declared = collectDeclaredEdges(Units);
+
+  // Step 2: per-function local analysis.
+  std::vector<FuncInfo> Funcs;
+  std::vector<AtomicOp> AtomicOps;
+  std::map<std::string, std::vector<WriteSite>> Writes;
+  for (const auto &U : Units)
+    for (const auto &Fn : U->Parsed.Functions) {
+      FuncInfo Info;
+      analyzeFunction(*U, *Fn, GuardOf, AtomicVars, Info, AtomicOps, Writes);
+      Funcs.push_back(std::move(Info));
+    }
+
+  // Step 3: call graph by callee name (overloads and same-name
+  // methods merge; both summaries degrade conservatively).
+  std::map<std::string, std::vector<size_t>> ByName;
+  for (size_t I = 0; I < Funcs.size(); ++I)
+    ByName[Funcs[I].Name].push_back(I);
+
+  std::vector<std::vector<std::tuple<size_t, FactSet, unsigned>>> CallersOf(
+      Funcs.size());
+  for (size_t I = 0; I < Funcs.size(); ++I)
+    for (const Call &C : Funcs[I].Calls) {
+      auto It = ByName.find(C.Callee);
+      if (It == ByName.end())
+        continue;
+      for (size_t J : It->second) {
+        Funcs[J].HasCallers = true;
+        CallersOf[J].emplace_back(I, C.Held, C.Line);
+      }
+    }
+
+  // AcquiredTrans: bottom-up union fixpoint.
+  for (FuncInfo &F : Funcs)
+    F.AcquiredTrans = F.AcquiredLocal;
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (FuncInfo &F : Funcs)
+      for (const Call &C : F.Calls) {
+        auto It = ByName.find(C.Callee);
+        if (It == ByName.end())
+          continue;
+        for (size_t J : It->second)
+          for (const std::string &M : Funcs[J].AcquiredTrans)
+            if (F.AcquiredTrans.insert(M).second)
+              Changed = true;
+      }
+  }
+
+  // CallerHeld: which functions a scanned entry point can reach.
+  // Roots (no scanned caller) and cycle-only functions are pinned to
+  // the empty set — they may be entered from outside the scanned
+  // tree with nothing held.
+  std::vector<char> RootReach(Funcs.size(), 0);
+  {
+    std::vector<size_t> Work;
+    for (size_t I = 0; I < Funcs.size(); ++I)
+      if (!Funcs[I].HasCallers) {
+        RootReach[I] = 1;
+        Work.push_back(I);
+      }
+    while (!Work.empty()) {
+      size_t I = Work.back();
+      Work.pop_back();
+      for (const Call &C : Funcs[I].Calls) {
+        auto It = ByName.find(C.Callee);
+        if (It == ByName.end())
+          continue;
+        for (size_t J : It->second)
+          if (!RootReach[J]) {
+            RootReach[J] = 1;
+            Work.push_back(J);
+          }
+      }
+    }
+  }
+  for (size_t I = 0; I < Funcs.size(); ++I)
+    if (!Funcs[I].HasCallers || !RootReach[I]) {
+      Funcs[I].CallerHeld = FactSet();
+      Funcs[I].Pinned = true;
+    }
+  // Greatest fixpoint: intersection over all observed call sites of
+  // (locks held at the site ∪ locks the caller's own callers hold).
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (size_t I = 0; I < Funcs.size(); ++I) {
+      if (Funcs[I].Pinned)
+        continue;
+      std::optional<FactSet> New;
+      for (const auto &[CallerIdx, SiteHeld, SiteLine] : CallersOf[I]) {
+        (void)SiteLine;
+        if (!Funcs[CallerIdx].CallerHeld)
+          continue; // Top contribution: identity under intersection.
+        FactSet Contrib = SiteHeld;
+        Contrib.insert(Funcs[CallerIdx].CallerHeld->begin(),
+                       Funcs[CallerIdx].CallerHeld->end());
+        if (!New) {
+          New = std::move(Contrib);
+          continue;
+        }
+        FactSet Inter;
+        for (const std::string &M : *New)
+          if (Contrib.count(M))
+            Inter.insert(M);
+        New = std::move(Inter);
+      }
+      if (New != Funcs[I].CallerHeld) {
+        Funcs[I].CallerHeld = std::move(New);
+        Changed = true;
+      }
+    }
+  }
+
+  // Step 4: the three rules.
+  std::vector<Finding> Raw;
+  emitLockOrder(Funcs, ByName, Declared, Raw);
+  emitGuardedBy(Funcs, CallersOf, Raw);
+  emitAtomicMisuse(AtomicOps, Writes, Raw);
+
+  // Per-line allow() suppression, then the audit-standard sort.
+  std::map<std::string, const LexedSource *> ByPath;
+  for (const auto &U : Units)
+    ByPath.emplace(U->Path, &U->Src);
+  std::vector<Finding> Result;
+  for (Finding &F : Raw) {
+    auto It = ByPath.find(F.Path);
+    if (It != ByPath.end()) {
+      auto Ln = It->second->AllowedRules.find(F.Line);
+      if (Ln != It->second->AllowedRules.end() && Ln->second.count(F.RuleId))
+        continue;
+    }
+    Result.push_back(std::move(F));
+  }
+  std::sort(Result.begin(), Result.end(),
+            [](const Finding &A, const Finding &B) {
+              if (A.Path != B.Path)
+                return A.Path < B.Path;
+              if (A.Line != B.Line)
+                return A.Line < B.Line;
+              return A.RuleId < B.RuleId;
+            });
+  return Result;
+}

@@ -1,0 +1,62 @@
+//===- lint/Concurrency.h - Interprocedural concurrency audit -*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rap_lint v3 interprocedural concurrency pass. Unlike the
+/// per-function flow rules it sees every scanned file at once: it
+/// builds a project-wide call graph over Parser/Cfg output, computes
+/// per-function lock summaries (locks acquired transitively, locks
+/// every observed caller holds at the call site), and propagates them
+/// through the worklist dataflow solver. Three rules run on top:
+///
+///   lock-order     the global lock-acquisition graph (local edges,
+///                  call-induced edges, RAP_ACQUIRED_BEFORE
+///                  declarations) must stay acyclic; a cycle means two
+///                  threads can each hold a lock the other wants
+///   guarded-by     a RAP_GUARDED_BY field may only be touched where
+///                  the mutex is held locally, required via
+///                  RAP_REQUIRES, or provably held by every observed
+///                  caller on every call chain — the interprocedural
+///                  replacement for the per-function lock-discipline
+///                  approximation
+///   atomic-misuse  memory_order_relaxed on a cross-thread handoff
+///                  atomic (one with store/exchange/CAS sites), and
+///                  non-atomic read-modify-writes of a field that is
+///                  also written under a different lock or no lock
+///
+/// Soundness caveat (documented in docs/STATIC_ANALYSIS.md): the
+/// caller-held proof uses the OBSERVED call graph. Functions with no
+/// scanned caller — and functions only reachable through call cycles
+/// with no scanned entry point — are treated as externally callable
+/// with no locks held. Public entry points should therefore take
+/// their locks or carry RAP_REQUIRES rather than rely on callers.
+///
+/// Findings respect the same `rap-lint: allow(...)` markers as the
+/// per-file rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_LINT_CONCURRENCY_H
+#define RAP_LINT_CONCURRENCY_H
+
+#include "lint/ApiAudit.h"
+#include "lint/Lint.h"
+
+#include <vector>
+
+namespace rap {
+namespace lint {
+
+/// Runs the three interprocedural concurrency rules over \p Files
+/// (already suppressed per allow() markers; sorted by path, line,
+/// rule). Reuses AuditFile: repo-relative path plus contents.
+std::vector<Finding> runConcurrencyAudit(const std::vector<AuditFile> &Files);
+
+} // namespace lint
+} // namespace rap
+
+#endif // RAP_LINT_CONCURRENCY_H

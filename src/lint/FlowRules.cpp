@@ -158,32 +158,6 @@ bool anyPathReads(const Cfg &G, const std::vector<Token> &T,
   return false;
 }
 
-/// Resolves the callee of the call starting at token \p I: walks a
-/// qualifier/member chain and returns the identifier directly before
-/// a `(`, or empty. \p Next receives the index of that `(`.
-std::string calleeAt(const std::vector<Token> &T, size_t I, size_t End,
-                     size_t &Next) {
-  std::string Callee;
-  size_t J = I;
-  while (J < End) {
-    if (T[J].TokenKind == Token::Kind::Identifier) {
-      Callee = T[J].Text;
-      ++J;
-      if (J < End && isPunct(T[J], "(")) {
-        Next = J;
-        return Callee;
-      }
-      continue;
-    }
-    if (isPunct(T[J], "::") || isPunct(T[J], ".") || isPunct(T[J], "->")) {
-      ++J;
-      continue;
-    }
-    break;
-  }
-  return std::string();
-}
-
 void runUncheckedStatus(const std::string &Path, const LexedSource &Src,
                         const ParsedFile &Parsed,
                         const std::set<std::string> &StatusFns,
@@ -569,53 +543,6 @@ void transferCounter(const std::vector<Token> &T, const Action &A,
     Tainted.erase(Target.Text);
 }
 
-/// Names that shadow the counter-field heuristic inside \p Fn: its
-/// parameters plus every locally declared variable. A bare `Weight`
-/// in such a function is that binding, not the node field.
-FactSet collectShadowedNames(const std::vector<Token> &T,
-                             const Function &Fn, const Cfg &G) {
-  FactSet Shadowed;
-  // Parameters: each declarator name is the identifier right before
-  // a top-level `,`, `=`, or the closing paren.
-  unsigned Depth = 0;
-  for (size_t I = Fn.ParamBegin; I < Fn.ParamEnd; ++I) {
-    if (isPunct(T[I], "(") || isPunct(T[I], "[") || isPunct(T[I], "{") ||
-        isPunct(T[I], "<"))
-      ++Depth;
-    else if (isPunct(T[I], ")") || isPunct(T[I], "]") ||
-             isPunct(T[I], "}") || isPunct(T[I], ">")) {
-      if (Depth > 0)
-        --Depth;
-    }
-    if (Depth != 0 || T[I].TokenKind != Token::Kind::Identifier)
-      continue;
-    bool AtEnd = I + 1 == Fn.ParamEnd;
-    if (AtEnd || isPunct(T[I + 1], ",") || isPunct(T[I + 1], "=") ||
-        isPunct(T[I + 1], "["))
-      Shadowed.insert(T[I].Text);
-  }
-  // Locals: the declarator of every Decl action (first declarator of
-  // a multi-declaration; the rest are rare enough to miss).
-  for (const BasicBlock &B : G.Blocks)
-    for (const Action &A : B.Actions) {
-      if (A.ActionKind != Action::Kind::Decl)
-        continue;
-      size_t Assign = topLevelAssign(T, A.Begin, A.End);
-      size_t NameAt = Assign;
-      if (Assign == A.End) {
-        // No initializer: the declarator is the last identifier
-        // (type tokens all precede it).
-        for (size_t I = A.Begin; I < A.End; ++I)
-          if (T[I].TokenKind == Token::Kind::Identifier)
-            NameAt = I + 1;
-      }
-      if (NameAt > A.Begin && NameAt <= A.End &&
-          T[NameAt - 1].TokenKind == Token::Kind::Identifier)
-        Shadowed.insert(T[NameAt - 1].Text);
-    }
-  return Shadowed;
-}
-
 void runCounterEscape(const std::string &Path, const LexedSource &Src,
                       const ParsedFile &Parsed, const Function &Fn,
                       const Cfg &G, std::vector<Finding> &Out) {
@@ -646,89 +573,6 @@ void runCounterEscape(const std::string &Path, const LexedSource &Src,
 //===----------------------------------------------------------------------===//
 // lock-discipline
 //===----------------------------------------------------------------------===//
-
-const std::set<std::string> &lockClasses() {
-  static const std::set<std::string> Classes = {"lock_guard", "unique_lock",
-                                                "scoped_lock"};
-  return Classes;
-}
-
-/// Extracts the mutex locked by the RAII declaration in [Begin, End),
-/// or "" (also "" for deferred locks).
-std::string lockDeclMutex(const std::vector<Token> &T, size_t Begin,
-                          size_t End) {
-  size_t Class = End;
-  for (size_t I = Begin; I < End; ++I)
-    if (T[I].TokenKind == Token::Kind::Identifier &&
-        lockClasses().count(T[I].Text)) {
-      Class = I;
-      break;
-    }
-  if (Class == End)
-    return std::string();
-  size_t Paren = End;
-  for (size_t I = Class; I < End; ++I)
-    if (isPunct(T[I], "(") || isPunct(T[I], "{")) {
-      Paren = I;
-      break;
-    }
-  if (Paren == End)
-    return std::string();
-  const char *Open = isPunct(T[Paren], "(") ? "(" : "{";
-  const char *Close = isPunct(T[Paren], "(") ? ")" : "}";
-  size_t CloseAt = matchDelim(T, Paren, End, Open, Close);
-  // First argument: the mutex expression up to `,`; its final
-  // identifier names the mutex (`Mu`, `this->Mu`, `Shard.Mu`).
-  std::string Mutex;
-  for (size_t I = Paren + 1; I < CloseAt; ++I) {
-    if (isPunct(T[I], ","))
-      break;
-    if (T[I].TokenKind == Token::Kind::Identifier)
-      Mutex = T[I].Text;
-  }
-  for (size_t I = Paren + 1; I < CloseAt; ++I)
-    if (isIdent(T[I], "defer_lock"))
-      return std::string();
-  return Mutex;
-}
-
-void transferLocks(const std::vector<Token> &T, const Action &A,
-                   FactSet &Held) {
-  if (A.ActionKind == Action::Kind::Decl) {
-    std::string Mutex = lockDeclMutex(T, A.Begin, A.End);
-    if (!Mutex.empty())
-      Held.insert(Mutex);
-    return;
-  }
-  if (A.ActionKind == Action::Kind::ScopeEnd) {
-    // RAII: locks declared directly in the ending compound release.
-    if (!A.S)
-      return;
-    for (const auto &Child : A.S->Children) {
-      if (Child->Kind != StmtKind::Decl)
-        continue;
-      std::string Mutex =
-          lockDeclMutex(T, Child->ExprBegin, Child->ExprEnd);
-      if (!Mutex.empty())
-        Held.erase(Mutex);
-    }
-    return;
-  }
-  // Manual m.lock() / m.unlock().
-  for (size_t I = A.Begin; I + 3 < A.End + 1 && I + 3 < T.size(); ++I) {
-    if (I + 3 >= A.End)
-      break;
-    if (T[I].TokenKind != Token::Kind::Identifier ||
-        !(isPunct(T[I + 1], ".") || isPunct(T[I + 1], "->")))
-      continue;
-    if (!isPunct(T[I + 3], "("))
-      continue;
-    if (isIdent(T[I + 2], "lock"))
-      Held.insert(T[I].Text);
-    else if (isIdent(T[I + 2], "unlock"))
-      Held.erase(T[I].Text);
-  }
-}
 
 void runLockDiscipline(const std::string &Path, const LexedSource &Src,
                        const ParsedFile &Parsed, const Function &Fn,
@@ -785,6 +629,154 @@ void runLockDiscipline(const std::string &Path, const LexedSource &Src,
 }
 
 } // namespace
+
+FactSet rap::lint::collectShadowedNames(const std::vector<Token> &T,
+                                        const Function &Fn, const Cfg &G) {
+  FactSet Shadowed;
+  // Parameters: each declarator name is the identifier right before
+  // a top-level `,`, `=`, or the closing paren.
+  unsigned Depth = 0;
+  for (size_t I = Fn.ParamBegin; I < Fn.ParamEnd; ++I) {
+    if (isPunct(T[I], "(") || isPunct(T[I], "[") || isPunct(T[I], "{") ||
+        isPunct(T[I], "<"))
+      ++Depth;
+    else if (isPunct(T[I], ")") || isPunct(T[I], "]") ||
+             isPunct(T[I], "}") || isPunct(T[I], ">")) {
+      if (Depth > 0)
+        --Depth;
+    }
+    if (Depth != 0 || T[I].TokenKind != Token::Kind::Identifier)
+      continue;
+    bool AtEnd = I + 1 == Fn.ParamEnd;
+    if (AtEnd || isPunct(T[I + 1], ",") || isPunct(T[I + 1], "=") ||
+        isPunct(T[I + 1], "["))
+      Shadowed.insert(T[I].Text);
+  }
+  // Locals: the declarator of every Decl action (first declarator of
+  // a multi-declaration; the rest are rare enough to miss).
+  for (const BasicBlock &B : G.Blocks)
+    for (const Action &A : B.Actions) {
+      if (A.ActionKind != Action::Kind::Decl)
+        continue;
+      size_t Assign = topLevelAssign(T, A.Begin, A.End);
+      size_t NameAt = Assign;
+      if (Assign == A.End) {
+        // No initializer: the declarator is the last identifier
+        // (type tokens all precede it).
+        for (size_t I = A.Begin; I < A.End; ++I)
+          if (T[I].TokenKind == Token::Kind::Identifier)
+            NameAt = I + 1;
+      }
+      if (NameAt > A.Begin && NameAt <= A.End &&
+          T[NameAt - 1].TokenKind == Token::Kind::Identifier)
+        Shadowed.insert(T[NameAt - 1].Text);
+    }
+  return Shadowed;
+}
+
+std::string rap::lint::calleeAt(const std::vector<Token> &T, size_t I,
+                                size_t End, size_t &Next) {
+  std::string Callee;
+  size_t J = I;
+  while (J < End) {
+    if (T[J].TokenKind == Token::Kind::Identifier) {
+      Callee = T[J].Text;
+      ++J;
+      if (J < End && isPunct(T[J], "(")) {
+        Next = J;
+        return Callee;
+      }
+      continue;
+    }
+    if (isPunct(T[J], "::") || isPunct(T[J], ".") || isPunct(T[J], "->")) {
+      ++J;
+      continue;
+    }
+    break;
+  }
+  return std::string();
+}
+
+const std::set<std::string> &rap::lint::lockClasses() {
+  static const std::set<std::string> Classes = {"lock_guard", "unique_lock",
+                                                "scoped_lock"};
+  return Classes;
+}
+
+std::string rap::lint::lockDeclMutex(const std::vector<Token> &T, size_t Begin,
+                                     size_t End) {
+  size_t Class = End;
+  for (size_t I = Begin; I < End; ++I)
+    if (T[I].TokenKind == Token::Kind::Identifier &&
+        lockClasses().count(T[I].Text)) {
+      Class = I;
+      break;
+    }
+  if (Class == End)
+    return std::string();
+  size_t Paren = End;
+  for (size_t I = Class; I < End; ++I)
+    if (isPunct(T[I], "(") || isPunct(T[I], "{")) {
+      Paren = I;
+      break;
+    }
+  if (Paren == End)
+    return std::string();
+  const char *Open = isPunct(T[Paren], "(") ? "(" : "{";
+  const char *Close = isPunct(T[Paren], "(") ? ")" : "}";
+  size_t CloseAt = matchDelim(T, Paren, End, Open, Close);
+  // First argument: the mutex expression up to `,`; its final
+  // identifier names the mutex (`Mu`, `this->Mu`, `Shard.Mu`).
+  std::string Mutex;
+  for (size_t I = Paren + 1; I < CloseAt; ++I) {
+    if (isPunct(T[I], ","))
+      break;
+    if (T[I].TokenKind == Token::Kind::Identifier)
+      Mutex = T[I].Text;
+  }
+  for (size_t I = Paren + 1; I < CloseAt; ++I)
+    if (isIdent(T[I], "defer_lock"))
+      return std::string();
+  return Mutex;
+}
+
+void rap::lint::transferLocks(const std::vector<Token> &T, const Action &A,
+                              FactSet &Held) {
+  if (A.ActionKind == Action::Kind::Decl) {
+    std::string Mutex = lockDeclMutex(T, A.Begin, A.End);
+    if (!Mutex.empty())
+      Held.insert(Mutex);
+    return;
+  }
+  if (A.ActionKind == Action::Kind::ScopeEnd) {
+    // RAII: locks declared directly in the ending compound release.
+    if (!A.S)
+      return;
+    for (const auto &Child : A.S->Children) {
+      if (Child->Kind != StmtKind::Decl)
+        continue;
+      std::string Mutex =
+          lockDeclMutex(T, Child->ExprBegin, Child->ExprEnd);
+      if (!Mutex.empty())
+        Held.erase(Mutex);
+    }
+    return;
+  }
+  // Manual m.lock() / m.unlock().
+  for (size_t I = A.Begin; I + 3 < A.End + 1 && I + 3 < T.size(); ++I) {
+    if (I + 3 >= A.End)
+      break;
+    if (T[I].TokenKind != Token::Kind::Identifier ||
+        !(isPunct(T[I + 1], ".") || isPunct(T[I + 1], "->")))
+      continue;
+    if (!isPunct(T[I + 3], "("))
+      continue;
+    if (isIdent(T[I + 2], "lock"))
+      Held.insert(T[I].Text);
+    else if (isIdent(T[I + 2], "unlock"))
+      Held.erase(T[I].Text);
+  }
+}
 
 bool rap::lint::looksLikeStatusName(const std::string &Name) {
   static const std::vector<std::string> Prefixes = {

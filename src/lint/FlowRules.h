@@ -28,6 +28,8 @@
 #ifndef RAP_LINT_FLOWRULES_H
 #define RAP_LINT_FLOWRULES_H
 
+#include "lint/Cfg.h"
+#include "lint/Dataflow.h"
 #include "lint/Lexer.h"
 #include "lint/Lint.h"
 #include "lint/Parser.h"
@@ -42,6 +44,34 @@ namespace lint {
 /// Whether \p Name reads like a fallible operation, so a bool return
 /// is a status code rather than a predicate (isEmpty, hasNode, ...).
 bool looksLikeStatusName(const std::string &Name);
+
+/// RAII lock-holder class names the lock rules recognize.
+const std::set<std::string> &lockClasses();
+
+/// Extracts the mutex locked by the RAII declaration in the token
+/// range [Begin, End) of \p T, or "" when there is none (deferred
+/// locks also yield "").
+std::string lockDeclMutex(const std::vector<Token> &T, size_t Begin,
+                          size_t End);
+
+/// Applies one action's lock effects to the held set: RAII lock
+/// declarations acquire, the end of the declaring compound releases,
+/// and manual m.lock()/m.unlock() calls toggle. Shared by the local
+/// lock-discipline rule and the interprocedural concurrency pass.
+void transferLocks(const std::vector<Token> &T, const Action &A,
+                   FactSet &Held);
+
+/// Resolves the callee of the call starting at token \p I: walks a
+/// qualifier/member chain and returns the identifier directly before
+/// a `(`, or empty. \p Next receives the index of that `(`.
+std::string calleeAt(const std::vector<Token> &T, size_t I, size_t End,
+                     size_t &Next);
+
+/// Names bound inside \p Fn: its parameters plus every locally
+/// declared variable. A bare use of such a name is that binding, not
+/// a namespace-scope variable or class field of the same name.
+FactSet collectShadowedNames(const std::vector<Token> &T, const Function &Fn,
+                             const Cfg &G);
 
 /// Whether \p Sig returns a status the caller must not drop: any
 /// rap_status, or a non-pointer bool on a status-named function.

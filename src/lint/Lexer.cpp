@@ -325,6 +325,15 @@ private:
           return;
         }
       }
+      // Character-literal prefixes: u8'x' / u'x' / U'x' / L'x' are one
+      // literal, not an identifier followed by a char literal.
+      if (C.peek() == '\'' &&
+          (Name == "L" || Name == "u" || Name == "U" || Name == "u8")) {
+        C.advance(); // '\''
+        lexQuoted('\'');
+        emit(Token::Kind::CharLit, "", StartLine);
+        return;
+      }
       emit(Token::Kind::Identifier, Name, StartLine);
       return;
     }

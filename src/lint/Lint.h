@@ -84,17 +84,24 @@ std::vector<Finding> lintSource(const std::string &Path,
                                 const LintContext &Ctx);
 
 /// Findings split against a baseline file (--baseline): Fresh ones
-/// fail the run, Grandfathered ones only warn.
+/// fail the run, Grandfathered ones only warn. Stale holds baseline
+/// entries that matched no current finding — dead weight that would
+/// otherwise silently grandfather a future regression — rendered as
+/// "path: [rule] message" lines; the driver fails the run on them so
+/// the baseline shrinks monotonically as findings are fixed.
 struct BaselineSplit {
   std::vector<Finding> Fresh;
   std::vector<Finding> Grandfathered;
+  std::vector<std::string> Stale;
 };
 
 /// Splits \p Findings against \p BaselineText, the saved renderText
 /// output of an earlier run. Matching ignores line numbers — a
 /// grandfathered finding keyed on (path, rule, message) survives
 /// unrelated edits above it — and is multiset-aware, so adding a
-/// second identical violation in the same file still fails.
+/// second identical violation in the same file still fails, and N
+/// baselined copies with fewer than N matches leave the excess in
+/// Stale.
 BaselineSplit applyBaseline(std::vector<Finding> Findings,
                             const std::string &BaselineText);
 

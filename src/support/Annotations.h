@@ -9,12 +9,16 @@
 /// Source annotations for the concurrency discipline the upcoming
 /// sharded/async profiler work depends on. They are checked twice:
 ///
-///   * statically by rap_lint's `lock-discipline` flow rule, which
-///     verifies every access to a `RAP_GUARDED_BY(m)` variable happens
+///   * statically by rap_lint's flow and interprocedural concurrency
+///     rules (`lock-discipline`, `guarded-by`, `lock-order`), which
+///     verify every access to a `RAP_GUARDED_BY(m)` variable happens
 ///     under a `lock_guard`/`unique_lock`/`scoped_lock` over `m` (or
-///     inside a function annotated `RAP_REQUIRES(m)`), and
+///     on a call chain that provably holds it / is annotated
+///     `RAP_REQUIRES(m)`), and that observed lock acquisitions respect
+///     every declared `RAP_ACQUIRED_BEFORE` order, and
 ///   * by Clang's -Wthread-safety analysis, since under Clang the
-///     macros expand to the corresponding capability attributes.
+///     per-declaration macros expand to the corresponding capability
+///     attributes.
 ///
 /// On compilers without the attributes the macros expand to nothing,
 /// so annotated code stays portable; rap_lint sees the unexpanded
@@ -25,6 +29,8 @@
 ///   uint64_t PendingEvents RAP_GUARDED_BY(ShardMu);
 ///
 ///   void drainLocked() RAP_REQUIRES(ShardMu);   // caller holds ShardMu
+///
+///   RAP_ACQUIRED_BEFORE(GlobalMu, ShardMu); // GlobalMu locks first
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -50,6 +56,27 @@
 /// neither acquires nor releases it.
 #ifndef RAP_REQUIRES
 #define RAP_REQUIRES(mutex)
+#endif
+
+/// Declares the intended acquisition order of two or more locks: on
+/// any path that holds two of them, the one listed earlier must be
+/// taken first (a chain declares each consecutive pair). Checked by
+/// rap_lint's `lock-order` rule against every acquisition it can see
+/// (including through call chains); an observed inversion or any
+/// cycle through declared and observed edges is reported as a
+/// potential deadlock.
+///
+/// This is a standalone declaration (class, namespace, or function
+/// scope), not a variable attribute, because the orders worth
+/// declaring here relate locks on *different* objects — a global
+/// combiner mutex before every element of a per-shard mutex array —
+/// which Clang's `acquired_before` attribute cannot name. It expands
+/// to a static_assert so the declaration compiles everywhere and
+/// misspelled identifiers still surface through rap_lint (which reads
+/// the unexpanded spelling).
+#ifndef RAP_ACQUIRED_BEFORE
+#define RAP_ACQUIRED_BEFORE(first, ...)                                        \
+  static_assert(true, "lock order: " #first " before " #__VA_ARGS__)
 #endif
 
 #endif // RAP_SUPPORT_ANNOTATIONS_H

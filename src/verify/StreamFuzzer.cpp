@@ -7,15 +7,19 @@
 
 #include "verify/StreamFuzzer.h"
 
+#include "baselines/ExactProfiler.h"
 #include "core/Serialization.h"
+#include "core/ShardedRapSession.h"
 #include "support/BitUtils.h"
 #include "support/FailPoint.h"
 #include "verify/DifferentialOracle.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <thread>
 
 using namespace rap;
 
@@ -251,6 +255,21 @@ FuzzEpisode rap::deriveFaultEpisode(uint64_t MasterSeed, uint64_t Index) {
   return E;
 }
 
+FuzzEpisode rap::deriveShardedEpisode(uint64_t MasterSeed, uint64_t Index) {
+  FuzzEpisode E = deriveEpisode(MasterSeed, Index);
+  // A separate draw stream (same pattern as deriveArenaEpisode): the
+  // base episode stays bit-identical so sharded episodes replay
+  // against the same configs and streams.
+  SplitMix64 M(MasterSeed ^ (0x9e6c63d0876a9a47ULL * (Index + 1)));
+  static const unsigned ThreadCounts[] = {2, 3, 4};
+  static const unsigned ShardCounts[] = {1, 2, 4, 8, 16};
+  static const uint64_t Watermarks[] = {0, 256, 1024, 4096};
+  E.ShardThreads = ThreadCounts[M.next() % 3];
+  E.SessionShards = ShardCounts[M.next() % 5];
+  E.ShardCombineEvery = Watermarks[M.next() % 4];
+  return E;
+}
+
 namespace {
 
 /// End-of-episode snapshot robustness battery: round-trips the tree
@@ -363,6 +382,120 @@ FuzzReport rap::runFuzzEpisode(const FuzzEpisode &Episode, uint64_t NumEvents,
   if (Episode.SnapshotChecks) {
     snapshotTorture(Oracle.tree(), Episode.StreamSeed, Report.Violations);
     Report.EventsFed = NumEvents;
+  }
+  return Report;
+}
+
+namespace {
+
+/// The seed thread \p T's sub-stream draws from. Pure function of the
+/// episode stream seed, so the concurrent ingest pass and the
+/// sequential oracle replay generate bit-identical streams.
+uint64_t shardedThreadSeed(uint64_t StreamSeed, unsigned T) {
+  return SplitMix64(StreamSeed ^ (0xbf58476d1ce4e5b9ULL * (T + 1))).next();
+}
+
+} // namespace
+
+FuzzReport rap::runShardedFuzzEpisode(const FuzzEpisode &Episode,
+                                      uint64_t NumEvents) {
+  FuzzReport Report;
+  Report.EventsFed = NumEvents;
+  const unsigned NumThreads = Episode.ShardThreads == 0
+                                  ? 2
+                                  : Episode.ShardThreads;
+  auto EventsFor = [&](unsigned T) {
+    return NumEvents / NumThreads + (T == 0 ? NumEvents % NumThreads : 0);
+  };
+
+  // Concurrent pass: every thread ingests its own deterministic
+  // sub-stream; watermark-triggered combines race the ingest.
+  ShardedRapSession Session(Episode.Config, Episode.SessionShards,
+                            Episode.ShardCombineEvery);
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Threads.emplace_back([&, T]() {
+        StreamFuzzer Stream(shardedThreadSeed(Episode.StreamSeed, T),
+                            Episode.Shape, Episode.Config.RangeBits);
+        for (uint64_t I = 0, N = EventsFor(T); I != N; ++I) {
+          StreamEvent Event = Stream.next();
+          Session.ingest(Event.X, Event.Weight);
+        }
+      });
+    for (std::thread &Th : Threads)
+      Th.join();
+  }
+  Session.combineNow();
+
+  // Sequential replay of the identical sub-streams into the exact
+  // oracle. Total weight saturates exactly like the tree's counter.
+  ExactProfiler Exact;
+  uint64_t Total = 0;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    StreamFuzzer Stream(shardedThreadSeed(Episode.StreamSeed, T),
+                        Episode.Shape, Episode.Config.RangeBits);
+    for (uint64_t I = 0, N = EventsFor(T); I != N; ++I) {
+      StreamEvent Event = Stream.next();
+      if (Event.Weight != 0)
+        Exact.addPoint(Event.X, Event.Weight);
+      Total = saturatingAdd(Total, Event.Weight);
+    }
+  }
+
+  char Detail[160];
+  // Conservation: no interleaving may lose or duplicate weight.
+  if (Session.totalEvents() != Total) {
+    std::snprintf(Detail, sizeof(Detail),
+                  "sharded totalEvents %" PRIu64 " != sequential total %"
+                  PRIu64, Session.totalEvents(), Total);
+    Report.Violations.push_back({"sharded-conservation", Detail});
+  }
+  const uint64_t UniverseHi =
+      Episode.Config.RangeBits == 0 ? 0
+                                    : lowBitMask(Episode.Config.RangeBits);
+  if (Session.combinedEstimate(0, UniverseHi) != Session.totalEvents()) {
+    std::snprintf(Detail, sizeof(Detail),
+                  "whole-universe estimate %" PRIu64 " != totalEvents %"
+                  PRIu64, Session.combinedEstimate(0, UniverseHi),
+                  Session.totalEvents());
+    Report.Violations.push_back({"sharded-conservation", Detail});
+  }
+
+  // Range checks that hold for EVERY interleaving and merge schedule
+  // (the statistical eps-accuracy model is the single-threaded fuzz
+  // legs' job; its slack terms depend on the merge history, which
+  // sharded combining multiplies): a duplicated shard delta breaks
+  // the lower bound, a lost or torn one breaks conservation above or
+  // the bracket upper below.
+  Rng QueryRng(Episode.StreamSeed ^ 0x27d4eb2f165667c5ULL);
+  for (unsigned Q = 0; Q != 32; ++Q) {
+    uint64_t Lo = QueryRng.next() & UniverseHi;
+    uint64_t Hi = Lo + (QueryRng.next() & (UniverseHi - Lo));
+    uint64_t ExactCount = Exact.countInRange(Lo, Hi);
+    uint64_t Estimate = Session.combinedEstimate(Lo, Hi);
+    if (Estimate > ExactCount) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "[%" PRIx64 ", %" PRIx64 "] estimate %" PRIu64
+                    " exceeds exact %" PRIu64,
+                    Lo, Hi, Estimate, ExactCount);
+      Report.Violations.push_back({"sharded-overcount", Detail});
+    }
+    RapTree::RangeBounds Bounds = Session.combinedEstimateBounds(Lo, Hi);
+    if (Bounds.Lower != Estimate) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "[%" PRIx64 ", %" PRIx64 "] bracket lower %" PRIu64
+                    " disagrees with estimate %" PRIu64,
+                    Lo, Hi, Bounds.Lower, Estimate);
+      Report.Violations.push_back({"sharded-bracket", Detail});
+    }
+    if (Bounds.Lower > ExactCount || Bounds.Upper < ExactCount) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "[%" PRIx64 ", %" PRIx64 "] bracket [%" PRIu64 ", %"
+                    PRIu64 "] misses exact %" PRIu64,
+                    Lo, Hi, Bounds.Lower, Bounds.Upper, ExactCount);
+      Report.Violations.push_back({"sharded-bracket", Detail});
+    }
   }
   return Report;
 }

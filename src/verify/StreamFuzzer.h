@@ -120,6 +120,15 @@ struct FuzzEpisode {
   /// round-trip, then seeded one-byte corruptions and truncations of
   /// the byte stream, every one of which must be rejected.
   bool SnapshotChecks = false;
+
+  /// Sharded-mode parameters (rap_fuzz --sharded). ShardThreads > 0
+  /// marks a sharded episode: that many ingest threads drive one
+  /// ShardedRapSession with SessionShards shards and an automatic
+  /// combine watermark of ShardCombineEvery (0 = manual combines
+  /// only, a final combineNow before checking).
+  unsigned ShardThreads = 0;
+  unsigned SessionShards = 0;
+  uint64_t ShardCombineEvery = 0;
 };
 
 /// Expands (master seed, episode index) into a random valid RapConfig,
@@ -139,6 +148,11 @@ FuzzEpisode deriveArenaEpisode(uint64_t MasterSeed, uint64_t Index);
 /// battery. The invariant checks run after every injected fault, so a
 /// clean fault episode certifies graceful degradation end to end.
 FuzzEpisode deriveFaultEpisode(uint64_t MasterSeed, uint64_t Index);
+
+/// Like deriveEpisode (identical config/stream for the same inputs)
+/// but additionally draws a thread count, shard count, and combine
+/// watermark for concurrent ingest through ShardedRapSession.
+FuzzEpisode deriveShardedEpisode(uint64_t MasterSeed, uint64_t Index);
 
 /// Result of running one episode.
 struct FuzzReport {
@@ -160,6 +174,24 @@ struct FuzzReport {
 /// checkpoint.
 FuzzReport runFuzzEpisode(const FuzzEpisode &Episode, uint64_t NumEvents,
                           uint64_t CheckEvery);
+
+/// Runs one sharded episode: ShardThreads threads concurrently ingest
+/// deterministic per-thread sub-streams (thread t draws from a seed
+/// derived from (StreamSeed, t), splitting NumEvents evenly) into one
+/// ShardedRapSession, racing the watermark-triggered combiner. After
+/// the threads join and a final combine, the merged profile is
+/// cross-checked against a sequential ExactProfiler replay of the
+/// identical sub-streams: total weight must match exactly, the
+/// whole-universe estimate must equal it, range estimates must be
+/// lower bounds, and estimate brackets must contain the exact count.
+/// The interleaving is nondeterministic; every checked property holds
+/// for every interleaving, which is the point — a duplicated shard
+/// delta breaks the lower bound, a lost or torn one breaks
+/// conservation. (The statistical eps-accuracy model stays with the
+/// single-threaded fuzz legs: its slack terms depend on the merge
+/// history, which combining multiplies.)
+FuzzReport runShardedFuzzEpisode(const FuzzEpisode &Episode,
+                                 uint64_t NumEvents);
 
 /// Shrinks a failing episode to a short failing prefix: binary-searches
 /// the smallest event count whose end-of-stream check still fails.

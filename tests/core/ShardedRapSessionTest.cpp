@@ -1,0 +1,229 @@
+//===- tests/core/ShardedRapSessionTest.cpp - Concurrent ingest tests ----===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+// These tests live in the `concurrency` ctest label: ci.sh runs the
+// label once plain and once under -fsanitize=thread, so every test
+// here doubles as a TSan workload. Single-threaded cases pin the
+// semantics (exact event conservation, eps*n accuracy against a
+// plain RapTree oracle, watermark-driven combining); multi-threaded
+// cases hammer ingest/combine/query concurrently and then cross-check
+// the merged result against a sequential replay of the same streams.
+//
+// Per-thread streams are derived deterministically (house Rng with a
+// per-thread seed), so the final combined profile is comparable to a
+// sequential oracle no matter how the threads interleave.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardedRapSession.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+RapConfig sessionConfig() {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.05;
+  return Config;
+}
+
+/// The deterministic event stream thread \p Tid ingests: Zipf-ish
+/// hot-spotting via a modulus so shard contention is uneven, like a
+/// real profile.
+std::vector<uint64_t> threadStream(unsigned Tid, size_t Events) {
+  Rng R(0x5eed0000 + Tid);
+  std::vector<uint64_t> Stream;
+  Stream.reserve(Events);
+  for (size_t I = 0; I < Events; ++I) {
+    uint64_t X = R.nextBelow(1 << 16);
+    if (I % 3 != 0)
+      X &= 0x0fff; // hot range [0, 0x0fff]
+    Stream.push_back(X);
+  }
+  return Stream;
+}
+
+} // namespace
+
+TEST(ShardedRapSession, ShardCountRoundsToPowerOfTwo) {
+  EXPECT_EQ(ShardedRapSession(sessionConfig(), 0).shardCount(), 1u);
+  EXPECT_EQ(ShardedRapSession(sessionConfig(), 1).shardCount(), 1u);
+  EXPECT_EQ(ShardedRapSession(sessionConfig(), 3).shardCount(), 4u);
+  EXPECT_EQ(ShardedRapSession(sessionConfig(), 8).shardCount(), 8u);
+  EXPECT_EQ(ShardedRapSession(sessionConfig(), 1000).shardCount(),
+            ShardedRapSession::MaxShards);
+}
+
+TEST(ShardedRapSession, ShardIndexIsStableAndInRange) {
+  ShardedRapSession Session(sessionConfig(), 8);
+  for (uint64_t X = 0; X < 1000; ++X) {
+    unsigned S = Session.shardIndexFor(X);
+    EXPECT_LT(S, Session.shardCount());
+    EXPECT_EQ(S, Session.shardIndexFor(X)) << "hash must be stable";
+  }
+}
+
+TEST(ShardedRapSession, EventCountIsExactBeforeAndAfterCombine) {
+  ShardedRapSession Session(sessionConfig(), 4, /*CombineEvery=*/0);
+  for (uint64_t X : threadStream(0, 20000))
+    Session.ingest(X);
+  // Pending deltas are folded into numEvents even with no combine.
+  EXPECT_EQ(Session.totalEvents(), 20000u);
+  EXPECT_EQ(Session.numCombines(), 0u);
+  Session.combineNow();
+  EXPECT_EQ(Session.totalEvents(), 20000u);
+  EXPECT_EQ(Session.numCombines(), 1u);
+}
+
+TEST(ShardedRapSession, MatchesPlainTreeWithinEpsAfterCombine) {
+  RapConfig Config = sessionConfig();
+  ShardedRapSession Session(Config, 8, /*CombineEvery=*/4096);
+  RapTree Oracle(Config);
+  std::vector<uint64_t> Stream = threadStream(1, 50000);
+  for (uint64_t X : Stream) {
+    Session.ingest(X);
+    Oracle.addPoint(X);
+  }
+  Session.combineNow();
+  ASSERT_EQ(Session.totalEvents(), Oracle.numEvents());
+
+  // Both views are lower bounds off by at most eps*n; additionally
+  // compare against exact counts so the bound is checked absolutely,
+  // not just relatively.
+  const uint64_t N = Stream.size();
+  const uint64_t Slack =
+      static_cast<uint64_t>(Config.Epsilon * static_cast<double>(N)) + 1;
+  const std::pair<uint64_t, uint64_t> Queries[] = {
+      {0, 0x0fff}, {0, 0xffff}, {0x1000, 0x7fff}, {0x0800, 0x08ff}};
+  for (auto [Lo, Hi] : Queries) {
+    uint64_t Exact = 0;
+    for (uint64_t X : Stream)
+      Exact += (X >= Lo && X <= Hi) ? 1 : 0;
+    uint64_t Est = Session.combinedEstimate(Lo, Hi);
+    EXPECT_LE(Est, Exact) << "[" << Lo << ", " << Hi << "]";
+    EXPECT_GE(Est + Slack, Exact) << "[" << Lo << ", " << Hi << "]";
+    RapTree::RangeBounds Bounds = Session.combinedEstimateBounds(Lo, Hi);
+    EXPECT_LE(Bounds.Lower, Exact);
+    EXPECT_GE(Bounds.Upper, Exact);
+  }
+}
+
+TEST(ShardedRapSession, WatermarkTriggersAutomaticCombines) {
+  ShardedRapSession Session(sessionConfig(), 2, /*CombineEvery=*/512);
+  for (uint64_t X : threadStream(2, 8192))
+    Session.ingest(X);
+  EXPECT_GE(Session.numCombines(), 4u)
+      << "per-shard watermark of 512 over 8192 events must combine";
+  EXPECT_EQ(Session.totalEvents(), 8192u);
+}
+
+TEST(ShardedRapSession, ParallelIngestConservesEveryEvent) {
+  const unsigned NumThreads = 4;
+  const size_t PerThread = 25000;
+  ShardedRapSession Session(sessionConfig(), 8, /*CombineEvery=*/2048);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Session, T]() {
+      for (uint64_t X : threadStream(10 + T, PerThread))
+        Session.ingest(X);
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  Session.combineNow();
+  EXPECT_EQ(Session.totalEvents(), uint64_t(NumThreads) * PerThread);
+}
+
+TEST(ShardedRapSession, ParallelIngestMatchesSequentialOracle) {
+  const unsigned NumThreads = 4;
+  const size_t PerThread = 20000;
+  RapConfig Config = sessionConfig();
+  ShardedRapSession Session(Config, 8, /*CombineEvery=*/4096);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Session, T]() {
+      for (uint64_t X : threadStream(20 + T, PerThread))
+        Session.ingest(X);
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  Session.combineNow();
+
+  // Sequential replay of the identical per-thread streams.
+  uint64_t N = uint64_t(NumThreads) * PerThread;
+  ASSERT_EQ(Session.totalEvents(), N);
+  const uint64_t Slack =
+      static_cast<uint64_t>(Config.Epsilon * static_cast<double>(N)) + 1;
+  const std::pair<uint64_t, uint64_t> Queries[] = {
+      {0, 0x0fff}, {0, 0xffff}, {0x4000, 0xbfff}};
+  for (auto [Lo, Hi] : Queries) {
+    uint64_t Exact = 0;
+    for (unsigned T = 0; T < NumThreads; ++T)
+      for (uint64_t X : threadStream(20 + T, PerThread))
+        Exact += (X >= Lo && X <= Hi) ? 1 : 0;
+    uint64_t Est = Session.combinedEstimate(Lo, Hi);
+    EXPECT_LE(Est, Exact);
+    EXPECT_GE(Est + Slack, Exact);
+  }
+}
+
+TEST(ShardedRapSession, ConcurrentCombinesAndQueriesStayConsistent) {
+  // Ingest threads race a dedicated combiner/query thread; every
+  // intermediate numEvents() read must be a value between 0 and the
+  // final total (exactness holds at every instant, not just at the
+  // end). Under TSan this is the main lock-discipline workload.
+  const unsigned NumThreads = 3;
+  const size_t PerThread = 15000;
+  const uint64_t Total = uint64_t(NumThreads) * PerThread;
+  ShardedRapSession Session(sessionConfig(), 4, /*CombineEvery=*/1024);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Session, T]() {
+      for (uint64_t X : threadStream(30 + T, PerThread))
+        Session.ingest(X);
+    });
+  uint64_t LastSeen = 0;
+  bool Monotone = true;
+  std::thread Prodder([&Session, &LastSeen, &Monotone, Total]() {
+    for (int I = 0; I < 200; ++I) {
+      Session.combineNow();
+      uint64_t Seen = Session.totalEvents();
+      Monotone = Monotone && Seen >= LastSeen && Seen <= Total;
+      LastSeen = Seen;
+      (void)Session.combinedEstimate(0, 0x0fff);
+      (void)Session.combinedNodes();
+    }
+  });
+  for (std::thread &Th : Threads)
+    Th.join();
+  Prodder.join();
+  EXPECT_TRUE(Monotone) << "numEvents must be monotone and bounded";
+  Session.combineNow();
+  EXPECT_EQ(Session.totalEvents(), Total);
+}
+
+TEST(ShardedRapSession, HotRangeSurvivesSharding) {
+  // The hot range seeded by threadStream (2/3 of events in
+  // [0, 0x0fff]) must come out of the combined tree's hot-range
+  // extraction regardless of how events were sharded.
+  ShardedRapSession Session(sessionConfig(), 8, /*CombineEvery=*/2048);
+  for (uint64_t X : threadStream(3, 40000))
+    Session.ingest(X);
+  Session.combineNow();
+  std::vector<HotRange> Hot = Session.combinedHotRanges(0.25);
+  bool Covered = false;
+  for (const HotRange &H : Hot)
+    Covered = Covered || (H.Lo == 0 && H.Hi >= 0x0fff);
+  EXPECT_TRUE(Covered)
+      << "expected a hot range covering [0, 0x0fff], got " << Hot.size()
+      << " ranges";
+}

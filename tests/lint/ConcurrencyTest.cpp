@@ -1,0 +1,258 @@
+//===- tests/lint/ConcurrencyTest.cpp - Interprocedural rule tests -------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+// The three v3 concurrency rules each get a violating fixture pinned
+// to a golden findings file and a clean twin that must stay silent.
+// The violating fixtures seed exactly the bugs the pass was built
+// for: a lock-order inversion that only exists across two functions,
+// an unguarded shard-counter write reached through a call chain, and
+// a relaxed-atomic publish. On top of the fixtures, unit tests pin
+// the summary machinery: multi-file call graphs, RAP_REQUIRES chain
+// proofs, the externally-callable witness, and allow() suppression.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Concurrency.h"
+#include "lint/Lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace rap::lint;
+
+namespace {
+
+std::string readFixture(const std::string &Name) {
+  std::ifstream In(std::string(RAP_LINT_FIXTURE_DIR) + "/" + Name,
+                   std::ios::binary);
+  EXPECT_TRUE(In.good()) << "missing fixture " << Name;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::vector<Finding> auditFixture(const std::string &Name) {
+  return runConcurrencyAudit({{"src/core/" + Name, readFixture(Name)}});
+}
+
+struct ConcurrencyCase {
+  const char *Fixture;
+  const char *RuleId;
+};
+
+const ConcurrencyCase Cases[] = {
+    {"ip1_lockorder", "lock-order"},
+    {"ip2_guardedby", "guarded-by"},
+    {"ip3_atomic", "atomic-misuse"},
+};
+
+} // namespace
+
+TEST(Concurrency, ViolatingFixturesMatchGoldenFindings) {
+  for (const ConcurrencyCase &C : Cases) {
+    std::string Fixture = std::string(C.Fixture) + "_violate.cpp";
+    std::vector<Finding> Findings = auditFixture(Fixture);
+    EXPECT_FALSE(Findings.empty())
+        << Fixture << ": rule produced no findings";
+    for (const Finding &F : Findings)
+      EXPECT_EQ(F.RuleId, C.RuleId) << Fixture;
+    EXPECT_EQ(renderText(Findings), readFixture(Fixture + ".expected"))
+        << Fixture << ": findings diverge from the golden file; if the "
+        << "change is intended, update fixtures/" << Fixture
+        << ".expected to the rendered text above";
+  }
+}
+
+TEST(Concurrency, CleanTwinsProduceNoFindings) {
+  for (const ConcurrencyCase &C : Cases) {
+    std::string Fixture = std::string(C.Fixture) + "_clean.cpp";
+    std::vector<Finding> Findings = auditFixture(Fixture);
+    EXPECT_TRUE(Findings.empty())
+        << Fixture << ":\n" << renderText(Findings);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Call-graph summaries
+//===----------------------------------------------------------------------===//
+
+TEST(Concurrency, CallChainProofSpansFiles) {
+  // The guarded write lives in one file, the lock in another; the
+  // caller-held intersection crosses the file boundary.
+  const char *Impl = R"(
+    #include <mutex>
+    extern std::mutex NetMu;
+    extern int NetPending;
+    void pushPending() { NetPending = NetPending + 1; }
+  )";
+  const char *Decl = R"(
+    #include <mutex>
+    std::mutex NetMu;
+    int NetPending RAP_GUARDED_BY(NetMu);
+    void pushPending();
+    void enqueueLocked() {
+      std::lock_guard<std::mutex> G(NetMu);
+      pushPending();
+    }
+  )";
+  std::vector<Finding> F = runConcurrencyAudit(
+      {{"src/a.cpp", Impl}, {"src/b.cpp", Decl}});
+  EXPECT_TRUE(F.empty()) << renderText(F);
+}
+
+TEST(Concurrency, RequiresPropagatesDownCallChains) {
+  // f RAP_REQUIRES(Mu) calls g; g touches the guarded field with no
+  // local lock. The call-site held set includes the requirement, so
+  // the chain proves the access.
+  const char *Src = R"(
+    #include <mutex>
+    std::mutex ChainMu;
+    int ChainVal RAP_GUARDED_BY(ChainMu);
+    void writeInner() { ChainVal = 1; }
+    void writeOuter() RAP_REQUIRES(ChainMu) { writeInner(); }
+  )";
+  std::vector<Finding> F = runConcurrencyAudit({{"src/c.cpp", Src}});
+  EXPECT_TRUE(F.empty()) << renderText(F);
+}
+
+TEST(Concurrency, ExternallyCallableFunctionGetsNoCallerProof) {
+  // No scanned caller at all: the access must be rejected with the
+  // externally-callable witness.
+  const char *Src = R"(
+    #include <mutex>
+    std::mutex ExtMu;
+    int ExtVal RAP_GUARDED_BY(ExtMu);
+    void apiEntry() { ExtVal = 1; }
+  )";
+  std::vector<Finding> F = runConcurrencyAudit({{"src/d.cpp", Src}});
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].RuleId, "guarded-by");
+  EXPECT_NE(F[0].Message.find("externally callable"), std::string::npos)
+      << F[0].Message;
+}
+
+TEST(Concurrency, CallCycleWithoutScannedEntryIsNotProvable) {
+  // Two functions that only call each other: a greatest fixpoint
+  // seeded at top would "prove" anything about them, so the pass must
+  // pin them to the empty caller-held set instead.
+  const char *Src = R"(
+    #include <mutex>
+    std::mutex CycMu;
+    int CycVal RAP_GUARDED_BY(CycMu);
+    void pingCyc(int N) { if (N > 0) pongCyc(N - 1); CycVal = N; }
+    void pongCyc(int N) { if (N > 0) pingCyc(N - 1); }
+  )";
+  std::vector<Finding> F = runConcurrencyAudit({{"src/e.cpp", Src}});
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].RuleId, "guarded-by");
+}
+
+TEST(Concurrency, AcquiredBeforeChainDeclaresConsecutivePairs) {
+  // A three-argument declaration orders consecutive pairs; an
+  // acquisition against either pair contradicts it.
+  const char *Src = R"(
+    #include <mutex>
+    std::mutex LA; std::mutex LB; std::mutex LC;
+    RAP_ACQUIRED_BEFORE(LA, LB, LC);
+    void backwards() {
+      std::lock_guard<std::mutex> G2(LC);
+      std::lock_guard<std::mutex> G1(LB);
+    }
+  )";
+  std::vector<Finding> F = runConcurrencyAudit({{"src/f.cpp", Src}});
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].RuleId, "lock-order");
+  EXPECT_NE(F[0].Message.find("RAP_ACQUIRED_BEFORE(LB, LC)"),
+            std::string::npos)
+      << F[0].Message;
+}
+
+TEST(Concurrency, DeclaredOrderCycleIsInconsistent) {
+  const char *Src = R"(
+    #include <mutex>
+    std::mutex DA; std::mutex DB;
+    RAP_ACQUIRED_BEFORE(DA, DB);
+    RAP_ACQUIRED_BEFORE(DB, DA);
+  )";
+  std::vector<Finding> F = runConcurrencyAudit({{"src/g.cpp", Src}});
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].RuleId, "lock-order");
+  EXPECT_NE(F[0].Message.find("form a cycle"), std::string::npos)
+      << F[0].Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Atomics
+//===----------------------------------------------------------------------===//
+
+TEST(Concurrency, PureRelaxedCounterIsClean) {
+  // fetch_add/fetch_sub/load only — the FailPoint arm-counter
+  // pattern. No store/exchange means no handoff, relaxed is fine.
+  const char *Src = R"(
+    #include <atomic>
+    std::atomic<unsigned> ArmHits;
+    void arm() { ArmHits.fetch_add(1, std::memory_order_relaxed); }
+    void disarm() { ArmHits.fetch_sub(1, std::memory_order_relaxed); }
+    unsigned armed() { return ArmHits.load(std::memory_order_relaxed); }
+  )";
+  std::vector<Finding> F = runConcurrencyAudit({{"src/h.cpp", Src}});
+  EXPECT_TRUE(F.empty()) << renderText(F);
+}
+
+TEST(Concurrency, RelaxedRmwOnHandoffAtomicIsFlagged) {
+  // Once the variable is also a handoff (a store site exists), even
+  // its RMWs must carry ordering.
+  const char *Src = R"(
+    #include <atomic>
+    std::atomic<unsigned> Phase;
+    void reset() { Phase.store(0); }
+    void advance() { Phase.fetch_add(1, std::memory_order_relaxed); }
+  )";
+  std::vector<Finding> F = runConcurrencyAudit({{"src/i.cpp", Src}});
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].RuleId, "atomic-misuse");
+  EXPECT_NE(F[0].Message.find("read-modify-write"), std::string::npos);
+}
+
+TEST(Concurrency, LocalShadowsDoNotRaceGlobals) {
+  // A local named like a locked global is a different object; its
+  // unlocked RMW must not pair with the global's locked writes.
+  const char *Src = R"(
+    #include <mutex>
+    std::mutex AccMu;
+    long Acc;
+    void addLocked(long W) {
+      std::lock_guard<std::mutex> G(AccMu);
+      Acc += W;
+    }
+    long sumLocal(const long *V, int N) {
+      long Acc = 0;
+      for (int I = 0; I < N; ++I)
+        Acc += V[I];
+      return Acc;
+    }
+  )";
+  std::vector<Finding> F = runConcurrencyAudit({{"src/j.cpp", Src}});
+  EXPECT_TRUE(F.empty()) << renderText(F);
+}
+
+//===----------------------------------------------------------------------===//
+// Suppression
+//===----------------------------------------------------------------------===//
+
+TEST(Concurrency, AllowMarkerSuppressesFinding) {
+  const char *Src = R"(
+    #include <mutex>
+    std::mutex SupMu;
+    int SupVal RAP_GUARDED_BY(SupMu);
+    void init() { SupVal = 0; } // rap-lint: allow(guarded-by) single-threaded setup
+  )";
+  std::vector<Finding> F = runConcurrencyAudit({{"src/k.cpp", Src}});
+  EXPECT_TRUE(F.empty()) << renderText(F);
+}

@@ -164,3 +164,83 @@ TEST(LintLexerDigits, SeparatorSpansContinuation) {
   ASSERT_EQ(Tokens.size(), 4u);
   EXPECT_EQ(Tokens[2], "num:1'000");
 }
+
+//===----------------------------------------------------------------------===//
+// C++17 hexadecimal floating literals
+//===----------------------------------------------------------------------===//
+
+TEST(LintLexerHexFloat, BasicHexFloatIsOneNumber) {
+  std::vector<std::string> Tokens = spellings("double d = 0x1.8p3;");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[3], "num:0x1.8p3");
+}
+
+TEST(LintLexerHexFloat, SignedExponents) {
+  std::vector<std::string> Tokens = spellings("a = 0x1.fp+2; b = 0xA.p-1;");
+  ASSERT_EQ(Tokens.size(), 8u);
+  EXPECT_EQ(Tokens[2], "num:0x1.fp+2");
+  EXPECT_EQ(Tokens[6], "num:0xA.p-1");
+}
+
+TEST(LintLexerHexFloat, NoFractionAndSuffix) {
+  // 0x1p4f: binary exponent without a fraction, plus a float suffix.
+  std::vector<std::string> Tokens = spellings("x = 0x1p4f;");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[2], "num:0x1p4f");
+}
+
+TEST(LintLexerHexFloat, PlusAfterNonExponentStaysOperator) {
+  // The 'p'/'e' sign rule must not swallow a real addition.
+  std::vector<std::string> Tokens = spellings("x = 0x10 + 3;");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[2], "num:0x10");
+  EXPECT_EQ(Tokens[3], "punct:+");
+  EXPECT_EQ(Tokens[4], "num:3");
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding prefixes on string and character literals
+//===----------------------------------------------------------------------===//
+
+TEST(LintLexerPrefix, U8StringIsOneStringToken) {
+  std::vector<std::string> Tokens = spellings("auto s = u8\"text\";");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[3], "str:text");
+}
+
+TEST(LintLexerPrefix, UAndCapitalUStrings) {
+  std::vector<std::string> Tokens =
+      spellings("f(u\"one\", U\"two\", L\"three\");");
+  ASSERT_EQ(Tokens.size(), 9u);
+  EXPECT_EQ(Tokens[2], "str:one");
+  EXPECT_EQ(Tokens[4], "str:two");
+  EXPECT_EQ(Tokens[6], "str:three");
+}
+
+TEST(LintLexerPrefix, PrefixedRawString) {
+  std::vector<std::string> Tokens = spellings("auto s = u8R\"(a\"b)\";");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[3], "str:a\"b");
+}
+
+TEST(LintLexerPrefix, PrefixedCharLiteralsAreNotIdentifiers) {
+  // u8'c' / u'c' / U'c' / L'c' must not leak a bogus identifier token
+  // in front of the literal (the interprocedural pass matches callees
+  // and mutex names by identifier, so strays corrupt its input).
+  std::vector<std::string> Tokens =
+      spellings("g(u8'a', u'b', U'c', L'd');");
+  ASSERT_EQ(Tokens.size(), 11u);
+  EXPECT_EQ(Tokens[2].substr(0, 4), "char");
+  EXPECT_EQ(Tokens[4].substr(0, 4), "char");
+  EXPECT_EQ(Tokens[6].substr(0, 4), "char");
+  EXPECT_EQ(Tokens[8].substr(0, 4), "char");
+}
+
+TEST(LintLexerPrefix, NonPrefixIdentifierBeforeStringStaysIdentifier) {
+  // An arbitrary identifier abutting a string is two tokens (macro
+  // call styles like NAME"..." are not encoding prefixes).
+  std::vector<std::string> Tokens = spellings("x = prefix\"s\";");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[2], "id:prefix");
+  EXPECT_EQ(Tokens[3], "str:s");
+}

@@ -295,3 +295,46 @@ TEST(LintBaseline, EmptyBaselinePassesEverythingThroughFresh) {
   EXPECT_TRUE(Split.Grandfathered.empty());
   EXPECT_EQ(Split.Fresh.size(), 1u);
 }
+
+TEST(LintBaseline, UnmatchedEntryIsReportedStale) {
+  // A baseline line whose finding was fixed must surface as stale —
+  // silently ignoring it would leave a slot that grandfathers the
+  // next regression with the same message.
+  std::vector<Finding> Old = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add"),
+      finding("hot-path-io", "src/core/RapTree.cpp", 20, "printf")};
+  std::vector<Finding> Now = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add")};
+  BaselineSplit Split = applyBaseline(Now, renderText(Old));
+  EXPECT_EQ(Split.Grandfathered.size(), 1u);
+  EXPECT_TRUE(Split.Fresh.empty());
+  ASSERT_EQ(Split.Stale.size(), 1u);
+  EXPECT_EQ(Split.Stale[0], "src/core/RapTree.cpp: [hot-path-io] printf");
+}
+
+TEST(LintBaseline, ExcessBudgetCopiesAreStale) {
+  // Two baselined copies, one surviving finding: exactly one stale.
+  std::vector<Finding> Old = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add"),
+      finding("counter-arithmetic", "src/core/a.cpp", 30, "raw add")};
+  std::vector<Finding> Now = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add")};
+  BaselineSplit Split = applyBaseline(Now, renderText(Old));
+  EXPECT_EQ(Split.Grandfathered.size(), 1u);
+  EXPECT_EQ(Split.Stale.size(), 1u);
+}
+
+TEST(LintBaseline, FullyMatchedBaselineHasNoStaleEntries) {
+  std::vector<Finding> Findings = {
+      finding("counter-arithmetic", "src/core/a.cpp", 10, "raw add")};
+  BaselineSplit Split = applyBaseline(Findings, renderText(Findings));
+  EXPECT_TRUE(Split.Stale.empty());
+}
+
+TEST(LintBaseline, CommentsAreNeverStale) {
+  // Comment and blank lines carry no budget, so they cannot go stale.
+  BaselineSplit Split =
+      applyBaseline({}, "# header comment\n\n# another\n");
+  EXPECT_TRUE(Split.Stale.empty());
+  EXPECT_TRUE(Split.Fresh.empty());
+}

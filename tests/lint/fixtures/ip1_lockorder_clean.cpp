@@ -1,0 +1,27 @@
+// lock-order clean twin: one global order, declared once and
+// followed everywhere — including through the call-induced edge.
+#include "support/Annotations.h"
+
+#include <mutex>
+
+std::mutex OrderMuA;
+std::mutex OrderMuB;
+
+RAP_ACQUIRED_BEFORE(OrderMuA, OrderMuB);
+
+int Balance;
+
+void drainB() {
+  std::lock_guard<std::mutex> GB(OrderMuB);
+  Balance = 0;
+}
+
+void flushBoth() {
+  std::lock_guard<std::mutex> GA(OrderMuA);
+  drainB();
+}
+
+void reloadBoth() {
+  std::lock_guard<std::mutex> GA(OrderMuA);
+  std::lock_guard<std::mutex> GB(OrderMuB);
+}

@@ -1,0 +1,44 @@
+// lock-order fixture: the injected inversion only exists ACROSS
+// functions. flushBoth holds OrderMuA and calls drainB, which
+// acquires OrderMuB; reloadBoth takes the two in the opposite order.
+// Neither function alone holds two locks inverted — only the
+// call-induced edge closes the cycle. Also seeded: an acquisition
+// contradicting a declared RAP_ACQUIRED_BEFORE order, and a
+// re-acquisition of a held mutex.
+#include "support/Annotations.h"
+
+#include <mutex>
+
+std::mutex OrderMuA;
+std::mutex OrderMuB;
+std::mutex OrderMuC;
+std::mutex OrderMuD;
+
+RAP_ACQUIRED_BEFORE(OrderMuC, OrderMuD);
+
+int Balance;
+
+void drainB() {
+  std::lock_guard<std::mutex> GB(OrderMuB);
+  Balance = 0;
+}
+
+void flushBoth() {
+  std::lock_guard<std::mutex> GA(OrderMuA);
+  drainB(); // finding: OrderMuB after OrderMuA, half of the cycle
+}
+
+void reloadBoth() {
+  std::lock_guard<std::mutex> GB(OrderMuB);
+  std::lock_guard<std::mutex> GA(OrderMuA); // the other half
+}
+
+void refillSlow() {
+  std::lock_guard<std::mutex> GD(OrderMuD);
+  std::lock_guard<std::mutex> GC(OrderMuC); // finding: contradicts decl
+}
+
+void relockTwice() {
+  std::lock_guard<std::mutex> G1(OrderMuA);
+  std::lock_guard<std::mutex> G2(OrderMuA); // finding: self-deadlock
+}

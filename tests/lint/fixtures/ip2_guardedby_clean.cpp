@@ -1,0 +1,29 @@
+// guarded-by clean twin: every observed caller of bumpSlot holds
+// SlotMu, so the interprocedural proof accepts the access with no
+// local lock — exactly the pattern the per-function lock-discipline
+// approximation had to reject. peekSlot shows the annotation route:
+// RAP_REQUIRES makes the precondition explicit instead.
+#include "support/Annotations.h"
+
+#include <mutex>
+
+struct SlotBoard {
+  std::mutex SlotMu;
+  unsigned long SlotUsed RAP_GUARDED_BY(SlotMu);
+
+  void bumpSlot() {
+    SlotUsed = SlotUsed + 1; // clean: both callers hold SlotMu
+  }
+
+  void lockedBump() {
+    std::lock_guard<std::mutex> G(SlotMu);
+    bumpSlot();
+  }
+
+  void otherLockedBump() {
+    std::lock_guard<std::mutex> G(SlotMu);
+    bumpSlot();
+  }
+
+  unsigned long peekSlot() RAP_REQUIRES(SlotMu) { return SlotUsed; }
+};

@@ -1,0 +1,24 @@
+// guarded-by fixture: the injected bug is an unguarded shard-counter
+// write reached through a call chain. bumpSlot itself takes no lock;
+// one observed caller locks SlotMu, the other does not, so no
+// caller-held proof exists and the access is flagged with the
+// unlocked chain as witness.
+#include "support/Annotations.h"
+
+#include <mutex>
+
+struct SlotBoard {
+  std::mutex SlotMu;
+  unsigned long SlotUsed RAP_GUARDED_BY(SlotMu);
+
+  void bumpSlot() {
+    SlotUsed = SlotUsed + 1; // finding: reachable without SlotMu
+  }
+
+  void lockedBump() {
+    std::lock_guard<std::mutex> G(SlotMu);
+    bumpSlot();
+  }
+
+  void unlockedBump() { bumpSlot(); } // the witness chain
+};

@@ -1,0 +1,32 @@
+// atomic-misuse clean twin: release/acquire on the handoff pair,
+// relaxed kept only on the pure counter, and every StatTotal access
+// under StatMu.
+#include <atomic>
+#include <mutex>
+
+std::atomic<unsigned long> ReadySeq;
+std::atomic<unsigned long> TickCount;
+std::mutex StatMu;
+unsigned long StatTotal;
+
+void publishSnapshot() {
+  ReadySeq.store(1, std::memory_order_release);
+}
+
+unsigned long pollSnapshot() {
+  return ReadySeq.load(std::memory_order_acquire);
+}
+
+void tickFast() {
+  TickCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+void addStatLocked(unsigned long W) {
+  std::lock_guard<std::mutex> G(StatMu);
+  StatTotal = StatTotal + W;
+}
+
+void addStatFixed(unsigned long W) {
+  std::lock_guard<std::mutex> G(StatMu);
+  StatTotal += W;
+}

@@ -1,0 +1,33 @@
+// atomic-misuse fixture: the injected bugs are a relaxed publish of
+// a cross-thread handoff flag (plus the matching relaxed load on the
+// consumer side), and a non-atomic read-modify-write racing a
+// lock-protected writer. TickCount is the sanctioned pattern: a pure
+// counter (fetch_add/load only) may stay relaxed.
+#include <atomic>
+#include <mutex>
+
+std::atomic<unsigned long> ReadySeq;
+std::atomic<unsigned long> TickCount;
+std::mutex StatMu;
+unsigned long StatTotal;
+
+void publishSnapshot() {
+  ReadySeq.store(1, std::memory_order_relaxed); // finding: relaxed handoff
+}
+
+unsigned long pollSnapshot() {
+  return ReadySeq.load(std::memory_order_relaxed); // finding: relaxed load
+}
+
+void tickFast() {
+  TickCount.fetch_add(1, std::memory_order_relaxed); // clean: pure counter
+}
+
+void addStatLocked(unsigned long W) {
+  std::lock_guard<std::mutex> G(StatMu);
+  StatTotal = StatTotal + W;
+}
+
+void addStatRacy(unsigned long W) {
+  StatTotal += W; // finding: races the locked writer above
+}

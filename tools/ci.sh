@@ -13,13 +13,22 @@
 #      cross-checks the slab tree against the legacy ReferenceRapTree),
 #      and the fault regime (node/byte budgets, deterministic alloc
 #      failures, snapshot corruption battery)
-#   5. rap_lint (flow rules + cross-TU API audit) over src/ and
-#      tools/ against tools/lint_baseline.txt, merged SARIF report to
+#   5. ThreadSanitizer build + the `concurrency` ctest label (the
+#      threaded ShardedRapSession suite and bench_parallel smoke) plus
+#      a 25-episode sharded fuzz slice — concurrent ingest threads
+#      racing the watermark combiner under TSan
+#   6. rap_lint (flow rules, interprocedural concurrency rules, and
+#      the cross-TU API audit) over src/ and tools/ against
+#      tools/lint_baseline.txt, merged SARIF report to
 #      build/lint.sarif
-#   6. non-gating perf leg: bench_run --smoke through the bench_diff
-#      schema check, plus a timing-tolerant diff of the smoke numbers
-#      against the pinned BENCH_core.json (timings on unpinned CI
-#      machines are advisory; only the schema check can fail the run)
+#   7. when clang++ is installed: a clang build of rap_core with
+#      -Wthread-safety, the independent check of the same lock
+#      annotations rap_lint verifies
+#   8. non-gating perf leg: bench_run --smoke and bench_parallel
+#      --smoke through the bench_diff schema check, plus a
+#      timing-tolerant diff of the smoke numbers against the pinned
+#      BENCH_core.json (timings on unpinned CI machines are advisory;
+#      only the schema checks can fail the run)
 #
 # Usage: tools/ci.sh [jobs]     (from the repo root; default jobs = nproc)
 #
@@ -57,15 +66,40 @@ step "arena fuzz slice (stage-0 combined delivery, 25 episodes, ASan)"
 step "fault fuzz slice (budgets + alloc failures + snapshot battery, ASan)"
 ./build-asan/tools/rap_fuzz --faults --episodes=25 --seed=1 --events=8000
 
+step "ThreadSanitizer build + concurrency label + sharded fuzz slice"
+cmake -B build-tsan -S . -DRAP_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+# Only the `concurrency` label runs under TSan: it marks every test
+# that actually spawns threads. The rest of the suite is covered by
+# the plain/ASan/UBSan legs above, where it runs far faster.
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L concurrency
+./build-tsan/tools/rap_fuzz --sharded --episodes=25 --seed=1 --events=8000
+
 step "rap_lint + api-audit (SARIF report: build/lint.sarif)"
 ./build/tools/rap_lint --root=. --api-audit \
     --format=sarif --output=build/lint.sarif src tools
 ./build/tools/rap_lint --root=. --api-audit \
     --baseline=tools/lint_baseline.txt src tools
 
+# Clang's -Wthread-safety reads the same RAP_GUARDED_BY /
+# RAP_REQUIRES / RAP_ACQUIRED_BEFORE annotations rap_lint checks, so
+# a clang install buys a second independent verifier for free. The
+# container CI image ships only g++; skip quietly when absent.
+if command -v clang++ >/dev/null 2>&1; then
+  step "clang -Wthread-safety build (independent annotation check)"
+  cmake -B build-ctsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety" >/dev/null
+  cmake --build build-ctsa -j "$JOBS" --target rap_core
+else
+  step "clang -Wthread-safety leg skipped (no clang++ on PATH)"
+fi
+
 step "bench smoke + schema check (perf numbers non-gating)"
 ./build/bench/bench_run --smoke --out=build/BENCH_smoke.json
 ./build/tools/bench_diff --check build/BENCH_smoke.json
+./build/bench/bench_parallel --smoke --out=build/BENCH_parallel_smoke.json
+./build/tools/bench_diff --check build/BENCH_parallel_smoke.json
+./build/tools/bench_diff --check BENCH_parallel.json
 # Advisory only: smoke timings on a shared machine are noise, but a
 # catastrophic slowdown is still worth a line in the log.
 ./build/tools/bench_diff BENCH_core.json build/BENCH_smoke.json \

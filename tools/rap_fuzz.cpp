@@ -24,6 +24,16 @@
 // battery: binary round-trip plus seeded corruption and truncation
 // probes, all of which must be rejected. Replays need --faults too.
 //
+// --sharded derives each episode with a thread count, shard count,
+// and combine watermark, and drives a ShardedRapSession from that
+// many concurrent ingest threads; the merged profile is cross-checked
+// against a sequential ExactProfiler replay of the same sub-streams
+// (exact weight conservation, range lower bounds, brackets).
+// Intended to run both plain and under -DRAP_SANITIZE=thread (the
+// ci.sh concurrency leg does the latter). Replays need --sharded too;
+// the checked properties are interleaving-independent, the
+// interleaving itself is not.
+//
 // Exit status: 0 all episodes clean, 1 violations found, 2 bad usage.
 //
 //===----------------------------------------------------------------------===//
@@ -51,6 +61,10 @@ void describeEpisode(const FuzzEpisode &E) {
                 " max_bytes=%" PRIu64 ") allocfail-every=%" PRIu64 "\n",
                 E.Config.effectiveNodeBudget(), E.Config.MaxNodes,
                 E.Config.MaxMemoryBytes, E.AllocFailEvery);
+  if (E.ShardThreads != 0)
+    std::printf("  sharded: threads=%u shards=%u combine-every=%" PRIu64
+                "\n",
+                E.ShardThreads, E.SessionShards, E.ShardCombineEvery);
 }
 
 void printViolations(const FuzzReport &Report, uint64_t Limit) {
@@ -82,6 +96,9 @@ int main(int Argc, char **Argv) {
   Args.addBool("replay", "replay mode: run only --replay-episode");
   Args.addBool("arena", "fuzz the combining-buffer + arena-descent path");
   Args.addBool("faults", "fuzz under node budgets and injected faults");
+  Args.addBool("sharded",
+               "fuzz concurrent ingest through ShardedRapSession against "
+               "a sequential exact-oracle replay");
   Args.addBool("verbose", "describe every episode, not just failures");
   if (!Args.parse(Argc, Argv))
     return 2;
@@ -91,14 +108,22 @@ int main(int Argc, char **Argv) {
   uint64_t CheckEvery = Args.getUint("check-every");
   bool Arena = Args.getBool("arena");
   bool Faults = Args.getBool("faults");
-  if (Arena && Faults) {
-    std::fprintf(stderr, "rap_fuzz: --arena and --faults are exclusive\n");
+  bool Sharded = Args.getBool("sharded");
+  if (int(Arena) + int(Faults) + int(Sharded) > 1) {
+    std::fprintf(stderr,
+                 "rap_fuzz: --arena, --faults, and --sharded are "
+                 "exclusive\n");
     return 2;
   }
   auto Derive = [&](uint64_t Index) {
-    return Faults  ? deriveFaultEpisode(Seed, Index)
-           : Arena ? deriveArenaEpisode(Seed, Index)
-                   : deriveEpisode(Seed, Index);
+    return Sharded  ? deriveShardedEpisode(Seed, Index)
+           : Faults ? deriveFaultEpisode(Seed, Index)
+           : Arena  ? deriveArenaEpisode(Seed, Index)
+                    : deriveEpisode(Seed, Index);
+  };
+  auto Run = [&](const FuzzEpisode &E, uint64_t Events, uint64_t Every) {
+    return Sharded ? runShardedFuzzEpisode(E, Events)
+                   : runFuzzEpisode(E, Events, Every);
   };
 
   if (Args.getBool("replay")) {
@@ -107,7 +132,7 @@ int main(int Argc, char **Argv) {
     if (ReplayEvents == 0)
       ReplayEvents = NumEvents;
     describeEpisode(E);
-    FuzzReport Report = runFuzzEpisode(E, ReplayEvents, CheckEvery);
+    FuzzReport Report = Run(E, ReplayEvents, CheckEvery);
     if (Report.ok()) {
       std::printf("replay clean after %" PRIu64 " events\n", Report.EventsFed);
       return 0;
@@ -123,19 +148,26 @@ int main(int Argc, char **Argv) {
     FuzzEpisode E = Derive(I);
     if (Args.getBool("verbose"))
       describeEpisode(E);
-    FuzzReport Report = runFuzzEpisode(E, NumEvents, CheckEvery);
+    FuzzReport Report = Run(E, NumEvents, CheckEvery);
     if (Report.ok())
       continue;
     ++Failed;
     std::printf("FAIL ");
     describeEpisode(E);
     printViolations(Report, 10);
-    uint64_t Minimal = minimizeFailure(E, Report.EventsFed);
+    // Sharded failures skip prefix minimization: the interleaving is
+    // not replayable, so a shorter prefix proves nothing.
+    uint64_t Minimal =
+        Sharded ? Report.EventsFed : minimizeFailure(E, Report.EventsFed);
     std::printf("  minimized to %" PRIu64 " events; replay with:\n"
                 "    rap_fuzz --replay%s --seed=%" PRIu64
                 " --replay-episode=%" PRIu64 " --replay-events=%" PRIu64
                 " --check-every=0\n",
-                Minimal, Faults ? " --faults" : Arena ? " --arena" : "",
+                Minimal,
+                Sharded  ? " --sharded"
+                : Faults ? " --faults"
+                : Arena  ? " --arena"
+                         : "",
                 Seed, I, Minimal);
   }
 

@@ -17,14 +17,17 @@
 // --api-audit the cross-TU checks run over the same file set and
 // their findings merge into the one report. With --baseline, findings
 // recorded in the given file (saved renderText output) only warn;
-// fresh findings still fail. Exit status: 0 no (fresh) findings,
-// 1 fresh findings, 2 bad usage.
+// fresh findings still fail, and so do stale baseline entries that no
+// longer match any finding (prune them as violations are fixed).
+// Exit status: 0 no fresh findings and no stale entries, 1 otherwise,
+// 2 bad usage.
 // See docs/STATIC_ANALYSIS.md for the rule catalog and the per-line
 // `// rap-lint: allow(<rule>)` suppression syntax.
 //
 //===----------------------------------------------------------------------===//
 
 #include "lint/ApiAudit.h"
+#include "lint/Concurrency.h"
 #include "lint/FlowRules.h"
 #include "lint/Lexer.h"
 #include "lint/Lint.h"
@@ -104,7 +107,9 @@ int main(int Argc, char **Argv) {
                 "saturating-counter discipline, exception-tight C API, "
                 "determinism, hot-path IO, include-guard hygiene, and "
                 "the v2 flow rules (unchecked-status, use-after-move, "
-                "counter-escape, lock-discipline).");
+                "counter-escape, lock-discipline), and the v3 "
+                "interprocedural concurrency pass (lock-order, guarded-by, "
+                "atomic-misuse).");
   Args.addString("root", ".",
                  "repository root; paths are reported relative to it");
   Args.addString("format", "text", "report format: text, json or sarif");
@@ -117,6 +122,10 @@ int main(int Argc, char **Argv) {
   Args.addBool("api-audit",
                "also run the cross-TU checks (api-odr, api-capi-coverage, "
                "api-include-drift) over the scanned set");
+  Args.addBool("no-concurrency",
+               "skip the interprocedural concurrency pass (lock-order, "
+               "guarded-by, atomic-misuse) and keep the per-function "
+               "lock-discipline findings instead");
   Args.addBool("list-rules", "print the rule catalog and exit");
   Args.addBool("quiet", "suppress the summary line on stderr");
   Args.allowPositional("paths",
@@ -210,13 +219,28 @@ int main(int Argc, char **Argv) {
     Findings.insert(Findings.end(), FileFindings.begin(), FileFindings.end());
   }
 
+  std::vector<lint::AuditFile> AuditInputs;
+  AuditInputs.reserve(Inputs.size());
+  for (const Input &In : Inputs)
+    AuditInputs.push_back({In.Rel, In.Content});
+
   if (Args.getBool("api-audit")) {
-    std::vector<lint::AuditFile> AuditInputs;
-    AuditInputs.reserve(Inputs.size());
-    for (const Input &In : Inputs)
-      AuditInputs.push_back({In.Rel, In.Content});
     std::vector<lint::Finding> Audit = lint::runApiAudit(AuditInputs);
     Findings.insert(Findings.end(), Audit.begin(), Audit.end());
+  }
+
+  if (!Args.getBool("no-concurrency")) {
+    // The interprocedural guarded-by proof subsumes the per-function
+    // lock-discipline approximation (it additionally accepts accesses
+    // whose mutex every observed caller holds), so the local findings
+    // are dropped in favor of the whole-tree pass.
+    Findings.erase(std::remove_if(Findings.begin(), Findings.end(),
+                                  [](const lint::Finding &F) {
+                                    return F.RuleId == "lock-discipline";
+                                  }),
+                   Findings.end());
+    std::vector<lint::Finding> Conc = lint::runConcurrencyAudit(AuditInputs);
+    Findings.insert(Findings.end(), Conc.begin(), Conc.end());
   }
 
   std::sort(Findings.begin(), Findings.end(),
@@ -229,9 +253,13 @@ int main(int Argc, char **Argv) {
             });
 
   // Baseline: grandfathered findings stay in the report (so SARIF
-  // keeps the full record) but only fresh ones fail the run.
+  // keeps the full record) but only fresh ones fail the run. Stale
+  // baseline entries — lines matching no current finding — also fail:
+  // left in place they would silently grandfather the next regression
+  // that happens to produce the same message.
   size_t FreshCount = Findings.size();
   size_t GrandfatheredCount = 0;
+  size_t StaleCount = 0;
   if (!Args.getString("baseline").empty()) {
     fs::path BaselinePath = fs::path(Args.getString("baseline"));
     if (BaselinePath.is_relative())
@@ -246,11 +274,17 @@ int main(int Argc, char **Argv) {
         lint::applyBaseline(Findings, BaselineText);
     FreshCount = Split.Fresh.size();
     GrandfatheredCount = Split.Grandfathered.size();
+    StaleCount = Split.Stale.size();
     for (const lint::Finding &F : Split.Grandfathered)
       std::fprintf(stderr,
                    "rap_lint: warning: grandfathered by baseline: "
                    "%s:%u: [%s]\n",
                    F.Path.c_str(), F.Line, F.RuleId.c_str());
+    for (const std::string &Entry : Split.Stale)
+      std::fprintf(stderr,
+                   "rap_lint: error: stale baseline entry (matches no "
+                   "finding; remove it from %s): %s\n",
+                   BaselinePath.string().c_str(), Entry.c_str());
   }
 
   std::string Report = Format == "sarif"  ? lint::renderSarif(Findings)
@@ -269,15 +303,16 @@ int main(int Argc, char **Argv) {
   }
 
   if (!Args.getBool("quiet")) {
-    if (GrandfatheredCount)
+    if (GrandfatheredCount || StaleCount)
       std::fprintf(stderr,
                    "rap_lint: %zu file(s), %zu finding(s) "
-                   "(%zu grandfathered, %zu fresh)\n",
+                   "(%zu grandfathered, %zu fresh, %zu stale baseline "
+                   "entr%s)\n",
                    Inputs.size(), Findings.size(), GrandfatheredCount,
-                   FreshCount);
+                   FreshCount, StaleCount, StaleCount == 1 ? "y" : "ies");
     else
       std::fprintf(stderr, "rap_lint: %zu file(s), %zu finding(s)\n",
                    Inputs.size(), Findings.size());
   }
-  return FreshCount == 0 ? 0 : 1;
+  return FreshCount == 0 && StaleCount == 0 ? 0 : 1;
 }
