@@ -1,0 +1,353 @@
+//===- bench/bench_admission.cpp - Admission-gated split baseline ---------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The reproducible baseline runner behind BENCH_admission.json: times
+// the arena tree update path with the randomized split-admission
+// filter off and on, on three synthetic workload shapes —
+//
+//   legacy     admission disabled (every due split is taken), i.e.
+//              the tree exactly as it behaved before this change;
+//   admission  the randomized admission gate enabled: a due split is
+//              admitted with probability Over / (c*T + 1), so cold
+//              singletons that barely cross the split threshold touch
+//              no allocator.
+//
+// Besides the usual throughput/node columns, every variant carries a
+// "topk_recall" metric — the fraction of the stream's exact top-K hot
+// values covered by RapTree::topK(K) — and the admission variant adds
+// "node_reduction" (1 - peak-nodes / legacy peak-nodes), so the report
+// records the accuracy the speedup was bought at. Streams are
+// pre-generated from an explicit seed before any clock starts and both
+// variants consume the identical event array; the report is a function
+// of (seed, events, machine) only. Schema and gating are described in
+// docs/BENCHMARKS.md; tools/bench_diff checks reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+#include "core/RapTree.h"
+#include "support/ArgParse.h"
+#include "support/BenchReport.h"
+#include "support/Distributions.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+#include <vector>
+
+using namespace rap;
+
+namespace {
+
+/// SplitMix64 finalizer: scatters consecutive ranks across the
+/// universe so a Zipf head does not collapse into one subtree.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+struct WorkloadSpec {
+  std::string Name;
+  RapConfig Config;
+  std::vector<uint64_t> Events;
+};
+
+/// The three stream shapes the admission gate is evaluated on, seeded
+/// exactly like bench_run's so the two reports describe the same
+/// streams. zipf is the headline: a heavy head over a sea of cold
+/// scattered singletons is precisely the shape whose splits admission
+/// refuses. Event generation happens here, outside any timing.
+std::vector<WorkloadSpec> makeWorkloads(uint64_t Seed, uint64_t NumEvents) {
+  std::vector<WorkloadSpec> Out;
+
+  // uniform: full 32-bit universe, no locality — every value is cold,
+  // so admission suppresses nearly all structure growth.
+  {
+    WorkloadSpec W;
+    W.Name = "uniform";
+    W.Config.RangeBits = 32;
+    Rng R(Seed ^ 0x756e6966ULL);
+    W.Events.reserve(NumEvents);
+    for (uint64_t I = 0; I != NumEvents; ++I)
+      W.Events.push_back(R.next() & widthForBits(32));
+    Out.push_back(std::move(W));
+  }
+
+  // zipf: heavy-tailed value profile (the paper's Sec 4 shape); hot
+  // ranks re-cross the threshold until admitted, cold ones rarely do.
+  {
+    WorkloadSpec W;
+    W.Name = "zipf";
+    W.Config.RangeBits = 32;
+    Rng R(Seed ^ 0x7a697066ULL);
+    ZipfDistribution Zipf(1 << 17, 1.2);
+    W.Events.reserve(NumEvents);
+    for (uint64_t I = 0; I != NumEvents; ++I)
+      W.Events.push_back(mix64(Zipf.sample(R)) & widthForBits(32));
+    Out.push_back(std::move(W));
+  }
+
+  // phased: 8 uniform phases over narrow 2^20 windows — admission must
+  // not starve a new phase's legitimately hot region.
+  {
+    WorkloadSpec W;
+    W.Name = "phased";
+    W.Config.RangeBits = 32;
+    Rng R(Seed ^ 0x70687365ULL);
+    constexpr uint64_t NumPhases = 8;
+    W.Events.reserve(NumEvents);
+    for (uint64_t P = 0; P != NumPhases; ++P) {
+      uint64_t Base = R.nextBelow(uint64_t(1) << 12) << 20;
+      uint64_t Quota =
+          NumEvents / NumPhases + (P == 0 ? NumEvents % NumPhases : 0);
+      for (uint64_t I = 0; I != Quota; ++I)
+        W.Events.push_back(Base + R.nextBelow(uint64_t(1) << 20));
+    }
+    Out.push_back(std::move(W));
+  }
+
+  return Out;
+}
+
+/// The stream's exact top-\p K values by occurrence count, ties broken
+/// toward the smaller value so the answer is deterministic.
+std::vector<uint64_t> exactTopValues(const std::vector<uint64_t> &Events,
+                                     size_t K) {
+  std::unordered_map<uint64_t, uint64_t> Counts;
+  Counts.reserve(Events.size() / 4);
+  for (uint64_t X : Events)
+    ++Counts[X];
+  std::vector<std::pair<uint64_t, uint64_t>> Ranked(Counts.begin(),
+                                                    Counts.end());
+  size_t Keep = std::min(K, Ranked.size());
+  std::partial_sort(Ranked.begin(), Ranked.begin() + Keep, Ranked.end(),
+                    [](const std::pair<uint64_t, uint64_t> &A,
+                       const std::pair<uint64_t, uint64_t> &B) {
+                      if (A.second != B.second)
+                        return A.second > B.second;
+                      return A.first < B.first;
+                    });
+  std::vector<uint64_t> Out;
+  for (size_t I = 0; I != Keep; ++I)
+    Out.push_back(Ranked[I].first);
+  return Out;
+}
+
+/// Fraction of \p HotValues covered by some range in \p Ranges.
+double recallAgainst(const std::vector<TopKRange> &Ranges,
+                     const std::vector<uint64_t> &HotValues) {
+  if (HotValues.empty())
+    return 1.0;
+  size_t Covered = 0;
+  for (uint64_t V : HotValues)
+    for (const TopKRange &R : Ranges)
+      if (V >= R.Lo && V <= R.Hi) {
+        ++Covered;
+        break;
+      }
+  return double(Covered) / double(HotValues.size());
+}
+
+struct TimedRun {
+  double Seconds = 0.0;
+  uint64_t Nodes = 0;
+  uint64_t MaxNodes = 0;
+  double BytesPerNode = 0.0;
+  std::vector<uint64_t> MergeEvents;
+  double TopKRecall = 0.0;
+};
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+TimedRun runTree(const RapConfig &Config,
+                 const std::vector<uint64_t> &Events,
+                 const std::vector<uint64_t> &HotValues, size_t K) {
+  RapTree Tree(Config);
+  auto Start = std::chrono::steady_clock::now();
+  for (uint64_t X : Events)
+    Tree.addPoint(X);
+  TimedRun R;
+  R.Seconds = secondsSince(Start);
+  R.Nodes = Tree.numNodes();
+  R.MaxNodes = Tree.maxNumNodes();
+  R.BytesPerNode = double(Tree.arenaBytes()) / double(Tree.numNodes());
+  R.MergeEvents = Tree.mergeEventCounts();
+  R.TopKRecall = recallAgainst(Tree.topK(K), HotValues);
+  return R;
+}
+
+/// Best-of-N timing; tree statistics are identical across passes
+/// (everything, admission draws included, is deterministic), so they
+/// come from the first.
+template <typename RunFn>
+BenchVariant timeVariant(const std::string &Name, uint64_t NumEvents,
+                         uint64_t Repeats, RunFn Run) {
+  BenchVariant V;
+  V.Name = Name;
+  V.Events = NumEvents;
+  double Best = 0.0;
+  for (uint64_t I = 0; I != Repeats; ++I) {
+    TimedRun R = Run();
+    if (I == 0) {
+      Best = R.Seconds;
+      V.Nodes = R.Nodes;
+      V.MaxNodes = R.MaxNodes;
+      V.BytesPerNode = R.BytesPerNode;
+      V.MergeEvents = R.MergeEvents;
+      V.Metrics.emplace_back("topk_recall", R.TopKRecall);
+    } else if (R.Seconds < Best) {
+      Best = R.Seconds;
+    }
+  }
+  if (Best <= 0.0)
+    Best = 1e-9; // Sub-tick smoke run; avoid dividing by zero.
+  V.EventsPerSec = double(NumEvents) / Best;
+  V.NsPerEvent = 1e9 * Best / double(NumEvents);
+  return V;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParse Args("bench_admission",
+                "Times the arena tree update path with the randomized "
+                "split-admission gate off (\"legacy\") and on "
+                "(\"admission\") and writes a pinned "
+                "BENCH_admission.json report with per-variant "
+                "topk_recall metrics.");
+  Args.addString("out", "BENCH_admission.json", "output report path");
+  Args.addUint("events", 2000000, "raw events per workload");
+  Args.addUint("seed", 42, "master stream seed");
+  Args.addUint("repeats", 3, "timing passes per variant (best kept)");
+  Args.addUint("topk", 16, "K for the recall metric");
+  // The defaults pin the fine-granularity profiling point (tight
+  // epsilon, strongly selective gate) where split churn dominates the
+  // legacy update path — the regime the admission filter targets. At
+  // the loose BENCH_core epsilon the tree is merge-bounded to a few
+  // thousand nodes and admission is throughput-neutral.
+  Args.addDouble("epsilon", 0.00001, "error constant for every workload");
+  Args.addDouble("coarseness", 256.0,
+                 "admission selectivity c (deny scale; 0 admits all)");
+  Args.addDouble("require-speedup", 0.0,
+                 "fail unless the zipf admission speedup reaches this "
+                 "factor (0 disables the gate)");
+  Args.addDouble("require-node-reduction", 0.0,
+                 "fail unless admission cuts zipf peak nodes by this "
+                 "fraction (0 disables the gate)");
+  Args.addBool("smoke", "fast CI shape: 50k events, one pass, no gates");
+  if (!Args.parse(Argc, Argv))
+    return 2;
+
+  uint64_t NumEvents = Args.getUint("events");
+  uint64_t Repeats = Args.getUint("repeats");
+  double RequireSpeedup = Args.getDouble("require-speedup");
+  double RequireNodeCut = Args.getDouble("require-node-reduction");
+  if (Args.getBool("smoke")) {
+    NumEvents = 50000;
+    Repeats = 1;
+    RequireSpeedup = 0.0;
+    RequireNodeCut = 0.0;
+  }
+  size_t K = size_t(Args.getUint("topk"));
+
+  BenchReport Report;
+  Report.Schema = BenchSchemaName;
+  Report.Generator = "bench_admission";
+
+  bool GatesHold = true;
+  for (WorkloadSpec &Spec : makeWorkloads(Args.getUint("seed"), NumEvents)) {
+    Spec.Config.Epsilon = Args.getDouble("epsilon");
+    BenchWorkload W;
+    W.Name = Spec.Name;
+    W.RangeBits = Spec.Config.RangeBits;
+    W.BranchFactor = Spec.Config.BranchFactor;
+    W.Epsilon = Spec.Config.Epsilon;
+    W.Events = NumEvents;
+
+    std::vector<uint64_t> HotValues = exactTopValues(Spec.Events, K);
+
+    RapConfig OffConfig = Spec.Config;
+    OffConfig.EnableAdmission = false;
+    RapConfig OnConfig = Spec.Config;
+    OnConfig.EnableAdmission = true;
+    OnConfig.AdmissionCoarseness = Args.getDouble("coarseness");
+    OnConfig.AdmissionSeed = Args.getUint("seed") ^ 0xada15510beefcafeULL;
+
+    const std::vector<uint64_t> &Events = Spec.Events;
+    W.Variants.push_back(timeVariant("legacy", NumEvents, Repeats, [&] {
+      return runTree(OffConfig, Events, HotValues, K);
+    }));
+    W.Variants.push_back(timeVariant("admission", NumEvents, Repeats, [&] {
+      return runTree(OnConfig, Events, HotValues, K);
+    }));
+
+    double Legacy = W.Variants[0].EventsPerSec;
+    W.SpeedupVsLegacy = W.Variants[1].EventsPerSec / Legacy;
+    double NodeCut =
+        1.0 - double(W.Variants[1].MaxNodes) / double(W.Variants[0].MaxNodes);
+    W.Variants[1].Metrics.emplace_back("node_reduction", NodeCut);
+
+    std::printf("%-8s", W.Name.c_str());
+    for (const BenchVariant &V : W.Variants)
+      std::printf("  %s %8.2f Mev/s (%5.1f ns/ev, peak %llu nodes)",
+                  V.Name.c_str(), V.EventsPerSec / 1e6, V.NsPerEvent,
+                  static_cast<unsigned long long>(V.MaxNodes));
+    std::printf("  speedup %.2fx  node-cut %.0f%%  recall %.2f/%.2f\n",
+                W.SpeedupVsLegacy, 100.0 * NodeCut,
+                W.Variants[0].Metrics[0].second,
+                W.Variants[1].Metrics[0].second);
+
+    if (W.Name == "zipf") {
+      if (RequireSpeedup > 0.0 && W.SpeedupVsLegacy < RequireSpeedup) {
+        std::fprintf(stderr,
+                     "bench_admission: zipf speedup %.2fx below the "
+                     "required %.2fx\n",
+                     W.SpeedupVsLegacy, RequireSpeedup);
+        GatesHold = false;
+      }
+      if (RequireNodeCut > 0.0 && NodeCut < RequireNodeCut) {
+        std::fprintf(stderr,
+                     "bench_admission: zipf node reduction %.0f%% below "
+                     "the required %.0f%%\n",
+                     100.0 * NodeCut, 100.0 * RequireNodeCut);
+        GatesHold = false;
+      }
+    }
+
+    Report.Workloads.push_back(std::move(W));
+  }
+
+  // Self-check before pinning: a report this binary cannot validate
+  // must never be committed as a baseline.
+  std::vector<std::string> Problems;
+  if (!validateBenchReport(Report, Problems)) {
+    for (const std::string &P : Problems)
+      std::fprintf(stderr,
+                   "bench_admission: generated report invalid: %s\n",
+                   P.c_str());
+    return 1;
+  }
+
+  const std::string &Out = Args.getString("out");
+  std::ofstream OS(Out, std::ios::binary);
+  if (!OS) {
+    std::fprintf(stderr, "bench_admission: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+  OS << serializeBenchReport(Report);
+  std::printf("wrote %s\n", Out.c_str());
+  return GatesHold ? 0 : 1;
+}

@@ -60,9 +60,18 @@ void setLastError(const std::exception &E) noexcept {
   setLastError(Code, E.what());
 }
 
+/// Admission parameters for initCommon; the zero default disables the
+/// gate (rap_init / rap_init_budgeted behavior).
+struct InitAdmission {
+  bool Enable = false;
+  double Coarseness = -1.0; ///< Negative: keep the config default.
+  uint64_t Seed = 0;
+};
+
 rap_handle *initCommon(unsigned range_bits, double epsilon,
                        unsigned branch_factor, uint64_t max_nodes,
-                       const char *Who) noexcept {
+                       const char *Who,
+                       InitAdmission Admission = {}) noexcept {
   try {
     if (RAP_FAILPOINT_HIT(failpoints::Fp::CApiInit))
       throw std::bad_alloc();
@@ -82,6 +91,13 @@ rap_handle *initCommon(unsigned range_bits, double epsilon,
     if (branch_factor != 0)
       Config.BranchFactor = branch_factor;
     Config.MaxNodes = max_nodes;
+    if (Admission.Enable) {
+      Config.EnableAdmission = true;
+      if (Admission.Coarseness >= 0.0)
+        Config.AdmissionCoarseness = Admission.Coarseness;
+      if (Admission.Seed != 0)
+        Config.AdmissionSeed = Admission.Seed;
+    }
     // RapTree's constructor throws std::invalid_argument on a config
     // that does not validate; it surfaces here as a null handle.
     return new rap_handle(Config);
@@ -107,6 +123,18 @@ extern "C" rap_handle *rap_init_budgeted(unsigned range_bits, double epsilon,
                                          uint64_t max_nodes) noexcept {
   return initCommon(range_bits, epsilon, branch_factor, max_nodes,
                     "rap_init_budgeted");
+}
+
+extern "C" rap_handle *rap_init_admission(unsigned range_bits, double epsilon,
+                                          unsigned branch_factor,
+                                          double admission_coarseness,
+                                          uint64_t admission_seed) noexcept {
+  InitAdmission Admission;
+  Admission.Enable = true;
+  Admission.Coarseness = admission_coarseness;
+  Admission.Seed = admission_seed;
+  return initCommon(range_bits, epsilon, branch_factor, /*max_nodes=*/0,
+                    "rap_init_admission", Admission);
 }
 
 extern "C" void rap_add_points(rap_handle *handle, const uint64_t *points,
@@ -142,6 +170,36 @@ extern "C" uint64_t rap_estimate_range(const rap_handle *handle, uint64_t lo,
   return handle->Tree->estimateRange(lo, hi);
 }
 
+extern "C" int64_t rap_top_k(const rap_handle *handle, rap_range *out,
+                             uint64_t k) noexcept {
+  try {
+    if (!handle || !out || k == 0) {
+      setLastError(RAP_ERR_INVALID_ARGUMENT,
+                   !handle ? "rap_top_k: null handle"
+                   : !out  ? "rap_top_k: null output array"
+                           : "rap_top_k: k must be positive");
+      return -1;
+    }
+    std::vector<TopKRange> Top =
+        handle->Tree->topK(static_cast<size_t>(k));
+    for (size_t I = 0; I != Top.size(); ++I) {
+      out[I].lo = Top[I].Lo;
+      out[I].hi = Top[I].Hi;
+      out[I].width_bits = Top[I].WidthBits;
+      out[I].retained = Top[I].Retained;
+      out[I].lower_weight = Top[I].LowerWeight;
+      out[I].upper_weight = Top[I].UpperWeight;
+    }
+    return static_cast<int64_t>(Top.size());
+  } catch (const std::exception &E) {
+    setLastError(E);
+    return -1;
+  } catch (...) {
+    setLastError(RAP_ERR_INTERNAL, "rap_top_k: unknown failure");
+    return -1;
+  }
+}
+
 extern "C" int rap_pressure_stats(const rap_handle *handle,
                                   rap_pressure *out) noexcept {
   if (!handle || !out) {
@@ -158,6 +216,8 @@ extern "C" int rap_pressure_stats(const rap_handle *handle,
   out->coarsen_level = P.CoarsenLevel;
   out->degraded_weight = P.DegradedWeight;
   out->alloc_failures = P.AllocFailures;
+  out->admission_denied_splits = P.AdmissionDeniedSplits;
+  out->admission_deferred_weight = P.AdmissionDeferredWeight;
   return 0;
 }
 

@@ -69,6 +69,20 @@ rap_handle *rap_init_budgeted(unsigned range_bits, double epsilon,
                               unsigned branch_factor,
                               uint64_t max_nodes) RAP_NOEXCEPT;
 
+/// Like rap_init(), but with the randomized split-admission gate
+/// enabled: a leaf due to split is admitted only with probability
+/// proportional to how far its counter overshot the threshold, so
+/// cold singletons never allocate nodes. \p admission_coarseness
+/// scales the denial rate (pass a negative value for the default;
+/// larger denies more); \p admission_seed fixes the decision stream
+/// so runs replay deterministically. The accuracy cost is bounded and
+/// observable: rap_pressure_stats() reports the deferred weight,
+/// which is the extra absolute error any estimate can carry.
+rap_handle *rap_init_admission(unsigned range_bits, double epsilon,
+                               unsigned branch_factor,
+                               double admission_coarseness,
+                               uint64_t admission_seed) RAP_NOEXCEPT;
+
 /// Feeds \p num_points events into the profile. Looks up the
 /// appropriate counter, updates it, and internally performs the split
 /// and batched-merge operations when needed. On an internal failure
@@ -86,6 +100,26 @@ uint64_t rap_num_nodes(const rap_handle *handle) RAP_NOEXCEPT;
 /// Lower-bound estimate of the number of events in [lo, hi].
 uint64_t rap_estimate_range(const rap_handle *handle, uint64_t lo,
                             uint64_t hi) RAP_NOEXCEPT;
+
+/// One entry of a top-k hot-range report (rap_top_k). Mirrors the C++
+/// TopKRange struct field for field.
+typedef struct rap_range {
+  uint64_t lo;           ///< Lowest value of the range.
+  uint64_t hi;           ///< Highest value (inclusive).
+  unsigned width_bits;   ///< log2 of the range width.
+  uint64_t retained;     ///< Weight retained at this granularity.
+  uint64_t lower_weight; ///< Provable lower bound on the true count.
+  uint64_t upper_weight; ///< Provable upper bound on the true count.
+} rap_range;
+
+/// Writes the profile's top \p k hottest ranges (by retained weight,
+/// deterministically tie-broken) into \p out, which must have room
+/// for \p k entries. Returns the number of entries written — fewer
+/// than \p k when the tree is smaller — or -1 with rap_errno() =
+/// RAP_ERR_INVALID_ARGUMENT for a null \p handle, a null \p out, or
+/// k == 0.
+int64_t rap_top_k(const rap_handle *handle, rap_range *out,
+                  uint64_t k) RAP_NOEXCEPT;
 
 /// Writes an ASCII dump of the profile tree into \p buffer (at most
 /// \p size bytes including the terminator) and destroys the handle.
@@ -108,6 +142,11 @@ typedef struct rap_pressure {
   uint64_t coarsen_level;      ///< Current degradation level.
   uint64_t degraded_weight;    ///< Event weight outside the eps*n bound.
   uint64_t alloc_failures;     ///< Splits abandoned on bad_alloc.
+  uint64_t admission_denied_splits;   ///< Due splits the admission
+                                      ///< gate denied.
+  uint64_t admission_deferred_weight; ///< Weight of denied arrivals —
+                                      ///< the closed-form extra error
+                                      ///< bound admission adds.
 } rap_pressure;
 
 /// Copies the profile's pressure counters into \p out. Returns 0 on

@@ -60,6 +60,19 @@ struct TreePressure {
   /// std::bad_alloc absorbed on the split path (real or injected);
   /// each one also counts as a refused split.
   uint64_t AllocFailures = 0;
+
+  /// Due splits denied by the randomized admission gate
+  /// (RapConfig::EnableAdmission). Distinct from RefusedSplits: a
+  /// denial is a deliberate bet that the leaf is cold, not a resource
+  /// failure, and it never escalates CoarsenLevel.
+  uint64_t AdmissionDeniedSplits = 0;
+
+  /// Total event weight of admission-denied arrivals (saturating).
+  /// The extra under-count any range estimate can accumulate from
+  /// admission, beyond the normal eps*n machinery, is at most this —
+  /// the closed-form bound AdmissionAccuracyTest and the oracle
+  /// verify.
+  uint64_t AdmissionDeferredWeight = 0;
 };
 
 } // namespace rap

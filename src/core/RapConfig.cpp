@@ -33,5 +33,8 @@ bool RapConfig::validate(std::string *Error) const {
     return Fail("FixedSplitThreshold must be nonnegative");
   if (MaxMemoryBytes != 0 && MaxMemoryBytes < 16)
     return Fail("MaxMemoryBytes smaller than one 16-byte node");
+  if (!(AdmissionCoarseness >= 0.0) ||
+      AdmissionCoarseness > 1e18) // NaN fails the >= too
+    return Fail("AdmissionCoarseness must be finite and nonnegative");
   return true;
 }

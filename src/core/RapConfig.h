@@ -87,6 +87,30 @@ struct RapConfig {
   /// MaxNodes via effectiveNodeBudget().
   uint64_t MaxMemoryBytes = 0;
 
+  /// Randomized split admission (the Randomized Admission Policy idea
+  /// applied to leaf splits): when a leaf's counter crosses the split
+  /// threshold T, the split is admitted only with probability
+  /// Over / (AdmissionCoarseness * T + 1), where Over = count - T is
+  /// how far past the threshold the leaf already is. A cold singleton
+  /// that barely crossed T is almost always denied (no allocation
+  /// happens); a hot range overshoots T quickly and splits within a
+  /// few more arrivals. Every denied arrival's weight is charged to
+  /// TreePressure::AdmissionDeferredWeight, so estimates keep a
+  /// closed-form bound: the extra under-count of any range beyond the
+  /// normal eps*n machinery is at most that charged weight.
+  bool EnableAdmission = false;
+
+  /// Admission selectivity knob c: larger values deny more (the
+  /// effective coldness estimate is c*T+1 arrivals past the
+  /// threshold). Must be finite and >= 0; 0 admits every due split,
+  /// reducing the gate to a (deterministic) no-op.
+  double AdmissionCoarseness = 4.0;
+
+  /// Seed of the tree's private admission RNG stream. Two trees with
+  /// equal configs (seed included) fed equal streams make identical
+  /// admission decisions, so runs replay deterministically.
+  uint64_t AdmissionSeed = 0x9e3779b97f4a7c15ULL;
+
   /// The node cap implied by MaxNodes and MaxMemoryBytes together:
   /// the tighter of the two, or 0 when both are unbounded.
   uint64_t effectiveNodeBudget() const {

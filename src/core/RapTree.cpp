@@ -177,6 +177,7 @@ RapTree::RapTree(const RapConfig &TreeConfig) : Config(TreeConfig) {
     throw std::invalid_argument("RapTree: invalid config: " + Error);
   Arena.initRoot(Config.RangeBits);
   NextMergeAt = Config.InitialMergeInterval;
+  AdmissionRngState = Config.AdmissionSeed;
   Pressure.NodeBudget = Config.effectiveNodeBudget();
 }
 
@@ -314,9 +315,12 @@ void RapTree::addPoint(uint64_t X, uint64_t Weight) {
   // children so subsequent events in this range profile more precisely
   // — unless the node budget is exhausted, in which case the tree
   // coarsens instead of allocating (the hardware's fixed-capacity
-  // behavior, Sec 3.3).
+  // behavior, Sec 3.3). With admission enabled a due split must first
+  // win a randomized admission draw, so cold leaves that barely
+  // crossed the threshold stay unsplit (no allocator touch at all).
   if (Arena.Widths[Node] != 0 &&
-      static_cast<double>(NewCount) > Config.splitThreshold(NumEvents))
+      static_cast<double>(NewCount) > Config.splitThreshold(NumEvents) &&
+      (!Config.EnableAdmission || admitSplit(NewCount, Weight)))
     trySplit(Node, X, Weight);
 
   // Batched merges at exponentially growing intervals (Sec 3.1, Fig 3).
@@ -324,6 +328,36 @@ void RapTree::addPoint(uint64_t X, uint64_t Weight) {
     mergeNow();
     scheduleAfterMerge();
   }
+}
+
+bool RapTree::admitSplit(uint64_t NewCount, uint64_t Weight) {
+  // Geometric-style sampling against the leaf's coldness: the admit
+  // probability Over / (c*T + 1) rises linearly with the overshoot
+  // past the split threshold T, so a leaf needs on the order of c*T
+  // extra arrivals before it splits. A hot range accumulates that
+  // overshoot in a handful of events; a cold singleton essentially
+  // never does. The RNG is one inline SplitMix64 step so the whole
+  // decision stream is a single serializable word; exactly one draw
+  // is consumed per due-split arrival, which is what makes replays
+  // (and snapshot-resumed runs) bit-identical.
+  uint64_t Z = (AdmissionRngState += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  Z ^= Z >> 31;
+  double Draw = static_cast<double>(Z >> 11) * 0x1.0p-53;
+  double Threshold = Config.splitThreshold(NumEvents);
+  double Over = static_cast<double>(NewCount) - Threshold; // > 0 here
+  if (Draw < Over / (Config.AdmissionCoarseness * Threshold + 1.0))
+    return true;
+  // Denied: this arrival keeps profiling at the current granularity.
+  // Charging its whole weight (not just the split's precision loss)
+  // keeps the admission error bound closed-form regardless of the
+  // probability scheme: any range's extra under-count is at most the
+  // total charged weight.
+  ++Pressure.AdmissionDeniedSplits;
+  Pressure.AdmissionDeferredWeight =
+      saturatingAdd(Pressure.AdmissionDeferredWeight, Weight);
+  return false;
 }
 
 uint64_t RapTree::splitAllocCount(uint32_t Node) const {
@@ -679,6 +713,55 @@ std::vector<HotRange> RapTree::extractHotRanges(double Phi) const {
   std::vector<HotRange> Out;
   double Threshold = Phi * static_cast<double>(NumEvents);
   hotWalk(root(), Threshold, 0, Out);
+  return Out;
+}
+
+void RapTree::topKWalk(const RapNode &Node, unsigned Depth,
+                       uint64_t AncestorOwn,
+                       std::vector<TopKRange> &Out) const {
+  TopKRange R;
+  R.Lo = Node.lo();
+  R.Hi = Node.hi();
+  R.WidthBits = Node.widthBits();
+  R.Depth = Depth;
+  R.Retained = Node.count();
+  // Subtree weight is exactly estimateRange(Lo, Hi) for a node-aligned
+  // range (a provable lower bound); the matching upper bound charges
+  // every ancestor's own counter, since those events may fall anywhere
+  // inside the ancestor's wider range.
+  R.LowerWeight = Node.subtreeWeight();
+  R.UpperWeight = saturatingAdd(R.LowerWeight, AncestorOwn);
+  Out.push_back(R);
+  uint64_t ChildAncestorOwn = saturatingAdd(AncestorOwn, Node.count());
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
+    if (const RapNode *Child = Node.child(Slot))
+      topKWalk(*Child, Depth + 1, ChildAncestorOwn, Out);
+}
+
+std::vector<TopKRange> RapTree::topK(size_t K) const {
+  std::vector<TopKRange> Out;
+  if (K == 0)
+    return Out;
+  Out.reserve(NumNodes);
+  topKWalk(root(), 0, 0, Out);
+  // Strict total order (node ranges are unique, so (Lo, WidthBits)
+  // breaks every Retained tie): the k-nesting property topK(k) ⊆
+  // topK(k+m) falls out of prefix-of-a-fixed-order.
+  auto Before = [](const TopKRange &A, const TopKRange &B) {
+    if (A.Retained != B.Retained)
+      return A.Retained > B.Retained;
+    if (A.Lo != B.Lo)
+      return A.Lo < B.Lo;
+    return A.WidthBits < B.WidthBits;
+  };
+  if (Out.size() > K) {
+    std::partial_sort(Out.begin(),
+                      Out.begin() + static_cast<std::ptrdiff_t>(K), Out.end(),
+                      Before);
+    Out.resize(K);
+  } else {
+    std::sort(Out.begin(), Out.end(), Before);
+  }
   return Out;
 }
 

@@ -60,6 +60,25 @@ struct HotRange {
   uint64_t SubtreeWeight = 0;   ///< count + all descendant weight.
 };
 
+/// One entry of a top-k hot-range report (RapTree::topK). Selection is
+/// by retained (own-counter) weight; the bracket fields turn the
+/// paper's lower-bound estimates into error bars a dashboard can show.
+struct TopKRange {
+  uint64_t Lo = 0;        ///< Lowest value of the range.
+  uint64_t Hi = 0;        ///< Highest value (inclusive).
+  unsigned WidthBits = 0; ///< log2 of the range width.
+  unsigned Depth = 0;     ///< Tree depth (root = 0).
+  /// The node's own counter: weight retained at exactly this
+  /// granularity (the ranking score).
+  uint64_t Retained = 0;
+  /// Provable lower bound on the true event count in [Lo, Hi]:
+  /// the subtree weight (== estimateRange(Lo, Hi) for a node range).
+  uint64_t LowerWeight = 0;
+  /// Provable upper bound: subtree weight plus every ancestor's own
+  /// counter (those events may or may not fall inside [Lo, Hi]).
+  uint64_t UpperWeight = 0;
+};
+
 /// The RAP profile tree.
 ///
 /// Typical use:
@@ -214,6 +233,44 @@ public:
   /// the query). Upper - Lower <= eps * n for node-aligned queries.
   RangeBounds estimateRangeBounds(uint64_t Lo, uint64_t Hi) const;
 
+  /// Streaming top-k hot-range report: the \p K tree ranges retaining
+  /// the most weight at their own granularity, each with a provable
+  /// [LowerWeight, UpperWeight] bracket on its true count. Ordering is
+  /// a deterministic total order — Retained descending, then Lo
+  /// ascending, then WidthBits ascending — so topK(k) is always a
+  /// prefix of topK(k + m) over the same tree (k-nesting), and every
+  /// value whose exact count is at least the k-th Retained score plus
+  /// the tree's error budget is covered by some reported range.
+  /// Returns fewer than \p K entries when the tree has fewer nodes.
+  /// One O(numNodes) walk; no allocation beyond the result vector.
+  std::vector<TopKRange> topK(size_t K) const;
+
+  /// Due splits denied by the randomized admission gate (zero when
+  /// Config.EnableAdmission is off).
+  uint64_t numAdmissionDeniedSplits() const {
+    return Pressure.AdmissionDeniedSplits;
+  }
+
+  /// Total weight of admission-denied arrivals: the closed-form extra
+  /// error budget admission adds on top of eps*n (see Pressure.h).
+  uint64_t admissionDeferredWeight() const {
+    return Pressure.AdmissionDeferredWeight;
+  }
+
+  /// Current admission RNG position (serialized so a restored tree
+  /// continues the identical decision stream).
+  uint64_t admissionRngState() const { return AdmissionRngState; }
+
+  /// Restores mid-stream admission state captured by a snapshot
+  /// (deserialization hook used next to fromNodeSet): RNG position
+  /// plus the two pressure counters the admission gate owns.
+  void restoreAdmissionState(uint64_t RngState, uint64_t DeferredWeight,
+                             uint64_t DeniedSplits) {
+    AdmissionRngState = RngState;
+    Pressure.AdmissionDeferredWeight = DeferredWeight;
+    Pressure.AdmissionDeniedSplits = DeniedSplits;
+  }
+
   /// Extracts all hot ranges at hotness fraction \p Phi (Sec 4.1): a
   /// range is hot iff its count plus the weight of its non-hot
   /// sub-ranges is at least Phi * n. Results are in preorder
@@ -234,6 +291,7 @@ public:
 
 private:
   uint32_t descendIndex(uint64_t X) const;
+  bool admitSplit(uint64_t NewCount, uint64_t Weight);
   void trySplit(uint32_t Node, uint64_t X, uint64_t Weight);
   void splitNode(uint32_t Node);
   uint64_t splitAllocCount(uint32_t Node) const;
@@ -244,6 +302,8 @@ private:
   void unionWith(uint32_t Mine, const RapNode &Theirs);
   uint64_t hotWalk(const RapNode &Node, double Threshold, unsigned Depth,
                    std::vector<HotRange> &Out) const;
+  void topKWalk(const RapNode &Node, unsigned Depth, uint64_t AncestorOwn,
+                std::vector<TopKRange> &Out) const;
   uint64_t estimateWalk(const RapNode &Node, uint64_t Lo, uint64_t Hi) const;
   void scheduleAfterMerge();
 
@@ -256,6 +316,10 @@ private:
   uint64_t NumMergePasses = 0;
   uint64_t NumMergedNodes = 0;
   uint64_t NextMergeAt;
+  /// SplitMix64 position of the admission gate's private RNG stream;
+  /// stepped inline in admitSplit and serialized verbatim, so a
+  /// restored tree replays the identical decision sequence.
+  uint64_t AdmissionRngState = 0;
   std::vector<uint64_t> MergeEventCounts;
   TreePressure Pressure;
 };

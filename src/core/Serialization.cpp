@@ -25,7 +25,7 @@ namespace {
 
 constexpr char Magic[4] = {'R', 'A', 'P', 'P'};
 constexpr char TailMagic[4] = {'P', 'R', 'A', 'R'};
-constexpr uint32_t FormatVersion = 3;
+constexpr uint32_t FormatVersion = 4;
 
 void writeU32(std::ostream &OS, uint32_t Value) {
   unsigned char Bytes[4];
@@ -136,11 +136,17 @@ class SnapshotBuilder {
 public:
   static ProfileSnapshot make(const RapConfig &Config, uint64_t NumEvents,
                               uint64_t NextMergeAt,
-                              std::vector<ProfileSnapshot::Node> Nodes) {
+                              std::vector<ProfileSnapshot::Node> Nodes,
+                              uint64_t AdmissionRngState,
+                              uint64_t AdmissionDeferredWeight,
+                              uint64_t AdmissionDeniedSplits) {
     ProfileSnapshot Snapshot;
     Snapshot.Config = Config;
     Snapshot.NumEvents = NumEvents;
     Snapshot.NextMergeAt = NextMergeAt;
+    Snapshot.AdmissionRngState = AdmissionRngState;
+    Snapshot.AdmissionDeferredWeight = AdmissionDeferredWeight;
+    Snapshot.AdmissionDeniedSplits = AdmissionDeniedSplits;
     Snapshot.Nodes = std::move(Nodes);
     return Snapshot;
   }
@@ -152,7 +158,10 @@ ProfileSnapshot ProfileSnapshot::capture(const RapTree &Tree) {
   Nodes.reserve(Tree.numNodes());
   collectPreorder(Tree.root(), Nodes);
   return SnapshotBuilder::make(Tree.config(), Tree.numEvents(),
-                               Tree.nextMergeAt(), std::move(Nodes));
+                               Tree.nextMergeAt(), std::move(Nodes),
+                               Tree.admissionRngState(),
+                               Tree.admissionDeferredWeight(),
+                               Tree.numAdmissionDeniedSplits());
 }
 
 std::unique_ptr<RapTree> ProfileSnapshot::restore() const {
@@ -163,6 +172,8 @@ std::unique_ptr<RapTree> ProfileSnapshot::restore() const {
   std::unique_ptr<RapTree> Tree = RapTree::fromNodeSet(
       Config, Triples, NumEvents, /*Error=*/nullptr, NextMergeAt);
   assert(Tree && "a captured snapshot must always restore");
+  Tree->restoreAdmissionState(AdmissionRngState, AdmissionDeferredWeight,
+                              AdmissionDeniedSplits);
   return Tree;
 }
 
@@ -212,8 +223,14 @@ bool ProfileSnapshot::writeBinary(std::ostream &OS) const {
   writeU8(Body, Config.EnableMerges ? 1 : 0);
   writeU64(Body, Config.MaxNodes);
   writeU64(Body, Config.MaxMemoryBytes);
+  writeU8(Body, Config.EnableAdmission ? 1 : 0);
+  writeF64(Body, Config.AdmissionCoarseness);
+  writeU64(Body, Config.AdmissionSeed);
   writeU64(Body, NumEvents);
   writeU64(Body, NextMergeAt);
+  writeU64(Body, AdmissionRngState);
+  writeU64(Body, AdmissionDeferredWeight);
+  writeU64(Body, AdmissionDeniedSplits);
   writeU64(Body, Nodes.size());
   for (const Node &N : Nodes) {
     writeU64(Body, N.Lo);
@@ -272,6 +289,14 @@ ProfileSnapshot::readBinary(std::istream &IS, std::string *Error,
   if (Version >= 3 &&
       (!readU64(In, Config.MaxNodes) || !readU64(In, Config.MaxMemoryBytes)))
     return Fail("truncated profile header");
+  if (Version >= 4) {
+    uint8_t EnableAdmission;
+    if (!readU8(In, EnableAdmission) ||
+        !readF64(In, Config.AdmissionCoarseness) ||
+        !readU64(In, Config.AdmissionSeed))
+      return Fail("truncated profile header");
+    Config.EnableAdmission = EnableAdmission != 0;
+  }
   if (!Config.validate(Error)) {
     if (Kind)
       *Kind = ProfileIoError::Corrupt;
@@ -280,10 +305,19 @@ ProfileSnapshot::readBinary(std::istream &IS, std::string *Error,
 
   uint64_t NumEvents;
   uint64_t NextMergeAt = 0; // v1 profiles: re-derive the schedule
+  // Pre-v4 profiles recorded no admission state: start from the
+  // configured seed, exactly like a freshly constructed tree.
+  uint64_t AdmissionRngState = Config.AdmissionSeed;
+  uint64_t AdmissionDeferredWeight = 0;
+  uint64_t AdmissionDeniedSplits = 0;
   uint64_t NumNodes;
   if (!readU64(In, NumEvents))
     return Fail("truncated profile header");
   if (Version >= 2 && !readU64(In, NextMergeAt))
+    return Fail("truncated profile header");
+  if (Version >= 4 && (!readU64(In, AdmissionRngState) ||
+                       !readU64(In, AdmissionDeferredWeight) ||
+                       !readU64(In, AdmissionDeniedSplits)))
     return Fail("truncated profile header");
   if (!readU64(In, NumNodes))
     return Fail("truncated profile header");
@@ -332,22 +366,27 @@ ProfileSnapshot::readBinary(std::istream &IS, std::string *Error,
 
   if (Kind)
     *Kind = ProfileIoError::None;
-  return std::make_unique<ProfileSnapshot>(
-      SnapshotBuilder::make(Config, NumEvents, NextMergeAt,
-                            std::move(Nodes)));
+  return std::make_unique<ProfileSnapshot>(SnapshotBuilder::make(
+      Config, NumEvents, NextMergeAt, std::move(Nodes), AdmissionRngState,
+      AdmissionDeferredWeight, AdmissionDeniedSplits));
 }
 
 bool ProfileSnapshot::writeText(std::ostream &OS) const {
-  char Buffer[256];
+  char Buffer[320];
   std::snprintf(Buffer, sizeof(Buffer),
-                "rap-profile v3 bits=%u b=%u eps=%.17g q=%.17g "
+                "rap-profile v4 bits=%u b=%u eps=%.17g q=%.17g "
                 "interval=%" PRIu64 " scale=%.17g merges=%d "
                 "nextmerge=%" PRIu64 " maxnodes=%" PRIu64
-                " maxbytes=%" PRIu64 "\n",
+                " maxbytes=%" PRIu64 " admit=%d coarse=%.17g "
+                "aseed=%" PRIu64 " arng=%" PRIu64 " adeferred=%" PRIu64
+                " adenied=%" PRIu64 "\n",
                 Config.RangeBits, Config.BranchFactor, Config.Epsilon,
                 Config.MergeRatio, Config.InitialMergeInterval,
                 Config.MergeThresholdScale, Config.EnableMerges ? 1 : 0,
-                NextMergeAt, Config.MaxNodes, Config.MaxMemoryBytes);
+                NextMergeAt, Config.MaxNodes, Config.MaxMemoryBytes,
+                Config.EnableAdmission ? 1 : 0, Config.AdmissionCoarseness,
+                Config.AdmissionSeed, AdmissionRngState,
+                AdmissionDeferredWeight, AdmissionDeniedSplits);
   OS << Buffer;
   std::snprintf(Buffer, sizeof(Buffer), "events=%" PRIu64 " nodes=%zu\n",
                 NumEvents, Nodes.size());
@@ -375,9 +414,29 @@ ProfileSnapshot::readText(std::istream &IS, std::string *Error,
     return Fail("empty profile text");
   RapConfig Config;
   unsigned Merges;
+  unsigned Admit = 0;
   uint64_t Interval;
   uint64_t NextMergeAt = 0;
-  if (std::sscanf(Line.c_str(),
+  uint64_t AdmissionRngState = 0;
+  uint64_t AdmissionDeferredWeight = 0;
+  uint64_t AdmissionDeniedSplits = 0;
+  bool IsV4 =
+      std::sscanf(Line.c_str(),
+                  "rap-profile v4 bits=%u b=%u eps=%lg q=%lg "
+                  "interval=%" SCNu64 " scale=%lg merges=%u "
+                  "nextmerge=%" SCNu64 " maxnodes=%" SCNu64
+                  " maxbytes=%" SCNu64 " admit=%u coarse=%lg "
+                  "aseed=%" SCNu64 " arng=%" SCNu64 " adeferred=%" SCNu64
+                  " adenied=%" SCNu64,
+                  &Config.RangeBits, &Config.BranchFactor, &Config.Epsilon,
+                  &Config.MergeRatio, &Interval,
+                  &Config.MergeThresholdScale, &Merges, &NextMergeAt,
+                  &Config.MaxNodes, &Config.MaxMemoryBytes, &Admit,
+                  &Config.AdmissionCoarseness, &Config.AdmissionSeed,
+                  &AdmissionRngState, &AdmissionDeferredWeight,
+                  &AdmissionDeniedSplits) == 16;
+  if (!IsV4 &&
+      std::sscanf(Line.c_str(),
                   "rap-profile v3 bits=%u b=%u eps=%lg q=%lg "
                   "interval=%" SCNu64 " scale=%lg merges=%u "
                   "nextmerge=%" SCNu64 " maxnodes=%" SCNu64
@@ -403,6 +462,9 @@ ProfileSnapshot::readText(std::istream &IS, std::string *Error,
     return Fail("malformed profile text header");
   Config.InitialMergeInterval = Interval;
   Config.EnableMerges = Merges != 0;
+  Config.EnableAdmission = Admit != 0;
+  if (!IsV4)
+    AdmissionRngState = Config.AdmissionSeed;
   if (!Config.validate(Error)) {
     if (Kind)
       *Kind = ProfileIoError::Corrupt;
@@ -445,9 +507,9 @@ ProfileSnapshot::readText(std::istream &IS, std::string *Error,
 
   if (Kind)
     *Kind = ProfileIoError::None;
-  return std::make_unique<ProfileSnapshot>(
-      SnapshotBuilder::make(Config, NumEvents, NextMergeAt,
-                            std::move(Nodes)));
+  return std::make_unique<ProfileSnapshot>(SnapshotBuilder::make(
+      Config, NumEvents, NextMergeAt, std::move(Nodes), AdmissionRngState,
+      AdmissionDeferredWeight, AdmissionDeniedSplits));
 }
 
 bool ProfileSnapshot::saveFileAtomic(const std::string &Path,
@@ -521,11 +583,18 @@ bool ProfileSnapshot::operator==(const ProfileSnapshot &Other) const {
   if (NumEvents != Other.NumEvents || NextMergeAt != Other.NextMergeAt ||
       Nodes.size() != Other.Nodes.size())
     return false;
+  if (AdmissionRngState != Other.AdmissionRngState ||
+      AdmissionDeferredWeight != Other.AdmissionDeferredWeight ||
+      AdmissionDeniedSplits != Other.AdmissionDeniedSplits)
+    return false;
   if (Config.RangeBits != Other.Config.RangeBits ||
       Config.BranchFactor != Other.Config.BranchFactor ||
       Config.Epsilon != Other.Config.Epsilon ||
       Config.MaxNodes != Other.Config.MaxNodes ||
-      Config.MaxMemoryBytes != Other.Config.MaxMemoryBytes)
+      Config.MaxMemoryBytes != Other.Config.MaxMemoryBytes ||
+      Config.EnableAdmission != Other.Config.EnableAdmission ||
+      Config.AdmissionCoarseness != Other.Config.AdmissionCoarseness ||
+      Config.AdmissionSeed != Other.Config.AdmissionSeed)
     return false;
   for (size_t I = 0; I != Nodes.size(); ++I)
     if (Nodes[I].Lo != Other.Nodes[I].Lo ||

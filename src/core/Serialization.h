@@ -13,16 +13,27 @@
 /// a compact little-endian binary format plus text round-tripping, so
 /// profiles can be collected online and analyzed offline.
 ///
-/// Binary layout (version 3):
+/// Binary layout (version 4):
 ///   magic "RAPP", u32 version,
 ///   config { u32 rangeBits, u32 branchFactor, f64 epsilon,
 ///            f64 mergeRatio, u64 initialMergeInterval,
 ///            f64 mergeThresholdScale, u8 enableMerges,
-///            u64 maxNodes, u64 maxMemoryBytes },
-///   u64 numEvents, u64 nextMergeAt, u64 numNodes,
+///            u64 maxNodes, u64 maxMemoryBytes,
+///            u8 enableAdmission, f64 admissionCoarseness,
+///            u64 admissionSeed },
+///   u64 numEvents, u64 nextMergeAt,
+///   admission state { u64 admissionRngState,
+///                     u64 admissionDeferredWeight,
+///                     u64 admissionDeniedSplits },
+///   u64 numNodes,
 ///   nodes in preorder: { u64 lo, u8 widthBits, u64 count } — child
 ///   presence is reconstructed structurally from preorder + ranges,
 ///   footer { u32 crc32 of magic..last node byte, tail magic "PRAR" }.
+///
+/// The admission fields (new in version 4) carry the randomized split
+/// admission gate across a save/load: the RNG position plus the two
+/// deferred-split counters, so a restored tree continues the identical
+/// admission decision stream and keeps its error accounting.
 ///
 /// The CRC-32 footer makes torn or bit-flipped snapshots detectable:
 /// readers reject any stream whose checksum or tail magic does not
@@ -30,11 +41,11 @@
 /// saveFileAtomic() additionally writes through a temp file and
 /// renames, so an existing profile on disk is replaced atomically.
 ///
-/// Version 1 streams (no nextMergeAt field) and version 2 streams (no
-/// budget fields, no footer) are still read; v1 merge-schedule
-/// position is re-derived from the configured initial interval, which
-/// matches the original tree whenever every batched merge ran on
-/// schedule.
+/// Version 1 streams (no nextMergeAt field), version 2 streams (no
+/// budget fields, no footer), and version 3 streams (no admission
+/// fields) are still read; v1 merge-schedule position is re-derived
+/// from the configured initial interval, which matches the original
+/// tree whenever every batched merge ran on schedule.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -89,6 +100,16 @@ public:
   /// Number of nodes.
   uint64_t numNodes() const { return Nodes.size(); }
 
+  /// Admission RNG position at capture time (the configured seed for
+  /// pre-version-4 profiles, which recorded no admission state).
+  uint64_t admissionRngState() const { return AdmissionRngState; }
+
+  /// Admission-deferred weight at capture time.
+  uint64_t admissionDeferredWeight() const { return AdmissionDeferredWeight; }
+
+  /// Admission-denied split count at capture time.
+  uint64_t admissionDeniedSplits() const { return AdmissionDeniedSplits; }
+
   /// Preorder node list (parents before children, siblings by range).
   const std::vector<Node> &nodes() const { return Nodes; }
 
@@ -99,7 +120,7 @@ public:
   /// Hot ranges at fraction \p Phi, identical to the live tree's.
   std::vector<HotRange> extractHotRanges(double Phi) const;
 
-  /// Writes the current (version-3) binary format, CRC footer
+  /// Writes the current (version-4) binary format, CRC footer
   /// included. Returns false if the stream failed; partial output may
   /// have been written, but its checksum will not verify.
   bool writeBinary(std::ostream &OS) const;
@@ -153,6 +174,9 @@ private:
   RapConfig Config;
   uint64_t NumEvents = 0;
   uint64_t NextMergeAt = 0;
+  uint64_t AdmissionRngState = 0;
+  uint64_t AdmissionDeferredWeight = 0;
+  uint64_t AdmissionDeniedSplits = 0;
   std::vector<Node> Nodes;
 };
 

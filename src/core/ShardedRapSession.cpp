@@ -9,6 +9,7 @@
 
 #include "support/BitUtils.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace rap {
@@ -114,6 +115,77 @@ ShardedRapSession::combinedEstimateBounds(uint64_t Lo, uint64_t Hi) const {
 std::vector<HotRange> ShardedRapSession::combinedHotRanges(double Phi) const {
   std::lock_guard<std::mutex> CombineGuard(CombineMu);
   return CombinedTree->extractHotRanges(Phi);
+}
+
+std::vector<TopKRange> ShardedRapSession::topKRanges(size_t K) const {
+  std::vector<TopKRange> Result;
+  if (K == 0)
+    return Result;
+  std::lock_guard<std::mutex> CombineGuard(CombineMu);
+
+  // Pass 1: gather candidate ranges. A range hot over the whole
+  // session holds at least 1/(S+1) of its weight in some single tree,
+  // so taking each tree's own top K keeps every plausible winner in
+  // play. Shard locks are taken one at a time (the declared
+  // CombineMu-before-IngestMu order), never all at once.
+  std::vector<TopKRange> Candidates = CombinedTree->topK(K);
+  for (const std::unique_ptr<Shard> &SP : Shards) {
+    std::lock_guard<std::mutex> Guard(SP->IngestMu);
+    std::vector<TopKRange> Local = SP->ShardDelta->topK(K);
+    Candidates.insert(Candidates.end(), Local.begin(), Local.end());
+  }
+
+  // Dedupe by range identity. (Lo, WidthBits) names the aligned range;
+  // Depth is a function of WidthBits under a fixed config, so keeping
+  // the first nomination loses nothing.
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const TopKRange &A, const TopKRange &B) {
+              return A.Lo != B.Lo ? A.Lo < B.Lo
+                                  : A.WidthBits < B.WidthBits;
+            });
+  Candidates.erase(
+      std::unique(Candidates.begin(), Candidates.end(),
+                  [](const TopKRange &A, const TopKRange &B) {
+                    return A.Lo == B.Lo && A.WidthBits == B.WidthBits;
+                  }),
+      Candidates.end());
+
+  // Pass 2: re-bracket every candidate across ALL trees. Per-tree
+  // brackets are sound for that tree's slice of the stream and every
+  // ingested event lives in exactly one tree, so their sums bracket
+  // the whole stream's count.
+  for (TopKRange &C : Candidates) {
+    RapTree::RangeBounds B = CombinedTree->estimateRangeBounds(C.Lo, C.Hi);
+    C.LowerWeight = B.Lower;
+    C.UpperWeight = B.Upper;
+  }
+  for (const std::unique_ptr<Shard> &SP : Shards) {
+    std::lock_guard<std::mutex> Guard(SP->IngestMu);
+    for (TopKRange &C : Candidates) {
+      RapTree::RangeBounds B =
+          SP->ShardDelta->estimateRangeBounds(C.Lo, C.Hi);
+      C.LowerWeight = saturatingAdd(C.LowerWeight, B.Lower);
+      C.UpperWeight = saturatingAdd(C.UpperWeight, B.Upper);
+    }
+  }
+
+  // Rank by the summed lower bracket — the session-wide analogue of a
+  // single tree's retained count — with the same deterministic
+  // tie-break order as RapTree::topK.
+  for (TopKRange &C : Candidates)
+    C.Retained = C.LowerWeight;
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const TopKRange &A, const TopKRange &B) {
+              if (A.Retained != B.Retained)
+                return A.Retained > B.Retained;
+              if (A.Lo != B.Lo)
+                return A.Lo < B.Lo;
+              return A.WidthBits < B.WidthBits;
+            });
+  if (Candidates.size() > K)
+    Candidates.resize(K);
+  Result = std::move(Candidates);
+  return Result;
 }
 
 uint64_t ShardedRapSession::numCombines() const {

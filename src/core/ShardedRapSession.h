@@ -108,6 +108,21 @@ public:
   /// Hot ranges of the combined view at hotness fraction \p Phi.
   std::vector<HotRange> combinedHotRanges(double Phi) const;
 
+  /// Top \p K hottest ranges of the whole session, pending shard
+  /// deltas included. Candidates are the per-tree topK(K) sets of the
+  /// combined tree and every shard delta, merged by range identity
+  /// (Lo, WidthBits) and then re-bracketed as the sum of
+  /// estimateRangeBounds over *all* trees — a tree that did not
+  /// nominate a range still holds part of its weight, so summing
+  /// uppers only over nominating trees would under-state the bound.
+  /// Retained carries the summed lower bracket (the ranking score);
+  /// entries are ordered by it, ties broken by (Lo, WidthBits).
+  /// Each tree is read once under its own lock, so concurrent ingest
+  /// between reads can only raise a later tree's contribution; call
+  /// combineNow() first (or quiesce writers) when the report must
+  /// reflect one consistent cut of the stream.
+  std::vector<TopKRange> topKRanges(size_t K) const;
+
   /// Number of combine passes run so far (scheduled and manual).
   uint64_t numCombines() const;
 

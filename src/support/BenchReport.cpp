@@ -10,6 +10,7 @@
 #include "support/BitUtils.h"
 #include "support/MiniJson.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -97,6 +98,23 @@ bool parseVariant(const json::Value &V, BenchVariant &Out,
       return false;
     }
     Out.MergeEvents.push_back(E.asUint());
+  }
+  // "metrics" is an optional additive field: absent maps parse to an
+  // empty vector, present ones must be flat name -> number objects.
+  if (const json::Value *Metrics = V.get("metrics")) {
+    if (!Metrics->isObject()) {
+      if (Error)
+        *Error = Context + ": \"metrics\" is not an object";
+      return false;
+    }
+    for (const std::pair<std::string, json::Value> &F : Metrics->fields()) {
+      if (!F.second.isNumber()) {
+        if (Error)
+          *Error = Context + ": non-numeric metric \"" + F.first + "\"";
+        return false;
+      }
+      Out.Metrics.emplace_back(F.first, F.second.asNumber());
+    }
   }
   return true;
 }
@@ -242,6 +260,16 @@ bool rap::validateBenchReport(const BenchReport &Report,
         Problems.push_back(Tag + ": max_nodes below the final node count");
       if (!(V.BytesPerNode > 0.0))
         Problems.push_back(Tag + ": bytes_per_node is not positive");
+      std::set<std::string> MetricNames;
+      for (const std::pair<std::string, double> &M : V.Metrics) {
+        if (M.first.empty())
+          Problems.push_back(Tag + ": metric with an empty name");
+        if (!MetricNames.insert(M.first).second)
+          Problems.push_back(Tag + ": duplicate metric \"" + M.first + "\"");
+        if (!std::isfinite(M.second))
+          Problems.push_back(format("%s: metric \"%s\" is not finite",
+                                    Tag.c_str(), M.first.c_str()));
+      }
       for (size_t I = 0; I != V.MergeEvents.size(); ++I) {
         if (I != 0 && V.MergeEvents[I] <= V.MergeEvents[I - 1]) {
           Problems.push_back(Tag +
@@ -309,6 +337,15 @@ std::string rap::serializeBenchReport(const BenchReport &Report) {
       json::Value &Merges = VE.set("merge_events", json::Value::array());
       for (uint64_t M : V.MergeEvents)
         Merges.push(json::Value::number(M));
+      if (!V.Metrics.empty()) {
+        // Sorted key order keeps the committed JSON independent of the
+        // order the producing tool recorded the metrics in.
+        std::vector<std::pair<std::string, double>> Sorted = V.Metrics;
+        std::sort(Sorted.begin(), Sorted.end());
+        json::Value &Metrics = VE.set("metrics", json::Value::object());
+        for (const std::pair<std::string, double> &M : Sorted)
+          Metrics.set(M.first, json::Value::number(M.second));
+      }
       Variants.push(std::move(VE));
     }
     Workloads.push(std::move(Entry));

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rap {
@@ -46,6 +47,13 @@ struct BenchVariant {
   /// structurally (monotonicity) and bench_run guarantees by
   /// construction.
   std::vector<uint64_t> MergeEvents;
+  /// Optional named scalar metrics, e.g. {"topk_recall", 0.97}. An
+  /// additive extension of rap-bench-core/v1: reports without a
+  /// "metrics" field parse to an empty vector, an empty vector
+  /// serializes to no "metrics" field, and serialization orders keys
+  /// lexicographically so committed reports stay diffable. Metrics are
+  /// informational — diffBenchReports never gates on them.
+  std::vector<std::pair<std::string, double>> Metrics;
 };
 
 /// One workload shape timed across all variants.

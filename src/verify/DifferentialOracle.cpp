@@ -44,10 +44,11 @@ DifferentialOracle::DifferentialOracle(const RapConfig &TreeConfig,
     : Config(TreeConfig), Options(Opts), Tree(TreeConfig), Auditor(Tree),
       Flat(std::max(TreeConfig.RangeBits, 1u),
            flatBuckets(TreeConfig, Opts.FlatBucketBits)) {
-  // The preserved legacy tree models no resource governance: under a
-  // node budget the arena tree lawfully diverges from it, so the
-  // structural cross-check is meaningless and is forced off.
-  if (Config.effectiveNodeBudget() != 0)
+  // The preserved legacy tree models neither resource governance nor
+  // randomized admission: under a node budget or an admission gate the
+  // arena tree lawfully diverges from it, so the structural
+  // cross-check is meaningless and is forced off.
+  if (Config.effectiveNodeBudget() != 0 || Config.EnableAdmission)
     Options.CrossCheckReference = false;
   if (Options.CrossCheckReference)
     Reference = std::make_unique<ReferenceRapTree>(TreeConfig);
@@ -114,10 +115,14 @@ double DifferentialOracle::errorBudget() const {
   // Degraded weight is the documented cost of resource governance:
   // every unit the budgeted tree refused to refine (or folded in a
   // forced pass) may sit one level above where the guarantee wants it,
-  // so estimates can additionally miss up to that total. Zero for an
-  // unbudgeted, failure-free tree.
+  // so estimates can additionally miss up to that total. Admission
+  // deferred weight is the same kind of charge for splits the
+  // randomized gate denied: the closed-form admission bound is simply
+  // this extra additive term on top of eps*n*q/(q-1). Both are zero
+  // for an unbudgeted, admission-free, failure-free tree.
   return Config.Epsilon * N * MergeSlack * Options.ErrorBoundFactor +
-         WeightSlack + static_cast<double>(Tree.degradedWeight()) + 1e-6;
+         WeightSlack + static_cast<double>(Tree.degradedWeight()) +
+         static_cast<double>(Tree.admissionDeferredWeight()) + 1e-6;
 }
 
 void DifferentialOracle::checkRange(uint64_t Lo, uint64_t Hi,
@@ -211,6 +216,77 @@ void DifferentialOracle::checkHotRanges(double Phi) {
            "value %" PRIx64 " with true count %" PRIu64
            " (>= %.3f) is in no hot range at phi=%.3f",
            Value, Count, MinHeavy, Phi);
+  }
+}
+
+void DifferentialOracle::checkTopK() {
+  const size_t K =
+      static_cast<size_t>(std::min<uint64_t>(Tree.numNodes(), 8));
+  std::vector<TopKRange> Top = Tree.topK(K);
+  std::vector<TopKRange> More = Tree.topK(K + 4);
+
+  if (Top.size() != K)
+    fail(Violations, "topk-shape", "topK(%zu) returned %zu entries", K,
+         Top.size());
+
+  // k-nesting: the deterministic total order makes topK(k) a prefix of
+  // topK(k + m) over the same tree.
+  for (size_t I = 0; I != Top.size() && I != More.size(); ++I) {
+    const TopKRange &A = Top[I];
+    const TopKRange &B = More[I];
+    if (A.Lo != B.Lo || A.WidthBits != B.WidthBits ||
+        A.Retained != B.Retained)
+      fail(Violations, "topk-nesting",
+           "topK(%zu)[%zu] = [%" PRIx64 ", %" PRIx64 "] is not "
+           "topK(%zu)[%zu] = [%" PRIx64 ", %" PRIx64 "]",
+           K, I, A.Lo, A.Hi, K + 4, I, B.Lo, B.Hi);
+  }
+
+  uint64_t PrevScore = ~uint64_t(0);
+  for (const TopKRange &E : Top) {
+    if (E.Retained > PrevScore)
+      fail(Violations, "topk-order",
+           "score %" PRIu64 " after %" PRIu64 " (not non-increasing)",
+           E.Retained, PrevScore);
+    PrevScore = E.Retained;
+    // A node range's lower bracket is exactly the range estimate, and
+    // the [lower, upper] bracket must contain the truth.
+    uint64_t Truth = Exact.countInRange(E.Lo, E.Hi);
+    if (E.LowerWeight != Tree.estimateRange(E.Lo, E.Hi))
+      fail(Violations, "topk-bracket",
+           "[%" PRIx64 ", %" PRIx64 "] lower %" PRIu64
+           " disagrees with estimateRange %" PRIu64,
+           E.Lo, E.Hi, E.LowerWeight, Tree.estimateRange(E.Lo, E.Hi));
+    if (Truth < E.LowerWeight || Truth > E.UpperWeight)
+      fail(Violations, "topk-bracket",
+           "[%" PRIx64 ", %" PRIx64 "] bracket [%" PRIu64 ", %" PRIu64
+           "] misses the true %" PRIu64,
+           E.Lo, E.Hi, E.LowerWeight, E.UpperWeight, Truth);
+  }
+
+  // Recall: a value whose true count clears the k-th retained score
+  // plus the error budget retains more than the k-th score on its
+  // smallest cover node (same argument as hot-range recall), so that
+  // node outranks the k-th entry and must be reported.
+  if (Top.empty())
+    return;
+  double MinHeavy = static_cast<double>(Top.back().Retained) +
+                    errorBudget() + 1.0;
+  uint64_t MinCount = MinHeavy >= 1.8e19
+                          ? ~uint64_t(0)
+                          : static_cast<uint64_t>(std::ceil(MinHeavy));
+  for (const auto &[Value, Count] : Exact.heavyValues(MinCount)) {
+    bool Covered = false;
+    for (const TopKRange &E : Top)
+      if (E.Lo <= Value && Value <= E.Hi) {
+        Covered = true;
+        break;
+      }
+    if (!Covered)
+      fail(Violations, "topk-recall",
+           "value %" PRIx64 " with true count %" PRIu64
+           " (>= %.3f) is in no topK(%zu) range",
+           Value, Count, MinHeavy, K);
   }
 }
 
@@ -333,6 +409,9 @@ void DifferentialOracle::checkNow(Rng &QueryRng) {
   for (double Phi : Options.HotPhis)
     if (Tree.numEvents() > 0)
       checkHotRanges(Phi);
+
+  if (Tree.numEvents() > 0)
+    checkTopK();
 }
 
 std::vector<InvariantViolation> DifferentialOracle::violations() const {

@@ -23,7 +23,10 @@
 ///     truth,
 ///   - every reported hot range is truly hot (precision), and every
 ///     value heavier than (phi + eps) * n is covered by some reported
-///     hot range (recall) — Sec 4.1/4.3.
+///     hot range (recall) — Sec 4.1/4.3,
+///   - topK reports are score-ordered, k-nested (topK(k) is a prefix
+///     of topK(k+m)), bracketed by the truth, and cover every value
+///     whose true count clears the k-th score plus the error budget.
 ///
 /// All checks report violations instead of asserting, so they run in
 /// NDEBUG builds and compose with the fuzz driver's seed minimization.
@@ -124,6 +127,7 @@ public:
 private:
   void checkRange(uint64_t Lo, uint64_t Hi, bool GridAligned);
   void checkHotRanges(double Phi);
+  void checkTopK();
   void checkReference();
 
   /// Hands one (possibly combined) pair to the audited tree and the

@@ -270,6 +270,19 @@ FuzzEpisode rap::deriveShardedEpisode(uint64_t MasterSeed, uint64_t Index) {
   return E;
 }
 
+FuzzEpisode rap::deriveAdmissionEpisode(uint64_t MasterSeed, uint64_t Index) {
+  FuzzEpisode E = deriveEpisode(MasterSeed, Index);
+  // A separate draw stream (same pattern as deriveArenaEpisode): the
+  // base episode stays bit-identical so admission episodes replay
+  // against the same configs and streams.
+  SplitMix64 M(MasterSeed ^ (0x8cb92ba72f3d8dd7ULL * (Index + 1)));
+  static const double Coarseness[] = {1.0, 2.0, 4.0, 8.0};
+  E.Config.EnableAdmission = true;
+  E.Config.AdmissionCoarseness = Coarseness[M.next() % 4];
+  E.Config.AdmissionSeed = M.next();
+  return E;
+}
+
 namespace {
 
 /// End-of-episode snapshot robustness battery: round-trips the tree
@@ -383,6 +396,160 @@ FuzzReport rap::runFuzzEpisode(const FuzzEpisode &Episode, uint64_t NumEvents,
     snapshotTorture(Oracle.tree(), Episode.StreamSeed, Report.Violations);
     Report.EventsFed = NumEvents;
   }
+  return Report;
+}
+
+namespace {
+
+/// Per-tree top-k nesting: topK(K) must be a field-for-field prefix
+/// of topK(K + M). Holds deterministically because topK ranks by a
+/// total order; a violation means the order has ties it cannot break.
+void checkTopKNesting(const RapTree &Tree, const char *Which,
+                      std::vector<InvariantViolation> &Out) {
+  const size_t K = 5, M = 4;
+  std::vector<TopKRange> Small = Tree.topK(K);
+  std::vector<TopKRange> Big = Tree.topK(K + M);
+  char Detail[128];
+  if (Big.size() < Small.size()) {
+    std::snprintf(Detail, sizeof(Detail),
+                  "%s tree: topK(%zu) returned %zu entries but topK(%zu) "
+                  "only %zu",
+                  Which, K, Small.size(), K + M, Big.size());
+    Out.push_back({"admission-topk-nesting", Detail});
+    return;
+  }
+  for (size_t I = 0; I != Small.size(); ++I) {
+    const TopKRange &A = Small[I], &B = Big[I];
+    if (A.Lo != B.Lo || A.Hi != B.Hi || A.WidthBits != B.WidthBits ||
+        A.Depth != B.Depth || A.Retained != B.Retained ||
+        A.LowerWeight != B.LowerWeight || A.UpperWeight != B.UpperWeight) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "%s tree: topK(%zu)[%zu] differs from topK(%zu)[%zu]",
+                    Which, K, I, K + M, I);
+      Out.push_back({"admission-topk-nesting", Detail});
+      return;
+    }
+  }
+}
+
+} // namespace
+
+FuzzReport rap::runAdmissionFuzzEpisode(const FuzzEpisode &Episode,
+                                        uint64_t NumEvents,
+                                        uint64_t CheckEvery) {
+  // Fault hygiene, as in runFuzzEpisode.
+  failpoints::disarmAll();
+  failpoints::ScopedDisarm Guard;
+
+  // The admission-ON tree runs under the full oracle (which also
+  // enforces the deferred-weight error bound); the OFF twin sees the
+  // identical raw stream directly.
+  DifferentialOracle Oracle(Episode.Config, OracleOptions());
+  RapConfig OffConfig = Episode.Config;
+  OffConfig.EnableAdmission = false;
+  RapTree OffTree(OffConfig);
+
+  StreamFuzzer Stream(Episode.StreamSeed, Episode.Shape,
+                      Episode.Config.RangeBits);
+  Rng QueryRng(Episode.StreamSeed ^ 0x5bf03635aca1fed5ULL);
+  Rng CrossRng(Episode.StreamSeed ^ 0x3c79ac492ba7b653ULL);
+  const uint64_t UniverseHi =
+      Episode.Config.RangeBits == 0 ? 0
+                                    : lowBitMask(Episode.Config.RangeBits);
+
+  FuzzReport Report;
+  char Detail[192];
+  const RapTree &OffView = OffTree;
+  auto CrossCheck = [&]() {
+    std::vector<InvariantViolation> &Out = Report.Violations;
+    const RapTree &On = Oracle.tree();
+    // Conservation, independent of which splits were admitted: both
+    // trees saw every event, and estimates conserve total weight.
+    if (On.numEvents() != OffTree.numEvents()) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "admission-on tree saw %" PRIu64
+                    " events, admission-off twin %" PRIu64,
+                    On.numEvents(), OffTree.numEvents());
+      Out.push_back({"admission-conservation", Detail});
+    }
+    if (On.estimateRange(0, UniverseHi) != On.numEvents()) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "on tree whole-universe estimate %" PRIu64
+                    " != numEvents %" PRIu64,
+                    On.estimateRange(0, UniverseHi), On.numEvents());
+      Out.push_back({"admission-conservation", Detail});
+    }
+    if (OffTree.estimateRange(0, UniverseHi) != OffTree.numEvents()) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "off tree whole-universe estimate %" PRIu64
+                    " != numEvents %" PRIu64,
+                    OffTree.estimateRange(0, UniverseHi),
+                    OffTree.numEvents());
+      Out.push_back({"admission-conservation", Detail});
+    }
+    // Accounting: only the gated tree may deny, and deferred weight
+    // exists only alongside denials.
+    if (OffTree.numAdmissionDeniedSplits() != 0 ||
+        OffTree.admissionDeferredWeight() != 0) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "admission-off tree recorded %" PRIu64
+                    " denials / %" PRIu64 " deferred weight",
+                    OffTree.numAdmissionDeniedSplits(),
+                    OffTree.admissionDeferredWeight());
+      Out.push_back({"admission-accounting", Detail});
+    }
+    if (On.admissionDeferredWeight() != 0 &&
+        On.numAdmissionDeniedSplits() == 0) {
+      std::snprintf(Detail, sizeof(Detail),
+                    "on tree deferred weight %" PRIu64 " with zero denials",
+                    On.admissionDeferredWeight());
+      Out.push_back({"admission-accounting", Detail});
+    }
+    // Both trees' brackets must contain the exact truth for the SAME
+    // random ranges (the oracle's own battery draws different ones).
+    for (unsigned Q = 0; Q != 16; ++Q) {
+      uint64_t Lo = CrossRng.next() & UniverseHi;
+      uint64_t Hi = Lo + (CrossRng.next() & (UniverseHi - Lo));
+      uint64_t Truth = Oracle.exact().countInRange(Lo, Hi);
+      for (const RapTree *T : {&On, &OffView}) {
+        RapTree::RangeBounds B = T->estimateRangeBounds(Lo, Hi);
+        if (B.Lower > Truth || B.Upper < Truth) {
+          std::snprintf(Detail, sizeof(Detail),
+                        "%s tree bracket [%" PRIu64 ", %" PRIu64
+                        "] misses exact %" PRIu64 " on [%" PRIx64 ", %"
+                        PRIx64 "]",
+                        T == &On ? "on" : "off", B.Lower, B.Upper, Truth,
+                        Lo, Hi);
+          Out.push_back({"admission-bracket", Detail});
+        }
+      }
+    }
+    checkTopKNesting(On, "on", Out);
+    checkTopKNesting(OffTree, "off", Out);
+  };
+  auto CheckPoint = [&](uint64_t EventsFed) {
+    Oracle.checkNow(QueryRng);
+    Report.Violations = Oracle.violations();
+    for (const RapTree *T : {&Oracle.tree(), &OffView}) {
+      std::vector<InvariantViolation> Structural = TreeInvariants::audit(*T);
+      Report.Violations.insert(Report.Violations.end(), Structural.begin(),
+                               Structural.end());
+    }
+    CrossCheck();
+    Report.EventsFed = EventsFed;
+    return Report.Violations.empty();
+  };
+
+  for (uint64_t I = 0; I != NumEvents; ++I) {
+    StreamEvent Event = Stream.next();
+    Oracle.addPoint(Event.X, Event.Weight);
+    if (Event.Weight != 0)
+      OffTree.addPoint(Event.X, Event.Weight);
+    if (CheckEvery != 0 && (I + 1) % CheckEvery == 0 && I + 1 != NumEvents)
+      if (!CheckPoint(I + 1))
+        return Report;
+  }
+  CheckPoint(NumEvents);
   return Report;
 }
 
@@ -502,8 +669,14 @@ FuzzReport rap::runShardedFuzzEpisode(const FuzzEpisode &Episode,
 
 uint64_t rap::minimizeFailure(const FuzzEpisode &Episode,
                               uint64_t FailingEvents) {
+  // Admission episodes carry the gate in their config; their failures
+  // (cross-checks against the admission-off twin) only reproduce under
+  // the admission runner.
   auto FailsAt = [&](uint64_t N) {
-    return !runFuzzEpisode(Episode, N, /*CheckEvery=*/0).ok();
+    FuzzReport R = Episode.Config.EnableAdmission
+                       ? runAdmissionFuzzEpisode(Episode, N, /*CheckEvery=*/0)
+                       : runFuzzEpisode(Episode, N, /*CheckEvery=*/0);
+    return !R.ok();
   };
   if (!FailsAt(FailingEvents))
     return FailingEvents;

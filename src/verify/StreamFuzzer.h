@@ -154,6 +154,13 @@ FuzzEpisode deriveFaultEpisode(uint64_t MasterSeed, uint64_t Index);
 /// watermark for concurrent ingest through ShardedRapSession.
 FuzzEpisode deriveShardedEpisode(uint64_t MasterSeed, uint64_t Index);
 
+/// Like deriveEpisode (identical config/stream for the same inputs)
+/// but with the randomized split-admission gate enabled: draws an
+/// admission coarseness from {1, 2, 4, 8} and an admission seed, so an
+/// episode replays deterministically including every admit/deny
+/// decision.
+FuzzEpisode deriveAdmissionEpisode(uint64_t MasterSeed, uint64_t Index);
+
 /// Result of running one episode.
 struct FuzzReport {
   /// Violations from the differential oracle, the online transition
@@ -192,6 +199,23 @@ FuzzReport runFuzzEpisode(const FuzzEpisode &Episode, uint64_t NumEvents,
 /// history, which combining multiplies.)
 FuzzReport runShardedFuzzEpisode(const FuzzEpisode &Episode,
                                  uint64_t NumEvents);
+
+/// Runs one admission episode. The admission-ON tree goes through the
+/// full DifferentialOracle battery — which enforces the closed-form
+/// deferred-weight error bound on top of eps * n and the top-k report
+/// properties — while a second, admission-OFF tree is fed the
+/// identical stream. At every checkpoint the two trees are
+/// cross-checked on properties that hold regardless of which splits
+/// were admitted: exact event-count agreement, whole-universe
+/// conservation on both, truth-containing estimate brackets on both
+/// for the same random ranges, per-tree top-k nesting (topK(k) is a
+/// field-for-field prefix of topK(k + m)), and admission accounting
+/// (the OFF tree records no denials; ON-tree deferred weight implies
+/// denials). Cross-TREE subset relations are deliberately NOT
+/// checked: denying a split changes which ranges exist, so neither
+/// tree's top-k need contain the other's.
+FuzzReport runAdmissionFuzzEpisode(const FuzzEpisode &Episode,
+                                   uint64_t NumEvents, uint64_t CheckEvery);
 
 /// Shrinks a failing episode to a short failing prefix: binary-searches
 /// the smallest event count whose end-of-stream check still fails.

@@ -324,14 +324,20 @@ void OnlineAuditor::addPoint(uint64_t X, uint64_t Weight) {
   const uint64_t NextMergeBefore = Tree.nextMergeAt();
   const uint64_t RefusedBefore = Tree.numRefusedSplits();
   const uint64_t ForcedBefore = Tree.forcedMergePasses();
+  const uint64_t DeniedBefore = Tree.numAdmissionDeniedSplits();
+  const uint64_t DeferredBefore = Tree.admissionDeferredWeight();
 
   Tree.addPoint(X, Weight);
 
   // Pressure accounting deltas: under a node budget (or an injected
-  // allocation failure) the tree may lawfully refuse a due split, but
-  // it must then say so through the pressure counters.
+  // allocation failure) the tree may lawfully refuse a due split, and
+  // under randomized admission it may lawfully deny one — but it must
+  // then say so through the pressure counters.
   const uint64_t RefusedDelta = Tree.numRefusedSplits() - RefusedBefore;
   const uint64_t ForcedDelta = Tree.forcedMergePasses() - ForcedBefore;
+  const uint64_t DeniedDelta = Tree.numAdmissionDeniedSplits() - DeniedBefore;
+  const uint64_t DeferredDelta =
+      Tree.admissionDeferredWeight() - DeferredBefore;
 
   if (Weight == 0) {
     // Zero-weight events are no-ops by contract.
@@ -358,9 +364,11 @@ void OnlineAuditor::addPoint(uint64_t X, uint64_t Weight) {
       !Unit &&
       static_cast<double>(CountAfter) > Config.splitThreshold(EventsAfter);
   const uint64_t SplitDelta = Tree.numSplits() - SplitsBefore;
-  // A due split either happens or is refused-and-accounted; a refusal
-  // with no due split would be pressure bookkeeping gone wrong.
-  const uint64_t ExpectedSplits = (MustSplit && RefusedDelta == 0) ? 1u : 0u;
+  // A due split either happens, is refused-and-accounted (pressure),
+  // or is denied-and-accounted (admission); a refusal or denial with
+  // no due split would be bookkeeping gone wrong.
+  const uint64_t ExpectedSplits =
+      (MustSplit && RefusedDelta == 0 && DeniedDelta == 0) ? 1u : 0u;
   if (SplitDelta != ExpectedSplits)
     R.fail("split-threshold",
            "counter %" PRIu64 " vs threshold %.6f at n=%" PRIu64
@@ -375,6 +383,32 @@ void OnlineAuditor::addPoint(uint64_t X, uint64_t Weight) {
            "forced coarsening ran (x=%" PRIx64 ") but the due split "
            "neither happened nor was refused",
            X);
+
+  // Admission accounting: at most one decision per update; a denial
+  // only on a due split with admission enabled, charged at exactly the
+  // event's weight (saturating); a granted draw leaves both counters
+  // untouched.
+  if (DeniedDelta > 1)
+    R.fail("admission-accounting",
+           "%" PRIu64 " admission denials in one update (x=%" PRIx64 ")",
+           DeniedDelta, X);
+  if (DeniedDelta != 0 && (!Config.EnableAdmission || !MustSplit))
+    R.fail("admission-accounting",
+           "admission denied (x=%" PRIx64 ") though %s", X,
+           Config.EnableAdmission ? "no split was due"
+                                  : "admission is disabled");
+  if (DeniedDelta != 0 && SplitDelta != 0)
+    R.fail("admission-accounting",
+           "update both denied admission and split (x=%" PRIx64 ")", X);
+  const uint64_t ExpectedDeferred =
+      DeniedDelta == 0 ? 0
+                       : saturatingAdd(DeferredBefore, Weight) -
+                             DeferredBefore;
+  if (DeferredDelta != ExpectedDeferred)
+    R.fail("admission-accounting",
+           "deferred weight moved by %" PRIu64 ", expected %" PRIu64
+           " (x=%" PRIx64 ")",
+           DeferredDelta, ExpectedDeferred, X);
 
   // Merge schedule (Sec 3.1): one batched merge pass exactly when the
   // stream crosses the scheduled position, none otherwise, and the

@@ -218,3 +218,118 @@ TEST(CApi, ErrnoIsThreadLocal) {
   // The main thread never failed anything in this test.
   EXPECT_EQ(rap_errno(), RAP_OK);
 }
+
+TEST(CApi, TopKRejectsBadArguments) {
+  rap_range Ranges[4];
+  // Null handle, null output, and k == 0 each fail with the
+  // invalid-argument code, never by writing anything.
+  rap_clear_error();
+  EXPECT_EQ(rap_top_k(nullptr, Ranges, 4), -1);
+  EXPECT_EQ(rap_errno(), RAP_ERR_INVALID_ARGUMENT);
+  rap_handle *Handle = rap_init(16, 0.05, 0);
+  ASSERT_NE(Handle, nullptr);
+  rap_clear_error();
+  EXPECT_EQ(rap_top_k(Handle, nullptr, 4), -1);
+  EXPECT_EQ(rap_errno(), RAP_ERR_INVALID_ARGUMENT);
+  rap_clear_error();
+  EXPECT_EQ(rap_top_k(Handle, Ranges, 0), -1);
+  EXPECT_EQ(rap_errno(), RAP_ERR_INVALID_ARGUMENT);
+  rap_finalize(Handle, nullptr, 0);
+}
+
+TEST(CApi, TopKReturnsOrderedBracketedRanges) {
+  rap_handle *Handle = rap_init(16, 0.05, 0);
+  ASSERT_NE(Handle, nullptr);
+  std::vector<uint64_t> Points;
+  for (int I = 0; I != 2000; ++I)
+    Points.push_back(42);
+  for (int I = 0; I != 500; ++I)
+    Points.push_back(uint64_t(I) * 131);
+  rap_add_points(Handle, Points.data(), Points.size());
+  rap_range Ranges[8];
+  int64_t Count = rap_top_k(Handle, Ranges, 8);
+  ASSERT_GT(Count, 0);
+  ASSERT_LE(Count, 8);
+  bool HotCovered = false;
+  for (int64_t I = 0; I != Count; ++I) {
+    if (I > 0)
+      EXPECT_GE(Ranges[I - 1].retained, Ranges[I].retained);
+    EXPECT_LE(Ranges[I].lo, Ranges[I].hi);
+    EXPECT_LE(Ranges[I].lower_weight, Ranges[I].upper_weight);
+    HotCovered = HotCovered || (Ranges[I].lo <= 42 && 42 <= Ranges[I].hi);
+  }
+  // The dominant value must be inside some reported range.
+  EXPECT_TRUE(HotCovered);
+  // A request larger than the tree returns one entry per node, capped
+  // at the requested k.
+  rap_range Many[64];
+  int64_t All = rap_top_k(Handle, Many, 64);
+  uint64_t Nodes = rap_num_nodes(Handle);
+  EXPECT_EQ(All, int64_t(Nodes < 64 ? Nodes : 64));
+  rap_finalize(Handle, nullptr, 0);
+}
+
+TEST(CApi, InitAdmissionGatesAndReportsPressure) {
+  // A gigantic coarseness denies essentially every split: the hot
+  // value's due splits show up in the admission counters, not as
+  // budget pressure, and no nodes get allocated for them.
+  rap_handle *Handle = rap_init_admission(16, 0.05, 0, 1e15, 0x5eed);
+  ASSERT_NE(Handle, nullptr) << rap_last_error();
+  std::vector<uint64_t> Points(5000, 42);
+  rap_add_points(Handle, Points.data(), Points.size());
+  rap_pressure Pressure;
+  ASSERT_EQ(rap_pressure_stats(Handle, &Pressure), 0);
+  EXPECT_GT(Pressure.admission_denied_splits, 0u);
+  EXPECT_EQ(Pressure.admission_deferred_weight,
+            Pressure.admission_denied_splits);
+  EXPECT_EQ(Pressure.refused_splits, 0u);
+  EXPECT_EQ(Pressure.degraded_weight, 0u);
+  EXPECT_EQ(rap_num_events(Handle), 5000u);
+  rap_finalize(Handle, nullptr, 0);
+
+  // Negative coarseness means "the default", which must validate.
+  rap_handle *Defaulted = rap_init_admission(16, 0.05, 0, -1.0, 0);
+  ASSERT_NE(Defaulted, nullptr) << rap_last_error();
+  rap_finalize(Defaulted, nullptr, 0);
+}
+
+TEST(CApi, AdmissionStateSurvivesSaveLoad) {
+  // Save mid-stream, reload, and continue: the restored handle must
+  // carry the admission RNG position and accounting, so the continued
+  // run is bit-identical to an uninterrupted one.
+  std::string Path = ::testing::TempDir() + "capi_admission.rap";
+  std::vector<uint64_t> Stream;
+  for (int I = 0; I != 6000; ++I)
+    Stream.push_back(I % 3 == 0 ? 42u : uint64_t(I) * 257);
+
+  rap_handle *Whole = rap_init_admission(16, 0.05, 0, 4.0, 0x5eed);
+  ASSERT_NE(Whole, nullptr);
+  rap_add_points(Whole, Stream.data(), Stream.size());
+
+  rap_handle *Half = rap_init_admission(16, 0.05, 0, 4.0, 0x5eed);
+  ASSERT_NE(Half, nullptr);
+  rap_add_points(Half, Stream.data(), Stream.size() / 2);
+  ASSERT_EQ(rap_save_profile(Half, Path.c_str()), 0) << rap_last_error();
+  rap_finalize(Half, nullptr, 0);
+
+  rap_handle *Resumed = rap_load_profile(Path.c_str());
+  ASSERT_NE(Resumed, nullptr) << rap_last_error();
+  rap_add_points(Resumed, Stream.data() + Stream.size() / 2,
+                 Stream.size() - Stream.size() / 2);
+
+  rap_pressure WholeP, ResumedP;
+  ASSERT_EQ(rap_pressure_stats(Whole, &WholeP), 0);
+  ASSERT_EQ(rap_pressure_stats(Resumed, &ResumedP), 0);
+  EXPECT_EQ(WholeP.admission_denied_splits, ResumedP.admission_denied_splits);
+  EXPECT_EQ(WholeP.admission_deferred_weight,
+            ResumedP.admission_deferred_weight);
+  EXPECT_EQ(rap_num_events(Whole), rap_num_events(Resumed));
+  EXPECT_EQ(rap_num_nodes(Whole), rap_num_nodes(Resumed));
+
+  char DumpWhole[16384], DumpResumed[16384];
+  uint64_t NeedWhole = rap_finalize(Whole, DumpWhole, sizeof(DumpWhole));
+  uint64_t NeedResumed =
+      rap_finalize(Resumed, DumpResumed, sizeof(DumpResumed));
+  EXPECT_EQ(NeedWhole, NeedResumed);
+  EXPECT_STREQ(DumpWhole, DumpResumed);
+}

@@ -7,6 +7,7 @@
 
 #include "core/Serialization.h"
 
+#include "support/Crc32.h"
 #include "support/Rng.h"
 #include "verify/TreeInvariants.h"
 
@@ -522,4 +523,161 @@ TEST(ProfileSnapshot, LoadFileClassifiesErrors) {
   }
   EXPECT_EQ(ProfileSnapshot::loadFile(Flipped, &Error, &Kind), nullptr);
   EXPECT_EQ(Kind, ProfileIoError::Corrupt);
+}
+
+namespace {
+
+RapConfig admissionTestConfig() {
+  RapConfig Config;
+  Config.RangeBits = 16;
+  Config.Epsilon = 0.05;
+  Config.EnableAdmission = true;
+  Config.AdmissionCoarseness = 4.0;
+  Config.AdmissionSeed = 0x5eedf00d;
+  return Config;
+}
+
+std::unique_ptr<RapTree> makeAdmissionTree(int Events) {
+  auto Tree = std::make_unique<RapTree>(admissionTestConfig());
+  Rng R(17);
+  for (int I = 0; I != Events; ++I) {
+    if (R.nextBernoulli(0.3))
+      Tree->addPoint(0x1234);
+    else
+      Tree->addPoint(R.nextBelow(1 << 16));
+  }
+  return Tree;
+}
+
+} // namespace
+
+TEST(ProfileSnapshot, AdmissionStateRoundTripsBinaryAndText) {
+  std::unique_ptr<RapTree> Tree = makeAdmissionTree(30000);
+  ProfileSnapshot Original = ProfileSnapshot::capture(*Tree);
+  EXPECT_EQ(Original.admissionRngState(), Tree->admissionRngState());
+  EXPECT_EQ(Original.admissionDeferredWeight(),
+            Tree->admissionDeferredWeight());
+  EXPECT_EQ(Original.admissionDeniedSplits(),
+            Tree->numAdmissionDeniedSplits());
+  // The RNG must have moved off the seed (splits were due) for this
+  // round-trip to prove anything.
+  ASSERT_NE(Original.admissionRngState(),
+            admissionTestConfig().AdmissionSeed);
+
+  std::ostringstream Binary;
+  ASSERT_TRUE(Original.writeBinary(Binary));
+  std::istringstream BinaryIn(Binary.str());
+  std::string Error;
+  std::unique_ptr<ProfileSnapshot> FromBinary =
+      ProfileSnapshot::readBinary(BinaryIn, &Error);
+  ASSERT_TRUE(FromBinary) << Error;
+  EXPECT_TRUE(*FromBinary == Original);
+
+  std::ostringstream Text;
+  ASSERT_TRUE(Original.writeText(Text));
+  std::istringstream TextIn(Text.str());
+  std::unique_ptr<ProfileSnapshot> FromText =
+      ProfileSnapshot::readText(TextIn, &Error);
+  ASSERT_TRUE(FromText) << Error;
+  EXPECT_TRUE(*FromText == Original);
+  EXPECT_EQ(FromText->config().EnableAdmission, true);
+  EXPECT_EQ(FromText->config().AdmissionCoarseness, 4.0);
+}
+
+TEST(ProfileSnapshot, ResumedAdmissionTreeContinuesBitIdentically) {
+  // Save at the halfway point, restore, and feed the second half: the
+  // resumed tree must make the IDENTICAL admission decisions as the
+  // uninterrupted control, which only holds if the RNG position (not
+  // just the seed) survives the round-trip.
+  const int Events = 30000;
+  std::unique_ptr<RapTree> Whole = makeAdmissionTree(Events);
+
+  std::unique_ptr<RapTree> Half = makeAdmissionTree(Events / 2);
+  std::ostringstream Binary;
+  ASSERT_TRUE(ProfileSnapshot::capture(*Half).writeBinary(Binary));
+  std::istringstream In(Binary.str());
+  std::string Error;
+  std::unique_ptr<ProfileSnapshot> Loaded =
+      ProfileSnapshot::readBinary(In, &Error);
+  ASSERT_TRUE(Loaded) << Error;
+  std::unique_ptr<RapTree> Resumed = Loaded->restore();
+  ASSERT_TRUE(Resumed);
+  EXPECT_EQ(Resumed->admissionRngState(), Half->admissionRngState());
+
+  // Replay the second half of the identical stream into the restored
+  // tree (makeAdmissionTree's generator is deterministic).
+  Rng R(17);
+  for (int I = 0; I != Events; ++I) {
+    uint64_t X = R.nextBernoulli(0.3) ? 0x1234 : R.nextBelow(1 << 16);
+    if (I >= Events / 2)
+      Resumed->addPoint(X);
+  }
+  EXPECT_EQ(Resumed->numAdmissionDeniedSplits(),
+            Whole->numAdmissionDeniedSplits());
+  EXPECT_EQ(Resumed->admissionDeferredWeight(),
+            Whole->admissionDeferredWeight());
+  EXPECT_EQ(Resumed->admissionRngState(), Whole->admissionRngState());
+  std::ostringstream DumpWhole, DumpResumed;
+  Whole->dump(DumpWhole);
+  Resumed->dump(DumpResumed);
+  EXPECT_EQ(DumpWhole.str(), DumpResumed.str());
+}
+
+TEST(ProfileSnapshot, BinaryV3StillLoadsWithAdmissionDefaults) {
+  // Hand-rolled version-3 stream (budget fields + CRC footer, no
+  // admission fields): it must load with admission off and the RNG
+  // state initialized from the configured (default) seed.
+  std::string Bytes;
+  auto PutU32 = [&Bytes](uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Bytes.push_back(static_cast<char>(V >> (8 * I)));
+  };
+  auto PutU64 = [&Bytes](uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Bytes.push_back(static_cast<char>(V >> (8 * I)));
+  };
+  auto PutF64 = [&PutU64](double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    PutU64(Bits);
+  };
+  Bytes += "RAPP";
+  PutU32(3);          // version 3
+  PutU32(16);         // RangeBits
+  PutU32(4);          // BranchFactor
+  PutF64(0.05);       // Epsilon
+  PutF64(2.0);        // MergeRatio
+  PutU64(1024);       // InitialMergeInterval
+  PutF64(1.0);        // MergeThresholdScale
+  Bytes.push_back(1); // EnableMerges
+  PutU64(0);          // MaxNodes
+  PutU64(0);          // MaxMemoryBytes
+  PutU64(6);          // NumEvents
+  PutU64(2048);       // NextMergeAt
+  PutU64(3);          // NumNodes
+  auto PutNode = [&](uint64_t Lo, uint8_t Width, uint64_t Count) {
+    PutU64(Lo);
+    Bytes.push_back(static_cast<char>(Width));
+    PutU64(Count);
+  };
+  PutNode(0, 16, 3);
+  PutNode(0, 14, 1);
+  PutNode(0x4000, 14, 2);
+  uint32_t Sum = crc32(Bytes.data(), Bytes.size());
+  PutU32(Sum);
+  Bytes += "PRAR";
+
+  std::stringstream Stream(Bytes);
+  std::string Error;
+  std::unique_ptr<ProfileSnapshot> Loaded =
+      ProfileSnapshot::readBinary(Stream, &Error);
+  ASSERT_TRUE(Loaded) << Error;
+  EXPECT_FALSE(Loaded->config().EnableAdmission);
+  EXPECT_EQ(Loaded->admissionRngState(), Loaded->config().AdmissionSeed);
+  EXPECT_EQ(Loaded->admissionDeferredWeight(), 0u);
+  EXPECT_EQ(Loaded->admissionDeniedSplits(), 0u);
+  std::unique_ptr<RapTree> Tree = Loaded->restore();
+  ASSERT_TRUE(Tree);
+  EXPECT_EQ(Tree->numEvents(), 6u);
+  EXPECT_EQ(Tree->nextMergeAt(), 2048u);
 }

@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -226,4 +227,99 @@ TEST(ShardedRapSession, HotRangeSurvivesSharding) {
   EXPECT_TRUE(Covered)
       << "expected a hot range covering [0, 0x0fff], got " << Hot.size()
       << " ranges";
+}
+
+TEST(ShardedRapSession, TopKRangesMergesShardCandidates) {
+  // Quiesced session: the session-wide top-k must surface the hot
+  // range regardless of how its weight was split across shards, with
+  // brackets summed over every tree.
+  ShardedRapSession Session(sessionConfig(), 8, /*CombineEvery=*/0);
+  uint64_t Total = 0;
+  for (unsigned T = 0; T != 3; ++T)
+    for (uint64_t X : threadStream(T, 20000)) {
+      Session.ingest(X);
+      ++Total;
+    }
+  // Deliberately NO combineNow: candidates must come out of the
+  // pending shard deltas too.
+  std::vector<TopKRange> Top = Session.topKRanges(6);
+  ASSERT_FALSE(Top.empty());
+  ASSERT_LE(Top.size(), 6u);
+  bool HotCovered = false;
+  for (size_t I = 0; I != Top.size(); ++I) {
+    if (I > 0)
+      EXPECT_GE(Top[I - 1].Retained, Top[I].Retained) << "not ordered";
+    EXPECT_EQ(Top[I].Retained, Top[I].LowerWeight);
+    EXPECT_LE(Top[I].LowerWeight, Top[I].UpperWeight);
+    EXPECT_LE(Top[I].UpperWeight, Total);
+    HotCovered =
+        HotCovered || (Top[I].Lo <= 0x0fff && Top[I].Hi >= 0x0fff) ||
+        (Top[I].Lo == 0 && Top[I].Hi >= 0x07ff);
+    // The summed lower bracket can never exceed the session estimate
+    // for the same range read through the combined-view query (the
+    // latter misses pending deltas, so it is the smaller one).
+    EXPECT_LE(Session.combinedEstimate(Top[I].Lo, Top[I].Hi),
+              Top[I].LowerWeight);
+  }
+  EXPECT_TRUE(HotCovered) << "hot range lost in the shard merge";
+  // Combining must not lose weight: the report still conserves the
+  // stream total afterwards (absorb re-compacts structure, so
+  // individual range estimates may legitimately coarsen).
+  Session.combineNow();
+  std::vector<TopKRange> After = Session.topKRanges(6);
+  ASSERT_FALSE(After.empty());
+  EXPECT_LE(After[0].UpperWeight, Total);
+  EXPECT_EQ(Session.totalEvents(), Total);
+}
+
+TEST(ShardedRapSession, TopKRangesZeroKAndOversizedK) {
+  ShardedRapSession Session(sessionConfig(), 4, /*CombineEvery=*/0);
+  EXPECT_TRUE(Session.topKRanges(0).empty());
+  EXPECT_TRUE(Session.topKRanges(8).empty() ||
+              Session.topKRanges(8)[0].Retained == 0);
+  for (uint64_t X : threadStream(0, 1000))
+    Session.ingest(X);
+  std::vector<TopKRange> All = Session.topKRanges(10000);
+  EXPECT_FALSE(All.empty());
+}
+
+TEST(ShardedRapSession, ConcurrentTopKUnderIngestStaysSound) {
+  // TSan workload: readers pull session-wide top-k reports while
+  // writers ingest and the watermark combiner runs. Every report must
+  // be internally consistent (ordered, bracket-sane, bounded by the
+  // final total) no matter the interleaving.
+  ShardedRapSession Session(sessionConfig(), 8, /*CombineEvery=*/1024);
+  const unsigned Writers = 3;
+  const size_t EventsPerWriter = 20000;
+  const uint64_t FinalTotal = Writers * EventsPerWriter;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != Writers; ++T)
+    Threads.emplace_back([&Session, T]() {
+      for (uint64_t X : threadStream(T, EventsPerWriter))
+        Session.ingest(X);
+    });
+  std::atomic<bool> Done{false};
+  std::atomic<bool> Sound{true};
+  std::thread Reader([&]() {
+    while (!Done.load()) {
+      std::vector<TopKRange> Top = Session.topKRanges(4);
+      for (size_t I = 0; I != Top.size(); ++I) {
+        bool Ok = Top[I].LowerWeight <= Top[I].UpperWeight &&
+                  Top[I].Lo <= Top[I].Hi &&
+                  (I == 0 || Top[I - 1].Retained >= Top[I].Retained);
+        if (!Ok)
+          Sound.store(false);
+      }
+    }
+  });
+  for (std::thread &Th : Threads)
+    Th.join();
+  Done.store(true);
+  Reader.join();
+  EXPECT_TRUE(Sound.load());
+  Session.combineNow();
+  std::vector<TopKRange> Final = Session.topKRanges(4);
+  ASSERT_FALSE(Final.empty());
+  EXPECT_LE(Final[0].UpperWeight, FinalTotal);
+  EXPECT_EQ(Session.totalEvents(), FinalTotal);
 }

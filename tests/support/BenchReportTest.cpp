@@ -284,6 +284,84 @@ TEST(BenchReport, DiffFlagsMissingEntries) {
   EXPECT_NE(Problems[1].find("zipf"), std::string::npos);
 }
 
+TEST(BenchReport, MetricsParseValidateAndRoundTrip) {
+  // A variant may carry an optional flat map of named scalar metrics;
+  // reports without one (the whole golden fixture) parse to empty maps.
+  BenchReport Plain = parseOrDie(BaselineFixture);
+  EXPECT_TRUE(Plain.Workloads[0].Variants[0].Metrics.empty());
+
+  BenchReport Report = parseOrDie(BaselineFixture);
+  Report.Workloads[0].Variants[1].Metrics = {{"topk_recall", 0.97},
+                                             {"node_reduction", 0.41}};
+  std::vector<std::string> Problems;
+  EXPECT_TRUE(validateBenchReport(Report, Problems))
+      << (Problems.empty() ? "" : Problems.front());
+
+  std::string Text = serializeBenchReport(Report);
+  // Keys are emitted in sorted order regardless of insertion order.
+  size_t NodeRed = Text.find("node_reduction");
+  size_t Recall = Text.find("topk_recall");
+  ASSERT_NE(NodeRed, std::string::npos);
+  ASSERT_NE(Recall, std::string::npos);
+  EXPECT_LT(NodeRed, Recall);
+
+  BenchReport Back = parseOrDie(Text);
+  ASSERT_EQ(Back.Workloads[0].Variants[1].Metrics.size(), 2u);
+  EXPECT_EQ(serializeBenchReport(Back), Text)
+      << "serialization must be a fixed point with metrics present";
+  // Variants without metrics serialize with no "metrics" field at all,
+  // so pre-metrics consumers see byte-identical JSON.
+  BenchReport NoMetrics = parseOrDie(BaselineFixture);
+  EXPECT_EQ(serializeBenchReport(NoMetrics).find("metrics"),
+            std::string::npos);
+}
+
+TEST(BenchReport, MetricsRejectMalformedInput) {
+  BenchReport Report;
+  std::string Error;
+  std::string Text(BaselineFixture);
+  // Splice a non-object "metrics" into the first variant.
+  size_t At = Text.find("\"merge_events\": [1024, 3072, 7168]");
+  ASSERT_NE(At, std::string::npos);
+  std::string Bad = Text;
+  Bad.insert(At, "\"metrics\": [1, 2],\n          ");
+  EXPECT_FALSE(parseBenchReport(Bad, Report, &Error));
+  EXPECT_NE(Error.find("metrics"), std::string::npos);
+
+  Bad = Text;
+  Bad.insert(At, "\"metrics\": {\"topk_recall\": \"high\"},\n          ");
+  EXPECT_FALSE(parseBenchReport(Bad, Report = {}, &Error));
+  EXPECT_NE(Error.find("non-numeric metric"), std::string::npos);
+
+  // Duplicate and empty metric names are semantic (validate) errors.
+  BenchReport Dup = parseOrDie(BaselineFixture);
+  Dup.Workloads[0].Variants[0].Metrics = {{"x", 1.0}, {"x", 2.0}, {"", 3.0}};
+  std::vector<std::string> Problems;
+  EXPECT_FALSE(validateBenchReport(Dup, Problems));
+  bool FoundDup = false, FoundEmpty = false;
+  for (const std::string &P : Problems) {
+    FoundDup = FoundDup || P.find("duplicate metric") != std::string::npos;
+    FoundEmpty =
+        FoundEmpty || P.find("metric with an empty name") != std::string::npos;
+  }
+  EXPECT_TRUE(FoundDup);
+  EXPECT_TRUE(FoundEmpty);
+}
+
+TEST(BenchReport, DiffIgnoresMetrics) {
+  // Metrics are informational: a candidate whose metrics moved (or
+  // vanished) passes the gate as long as throughput holds.
+  BenchReport Baseline = parseOrDie(BaselineFixture);
+  Baseline.Workloads[0].Variants[0].Metrics = {{"topk_recall", 1.0}};
+  BenchReport Candidate = parseOrDie(BaselineFixture);
+  Candidate.Workloads[0].Variants[0].Metrics = {{"topk_recall", 0.2}};
+  Candidate.Workloads[1].Variants[0].Metrics.clear();
+  std::vector<std::string> Problems;
+  EXPECT_TRUE(diffBenchReports(Baseline, Candidate, BenchDiffOptions(),
+                               Problems))
+      << Problems.front();
+}
+
 TEST(BenchReport, DiffHonorsCustomTolerance) {
   BenchReport Baseline = parseOrDie(BaselineFixture);
   BenchReport Candidate = candidateWith(24000000.0); // -20%

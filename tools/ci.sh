@@ -11,8 +11,10 @@
 #   4. 25-episode differential fuzz slices (ASan-instrumented): plain,
 #      arena/stage-0 combined delivery (every checkpoint also
 #      cross-checks the slab tree against the legacy ReferenceRapTree),
-#      and the fault regime (node/byte budgets, deterministic alloc
-#      failures, snapshot corruption battery)
+#      the fault regime (node/byte budgets, deterministic alloc
+#      failures, snapshot corruption battery), and the admission
+#      regime (randomized split-admission tree cross-checked against
+#      an admission-off twin fed the identical stream)
 #   5. ThreadSanitizer build + the `concurrency` ctest label (the
 #      threaded ShardedRapSession suite and bench_parallel smoke) plus
 #      a 25-episode sharded fuzz slice — concurrent ingest threads
@@ -24,11 +26,13 @@
 #   7. when clang++ is installed: a clang build of rap_core with
 #      -Wthread-safety, the independent check of the same lock
 #      annotations rap_lint verifies
-#   8. non-gating perf leg: bench_run --smoke and bench_parallel
-#      --smoke through the bench_diff schema check, plus a
-#      timing-tolerant diff of the smoke numbers against the pinned
-#      BENCH_core.json (timings on unpinned CI machines are advisory;
-#      only the schema checks can fail the run)
+#   8. non-gating perf leg: bench_run, bench_parallel and
+#      bench_admission --smoke through the bench_diff schema check,
+#      schema checks of the pinned BENCH_parallel.json and
+#      BENCH_admission.json, plus a timing-tolerant diff of the smoke
+#      numbers against the pinned BENCH_core.json (timings on unpinned
+#      CI machines are advisory; only the schema checks can fail the
+#      run)
 #
 # Usage: tools/ci.sh [jobs]     (from the repo root; default jobs = nproc)
 #
@@ -66,6 +70,9 @@ step "arena fuzz slice (stage-0 combined delivery, 25 episodes, ASan)"
 step "fault fuzz slice (budgets + alloc failures + snapshot battery, ASan)"
 ./build-asan/tools/rap_fuzz --faults --episodes=25 --seed=1 --events=8000
 
+step "admission fuzz slice (gated splits vs admission-off twin, ASan)"
+./build-asan/tools/rap_fuzz --admission --episodes=25 --seed=1 --events=8000
+
 step "ThreadSanitizer build + concurrency label + sharded fuzz slice"
 cmake -B build-tsan -S . -DRAP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -100,6 +107,10 @@ step "bench smoke + schema check (perf numbers non-gating)"
 ./build/bench/bench_parallel --smoke --out=build/BENCH_parallel_smoke.json
 ./build/tools/bench_diff --check build/BENCH_parallel_smoke.json
 ./build/tools/bench_diff --check BENCH_parallel.json
+./build/bench/bench_admission --smoke \
+    --out=build/BENCH_admission_smoke.json
+./build/tools/bench_diff --check build/BENCH_admission_smoke.json
+./build/tools/bench_diff --check BENCH_admission.json
 # Advisory only: smoke timings on a shared machine are noise, but a
 # catastrophic slowdown is still worth a line in the log.
 ./build/tools/bench_diff BENCH_core.json build/BENCH_smoke.json \

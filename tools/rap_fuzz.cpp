@@ -34,6 +34,15 @@
 // the checked properties are interleaving-independent, the
 // interleaving itself is not.
 //
+// --admission derives each episode with the randomized split
+// admission gate enabled (a drawn coarseness and admission seed) and
+// runs the admission-ON tree through the full oracle battery — which
+// enforces the closed-form deferred-weight error bound — while an
+// admission-OFF twin fed the identical stream is cross-checked on
+// interleaving-independent properties: event conservation, brackets
+// containing the exact truth on both trees, and per-tree top-k
+// nesting. Replays need --admission too.
+//
 // Exit status: 0 all episodes clean, 1 violations found, 2 bad usage.
 //
 //===----------------------------------------------------------------------===//
@@ -65,6 +74,9 @@ void describeEpisode(const FuzzEpisode &E) {
     std::printf("  sharded: threads=%u shards=%u combine-every=%" PRIu64
                 "\n",
                 E.ShardThreads, E.SessionShards, E.ShardCombineEvery);
+  if (E.Config.EnableAdmission)
+    std::printf("  admission: coarseness=%.1f seed=0x%" PRIx64 "\n",
+                E.Config.AdmissionCoarseness, E.Config.AdmissionSeed);
 }
 
 void printViolations(const FuzzReport &Report, uint64_t Limit) {
@@ -99,6 +111,9 @@ int main(int Argc, char **Argv) {
   Args.addBool("sharded",
                "fuzz concurrent ingest through ShardedRapSession against "
                "a sequential exact-oracle replay");
+  Args.addBool("admission",
+               "fuzz the randomized split-admission gate against an "
+               "admission-off twin fed the identical stream");
   Args.addBool("verbose", "describe every episode, not just failures");
   if (!Args.parse(Argc, Argv))
     return 2;
@@ -109,21 +124,24 @@ int main(int Argc, char **Argv) {
   bool Arena = Args.getBool("arena");
   bool Faults = Args.getBool("faults");
   bool Sharded = Args.getBool("sharded");
-  if (int(Arena) + int(Faults) + int(Sharded) > 1) {
+  bool Admission = Args.getBool("admission");
+  if (int(Arena) + int(Faults) + int(Sharded) + int(Admission) > 1) {
     std::fprintf(stderr,
-                 "rap_fuzz: --arena, --faults, and --sharded are "
-                 "exclusive\n");
+                 "rap_fuzz: --arena, --faults, --sharded, and --admission "
+                 "are exclusive\n");
     return 2;
   }
   auto Derive = [&](uint64_t Index) {
-    return Sharded  ? deriveShardedEpisode(Seed, Index)
-           : Faults ? deriveFaultEpisode(Seed, Index)
-           : Arena  ? deriveArenaEpisode(Seed, Index)
-                    : deriveEpisode(Seed, Index);
+    return Sharded     ? deriveShardedEpisode(Seed, Index)
+           : Faults    ? deriveFaultEpisode(Seed, Index)
+           : Arena     ? deriveArenaEpisode(Seed, Index)
+           : Admission ? deriveAdmissionEpisode(Seed, Index)
+                       : deriveEpisode(Seed, Index);
   };
   auto Run = [&](const FuzzEpisode &E, uint64_t Events, uint64_t Every) {
-    return Sharded ? runShardedFuzzEpisode(E, Events)
-                   : runFuzzEpisode(E, Events, Every);
+    return Sharded     ? runShardedFuzzEpisode(E, Events)
+           : Admission ? runAdmissionFuzzEpisode(E, Events, Every)
+                       : runFuzzEpisode(E, Events, Every);
   };
 
   if (Args.getBool("replay")) {
@@ -164,10 +182,11 @@ int main(int Argc, char **Argv) {
                 " --replay-episode=%" PRIu64 " --replay-events=%" PRIu64
                 " --check-every=0\n",
                 Minimal,
-                Sharded  ? " --sharded"
-                : Faults ? " --faults"
-                : Arena  ? " --arena"
-                         : "",
+                Sharded     ? " --sharded"
+                : Faults    ? " --faults"
+                : Arena     ? " --arena"
+                : Admission ? " --admission"
+                            : "",
                 Seed, I, Minimal);
   }
 
