@@ -1,0 +1,131 @@
+//===- core/RangeFence.cpp - Banded cold-range filter ---------------------===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RangeFence.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rap;
+
+namespace {
+
+/// Sets bits [B, E] in a word-packed bitmap. The double-shift masks
+/// avoid the undefined 64-bit shift when a span covers a whole word.
+void setBitRange(std::vector<uint64_t> &Bits, uint64_t B, uint64_t E) {
+  uint64_t FirstWord = B / 64, LastWord = E / 64;
+  uint64_t HeadMask = ~uint64_t(0) << B % 64;
+  uint64_t TailMask = ~uint64_t(0) >> (63 - E % 64);
+  if (FirstWord == LastWord) {
+    Bits[FirstWord] |= HeadMask & TailMask;
+    return;
+  }
+  Bits[FirstWord] |= HeadMask;
+  for (uint64_t W = FirstWord + 1; W != LastWord; ++W)
+    Bits[W] = ~uint64_t(0);
+  Bits[LastWord] |= TailMask;
+}
+
+/// True when any bit in [B, E] is set.
+bool anyBitInRange(const std::vector<uint64_t> &Bits, uint64_t B, uint64_t E) {
+  uint64_t FirstWord = B / 64, LastWord = E / 64;
+  uint64_t HeadMask = ~uint64_t(0) << B % 64;
+  uint64_t TailMask = ~uint64_t(0) >> (63 - E % 64);
+  if (FirstWord == LastWord)
+    return (Bits[FirstWord] & HeadMask & TailMask) != 0;
+  if ((Bits[FirstWord] & HeadMask) != 0)
+    return true;
+  for (uint64_t W = FirstWord + 1; W != LastWord; ++W)
+    if (Bits[W] != 0)
+      return true;
+  return (Bits[LastWord] & TailMask) != 0;
+}
+
+} // namespace
+
+void RangeFence::init(unsigned UniverseBits) {
+  Levels.clear();
+  PrefixBits = std::min(UniverseBits, MaxPrefixBits);
+  Shift = UniverseBits - PrefixBits;
+  size_t NumWords = std::max<size_t>(1, (size_t(1) << PrefixBits) / 64);
+
+  // Band 0: nodes at most one bucket wide. Later bands: LevelStep
+  // widths each until the universe width is covered.
+  unsigned Widest = Shift;
+  for (;;) {
+    Level L;
+    L.MinWidthBits = Levels.empty() ? 0 : Levels.back().MaxWidthBits + 1;
+    L.MaxWidthBits = Widest;
+    L.Bits.assign(NumWords, 0);
+    Levels.push_back(std::move(L));
+    if (Widest >= UniverseBits)
+      break;
+    Widest = std::min(Widest + LevelStep, UniverseBits);
+  }
+}
+
+void RangeFence::clear() {
+  for (Level &L : Levels)
+    std::fill(L.Bits.begin(), L.Bits.end(), 0);
+}
+
+uint64_t RangeFence::bucketOf(uint64_t X) const {
+  // Clamping keeps an out-of-universe query endpoint from indexing
+  // past the bitmap. Shift < 64 always: PrefixBits is positive for
+  // any universe wider than zero bits.
+  return std::min(X >> Shift, (uint64_t(1) << PrefixBits) - 1);
+}
+
+void RangeFence::markNode(uint64_t Lo, unsigned WidthBits) {
+  assert(enabled() && "marking a disabled fence");
+  for (Level &L : Levels) {
+    if (WidthBits > L.MaxWidthBits)
+      continue;
+    uint64_t Hi = WidthBits >= 64 ? ~uint64_t(0)
+                                  : Lo + ((uint64_t(1) << WidthBits) - 1);
+    setBitRange(L.Bits, bucketOf(Lo), bucketOf(Hi));
+    return;
+  }
+  assert(false && "node wider than the universe");
+}
+
+bool RangeFence::provablyCold(uint64_t Lo, uint64_t Hi) const {
+  if (!enabled())
+    return false;
+  uint64_t Span = Hi - Lo; // span - 1, safely: Hi >= Lo
+  uint64_t B = bucketOf(Lo), E = bucketOf(Hi);
+  for (const Level &L : Levels) {
+    // A band holding only nodes of at least 2^MinWidthBits values is
+    // irrelevant to a narrower query: containment is impossible, so
+    // its (wide, heavily marked) buckets must not poison the verdict.
+    // MinWidthBits never reaches 64 (the widest band's floor is one
+    // past the previous band's ceiling, at most 60 + 1).
+    if (L.MinWidthBits != 0 &&
+        Span < (uint64_t(1) << L.MinWidthBits) - 1)
+      continue;
+    if (anyBitInRange(L.Bits, B, E))
+      return false;
+  }
+  return true;
+}
+
+uint64_t RangeFence::warmBuckets() const {
+  if (!enabled())
+    return 0;
+  uint64_t Total = 0;
+  for (uint64_t Word : Levels.front().Bits)
+    Total += static_cast<uint64_t>(__builtin_popcountll(Word));
+  return Total;
+}
+
+uint64_t RangeFence::numBuckets() const {
+  return enabled() ? uint64_t(1) << PrefixBits : 0;
+}
+
+unsigned RangeFence::prefixBits() const {
+  return enabled() ? PrefixBits : 0;
+}

@@ -179,6 +179,39 @@ RapTree::RapTree(const RapConfig &TreeConfig) : Config(TreeConfig) {
   NextMergeAt = Config.InitialMergeInterval;
   AdmissionRngState = Config.AdmissionSeed;
   Pressure.NodeBudget = Config.effectiveNodeBudget();
+  if (Config.EnableRangeFence)
+    Fence.init(Config.RangeBits);
+}
+
+uint64_t RapTree::rebuildFenceWalk(uint32_t Node) {
+  uint64_t Warm = 0;
+  if (Arena.Counts[Node] > 0) {
+    Warm = 1;
+    if (Node != 0 && Fence.enabled())
+      Fence.markNode(Arena.Los[Node], Arena.Widths[Node]);
+  }
+  uint64_t Nav = Arena.Navs[Node];
+  if (NodeArena::navIsLeaf(Nav))
+    return Warm;
+  uint32_t First = NodeArena::navFirstChild(Nav);
+  unsigned NumSlots = 1u << NodeArena::navSlotLog2(Nav);
+  for (unsigned Slot = 0; Slot != NumSlots; ++Slot)
+    if (!NodeArena::navIsDead(Arena.Navs[First + Slot]))
+      Warm += rebuildFenceWalk(First + Slot);
+  return Warm;
+}
+
+void RapTree::rebuildFence() {
+  // Re-derives both the bitmap and the warm-node count from the live
+  // counters. Required after any operation that moves counters
+  // wholesale (merge folds lift child weight onto possibly-cold
+  // parents; absorb and fromNodeSet write counters directly), and
+  // doubles as a precision reset: buckets whose weight folded into
+  // the root read cold again. One O(numNodes) walk, called only from
+  // paths that already walk the whole tree.
+  if (Fence.enabled())
+    Fence.clear();
+  WarmNodes = rebuildFenceWalk(0);
 }
 
 std::unique_ptr<RapTree> RapTree::fromNodeSet(
@@ -268,6 +301,9 @@ std::unique_ptr<RapTree> RapTree::fromNodeSet(
   // A node set captured without a budget (or under a looser one) may
   // exceed this config's cap; restoring coarsens it under the cap.
   Tree->enforceNodeBudget();
+  // Snapshots never carry the fence (it is pure acceleration state);
+  // derive it from the restored counters.
+  Tree->rebuildFence();
   return Tree;
 }
 
@@ -308,8 +344,19 @@ void RapTree::addPoint(uint64_t X, uint64_t Weight) {
   NumEvents = saturatingAdd(NumEvents, Weight);
 
   uint32_t Node = descendIndex(X);
-  uint64_t NewCount = saturatingAdd(Arena.Counts[Node], Weight);
+  uint64_t OldCount = Arena.Counts[Node];
+  uint64_t NewCount = saturatingAdd(OldCount, Weight);
   Arena.Counts[Node] = NewCount;
+
+  // First touch of this counter: the node's range is no longer
+  // provably cold. Marking at the node's own scale (not just X's
+  // finest bucket) is what keeps the fence sound — the counter stands
+  // for events anywhere in the range.
+  if (OldCount == 0) {
+    ++WarmNodes;
+    if (Node != 0 && Fence.enabled())
+      Fence.markNode(Arena.Los[Node], Arena.Widths[Node]);
+  }
 
   // Split check (Sec 2.2): a counter that outgrew the threshold sprouts
   // children so subsequent events in this range profile more precisely
@@ -400,6 +447,7 @@ uint64_t RapTree::forcedMergePass() {
   ++Pressure.ForcedMergePasses;
   Pressure.ReclaimedNodes += Removed;
   Pressure.DegradedWeight = saturatingAdd(Pressure.DegradedWeight, Folded);
+  rebuildFence();
   return Removed;
 }
 
@@ -599,6 +647,9 @@ void RapTree::absorb(const RapTree &Other) {
   // The structural union can overshoot a node budget arbitrarily far;
   // coarsen back under it.
   enforceNodeBudget();
+  // unionWith wrote counters directly; the merge/budget passes above
+  // may not have run, so re-derive the fence unconditionally.
+  rebuildFence();
 }
 
 uint64_t RapTree::mergeNow() {
@@ -608,6 +659,7 @@ uint64_t RapTree::mergeNow() {
   ++NumMergePasses;
   NumMergedNodes += Removed;
   MergeEventCounts.push_back(NumEvents);
+  rebuildFence();
   return Removed;
 }
 
@@ -649,8 +701,21 @@ uint64_t RapTree::estimateWalk(const RapNode &Node, uint64_t Lo,
   return Total;
 }
 
+bool RapTree::rangeProvablyCold(uint64_t Lo, uint64_t Hi) const {
+  if (!Fence.enabled())
+    return false;
+  // A query covering the whole universe contains the root, whose own
+  // counter contributes even though the fence never tracks it; only
+  // an empty stream makes that query cold.
+  if (Lo == 0 && Hi >= root().hi())
+    return NumEvents == 0;
+  return Fence.provablyCold(Lo, Hi);
+}
+
 uint64_t RapTree::estimateRange(uint64_t Lo, uint64_t Hi) const {
   assert(Lo <= Hi && "empty query range");
+  if (rangeProvablyCold(Lo, Hi))
+    return 0;
   return estimateWalk(root(), Lo, Hi);
 }
 
@@ -668,10 +733,41 @@ static uint64_t upperWalk(const RapNode &Node, uint64_t Lo, uint64_t Hi) {
   return Total;
 }
 
+/// upperWalk restricted to what can be nonzero on a fence-cold query:
+/// no positive node is fully contained in [Lo, Hi], so every
+/// fully-inside subtree weighs zero and only nodes STRADDLING an
+/// endpoint contribute their own counters. A node intersecting the
+/// query without being contained must cover Lo or Hi (its range
+/// extends past one end), so the walk follows just the two endpoint
+/// ancestor chains — O(depth) instead of a full overlap walk, and
+/// bit-identical to upperWalk by the argument above.
+static uint64_t coldUpperWalk(const RapNode &Node, uint64_t Lo,
+                              uint64_t Hi) {
+  uint64_t Total = Node.count();
+  for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
+    if (const RapNode *Child = Node.child(Slot)) {
+      bool HasLo = Child->lo() <= Lo && Lo <= Child->hi();
+      bool HasHi = Child->lo() <= Hi && Hi <= Child->hi();
+      if (HasLo || HasHi)
+        Total = saturatingAdd(Total, coldUpperWalk(*Child, Lo, Hi));
+    }
+  return Total;
+}
+
 RapTree::RangeBounds RapTree::estimateRangeBounds(uint64_t Lo,
                                                   uint64_t Hi) const {
   assert(Lo <= Hi && "empty query range");
   RangeBounds Bounds;
+  if (rangeProvablyCold(Lo, Hi)) {
+    Bounds.Lower = 0;
+    // Zero for the empty-stream full-universe case the cold check
+    // lets through; otherwise the endpoint chains still bound from
+    // above (wide straddling counters may hold in-range events).
+    Bounds.Upper = Lo == 0 && Hi >= root().hi()
+                       ? 0
+                       : coldUpperWalk(root(), Lo, Hi);
+    return Bounds;
+  }
   Bounds.Lower = estimateWalk(root(), Lo, Hi);
   Bounds.Upper = upperWalk(root(), Lo, Hi);
   return Bounds;
@@ -717,8 +813,16 @@ std::vector<HotRange> RapTree::extractHotRanges(double Phi) const {
 }
 
 void RapTree::topKWalk(const RapNode &Node, unsigned Depth,
-                       uint64_t AncestorOwn,
+                       uint64_t AncestorOwn, bool PruneCold,
                        std::vector<TopKRange> &Out) const {
+  // A fence-cold non-root subtree holds only zero counters: every
+  // entry it would emit has Retained == 0 and can never displace the
+  // K positive-retained winners the caller established exist. Skip
+  // it before the subtreeWeight walk below, which is where topK's
+  // time actually goes. Warm nodes mark their own buckets, so no
+  // warm node can hide under a pruned ancestor.
+  if (PruneCold && Depth != 0 && Fence.provablyCold(Node.lo(), Node.hi()))
+    return;
   TopKRange R;
   R.Lo = Node.lo();
   R.Hi = Node.hi();
@@ -735,15 +839,20 @@ void RapTree::topKWalk(const RapNode &Node, unsigned Depth,
   uint64_t ChildAncestorOwn = saturatingAdd(AncestorOwn, Node.count());
   for (unsigned Slot = 0; Slot != Node.numChildSlots(); ++Slot)
     if (const RapNode *Child = Node.child(Slot))
-      topKWalk(*Child, Depth + 1, ChildAncestorOwn, Out);
+      topKWalk(*Child, Depth + 1, ChildAncestorOwn, PruneCold, Out);
 }
 
 std::vector<TopKRange> RapTree::topK(size_t K) const {
   std::vector<TopKRange> Out;
   if (K == 0)
     return Out;
+  // Cold subtrees may be skipped only when the K winners are all
+  // positive-retained, i.e. K does not reach into the zero-retained
+  // tail; otherwise the tail entries are part of the answer and the
+  // walk must visit everything.
+  bool PruneCold = Fence.enabled() && K <= WarmNodes;
   Out.reserve(NumNodes);
-  topKWalk(root(), 0, 0, Out);
+  topKWalk(root(), 0, 0, PruneCold, Out);
   // Strict total order (node ranges are unique, so (Lo, WidthBits)
   // breaks every Retained tie): the k-nesting property topK(k) ⊆
   // topK(k+m) falls out of prefix-of-a-fixed-order.

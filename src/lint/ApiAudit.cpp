@@ -312,3 +312,38 @@ rap::lint::runApiAudit(const std::vector<AuditFile> &Files) {
             });
   return Output;
 }
+
+/// Registry entries for the cross-TU API audit, composed into
+/// allRules() so --explain and allow()-marker validation see them.
+const std::vector<RuleInfo> &rap::lint::apiAuditRuleInfos() {
+  static const std::vector<RuleInfo> Rules = {
+      {"api-odr",
+       "no non-inline function definitions at namespace scope in "
+       "headers (--api-audit)",
+       "Cross-TU pass. A header-defined function that is not inline/ "
+       "constexpr/template is an ODR violation the moment two TUs "
+       "include it: at best a duplicate-symbol link error, at worst "
+       "silently divergent copies. Fix: mark it inline or move the "
+       "body to a .cpp."},
+      {"api-capi-coverage",
+       "every extern \"C\" definition appears in src/core/CApi.h "
+       "(--api-audit)",
+       "Cross-TU pass. CApi.h is the single audited C surface: the ABI "
+       "lock tests, the capi-exception-tight rule, and external "
+       "bindings all key on it. An extern \"C\" symbol defined "
+       "elsewhere but not declared there is an unreviewed ABI leak. "
+       "Fix: declare it in CApi.h or give it internal linkage."},
+      {"api-include-drift",
+       "quoted includes resolve in-tree, no duplicates, no header "
+       "cycles (--api-audit)",
+       "Cross-TU pass, the static complement of the generated "
+       "self-containment TUs (which prove each header compiles alone "
+       "but not that the include graph is sound). Flags quoted "
+       "includes that no scanned file satisfies (renamed/moved "
+       "headers), duplicate includes in one file, and include cycles "
+       "among src/ headers. Fix: update the include to the real "
+       "src/-relative path, or break the cycle with a forward "
+       "declaration."},
+  };
+  return Rules;
+}

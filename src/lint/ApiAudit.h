@@ -49,6 +49,9 @@ struct AuditFile {
 /// per allow() markers; sorted by path, then line).
 std::vector<Finding> runApiAudit(const std::vector<AuditFile> &Files);
 
+/// Registry entries for the api-* rules, composed into allRules().
+const std::vector<RuleInfo> &apiAuditRuleInfos();
+
 } // namespace lint
 } // namespace rap
 

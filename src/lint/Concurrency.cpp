@@ -879,3 +879,54 @@ rap::lint::runConcurrencyAudit(const std::vector<AuditFile> &Files) {
             });
   return Result;
 }
+
+/// Registry entries for the interprocedural concurrency pass,
+/// composed into allRules() so --explain and allow()-marker
+/// validation see them.
+const std::vector<RuleInfo> &rap::lint::concurrencyRuleInfos() {
+  static const std::vector<RuleInfo> Rules = {
+      {"lock-order",
+       "the global lock-acquisition graph (observed edges + "
+       "RAP_ACQUIRED_BEFORE declarations) must stay acyclic",
+       "Interprocedural pass (rap_lint v3). Records every 'mutex B "
+       "acquired while A is held' edge — inside one function, or "
+       "through any call chain whose callee may transitively acquire B "
+       "— plus the orders declared with RAP_ACQUIRED_BEFORE(A, B). "
+       "Flags re-acquiring a held non-recursive mutex, an observed "
+       "edge that contradicts a declared order, and any cycle: two "
+       "threads interleaving the chains of a cycle can each hold a "
+       "lock the other wants, and the sharded ingest path deadlocks "
+       "instead of combining. Fix: pick one global order (for RAP, "
+       "GlobalMu before any shard Mu), declare it, and follow it."},
+      {"guarded-by",
+       "RAP_GUARDED_BY fields are only touched where the mutex is held "
+       "locally, required via RAP_REQUIRES, or held by every observed "
+       "caller",
+       "Interprocedural pass (rap_lint v3), replacing the per-function "
+       "lock-discipline approximation in whole-tree runs. An access is "
+       "clean when the mutex is must-held locally, or when EVERY "
+       "observed call chain into the function holds it at the call "
+       "site (computed as an intersection fixpoint over the project "
+       "call graph). Functions with no scanned caller — or reachable "
+       "only through call cycles with no scanned entry — are treated "
+       "as externally callable with nothing held, so public entry "
+       "points should lock or carry RAP_REQUIRES rather than rely on "
+       "callers. The finding names a concrete unsatisfying chain."},
+      {"atomic-misuse",
+       "no relaxed ordering on cross-thread handoff atomics; no "
+       "non-atomic RMW of a field also written under a different lock",
+       "Interprocedural pass (rap_lint v3). A std::atomic with "
+       "store/exchange/CAS sites is a handoff: its consumers "
+       "synchronize with the data written before the store, so "
+       "memory_order_relaxed on any of its accesses silently removes "
+       "the ordering the handoff exists to provide (pure counters — "
+       "fetch_add/fetch_sub/load only — may stay relaxed; the "
+       "failpoint arm counter is the house example). Separately flags "
+       "a non-atomic ++/+= of a variable that other code writes under "
+       "a different lock or no lock: the read-modify-write can "
+       "interleave with that write and lose updates. Fix: use "
+       "release/acquire (or the seq_cst default), make the field "
+       "std::atomic, or guard every access with one mutex."},
+  };
+  return Rules;
+}

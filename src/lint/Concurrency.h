@@ -56,6 +56,10 @@ namespace lint {
 /// rule). Reuses AuditFile: repo-relative path plus contents.
 std::vector<Finding> runConcurrencyAudit(const std::vector<AuditFile> &Files);
 
+/// Registry entries for the concurrency rules, composed into
+/// allRules().
+const std::vector<RuleInfo> &concurrencyRuleInfos();
+
 } // namespace lint
 } // namespace rap
 

@@ -836,3 +836,54 @@ void rap::lint::runFlowRules(const std::string &Path, const LexedSource &Src,
     runLockDiscipline(Path, Src, Parsed, *Fn, G, Out);
   }
 }
+
+/// Registry entries for the per-function flow rules, composed into
+/// allRules() so --explain and allow()-marker validation see them.
+const std::vector<RuleInfo> &rap::lint::flowRuleInfos() {
+  static const std::vector<RuleInfo> Rules = {
+      {"unchecked-status",
+       "a call returning rap_status/bool-error must have its result "
+       "checked on some path",
+       "Flow rule (CFG + def-use). Flags a bare call statement to a "
+       "status-returning function, and a status stored in a local that "
+       "no CFG path ever reads before it dies or is overwritten. A "
+       "dropped failure from serialization or trace IO silently voids "
+       "the eps*n contract for every consumer downstream. Status "
+       "functions: anything returning rap_status, plus bool functions "
+       "with fallible names (write*/read*/init*/finish*/try*/...). "
+       "Fix: branch on the result, or document the discard with "
+       "(void)call()."},
+      {"use-after-move",
+       "a moved-from local must not be read before reassignment",
+       "Flow rule (may-analysis over the CFG). After std::move(x) the "
+       "value of x is valid-but-unspecified; a later read on ANY path "
+       "is a logic bug even when it happens to work today. Reassignment "
+       "(x = ...), re-declaration, or x.clear()/reset()/assign() "
+       "re-establish a known state and clear the fact. Fix: reorder the "
+       "uses, or re-initialize before reading."},
+      {"counter-escape",
+       "a value loaded from a saturating counter must not flow into raw "
+       "+ / * arithmetic (core/ only)",
+       "Flow rule (taint analysis over the CFG). counter-arithmetic "
+       "catches direct += on counter fields; this rule tracks counter "
+       "values that escape into locals (W = N.Count) and flags raw "
+       "+ / * / += / *= on them, which reintroduces the wrap the "
+       "saturating helpers exist to prevent. Differences and ratios are "
+       "deliberately exempt (deltas are bounded), as are locals cast "
+       "into double/float. Fix: saturatingAdd/saturatingMul from "
+       "support/BitUtils.h."},
+      {"lock-discipline",
+       "RAP_GUARDED_BY variables are only touched with their mutex held; "
+       "RAP_REQUIRES states a caller-held precondition",
+       "Flow rule (must-analysis over the CFG). Annotate shared state "
+       "with RAP_GUARDED_BY(Mu) (support/Annotations.h); the rule "
+       "verifies every access happens with Mu held on EVERY incoming "
+       "path, where holding is a lock_guard/unique_lock/scoped_lock "
+       "scope, a manual Mu.lock(), or the function being annotated "
+       "RAP_REQUIRES(Mu). This is the gate for the ROADMAP's sharded "
+       "profiler: annotate first, and the linter keeps the discipline "
+       "honest before a data race ever runs. Under Clang the macros "
+       "also enable -Wthread-safety."},
+  };
+  return Rules;
+}

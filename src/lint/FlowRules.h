@@ -84,6 +84,9 @@ void runFlowRules(const std::string &Path, const LexedSource &Src,
                   const ParsedFile &Parsed, const LintContext &Ctx,
                   bool InCore, std::vector<Finding> &Out);
 
+/// Registry entries for the flow rules, composed into allRules().
+const std::vector<RuleInfo> &flowRuleInfos();
+
 } // namespace lint
 } // namespace rap
 

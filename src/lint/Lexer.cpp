@@ -86,7 +86,7 @@ private:
 /// The three-character punctuators we care to keep intact, then the
 /// two-character ones. Order within each group is irrelevant because
 /// the groups are tried longest first.
-const char *const ThreeCharPuncts[] = {"<<=", ">>=", "...", "->*"};
+const char *const ThreeCharPuncts[] = {"<<=", ">>=", "...", "->*", "<=>"};
 const char *const TwoCharPuncts[] = {
     "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
     "::", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "##"};

@@ -7,9 +7,12 @@
 
 #include "lint/Lint.h"
 
+#include "lint/ApiAudit.h"
+#include "lint/Concurrency.h"
 #include "lint/FlowRules.h"
 #include "lint/Lexer.h"
 #include "lint/Parser.h"
+#include "lint/ValueRange.h"
 
 #include <algorithm>
 #include <cctype>
@@ -418,7 +421,8 @@ std::string jsonEscape(const std::string &S) {
 
 } // namespace
 
-const std::vector<RuleInfo> &rap::lint::allRules() {
+/// The five token-level rules implemented in this file.
+const std::vector<RuleInfo> &tokenRuleInfos() {
   static const std::vector<RuleInfo> Rules = {
       {"counter-arithmetic",
        "core/ event-weight counters must use the saturating helpers in "
@@ -459,119 +463,23 @@ const std::vector<RuleInfo> &rap::lint::allRules() {
        "key on the canonical guard spelling; #pragma once is not "
        "portable to all shipped toolchains. Fix: open the header with "
        "#ifndef RAP_<DIR>_<STEM>_H / #define, close with #endif."},
-      {"unchecked-status",
-       "a call returning rap_status/bool-error must have its result "
-       "checked on some path",
-       "Flow rule (CFG + def-use). Flags a bare call statement to a "
-       "status-returning function, and a status stored in a local that "
-       "no CFG path ever reads before it dies or is overwritten. A "
-       "dropped failure from serialization or trace IO silently voids "
-       "the eps*n contract for every consumer downstream. Status "
-       "functions: anything returning rap_status, plus bool functions "
-       "with fallible names (write*/read*/init*/finish*/try*/...). "
-       "Fix: branch on the result, or document the discard with "
-       "(void)call()."},
-      {"use-after-move",
-       "a moved-from local must not be read before reassignment",
-       "Flow rule (may-analysis over the CFG). After std::move(x) the "
-       "value of x is valid-but-unspecified; a later read on ANY path "
-       "is a logic bug even when it happens to work today. Reassignment "
-       "(x = ...), re-declaration, or x.clear()/reset()/assign() "
-       "re-establish a known state and clear the fact. Fix: reorder the "
-       "uses, or re-initialize before reading."},
-      {"counter-escape",
-       "a value loaded from a saturating counter must not flow into raw "
-       "+ / * arithmetic (core/ only)",
-       "Flow rule (taint analysis over the CFG). counter-arithmetic "
-       "catches direct += on counter fields; this rule tracks counter "
-       "values that escape into locals (W = N.Count) and flags raw "
-       "+ / * / += / *= on them, which reintroduces the wrap the "
-       "saturating helpers exist to prevent. Differences and ratios are "
-       "deliberately exempt (deltas are bounded), as are locals cast "
-       "into double/float. Fix: saturatingAdd/saturatingMul from "
-       "support/BitUtils.h."},
-      {"lock-discipline",
-       "RAP_GUARDED_BY variables are only touched with their mutex held; "
-       "RAP_REQUIRES states a caller-held precondition",
-       "Flow rule (must-analysis over the CFG). Annotate shared state "
-       "with RAP_GUARDED_BY(Mu) (support/Annotations.h); the rule "
-       "verifies every access happens with Mu held on EVERY incoming "
-       "path, where holding is a lock_guard/unique_lock/scoped_lock "
-       "scope, a manual Mu.lock(), or the function being annotated "
-       "RAP_REQUIRES(Mu). This is the gate for the ROADMAP's sharded "
-       "profiler: annotate first, and the linter keeps the discipline "
-       "honest before a data race ever runs. Under Clang the macros "
-       "also enable -Wthread-safety."},
-      {"api-odr",
-       "no non-inline function definitions at namespace scope in "
-       "headers (--api-audit)",
-       "Cross-TU pass. A header-defined function that is not inline/ "
-       "constexpr/template is an ODR violation the moment two TUs "
-       "include it: at best a duplicate-symbol link error, at worst "
-       "silently divergent copies. Fix: mark it inline or move the "
-       "body to a .cpp."},
-      {"api-capi-coverage",
-       "every extern \"C\" definition appears in src/core/CApi.h "
-       "(--api-audit)",
-       "Cross-TU pass. CApi.h is the single audited C surface: the ABI "
-       "lock tests, the capi-exception-tight rule, and external "
-       "bindings all key on it. An extern \"C\" symbol defined "
-       "elsewhere but not declared there is an unreviewed ABI leak. "
-       "Fix: declare it in CApi.h or give it internal linkage."},
-      {"api-include-drift",
-       "quoted includes resolve in-tree, no duplicates, no header "
-       "cycles (--api-audit)",
-       "Cross-TU pass, the static complement of the generated "
-       "self-containment TUs (which prove each header compiles alone "
-       "but not that the include graph is sound). Flags quoted "
-       "includes that no scanned file satisfies (renamed/moved "
-       "headers), duplicate includes in one file, and include cycles "
-       "among src/ headers. Fix: update the include to the real "
-       "src/-relative path, or break the cycle with a forward "
-       "declaration."},
-      {"lock-order",
-       "the global lock-acquisition graph (observed edges + "
-       "RAP_ACQUIRED_BEFORE declarations) must stay acyclic",
-       "Interprocedural pass (rap_lint v3). Records every 'mutex B "
-       "acquired while A is held' edge — inside one function, or "
-       "through any call chain whose callee may transitively acquire B "
-       "— plus the orders declared with RAP_ACQUIRED_BEFORE(A, B). "
-       "Flags re-acquiring a held non-recursive mutex, an observed "
-       "edge that contradicts a declared order, and any cycle: two "
-       "threads interleaving the chains of a cycle can each hold a "
-       "lock the other wants, and the sharded ingest path deadlocks "
-       "instead of combining. Fix: pick one global order (for RAP, "
-       "GlobalMu before any shard Mu), declare it, and follow it."},
-      {"guarded-by",
-       "RAP_GUARDED_BY fields are only touched where the mutex is held "
-       "locally, required via RAP_REQUIRES, or held by every observed "
-       "caller",
-       "Interprocedural pass (rap_lint v3), replacing the per-function "
-       "lock-discipline approximation in whole-tree runs. An access is "
-       "clean when the mutex is must-held locally, or when EVERY "
-       "observed call chain into the function holds it at the call "
-       "site (computed as an intersection fixpoint over the project "
-       "call graph). Functions with no scanned caller — or reachable "
-       "only through call cycles with no scanned entry — are treated "
-       "as externally callable with nothing held, so public entry "
-       "points should lock or carry RAP_REQUIRES rather than rely on "
-       "callers. The finding names a concrete unsatisfying chain."},
-      {"atomic-misuse",
-       "no relaxed ordering on cross-thread handoff atomics; no "
-       "non-atomic RMW of a field also written under a different lock",
-       "Interprocedural pass (rap_lint v3). A std::atomic with "
-       "store/exchange/CAS sites is a handoff: its consumers "
-       "synchronize with the data written before the store, so "
-       "memory_order_relaxed on any of its accesses silently removes "
-       "the ordering the handoff exists to provide (pure counters — "
-       "fetch_add/fetch_sub/load only — may stay relaxed; the "
-       "failpoint arm counter is the house example). Separately flags "
-       "a non-atomic ++/+= of a variable that other code writes under "
-       "a different lock or no lock: the read-modify-write can "
-       "interleave with that write and lose updates. Fix: use "
-       "release/acquire (or the seq_cst default), make the field "
-       "std::atomic, or guard every access with one mutex."},
   };
+  return Rules;
+}
+
+const std::vector<RuleInfo> &rap::lint::allRules() {
+  // Composed from the per-module registries (FlowRules.cpp,
+  // ApiAudit.cpp, Concurrency.cpp, ValueRange.cpp) so a module cannot
+  // emit a rule id that --list-rules, --explain and the allow()-marker
+  // validation do not know about.
+  static const std::vector<RuleInfo> Rules = [] {
+    std::vector<RuleInfo> R = tokenRuleInfos();
+    for (const std::vector<RuleInfo> *Part :
+         {&flowRuleInfos(), &apiAuditRuleInfos(), &concurrencyRuleInfos(),
+          &valueRangeRuleInfos()})
+      R.insert(R.end(), Part->begin(), Part->end());
+    return R;
+  }();
   return Rules;
 }
 
@@ -600,6 +508,7 @@ std::vector<Finding> rap::lint::lintSource(const std::string &Path,
   // Flow-aware rules share one parse of the file.
   ParsedFile Parsed = parseFile(Src);
   runFlowRules(Path, Src, Parsed, Ctx, FC.InCore, Raw);
+  runValueRangeRules(Path, Src, Parsed, Ctx, Raw);
 
   std::vector<Finding> Out;
   for (Finding &F : Raw) {

@@ -1,0 +1,145 @@
+//===- lint/ValueRange.h - Interval abstract interpretation ---*- C++ -*-===//
+//
+// Part of the RAP reproduction of "Profiling over Adaptive Ranges"
+// (Mysore et al., CGO 2006). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rap_lint v4 value-range engine: an integer interval lattice
+/// abstract-interpreted over the per-function CFGs (lint/Cfg.h), with
+///
+///   - widening at loop heads (delayed, so small counted loops
+///     converge to their exact bounds) and the standard one-shot
+///     narrowing that branch refinement provides,
+///   - transfer functions for arithmetic, shifts, casts, masks and
+///     remainders over declared integer types,
+///   - branch-condition refinement on both arms (`if (Bits < 64)`
+///     narrows the then-arm to [0,63] and the else-arm to [64,...]),
+///     including `?:` at expression level and member-chain conditions,
+///   - interprocedural constant/range propagation for parameters every
+///     observed call site feeds with evaluable arguments (the PR 6
+///     name-keyed call-graph convention; see collectParamIntervals).
+///
+/// The domain distinguishes *tracked* intervals — bounds with a
+/// concrete witness chain from literals, declared types, refinements
+/// and modeled transfers — from *untracked* values (fields, calls,
+/// pointer loads). The four rules it powers (shift-width,
+/// narrowing-truncation, unbounded-read, div-by-zero) only fire on
+/// tracked intervals, so an unmodeled source is silence, never a
+/// fabricated finding. docs/STATIC_ANALYSIS.md documents the lattice,
+/// the widening policy and the known imprecision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RAP_LINT_VALUERANGE_H
+#define RAP_LINT_VALUERANGE_H
+
+#include "lint/ApiAudit.h"
+#include "lint/Lexer.h"
+#include "lint/Lint.h"
+#include "lint/Parser.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rap {
+namespace lint {
+
+/// One element of the value lattice: Bottom (no value reaches here),
+/// a tracked interval [Lo, Hi], or Untracked (a value from a source
+/// the engine does not model — top, but flagged so rules stay
+/// witness-based). Bounds saturate at +/-Inf; a bound at the sentinel
+/// means "unbounded in that direction", never an exact huge value.
+struct Interval {
+  enum class Kind { Bottom, Range, Untracked };
+
+  /// Saturation sentinel: 2^62, far above any bound the engine needs
+  /// to be exact about and far below overflow of the i64 arithmetic
+  /// the transfers are computed in.
+  static constexpr long long Inf = 1LL << 62;
+
+  Kind K = Kind::Untracked;
+  long long Lo = -Inf, Hi = Inf; ///< Inclusive; meaningful for Range.
+
+  static Interval bottom() { return {Kind::Bottom, 0, 0}; }
+  static Interval untracked() { return {Kind::Untracked, -Inf, Inf}; }
+  static Interval of(long long Lo, long long Hi) {
+    return {Kind::Range, Lo, Hi};
+  }
+  static Interval constant(long long V) { return of(V, V); }
+
+  bool isBottom() const { return K == Kind::Bottom; }
+  bool isRange() const { return K == Kind::Range; }
+  bool isUntracked() const { return K == Kind::Untracked; }
+  bool contains(long long V) const {
+    return isUntracked() || (isRange() && Lo <= V && V <= Hi);
+  }
+
+  bool operator==(const Interval &O) const {
+    if (K != O.K)
+      return false;
+    return K != Kind::Range || (Lo == O.Lo && Hi == O.Hi);
+  }
+  bool operator!=(const Interval &O) const { return !(*this == O); }
+};
+
+/// Least upper bound: Bottom is the identity, Untracked absorbs, and
+/// two ranges take the convex hull.
+Interval join(const Interval &A, const Interval &B);
+
+/// Greatest lower bound: Untracked is the identity, Bottom absorbs,
+/// and two ranges intersect (empty intersection is Bottom).
+Interval meet(const Interval &A, const Interval &B);
+
+/// Classic interval widening: a bound of \p Next that moved past the
+/// corresponding bound of \p Prev jumps straight to its sentinel.
+/// Any ascending chain through widen stabilizes after at most two
+/// applications per bound, which is what bounds the fixpoint.
+Interval widen(const Interval &Prev, const Interval &Next);
+
+/// Partial order of the lattice: A is at or below B.
+bool intervalLeq(const Interval &A, const Interval &B);
+
+/// "[12, 63]", "[0, +inf]", "untracked", "bottom" — used in finding
+/// messages (the interval IS the witness) and test diagnostics.
+std::string intervalText(const Interval &I);
+
+/// Registry entries for the four v4 rules, composed into allRules().
+const std::vector<RuleInfo> &valueRangeRuleInfos();
+
+/// The interprocedural half: joins, over every observed call site of
+/// each function defined in \p Files, the interval each argument
+/// position evaluates to (literals, sizeof-free constant folds, and
+/// the *enclosing* function's already-proven parameter ranges, so a
+/// bounded length forwarded one level — CrcIn::read passing its own
+/// Size to istream::read — stays bounded). Runs to a fixpoint, then
+/// records tracked parameter ranges into \p Ctx.ParamIntervals.
+///
+/// Same soundness caveat as the v3 concurrency pass: the call graph
+/// is the OBSERVED one, keyed by unqualified name. A function whose
+/// name ever appears without a following '(' (address taken, passed
+/// as a callback) gets no summary at all.
+void collectParamIntervals(const std::vector<AuditFile> &Files,
+                           LintContext &Ctx);
+
+/// Runs the four value-range rules over one parsed file. Findings are
+/// appended unsuppressed; the engine applies allow() markers.
+void runValueRangeRules(const std::string &Path, const LexedSource &Src,
+                        const ParsedFile &Parsed, const LintContext &Ctx,
+                        std::vector<Finding> &Out);
+
+/// Test hook: runs the interval fixpoint over one function and
+/// returns the abstract environment at the function exit (join over
+/// every return/fall-through path). Keys are variable names, plus
+/// normalized member-chain spellings for branch assumptions that
+/// survive to the exit.
+std::map<std::string, Interval>
+intervalsAtExit(const LexedSource &Src, const Function &Fn,
+                const LintContext &Ctx);
+
+} // namespace lint
+} // namespace rap
+
+#endif // RAP_LINT_VALUERANGE_H

@@ -384,6 +384,31 @@ bool rap::diffBenchReports(const BenchReport &Baseline,
             "baseline %.3g (floor %.3g at %.0f%% tolerance)",
             BW.Name.c_str(), BV.Name.c_str(), CV->EventsPerSec,
             BV.EventsPerSec, Floor, 100.0 * Options.MaxRegress));
+      if (Options.MetricTolerance < 0.0)
+        continue;
+      for (const std::pair<std::string, double> &BM : BV.Metrics) {
+        const double *CM = nullptr;
+        for (const std::pair<std::string, double> &M : CV->Metrics)
+          if (M.first == BM.first)
+            CM = &M.second;
+        if (!CM) {
+          Problems.push_back(format(
+              "workload \"%s\" variant \"%s\" metric \"%s\" missing from "
+              "the candidate",
+              BW.Name.c_str(), BV.Name.c_str(), BM.first.c_str()));
+          continue;
+        }
+        // Relative with an absolute floor of 1, so one tolerance knob
+        // covers [0, 1] rates and large counts alike.
+        double Allowed = Options.MetricTolerance *
+                         std::max(std::fabs(BM.second), 1.0);
+        if (std::fabs(*CM - BM.second) > Allowed)
+          Problems.push_back(format(
+              "workload \"%s\" variant \"%s\" metric \"%s\" drifted: "
+              "%.6g vs baseline %.6g (allowed +/-%.6g)",
+              BW.Name.c_str(), BV.Name.c_str(), BM.first.c_str(), *CM,
+              BM.second, Allowed));
+      }
     }
   }
   return Problems.size() == Before;

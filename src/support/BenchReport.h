@@ -52,7 +52,8 @@ struct BenchVariant {
   /// "metrics" field parse to an empty vector, an empty vector
   /// serializes to no "metrics" field, and serialization orders keys
   /// lexicographically so committed reports stay diffable. Metrics are
-  /// informational — diffBenchReports never gates on them.
+  /// informational by default; diffBenchReports gates on them only
+  /// when BenchDiffOptions::MetricTolerance is set.
   std::vector<std::pair<std::string, double>> Metrics;
 };
 
@@ -101,6 +102,15 @@ struct BenchDiffOptions {
   /// baseline * (1 - MaxRegress). The default tolerates the noise of
   /// unpinned CI machines while still catching real slowdowns.
   double MaxRegress = 0.30;
+
+  /// Opt-in gate on the per-variant "metrics" map: when non-negative,
+  /// every metric present in a baseline variant must exist in the
+  /// matching candidate variant with |candidate - baseline| <=
+  /// MetricTolerance * max(|baseline|, 1). The relative form (with an
+  /// absolute floor of 1) makes one knob usable across rates in
+  /// [0, 1] and counts in the thousands alike. Negative (the default)
+  /// keeps metrics informational, the pre-existing behavior.
+  double MetricTolerance = -1.0;
 };
 
 /// Compares \p Candidate against \p Baseline: every (workload,

@@ -236,6 +236,42 @@ TEST(LintLexerPrefix, PrefixedCharLiteralsAreNotIdentifiers) {
   EXPECT_EQ(Tokens[8].substr(0, 4), "char");
 }
 
+//===----------------------------------------------------------------------===//
+// C++20 spaceship and pointer-to-member operators
+//===----------------------------------------------------------------------===//
+
+TEST(LintLexerOperators, SpaceshipIsOneToken) {
+  // `a <=> b` must not split into `<=` `>`: the value-range branch
+  // refinement parses comparisons by operator token, and a phantom
+  // `<=` would fabricate a bound that was never written.
+  std::vector<std::string> Tokens = spellings("auto c = a <=> b;");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[4], "punct:<=>");
+}
+
+TEST(LintLexerOperators, LessEqualThenGreaterStaysTwoTokens) {
+  // No spaceship here: `x <= y` followed by `> z` in a template-ish
+  // context keeps its real shape when whitespace separates the chars.
+  std::vector<std::string> Tokens = spellings("b = x <= -1;");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[3], "punct:<=");
+  EXPECT_EQ(Tokens[4], "punct:-");
+}
+
+TEST(LintLexerOperators, ArrowStarIsOneToken) {
+  std::vector<std::string> Tokens = spellings("(obj->*fn)(1);");
+  ASSERT_EQ(Tokens.size(), 9u);
+  EXPECT_EQ(Tokens[2], "punct:->*");
+}
+
+TEST(LintLexerOperators, ShiftAssignStillWinsOverSpaceshipPrefix) {
+  // `<<=` shares a two-char prefix with nothing spaceship-like, but
+  // keep the longest-match ordering pinned while the table grows.
+  std::vector<std::string> Tokens = spellings("x <<= 2;");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[1], "punct:<<=");
+}
+
 TEST(LintLexerPrefix, NonPrefixIdentifierBeforeStringStaysIdentifier) {
   // An arbitrary identifier abutting a string is two tokens (macro
   // call styles like NAME"..." are not encoding prefixes).

@@ -1,0 +1,19 @@
+// Clean twin: every shift amount is provably inside the operand
+// width, either by an exclusive guard or by construction.
+
+unsigned long long maskUpTo(unsigned long long X, unsigned Bits) {
+  if (Bits < 64)
+    return X << Bits;
+  return ~0ULL;
+}
+
+unsigned scaleWord(unsigned X, unsigned Sh) {
+  if (Sh <= 31)
+    return X << Sh;
+  return 0;
+}
+
+long long scaleBy(long long X, bool Coarse) {
+  int Sh = Coarse ? 1 : 3;
+  return X << Sh;
+}

@@ -1,0 +1,13 @@
+// shift-width: a guard that admits the operand width itself, and a
+// shift amount carrying a derived negative bound.
+
+unsigned long long maskUpTo(unsigned long long X, unsigned Bits) {
+  if (Bits <= 64)
+    return X << Bits; // off-by-one: Bits == 64 is undefined for u64
+  return X;
+}
+
+long long scaleBy(long long X, bool Coarse) {
+  int Sh = Coarse ? -1 : 3;
+  return X << Sh; // -1 reaches the shift on the Coarse path
+}

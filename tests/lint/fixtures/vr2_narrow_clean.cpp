@@ -1,0 +1,16 @@
+// Clean twin: conversions whose source provably fits, plus the
+// sanctioned byte-extraction idiom (8-bit destinations are exempt).
+
+unsigned short packFlags(bool Wide) {
+  long long V = Wide ? 65535 : 1;
+  return (unsigned short)V;
+}
+
+short initialWindow() {
+  short W = 32000;
+  return W;
+}
+
+unsigned char lowByte(unsigned X) {
+  return (unsigned char)(X & 0xff);
+}

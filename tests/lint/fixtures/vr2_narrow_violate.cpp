@@ -1,0 +1,11 @@
+// narrowing-truncation: values provably outside the destination.
+
+unsigned short packFlags(bool Wide) {
+  long long V = Wide ? 70000 : 1;
+  return (unsigned short)V; // 70000 does not fit 16 bits
+}
+
+short initialWindow() {
+  short W = 40000; // above SHRT_MAX; wraps negative
+  return W;
+}

@@ -1,0 +1,17 @@
+// Clean twin: literal lengths and a both-sided guard.
+
+struct Stream {
+  bool read(void *Buffer, unsigned long long N);
+};
+
+bool loadHeader(Stream &S) {
+  char Buf[8];
+  return S.read(Buf, 8);
+}
+
+bool loadSized(Stream &S, unsigned long long N) {
+  char Buf[64];
+  if (N <= 64)
+    return S.read(Buf, N);
+  return false;
+}

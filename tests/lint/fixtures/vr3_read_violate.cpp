@@ -1,0 +1,18 @@
+// unbounded-read: a wire-supplied length reaches a read unchecked,
+// and a lower-bound-only guard leaves the upper side open.
+
+struct Stream {
+  bool read(void *Buffer, unsigned long long N);
+};
+
+bool loadBlob(Stream &S, unsigned long long N) {
+  char Buf[16];
+  return S.read(Buf, N); // N is whatever the wire said
+}
+
+bool loadTail(Stream &S, unsigned long long N) {
+  char Buf[64];
+  if (N > 8)
+    return S.read(Buf, N); // bounded below, never above
+  return false;
+}

@@ -1,0 +1,12 @@
+// Clean twin: divisors provably nonzero.
+
+int averageOrZero(int Sum, bool Have) {
+  int N = Have ? 4 : 2;
+  return (Sum & 1023) / N;
+}
+
+int wrapIndex(int X, int D) {
+  if (D > 0)
+    return X % D;
+  return 0;
+}

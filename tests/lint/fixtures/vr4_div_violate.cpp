@@ -1,0 +1,12 @@
+// div-by-zero: a divisor whose range includes zero on one path, and
+// one that is zero on every path.
+
+int averageOrZero(int Sum, bool Have) {
+  int N = Have ? 4 : 0;
+  return (Sum & 1023) / N; // N == 0 when !Have
+}
+
+int wrapIndex(int X) {
+  int D = 0;
+  return X % D; // provably zero
+}

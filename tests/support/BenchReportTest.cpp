@@ -348,9 +348,9 @@ TEST(BenchReport, MetricsRejectMalformedInput) {
   EXPECT_TRUE(FoundEmpty);
 }
 
-TEST(BenchReport, DiffIgnoresMetrics) {
-  // Metrics are informational: a candidate whose metrics moved (or
-  // vanished) passes the gate as long as throughput holds.
+TEST(BenchReport, DiffIgnoresMetricsByDefault) {
+  // Metrics are informational by default: a candidate whose metrics
+  // moved (or vanished) passes the gate as long as throughput holds.
   BenchReport Baseline = parseOrDie(BaselineFixture);
   Baseline.Workloads[0].Variants[0].Metrics = {{"topk_recall", 1.0}};
   BenchReport Candidate = parseOrDie(BaselineFixture);
@@ -360,6 +360,43 @@ TEST(BenchReport, DiffIgnoresMetrics) {
   EXPECT_TRUE(diffBenchReports(Baseline, Candidate, BenchDiffOptions(),
                                Problems))
       << Problems.front();
+}
+
+TEST(BenchReport, DiffGatesMetricsWhenAsked) {
+  BenchReport Baseline = parseOrDie(BaselineFixture);
+  Baseline.Workloads[0].Variants[0].Metrics = {{"cold_rate", 0.90},
+                                               {"warm_buckets", 1000.0}};
+  BenchDiffOptions Gate;
+  Gate.MetricTolerance = 0.05;
+
+  // Small drifts inside the budget pass: rates use the absolute floor
+  // of 1 (0.90 -> 0.87 is a 0.03 move on a 0.05 budget), counts scale
+  // relatively (1000 -> 1040 is inside 5%).
+  BenchReport Candidate = parseOrDie(BaselineFixture);
+  Candidate.Workloads[0].Variants[0].Metrics = {{"cold_rate", 0.87},
+                                                {"warm_buckets", 1040.0}};
+  std::vector<std::string> Problems;
+  EXPECT_TRUE(diffBenchReports(Baseline, Candidate, Gate, Problems))
+      << Problems.front();
+
+  // A rate that collapses past the budget is flagged by name.
+  Candidate.Workloads[0].Variants[0].Metrics = {{"cold_rate", 0.70},
+                                                {"warm_buckets", 1000.0}};
+  Problems.clear();
+  EXPECT_FALSE(diffBenchReports(Baseline, Candidate, Gate, Problems));
+  ASSERT_EQ(Problems.size(), 1u);
+  EXPECT_NE(Problems[0].find("cold_rate"), std::string::npos);
+  EXPECT_NE(Problems[0].find("drifted"), std::string::npos);
+
+  // A metric the candidate dropped is a failure too; extra candidate
+  // metrics are fine (additive, like new variants).
+  Candidate.Workloads[0].Variants[0].Metrics = {{"cold_rate", 0.90},
+                                                {"extra_metric", 7.0}};
+  Problems.clear();
+  EXPECT_FALSE(diffBenchReports(Baseline, Candidate, Gate, Problems));
+  ASSERT_EQ(Problems.size(), 1u);
+  EXPECT_NE(Problems[0].find("warm_buckets"), std::string::npos);
+  EXPECT_NE(Problems[0].find("missing"), std::string::npos);
 }
 
 TEST(BenchReport, DiffHonorsCustomTolerance) {

@@ -15,11 +15,17 @@
 //       clean, 1 with one diagnostic per problem when not.
 //
 //   bench_diff BASELINE CANDIDATE [--max-regress=0.30]
+//              [--metric-tolerance=T]
 //       Validates both reports, then gates the candidate against the
 //       pinned baseline: every (workload, variant) pair in the
 //       baseline must exist in the candidate and its events/sec must
-//       not fall below baseline * (1 - max-regress). Exit 0 when the
-//       candidate passes, 1 when it regresses.
+//       not fall below baseline * (1 - max-regress). With
+//       --metric-tolerance, the per-variant "metrics" map is gated
+//       too: each baseline metric must exist in the candidate within
+//       T * max(|baseline|, 1) — useful for pinning machine-independent
+//       quality numbers (cold_rate, recall) tighter than wall-clock
+//       throughput. Exit 0 when the candidate passes, 1 when it
+//       regresses.
 //
 // Exit 2 for usage or I/O errors, so scripts can tell "perf regressed"
 // from "could not run the check".
@@ -85,6 +91,10 @@ int main(int Argc, char **Argv) {
   Args.addDouble("max-regress", 0.30,
                  "tolerated fractional events/sec drop before a variant "
                  "counts as regressed");
+  Args.addDouble("metric-tolerance", -1.0,
+                 "also gate per-variant metrics, allowing a drift of "
+                 "TOL * max(|baseline|, 1) per metric (negative: "
+                 "metrics stay informational)");
   Args.allowPositional("baseline candidate",
                        "pinned baseline report, then candidate report");
   if (!Args.parse(Argc, Argv))
@@ -122,6 +132,7 @@ int main(int Argc, char **Argv) {
 
   BenchDiffOptions Options;
   Options.MaxRegress = Args.getDouble("max-regress");
+  Options.MetricTolerance = Args.getDouble("metric-tolerance");
   std::vector<std::string> Problems;
   if (!diffBenchReports(Baseline, Candidate, Options, Problems)) {
     for (const std::string &P : Problems)

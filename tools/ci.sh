@@ -12,9 +12,12 @@
 #      arena/stage-0 combined delivery (every checkpoint also
 #      cross-checks the slab tree against the legacy ReferenceRapTree),
 #      the fault regime (node/byte budgets, deterministic alloc
-#      failures, snapshot corruption battery), and the admission
+#      failures, snapshot corruption battery), the admission
 #      regime (randomized split-admission tree cross-checked against
-#      an admission-off twin fed the identical stream)
+#      an admission-off twin fed the identical stream), and the fence
+#      regime (cold-range fence tree vs a fence-off twin: bit-equal
+#      answers, every provably-cold verdict checked against the
+#      unfenced walk)
 #   5. ThreadSanitizer build + the `concurrency` ctest label (the
 #      threaded ShardedRapSession suite and bench_parallel smoke) plus
 #      a 25-episode sharded fuzz slice — concurrent ingest threads
@@ -26,13 +29,13 @@
 #   7. when clang++ is installed: a clang build of rap_core with
 #      -Wthread-safety, the independent check of the same lock
 #      annotations rap_lint verifies
-#   8. non-gating perf leg: bench_run, bench_parallel and
-#      bench_admission --smoke through the bench_diff schema check,
-#      schema checks of the pinned BENCH_parallel.json and
-#      BENCH_admission.json, plus a timing-tolerant diff of the smoke
-#      numbers against the pinned BENCH_core.json (timings on unpinned
-#      CI machines are advisory; only the schema checks can fail the
-#      run)
+#   8. non-gating perf leg: bench_run, bench_parallel, bench_admission
+#      and bench_query --smoke through the bench_diff schema check,
+#      schema checks of the pinned BENCH_parallel.json,
+#      BENCH_admission.json and BENCH_query.json, plus a
+#      timing-tolerant diff of the smoke numbers against the pinned
+#      BENCH_core.json (timings on unpinned CI machines are advisory;
+#      only the schema checks can fail the run)
 #
 # Usage: tools/ci.sh [jobs]     (from the repo root; default jobs = nproc)
 #
@@ -73,6 +76,9 @@ step "fault fuzz slice (budgets + alloc failures + snapshot battery, ASan)"
 step "admission fuzz slice (gated splits vs admission-off twin, ASan)"
 ./build-asan/tools/rap_fuzz --admission --episodes=25 --seed=1 --events=8000
 
+step "fence fuzz slice (cold-range fence vs fence-off twin, ASan)"
+./build-asan/tools/rap_fuzz --fence --episodes=25 --seed=1 --events=8000
+
 step "ThreadSanitizer build + concurrency label + sharded fuzz slice"
 cmake -B build-tsan -S . -DRAP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -111,6 +117,9 @@ step "bench smoke + schema check (perf numbers non-gating)"
     --out=build/BENCH_admission_smoke.json
 ./build/tools/bench_diff --check build/BENCH_admission_smoke.json
 ./build/tools/bench_diff --check BENCH_admission.json
+./build/bench/bench_query --smoke --out=build/BENCH_query_smoke.json
+./build/tools/bench_diff --check build/BENCH_query_smoke.json
+./build/tools/bench_diff --check BENCH_query.json
 # Advisory only: smoke timings on a shared machine are noise, but a
 # catastrophic slowdown is still worth a line in the log.
 ./build/tools/bench_diff BENCH_core.json build/BENCH_smoke.json \

@@ -32,6 +32,7 @@
 #include "lint/Lexer.h"
 #include "lint/Lint.h"
 #include "lint/Parser.h"
+#include "lint/ValueRange.h"
 #include "support/ArgParse.h"
 
 #include <algorithm>
@@ -107,9 +108,11 @@ int main(int Argc, char **Argv) {
                 "saturating-counter discipline, exception-tight C API, "
                 "determinism, hot-path IO, include-guard hygiene, and "
                 "the v2 flow rules (unchecked-status, use-after-move, "
-                "counter-escape, lock-discipline), and the v3 "
+                "counter-escape, lock-discipline), the v3 "
                 "interprocedural concurrency pass (lock-order, guarded-by, "
-                "atomic-misuse).");
+                "atomic-misuse), and the v4 value-range rules "
+                "(shift-width, narrowing-truncation, unbounded-read, "
+                "div-by-zero) with interprocedural parameter ranges.");
   Args.addString("root", ".",
                  "repository root; paths are reported relative to it");
   Args.addString("format", "text", "report format: text, json or sarif");
@@ -212,17 +215,23 @@ int main(int Argc, char **Argv) {
         Ctx.StatusFunctions.insert(Sig.Name);
   }
 
+  std::vector<lint::AuditFile> AuditInputs;
+  AuditInputs.reserve(Inputs.size());
+  for (const Input &In : Inputs)
+    AuditInputs.push_back({In.Rel, In.Content});
+
+  // Interprocedural value-range prescan: prove ranges for parameters
+  // every observed call site feeds with evaluable arguments, so the
+  // v4 rules can reason inside callees (a serialization read length
+  // that is always a literal stays bounded in CrcIn::read).
+  lint::collectParamIntervals(AuditInputs, Ctx);
+
   std::vector<lint::Finding> Findings;
   for (const Input &In : Inputs) {
     std::vector<lint::Finding> FileFindings =
         lint::lintSource(In.Rel, In.Content, Ctx);
     Findings.insert(Findings.end(), FileFindings.begin(), FileFindings.end());
   }
-
-  std::vector<lint::AuditFile> AuditInputs;
-  AuditInputs.reserve(Inputs.size());
-  for (const Input &In : Inputs)
-    AuditInputs.push_back({In.Rel, In.Content});
 
   if (Args.getBool("api-audit")) {
     std::vector<lint::Finding> Audit = lint::runApiAudit(AuditInputs);
